@@ -1,0 +1,200 @@
+//===- bench/BenchCommon.h - Shared benchmark helpers -----------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kernel sources and setup helpers shared by the benchmark binaries.
+/// Each experiment in EXPERIMENTS.md maps to one bench binary; the
+/// kernels here are the paper's worked examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_BENCH_BENCHCOMMON_H
+#define HAC_BENCH_BENCHCOMMON_H
+
+#include "codegen/CEmitter.h"
+#include "core/Compiler.h"
+#include "core/InterpBridge.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+namespace hacbench {
+
+using namespace hac;
+
+/// Section 3's wavefront recurrence over an n x n grid.
+inline std::string wavefrontSource(int64_t N) {
+  return "let n = " + std::to_string(N) +
+         " in "
+         "letrec* a = array ((1,1),(n,n)) "
+         "([ (1,j) := 1.0 | j <- [1..n] ] ++ "
+         " [ (i,1) := 1.0 | i <- [2..n] ] ++ "
+         " [ (i,j) := (a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1)) / 3.0 "
+         "   | i <- [2..n], j <- [2..n] ]) in a";
+}
+
+/// Section 5 example 1: three stride-3 clauses sharing one loop; scaled
+/// so the array has 3*K elements.
+inline std::string sec5Ex1Source(int64_t K) {
+  return "let k = " + std::to_string(K) +
+         " in "
+         "letrec* a = array (1,3*k) "
+         "([* [3*i := 1.0] ++ "
+         "    [3*i-1 := a!(3*(i-1)) + 1.0] ++ "
+         "    [3*i-2 := a!(3*i) * 2.0] | i <- [2..k] *] "
+         " ++ [ 1 := 2.0, 2 := 2.0, 3 := 1.0 ]) in a";
+}
+
+/// Section 5 example 2 shape: the inner loop must run backward.
+inline std::string sec5Ex2Source(int64_t N) {
+  return "let n = " + std::to_string(N) +
+         " in "
+         "letrec* a = array ((1,1),(n,n)) "
+         "([ (i,n) := 1.0 * i | i <- [1..n] ] ++ "
+         " [ (i,j) := a!(i,j+1) + 1.0 | i <- [1..n], j <- [1..n-1] ]) "
+         "in a";
+}
+
+/// Section 3.1: sum of products, wrapped in a 1-element array so the
+/// compiled pipeline can run it (the fold itself is fused either way).
+inline std::string dotSource(int64_t N) {
+  return "let n = " + std::to_string(N) +
+         " in "
+         "letrec* s = array (1,1) "
+         "[ 1 := sum [ xs!k * ys!k | k <- [1..n] ] ] in s";
+}
+
+/// Section 9: LINPACK-style swap of rows 1 and n/2 of an n x n matrix.
+inline std::string rowSwapSource(int64_t N) {
+  return "let n = " + std::to_string(N) + "; k = " + std::to_string(N / 2) +
+         " in "
+         "bigupd m ([ (1,j) := m!(k,j) | j <- [1..n] ] ++ "
+         "          [ (k,j) := m!(1,j) | j <- [1..n] ])";
+}
+
+/// Section 9: one Jacobi relaxation step, the expressive
+/// non-single-threaded form.
+inline std::string jacobiSource(int64_t N) {
+  return "let n = " + std::to_string(N) +
+         " in "
+         "bigupd a [ (i,j) := (a!(i-1,j) + a!(i+1,j) + a!(i,j-1) + "
+         "a!(i,j+1)) / 4.0 | i <- [2..n-1], j <- [2..n-1] ]";
+}
+
+/// Section 9 / Livermore 23: one Gauss-Seidel (SOR omega=1) sweep as a
+/// monolithic array whose result overwrites the old grid `b`.
+inline std::string sorSource(int64_t N) {
+  return "let n = " + std::to_string(N) +
+         " in "
+         "letrec* a = array ((1,1),(n,n)) "
+         "([ (1,j) := b!(1,j) | j <- [1..n] ] ++ "
+         " [ (n,j) := b!(n,j) | j <- [1..n] ] ++ "
+         " [ (i,1) := b!(i,1) | i <- [2..n-1] ] ++ "
+         " [ (i,n) := b!(i,n) | i <- [2..n-1] ] ++ "
+         " [ (i,j) := (a!(i-1,j) + a!(i,j-1) + b!(i+1,j) + b!(i,j+1)) "
+         "/ 4.0 | i <- [2..n-1], j <- [2..n-1] ]) in a";
+}
+
+/// A stride-3 partition kernel where all checks are provably removable.
+inline std::string partitionSource(int64_t K) {
+  return "let k = " + std::to_string(K) +
+         " in "
+         "letrec* a = array (1,3*k) "
+         "[* [3*i := 1.0] ++ [3*i-1 := 2.0] ++ [3*i-2 := 3.0] "
+         "| i <- [1..k] *] in a";
+}
+
+/// The same partition with a redundant guard: semantically identical, but
+/// the guard blinds the coverage analysis, so the empties/collision
+/// checks must stay (Section 4's conditions fail statically).
+inline std::string guardedPartitionSource(int64_t K) {
+  return "let k = " + std::to_string(K) +
+         " in "
+         "letrec* a = array (1,3*k) "
+         "[* [3*i := 1.0] ++ [3*i-1 := 2.0] ++ [3*i-2 := 3.0] "
+         "| i <- [1..k], i > 0 *] in a";
+}
+
+/// Compiles an array program, aborting the benchmark on failure.
+inline CompiledArray mustCompile(const std::string &Source,
+                                 const CompileOptions &Options =
+                                     CompileOptions()) {
+  Compiler TheCompiler(Options);
+  auto Compiled = TheCompiler.compileArray(Source);
+  if (!Compiled || !Compiled->Thunkless) {
+    std::fprintf(stderr, "bench kernel failed to compile thunklessly:\n%s\n%s\n",
+                 TheCompiler.diags().str().c_str(),
+                 Compiled ? Compiled->FallbackReason.c_str() : "");
+    std::abort();
+  }
+  return std::move(*Compiled);
+}
+
+inline CompiledUpdate mustCompileUpdate(const std::string &Source) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileUpdate(Source);
+  if (!Compiled || !Compiled->InPlace) {
+    std::fprintf(stderr, "bench update failed to compile in place:\n%s\n%s\n",
+                 TheCompiler.diags().str().c_str(),
+                 Compiled ? Compiled->FallbackReason.c_str() : "");
+    std::abort();
+  }
+  return std::move(*Compiled);
+}
+
+using KernelFn = int (*)(double *, const double *const *);
+
+/// Emits C for a compiled array, builds it with the system compiler, and
+/// returns the loaded kernel (null on any failure). Artifacts live in
+/// /tmp and the handle is process-lifetime.
+inline KernelFn buildNativeKernel(const CompiledArray &Compiled,
+                                  const std::string &FnName) {
+  CEmitResult Emitted = emitC(Compiled.Plan, FnName, Compiled.Params);
+  if (!Emitted.OK) {
+    std::fprintf(stderr, "C emission failed: %s\n", Emitted.Error.c_str());
+    return nullptr;
+  }
+  static int Counter = 0;
+  std::string Base = "/tmp/hac_bench_" + std::to_string(getpid()) + "_" +
+                     std::to_string(Counter++);
+  {
+    std::ofstream OS(Base + ".c");
+    OS << Emitted.Code;
+  }
+  std::string Cmd = "cc -O2 -shared -fPIC -o " + Base + ".so " + Base +
+                    ".c -lm > /dev/null 2>&1";
+  if (std::system(Cmd.c_str()) != 0)
+    return nullptr;
+  void *Handle = dlopen((Base + ".so").c_str(), RTLD_NOW);
+  if (!Handle)
+    return nullptr;
+  return reinterpret_cast<KernelFn>(dlsym(Handle, FnName.c_str()));
+}
+
+/// Fills an n x n grid with a smooth deterministic pattern.
+inline DoubleArray makeGrid(int64_t N) {
+  DoubleArray A(DoubleArray::Dims{{1, N}, {1, N}});
+  for (int64_t I = 1; I <= N; ++I)
+    for (int64_t J = 1; J <= N; ++J)
+      A.set({I, J}, double((I * 31 + J * 17) % 97) / 97.0);
+  return A;
+}
+
+/// Fills a 1-D vector deterministically.
+inline DoubleArray makeVector(int64_t N) {
+  DoubleArray A(DoubleArray::Dims{{1, N}});
+  for (int64_t I = 1; I <= N; ++I)
+    A.set({I}, double((I * 13) % 31) / 31.0 + 0.5);
+  return A;
+}
+
+} // namespace hacbench
+
+#endif // HAC_BENCH_BENCHCOMMON_H

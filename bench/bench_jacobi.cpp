@@ -1,0 +1,75 @@
+//===- bench/bench_jacobi.cpp - E6: Jacobi step via node splitting --------===//
+//
+// Experiment E6 (Section 9): one Jacobi relaxation step written in the
+// expressive non-single-threaded form (values read the original array).
+// Naive functional semantics: every one of the (n-2)^2 updates copies all
+// n^2 elements. Node splitting: two rolling temporaries unified into one
+// previous-row ring — one old-value save per instance, and temp *storage*
+// a factor n smaller than a full double buffer (the paper's claim).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hacbench;
+
+static void BM_JacobiThunkedCopying(benchmark::State &State) {
+  int64_t N = State.range(0);
+  std::string Source = jacobiSource(N);
+  uint64_t Copies = 0;
+  for (auto _ : State) {
+    DoubleArray A = makeGrid(N);
+    Interpreter Interp;
+    DiagnosticEngine Diags;
+    ValuePtr V = runThunked(Source, {{"a", &A}}, Interp, Diags);
+    if (V->isError())
+      State.SkipWithError(V->str().c_str());
+    benchmark::DoNotOptimize(V);
+    Copies = Interp.stats().ElemCopies;
+  }
+  State.counters["elem_copies"] = static_cast<double>(Copies);
+}
+BENCHMARK(BM_JacobiThunkedCopying)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_JacobiCompiledInPlace(benchmark::State &State) {
+  int64_t N = State.range(0);
+  CompiledUpdate Compiled = mustCompileUpdate(jacobiSource(N));
+  DoubleArray A = makeGrid(N);
+  uint64_t Saves = 0, TempBytes = 0;
+  for (auto _ : State) {
+    Executor Exec(Compiled.Params);
+    std::string Err;
+    if (!Compiled.evaluateInPlace(A, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(A.data());
+    Saves = Exec.stats().RingSaves;
+    TempBytes = Exec.stats().TempBytes;
+  }
+  State.counters["elem_copies"] = static_cast<double>(Saves);
+  State.counters["temp_bytes"] = static_cast<double>(TempBytes);
+  State.counters["buffer_bytes"] =
+      static_cast<double>(N * N * sizeof(double));
+}
+BENCHMARK(BM_JacobiCompiledInPlace)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
+/// Hand-written double-buffered Jacobi: full copy per step.
+static void BM_JacobiHandwrittenDoubleBuffer(benchmark::State &State) {
+  int64_t N = State.range(0);
+  DoubleArray A = makeGrid(N), B = makeGrid(N);
+  for (auto _ : State) {
+    for (int64_t I = 2; I < N; ++I)
+      for (int64_t J = 2; J < N; ++J)
+        B.set({I, J}, (A.at({I - 1, J}) + A.at({I + 1, J}) +
+                       A.at({I, J - 1}) + A.at({I, J + 1})) /
+                          4.0);
+    std::swap(A, B);
+    benchmark::DoNotOptimize(A.data());
+  }
+  State.counters["temp_bytes"] =
+      static_cast<double>(N * N * sizeof(double));
+}
+BENCHMARK(BM_JacobiHandwrittenDoubleBuffer)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
+BENCHMARK_MAIN();

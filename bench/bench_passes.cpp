@@ -1,0 +1,134 @@
+//===- bench/bench_passes.cpp - E11: pass scheduling ----------------------===//
+//
+// Experiment E11 (Sections 8.1.2-8.1.3): scheduling acyclic dependence
+// graphs with mixed (<) and (>) edges. The paper's baseline wraps every
+// s/v clause in its own loop pass; the ready/not-ready algorithm
+// collapses compatible clauses into shared passes. We measure the pass
+// counts and the scheduling time on layered random DAGs: fewer passes =
+// less loop overhead in the generated code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "schedule/Scheduler.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+using namespace hac;
+
+namespace {
+
+/// A layered DAG: vertices in layers, edges only forward across layers,
+/// labeled (>) with probability PGt (in percent), else alternating (<)
+/// and (=).
+std::vector<LabeledEdge> makeLayeredDag(unsigned Layers, unsigned PerLayer,
+                                        unsigned PGtPercent, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<unsigned> Percent(0, 99);
+  std::vector<LabeledEdge> Edges;
+  for (unsigned L = 0; L + 1 < Layers; ++L) {
+    for (unsigned A = 0; A != PerLayer; ++A) {
+      for (unsigned B = 0; B != PerLayer; ++B) {
+        if (Percent(Rng) >= 40)
+          continue; // sparse
+        unsigned Src = L * PerLayer + A;
+        unsigned Dst = (L + 1) * PerLayer + B;
+        Dir D = Percent(Rng) < PGtPercent
+                    ? Dir::Gt
+                    : (Percent(Rng) < 50 ? Dir::Lt : Dir::Eq);
+        Edges.push_back(LabeledEdge{Src, Dst, D});
+      }
+    }
+  }
+  return Edges;
+}
+
+} // namespace
+
+static void BM_ReadyPassSchedule(benchmark::State &State) {
+  unsigned Layers = State.range(0);
+  unsigned PerLayer = 4;
+  auto Edges = makeLayeredDag(Layers, PerLayer, /*PGtPercent=*/30,
+                              /*Seed=*/Layers);
+  unsigned N = Layers * PerLayer;
+  unsigned Passes = 0;
+  for (auto _ : State) {
+    std::vector<unsigned> Pass;
+    bool OK = readyPassSchedule(N, Edges, Pass);
+    benchmark::DoNotOptimize(Pass);
+    if (!OK) {
+      State.SkipWithError("unexpected scheduling failure");
+      return;
+    }
+    Passes = 0;
+    for (unsigned P : Pass)
+      Passes = std::max(Passes, P + 1);
+  }
+  State.counters["vertices"] = static_cast<double>(N);
+  State.counters["passes"] = static_cast<double>(Passes);
+  // The paper's naive alternative: one pass per vertex.
+  State.counters["naive_passes"] = static_cast<double>(N);
+}
+BENCHMARK(BM_ReadyPassSchedule)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_NotReadyMarking(benchmark::State &State) {
+  unsigned Layers = State.range(0);
+  unsigned PerLayer = 8;
+  auto Edges = makeLayeredDag(Layers, PerLayer, 30, Layers * 7 + 1);
+  unsigned N = Layers * PerLayer;
+  for (auto _ : State) {
+    auto Marks = markNotReady(N, Edges);
+    benchmark::DoNotOptimize(Marks);
+  }
+  State.counters["vertices"] = static_cast<double>(N);
+  State.counters["edges"] = static_cast<double>(Edges.size());
+}
+BENCHMARK(BM_NotReadyMarking)->Arg(4)->Arg(16)->Arg(64);
+
+/// All-(<) graphs collapse to a single pass regardless of size.
+static void BM_AllLtSinglePass(benchmark::State &State) {
+  unsigned N = State.range(0);
+  std::vector<LabeledEdge> Edges;
+  for (unsigned I = 0; I + 1 < N; ++I)
+    Edges.push_back(LabeledEdge{I, I + 1, Dir::Lt});
+  unsigned Passes = 0;
+  for (auto _ : State) {
+    std::vector<unsigned> Pass;
+    if (!readyPassSchedule(N, Edges, Pass)) {
+      State.SkipWithError("unexpected failure");
+      return;
+    }
+    Passes = 0;
+    for (unsigned P : Pass)
+      Passes = std::max(Passes, P + 1);
+    benchmark::DoNotOptimize(Pass);
+  }
+  State.counters["passes"] = static_cast<double>(Passes); // always 1
+}
+BENCHMARK(BM_AllLtSinglePass)->Arg(16)->Arg(256);
+
+/// Chains of (>) edges force one pass per vertex: the worst case.
+static void BM_GtChainWorstCase(benchmark::State &State) {
+  unsigned N = State.range(0);
+  std::vector<LabeledEdge> Edges;
+  for (unsigned I = 0; I + 1 < N; ++I)
+    Edges.push_back(LabeledEdge{I, I + 1, Dir::Gt});
+  unsigned Passes = 0;
+  for (auto _ : State) {
+    std::vector<unsigned> Pass;
+    if (!readyPassSchedule(N, Edges, Pass)) {
+      State.SkipWithError("unexpected failure");
+      return;
+    }
+    Passes = 0;
+    for (unsigned P : Pass)
+      Passes = std::max(Passes, P + 1);
+    benchmark::DoNotOptimize(Pass);
+  }
+  State.counters["passes"] = static_cast<double>(Passes); // == N
+}
+BENCHMARK(BM_GtChainWorstCase)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+//===- bench/bench_sec5.cpp - E2/E3: the Section 5 example kernels --------===//
+//
+// Experiments E2 and E3: the two dependence-graph examples of Section 5.
+// E2 is the stride-3 single-loop kernel (schedule: one forward pass with
+// clause reordering); E3 is the nested kernel whose inner loop must run
+// backward. Both compare thunked vs compiled execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hacbench;
+
+static void BM_Sec5Ex1Thunked(benchmark::State &State) {
+  int64_t K = State.range(0);
+  std::string Source = sec5Ex1Source(K);
+  for (auto _ : State) {
+    Interpreter Interp;
+    DiagnosticEngine Diags;
+    ValuePtr V = runThunked(Source, {}, Interp, Diags);
+    if (V->isError())
+      State.SkipWithError(V->str().c_str());
+    benchmark::DoNotOptimize(V);
+  }
+  State.counters["elems"] = static_cast<double>(3 * K);
+}
+BENCHMARK(BM_Sec5Ex1Thunked)->Arg(100)->Arg(1000)->Arg(10000);
+
+static void BM_Sec5Ex1Compiled(benchmark::State &State) {
+  int64_t K = State.range(0);
+  CompiledArray Compiled = mustCompile(sec5Ex1Source(K));
+  for (auto _ : State) {
+    Executor Exec(Compiled.Params);
+    DoubleArray Out;
+    std::string Err;
+    if (!Compiled.evaluate(Out, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.counters["elems"] = static_cast<double>(3 * K);
+  State.counters["passes"] = Compiled.Sched.PassCount;
+}
+BENCHMARK(BM_Sec5Ex1Compiled)->Arg(100)->Arg(1000)->Arg(10000);
+
+static void BM_Sec5Ex2Thunked(benchmark::State &State) {
+  int64_t N = State.range(0);
+  std::string Source = sec5Ex2Source(N);
+  for (auto _ : State) {
+    Interpreter Interp;
+    DiagnosticEngine Diags;
+    ValuePtr V = runThunked(Source, {}, Interp, Diags);
+    if (V->isError())
+      State.SkipWithError(V->str().c_str());
+    benchmark::DoNotOptimize(V);
+  }
+  State.counters["elems"] = static_cast<double>(N * N);
+}
+BENCHMARK(BM_Sec5Ex2Thunked)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_Sec5Ex2Compiled(benchmark::State &State) {
+  int64_t N = State.range(0);
+  CompiledArray Compiled = mustCompile(sec5Ex2Source(N));
+  for (auto _ : State) {
+    Executor Exec(Compiled.Params);
+    DoubleArray Out;
+    std::string Err;
+    if (!Compiled.evaluate(Out, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.counters["elems"] = static_cast<double>(N * N);
+}
+BENCHMARK(BM_Sec5Ex2Compiled)->Arg(16)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

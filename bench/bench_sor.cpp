@@ -1,0 +1,74 @@
+//===- bench/bench_sor.cpp - E7: SOR / Livermore 23 wavefront -------------===//
+//
+// Experiment E7 (Section 9, Livermore Loops Kernel 23 structure): a
+// Gauss-Seidel sweep whose true and antidependences all agree on forward
+// loop directions. The result overwrites the old grid *in place with zero
+// copying* — no ring buffers, no snapshots — while the naive functional
+// semantics rebuild (and the thunked path boxes) the whole grid.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hacbench;
+
+static void BM_SorThunked(benchmark::State &State) {
+  int64_t N = State.range(0);
+  std::string Source = sorSource(N);
+  uint64_t Thunks = 0;
+  for (auto _ : State) {
+    DoubleArray B = makeGrid(N);
+    Interpreter Interp;
+    DiagnosticEngine Diags;
+    ValuePtr V = runThunked(Source, {{"b", &B}}, Interp, Diags);
+    if (V->isError())
+      State.SkipWithError(V->str().c_str());
+    benchmark::DoNotOptimize(V);
+    Thunks = Interp.stats().ThunksCreated;
+  }
+  State.counters["thunks"] = static_cast<double>(Thunks);
+}
+BENCHMARK(BM_SorThunked)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_SorCompiledInPlace(benchmark::State &State) {
+  int64_t N = State.range(0);
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArrayInPlace(sorSource(N), "b");
+  if (!Compiled || !Compiled->Thunkless) {
+    State.SkipWithError("SOR failed to compile in place");
+    return;
+  }
+  DoubleArray Grid = makeGrid(N);
+  uint64_t Copies = 0;
+  for (auto _ : State) {
+    Executor Exec(Compiled->Params);
+    std::string Err;
+    if (!Compiled->evaluateInPlace(Grid, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Grid.data());
+    Copies = Exec.stats().RingSaves + Exec.stats().SnapshotCopies;
+  }
+  State.counters["elem_copies"] = static_cast<double>(Copies); // zero
+  State.counters["splits"] =
+      static_cast<double>(Compiled->InPlaceSched.Splits.size());
+}
+BENCHMARK(BM_SorCompiledInPlace)->Arg(16)->Arg(32)->Arg(64)->Arg(256);
+
+static void BM_SorHandwritten(benchmark::State &State) {
+  int64_t N = State.range(0);
+  DoubleArray A = makeGrid(N);
+  for (auto _ : State) {
+    for (int64_t I = 2; I < N; ++I)
+      for (int64_t J = 2; J < N; ++J)
+        A.set({I, J}, (A.at({I - 1, J}) + A.at({I, J - 1}) +
+                       A.at({I + 1, J}) + A.at({I, J + 1})) /
+                          4.0);
+    benchmark::DoNotOptimize(A.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SorHandwritten)->Arg(16)->Arg(32)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+//===- bench/bench_suite_table.cpp - E12: the summary table ---------------===//
+//
+// Experiment E12: the kernel-suite summary matrix — for every kernel the
+// paper discusses, which optimizations the analyses enabled. This is the
+// "Table 1" a quantitative version of the paper would have shown:
+//
+//   kernel | thunkless? | collisions | empties | bounds | in-place | copies
+//
+// Not a timing benchmark; it prints the table and exits (so it composes
+// with `for b in build/bench/*; do $b; done`).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace hacbench;
+
+namespace {
+
+void arrayRow(const char *Name, const std::string &Source) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(Source);
+  if (!Compiled) {
+    std::printf("%-22s | compile error\n", Name);
+    return;
+  }
+  if (!Compiled->Thunkless) {
+    std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | %s\n", Name,
+                "thunked", "-", "-", "-", "-",
+                Compiled->FallbackReason.c_str());
+    return;
+  }
+  std::printf(
+      "%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | passes=%u vec=%u/%zu\n",
+      Name, "thunkless",
+      checkOutcomeName(Compiled->Collisions.NoCollisions),
+      checkOutcomeName(Compiled->Coverage.NoEmpties),
+      checkOutcomeName(Compiled->Coverage.InBounds),
+      Compiled->ReuseName.empty() ? "n/a" : "yes",
+      Compiled->Sched.PassCount, Compiled->Vectorization.numVectorizable(),
+      Compiled->Vectorization.InnerLoops.size());
+}
+
+void updateRow(const char *Name, const std::string &Source) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileUpdate(Source);
+  if (!Compiled) {
+    std::printf("%-22s | compile error\n", Name);
+    return;
+  }
+  if (!Compiled->InPlace) {
+    std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | %s\n", Name,
+                "copying", "-", "-", "-", "no",
+                Compiled->FallbackReason.c_str());
+    return;
+  }
+  std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | splits=%zu "
+              "copies=%lld vec=%u/%zu\n",
+              Name, "thunkless", "n/a", "n/a", "n/a", "yes",
+              Compiled->Update.Splits.size(),
+              (long long)Compiled->Update.splitCopyCost(),
+              Compiled->Vectorization.numVectorizable(),
+              Compiled->Vectorization.InnerLoops.size());
+}
+
+void inPlaceArrayRow(const char *Name, const std::string &Source,
+                     const std::string &Reuse) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArrayInPlace(Source, Reuse);
+  if (!Compiled || !Compiled->Thunkless) {
+    std::printf("%-22s | in-place reuse failed: %s\n", Name,
+                Compiled ? Compiled->FallbackReason.c_str() : "error");
+    return;
+  }
+  std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | splits=%zu "
+              "copies=%lld vec=%u/%zu\n",
+              Name, "thunkless",
+              checkOutcomeName(Compiled->Collisions.NoCollisions),
+              checkOutcomeName(Compiled->Coverage.NoEmpties),
+              checkOutcomeName(Compiled->Coverage.InBounds), "yes",
+              Compiled->InPlaceSched.Splits.size(),
+              (long long)Compiled->InPlaceSched.splitCopyCost(),
+              Compiled->Vectorization.numVectorizable(),
+              Compiled->Vectorization.InnerLoops.size());
+}
+
+void accumRow(const char *Name, const std::string &Source) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileAccum(Source);
+  if (!Compiled) {
+    std::printf("%-22s | compile error\n", Name);
+    return;
+  }
+  if (!Compiled->Thunkless) {
+    std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | %s\n", Name,
+                "thunked", "-", "-", "-", "-",
+                Compiled->FallbackReason.c_str());
+    return;
+  }
+  std::printf(
+      "%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | passes=%u vec=%u/%zu\n",
+      Name, "thunkless",
+      checkOutcomeName(Compiled->Collisions.NoCollisions), "init-fill",
+      checkOutcomeName(Compiled->Coverage.InBounds), "n/a",
+      Compiled->Sched.PassCount, Compiled->Vectorization.numVectorizable(),
+      Compiled->Vectorization.InnerLoops.size());
+}
+
+} // namespace
+
+int main() {
+  std::printf("E12: analysis outcome matrix for the paper's kernel suite "
+              "(n = 64)\n\n");
+  std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | notes\n",
+              "kernel", "exec", "collisions", "empties", "bounds",
+              "in-place");
+  std::printf("%-22s-+-%-9s-+-%-10s-+-%-8s-+-%-8s-+-%-8s-+------\n",
+              "----------------------", "---------", "----------",
+              "--------", "--------", "--------");
+
+  arrayRow("squares", "let n = 64 in letrec* a = array (1,n) "
+                      "[ i := 1.0 * i * i | i <- [1..n] ] in a");
+  arrayRow("wavefront", wavefrontSource(64));
+  arrayRow("sec5-ex1 (stride 3)", sec5Ex1Source(64));
+  arrayRow("sec5-ex2 (backward)", sec5Ex2Source(64));
+  arrayRow("fibonacci",
+           "let n = 64 in letrec* a = array (1,n) ([ 1 := 1.0, 2 := 1.0 ] "
+           "++ [ i := a!(i-1) + a!(i-2) | i <- [3..n] ]) in a");
+  arrayRow("mixed-cycle",
+           "let n = 64 in letrec* a = array (1,n) ([ 1 := 1.0, n := 1.0 ] "
+           "++ [ i := a!(i-1) + a!(i+1) | i <- [2..n-1] ]) in a");
+  arrayRow("guarded-partition", guardedPartitionSource(64));
+  updateRow("rowswap (LINPACK)", rowSwapSource(64));
+  updateRow("jacobi step", jacobiSource(64));
+  updateRow("scale row (LINPACK)",
+            "let n = 64 in bigupd a [ i := a!i * 3.0 | i <- [1..n] ]");
+  updateRow("saxpy in place",
+            "let n = 64 in bigupd y [ i := y!i + 2.0 * x!i | i <- [1..n] ]");
+  updateRow("reverse in place",
+            "let n = 64 in bigupd a [ i := a!(n+1-i) | i <- [1..n] ]");
+  accumRow("accum (1 pair/elem)",
+           "let n = 64 in letrec* h = accumArray (\\a v . a + v) 0.0 "
+           "(1,n) [ i := 1.0 * i | i <- [1..n] ] in h");
+  accumRow("histogram (collides)",
+           "let n = 64 in letrec* h = accumArray (\\a v . a + v) 0 (1,8) "
+           "[ i % 8 + 1 := 1 | i <- [1..n] ] in h");
+  inPlaceArrayRow("sor / livermore-23", sorSource(64), "b");
+  return 0;
+}

@@ -1,0 +1,191 @@
+//===- examples/hacc.cpp - The hac compiler driver ------------------------===//
+//
+// A batch compiler: reads an array-comprehension program from a file (or
+// stdin), runs the full pipeline, and either prints the analysis report,
+// executes the program, or emits a C translation unit.
+//
+// Usage:
+//   hacc FILE            analyze + run, print result corners and stats
+//   hacc -report FILE    print the analysis report only
+//   hacc -emit-c FILE    emit the generated C kernel to stdout
+//   hacc -u ... FILE     treat the program as a bigupd update
+//   hacc -accum ... FILE treat the program as an accumArray construction
+//
+// FILE may be "-" for stdin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "core/Compiler.h"
+#include "core/InterpBridge.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace hac;
+
+namespace {
+
+std::string readAll(const std::string &Path) {
+  if (Path == "-") {
+    std::ostringstream OS;
+    OS << std::cin.rdbuf();
+    return OS.str();
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "hacc: cannot open '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+int runArray(const std::string &Source, bool ReportOnly, bool EmitCOnly,
+             bool Accum) {
+  Compiler TheCompiler;
+  auto Compiled = Accum ? TheCompiler.compileAccum(Source)
+                        : TheCompiler.compileArray(Source);
+  if (!Compiled) {
+    std::fprintf(stderr, "%s", TheCompiler.diags().str().c_str());
+    return 1;
+  }
+  if (EmitCOnly) {
+    if (!Compiled->Thunkless) {
+      std::fprintf(stderr, "hacc: cannot emit C: %s\n",
+                   Compiled->FallbackReason.c_str());
+      return 1;
+    }
+    CEmitResult Emitted = emitC(Compiled->Plan, "hac_kernel",
+                                Compiled->Params);
+    if (!Emitted.OK) {
+      std::fprintf(stderr, "hacc: C emission failed: %s\n",
+                   Emitted.Error.c_str());
+      return 1;
+    }
+    std::fputs(Emitted.Code.c_str(), stdout);
+    if (!Emitted.InputNames.empty()) {
+      std::fprintf(stdout, "/* inputs (in order):");
+      for (const std::string &Name : Emitted.InputNames)
+        std::fprintf(stdout, " %s", Name.c_str());
+      std::fprintf(stdout, " */\n");
+    }
+    return 0;
+  }
+
+  std::printf("%s\n", Compiled->report().c_str());
+  if (ReportOnly)
+    return 0;
+  if (!Compiled->Thunkless) {
+    // Fall back to the lazy reference interpreter, as a real compiler
+    // for this language would.
+    std::printf("falling back to thunked evaluation...\n");
+    Interpreter Interp;
+    Interp.setFuel(500'000'000);
+    DiagnosticEngine Diags;
+    ValuePtr V = runThunked(Source, {}, Interp, Diags);
+    if (V->isError()) {
+      std::fprintf(stderr, "hacc: %s\n", V->str().c_str());
+      return 1;
+    }
+    std::string ConvErr;
+    auto Ref = interpArrayToDouble(Interp, V, ConvErr);
+    if (!Ref) {
+      std::fprintf(stderr, "hacc: %s\n", ConvErr.c_str());
+      return 1;
+    }
+    std::printf("result: %zu elements; first = %g, last = %g\n",
+                Ref->size(), Ref->size() ? (*Ref)[0] : 0.0,
+                Ref->size() ? (*Ref)[Ref->size() - 1] : 0.0);
+    std::printf("stats: thunks=%llu forced=%llu cons-cells=%llu\n",
+                (unsigned long long)Interp.stats().ThunksCreated,
+                (unsigned long long)Interp.stats().ThunksForced,
+                (unsigned long long)Interp.stats().ConsCells);
+    return 0;
+  }
+
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  if (!Compiled->evaluate(Out, Exec, Err)) {
+    std::fprintf(stderr, "hacc: runtime error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("result: %zu elements; first = %g, last = %g\n", Out.size(),
+              Out.size() ? Out[0] : 0.0,
+              Out.size() ? Out[Out.size() - 1] : 0.0);
+  std::printf("stats: stores=%llu loads=%llu checks=%llu fused=%llu\n",
+              (unsigned long long)Exec.stats().Stores,
+              (unsigned long long)Exec.stats().Loads,
+              (unsigned long long)(Exec.stats().BoundsChecks +
+                                   Exec.stats().CollisionChecks),
+              (unsigned long long)Exec.stats().FusedIters);
+  return 0;
+}
+
+int runUpdate(const std::string &Source, bool ReportOnly, bool EmitCOnly) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileUpdate(Source);
+  if (!Compiled) {
+    std::fprintf(stderr, "%s", TheCompiler.diags().str().c_str());
+    return 1;
+  }
+  if (EmitCOnly) {
+    if (!Compiled->InPlace) {
+      std::fprintf(stderr, "hacc: cannot emit C: %s\n",
+                   Compiled->FallbackReason.c_str());
+      return 1;
+    }
+    if (Compiled->Plan.Dims.empty()) {
+      std::fprintf(stderr,
+                   "hacc: update kernels need the target array's shape; "
+                   "use the library API (emitC with explicit dims)\n");
+      return 1;
+    }
+    CEmitResult Emitted =
+        emitC(Compiled->Plan, "hac_kernel", Compiled->Params);
+    if (!Emitted.OK) {
+      std::fprintf(stderr, "hacc: C emission failed: %s\n",
+                   Emitted.Error.c_str());
+      return 1;
+    }
+    std::fputs(Emitted.Code.c_str(), stdout);
+    return 0;
+  }
+  std::printf("%s\n", Compiled->report().c_str());
+  (void)ReportOnly;
+  return Compiled->InPlace ? 0 : 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool ReportOnly = false, EmitCOnly = false, Update = false, Accum = false;
+  std::string Path;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-report") == 0)
+      ReportOnly = true;
+    else if (std::strcmp(Argv[I], "-emit-c") == 0)
+      EmitCOnly = true;
+    else if (std::strcmp(Argv[I], "-u") == 0)
+      Update = true;
+    else if (std::strcmp(Argv[I], "-accum") == 0)
+      Accum = true;
+    else
+      Path = Argv[I];
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr,
+                 "usage: hacc [-report | -emit-c] [-u | -accum] FILE\n");
+    return 1;
+  }
+  std::string Source = readAll(Path);
+  if (Update)
+    return runUpdate(Source, ReportOnly, EmitCOnly);
+  return runArray(Source, ReportOnly, EmitCOnly, Accum);
+}

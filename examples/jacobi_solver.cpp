@@ -1,0 +1,88 @@
+//===- examples/jacobi_solver.cpp - Iterative Jacobi via bigupd -----------===//
+//
+// Solves the Laplace equation on a 2-D grid with fixed boundary values by
+// repeated Jacobi relaxation steps, expressed as `bigupd` updates in the
+// paper's "most mathematically expressive form": new values refer to the
+// *original* array. That form is not single-threaded, so a naive
+// implementation copies the whole array per functional update; Section 9's
+// antidependence analysis + node splitting turn it into an in-place sweep
+// whose only extra storage is one previous-row ring buffer.
+//
+// Build & run:  ./build/examples/jacobi_solver [n] [iters]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace hac;
+
+int main(int Argc, char **Argv) {
+  int64_t N = Argc > 1 ? std::atoll(Argv[1]) : 48;
+  int Iters = Argc > 2 ? std::atoi(Argv[2]) : 200;
+
+  // One Jacobi relaxation step over the interior. In the paper's notation
+  // this is a semi-monolithic update of a large section of the array.
+  std::string Source =
+      "let n = " + std::to_string(N) +
+      " in "
+      "bigupd a [ (i,j) := (a!(i-1,j) + a!(i+1,j) + a!(i,j-1) + "
+      "a!(i,j+1)) / 4.0 | i <- [2..n-1], j <- [2..n-1] ]";
+
+  Compiler TheCompiler;
+  auto Step = TheCompiler.compileUpdate(Source);
+  if (!Step) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 TheCompiler.diags().str().c_str());
+    return 1;
+  }
+  std::printf("%s\n", Step->report().c_str());
+  if (!Step->InPlace) {
+    std::fprintf(stderr, "expected an in-place schedule: %s\n",
+                 Step->FallbackReason.c_str());
+    return 1;
+  }
+
+  // Grid: boundary fixed at 100 on the top edge, 0 elsewhere.
+  DoubleArray Grid(DoubleArray::Dims{{1, N}, {1, N}});
+  for (int64_t J = 1; J <= N; ++J)
+    Grid.set({1, J}, 100.0);
+
+  Executor Exec(Step->Params);
+  std::string Err;
+  for (int Iter = 0; Iter != Iters; ++Iter) {
+    if (!Step->evaluateInPlace(Grid, Exec, Err)) {
+      std::fprintf(stderr, "runtime error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  // Residual of the final grid (interior only).
+  double Residual = 0;
+  for (int64_t I = 2; I < N; ++I)
+    for (int64_t J = 2; J < N; ++J) {
+      double R = Grid.at({I, J}) -
+                 (Grid.at({I - 1, J}) + Grid.at({I + 1, J}) +
+                  Grid.at({I, J - 1}) + Grid.at({I, J + 1})) /
+                     4.0;
+      Residual += R * R;
+    }
+  Residual = std::sqrt(Residual);
+
+  std::printf("after %d sweeps on a %lldx%lld grid:\n", Iters,
+              (long long)N, (long long)N);
+  std::printf("  center value      = %.4f\n", Grid.at({N / 2, N / 2}));
+  std::printf("  residual ||r||    = %.3e\n", Residual);
+  std::printf("  ring saves        = %llu (one per interior instance "
+              "per sweep)\n",
+              (unsigned long long)Exec.stats().RingSaves);
+  std::printf("  temp storage      = %llu bytes (previous-row ring; a "
+              "full double buffer would need %zu bytes)\n",
+              (unsigned long long)Exec.stats().TempBytes,
+              Grid.size() * sizeof(double));
+  return 0;
+}

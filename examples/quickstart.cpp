@@ -1,0 +1,89 @@
+//===- examples/quickstart.cpp - First steps with the hac pipeline --------===//
+//
+// Compiles the paper's flagship example — the Section 3 wavefront
+// recurrence — through the full pipeline, prints the analysis report, and
+// contrasts the thunkless execution with the naive thunked interpreter.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/InterpBridge.h"
+
+#include <cstdio>
+
+using namespace hac;
+
+int main() {
+  // The program, exactly as Section 3 writes it: a letrec*-bound
+  // non-strict monolithic array with a wavefront recurrence. The order of
+  // the subscript/value pairs is semantically irrelevant — the compiler
+  // finds the safe evaluation order itself.
+  const char *Source =
+      "let n = 32 in "
+      "letrec* a = array ((1,1),(n,n)) "
+      "  ([ (1,j) := 1.0 | j <- [1..n] ] ++ "
+      "   [ (i,1) := 1.0 | i <- [2..n] ] ++ "
+      "   [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1) "
+      "     | i <- [2..n], j <- [2..n] ]) "
+      "in a";
+
+  std::printf("source:\n%s\n\n", Source);
+
+  // --- Compile: parse -> clause tree -> subscript analysis -> schedule.
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(Source);
+  if (!Compiled) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 TheCompiler.diags().str().c_str());
+    return 1;
+  }
+  std::printf("%s\n", Compiled->report().c_str());
+
+  if (!Compiled->Thunkless) {
+    std::fprintf(stderr, "unexpected fallback: %s\n",
+                 Compiled->FallbackReason.c_str());
+    return 1;
+  }
+
+  // --- Run thunklessly: direct stores into a flat double array.
+  Executor Exec(Compiled->Params);
+  DoubleArray A;
+  std::string Err;
+  if (!Compiled->evaluate(A, Exec, Err)) {
+    std::fprintf(stderr, "runtime error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("compiled result:  a!(8,8) = %.0f   a!(12,12) = %.0f\n",
+              A.at({8, 8}), A.at({12, 12}));
+  std::printf("compiled costs:   stores=%llu loads=%llu checks=%llu "
+              "(all checks statically eliminated)\n",
+              (unsigned long long)Exec.stats().Stores,
+              (unsigned long long)Exec.stats().Loads,
+              (unsigned long long)(Exec.stats().BoundsChecks +
+                                   Exec.stats().CollisionChecks));
+
+  // --- Compare with the naive implementation: the lazy interpreter with
+  // one thunk per element and real intermediate lists.
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked(Source, {}, Interp, Diags);
+  if (V->isError()) {
+    std::fprintf(stderr, "interpreter error: %s\n", V->str().c_str());
+    return 1;
+  }
+  std::string ConvErr;
+  auto Ref = interpArrayToDouble(Interp, V, ConvErr);
+  if (!Ref) {
+    std::fprintf(stderr, "conversion error: %s\n", ConvErr.c_str());
+    return 1;
+  }
+  std::printf("thunked costs:    thunks=%llu forced=%llu cons-cells=%llu\n",
+              (unsigned long long)Interp.stats().ThunksCreated,
+              (unsigned long long)Interp.stats().ThunksForced,
+              (unsigned long long)Interp.stats().ConsCells);
+  std::printf("agreement:        max |diff| = %g\n",
+              DoubleArray::maxAbsDiff(*Ref, A));
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- examples/sor_wavefront.cpp - Gauss-Seidel / SOR in place -----------===//
+//
+// The paper's final Section 9 example: a Gauss-Seidel / SOR step with the
+// northwest-to-southeast wavefront structure of Livermore Loops Kernel 23.
+//
+// The step is written in the *monolithic* style: the new grid `a` reads
+// its own new west/north values (true dependences delta(<,=), delta(=,<))
+// and the old grid `b`'s east/south values. Because the result completely
+// replaces the input, we ask the compiler to *overwrite b's storage in
+// place* — which adds antidependences delta-bar(<,=), delta-bar(=,<) on
+// the b reads. All four edge families agree on forward loop directions,
+// so the sweep runs in place with zero copying and no thunks, exactly as
+// the paper claims.
+//
+// Build & run:  ./build/examples/sor_wavefront [n] [iters]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace hac;
+
+int main(int Argc, char **Argv) {
+  int64_t N = Argc > 1 ? std::atoll(Argv[1]) : 48;
+  int Iters = Argc > 2 ? std::atoi(Argv[2]) : 100;
+  const char *Omega = "1.5"; // over-relaxation factor
+
+  // One SOR sweep: a reads new a-values to the west/north and old
+  // b-values to the east/south; the borders carry over unchanged.
+  std::string Source =
+      "let n = " + std::to_string(N) + " in "
+      "letrec* a = array ((1,1),(n,n)) "
+      "  ([ (1,j) := b!(1,j) | j <- [1..n] ] ++ "
+      "   [ (n,j) := b!(n,j) | j <- [1..n] ] ++ "
+      "   [ (i,1) := b!(i,1) | i <- [2..n-1] ] ++ "
+      "   [ (i,n) := b!(i,n) | i <- [2..n-1] ] ++ "
+      "   [ (i,j) := (1.0 - " + std::string(Omega) + ") * b!(i,j) + " +
+      Omega +
+      " * ((a!(i-1,j) + a!(i,j-1) + b!(i+1,j) + b!(i,j+1)) / 4.0) "
+      "     | i <- [2..n-1], j <- [2..n-1] ]) "
+      "in a";
+
+  Compiler TheCompiler;
+  auto Sweep = TheCompiler.compileArrayInPlace(Source, "b");
+  if (!Sweep) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 TheCompiler.diags().str().c_str());
+    return 1;
+  }
+  std::printf("%s\n", Sweep->report().c_str());
+  if (!Sweep->Thunkless) {
+    std::fprintf(stderr, "expected an in-place schedule: %s\n",
+                 Sweep->FallbackReason.c_str());
+    return 1;
+  }
+  std::printf("node splits: %zu (the wavefront needs none)\n\n",
+              Sweep->InPlaceSched.Splits.size());
+
+  DoubleArray Grid(DoubleArray::Dims{{1, N}, {1, N}});
+  for (int64_t J = 1; J <= N; ++J)
+    Grid.set({1, J}, 100.0);
+
+  Executor Exec(Sweep->Params);
+  std::string Err;
+  for (int Iter = 0; Iter != Iters; ++Iter) {
+    if (!Sweep->evaluateInPlace(Grid, Exec, Err)) {
+      std::fprintf(stderr, "runtime error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  double Residual = 0;
+  for (int64_t I = 2; I < N; ++I)
+    for (int64_t J = 2; J < N; ++J) {
+      double R = (Grid.at({I - 1, J}) + Grid.at({I + 1, J}) +
+                  Grid.at({I, J - 1}) + Grid.at({I, J + 1})) /
+                     4.0 -
+                 Grid.at({I, J});
+      Residual += R * R;
+    }
+  Residual = std::sqrt(Residual);
+
+  std::printf("after %d SOR sweeps (omega=%s) on a %lldx%lld grid:\n",
+              Iters, Omega, (long long)N, (long long)N);
+  std::printf("  center value   = %.4f\n", Grid.at({N / 2, N / 2}));
+  std::printf("  residual ||r|| = %.3e\n", Residual);
+  std::printf("  extra copies   = %llu ring saves + %llu snapshot copies "
+              "(true in-place wavefront)\n",
+              (unsigned long long)Exec.stats().RingSaves,
+              (unsigned long long)Exec.stats().SnapshotCopies);
+  return 0;
+}

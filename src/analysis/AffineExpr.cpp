@@ -1,0 +1,172 @@
+//===- analysis/AffineExpr.cpp - Linear subscript forms -------------------===//
+
+#include "analysis/AffineExpr.h"
+
+#include "support/Casting.h"
+#include "support/IntMath.h"
+
+#include <sstream>
+
+using namespace hac;
+
+int64_t AffineForm::minValue() const {
+  int64_t Min = Const;
+  for (const auto &[Loop, C] : Coeffs) {
+    if (C == 0)
+      continue;
+    int64_t M = Loop->bounds().tripCount();
+    if (M <= 0)
+      continue; // empty loop: no instances; treat as contributing nothing
+    // Over i' in [1..M]: min of C*i' is C*1 for C>0, C*M for C<0.
+    Min = satAdd(Min, C > 0 ? C : satMul(C, M));
+  }
+  return Min;
+}
+
+int64_t AffineForm::maxValue() const {
+  int64_t Max = Const;
+  for (const auto &[Loop, C] : Coeffs) {
+    if (C == 0)
+      continue;
+    int64_t M = Loop->bounds().tripCount();
+    if (M <= 0)
+      continue;
+    Max = satAdd(Max, C > 0 ? satMul(C, M) : C);
+  }
+  return Max;
+}
+
+std::string AffineForm::str() const {
+  std::ostringstream OS;
+  OS << Const;
+  for (const auto &[Loop, C] : Coeffs) {
+    if (C == 0)
+      continue;
+    if (C > 0)
+      OS << " + " << C;
+    else
+      OS << " - " << -C;
+    OS << "*" << Loop->var() << "'";
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Recursive extraction over the *original* loop variables; normalization
+/// happens afterwards. Coefficients are keyed by LoopNode.
+std::optional<AffineForm>
+extractRaw(const Expr *E, const std::vector<const LoopNode *> &Loops,
+           const ParamEnv &Params) {
+  switch (E->kind()) {
+  case ExprKind::IntLit: {
+    AffineForm F;
+    F.Const = cast<IntLitExpr>(E)->value();
+    return F;
+  }
+  case ExprKind::Var: {
+    const std::string &Name = cast<VarExpr>(E)->name();
+    // Innermost loop with this variable name shadows outer ones.
+    for (auto It = Loops.rbegin(); It != Loops.rend(); ++It) {
+      if ((*It)->var() == Name) {
+        AffineForm F;
+        F.Coeffs[*It] = 1;
+        return F;
+      }
+    }
+    auto It = Params.find(Name);
+    if (It == Params.end())
+      return std::nullopt;
+    AffineForm F;
+    F.Const = It->second;
+    return F;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() != UnaryOpKind::Neg)
+      return std::nullopt;
+    auto F = extractRaw(U->operand(), Loops, Params);
+    if (!F)
+      return std::nullopt;
+    F->Const = -F->Const;
+    for (auto &[Loop, C] : F->Coeffs)
+      C = -C;
+    return F;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = extractRaw(B->lhs(), Loops, Params);
+    auto R = extractRaw(B->rhs(), Loops, Params);
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->op()) {
+    case BinaryOpKind::Add: {
+      L->Const += R->Const;
+      for (const auto &[Loop, C] : R->Coeffs)
+        L->Coeffs[Loop] += C;
+      return L;
+    }
+    case BinaryOpKind::Sub: {
+      L->Const -= R->Const;
+      for (const auto &[Loop, C] : R->Coeffs)
+        L->Coeffs[Loop] -= C;
+      return L;
+    }
+    case BinaryOpKind::Mul: {
+      // One side must be constant for linearity.
+      const AffineForm *K = nullptr, *V = nullptr;
+      if (L->isConstant()) {
+        K = &*L;
+        V = &*R;
+      } else if (R->isConstant()) {
+        K = &*R;
+        V = &*L;
+      } else {
+        return std::nullopt;
+      }
+      AffineForm F;
+      F.Const = K->Const * V->Const;
+      for (const auto &[Loop, C] : V->Coeffs)
+        F.Coeffs[Loop] = K->Const * C;
+      return F;
+    }
+    case BinaryOpKind::Div: {
+      // Constant / constant folds; anything else is non-linear.
+      if (L->isConstant() && R->isConstant() && R->Const != 0 &&
+          L->Const % R->Const == 0) {
+        AffineForm F;
+        F.Const = L->Const / R->Const;
+        return F;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+std::optional<AffineForm>
+hac::extractAffine(const Expr *E, const std::vector<const LoopNode *> &Loops,
+                   const ParamEnv &Params) {
+  auto Raw = extractRaw(E, Loops, Params);
+  if (!Raw)
+    return std::nullopt;
+  // Normalize: substitute i = Lo + (i' - 1) * Step for each loop, so the
+  // normalized index i' ranges over [1 .. tripCount] with step 1.
+  AffineForm Norm;
+  Norm.Const = Raw->Const;
+  for (const auto &[Loop, C] : Raw->Coeffs) {
+    if (C == 0)
+      continue;
+    const LoopBounds &B = Loop->bounds();
+    Norm.Coeffs[Loop] = C * B.Step;
+    Norm.Const += C * (B.Lo - B.Step);
+  }
+  return Norm;
+}

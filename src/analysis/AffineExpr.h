@@ -1,0 +1,81 @@
+//===- analysis/AffineExpr.h - Linear subscript forms -----------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine (linear) forms of subscript expressions over loop indices:
+/// f x1 ... xd = a0 + sum_k a_k * x_k (Section 6). Extraction folds
+/// compile-time parameters into the constant term and *normalizes* each
+/// loop to [1..M] with step 1 by the substitution i = Lo + (i' - 1) * Step
+/// — the paper's normalized-loop assumption ([21]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_ANALYSIS_AFFINEEXPR_H
+#define HAC_ANALYSIS_AFFINEEXPR_H
+
+#include "comp/CompNest.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hac {
+
+/// An affine form a0 + sum_k a_k * i_k where each i_k is the *normalized*
+/// index of a LoopNode, ranging over [1 .. tripCount].
+struct AffineForm {
+  int64_t Const = 0;
+  std::map<const LoopNode *, int64_t> Coeffs;
+
+  /// Coefficient for \p Loop (0 when absent).
+  int64_t coeff(const LoopNode *Loop) const {
+    auto It = Coeffs.find(Loop);
+    return It == Coeffs.end() ? 0 : It->second;
+  }
+
+  bool isConstant() const {
+    for (const auto &[Loop, C] : Coeffs)
+      if (C != 0)
+        return false;
+    return true;
+  }
+
+  /// Minimum value over the full iteration region of every referenced loop
+  /// (saturating).
+  int64_t minValue() const;
+  /// Maximum value over the full iteration region (saturating).
+  int64_t maxValue() const;
+
+  /// Renders as e.g. "3 + 2*i1 - j0" using loop variable names.
+  std::string str() const;
+
+  bool operator==(const AffineForm &RHS) const {
+    if (Const != RHS.Const)
+      return false;
+    // Compare treating missing coefficients as zero.
+    for (const auto &[Loop, C] : Coeffs)
+      if (C != RHS.coeff(Loop))
+        return false;
+    for (const auto &[Loop, C] : RHS.Coeffs)
+      if (C != coeff(Loop))
+        return false;
+    return true;
+  }
+};
+
+/// Extracts the normalized affine form of \p E, where loop variables are
+/// resolved against \p Loops (outermost first; inner shadows outer) and
+/// any other free variable must be a compile-time parameter in \p Params.
+/// Returns nullopt for non-linear expressions (products of indices,
+/// division, array references, ...).
+std::optional<AffineForm>
+extractAffine(const Expr *E, const std::vector<const LoopNode *> &Loops,
+              const ParamEnv &Params);
+
+} // namespace hac
+
+#endif // HAC_ANALYSIS_AFFINEEXPR_H

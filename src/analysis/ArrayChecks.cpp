@@ -1,0 +1,232 @@
+//===- analysis/ArrayChecks.cpp - Collision / empties / bounds ------------===//
+
+#include "analysis/ArrayChecks.h"
+
+#include "analysis/AffineExpr.h"
+#include "support/IntMath.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace hac;
+
+const char *hac::checkOutcomeName(CheckOutcome O) {
+  switch (O) {
+  case CheckOutcome::Proven:
+    return "proven";
+  case CheckOutcome::Unknown:
+    return "unknown";
+  case CheckOutcome::Disproven:
+    return "disproven";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Extracts a clause's write subscript as affine forms; false on failure.
+bool writeSubscript(const ClauseNode *Clause, const ParamEnv &Params,
+                    std::vector<AffineForm> &Out) {
+  for (unsigned D = 0; D != Clause->rank(); ++D) {
+    auto F = extractAffine(Clause->subscript(D), Clause->loops(), Params);
+    if (!F)
+      return false;
+    Out.push_back(*F);
+  }
+  return true;
+}
+
+bool allEq(const DirVector &Dirs) {
+  return std::all_of(Dirs.begin(), Dirs.end(),
+                     [](Dir D) { return D == Dir::Eq; });
+}
+
+/// True when any surrounding loop of \p Clause has no iterations.
+bool clauseHasInstances(const ClauseNode *Clause) {
+  for (const LoopNode *L : Clause->loops())
+    if (L->bounds().tripCount() <= 0)
+      return false;
+  return true;
+}
+
+} // namespace
+
+CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
+                                         const ParamEnv &Params,
+                                         uint64_t ExactBudget) {
+  CollisionAnalysis Result;
+  if (!Nest.Analyzable) {
+    Result.NoCollisions = CheckOutcome::Unknown;
+    return Result;
+  }
+
+  bool AllProven = true;
+  for (size_t I = 0; I != Nest.Clauses.size(); ++I) {
+    for (size_t J = I; J != Nest.Clauses.size(); ++J) {
+      const ClauseNode *A = Nest.Clauses[I];
+      const ClauseNode *B = Nest.Clauses[J];
+      if (!clauseHasInstances(A) || !clauseHasInstances(B))
+        continue;
+
+      std::vector<AffineForm> SubA, SubB;
+      if (!writeSubscript(A, Params, SubA) ||
+          !writeSubscript(B, Params, SubB) || SubA.size() != SubB.size()) {
+        AllProven = false;
+        ++Result.UnresolvedPairs;
+        continue;
+      }
+
+      DepProblem P;
+      const auto &LA = A->loops();
+      const auto &LB = B->loops();
+      size_t K = 0;
+      while (K < std::min(LA.size(), LB.size()) && LA[K] == LB[K])
+        ++K;
+      P.SharedLoops.assign(LA.begin(), LA.begin() + K);
+      P.SrcOnlyLoops.assign(LA.begin() + K, LA.end());
+      P.SinkOnlyLoops.assign(LB.begin() + K, LB.end());
+      for (size_t D = 0; D != SubA.size(); ++D)
+        P.Dims.emplace_back(SubA[D], SubB[D]);
+
+      bool PairUnresolved = false;
+      for (const DirVector &Dirs : refineDirections(P)) {
+        if (I == J && allEq(Dirs))
+          continue; // an instance does not collide with itself
+        // Guarded clauses may drop instances: an exact witness is then
+        // only "possible", never definite.
+        ExactStats ES;
+        TestResult R = exactTest(P, Dirs, ExactBudget, &ES);
+        if (R == TestResult::Independent)
+          continue;
+        if (R == TestResult::Definite && !A->isGuarded() &&
+            !B->isGuarded()) {
+          Result.NoCollisions = CheckOutcome::Disproven;
+          std::ostringstream OS;
+          OS << "clauses #" << A->id() << " and #" << B->id()
+             << " definitely write the same element, directions "
+             << dirVectorToString(Dirs);
+          Result.Witness = OS.str();
+          return Result;
+        }
+        PairUnresolved = true;
+      }
+      if (PairUnresolved) {
+        AllProven = false;
+        ++Result.UnresolvedPairs;
+      }
+    }
+  }
+  Result.NoCollisions =
+      AllProven ? CheckOutcome::Proven : CheckOutcome::Unknown;
+  return Result;
+}
+
+CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
+                                      const ArrayDims &Dims,
+                                      const ParamEnv &Params,
+                                      const CollisionAnalysis &Collisions) {
+  CoverageAnalysis Result;
+  Result.NoCollisions = Collisions.NoCollisions;
+
+  int64_t Size = 1;
+  for (const auto &[Lo, Hi] : Dims)
+    Size = satMul(Size, Hi >= Lo ? Hi - Lo + 1 : 0);
+  Result.ArraySize = Size;
+
+  if (!Nest.Analyzable) {
+    Result.Detail = "not statically analyzable";
+    return Result;
+  }
+
+  // Condition: every write provably in bounds.
+  bool BoundsProven = true;
+  bool BoundsViolated = false;
+  std::ostringstream Detail;
+  for (const ClauseNode *Clause : Nest.Clauses) {
+    if (!clauseHasInstances(Clause))
+      continue;
+    if (Clause->rank() != Dims.size()) {
+      BoundsViolated = true;
+      Detail << "clause #" << Clause->id() << " has rank " << Clause->rank()
+             << " but the array has rank " << Dims.size() << "; ";
+      continue;
+    }
+    std::vector<AffineForm> Sub;
+    if (!writeSubscript(Clause, Params, Sub)) {
+      BoundsProven = false;
+      Detail << "clause #" << Clause->id() << " subscript not affine; ";
+      continue;
+    }
+    for (size_t D = 0; D != Sub.size(); ++D) {
+      int64_t Min = Sub[D].minValue(), Max = Sub[D].maxValue();
+      auto [Lo, Hi] = Dims[D];
+      if (Max < Lo || Min > Hi) {
+        // Every instance is out of bounds in this dimension. (Guarded
+        // clauses might never execute, so only report for unguarded.)
+        if (!Clause->isGuarded()) {
+          BoundsViolated = true;
+          Detail << "clause #" << Clause->id() << " dim " << D
+                 << " range [" << Min << "," << Max
+                 << "] entirely outside [" << Lo << "," << Hi << "]; ";
+          continue;
+        }
+        BoundsProven = false;
+        continue;
+      }
+      if (Min < Lo || Max > Hi) {
+        BoundsProven = false;
+        Detail << "clause #" << Clause->id() << " dim " << D << " range ["
+               << Min << "," << Max << "] may leave [" << Lo << "," << Hi
+               << "]; ";
+      }
+    }
+  }
+  Result.InBounds = BoundsViolated ? CheckOutcome::Disproven
+                    : BoundsProven ? CheckOutcome::Proven
+                                   : CheckOutcome::Unknown;
+
+  // Condition: instance count equals array size. Guards make the count
+  // unknowable statically.
+  bool Countable = true;
+  int64_t Total = 0;
+  for (const ClauseNode *Clause : Nest.Clauses) {
+    if (Clause->isGuarded()) {
+      Countable = false;
+      Detail << "clause #" << Clause->id() << " is guarded; ";
+      break;
+    }
+    int64_t Instances = 1;
+    for (const LoopNode *L : Clause->loops())
+      Instances = satMul(Instances, L->bounds().tripCount());
+    Total = satAdd(Total, Instances);
+  }
+  Result.TotalInstances = Countable ? Total : -1;
+
+  // Combine the three conditions of Section 4.
+  if (Result.InBounds == CheckOutcome::Disproven ||
+      Result.NoCollisions == CheckOutcome::Disproven) {
+    Result.NoEmpties = CheckOutcome::Disproven;
+  } else if (Result.NoCollisions == CheckOutcome::Proven &&
+             Result.InBounds == CheckOutcome::Proven && Countable &&
+             Total == Size) {
+    Result.NoEmpties = CheckOutcome::Proven;
+  } else {
+    if (Countable && Total != Size &&
+        Result.InBounds == CheckOutcome::Proven &&
+        Result.NoCollisions == CheckOutcome::Proven) {
+      // In bounds, collision-free, but too few definitions: some element
+      // is definitely empty (too many is impossible without collisions).
+      if (Total < Size) {
+        Result.NoEmpties = CheckOutcome::Disproven;
+        Detail << "only " << Total << " definitions for " << Size
+               << " elements; ";
+      } else {
+        Result.NoEmpties = CheckOutcome::Unknown;
+      }
+    } else {
+      Result.NoEmpties = CheckOutcome::Unknown;
+    }
+  }
+  Result.Detail = Detail.str();
+  return Result;
+}

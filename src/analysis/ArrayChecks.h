@@ -1,0 +1,86 @@
+//===- analysis/ArrayChecks.h - Collision / empties / bounds ----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The check-elimination analyses:
+///
+///  * Write collisions (Section 7): if subscript analysis proves no two
+///    s/v clause instances write the same element, no runtime collision
+///    checks are compiled; if an exact test finds a definite collision,
+///    the compiler flags an error; otherwise runtime checks remain and
+///    the programmer is warned.
+///
+///  * Empties (Section 4): there are provably no undefined elements when
+///    (1) there are no write collisions, (2) all definitions are in
+///    bounds, and (3) the number of s/v instances equals the array size —
+///    then the subscripts are a permutation of the index space and every
+///    runtime "definedness" check can be elided.
+///
+///  * Bounds: when every write subscript's affine range lies within the
+///    array bounds, per-write bounds checks are elided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_ANALYSIS_ARRAYCHECKS_H
+#define HAC_ANALYSIS_ARRAYCHECKS_H
+
+#include "analysis/DepGraph.h"
+#include "comp/CompNest.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hac {
+
+/// Three-valued analysis verdict.
+enum class CheckOutcome : uint8_t {
+  Proven,    ///< the good property definitely holds; drop the check
+  Unknown,   ///< cannot tell; compile the runtime check
+  Disproven, ///< the property definitely fails; compile-time error
+};
+
+const char *checkOutcomeName(CheckOutcome O);
+
+/// Result of the write-collision analysis.
+struct CollisionAnalysis {
+  CheckOutcome NoCollisions = CheckOutcome::Unknown;
+  /// For Disproven: a witness description (clause pair + directions).
+  std::string Witness;
+  /// Number of clause pairs that could not be fully resolved.
+  unsigned UnresolvedPairs = 0;
+};
+
+/// Result of the coverage (empties) and bounds analyses.
+struct CoverageAnalysis {
+  CheckOutcome NoEmpties = CheckOutcome::Unknown;
+  CheckOutcome InBounds = CheckOutcome::Unknown;
+  CheckOutcome NoCollisions = CheckOutcome::Unknown;
+  /// Total s/v instances, or -1 when not statically countable (guards).
+  int64_t TotalInstances = -1;
+  int64_t ArraySize = 0;
+  std::string Detail;
+};
+
+/// Array bounds per dimension, as (lo, hi) inclusive.
+using ArrayDims = std::vector<std::pair<int64_t, int64_t>>;
+
+/// Analyzes write collisions among the clauses of \p Nest (Section 7).
+/// \p ExactBudget bounds the exact-test work per clause pair.
+CollisionAnalysis analyzeCollisions(const CompNest &Nest,
+                                    const ParamEnv &Params,
+                                    uint64_t ExactBudget = 200'000);
+
+/// Analyzes empties and bounds for \p Nest defining an array with
+/// \p Dims (Section 4). Uses \p Collisions for condition (1).
+CoverageAnalysis analyzeCoverage(const CompNest &Nest, const ArrayDims &Dims,
+                                 const ParamEnv &Params,
+                                 const CollisionAnalysis &Collisions);
+
+} // namespace hac
+
+#endif // HAC_ANALYSIS_ARRAYCHECKS_H

@@ -1,0 +1,502 @@
+//===- analysis/DepGraph.cpp - Dependence graph construction --------------===//
+
+#include "analysis/DepGraph.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+using namespace hac;
+
+const char *hac::depKindName(DepKind Kind) {
+  switch (Kind) {
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  }
+  return "?";
+}
+
+std::string DepEdge::str() const {
+  std::ostringstream OS;
+  OS << Src << " -> " << Dst << " " << dirVectorToString(Dirs) << " "
+     << depKindName(Kind);
+  return OS.str();
+}
+
+std::vector<const DepEdge *> DepGraph::edgesOfKind(DepKind Kind) const {
+  std::vector<const DepEdge *> Result;
+  for (const DepEdge &E : Edges)
+    if (E.Kind == Kind)
+      Result.push_back(&E);
+  return Result;
+}
+
+std::string DepGraph::str() const {
+  std::ostringstream OS;
+  OS << "depgraph: " << NumClauses << " clauses, " << Edges.size()
+     << " edges\n";
+  if (HasUnknownRef)
+    OS << "  (unknown reference: " << UnknownRefReason << ")\n";
+  for (const DepEdge &E : Edges)
+    OS << "  " << E.str() << "\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Access collection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Walks an expression collecting reads of the target array. Maintains the
+/// set of names shadowing the target (lambda params, let binders).
+class ReadCollector {
+public:
+  ReadCollector(const std::string &Target, const ClauseNode *Clause,
+                const ParamEnv &Params, AccessInfo &Info)
+      : Target(Target), Clause(Clause), Params(Params), Info(Info) {}
+
+  void walk(const Expr *E) {
+    if (!E || Info.HasUnknownRef)
+      return;
+    switch (E->kind()) {
+    case ExprKind::Var: {
+      if (cast<VarExpr>(E)->name() == Target && !isShadowed()) {
+        Info.HasUnknownRef = true;
+        Info.UnknownRefReason =
+            "array '" + Target + "' used outside a direct subscript";
+      }
+      return;
+    }
+    case ExprKind::ArraySub: {
+      const auto *S = cast<ArraySubExpr>(E);
+      const auto *Base = dyn_cast<VarExpr>(S->base());
+      if (Base && Base->name() == Target && !isShadowed()) {
+        addRead(S);
+        walk(S->index()); // subscripts may contain further reads
+        return;
+      }
+      walk(S->base());
+      walk(S->index());
+      return;
+    }
+    case ExprKind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      bool Shadows = std::find(L->params().begin(), L->params().end(),
+                               Target) != L->params().end();
+      if (Shadows)
+        ++ShadowDepth;
+      walk(L->body());
+      if (Shadows)
+        --ShadowDepth;
+      return;
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      bool Shadows = false;
+      for (const LetBind &B : L->binds())
+        Shadows |= B.Name == Target;
+      // For recursive lets the shadow covers the bound expressions too;
+      // plain lets technically expose the outer name in earlier bindings,
+      // but treating the whole let as shadowed is conservative only in
+      // the direction of *missing* a read, so flag unknown instead.
+      if (Shadows && L->letKind() == LetKindEnum::Plain) {
+        for (const LetBind &B : L->binds()) {
+          if (B.Name == Target)
+            break;
+          walk(B.Value.get());
+        }
+        ++ShadowDepth;
+        walk(L->body());
+        --ShadowDepth;
+        return;
+      }
+      if (Shadows)
+        ++ShadowDepth;
+      for (const LetBind &B : L->binds())
+        walk(B.Value.get());
+      walk(L->body());
+      if (Shadows)
+        --ShadowDepth;
+      return;
+    }
+    case ExprKind::Comp: {
+      const auto *C = cast<CompExpr>(E);
+      unsigned Pushed = 0;
+      for (const CompQual &Q : C->quals()) {
+        switch (Q.kind()) {
+        case CompQual::Kind::Generator:
+          walk(Q.source());
+          if (Q.var() == Target) {
+            ++ShadowDepth;
+            ++Pushed;
+          }
+          break;
+        case CompQual::Kind::Guard:
+          walk(Q.cond());
+          break;
+        case CompQual::Kind::LetQual:
+          for (const LetBind &B : Q.binds()) {
+            walk(B.Value.get());
+            if (B.Name == Target) {
+              ++ShadowDepth;
+              ++Pushed;
+            }
+          }
+          break;
+        }
+      }
+      walk(C->head());
+      ShadowDepth -= Pushed;
+      return;
+    }
+    // Generic recursion over remaining node kinds.
+    case ExprKind::Unary:
+      walk(cast<UnaryExpr>(E)->operand());
+      return;
+    case ExprKind::Binary:
+      walk(cast<BinaryExpr>(E)->lhs());
+      walk(cast<BinaryExpr>(E)->rhs());
+      return;
+    case ExprKind::If:
+      walk(cast<IfExpr>(E)->cond());
+      walk(cast<IfExpr>(E)->thenExpr());
+      walk(cast<IfExpr>(E)->elseExpr());
+      return;
+    case ExprKind::Tuple:
+      for (const ExprPtr &Elem : cast<TupleExpr>(E)->elems())
+        walk(Elem.get());
+      return;
+    case ExprKind::Apply:
+      walk(cast<ApplyExpr>(E)->fn());
+      for (const ExprPtr &Arg : cast<ApplyExpr>(E)->args())
+        walk(Arg.get());
+      return;
+    case ExprKind::Range:
+      walk(cast<RangeExpr>(E)->lo());
+      walk(cast<RangeExpr>(E)->second());
+      walk(cast<RangeExpr>(E)->hi());
+      return;
+    case ExprKind::List:
+      for (const ExprPtr &Elem : cast<ListExpr>(E)->elems())
+        walk(Elem.get());
+      return;
+    case ExprKind::SvPair:
+      walk(cast<SvPairExpr>(E)->subscript());
+      walk(cast<SvPairExpr>(E)->value());
+      return;
+    case ExprKind::MakeArray:
+      walk(cast<MakeArrayExpr>(E)->bounds());
+      walk(cast<MakeArrayExpr>(E)->svList());
+      return;
+    case ExprKind::AccumArray:
+      walk(cast<AccumArrayExpr>(E)->fn());
+      walk(cast<AccumArrayExpr>(E)->init());
+      walk(cast<AccumArrayExpr>(E)->bounds());
+      walk(cast<AccumArrayExpr>(E)->svList());
+      return;
+    case ExprKind::BigUpd:
+      walk(cast<BigUpdExpr>(E)->base());
+      walk(cast<BigUpdExpr>(E)->svList());
+      return;
+    case ExprKind::ForceElements:
+      walk(cast<ForceElementsExpr>(E)->arg());
+      return;
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::BoolLit:
+      return;
+    }
+  }
+
+private:
+  const std::string &Target;
+  const ClauseNode *Clause;
+  const ParamEnv &Params;
+  AccessInfo &Info;
+  unsigned ShadowDepth = 0;
+
+  bool isShadowed() const { return ShadowDepth != 0; }
+
+  void addRead(const ArraySubExpr *S) {
+    ArrayAccess Access;
+    Access.Clause = Clause;
+    Access.Affine = true;
+    Access.RefExpr = S;
+    auto AddDim = [&](const Expr *DimExpr) {
+      if (!Access.Affine)
+        return;
+      auto F = extractAffine(DimExpr, Clause->loops(), Params);
+      if (!F) {
+        Access.Affine = false;
+        Access.Subscript.clear();
+        return;
+      }
+      Access.Subscript.push_back(*F);
+    };
+    if (const auto *T = dyn_cast<TupleExpr>(S->index()))
+      for (const ExprPtr &Dim : T->elems())
+        AddDim(Dim.get());
+    else
+      AddDim(S->index());
+    Info.Reads.push_back(std::move(Access));
+  }
+};
+
+} // namespace
+
+AccessInfo hac::collectAccesses(const CompNest &Nest,
+                                const std::string &TargetName,
+                                const ParamEnv &Params) {
+  AccessInfo Info;
+  Info.Writes.resize(Nest.numClauses());
+  for (const ClauseNode *Clause : Nest.Clauses) {
+    // The write: the clause's own subscript.
+    ArrayAccess &W = Info.Writes[Clause->id()];
+    W.Clause = Clause;
+    W.Affine = true;
+    for (unsigned D = 0; D != Clause->rank(); ++D) {
+      auto F = extractAffine(Clause->subscript(D), Clause->loops(), Params);
+      if (!F) {
+        W.Affine = false;
+        W.Subscript.clear();
+        break;
+      }
+      W.Subscript.push_back(*F);
+    }
+    // Reads in the value and in any enclosing guard conditions.
+    ReadCollector RC(TargetName, Clause, Params, Info);
+    RC.walk(Clause->value());
+    for (const GuardNode *G : Clause->guards())
+      RC.walk(G->cond());
+  }
+  return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Longest common prefix (by node identity) of two loop stacks.
+size_t commonPrefix(const std::vector<const LoopNode *> &A,
+                    const std::vector<const LoopNode *> &B) {
+  size_t N = std::min(A.size(), B.size());
+  size_t K = 0;
+  while (K < N && A[K] == B[K])
+    ++K;
+  return K;
+}
+
+DepProblem makeProblem(const ArrayAccess &Src, const ArrayAccess &Snk) {
+  DepProblem P;
+  const auto &SrcLoops = Src.Clause->loops();
+  const auto &SnkLoops = Snk.Clause->loops();
+  size_t K = commonPrefix(SrcLoops, SnkLoops);
+  P.SharedLoops.assign(SrcLoops.begin(), SrcLoops.begin() + K);
+  P.SrcOnlyLoops.assign(SrcLoops.begin() + K, SrcLoops.end());
+  P.SinkOnlyLoops.assign(SnkLoops.begin() + K, SnkLoops.end());
+  for (size_t D = 0; D != Src.Subscript.size(); ++D)
+    P.Dims.emplace_back(Src.Subscript[D], Snk.Subscript[D]);
+  return P;
+}
+
+bool allEq(const DirVector &Dirs) {
+  return std::all_of(Dirs.begin(), Dirs.end(),
+                     [](Dir D) { return D == Dir::Eq; });
+}
+
+DirVector flipDirs(const DirVector &Dirs) {
+  DirVector Out = Dirs;
+  for (Dir &D : Out) {
+    if (D == Dir::Lt)
+      D = Dir::Gt;
+    else if (D == Dir::Gt)
+      D = Dir::Lt;
+  }
+  return Out;
+}
+
+/// True when any loop surrounding either access has zero trip count (no
+/// instances, no dependence).
+bool clausesHaveInstances(const ArrayAccess &A, const ArrayAccess &B) {
+  auto NonEmpty = [](const ArrayAccess &X) {
+    for (const LoopNode *L : X.Clause->loops())
+      if (L->bounds().tripCount() <= 0)
+        return false;
+    return true;
+  };
+  return NonEmpty(A) && NonEmpty(B);
+}
+
+class GraphBuilder {
+public:
+  GraphBuilder(const AccessInfo &Info, const DepGraphOptions &Options,
+               DepGraph &G)
+      : Info(Info), Options(Options), G(G) {}
+
+  /// Adds edges Src.Clause -> Snk.Clause of \p Kind for every direction
+  /// vector the tests cannot rule out.
+  void addEdges(const ArrayAccess &Src, const ArrayAccess &Snk, DepKind Kind,
+                bool SkipAllEqSelf) {
+    if (!clausesHaveInstances(Src, Snk))
+      return;
+    unsigned SrcId = Src.Clause->id(), DstId = Snk.Clause->id();
+    size_t NumShared = commonPrefix(Src.Clause->loops(), Snk.Clause->loops());
+
+    const Expr *ReadRef =
+        Kind == DepKind::Flow ? Snk.RefExpr : Src.RefExpr;
+    if (!Src.Affine || !Snk.Affine ||
+        Src.Subscript.size() != Snk.Subscript.size()) {
+      ++G.NonAffinePairs;
+      emit(SrcId, DstId, Kind, DirVector(NumShared, Dir::Any),
+           sharedLoops(Src, Snk), nullptr, {}, {});
+      return;
+    }
+
+    DepProblem P = makeProblem(Src, Snk);
+    for (const DirVector &Dirs : refineDirections(P, Options.ExactBudget)) {
+      if (SkipAllEqSelf && SrcId == DstId && allEq(Dirs))
+        continue;
+      emit(SrcId, DstId, Kind, Dirs, P.SharedLoops, ReadRef, Src.Subscript,
+           Snk.Subscript);
+    }
+  }
+
+  /// Output-dependence edges with preserved original (list) order: the
+  /// canonical edge always points from the textually/iteration earlier
+  /// write to the later one.
+  void addOutputEdges(const ArrayAccess &W1, const ArrayAccess &W2) {
+    if (!clausesHaveInstances(W1, W2))
+      return;
+    unsigned Id1 = W1.Clause->id(), Id2 = W2.Clause->id();
+    size_t NumShared = commonPrefix(W1.Clause->loops(), W2.Clause->loops());
+
+    if (!W1.Affine || !W2.Affine ||
+        W1.Subscript.size() != W2.Subscript.size()) {
+      ++G.NonAffinePairs;
+      emit(Id1, Id2, DepKind::Output, DirVector(NumShared, Dir::Any),
+           sharedLoops(W1, W2), nullptr, {}, {});
+      return;
+    }
+
+    DepProblem P = makeProblem(W1, W2);
+    for (const DirVector &Dirs : refineDirections(P, Options.ExactBudget)) {
+      if (Id1 == Id2) {
+        if (allEq(Dirs))
+          continue; // an instance trivially "collides" with itself
+        // Canonicalize self-collisions to earlier -> later instance.
+        auto FirstNonEq =
+            std::find_if(Dirs.begin(), Dirs.end(),
+                         [](Dir D) { return D != Dir::Eq; });
+        if (FirstNonEq != Dirs.end() && *FirstNonEq == Dir::Gt) {
+          emit(Id1, Id1, DepKind::Output, flipDirs(Dirs), P.SharedLoops,
+               nullptr, W2.Subscript, W1.Subscript);
+          continue;
+        }
+        emit(Id1, Id1, DepKind::Output, Dirs, P.SharedLoops, nullptr,
+             W1.Subscript, W2.Subscript);
+        continue;
+      }
+      // Cross-clause: if the colliding W2 instance is iteration-earlier
+      // (first non-= is '>'), the order constraint points W2 -> W1.
+      auto FirstNonEq = std::find_if(Dirs.begin(), Dirs.end(),
+                                     [](Dir D) { return D != Dir::Eq; });
+      if (FirstNonEq != Dirs.end() && *FirstNonEq == Dir::Gt)
+        emit(Id2, Id1, DepKind::Output, flipDirs(Dirs), P.SharedLoops,
+             nullptr, W2.Subscript, W1.Subscript);
+      else
+        emit(Id1, Id2, DepKind::Output, Dirs, P.SharedLoops, nullptr,
+             W1.Subscript, W2.Subscript);
+    }
+  }
+
+private:
+  const AccessInfo &Info;
+  const DepGraphOptions &Options;
+  DepGraph &G;
+  std::set<std::string> Seen; // dedup identical edges
+
+  std::vector<const LoopNode *> sharedLoops(const ArrayAccess &A,
+                                            const ArrayAccess &B) {
+    size_t K = commonPrefix(A.Clause->loops(), B.Clause->loops());
+    return std::vector<const LoopNode *>(A.Clause->loops().begin(),
+                                         A.Clause->loops().begin() + K);
+  }
+
+  void emit(unsigned Src, unsigned Dst, DepKind Kind, DirVector Dirs,
+            std::vector<const LoopNode *> Shared, const Expr *ReadRef,
+            std::vector<AffineForm> SrcSub, std::vector<AffineForm> DstSub) {
+    DepEdge E;
+    E.Src = Src;
+    E.Dst = Dst;
+    E.Kind = Kind;
+    E.Dirs = std::move(Dirs);
+    E.SharedLoops = std::move(Shared);
+    E.ReadRef = ReadRef;
+    E.SrcSub = std::move(SrcSub);
+    E.DstSub = std::move(DstSub);
+    // Distinct reads of the same element pattern produce edges with the
+    // same printed form; keep them distinct when the read expression
+    // differs so node splitting can redirect each read individually.
+    std::string Key = E.str();
+    if (ReadRef) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "@%p", (const void *)ReadRef);
+      Key += Buf;
+    }
+    if (!Seen.insert(Key).second)
+      return;
+    G.Edges.push_back(std::move(E));
+  }
+};
+
+} // namespace
+
+DepGraph hac::buildDepGraph(const CompNest &Nest,
+                            const std::string &TargetName,
+                            const ParamEnv &Params, DepGraphMode Mode,
+                            const DepGraphOptions &Options) {
+  DepGraph G;
+  G.NumClauses = Nest.numClauses();
+
+  AccessInfo Info = collectAccesses(Nest, TargetName, Params);
+  if (Info.HasUnknownRef) {
+    G.HasUnknownRef = true;
+    G.UnknownRefReason = Info.UnknownRefReason;
+    return G;
+  }
+
+  GraphBuilder Builder(Info, Options, G);
+
+  if (Mode == DepGraphMode::Monolithic) {
+    // Flow edges: each write may feed each read of the defined array.
+    for (const ArrayAccess &W : Info.Writes)
+      for (const ArrayAccess &R : Info.Reads)
+        Builder.addEdges(W, R, DepKind::Flow, /*SkipAllEqSelf=*/false);
+  } else {
+    // Anti edges: each read of the old array must precede any write that
+    // overwrites the element it reads. A read and write of the *same*
+    // element in the same instance of the same clause is naturally
+    // ordered (load before store), hence SkipAllEqSelf.
+    for (const ArrayAccess &R : Info.Reads)
+      for (const ArrayAccess &W : Info.Writes)
+        Builder.addEdges(R, W, DepKind::Anti, /*SkipAllEqSelf=*/true);
+  }
+
+  // Output edges in both modes: collisions (errors for `array`, ordering
+  // constraints for `bigupd`).
+  for (size_t I = 0; I != Info.Writes.size(); ++I)
+    for (size_t J = I; J != Info.Writes.size(); ++J)
+      Builder.addOutputEdges(Info.Writes[I], Info.Writes[J]);
+
+  return G;
+}

@@ -1,0 +1,138 @@
+//===- analysis/DepGraph.h - Dependence graph over s/v clauses --*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the dependence graph of Section 5: vertices are s/v clauses,
+/// edges carry direction vectors over the loops shared by source and sink.
+///
+/// Two build modes mirror the paper:
+///  * Monolithic (`array`, Sections 5-8): *flow* edges from writer clauses
+///    to clauses whose value reads the array being defined, plus *output*
+///    edges between writes that may collide (Section 7).
+///  * Update (`bigupd`, Section 9): *anti* edges from clauses that read
+///    the old array to clauses whose write may overwrite the element read,
+///    plus output edges between colliding updates.
+///
+/// References whose subscripts are not affine degrade soundly to a single
+/// all-'*' edge; a reference to the target array outside a direct
+/// subscript position poisons the analysis entirely (HasUnknownRef).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_ANALYSIS_DEPGRAPH_H
+#define HAC_ANALYSIS_DEPGRAPH_H
+
+#include "analysis/DependenceTest.h"
+#include "comp/CompNest.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hac {
+
+enum class DepKind : uint8_t {
+  Flow,   ///< true dependence: write -> read (delta)
+  Anti,   ///< antidependence: read -> overwriting write (delta-bar)
+  Output, ///< write -> write to the same element
+};
+
+const char *depKindName(DepKind Kind);
+
+/// One labeled dependence edge between clauses. Dirs has one entry per
+/// loop shared by source and sink (outermost first); it is empty when they
+/// share no loop (a pure sequence-order constraint).
+struct DepEdge {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  DepKind Kind = DepKind::Flow;
+  DirVector Dirs;
+  /// Shared loops the directions refer to.
+  std::vector<const LoopNode *> SharedLoops;
+  /// For flow edges: the read (ArraySub) in the sink clause. For anti
+  /// edges: the read in the *source* clause. Null for output edges or
+  /// non-affine conservative edges. Node splitting (Section 9) uses this
+  /// to redirect the read to a temporary.
+  const Expr *ReadRef = nullptr;
+  /// Normalized affine subscripts of the two references when available
+  /// (empty for conservative edges). Used to compute dependence
+  /// distances for rolling-temporary node splitting.
+  std::vector<AffineForm> SrcSub;
+  std::vector<AffineForm> DstSub;
+
+  /// Renders e.g. "2 -> 1 (=,>) flow".
+  std::string str() const;
+};
+
+/// One array reference collected from a clause.
+struct ArrayAccess {
+  const ClauseNode *Clause = nullptr;
+  /// Per-dimension affine subscripts; empty when !Affine.
+  std::vector<AffineForm> Subscript;
+  bool Affine = false;
+  /// For reads: the ArraySub expression inside the clause value (or guard
+  /// condition). Null for writes.
+  const Expr *RefExpr = nullptr;
+};
+
+/// All accesses to the target array, clause by clause.
+struct AccessInfo {
+  /// Writes: the s/v subscript of each clause (index = clause id).
+  std::vector<ArrayAccess> Writes;
+  /// Reads of the target array appearing in clause values.
+  std::vector<ArrayAccess> Reads;
+  /// True when the target array is used somewhere the analysis cannot see
+  /// through (passed to a function, subscripted with a non-constant base,
+  /// ...). Everything must then be assumed dependent on everything.
+  bool HasUnknownRef = false;
+  std::string UnknownRefReason;
+};
+
+/// Collects all writes and target-array reads from \p Nest. \p TargetName
+/// is the array being defined (the letrec binder for `array`, the base
+/// array name for `bigupd`).
+AccessInfo collectAccesses(const CompNest &Nest,
+                           const std::string &TargetName,
+                           const ParamEnv &Params);
+
+enum class DepGraphMode : uint8_t {
+  Monolithic, ///< flow + output (array comprehension)
+  Update,     ///< anti + output (bigupd)
+};
+
+/// Options controlling edge refinement.
+struct DepGraphOptions {
+  /// When nonzero, surviving direction-vector leaves are screened with the
+  /// exact test using this node budget.
+  uint64_t ExactBudget = 100'000;
+};
+
+/// The resulting graph plus analysis telemetry.
+struct DepGraph {
+  unsigned NumClauses = 0;
+  std::vector<DepEdge> Edges;
+  bool HasUnknownRef = false;
+  std::string UnknownRefReason;
+  /// Number of reference pairs whose subscripts were not affine (each
+  /// produced one conservative all-'*' edge).
+  unsigned NonAffinePairs = 0;
+
+  /// Edges of one kind.
+  std::vector<const DepEdge *> edgesOfKind(DepKind Kind) const;
+
+  /// Multi-line rendering for tests and the depgraph tool.
+  std::string str() const;
+};
+
+/// Builds the dependence graph for \p Nest defining / updating array
+/// \p TargetName.
+DepGraph buildDepGraph(const CompNest &Nest, const std::string &TargetName,
+                       const ParamEnv &Params, DepGraphMode Mode,
+                       const DepGraphOptions &Options = DepGraphOptions());
+
+} // namespace hac
+
+#endif // HAC_ANALYSIS_DEPGRAPH_H

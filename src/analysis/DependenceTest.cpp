@@ -1,0 +1,432 @@
+//===- analysis/DependenceTest.cpp - GCD / Banerjee / exact tests ---------===//
+
+#include "analysis/DependenceTest.h"
+
+#include "support/IntMath.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace hac;
+
+char hac::dirChar(Dir D) {
+  switch (D) {
+  case Dir::Lt:
+    return '<';
+  case Dir::Eq:
+    return '=';
+  case Dir::Gt:
+    return '>';
+  case Dir::Any:
+    return '*';
+  }
+  return '?';
+}
+
+std::string hac::dirVectorToString(const DirVector &Dirs) {
+  std::string S = "(";
+  for (size_t I = 0; I != Dirs.size(); ++I) {
+    if (I)
+      S += ',';
+    S += dirChar(Dirs[I]);
+  }
+  S += ')';
+  return S;
+}
+
+const char *hac::testResultName(TestResult R) {
+  switch (R) {
+  case TestResult::Independent:
+    return "independent";
+  case TestResult::Possible:
+    return "possible";
+  case TestResult::Definite:
+    return "definite";
+  }
+  return "?";
+}
+
+bool DepProblem::hasEmptyLoop() const {
+  auto Empty = [](const LoopNode *L) { return L->bounds().tripCount() <= 0; };
+  return std::any_of(SharedLoops.begin(), SharedLoops.end(), Empty) ||
+         std::any_of(SrcOnlyLoops.begin(), SrcOnlyLoops.end(), Empty) ||
+         std::any_of(SinkOnlyLoops.begin(), SinkOnlyLoops.end(), Empty);
+}
+
+namespace {
+
+/// Min/max of one dependence-equation term, or Empty when the constrained
+/// sub-region has no integer points.
+struct TermBound {
+  int64_t Min = 0;
+  int64_t Max = 0;
+  bool Empty = false;
+
+  static TermBound empty() {
+    TermBound B;
+    B.Empty = true;
+    return B;
+  }
+
+  static TermBound ofValues(std::initializer_list<int64_t> Values) {
+    TermBound B;
+    B.Min = *std::min_element(Values.begin(), Values.end());
+    B.Max = *std::max_element(Values.begin(), Values.end());
+    return B;
+  }
+};
+
+/// Bounds of a_k*x - b_k*y for x, y in [1..M] under the direction
+/// constraint. A linear function over a lattice polygon attains its
+/// extrema at the (integral) vertices, so evaluating the vertices is exact
+/// per term — at least as tight as the t+/t- closed forms in the paper.
+TermBound sharedTermBounds(int64_t A, int64_t B, int64_t M, Dir D) {
+  if (M <= 0)
+    return TermBound::empty();
+  auto V = [&](int64_t X, int64_t Y) {
+    return satSub(satMul(A, X), satMul(B, Y));
+  };
+  switch (D) {
+  case Dir::Eq:
+    return TermBound::ofValues({V(1, 1), V(M, M)});
+  case Dir::Lt:
+    if (M < 2)
+      return TermBound::empty();
+    return TermBound::ofValues({V(1, 2), V(1, M), V(M - 1, M)});
+  case Dir::Gt:
+    if (M < 2)
+      return TermBound::empty();
+    return TermBound::ofValues({V(2, 1), V(M, 1), V(M, M - 1)});
+  case Dir::Any:
+    return TermBound::ofValues({V(1, 1), V(1, M), V(M, 1), V(M, M)});
+  }
+  return TermBound::empty();
+}
+
+/// Bounds of a_k*x for x in [1..M] (unshared source loop), or of -b_k*y
+/// (unshared sink loop, pass A = -b).
+TermBound unsharedTermBounds(int64_t A, int64_t M) {
+  if (M <= 0)
+    return TermBound::empty();
+  return TermBound::ofValues({A, satMul(A, M)});
+}
+
+/// The per-dimension view of a problem: coefficient pairs per shared loop,
+/// single coefficients for unshared loops, and the target constant
+/// D = b0 - a0 for the equation sum(terms) = D.
+struct DimEquation {
+  std::vector<std::pair<int64_t, int64_t>> Shared; // (a_k, b_k)
+  std::vector<int64_t> SrcOnly;                    // a_k
+  std::vector<int64_t> SinkOnly;                   // b_k
+  int64_t D = 0;
+};
+
+DimEquation makeDimEquation(const DepProblem &P, unsigned Dim) {
+  DimEquation E;
+  const AffineForm &F = P.Dims[Dim].first;
+  const AffineForm &G = P.Dims[Dim].second;
+  E.D = G.Const - F.Const;
+  for (const LoopNode *L : P.SharedLoops)
+    E.Shared.emplace_back(F.coeff(L), G.coeff(L));
+  for (const LoopNode *L : P.SrcOnlyLoops)
+    E.SrcOnly.push_back(F.coeff(L));
+  for (const LoopNode *L : P.SinkOnlyLoops)
+    E.SinkOnly.push_back(G.coeff(L));
+  return E;
+}
+
+} // namespace
+
+TestResult hac::gcdTest(const DepProblem &P, const DirVector &Dirs) {
+  assert(Dirs.size() == P.SharedLoops.size() &&
+         "direction vector arity mismatch");
+  if (P.hasEmptyLoop())
+    return TestResult::Independent;
+
+  for (unsigned Dim = 0; Dim != P.Dims.size(); ++Dim) {
+    DimEquation E = makeDimEquation(P, Dim);
+    int64_t G = 0;
+    for (size_t K = 0; K != E.Shared.size(); ++K) {
+      auto [A, B] = E.Shared[K];
+      if (Dirs[K] == Dir::Eq) {
+        // x_k = y_k: the term is (a_k - b_k) * x_k.
+        G = gcd64(G, A - B);
+      } else {
+        G = gcd64(G, A);
+        G = gcd64(G, B);
+      }
+    }
+    for (int64_t A : E.SrcOnly)
+      G = gcd64(G, A);
+    for (int64_t B : E.SinkOnly)
+      G = gcd64(G, B);
+    if (G == 0) {
+      if (E.D != 0)
+        return TestResult::Independent;
+    } else if (E.D % G != 0) {
+      return TestResult::Independent;
+    }
+  }
+  return TestResult::Possible;
+}
+
+TestResult hac::banerjeeTest(const DepProblem &P, const DirVector &Dirs) {
+  assert(Dirs.size() == P.SharedLoops.size() &&
+         "direction vector arity mismatch");
+  if (P.hasEmptyLoop())
+    return TestResult::Independent;
+
+  for (unsigned Dim = 0; Dim != P.Dims.size(); ++Dim) {
+    DimEquation E = makeDimEquation(P, Dim);
+    int64_t Min = 0, Max = 0;
+    auto Accumulate = [&](TermBound TB) {
+      if (TB.Empty)
+        return false;
+      Min = satAdd(Min, TB.Min);
+      Max = satAdd(Max, TB.Max);
+      return true;
+    };
+    bool RegionNonEmpty = true;
+    for (size_t K = 0; K != E.Shared.size() && RegionNonEmpty; ++K) {
+      int64_t M = P.SharedLoops[K]->bounds().tripCount();
+      RegionNonEmpty =
+          Accumulate(sharedTermBounds(E.Shared[K].first, E.Shared[K].second,
+                                      M, Dirs[K]));
+    }
+    for (size_t K = 0; K != E.SrcOnly.size() && RegionNonEmpty; ++K)
+      RegionNonEmpty = Accumulate(unsharedTermBounds(
+          E.SrcOnly[K], P.SrcOnlyLoops[K]->bounds().tripCount()));
+    for (size_t K = 0; K != E.SinkOnly.size() && RegionNonEmpty; ++K)
+      RegionNonEmpty = Accumulate(unsharedTermBounds(
+          -E.SinkOnly[K], P.SinkOnlyLoops[K]->bounds().tripCount()));
+    if (!RegionNonEmpty)
+      return TestResult::Independent;
+    // Dependence possible only if the bounds bracket D.
+    if (E.D < Min || E.D > Max)
+      return TestResult::Independent;
+  }
+  return TestResult::Possible;
+}
+
+TestResult hac::hierTest(const DepProblem &P, const DirVector &Dirs) {
+  if (gcdTest(P, Dirs) == TestResult::Independent)
+    return TestResult::Independent;
+  return banerjeeTest(P, Dirs);
+}
+
+//===----------------------------------------------------------------------===//
+// Exact test
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One enumeration level: a shared loop (pair of instances) or an unshared
+/// loop (single instance).
+struct Level {
+  enum class Kind : uint8_t { Shared, Src, Sink } K;
+  int64_t M = 0;
+  Dir D = Dir::Any;
+  /// Per-dimension coefficients: (a, b) for Shared; a (or -b) for single.
+  std::vector<std::pair<int64_t, int64_t>> Coef;
+};
+
+class ExactSearcher {
+public:
+  ExactSearcher(const DepProblem &P, const DirVector &Dirs, uint64_t Budget,
+                ExactStats *Stats)
+      : Budget(Budget), Stats(Stats), NumDims(P.Dims.size()) {
+    // Build levels.
+    for (size_t K = 0; K != P.SharedLoops.size(); ++K) {
+      Level L;
+      L.K = Level::Kind::Shared;
+      L.M = P.SharedLoops[K]->bounds().tripCount();
+      L.D = Dirs[K];
+      for (unsigned Dim = 0; Dim != NumDims; ++Dim)
+        L.Coef.emplace_back(P.Dims[Dim].first.coeff(P.SharedLoops[K]),
+                            P.Dims[Dim].second.coeff(P.SharedLoops[K]));
+      Levels.push_back(std::move(L));
+    }
+    for (const LoopNode *Loop : P.SrcOnlyLoops) {
+      Level L;
+      L.K = Level::Kind::Src;
+      L.M = Loop->bounds().tripCount();
+      for (unsigned Dim = 0; Dim != NumDims; ++Dim)
+        L.Coef.emplace_back(P.Dims[Dim].first.coeff(Loop), 0);
+      Levels.push_back(std::move(L));
+    }
+    for (const LoopNode *Loop : P.SinkOnlyLoops) {
+      Level L;
+      L.K = Level::Kind::Sink;
+      L.M = Loop->bounds().tripCount();
+      for (unsigned Dim = 0; Dim != NumDims; ++Dim)
+        L.Coef.emplace_back(0, P.Dims[Dim].second.coeff(Loop));
+      Levels.push_back(std::move(L));
+    }
+    for (unsigned Dim = 0; Dim != NumDims; ++Dim)
+      Targets.push_back(P.Dims[Dim].second.Const - P.Dims[Dim].first.Const);
+
+    // Suffix term bounds per dimension for pruning.
+    SuffixMin.assign(Levels.size() + 1, std::vector<int64_t>(NumDims, 0));
+    SuffixMax.assign(Levels.size() + 1, std::vector<int64_t>(NumDims, 0));
+    for (size_t I = Levels.size(); I-- > 0;) {
+      for (unsigned Dim = 0; Dim != NumDims; ++Dim) {
+        TermBound TB = levelBounds(Levels[I], Dim);
+        if (TB.Empty) {
+          RegionEmpty = true;
+          TB.Min = TB.Max = 0;
+        }
+        SuffixMin[I][Dim] = satAdd(SuffixMin[I + 1][Dim], TB.Min);
+        SuffixMax[I][Dim] = satAdd(SuffixMax[I + 1][Dim], TB.Max);
+      }
+    }
+  }
+
+  TestResult run(ExactStats &LocalStats) {
+    if (RegionEmpty)
+      return TestResult::Independent;
+    std::vector<int64_t> Partial(NumDims, 0);
+    TestResult R = search(0, Partial, LocalStats);
+    if (Stats)
+      *Stats = LocalStats;
+    return R;
+  }
+
+private:
+  uint64_t Budget;
+  ExactStats *Stats;
+  unsigned NumDims;
+  std::vector<Level> Levels;
+  std::vector<int64_t> Targets;
+  std::vector<std::vector<int64_t>> SuffixMin, SuffixMax;
+  bool RegionEmpty = false;
+
+  TermBound levelBounds(const Level &L, unsigned Dim) const {
+    switch (L.K) {
+    case Level::Kind::Shared:
+      return sharedTermBounds(L.Coef[Dim].first, L.Coef[Dim].second, L.M,
+                              L.D);
+    case Level::Kind::Src:
+      return unsharedTermBounds(L.Coef[Dim].first, L.M);
+    case Level::Kind::Sink:
+      return unsharedTermBounds(-L.Coef[Dim].second, L.M);
+    }
+    return TermBound::empty();
+  }
+
+  bool feasible(size_t LevelIndex, const std::vector<int64_t> &Partial) const {
+    for (unsigned Dim = 0; Dim != NumDims; ++Dim) {
+      int64_t Lo = satAdd(Partial[Dim], SuffixMin[LevelIndex][Dim]);
+      int64_t Hi = satAdd(Partial[Dim], SuffixMax[LevelIndex][Dim]);
+      if (Targets[Dim] < Lo || Targets[Dim] > Hi)
+        return false;
+    }
+    return true;
+  }
+
+  TestResult search(size_t LevelIndex, std::vector<int64_t> &Partial,
+                    ExactStats &S) {
+    if (!feasible(LevelIndex, Partial))
+      return TestResult::Independent;
+    if (LevelIndex == Levels.size()) {
+      for (unsigned Dim = 0; Dim != NumDims; ++Dim)
+        if (Partial[Dim] != Targets[Dim])
+          return TestResult::Independent;
+      return TestResult::Definite;
+    }
+
+    const Level &L = Levels[LevelIndex];
+    auto Try = [&](int64_t X, int64_t Y) -> TestResult {
+      if (++S.NodesVisited > Budget) {
+        S.BudgetExhausted = true;
+        return TestResult::Possible;
+      }
+      std::vector<int64_t> Next = Partial;
+      for (unsigned Dim = 0; Dim != NumDims; ++Dim)
+        Next[Dim] = satAdd(Next[Dim],
+                           satSub(satMul(L.Coef[Dim].first, X),
+                                  satMul(L.Coef[Dim].second, Y)));
+      return search(LevelIndex + 1, Next, S);
+    };
+
+    bool SawPossible = false;
+    if (L.K != Level::Kind::Shared) {
+      for (int64_t X = 1; X <= L.M; ++X) {
+        TestResult R = L.K == Level::Kind::Src ? Try(X, 0) : Try(0, X);
+        if (R == TestResult::Definite)
+          return R;
+        if (R == TestResult::Possible)
+          SawPossible = true;
+      }
+      return SawPossible ? TestResult::Possible : TestResult::Independent;
+    }
+
+    for (int64_t X = 1; X <= L.M; ++X) {
+      int64_t YLo = 1, YHi = L.M;
+      switch (L.D) {
+      case Dir::Eq:
+        YLo = YHi = X;
+        break;
+      case Dir::Lt:
+        YLo = X + 1;
+        break;
+      case Dir::Gt:
+        YHi = X - 1;
+        break;
+      case Dir::Any:
+        break;
+      }
+      for (int64_t Y = YLo; Y <= YHi; ++Y) {
+        TestResult R = Try(X, Y);
+        if (R == TestResult::Definite)
+          return R;
+        if (R == TestResult::Possible)
+          SawPossible = true;
+      }
+    }
+    return SawPossible ? TestResult::Possible : TestResult::Independent;
+  }
+};
+
+} // namespace
+
+TestResult hac::exactTest(const DepProblem &P, const DirVector &Dirs,
+                          uint64_t Budget, ExactStats *Stats) {
+  assert(Dirs.size() == P.SharedLoops.size() &&
+         "direction vector arity mismatch");
+  if (P.hasEmptyLoop()) {
+    if (Stats)
+      *Stats = ExactStats();
+    return TestResult::Independent;
+  }
+  ExactStats Local;
+  ExactSearcher Searcher(P, Dirs, Budget, Stats);
+  return Searcher.run(Local);
+}
+
+std::vector<DirVector> hac::refineDirections(const DepProblem &P,
+                                             uint64_t ExactBudget) {
+  std::vector<DirVector> Result;
+  DirVector Dirs(P.SharedLoops.size(), Dir::Any);
+
+  // Depth-first refinement: prune a whole subtree as soon as the combined
+  // necessary test proves independence for its partial vector.
+  std::function<void(size_t)> Go = [&](size_t Pos) {
+    if (hierTest(P, Dirs) == TestResult::Independent)
+      return;
+    if (Pos == Dirs.size()) {
+      if (ExactBudget != 0 &&
+          exactTest(P, Dirs, ExactBudget) == TestResult::Independent)
+        return;
+      Result.push_back(Dirs);
+      return;
+    }
+    for (Dir D : {Dir::Lt, Dir::Eq, Dir::Gt}) {
+      Dirs[Pos] = D;
+      Go(Pos + 1);
+    }
+    Dirs[Pos] = Dir::Any;
+  };
+  Go(0);
+  return Result;
+}

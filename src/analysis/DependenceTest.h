@@ -1,0 +1,121 @@
+//===- analysis/DependenceTest.h - GCD / Banerjee / exact tests -*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The number-theoretic core of Section 6. A dependence between a source
+/// array reference f(x1..xd) and a sink reference g(y1..yd) exists iff the
+/// dependence equation f(x) - g(y) = 0 has an integer solution within the
+/// region of interest R, optionally constrained by a direction vector
+/// (x_k = y_k, x_k < y_k, x_k > y_k, or unconstrained per shared loop).
+///
+/// Three tests are provided, as in the paper:
+///  * the GCD test (Theorem 1: any-integer-solution; necessary, O(d));
+///  * the Banerjee inequality test (Theorem 2: bounded-rational-solution;
+///    necessary, O(d); per-term bounds are computed exactly at the integer
+///    vertices of each constrained sub-region, which subsumes the t+/t-
+///    formulas of the paper's lemmas);
+///  * the exact bounded-integer-solution test (necessary and sufficient;
+///    worst-case exponential, budgeted).
+///
+/// `refineDirections` implements the search-tree refinement of direction
+/// vectors ([6] in the paper): starting from (*,...,*), each '*' is split
+/// into <, =, > and subtrees pruned when GCD or Banerjee proves
+/// independence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_ANALYSIS_DEPENDENCETEST_H
+#define HAC_ANALYSIS_DEPENDENCETEST_H
+
+#include "analysis/AffineExpr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hac {
+
+/// Direction of a dependence with respect to one shared loop: the relation
+/// between the source instance index x and the sink instance index y.
+enum class Dir : uint8_t {
+  Lt,  ///< x < y : source in an "earlier" iteration ('<')
+  Eq,  ///< x = y : same iteration ('=')
+  Gt,  ///< x > y : source in a "later" iteration ('>')
+  Any, ///< unconstrained ('*')
+};
+
+using DirVector = std::vector<Dir>;
+
+char dirChar(Dir D);
+/// Renders e.g. "(<,=)"; the empty vector renders as "()".
+std::string dirVectorToString(const DirVector &Dirs);
+
+/// A dependence-testing problem between one source and one sink reference
+/// to the same array. Affine forms are normalized (indices in [1..M]).
+struct DepProblem {
+  /// Per array dimension: (source subscript, sink subscript).
+  std::vector<std::pair<AffineForm, AffineForm>> Dims;
+  /// Loops surrounding both references, outermost first. Direction
+  /// vectors index into this list.
+  std::vector<const LoopNode *> SharedLoops;
+  /// Loops surrounding only the source / only the sink reference.
+  std::vector<const LoopNode *> SrcOnlyLoops;
+  std::vector<const LoopNode *> SinkOnlyLoops;
+
+  /// True when some involved loop has zero iterations — then no instance
+  /// exists and no dependence is possible.
+  bool hasEmptyLoop() const;
+};
+
+/// Outcome of a dependence test.
+enum class TestResult : uint8_t {
+  Independent, ///< the test *proves* no dependence
+  Possible,    ///< the (necessary) test could not rule a dependence out
+  Definite,    ///< the exact test found a witness solution
+};
+
+const char *testResultName(TestResult R);
+
+/// The GCD test under direction constraints: for loops constrained '=',
+/// the coefficient (a_k - b_k) participates; for '<', '>', '*' and
+/// unshared loops, a_k and b_k participate separately. A dependence exists
+/// only if the gcd divides b0 - a0. Never returns Definite.
+TestResult gcdTest(const DepProblem &P, const DirVector &Dirs);
+
+/// The Banerjee inequality test under direction constraints: sums exact
+/// per-term vertex bounds and checks that they bracket b0 - a0. Never
+/// returns Definite.
+TestResult banerjeeTest(const DepProblem &P, const DirVector &Dirs);
+
+/// Statistics from an exact-test run (exposed for the cost benchmarks).
+struct ExactStats {
+  uint64_t NodesVisited = 0;
+  bool BudgetExhausted = false;
+};
+
+/// The exact bounded-integer-solution test: enumerates instance pairs per
+/// shared loop (and single instances of unshared loops) with interval
+/// pruning. Returns Definite with a witness, Independent after exhaustive
+/// search, or Possible when \p Budget nodes were visited without an
+/// answer.
+TestResult exactTest(const DepProblem &P, const DirVector &Dirs,
+                     uint64_t Budget = 1'000'000,
+                     ExactStats *Stats = nullptr);
+
+/// Combined necessary test: Independent if either GCD or Banerjee proves
+/// independence under \p Dirs.
+TestResult hierTest(const DepProblem &P, const DirVector &Dirs);
+
+/// Search-tree refinement of direction vectors over P.SharedLoops.
+/// Returns every fully refined vector (no '*') that the combined
+/// GCD+Banerjee test cannot rule out; when \p ExactBudget is nonzero each
+/// surviving leaf is additionally screened by the exact test.
+std::vector<DirVector> refineDirections(const DepProblem &P,
+                                        uint64_t ExactBudget = 0);
+
+} // namespace hac
+
+#endif // HAC_ANALYSIS_DEPENDENCETEST_H

@@ -1,0 +1,328 @@
+//===- ast/ASTPrinter.cpp - Pretty printer for the AST --------------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include "support/Casting.h"
+
+#include <sstream>
+
+using namespace hac;
+
+namespace {
+
+/// Binding powers used to decide where parentheses are required. Larger
+/// binds tighter. Mirrors the parser's precedence table.
+enum Precedence : int {
+  PrecLowest = 0,
+  PrecSvPair = 1,    // :=
+  PrecOr = 2,        // ||
+  PrecAnd = 3,       // &&
+  PrecCompare = 4,   // == /= < <= > >=
+  PrecAppend = 5,    // ++
+  PrecAdd = 6,       // + -
+  PrecMul = 7,       // * / %
+  PrecUnary = 8,     // unary - and not
+  PrecApply = 9,     // application
+  PrecSubscript = 10 // a ! i
+};
+
+int binaryPrec(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Or:
+    return PrecOr;
+  case BinaryOpKind::And:
+    return PrecAnd;
+  case BinaryOpKind::Eq:
+  case BinaryOpKind::Ne:
+  case BinaryOpKind::Lt:
+  case BinaryOpKind::Le:
+  case BinaryOpKind::Gt:
+  case BinaryOpKind::Ge:
+    return PrecCompare;
+  case BinaryOpKind::Append:
+    return PrecAppend;
+  case BinaryOpKind::Add:
+  case BinaryOpKind::Sub:
+    return PrecAdd;
+  case BinaryOpKind::Mul:
+  case BinaryOpKind::Div:
+  case BinaryOpKind::Mod:
+    return PrecMul;
+  }
+  return PrecLowest;
+}
+
+class PrinterImpl {
+public:
+  explicit PrinterImpl(std::ostream &OS) : OS(OS) {}
+
+  /// Prints \p E; wraps in parentheses if its natural precedence is lower
+  /// than \p MinPrec.
+  void print(const Expr *E, int MinPrec) {
+    if (!E) {
+      OS << "<null>";
+      return;
+    }
+    int Prec = naturalPrec(E);
+    bool Paren = Prec < MinPrec;
+    if (Paren)
+      OS << '(';
+    printBare(E);
+    if (Paren)
+      OS << ')';
+  }
+
+private:
+  std::ostream &OS;
+
+  static int naturalPrec(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::Binary:
+      return binaryPrec(cast<BinaryExpr>(E)->op());
+    case ExprKind::Unary:
+      return PrecUnary;
+    case ExprKind::Apply:
+    case ExprKind::MakeArray:
+    case ExprKind::AccumArray:
+    case ExprKind::BigUpd:
+    case ExprKind::ForceElements:
+      return PrecApply;
+    case ExprKind::ArraySub:
+      return PrecSubscript;
+    case ExprKind::SvPair:
+      return PrecSvPair;
+    case ExprKind::Lambda:
+    case ExprKind::Let:
+    case ExprKind::If:
+      return PrecLowest;
+    default:
+      return PrecSubscript + 1; // atoms never need parens
+    }
+  }
+
+  void printBinds(const std::vector<LetBind> &Binds) {
+    bool First = true;
+    for (const LetBind &B : Binds) {
+      if (!First)
+        OS << "; ";
+      First = false;
+      OS << B.Name << " = ";
+      print(B.Value.get(), PrecLowest);
+    }
+  }
+
+  void printQuals(const std::vector<CompQual> &Quals) {
+    bool First = true;
+    for (const CompQual &Q : Quals) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      switch (Q.kind()) {
+      case CompQual::Kind::Generator:
+        OS << Q.var() << " <- ";
+        print(Q.source(), PrecLowest);
+        break;
+      case CompQual::Kind::Guard:
+        print(Q.cond(), PrecLowest);
+        break;
+      case CompQual::Kind::LetQual:
+        OS << "let ";
+        printBinds(Q.binds());
+        break;
+      }
+    }
+  }
+
+  void printBare(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      OS << cast<IntLitExpr>(E)->value();
+      return;
+    case ExprKind::FloatLit: {
+      std::ostringstream Tmp;
+      Tmp << cast<FloatLitExpr>(E)->value();
+      std::string S = Tmp.str();
+      OS << S;
+      // Ensure the literal re-lexes as a float.
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos &&
+          S.find("inf") == std::string::npos &&
+          S.find("nan") == std::string::npos)
+        OS << ".0";
+      return;
+    }
+    case ExprKind::BoolLit:
+      OS << (cast<BoolLitExpr>(E)->value() ? "True" : "False");
+      return;
+    case ExprKind::Var:
+      OS << cast<VarExpr>(E)->name();
+      return;
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      OS << unaryOpSpelling(U->op());
+      if (U->op() == UnaryOpKind::Not)
+        OS << ' ';
+      print(U->operand(), PrecUnary + 1);
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int Prec = binaryPrec(B->op());
+      // All operators print left-associatively.
+      print(B->lhs(), Prec);
+      OS << ' ' << binaryOpSpelling(B->op()) << ' ';
+      print(B->rhs(), Prec + 1);
+      return;
+    }
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      OS << "if ";
+      print(I->cond(), PrecLowest);
+      OS << " then ";
+      print(I->thenExpr(), PrecLowest);
+      OS << " else ";
+      print(I->elseExpr(), PrecLowest);
+      return;
+    }
+    case ExprKind::Tuple: {
+      const auto *T = cast<TupleExpr>(E);
+      OS << '(';
+      for (unsigned I = 0; I != T->size(); ++I) {
+        if (I)
+          OS << ", ";
+        print(T->elem(I), PrecLowest);
+      }
+      OS << ')';
+      return;
+    }
+    case ExprKind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      OS << '\\';
+      for (const std::string &P : L->params())
+        OS << P << ' ';
+      OS << ". ";
+      print(L->body(), PrecLowest);
+      return;
+    }
+    case ExprKind::Apply: {
+      const auto *A = cast<ApplyExpr>(E);
+      print(A->fn(), PrecApply);
+      for (const ExprPtr &Arg : A->args()) {
+        OS << ' ';
+        print(Arg.get(), PrecApply + 1);
+      }
+      return;
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      switch (L->letKind()) {
+      case LetKindEnum::Plain:
+        OS << "let ";
+        break;
+      case LetKindEnum::Rec:
+        OS << "letrec ";
+        break;
+      case LetKindEnum::RecStrict:
+        OS << "letrec* ";
+        break;
+      }
+      printBinds(L->binds());
+      OS << " in ";
+      print(L->body(), PrecLowest);
+      return;
+    }
+    case ExprKind::Range: {
+      const auto *R = cast<RangeExpr>(E);
+      OS << '[';
+      print(R->lo(), PrecLowest);
+      if (R->hasSecond()) {
+        OS << ", ";
+        print(R->second(), PrecLowest);
+      }
+      OS << " .. ";
+      print(R->hi(), PrecLowest);
+      OS << ']';
+      return;
+    }
+    case ExprKind::List: {
+      const auto *L = cast<ListExpr>(E);
+      OS << '[';
+      for (unsigned I = 0; I != L->size(); ++I) {
+        if (I)
+          OS << ", ";
+        print(L->elem(I), PrecLowest);
+      }
+      OS << ']';
+      return;
+    }
+    case ExprKind::Comp: {
+      const auto *C = cast<CompExpr>(E);
+      OS << (C->isNested() ? "[* " : "[ ");
+      print(C->head(), PrecLowest);
+      OS << " | ";
+      printQuals(C->quals());
+      OS << (C->isNested() ? " *]" : " ]");
+      return;
+    }
+    case ExprKind::SvPair: {
+      const auto *P = cast<SvPairExpr>(E);
+      print(P->subscript(), PrecSvPair + 1);
+      OS << " := ";
+      print(P->value(), PrecSvPair + 1);
+      return;
+    }
+    case ExprKind::ArraySub: {
+      const auto *S = cast<ArraySubExpr>(E);
+      print(S->base(), PrecSubscript);
+      OS << " ! ";
+      print(S->index(), PrecSubscript + 1);
+      return;
+    }
+    case ExprKind::MakeArray: {
+      const auto *M = cast<MakeArrayExpr>(E);
+      OS << "array ";
+      print(M->bounds(), PrecApply + 1);
+      OS << ' ';
+      print(M->svList(), PrecApply + 1);
+      return;
+    }
+    case ExprKind::AccumArray: {
+      const auto *A = cast<AccumArrayExpr>(E);
+      OS << "accumArray ";
+      print(A->fn(), PrecApply + 1);
+      OS << ' ';
+      print(A->init(), PrecApply + 1);
+      OS << ' ';
+      print(A->bounds(), PrecApply + 1);
+      OS << ' ';
+      print(A->svList(), PrecApply + 1);
+      return;
+    }
+    case ExprKind::BigUpd: {
+      const auto *U = cast<BigUpdExpr>(E);
+      OS << "bigupd ";
+      print(U->base(), PrecApply + 1);
+      OS << ' ';
+      print(U->svList(), PrecApply + 1);
+      return;
+    }
+    case ExprKind::ForceElements: {
+      OS << "forceElements ";
+      print(cast<ForceElementsExpr>(E)->arg(), PrecApply + 1);
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+void hac::printExpr(const Expr *E, std::ostream &OS) {
+  PrinterImpl(OS).print(E, PrecLowest);
+}
+
+std::string hac::exprToString(const Expr *E) {
+  std::ostringstream OS;
+  printExpr(E, OS);
+  return OS.str();
+}

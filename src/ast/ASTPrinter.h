@@ -1,0 +1,32 @@
+//===- ast/ASTPrinter.h - Pretty printer for the AST ------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints expressions back in (fully parenthesized where needed) surface
+/// syntax. Round-trips through the parser: parse(print(e)) is structurally
+/// equal to e, which the test suite checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_AST_ASTPRINTER_H
+#define HAC_AST_ASTPRINTER_H
+
+#include "ast/Expr.h"
+
+#include <ostream>
+#include <string>
+
+namespace hac {
+
+/// Writes the surface syntax of \p E to \p OS.
+void printExpr(const Expr *E, std::ostream &OS);
+
+/// Returns the surface syntax of \p E as a string.
+std::string exprToString(const Expr *E);
+
+} // namespace hac
+
+#endif // HAC_AST_ASTPRINTER_H

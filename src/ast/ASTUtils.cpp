@@ -1,0 +1,664 @@
+//===- ast/ASTUtils.cpp - Clone, equality, free variables -----------------===//
+
+#include "ast/ASTUtils.h"
+
+#include "support/Casting.h"
+
+using namespace hac;
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+static std::vector<ExprPtr> cloneList(const std::vector<ExprPtr> &Elems) {
+  std::vector<ExprPtr> Result;
+  Result.reserve(Elems.size());
+  for (const ExprPtr &E : Elems)
+    Result.push_back(cloneExpr(E.get()));
+  return Result;
+}
+
+static std::vector<LetBind> cloneBinds(const std::vector<LetBind> &Binds) {
+  std::vector<LetBind> Result;
+  Result.reserve(Binds.size());
+  for (const LetBind &B : Binds)
+    Result.emplace_back(B.Name, cloneExpr(B.Value.get()), B.Loc);
+  return Result;
+}
+
+static std::vector<CompQual> cloneQuals(const std::vector<CompQual> &Quals) {
+  std::vector<CompQual> Result;
+  Result.reserve(Quals.size());
+  for (const CompQual &Q : Quals) {
+    switch (Q.kind()) {
+    case CompQual::Kind::Generator:
+      Result.push_back(
+          CompQual::makeGenerator(Q.var(), cloneExpr(Q.source()), Q.loc()));
+      break;
+    case CompQual::Kind::Guard:
+      Result.push_back(CompQual::makeGuard(cloneExpr(Q.cond()), Q.loc()));
+      break;
+    case CompQual::Kind::LetQual:
+      Result.push_back(CompQual::makeLet(cloneBinds(Q.binds()), Q.loc()));
+      break;
+    }
+  }
+  return Result;
+}
+
+ExprPtr hac::cloneExpr(const Expr *E) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return std::make_unique<IntLitExpr>(cast<IntLitExpr>(E)->value(),
+                                        E->loc());
+  case ExprKind::FloatLit:
+    return std::make_unique<FloatLitExpr>(cast<FloatLitExpr>(E)->value(),
+                                          E->loc());
+  case ExprKind::BoolLit:
+    return std::make_unique<BoolLitExpr>(cast<BoolLitExpr>(E)->value(),
+                                         E->loc());
+  case ExprKind::Var:
+    return std::make_unique<VarExpr>(cast<VarExpr>(E)->name(), E->loc());
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::make_unique<UnaryExpr>(U->op(), cloneExpr(U->operand()),
+                                       E->loc());
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return std::make_unique<BinaryExpr>(B->op(), cloneExpr(B->lhs()),
+                                        cloneExpr(B->rhs()), E->loc());
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return std::make_unique<IfExpr>(cloneExpr(I->cond()),
+                                    cloneExpr(I->thenExpr()),
+                                    cloneExpr(I->elseExpr()), E->loc());
+  }
+  case ExprKind::Tuple:
+    return std::make_unique<TupleExpr>(cloneList(cast<TupleExpr>(E)->elems()),
+                                       E->loc());
+  case ExprKind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    return std::make_unique<LambdaExpr>(L->params(), cloneExpr(L->body()),
+                                        E->loc());
+  }
+  case ExprKind::Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    return std::make_unique<ApplyExpr>(cloneExpr(A->fn()),
+                                       cloneList(A->args()), E->loc());
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    return std::make_unique<LetExpr>(L->letKind(), cloneBinds(L->binds()),
+                                     cloneExpr(L->body()), E->loc());
+  }
+  case ExprKind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    return std::make_unique<RangeExpr>(cloneExpr(R->lo()),
+                                       cloneExpr(R->second()),
+                                       cloneExpr(R->hi()), E->loc());
+  }
+  case ExprKind::List:
+    return std::make_unique<ListExpr>(cloneList(cast<ListExpr>(E)->elems()),
+                                      E->loc());
+  case ExprKind::Comp: {
+    const auto *C = cast<CompExpr>(E);
+    return std::make_unique<CompExpr>(cloneExpr(C->head()),
+                                      cloneQuals(C->quals()), C->isNested(),
+                                      E->loc());
+  }
+  case ExprKind::SvPair: {
+    const auto *P = cast<SvPairExpr>(E);
+    return std::make_unique<SvPairExpr>(cloneExpr(P->subscript()),
+                                        cloneExpr(P->value()), E->loc());
+  }
+  case ExprKind::ArraySub: {
+    const auto *S = cast<ArraySubExpr>(E);
+    return std::make_unique<ArraySubExpr>(cloneExpr(S->base()),
+                                          cloneExpr(S->index()), E->loc());
+  }
+  case ExprKind::MakeArray: {
+    const auto *M = cast<MakeArrayExpr>(E);
+    return std::make_unique<MakeArrayExpr>(cloneExpr(M->bounds()),
+                                           cloneExpr(M->svList()), E->loc());
+  }
+  case ExprKind::AccumArray: {
+    const auto *A = cast<AccumArrayExpr>(E);
+    return std::make_unique<AccumArrayExpr>(
+        cloneExpr(A->fn()), cloneExpr(A->init()), cloneExpr(A->bounds()),
+        cloneExpr(A->svList()), E->loc());
+  }
+  case ExprKind::BigUpd: {
+    const auto *U = cast<BigUpdExpr>(E);
+    return std::make_unique<BigUpdExpr>(cloneExpr(U->base()),
+                                        cloneExpr(U->svList()), E->loc());
+  }
+  case ExprKind::ForceElements:
+    return std::make_unique<ForceElementsExpr>(
+        cloneExpr(cast<ForceElementsExpr>(E)->arg()), E->loc());
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality
+//===----------------------------------------------------------------------===//
+
+static bool listEquals(const std::vector<ExprPtr> &A,
+                       const std::vector<ExprPtr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (!exprEquals(A[I].get(), B[I].get()))
+      return false;
+  return true;
+}
+
+static bool bindsEqual(const std::vector<LetBind> &A,
+                       const std::vector<LetBind> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (A[I].Name != B[I].Name ||
+        !exprEquals(A[I].Value.get(), B[I].Value.get()))
+      return false;
+  return true;
+}
+
+static bool qualsEqual(const std::vector<CompQual> &A,
+                       const std::vector<CompQual> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I) {
+    if (A[I].kind() != B[I].kind())
+      return false;
+    switch (A[I].kind()) {
+    case CompQual::Kind::Generator:
+      if (A[I].var() != B[I].var() ||
+          !exprEquals(A[I].source(), B[I].source()))
+        return false;
+      break;
+    case CompQual::Kind::Guard:
+      if (!exprEquals(A[I].cond(), B[I].cond()))
+        return false;
+      break;
+    case CompQual::Kind::LetQual:
+      if (!bindsEqual(A[I].binds(), B[I].binds()))
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+bool hac::exprEquals(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case ExprKind::IntLit:
+    return cast<IntLitExpr>(A)->value() == cast<IntLitExpr>(B)->value();
+  case ExprKind::FloatLit:
+    return cast<FloatLitExpr>(A)->value() == cast<FloatLitExpr>(B)->value();
+  case ExprKind::BoolLit:
+    return cast<BoolLitExpr>(A)->value() == cast<BoolLitExpr>(B)->value();
+  case ExprKind::Var:
+    return cast<VarExpr>(A)->name() == cast<VarExpr>(B)->name();
+  case ExprKind::Unary: {
+    const auto *UA = cast<UnaryExpr>(A), *UB = cast<UnaryExpr>(B);
+    return UA->op() == UB->op() && exprEquals(UA->operand(), UB->operand());
+  }
+  case ExprKind::Binary: {
+    const auto *BA = cast<BinaryExpr>(A), *BB = cast<BinaryExpr>(B);
+    return BA->op() == BB->op() && exprEquals(BA->lhs(), BB->lhs()) &&
+           exprEquals(BA->rhs(), BB->rhs());
+  }
+  case ExprKind::If: {
+    const auto *IA = cast<IfExpr>(A), *IB = cast<IfExpr>(B);
+    return exprEquals(IA->cond(), IB->cond()) &&
+           exprEquals(IA->thenExpr(), IB->thenExpr()) &&
+           exprEquals(IA->elseExpr(), IB->elseExpr());
+  }
+  case ExprKind::Tuple:
+    return listEquals(cast<TupleExpr>(A)->elems(),
+                      cast<TupleExpr>(B)->elems());
+  case ExprKind::Lambda: {
+    const auto *LA = cast<LambdaExpr>(A), *LB = cast<LambdaExpr>(B);
+    return LA->params() == LB->params() && exprEquals(LA->body(), LB->body());
+  }
+  case ExprKind::Apply: {
+    const auto *AA = cast<ApplyExpr>(A), *AB = cast<ApplyExpr>(B);
+    return exprEquals(AA->fn(), AB->fn()) && listEquals(AA->args(), AB->args());
+  }
+  case ExprKind::Let: {
+    const auto *LA = cast<LetExpr>(A), *LB = cast<LetExpr>(B);
+    return LA->letKind() == LB->letKind() &&
+           bindsEqual(LA->binds(), LB->binds()) &&
+           exprEquals(LA->body(), LB->body());
+  }
+  case ExprKind::Range: {
+    const auto *RA = cast<RangeExpr>(A), *RB = cast<RangeExpr>(B);
+    return exprEquals(RA->lo(), RB->lo()) &&
+           exprEquals(RA->second(), RB->second()) &&
+           exprEquals(RA->hi(), RB->hi());
+  }
+  case ExprKind::List:
+    return listEquals(cast<ListExpr>(A)->elems(), cast<ListExpr>(B)->elems());
+  case ExprKind::Comp: {
+    const auto *CA = cast<CompExpr>(A), *CB = cast<CompExpr>(B);
+    return CA->isNested() == CB->isNested() &&
+           exprEquals(CA->head(), CB->head()) &&
+           qualsEqual(CA->quals(), CB->quals());
+  }
+  case ExprKind::SvPair: {
+    const auto *PA = cast<SvPairExpr>(A), *PB = cast<SvPairExpr>(B);
+    return exprEquals(PA->subscript(), PB->subscript()) &&
+           exprEquals(PA->value(), PB->value());
+  }
+  case ExprKind::ArraySub: {
+    const auto *SA = cast<ArraySubExpr>(A), *SB = cast<ArraySubExpr>(B);
+    return exprEquals(SA->base(), SB->base()) &&
+           exprEquals(SA->index(), SB->index());
+  }
+  case ExprKind::MakeArray: {
+    const auto *MA = cast<MakeArrayExpr>(A), *MB = cast<MakeArrayExpr>(B);
+    return exprEquals(MA->bounds(), MB->bounds()) &&
+           exprEquals(MA->svList(), MB->svList());
+  }
+  case ExprKind::AccumArray: {
+    const auto *AA = cast<AccumArrayExpr>(A), *AB = cast<AccumArrayExpr>(B);
+    return exprEquals(AA->fn(), AB->fn()) &&
+           exprEquals(AA->init(), AB->init()) &&
+           exprEquals(AA->bounds(), AB->bounds()) &&
+           exprEquals(AA->svList(), AB->svList());
+  }
+  case ExprKind::BigUpd: {
+    const auto *UA = cast<BigUpdExpr>(A), *UB = cast<BigUpdExpr>(B);
+    return exprEquals(UA->base(), UB->base()) &&
+           exprEquals(UA->svList(), UB->svList());
+  }
+  case ExprKind::ForceElements:
+    return exprEquals(cast<ForceElementsExpr>(A)->arg(),
+                      cast<ForceElementsExpr>(B)->arg());
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Free variables
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Recursive worker carrying the set of names currently bound.
+void freeVarsImpl(const Expr *E, std::set<std::string> &Bound,
+                  std::set<std::string> &Out);
+
+void freeVarsBinds(const std::vector<LetBind> &Binds, bool Recursive,
+                   std::set<std::string> &Bound, std::set<std::string> &Out,
+                   std::vector<std::string> &Introduced) {
+  // For recursive lets the names scope over the bound expressions too.
+  if (Recursive) {
+    for (const LetBind &B : Binds)
+      if (Bound.insert(B.Name).second)
+        Introduced.push_back(B.Name);
+    for (const LetBind &B : Binds)
+      freeVarsImpl(B.Value.get(), Bound, Out);
+    return;
+  }
+  // Non-recursive: each bound expression sees only the previous bindings.
+  for (const LetBind &B : Binds) {
+    freeVarsImpl(B.Value.get(), Bound, Out);
+    if (Bound.insert(B.Name).second)
+      Introduced.push_back(B.Name);
+  }
+}
+
+void freeVarsImpl(const Expr *E, std::set<std::string> &Bound,
+                  std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::BoolLit:
+    return;
+  case ExprKind::Var: {
+    const std::string &Name = cast<VarExpr>(E)->name();
+    if (!Bound.count(Name))
+      Out.insert(Name);
+    return;
+  }
+  case ExprKind::Unary:
+    freeVarsImpl(cast<UnaryExpr>(E)->operand(), Bound, Out);
+    return;
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    freeVarsImpl(B->lhs(), Bound, Out);
+    freeVarsImpl(B->rhs(), Bound, Out);
+    return;
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    freeVarsImpl(I->cond(), Bound, Out);
+    freeVarsImpl(I->thenExpr(), Bound, Out);
+    freeVarsImpl(I->elseExpr(), Bound, Out);
+    return;
+  }
+  case ExprKind::Tuple:
+    for (const ExprPtr &Elem : cast<TupleExpr>(E)->elems())
+      freeVarsImpl(Elem.get(), Bound, Out);
+    return;
+  case ExprKind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    std::vector<std::string> Introduced;
+    for (const std::string &P : L->params())
+      if (Bound.insert(P).second)
+        Introduced.push_back(P);
+    freeVarsImpl(L->body(), Bound, Out);
+    for (const std::string &P : Introduced)
+      Bound.erase(P);
+    return;
+  }
+  case ExprKind::Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    freeVarsImpl(A->fn(), Bound, Out);
+    for (const ExprPtr &Arg : A->args())
+      freeVarsImpl(Arg.get(), Bound, Out);
+    return;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    std::vector<std::string> Introduced;
+    freeVarsBinds(L->binds(), L->letKind() != LetKindEnum::Plain, Bound, Out,
+                  Introduced);
+    freeVarsImpl(L->body(), Bound, Out);
+    for (const std::string &Name : Introduced)
+      Bound.erase(Name);
+    return;
+  }
+  case ExprKind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    freeVarsImpl(R->lo(), Bound, Out);
+    freeVarsImpl(R->second(), Bound, Out);
+    freeVarsImpl(R->hi(), Bound, Out);
+    return;
+  }
+  case ExprKind::List:
+    for (const ExprPtr &Elem : cast<ListExpr>(E)->elems())
+      freeVarsImpl(Elem.get(), Bound, Out);
+    return;
+  case ExprKind::Comp: {
+    const auto *C = cast<CompExpr>(E);
+    std::vector<std::string> Introduced;
+    for (const CompQual &Q : C->quals()) {
+      switch (Q.kind()) {
+      case CompQual::Kind::Generator:
+        freeVarsImpl(Q.source(), Bound, Out);
+        if (Bound.insert(Q.var()).second)
+          Introduced.push_back(Q.var());
+        break;
+      case CompQual::Kind::Guard:
+        freeVarsImpl(Q.cond(), Bound, Out);
+        break;
+      case CompQual::Kind::LetQual:
+        freeVarsBinds(Q.binds(), /*Recursive=*/false, Bound, Out, Introduced);
+        break;
+      }
+    }
+    freeVarsImpl(C->head(), Bound, Out);
+    for (const std::string &Name : Introduced)
+      Bound.erase(Name);
+    return;
+  }
+  case ExprKind::SvPair: {
+    const auto *P = cast<SvPairExpr>(E);
+    freeVarsImpl(P->subscript(), Bound, Out);
+    freeVarsImpl(P->value(), Bound, Out);
+    return;
+  }
+  case ExprKind::ArraySub: {
+    const auto *S = cast<ArraySubExpr>(E);
+    freeVarsImpl(S->base(), Bound, Out);
+    freeVarsImpl(S->index(), Bound, Out);
+    return;
+  }
+  case ExprKind::MakeArray: {
+    const auto *M = cast<MakeArrayExpr>(E);
+    freeVarsImpl(M->bounds(), Bound, Out);
+    freeVarsImpl(M->svList(), Bound, Out);
+    return;
+  }
+  case ExprKind::AccumArray: {
+    const auto *A = cast<AccumArrayExpr>(E);
+    freeVarsImpl(A->fn(), Bound, Out);
+    freeVarsImpl(A->init(), Bound, Out);
+    freeVarsImpl(A->bounds(), Bound, Out);
+    freeVarsImpl(A->svList(), Bound, Out);
+    return;
+  }
+  case ExprKind::BigUpd: {
+    const auto *U = cast<BigUpdExpr>(E);
+    freeVarsImpl(U->base(), Bound, Out);
+    freeVarsImpl(U->svList(), Bound, Out);
+    return;
+  }
+  case ExprKind::ForceElements:
+    freeVarsImpl(cast<ForceElementsExpr>(E)->arg(), Bound, Out);
+    return;
+  }
+}
+} // namespace
+
+void hac::collectFreeVars(const Expr *E, std::set<std::string> &Out) {
+  std::set<std::string> Bound;
+  freeVarsImpl(E, Bound, Out);
+}
+
+std::set<std::string> hac::freeVars(const Expr *E) {
+  std::set<std::string> Out;
+  collectFreeVars(E, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Returns true if any binding in \p Binds introduces \p Name.
+bool bindsIntroduce(const std::vector<LetBind> &Binds,
+                    const std::string &Name) {
+  for (const LetBind &B : Binds)
+    if (B.Name == Name)
+      return true;
+  return false;
+}
+} // namespace
+
+ExprPtr hac::substitute(const Expr *E, const std::string &Name,
+                        const Expr *Replacement) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case ExprKind::Var:
+    if (cast<VarExpr>(E)->name() == Name)
+      return cloneExpr(Replacement);
+    return cloneExpr(E);
+  case ExprKind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    for (const std::string &P : L->params())
+      if (P == Name)
+        return cloneExpr(E); // shadowed
+    return std::make_unique<LambdaExpr>(
+        L->params(), substitute(L->body(), Name, Replacement), E->loc());
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    bool Shadowed = bindsIntroduce(L->binds(), Name);
+    bool Recursive = L->letKind() != LetKindEnum::Plain;
+    std::vector<LetBind> NewBinds;
+    NewBinds.reserve(L->binds().size());
+    // For a recursive let a shadowing binder hides Name everywhere; for a
+    // plain let the bound expressions still see the outer Name until the
+    // shadowing binding occurs. We conservatively treat plain lets the
+    // same way when shadowed (callers only substitute fresh names).
+    for (const LetBind &B : L->binds())
+      NewBinds.emplace_back(B.Name,
+                            (Shadowed && Recursive)
+                                ? cloneExpr(B.Value.get())
+                                : substitute(B.Value.get(), Name, Replacement),
+                            B.Loc);
+    ExprPtr Body = Shadowed ? cloneExpr(L->body())
+                            : substitute(L->body(), Name, Replacement);
+    return std::make_unique<LetExpr>(L->letKind(), std::move(NewBinds),
+                                     std::move(Body), E->loc());
+  }
+  case ExprKind::Comp: {
+    const auto *C = cast<CompExpr>(E);
+    std::vector<CompQual> NewQuals;
+    bool Shadowed = false;
+    for (const CompQual &Q : C->quals()) {
+      switch (Q.kind()) {
+      case CompQual::Kind::Generator: {
+        ExprPtr Src = Shadowed ? cloneExpr(Q.source())
+                               : substitute(Q.source(), Name, Replacement);
+        if (Q.var() == Name)
+          Shadowed = true;
+        NewQuals.push_back(
+            CompQual::makeGenerator(Q.var(), std::move(Src), Q.loc()));
+        break;
+      }
+      case CompQual::Kind::Guard:
+        NewQuals.push_back(CompQual::makeGuard(
+            Shadowed ? cloneExpr(Q.cond())
+                     : substitute(Q.cond(), Name, Replacement),
+            Q.loc()));
+        break;
+      case CompQual::Kind::LetQual: {
+        std::vector<LetBind> NewBinds;
+        for (const LetBind &B : Q.binds()) {
+          NewBinds.emplace_back(B.Name,
+                                Shadowed
+                                    ? cloneExpr(B.Value.get())
+                                    : substitute(B.Value.get(), Name,
+                                                 Replacement),
+                                B.Loc);
+          if (B.Name == Name)
+            Shadowed = true;
+        }
+        NewQuals.push_back(CompQual::makeLet(std::move(NewBinds), Q.loc()));
+        break;
+      }
+      }
+    }
+    ExprPtr Head = Shadowed ? cloneExpr(C->head())
+                            : substitute(C->head(), Name, Replacement);
+    return std::make_unique<CompExpr>(std::move(Head), std::move(NewQuals),
+                                      C->isNested(), E->loc());
+  }
+  default:
+    break;
+  }
+
+  // Generic structural recursion for nodes without binders: clone the node
+  // but substitute in each child. Implemented via clone-and-patch on the
+  // handful of remaining kinds.
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::BoolLit:
+    return cloneExpr(E);
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::make_unique<UnaryExpr>(
+        U->op(), substitute(U->operand(), Name, Replacement), E->loc());
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return std::make_unique<BinaryExpr>(
+        B->op(), substitute(B->lhs(), Name, Replacement),
+        substitute(B->rhs(), Name, Replacement), E->loc());
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return std::make_unique<IfExpr>(
+        substitute(I->cond(), Name, Replacement),
+        substitute(I->thenExpr(), Name, Replacement),
+        substitute(I->elseExpr(), Name, Replacement), E->loc());
+  }
+  case ExprKind::Tuple: {
+    std::vector<ExprPtr> Elems;
+    for (const ExprPtr &Elem : cast<TupleExpr>(E)->elems())
+      Elems.push_back(substitute(Elem.get(), Name, Replacement));
+    return std::make_unique<TupleExpr>(std::move(Elems), E->loc());
+  }
+  case ExprKind::Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &Arg : A->args())
+      Args.push_back(substitute(Arg.get(), Name, Replacement));
+    return std::make_unique<ApplyExpr>(substitute(A->fn(), Name, Replacement),
+                                       std::move(Args), E->loc());
+  }
+  case ExprKind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    return std::make_unique<RangeExpr>(
+        substitute(R->lo(), Name, Replacement),
+        R->second() ? substitute(R->second(), Name, Replacement) : nullptr,
+        substitute(R->hi(), Name, Replacement), E->loc());
+  }
+  case ExprKind::List: {
+    std::vector<ExprPtr> Elems;
+    for (const ExprPtr &Elem : cast<ListExpr>(E)->elems())
+      Elems.push_back(substitute(Elem.get(), Name, Replacement));
+    return std::make_unique<ListExpr>(std::move(Elems), E->loc());
+  }
+  case ExprKind::SvPair: {
+    const auto *P = cast<SvPairExpr>(E);
+    return std::make_unique<SvPairExpr>(
+        substitute(P->subscript(), Name, Replacement),
+        substitute(P->value(), Name, Replacement), E->loc());
+  }
+  case ExprKind::ArraySub: {
+    const auto *S = cast<ArraySubExpr>(E);
+    return std::make_unique<ArraySubExpr>(
+        substitute(S->base(), Name, Replacement),
+        substitute(S->index(), Name, Replacement), E->loc());
+  }
+  case ExprKind::MakeArray: {
+    const auto *M = cast<MakeArrayExpr>(E);
+    return std::make_unique<MakeArrayExpr>(
+        substitute(M->bounds(), Name, Replacement),
+        substitute(M->svList(), Name, Replacement), E->loc());
+  }
+  case ExprKind::AccumArray: {
+    const auto *A = cast<AccumArrayExpr>(E);
+    return std::make_unique<AccumArrayExpr>(
+        substitute(A->fn(), Name, Replacement),
+        substitute(A->init(), Name, Replacement),
+        substitute(A->bounds(), Name, Replacement),
+        substitute(A->svList(), Name, Replacement), E->loc());
+  }
+  case ExprKind::BigUpd: {
+    const auto *U = cast<BigUpdExpr>(E);
+    return std::make_unique<BigUpdExpr>(
+        substitute(U->base(), Name, Replacement),
+        substitute(U->svList(), Name, Replacement), E->loc());
+  }
+  case ExprKind::ForceElements:
+    return std::make_unique<ForceElementsExpr>(
+        substitute(cast<ForceElementsExpr>(E)->arg(), Name, Replacement),
+        E->loc());
+  case ExprKind::Var:
+  case ExprKind::Lambda:
+  case ExprKind::Let:
+  case ExprKind::Comp:
+    break; // handled above
+  }
+  assert(false && "unhandled expr kind in substitute");
+  return nullptr;
+}

@@ -1,0 +1,49 @@
+//===- ast/ASTUtils.h - Clone, equality, free variables ---------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural utilities over the AST: deep cloning (used by the TE
+/// desugaring and node splitting), structural equality (used to detect
+/// identical subscript expressions), free-variable computation (used by
+/// the comprehension normalizer to find loop-invariant bindings), and
+/// substitution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_AST_ASTUTILS_H
+#define HAC_AST_ASTUTILS_H
+
+#include "ast/Expr.h"
+
+#include <set>
+#include <string>
+
+namespace hac {
+
+/// Deep-copies \p E, preserving source locations.
+ExprPtr cloneExpr(const Expr *E);
+
+/// True if \p A and \p B are structurally identical (same shape, same
+/// names, same literal values). Source locations are ignored.
+bool exprEquals(const Expr *A, const Expr *B);
+
+/// Inserts the free variables of \p E into \p Out, respecting lambda, let,
+/// and generator binders.
+void collectFreeVars(const Expr *E, std::set<std::string> &Out);
+
+/// Convenience wrapper returning the free-variable set directly.
+std::set<std::string> freeVars(const Expr *E);
+
+/// Returns a clone of \p E in which every free occurrence of \p Name is
+/// replaced by a clone of \p Replacement. Does not rename binders, so the
+/// caller must ensure \p Replacement's free variables are not captured
+/// (all internal uses substitute fresh or loop-index names).
+ExprPtr substitute(const Expr *E, const std::string &Name,
+                   const Expr *Replacement);
+
+} // namespace hac
+
+#endif // HAC_AST_ASTUTILS_H

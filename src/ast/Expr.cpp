@@ -1,0 +1,98 @@
+//===- ast/Expr.cpp - AST node anchors and names --------------------------===//
+
+#include "ast/Expr.h"
+
+using namespace hac;
+
+// Out-of-line virtual destructor anchors the vtable in this file.
+Expr::~Expr() = default;
+
+const char *hac::exprKindName(ExprKind Kind) {
+  switch (Kind) {
+  case ExprKind::IntLit:
+    return "IntLit";
+  case ExprKind::FloatLit:
+    return "FloatLit";
+  case ExprKind::BoolLit:
+    return "BoolLit";
+  case ExprKind::Var:
+    return "Var";
+  case ExprKind::Unary:
+    return "Unary";
+  case ExprKind::Binary:
+    return "Binary";
+  case ExprKind::If:
+    return "If";
+  case ExprKind::Tuple:
+    return "Tuple";
+  case ExprKind::Lambda:
+    return "Lambda";
+  case ExprKind::Apply:
+    return "Apply";
+  case ExprKind::Let:
+    return "Let";
+  case ExprKind::Range:
+    return "Range";
+  case ExprKind::List:
+    return "List";
+  case ExprKind::Comp:
+    return "Comp";
+  case ExprKind::SvPair:
+    return "SvPair";
+  case ExprKind::ArraySub:
+    return "ArraySub";
+  case ExprKind::MakeArray:
+    return "MakeArray";
+  case ExprKind::AccumArray:
+    return "AccumArray";
+  case ExprKind::BigUpd:
+    return "BigUpd";
+  case ExprKind::ForceElements:
+    return "ForceElements";
+  }
+  return "<invalid>";
+}
+
+const char *hac::binaryOpSpelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Mod:
+    return "%";
+  case BinaryOpKind::Eq:
+    return "==";
+  case BinaryOpKind::Ne:
+    return "/=";
+  case BinaryOpKind::Lt:
+    return "<";
+  case BinaryOpKind::Le:
+    return "<=";
+  case BinaryOpKind::Gt:
+    return ">";
+  case BinaryOpKind::Ge:
+    return ">=";
+  case BinaryOpKind::And:
+    return "&&";
+  case BinaryOpKind::Or:
+    return "||";
+  case BinaryOpKind::Append:
+    return "++";
+  }
+  return "<invalid-op>";
+}
+
+const char *hac::unaryOpSpelling(UnaryOpKind Op) {
+  switch (Op) {
+  case UnaryOpKind::Neg:
+    return "-";
+  case UnaryOpKind::Not:
+    return "not";
+  }
+  return "<invalid-op>";
+}

@@ -1,0 +1,677 @@
+//===- ast/Expr.h - Surface AST for the mini-Haskell ------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the paper's source language: a small non-strict
+/// functional language with Haskell array comprehensions, the paper's
+/// syntactic extensions (`:=` subscript/value pairs, `letrec*`, nested
+/// comprehensions `[* ... *]`, `bigupd`, `forceElements`), ranges, list
+/// comprehensions with generators / guards / let qualifiers, and `where`
+/// clauses (parsed as sugar for `let`).
+///
+/// Nodes use LLVM-style kind-based RTTI (see support/Casting.h) and own
+/// their children through std::unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_AST_EXPR_H
+#define HAC_AST_EXPR_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hac {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Discriminator for the Expr class hierarchy.
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  BoolLit,
+  Var,
+  Unary,
+  Binary,
+  If,
+  Tuple,
+  Lambda,
+  Apply,
+  Let,
+  Range,
+  List,
+  Comp,
+  SvPair,
+  ArraySub,
+  MakeArray,
+  AccumArray,
+  BigUpd,
+  ForceElements,
+};
+
+/// Returns a stable human-readable name for \p Kind ("IntLit", "Comp", ...).
+const char *exprKindName(ExprKind Kind);
+
+/// Base class of all expression nodes.
+class Expr {
+public:
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+  virtual ~Expr();
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Literals and variables
+//===----------------------------------------------------------------------===//
+
+/// Integer literal, e.g. `42`.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// Floating-point literal, e.g. `3.25`.
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(double Value, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::FloatLit, Loc), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FloatLit;
+  }
+
+private:
+  double Value;
+};
+
+/// Boolean literal `True` / `False`.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// Variable reference.
+class VarExpr : public Expr {
+public:
+  explicit VarExpr(std::string Name, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Var, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
+
+private:
+  std::string Name;
+};
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+enum class UnaryOpKind : uint8_t {
+  Neg, ///< arithmetic negation `-e`
+  Not, ///< boolean negation `not e`
+};
+
+enum class BinaryOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div, ///< real division on floats, truncating on ints
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  Append, ///< list append `++`
+};
+
+/// Returns the surface spelling of a binary operator ("+", "++", ...).
+const char *binaryOpSpelling(BinaryOpKind Op);
+/// Returns the surface spelling of a unary operator.
+const char *unaryOpSpelling(UnaryOpKind Op);
+
+/// Unary operator application.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, ExprPtr Operand, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {
+    assert(this->Operand && "unary operand must be non-null");
+  }
+
+  UnaryOpKind op() const { return Op; }
+  const Expr *operand() const { return Operand.get(); }
+  Expr *operand() { return Operand.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  ExprPtr Operand;
+};
+
+/// Binary operator application.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS,
+             SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {
+    assert(this->LHS && this->RHS && "binary operands must be non-null");
+  }
+
+  BinaryOpKind op() const { return Op; }
+  const Expr *lhs() const { return LHS.get(); }
+  Expr *lhs() { return LHS.get(); }
+  const Expr *rhs() const { return RHS.get(); }
+  Expr *rhs() { return RHS.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinaryOpKind Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// Conditional `if c then t else e`.
+class IfExpr : public Expr {
+public:
+  IfExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  const Expr *thenExpr() const { return Then.get(); }
+  const Expr *elseExpr() const { return Else.get(); }
+  Expr *cond() { return Cond.get(); }
+  Expr *thenExpr() { return Then.get(); }
+  Expr *elseExpr() { return Else.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::If; }
+
+private:
+  ExprPtr Cond;
+  ExprPtr Then;
+  ExprPtr Else;
+};
+
+//===----------------------------------------------------------------------===//
+// Compound values and functions
+//===----------------------------------------------------------------------===//
+
+/// Tuple construction `(e1, e2, ...)`; always has >= 2 elements.
+class TupleExpr : public Expr {
+public:
+  TupleExpr(std::vector<ExprPtr> Elems, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Tuple, Loc), Elems(std::move(Elems)) {
+    assert(this->Elems.size() >= 2 && "tuples have at least two elements");
+  }
+
+  unsigned size() const { return Elems.size(); }
+  const Expr *elem(unsigned I) const { return Elems[I].get(); }
+  Expr *elem(unsigned I) { return Elems[I].get(); }
+  const std::vector<ExprPtr> &elems() const { return Elems; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Tuple; }
+
+private:
+  std::vector<ExprPtr> Elems;
+};
+
+/// Lambda abstraction `\x y . body`.
+class LambdaExpr : public Expr {
+public:
+  LambdaExpr(std::vector<std::string> Params, ExprPtr Body,
+             SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Lambda, Loc), Params(std::move(Params)),
+        Body(std::move(Body)) {
+    assert(!this->Params.empty() && "lambda needs at least one parameter");
+  }
+
+  const std::vector<std::string> &params() const { return Params; }
+  const Expr *body() const { return Body.get(); }
+  Expr *body() { return Body.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Lambda; }
+
+private:
+  std::vector<std::string> Params;
+  ExprPtr Body;
+};
+
+/// N-ary application `f e1 e2 ...`.
+class ApplyExpr : public Expr {
+public:
+  ApplyExpr(ExprPtr Fn, std::vector<ExprPtr> Args, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Apply, Loc), Fn(std::move(Fn)), Args(std::move(Args)) {
+    assert(!this->Args.empty() && "application needs at least one argument");
+  }
+
+  const Expr *fn() const { return Fn.get(); }
+  Expr *fn() { return Fn.get(); }
+  unsigned numArgs() const { return Args.size(); }
+  const Expr *arg(unsigned I) const { return Args[I].get(); }
+  Expr *arg(unsigned I) { return Args[I].get(); }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Apply; }
+
+private:
+  ExprPtr Fn;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Bindings
+//===----------------------------------------------------------------------===//
+
+/// One binding `name = expr` in a let / letrec / letrec* / where / let
+/// qualifier.
+struct LetBind {
+  std::string Name;
+  ExprPtr Value;
+  SourceLoc Loc;
+
+  LetBind(std::string Name, ExprPtr Value, SourceLoc Loc = SourceLoc())
+      : Name(std::move(Name)), Value(std::move(Value)), Loc(Loc) {}
+};
+
+/// The three binding forms of the paper. LetrecStar is the paper's
+/// `letrec*`: recursive bindings whose arrays are used in a strict context
+/// — every binding is wrapped in `forceElements (fix ...)` (Section 2).
+enum class LetKindEnum : uint8_t {
+  Plain,     ///< `let` — non-recursive
+  Rec,       ///< `letrec`
+  RecStrict, ///< `letrec*`
+};
+
+/// `let/letrec/letrec* binds in body`.
+class LetExpr : public Expr {
+public:
+  LetExpr(LetKindEnum LetKind, std::vector<LetBind> Binds, ExprPtr Body,
+          SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Let, Loc), LetKind(LetKind), Binds(std::move(Binds)),
+        Body(std::move(Body)) {
+    assert(!this->Binds.empty() && "let needs at least one binding");
+  }
+
+  LetKindEnum letKind() const { return LetKind; }
+  const std::vector<LetBind> &binds() const { return Binds; }
+  std::vector<LetBind> &binds() { return Binds; }
+  const Expr *body() const { return Body.get(); }
+  Expr *body() { return Body.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Let; }
+
+private:
+  LetKindEnum LetKind;
+  std::vector<LetBind> Binds;
+  ExprPtr Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Lists, ranges, comprehensions
+//===----------------------------------------------------------------------===//
+
+/// Arithmetic sequence `[lo..hi]` or `[lo,second..hi]`. The increment is
+/// `second - lo` when Second is present, else 1.
+class RangeExpr : public Expr {
+public:
+  RangeExpr(ExprPtr Lo, ExprPtr Second, ExprPtr Hi, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Range, Loc), Lo(std::move(Lo)),
+        Second(std::move(Second)), Hi(std::move(Hi)) {
+    assert(this->Lo && this->Hi && "range needs lo and hi");
+  }
+
+  const Expr *lo() const { return Lo.get(); }
+  Expr *lo() { return Lo.get(); }
+  /// Null when the range uses the default step of 1.
+  const Expr *second() const { return Second.get(); }
+  Expr *second() { return Second.get(); }
+  const Expr *hi() const { return Hi.get(); }
+  Expr *hi() { return Hi.get(); }
+  bool hasSecond() const { return Second != nullptr; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Range; }
+
+private:
+  ExprPtr Lo;
+  ExprPtr Second;
+  ExprPtr Hi;
+};
+
+/// Explicit list `[e1, e2, ...]` (possibly empty).
+class ListExpr : public Expr {
+public:
+  explicit ListExpr(std::vector<ExprPtr> Elems, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::List, Loc), Elems(std::move(Elems)) {}
+
+  unsigned size() const { return Elems.size(); }
+  const Expr *elem(unsigned I) const { return Elems[I].get(); }
+  Expr *elem(unsigned I) { return Elems[I].get(); }
+  const std::vector<ExprPtr> &elems() const { return Elems; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::List; }
+
+private:
+  std::vector<ExprPtr> Elems;
+};
+
+/// One qualifier in a comprehension: a generator `i <- list`, a boolean
+/// guard, or a `let` qualifier binding local names.
+class CompQual {
+public:
+  enum class Kind : uint8_t { Generator, Guard, LetQual };
+
+  static CompQual makeGenerator(std::string Var, ExprPtr Source,
+                                SourceLoc Loc = SourceLoc()) {
+    CompQual Q;
+    Q.QualKind = Kind::Generator;
+    Q.Var = std::move(Var);
+    Q.Source = std::move(Source);
+    Q.Loc = Loc;
+    return Q;
+  }
+
+  static CompQual makeGuard(ExprPtr Cond, SourceLoc Loc = SourceLoc()) {
+    CompQual Q;
+    Q.QualKind = Kind::Guard;
+    Q.Source = std::move(Cond);
+    Q.Loc = Loc;
+    return Q;
+  }
+
+  static CompQual makeLet(std::vector<LetBind> Binds,
+                          SourceLoc Loc = SourceLoc()) {
+    CompQual Q;
+    Q.QualKind = Kind::LetQual;
+    Q.Binds = std::move(Binds);
+    Q.Loc = Loc;
+    return Q;
+  }
+
+  Kind kind() const { return QualKind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Generator accessors.
+  const std::string &var() const {
+    assert(QualKind == Kind::Generator);
+    return Var;
+  }
+  const Expr *source() const {
+    assert(QualKind == Kind::Generator);
+    return Source.get();
+  }
+  Expr *source() {
+    assert(QualKind == Kind::Generator);
+    return Source.get();
+  }
+
+  /// Guard accessor.
+  const Expr *cond() const {
+    assert(QualKind == Kind::Guard);
+    return Source.get();
+  }
+  Expr *cond() {
+    assert(QualKind == Kind::Guard);
+    return Source.get();
+  }
+
+  /// Let-qualifier accessors.
+  const std::vector<LetBind> &binds() const {
+    assert(QualKind == Kind::LetQual);
+    return Binds;
+  }
+  std::vector<LetBind> &binds() {
+    assert(QualKind == Kind::LetQual);
+    return Binds;
+  }
+
+private:
+  CompQual() = default;
+
+  Kind QualKind = Kind::Guard;
+  std::string Var;
+  ExprPtr Source;
+  std::vector<LetBind> Binds;
+  SourceLoc Loc;
+};
+
+/// A list comprehension `[ head | quals ]`, or the paper's *nested*
+/// comprehension `[* head | quals *]` whose head may itself contain `++`,
+/// `let`/`where`, list literals, and further nested comprehensions —
+/// describing a tree-shaped hierarchy of lists (Section 3.1).
+class CompExpr : public Expr {
+public:
+  CompExpr(ExprPtr Head, std::vector<CompQual> Quals, bool IsNested,
+           SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::Comp, Loc), Head(std::move(Head)),
+        Quals(std::move(Quals)), Nested(IsNested) {
+    assert(this->Head && "comprehension needs a head");
+  }
+
+  const Expr *head() const { return Head.get(); }
+  Expr *head() { return Head.get(); }
+  const std::vector<CompQual> &quals() const { return Quals; }
+  std::vector<CompQual> &quals() { return Quals; }
+  bool isNested() const { return Nested; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Comp; }
+
+private:
+  ExprPtr Head;
+  std::vector<CompQual> Quals;
+  bool Nested;
+};
+
+/// The paper's `s := v` subscript/value pair. Subscript is a scalar for
+/// 1-D arrays or a tuple for multi-dimensional ones.
+class SvPairExpr : public Expr {
+public:
+  SvPairExpr(ExprPtr Subscript, ExprPtr Value, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::SvPair, Loc), Subscript(std::move(Subscript)),
+        Value(std::move(Value)) {}
+
+  const Expr *subscript() const { return Subscript.get(); }
+  Expr *subscript() { return Subscript.get(); }
+  const Expr *value() const { return Value.get(); }
+  Expr *value() { return Value.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::SvPair; }
+
+private:
+  ExprPtr Subscript;
+  ExprPtr Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Arrays
+//===----------------------------------------------------------------------===//
+
+/// Array element selection `a ! i` (the index may be a tuple).
+class ArraySubExpr : public Expr {
+public:
+  ArraySubExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::ArraySub, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  const Expr *base() const { return Base.get(); }
+  Expr *base() { return Base.get(); }
+  const Expr *index() const { return Index.get(); }
+  Expr *index() { return Index.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ArraySub;
+  }
+
+private:
+  ExprPtr Base;
+  ExprPtr Index;
+};
+
+/// Monolithic array constructor `array bounds svlist` (Section 3). Bounds
+/// is `(lo, hi)` for 1-D or `((lo1,lo2),(hi1,hi2))` for 2-D, etc.
+class MakeArrayExpr : public Expr {
+public:
+  MakeArrayExpr(ExprPtr Bounds, ExprPtr SvList, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::MakeArray, Loc), Bounds(std::move(Bounds)),
+        SvList(std::move(SvList)) {}
+
+  const Expr *bounds() const { return Bounds.get(); }
+  Expr *bounds() { return Bounds.get(); }
+  const Expr *svList() const { return SvList.get(); }
+  Expr *svList() { return SvList.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::MakeArray;
+  }
+
+private:
+  ExprPtr Bounds;
+  ExprPtr SvList;
+};
+
+/// Accumulated array `accumArray f z bounds svlist` (Section 3): element
+/// e starts at z and each pair (e, v) combines as f acc v, in list order.
+/// The paper leaves the analysis of general accumulated arrays as future
+/// work; our pipeline compiles the collision-free special case (each
+/// element combined at most once) and falls back to the interpreter
+/// otherwise.
+class AccumArrayExpr : public Expr {
+public:
+  AccumArrayExpr(ExprPtr Fn, ExprPtr Init, ExprPtr Bounds, ExprPtr SvList,
+                 SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::AccumArray, Loc), Fn(std::move(Fn)),
+        Init(std::move(Init)), Bounds(std::move(Bounds)),
+        SvList(std::move(SvList)) {}
+
+  const Expr *fn() const { return Fn.get(); }
+  Expr *fn() { return Fn.get(); }
+  const Expr *init() const { return Init.get(); }
+  Expr *init() { return Init.get(); }
+  const Expr *bounds() const { return Bounds.get(); }
+  Expr *bounds() { return Bounds.get(); }
+  const Expr *svList() const { return SvList.get(); }
+  Expr *svList() { return SvList.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::AccumArray;
+  }
+
+private:
+  ExprPtr Fn;
+  ExprPtr Init;
+  ExprPtr Bounds;
+  ExprPtr SvList;
+};
+
+/// Semi-monolithic update `bigupd a svlist` = foldl upd a svlist
+/// (Section 9).
+class BigUpdExpr : public Expr {
+public:
+  BigUpdExpr(ExprPtr Base, ExprPtr SvList, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::BigUpd, Loc), Base(std::move(Base)),
+        SvList(std::move(SvList)) {}
+
+  const Expr *base() const { return Base.get(); }
+  Expr *base() { return Base.get(); }
+  const Expr *svList() const { return SvList.get(); }
+  Expr *svList() { return SvList.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BigUpd; }
+
+private:
+  ExprPtr Base;
+  ExprPtr SvList;
+};
+
+/// `forceElements a` — demands every element of the array, returning the
+/// "strictified" array (bottom if any element is bottom; Section 2).
+class ForceElementsExpr : public Expr {
+public:
+  explicit ForceElementsExpr(ExprPtr Arg, SourceLoc Loc = SourceLoc())
+      : Expr(ExprKind::ForceElements, Loc), Arg(std::move(Arg)) {}
+
+  const Expr *arg() const { return Arg.get(); }
+  Expr *arg() { return Arg.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ForceElements;
+  }
+
+private:
+  ExprPtr Arg;
+};
+
+//===----------------------------------------------------------------------===//
+// Convenience factories (used heavily by tests and desugaring)
+//===----------------------------------------------------------------------===//
+
+inline ExprPtr makeInt(int64_t V) { return std::make_unique<IntLitExpr>(V); }
+inline ExprPtr makeFloat(double V) {
+  return std::make_unique<FloatLitExpr>(V);
+}
+inline ExprPtr makeBool(bool V) { return std::make_unique<BoolLitExpr>(V); }
+inline ExprPtr makeVar(std::string Name) {
+  return std::make_unique<VarExpr>(std::move(Name));
+}
+inline ExprPtr makeBinary(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS) {
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS));
+}
+inline ExprPtr makeUnary(UnaryOpKind Op, ExprPtr Operand) {
+  return std::make_unique<UnaryExpr>(Op, std::move(Operand));
+}
+inline ExprPtr makeTuple(std::vector<ExprPtr> Elems) {
+  return std::make_unique<TupleExpr>(std::move(Elems));
+}
+inline ExprPtr makeSub(ExprPtr Base, ExprPtr Index) {
+  return std::make_unique<ArraySubExpr>(std::move(Base), std::move(Index));
+}
+
+} // namespace hac
+
+#endif // HAC_AST_EXPR_H

@@ -1,0 +1,891 @@
+//===- codegen/CEmitter.cpp - Emit C code for execution plans -------------===//
+
+#include "codegen/CEmitter.h"
+
+#include "ast/ASTPrinter.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace hac;
+
+namespace {
+
+/// A C expression string together with its static type.
+struct CExpr {
+  std::string Code;
+  enum class Kind : uint8_t { Int, Dbl, Bool } K = Kind::Int;
+
+  bool isNumeric() const { return K != Kind::Bool; }
+};
+
+std::string asDbl(const CExpr &E) {
+  if (E.K == CExpr::Kind::Dbl)
+    return E.Code;
+  return "(double)" + E.Code;
+}
+
+class Emitter {
+public:
+  Emitter(const ExecPlan &Plan, const std::string &FunctionName,
+          const ParamEnv &Params,
+          const std::map<std::string, ArrayDims> &InputDims)
+      : Plan(Plan), FunctionName(FunctionName), Params(Params),
+        InputDims(InputDims) {}
+
+  CEmitResult run() {
+    CEmitResult Result;
+    collectInputs();
+    emitFunction();
+    if (!Error.empty()) {
+      Result.OK = false;
+      Result.Error = Error;
+      return Result;
+    }
+    Result.OK = true;
+    Result.Code = Header.str() + Body.str();
+    Result.InputNames = InputNames;
+    return Result;
+  }
+
+private:
+  const ExecPlan &Plan;
+  std::string FunctionName;
+  const ParamEnv &Params;
+  const std::map<std::string, ArrayDims> &InputDims;
+
+  std::ostringstream Header;
+  std::ostringstream Body;
+  std::string Error;
+  unsigned Indent = 1;
+  unsigned NextTemp = 0;
+
+  std::vector<std::string> InputNames;
+
+  /// name -> (C identifier, kind) for loop indices and let bindings.
+  std::vector<std::pair<std::string, CExpr>> Scope;
+  /// Active loops: LoopNode -> ordinal C variable (1-based).
+  std::map<const LoopNode *, std::string> Ordinals;
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+
+  std::string fresh(const std::string &Prefix) {
+    return "__" + Prefix + std::to_string(NextTemp++);
+  }
+
+  void line(const std::string &S) {
+    for (unsigned I = 0; I != Indent; ++I)
+      Body << "  ";
+    Body << S << "\n";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Input discovery
+  //===------------------------------------------------------------------===//
+
+  void addInputsFrom(const Expr *E) {
+    if (!E)
+      return;
+    if (const auto *S = dyn_cast<ArraySubExpr>(E)) {
+      if (const auto *Base = dyn_cast<VarExpr>(S->base())) {
+        const std::string &Name = Base->name();
+        if (Name != Plan.TargetName && Name != Plan.AliasName &&
+            std::find(InputNames.begin(), InputNames.end(), Name) ==
+                InputNames.end())
+          InputNames.push_back(Name);
+      }
+      addInputsFrom(S->index());
+      return;
+    }
+    // Generic traversal.
+    switch (E->kind()) {
+    case ExprKind::Unary:
+      addInputsFrom(cast<UnaryExpr>(E)->operand());
+      return;
+    case ExprKind::Binary:
+      addInputsFrom(cast<BinaryExpr>(E)->lhs());
+      addInputsFrom(cast<BinaryExpr>(E)->rhs());
+      return;
+    case ExprKind::If:
+      addInputsFrom(cast<IfExpr>(E)->cond());
+      addInputsFrom(cast<IfExpr>(E)->thenExpr());
+      addInputsFrom(cast<IfExpr>(E)->elseExpr());
+      return;
+    case ExprKind::Let:
+      for (const LetBind &B : cast<LetExpr>(E)->binds())
+        addInputsFrom(B.Value.get());
+      addInputsFrom(cast<LetExpr>(E)->body());
+      return;
+    case ExprKind::Apply:
+      for (const ExprPtr &Arg : cast<ApplyExpr>(E)->args())
+        addInputsFrom(Arg.get());
+      return;
+    case ExprKind::Range:
+      addInputsFrom(cast<RangeExpr>(E)->lo());
+      addInputsFrom(cast<RangeExpr>(E)->second());
+      addInputsFrom(cast<RangeExpr>(E)->hi());
+      return;
+    case ExprKind::Comp: {
+      const auto *C = cast<CompExpr>(E);
+      for (const CompQual &Q : C->quals()) {
+        switch (Q.kind()) {
+        case CompQual::Kind::Generator:
+          addInputsFrom(Q.source());
+          break;
+        case CompQual::Kind::Guard:
+          addInputsFrom(Q.cond());
+          break;
+        case CompQual::Kind::LetQual:
+          for (const LetBind &B : Q.binds())
+            addInputsFrom(B.Value.get());
+          break;
+        }
+      }
+      addInputsFrom(C->head());
+      return;
+    }
+    case ExprKind::List:
+      for (const ExprPtr &Elem : cast<ListExpr>(E)->elems())
+        addInputsFrom(Elem.get());
+      return;
+    default:
+      return;
+    }
+  }
+
+  void collectStmtInputs(const std::vector<PlanStmt> &Stmts) {
+    for (const PlanStmt &S : Stmts) {
+      if (S.K == PlanStmt::Kind::For) {
+        collectStmtInputs(S.Body);
+        continue;
+      }
+      for (const ExprPtr &Dim : S.Clause->subscripts())
+        addInputsFrom(Dim.get());
+      addInputsFrom(S.Clause->value());
+      for (const GuardNode *G : S.Clause->guards())
+        addInputsFrom(G->cond());
+    }
+  }
+
+  void collectInputs() { collectStmtInputs(Plan.Stmts); }
+
+  //===------------------------------------------------------------------===//
+  // Array addressing
+  //===------------------------------------------------------------------===//
+
+  /// Extent of dimension D of the target array.
+  int64_t targetExtent(size_t D) const {
+    auto [Lo, Hi] = Plan.Dims[D];
+    return Hi >= Lo ? Hi - Lo + 1 : 0;
+  }
+
+  /// Shape used to linearize accesses to array \p Name: its declared
+  /// input shape if provided, else the target's.
+  const ArrayDims &dimsFor(const std::string &Name) const {
+    auto It = InputDims.find(Name);
+    if (It != InputDims.end())
+      return It->second;
+    return Plan.Dims;
+  }
+
+  /// C storage expression for array \p Name (target, alias, or input).
+  std::string arrayVar(const std::string &Name) {
+    if (Name == Plan.TargetName || Name == Plan.AliasName)
+      return "target";
+    auto It = std::find(InputNames.begin(), InputNames.end(), Name);
+    if (It == InputNames.end()) {
+      fail("unknown array '" + Name + "'");
+      return "target";
+    }
+    return "in" + std::to_string(It - InputNames.begin());
+  }
+
+  /// Emits the row-major linear index for the given per-dimension index
+  /// expressions against \p Dims.
+  std::string linearIndex(const std::vector<CExpr> &Index,
+                          const ArrayDims &Dims) {
+    if (Index.size() != Dims.size()) {
+      fail("rank mismatch in emitted array access");
+      return "0";
+    }
+    std::string S;
+    for (size_t D = 0; D != Index.size(); ++D) {
+      auto [Lo, Hi] = Dims[D];
+      int64_t Extent = Hi >= Lo ? Hi - Lo + 1 : 0;
+      std::string Term =
+          "(" + Index[D].Code + " - (" + std::to_string(Lo) + "LL))";
+      if (D == 0)
+        S = Term;
+      else
+        S = "(" + S + ") * " + std::to_string(Extent) + "LL + " + Term;
+    }
+    return S;
+  }
+
+  /// Evaluates the index expression(s) of a subscript into CExprs.
+  bool indexExprs(const Expr *IndexExpr, std::vector<CExpr> &Out) {
+    auto AddDim = [&](const Expr *Dim) {
+      CExpr E = emit(Dim);
+      if (E.K != CExpr::Kind::Int) {
+        fail("array subscript is not an integer expression");
+        return false;
+      }
+      Out.push_back(E);
+      return true;
+    };
+    if (const auto *T = dyn_cast<TupleExpr>(IndexExpr)) {
+      for (const ExprPtr &Dim : T->elems())
+        if (!AddDim(Dim.get()))
+          return false;
+      return true;
+    }
+    return AddDim(IndexExpr);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Ring buffers and snapshots
+  //===------------------------------------------------------------------===//
+
+  /// Slot expression for ring \p R as seen by instance x shifted by
+  /// \p Delta on loop level \p ShiftLevel (use ~0u for no shift).
+  std::string ringSlot(const RingSpec &R, unsigned ShiftLevel,
+                       int64_t Delta) {
+    const ClauseNode *C = R.Clause;
+    auto Ordinal = [&](size_t M) -> std::string {
+      const LoopNode *L = C->loops()[M];
+      auto It = Ordinals.find(L);
+      if (It == Ordinals.end()) {
+        fail("ring references an inactive loop");
+        return "0";
+      }
+      std::string S = It->second;
+      if (M == ShiftLevel)
+        S = "(" + S + " - " + std::to_string(Delta) + "LL)";
+      return S;
+    };
+    // Phase: (ordinal_c - 1) % Depth — ordinals are 1-based.
+    std::string Slot = "((" + Ordinal(R.Level) + " - 1) % " +
+                       std::to_string(R.Depth) + "LL)";
+    for (size_t M = R.Level + 1; M < C->loops().size(); ++M) {
+      int64_t Extent = R.DeeperTrips[M - R.Level - 1];
+      Slot = "(" + Slot + ") * " + std::to_string(Extent) + "LL + (" +
+             Ordinal(M) + " - 1)";
+    }
+    return Slot;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression emission
+  //===------------------------------------------------------------------===//
+
+  CExpr emit(const Expr *E) {
+    if (!Error.empty())
+      return CExpr{"0", CExpr::Kind::Int};
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return CExpr{"(" + std::to_string(cast<IntLitExpr>(E)->value()) +
+                       "LL)",
+                   CExpr::Kind::Int};
+    case ExprKind::FloatLit: {
+      std::ostringstream OS;
+      OS.precision(17);
+      OS << cast<FloatLitExpr>(E)->value();
+      std::string S = OS.str();
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos)
+        S += ".0";
+      return CExpr{"(" + S + ")", CExpr::Kind::Dbl};
+    }
+    case ExprKind::BoolLit:
+      return CExpr{cast<BoolLitExpr>(E)->value() ? "1" : "0",
+                   CExpr::Kind::Bool};
+    case ExprKind::Var: {
+      const std::string &Name = cast<VarExpr>(E)->name();
+      for (auto It = Scope.rbegin(); It != Scope.rend(); ++It)
+        if (It->first == Name)
+          return It->second;
+      auto PIt = Params.find(Name);
+      if (PIt != Params.end())
+        return CExpr{"(" + std::to_string(PIt->second) + "LL)",
+                     CExpr::Kind::Int};
+      fail("unbound variable '" + Name + "' in C emission");
+      return CExpr{"0", CExpr::Kind::Int};
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      CExpr V = emit(U->operand());
+      if (U->op() == UnaryOpKind::Neg)
+        return CExpr{"(-" + V.Code + ")", V.K};
+      return CExpr{"(!" + V.Code + ")", CExpr::Kind::Bool};
+    }
+    case ExprKind::Binary:
+      return emitBinary(cast<BinaryExpr>(E));
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      CExpr C = emit(I->cond());
+      CExpr T = emit(I->thenExpr());
+      CExpr F = emit(I->elseExpr());
+      if (T.K == F.K)
+        return CExpr{"(" + C.Code + " ? " + T.Code + " : " + F.Code + ")",
+                     T.K};
+      if (T.isNumeric() && F.isNumeric())
+        return CExpr{"(" + C.Code + " ? " + asDbl(T) + " : " + asDbl(F) +
+                         ")",
+                     CExpr::Kind::Dbl};
+      fail("if branches have incompatible types");
+      return T;
+    }
+    case ExprKind::Let: {
+      // GNU statement expression with fresh identifiers.
+      const auto *L = cast<LetExpr>(E);
+      std::string Code = "({ ";
+      size_t Mark = Scope.size();
+      for (const LetBind &B : L->binds()) {
+        CExpr V = emit(B.Value.get());
+        std::string Id = fresh("let");
+        const char *Type = V.K == CExpr::Kind::Dbl ? "double" : "long long";
+        Code += std::string(Type) + " " + Id + " = " + V.Code + "; ";
+        Scope.emplace_back(B.Name, CExpr{Id, V.K});
+      }
+      CExpr BodyE = emit(L->body());
+      Scope.resize(Mark);
+      Code += BodyE.Code + "; })";
+      return CExpr{Code, BodyE.K};
+    }
+    case ExprKind::ArraySub:
+      return emitRead(cast<ArraySubExpr>(E));
+    case ExprKind::Apply:
+      return emitApply(cast<ApplyExpr>(E));
+    default:
+      fail(std::string("expression kind ") + exprKindName(E->kind()) +
+           " not supported by the C backend: " + exprToString(E));
+      return CExpr{"0", CExpr::Kind::Int};
+    }
+  }
+
+  CExpr emitBinary(const BinaryExpr *B) {
+    CExpr L = emit(B->lhs());
+    CExpr R = emit(B->rhs());
+    auto Arith = [&](const char *Op) {
+      if (L.K == CExpr::Kind::Int && R.K == CExpr::Kind::Int)
+        return CExpr{"(" + L.Code + " " + Op + " " + R.Code + ")",
+                     CExpr::Kind::Int};
+      return CExpr{"(" + asDbl(L) + " " + Op + " " + asDbl(R) + ")",
+                   CExpr::Kind::Dbl};
+    };
+    auto Compare = [&](const char *Op) {
+      return CExpr{"(" + asDbl(L) + " " + Op + " " + asDbl(R) + ")",
+                   CExpr::Kind::Bool};
+    };
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return Arith("+");
+    case BinaryOpKind::Sub:
+      return Arith("-");
+    case BinaryOpKind::Mul:
+      return Arith("*");
+    case BinaryOpKind::Div:
+      if (L.K == CExpr::Kind::Int && R.K == CExpr::Kind::Int)
+        return CExpr{"({ long long __d = " + R.Code +
+                         "; __d == 0 ? (hac_err = 4, 0LL) : " + L.Code +
+                         " / __d; })",
+                     CExpr::Kind::Int};
+      return CExpr{"(" + asDbl(L) + " / " + asDbl(R) + ")",
+                   CExpr::Kind::Dbl};
+    case BinaryOpKind::Mod:
+      if (L.K == CExpr::Kind::Int && R.K == CExpr::Kind::Int)
+        return CExpr{"({ long long __d = " + R.Code +
+                         "; __d == 0 ? (hac_err = 4, 0LL) : " + L.Code +
+                         " % __d; })",
+                     CExpr::Kind::Int};
+      return CExpr{"fmod(" + asDbl(L) + ", " + asDbl(R) + ")",
+                   CExpr::Kind::Dbl};
+    case BinaryOpKind::Eq:
+      return Compare("==");
+    case BinaryOpKind::Ne:
+      return Compare("!=");
+    case BinaryOpKind::Lt:
+      return Compare("<");
+    case BinaryOpKind::Le:
+      return Compare("<=");
+    case BinaryOpKind::Gt:
+      return Compare(">");
+    case BinaryOpKind::Ge:
+      return Compare(">=");
+    case BinaryOpKind::And:
+      return CExpr{"(" + L.Code + " && " + R.Code + ")", CExpr::Kind::Bool};
+    case BinaryOpKind::Or:
+      return CExpr{"(" + L.Code + " || " + R.Code + ")", CExpr::Kind::Bool};
+    case BinaryOpKind::Append:
+      fail("'++' is not a scalar operation in C emission");
+      return L;
+    }
+    return L;
+  }
+
+  CExpr emitRead(const ArraySubExpr *S) {
+    // Node-splitting redirects.
+    auto RIt = Plan.RingRedirects.find(S);
+    if (RIt != Plan.RingRedirects.end()) {
+      const RingRedirect &RR = RIt->second;
+      const RingSpec &R = Plan.Rings[RR.RingId];
+      const LoopNode *Carried = R.Clause->loops()[RR.Level];
+      auto OIt = Ordinals.find(Carried);
+      if (OIt == Ordinals.end()) {
+        fail("redirected read outside its loop");
+        return CExpr{"0", CExpr::Kind::Int};
+      }
+      CExpr Plain = emitPlainRead(S);
+      std::string Cond =
+          "(" + OIt->second + " > " + std::to_string(RR.Distance) + "LL)";
+      std::string RingRead = "ring" + std::to_string(R.Id) + "[" +
+                             ringSlot(R, RR.Level, RR.Distance) + "]";
+      return CExpr{"(" + Cond + " ? " + RingRead + " : " + Plain.Code + ")",
+                   CExpr::Kind::Dbl};
+    }
+    auto SIt = Plan.SnapRedirects.find(S);
+    if (SIt != Plan.SnapRedirects.end()) {
+      const SnapshotSpec &Spec = Plan.Snapshots[SIt->second.SnapId];
+      std::vector<CExpr> Index;
+      if (!indexExprs(S->index(), Index))
+        return CExpr{"0", CExpr::Kind::Int};
+      if (Index.size() != Spec.Region.size()) {
+        fail("snapshot rank mismatch");
+        return CExpr{"0", CExpr::Kind::Int};
+      }
+      std::string Lin;
+      for (size_t D = 0; D != Index.size(); ++D) {
+        auto [Lo, Hi] = Spec.Region[D];
+        std::string Term = "(" + Index[D].Code + " - (" +
+                           std::to_string(Lo) + "LL))";
+        if (D == 0)
+          Lin = Term;
+        else
+          Lin = "(" + Lin + ") * " + std::to_string(Hi - Lo + 1) + "LL + " +
+                Term;
+      }
+      return CExpr{"snap" + std::to_string(SIt->second.SnapId) + "[" + Lin +
+                       "]",
+                   CExpr::Kind::Dbl};
+    }
+    return emitPlainRead(S);
+  }
+
+  CExpr emitPlainRead(const ArraySubExpr *S) {
+    const auto *Base = dyn_cast<VarExpr>(S->base());
+    if (!Base) {
+      fail("array expression too complex for the C backend");
+      return CExpr{"0", CExpr::Kind::Int};
+    }
+    std::vector<CExpr> Index;
+    if (!indexExprs(S->index(), Index))
+      return CExpr{"0", CExpr::Kind::Int};
+    return CExpr{arrayVar(Base->name()) + "[" +
+                     linearIndex(Index, dimsFor(Base->name())) + "]",
+                 CExpr::Kind::Dbl};
+  }
+
+  CExpr emitApply(const ApplyExpr *A) {
+    const auto *Fn = dyn_cast<VarExpr>(A->fn());
+    if (!Fn) {
+      fail("higher-order application not supported by the C backend");
+      return CExpr{"0", CExpr::Kind::Int};
+    }
+    const std::string &Name = Fn->name();
+    if ((Name == "sum" || Name == "product") && A->numArgs() == 1)
+      return emitFold(Name == "product", A->arg(0));
+    if (Name == "sqrt" && A->numArgs() == 1)
+      return CExpr{"sqrt(" + asDbl(emit(A->arg(0))) + ")", CExpr::Kind::Dbl};
+    if (Name == "intToFloat" && A->numArgs() == 1)
+      return CExpr{asDbl(emit(A->arg(0))), CExpr::Kind::Dbl};
+    if (Name == "abs" && A->numArgs() == 1) {
+      CExpr V = emit(A->arg(0));
+      if (V.K == CExpr::Kind::Int)
+        return CExpr{"llabs(" + V.Code + ")", CExpr::Kind::Int};
+      return CExpr{"fabs(" + V.Code + ")", CExpr::Kind::Dbl};
+    }
+    if ((Name == "min" || Name == "max") && A->numArgs() == 2) {
+      CExpr L = emit(A->arg(0));
+      CExpr R = emit(A->arg(1));
+      const char *Op = Name == "min" ? "<=" : ">=";
+      if (L.K == CExpr::Kind::Int && R.K == CExpr::Kind::Int)
+        return CExpr{"(" + L.Code + " " + Op + " " + R.Code + " ? " +
+                         L.Code + " : " + R.Code + ")",
+                     CExpr::Kind::Int};
+      return CExpr{"(" + asDbl(L) + " " + Op + " " + asDbl(R) + " ? " +
+                       asDbl(L) + " : " + asDbl(R) + ")",
+                   CExpr::Kind::Dbl};
+    }
+    fail("function '" + Name + "' not supported by the C backend");
+    return CExpr{"0", CExpr::Kind::Int};
+  }
+
+  /// Fused fold over a comprehension/range/list: a statement-expression
+  /// accumulator loop (Section 3.1's DO-loop translation).
+  CExpr emitFold(bool Mul, const Expr *Source) {
+    // Pre-compute the element kind by emitting the head in a scratch
+    // emitter state is overkill; emit the loop accumulating into a double
+    // when any element could be a double — determined after emitting the
+    // element expression below. We build the pieces first.
+    std::string Acc = fresh("acc");
+    std::string LoopCode;
+    CExpr::Kind ElemKind = CExpr::Kind::Int;
+    if (!emitFoldLoops(Source, Acc, Mul, LoopCode, ElemKind))
+      return CExpr{"0", CExpr::Kind::Int};
+    const char *Type = ElemKind == CExpr::Kind::Dbl ? "double" : "long long";
+    std::string Init = Mul ? (ElemKind == CExpr::Kind::Dbl ? "1.0" : "1LL")
+                           : (ElemKind == CExpr::Kind::Dbl ? "0.0" : "0LL");
+    return CExpr{"({ " + std::string(Type) + " " + Acc + " = " + Init +
+                     "; " + LoopCode + " " + Acc + "; })",
+                 ElemKind};
+  }
+
+  bool emitFoldLoops(const Expr *Source, const std::string &Acc, bool Mul,
+                     std::string &Out, CExpr::Kind &ElemKind) {
+    switch (Source->kind()) {
+    case ExprKind::Range: {
+      const auto *R = cast<RangeExpr>(Source);
+      CExpr Lo = emit(R->lo());
+      CExpr Hi = emit(R->hi());
+      if (Lo.K != CExpr::Kind::Int || Hi.K != CExpr::Kind::Int) {
+        fail("range bounds must be integers");
+        return false;
+      }
+      std::string V = fresh("k");
+      std::string Step = "1LL";
+      if (R->hasSecond()) {
+        CExpr Second = emit(R->second());
+        Step = "(" + Second.Code + " - " + Lo.Code + ")";
+      }
+      // Elements of a bare range folded directly.
+      std::string StepVar = fresh("st");
+      Out += "{ long long " + StepVar + " = " + Step + "; for (long long " +
+             V + " = " + Lo.Code + "; " + StepVar + " > 0 ? " + V +
+             " <= " + Hi.Code + " : " + V + " >= " + Hi.Code + "; " + V +
+             " += " + StepVar + ") { " + Acc + " " + (Mul ? "*=" : "+=") +
+             " " + V + "; } }";
+      if (ElemKind != CExpr::Kind::Dbl)
+        ElemKind = CExpr::Kind::Int;
+      return true;
+    }
+    case ExprKind::List: {
+      for (const ExprPtr &Elem : cast<ListExpr>(Source)->elems()) {
+        CExpr E = emit(Elem.get());
+        if (E.K == CExpr::Kind::Dbl)
+          ElemKind = CExpr::Kind::Dbl;
+        Out += Acc + " " + (Mul ? "*=" : "+=") + " " + E.Code + "; ";
+      }
+      return true;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(Source);
+      if (B->op() != BinaryOpKind::Append)
+        break;
+      return emitFoldLoops(B->lhs(), Acc, Mul, Out, ElemKind) &&
+             emitFoldLoops(B->rhs(), Acc, Mul, Out, ElemKind);
+    }
+    case ExprKind::Comp:
+      return emitFoldComp(cast<CompExpr>(Source), 0, Acc, Mul, Out,
+                          ElemKind);
+    default:
+      break;
+    }
+    fail("fold source is not a comprehension, range, or list");
+    return false;
+  }
+
+  bool emitFoldComp(const CompExpr *C, size_t QualIndex,
+                    const std::string &Acc, bool Mul, std::string &Out,
+                    CExpr::Kind &ElemKind) {
+    if (QualIndex == C->quals().size()) {
+      if (C->isNested())
+        return emitFoldLoops(C->head(), Acc, Mul, Out, ElemKind);
+      CExpr E = emit(C->head());
+      if (E.K == CExpr::Kind::Dbl)
+        ElemKind = CExpr::Kind::Dbl;
+      Out += Acc + " " + (Mul ? "*=" : "+=") + " " + E.Code + "; ";
+      return true;
+    }
+    const CompQual &Q = C->quals()[QualIndex];
+    switch (Q.kind()) {
+    case CompQual::Kind::Generator: {
+      const auto *R = dyn_cast<RangeExpr>(Q.source());
+      if (!R) {
+        fail("fold generator must range over an arithmetic sequence");
+        return false;
+      }
+      CExpr Lo = emit(R->lo());
+      CExpr Hi = emit(R->hi());
+      std::string Step = "1LL";
+      if (R->hasSecond())
+        Step = "(" + emit(R->second()).Code + " - " + Lo.Code + ")";
+      std::string V = fresh("g");
+      std::string StepVar = fresh("st");
+      Out += "{ long long " + StepVar + " = " + Step + "; for (long long " +
+             V + " = " + Lo.Code + "; " + StepVar + " > 0 ? " + V +
+             " <= " + Hi.Code + " : " + V + " >= " + Hi.Code + "; " + V +
+             " += " + StepVar + ") { ";
+      size_t Mark = Scope.size();
+      Scope.emplace_back(Q.var(), CExpr{V, CExpr::Kind::Int});
+      bool OK = emitFoldComp(C, QualIndex + 1, Acc, Mul, Out, ElemKind);
+      Scope.resize(Mark);
+      Out += "} }";
+      return OK;
+    }
+    case CompQual::Kind::Guard: {
+      CExpr Cond = emit(Q.cond());
+      Out += "if (" + Cond.Code + ") { ";
+      bool OK = emitFoldComp(C, QualIndex + 1, Acc, Mul, Out, ElemKind);
+      Out += "} ";
+      return OK;
+    }
+    case CompQual::Kind::LetQual: {
+      size_t Mark = Scope.size();
+      Out += "{ ";
+      for (const LetBind &B : Q.binds()) {
+        CExpr V = emit(B.Value.get());
+        std::string Id = fresh("lv");
+        const char *Type = V.K == CExpr::Kind::Dbl ? "double" : "long long";
+        Out += std::string(Type) + " " + Id + " = " + V.Code + "; ";
+        Scope.emplace_back(B.Name, CExpr{Id, V.K});
+      }
+      bool OK = emitFoldComp(C, QualIndex + 1, Acc, Mul, Out, ElemKind);
+      Scope.resize(Mark);
+      Out += "} ";
+      return OK;
+    }
+    }
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void emitStmts(const std::vector<PlanStmt> &Stmts) {
+    for (const PlanStmt &S : Stmts) {
+      if (!Error.empty())
+        return;
+      if (S.K == PlanStmt::Kind::For)
+        emitFor(S);
+      else
+        emitStore(S);
+    }
+  }
+
+  void emitFor(const PlanStmt &S) {
+    const LoopBounds &B = S.Loop->bounds();
+    int64_t M = B.tripCount();
+    std::string T = "t" + std::to_string(S.Loop->id()) + "_" +
+                    std::to_string(NextTemp++);
+    std::string V = fresh(S.Loop->var());
+    // Iterate the ordinal t = 1..M (or reversed) and derive the index.
+    if (!S.Backward)
+      line("for (long long " + T + " = 1; " + T +
+           " <= " + std::to_string(M) + "LL; ++" + T + ") {");
+    else
+      line("for (long long " + T + " = " + std::to_string(M) + "LL; " + T +
+           " >= 1; --" + T + ") {");
+    ++Indent;
+    line("long long " + V + " = " + std::to_string(B.Lo) + "LL + (" + T +
+         " - 1) * " + std::to_string(B.Step) + "LL;");
+    line("(void)" + V + ";");
+    Scope.emplace_back(S.Loop->var(), CExpr{V, CExpr::Kind::Int});
+    Ordinals[S.Loop] = T;
+    emitStmts(S.Body);
+    Ordinals.erase(S.Loop);
+    Scope.pop_back();
+    --Indent;
+    line("}");
+  }
+
+  void emitStore(const PlanStmt &S) {
+    const ClauseNode *C = S.Clause;
+    line("{ /* clause #" + std::to_string(C->id()) + " */");
+    ++Indent;
+
+    // Guards, outermost first.
+    unsigned GuardBraces = 0;
+    for (const GuardNode *G : C->guards()) {
+      CExpr Cond = emit(G->cond());
+      line("if (" + Cond.Code + ") {");
+      ++Indent;
+      ++GuardBraces;
+    }
+
+    // Subscripts.
+    std::vector<CExpr> Index;
+    for (unsigned D = 0; D != C->rank(); ++D) {
+      CExpr V = emit(C->subscript(D));
+      if (V.K != CExpr::Kind::Int) {
+        fail("subscript is not an integer");
+        return;
+      }
+      std::string Id = fresh("s");
+      line("long long " + Id + " = " + V.Code + ";");
+      Index.push_back(CExpr{Id, CExpr::Kind::Int});
+    }
+    if (Plan.CheckStoreBounds) {
+      for (size_t D = 0; D != Index.size(); ++D) {
+        auto [Lo, Hi] = Plan.Dims[D];
+        line("if (" + Index[D].Code + " < " + std::to_string(Lo) +
+             "LL || " + Index[D].Code + " > " + std::to_string(Hi) +
+             "LL) { rc = " + std::to_string(HAC_ERR_BOUNDS) +
+             "; goto done; }");
+      }
+    }
+    std::string Idx = fresh("idx");
+    line("long long " + Idx + " = " + linearIndex(Index, Plan.Dims) + ";");
+
+    if (Plan.CheckCollisions) {
+      line("if (defined[" + Idx + "]) { rc = " +
+           std::to_string(HAC_ERR_COLLISION) + "; goto done; }");
+    }
+    if (Plan.CheckCollisions || Plan.CheckEmpties)
+      line("defined[" + Idx + "] = 1;");
+
+    // Value (may set hac_err on integer division by zero).
+    CExpr Value = emit(C->value());
+    if (!Value.isNumeric()) {
+      fail("element value is not numeric");
+      return;
+    }
+    std::string Val = fresh("v");
+    line("double " + Val + " = " + asDbl(Value) + ";");
+    line("if (hac_err) { rc = hac_err; goto done; }");
+
+    // Rolling save before the overwrite.
+    if (S.SaveRingId >= 0) {
+      const RingSpec &R = Plan.Rings[S.SaveRingId];
+      line("ring" + std::to_string(R.Id) + "[" + ringSlot(R, ~0u, 0) +
+           "] = target[" + Idx + "];");
+    }
+    line("target[" + Idx + "] = " + Val + ";");
+
+    for (unsigned I = 0; I != GuardBraces; ++I) {
+      --Indent;
+      line("}");
+    }
+    --Indent;
+    line("}");
+  }
+
+  //===------------------------------------------------------------------===//
+  // The function shell
+  //===------------------------------------------------------------------===//
+
+  void emitFunction() {
+    size_t TargetSize = 1;
+    for (size_t D = 0; D != Plan.Dims.size(); ++D)
+      TargetSize *= static_cast<size_t>(targetExtent(D));
+
+    Header << "/* Generated by hac (Anderson & Hudak, PLDI 1990 "
+              "reproduction). */\n"
+           << "#include <math.h>\n#include <stdlib.h>\n#include "
+              "<string.h>\n\n";
+
+    Body << "int " << FunctionName
+         << "(double *target, const double *const *inputs) {\n";
+    line("int rc = 0;");
+    line("long long hac_err = 0; (void)hac_err;");
+    for (size_t I = 0; I != InputNames.size(); ++I)
+      line("const double *in" + std::to_string(I) + " = inputs[" +
+           std::to_string(I) + "]; (void)in" + std::to_string(I) + ";");
+    line("unsigned char *defined = 0; (void)defined;");
+    for (const RingSpec &R : Plan.Rings)
+      line("double *ring" + std::to_string(R.Id) + " = 0;");
+    for (const SnapshotSpec &Sn : Plan.Snapshots)
+      line("double *snap" + std::to_string(Sn.Id) + " = 0;");
+
+    if (Plan.CheckCollisions || Plan.CheckEmpties) {
+      line("defined = (unsigned char *)calloc(" +
+           std::to_string(TargetSize) + ", 1);");
+      line("if (!defined) { return -1; }");
+    }
+    for (const RingSpec &R : Plan.Rings) {
+      line("ring" + std::to_string(R.Id) + " = (double *)calloc(" +
+           std::to_string(R.size()) + ", sizeof(double));");
+      line("if (!ring" + std::to_string(R.Id) +
+           ") { rc = -1; goto done; }");
+    }
+    for (const SnapshotSpec &Sn : Plan.Snapshots) {
+      line("snap" + std::to_string(Sn.Id) + " = (double *)calloc(" +
+           std::to_string(Sn.size()) + ", sizeof(double));");
+      line("if (!snap" + std::to_string(Sn.Id) +
+           ") { rc = -1; goto done; }");
+      emitSnapshotCopy(Sn);
+    }
+
+    emitStmts(Plan.Stmts);
+
+    if (Plan.CheckEmpties) {
+      std::string I = fresh("e");
+      line("for (long long " + I + " = 0; " + I + " < " +
+           std::to_string(TargetSize) + "LL; ++" + I + ")");
+      line("  if (!defined[" + I + "]) { rc = " +
+           std::to_string(HAC_ERR_EMPTY) + "; goto done; }");
+    }
+
+    // Always emit the cleanup label (referenced conditionally above; a
+    // harmless no-op goto keeps compilers from warning about an unused
+    // label).
+    line("goto done;");
+    Body << "done:\n";
+    line("free(defined);");
+    for (const RingSpec &R : Plan.Rings)
+      line("free(ring" + std::to_string(R.Id) + ");");
+    for (const SnapshotSpec &Sn : Plan.Snapshots)
+      line("free(snap" + std::to_string(Sn.Id) + ");");
+    line("return rc;");
+    Body << "}\n";
+  }
+
+  void emitSnapshotCopy(const SnapshotSpec &Sn) {
+    // Copy the (bounds-clipped) region element by element.
+    std::vector<std::string> Vars;
+    std::string DstLin, SrcIdxOpen;
+    for (size_t D = 0; D != Sn.Region.size(); ++D) {
+      int64_t Lo = std::max(Sn.Region[D].first, Plan.Dims[D].first);
+      int64_t Hi = std::min(Sn.Region[D].second, Plan.Dims[D].second);
+      std::string V = fresh("c");
+      Vars.push_back(V);
+      line("for (long long " + V + " = " + std::to_string(Lo) + "LL; " + V +
+           " <= " + std::to_string(Hi) + "LL; ++" + V + ")");
+      ++Indent;
+    }
+    // Destination linearization over the (unclipped) region extents.
+    for (size_t D = 0; D != Sn.Region.size(); ++D) {
+      auto [Lo, Hi] = Sn.Region[D];
+      std::string Term =
+          "(" + Vars[D] + " - (" + std::to_string(Lo) + "LL))";
+      DstLin = D == 0 ? Term
+                      : "(" + DstLin + ") * " +
+                            std::to_string(Hi - Lo + 1) + "LL + " + Term;
+    }
+    std::string SrcLin;
+    for (size_t D = 0; D != Sn.Region.size(); ++D) {
+      std::string Term = "(" + Vars[D] + " - (" +
+                         std::to_string(Plan.Dims[D].first) + "LL))";
+      SrcLin = D == 0 ? Term
+                      : "(" + SrcLin + ") * " +
+                            std::to_string(targetExtent(D)) + "LL + " + Term;
+    }
+    line("snap" + std::to_string(Sn.Id) + "[" + DstLin + "] = target[" +
+         SrcLin + "];");
+    for (size_t D = 0; D != Sn.Region.size(); ++D)
+      --Indent;
+  }
+};
+
+} // namespace
+
+CEmitResult hac::emitC(const ExecPlan &Plan, const std::string &FunctionName,
+                       const ParamEnv &Params,
+                       const std::map<std::string, ArrayDims> &InputDims) {
+  return Emitter(Plan, FunctionName, Params, InputDims).run();
+}

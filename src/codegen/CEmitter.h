@@ -1,0 +1,72 @@
+//===- codegen/CEmitter.h - Emit C code for execution plans -----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a self-contained C function for an execution plan: the paper's
+/// end product ("in most applications we can remove the main sources of
+/// inefficiency that would otherwise prevent performance comparable to
+/// Fortran"). The generated code is plain nested DO-loops with direct
+/// stores — plus only the runtime checks the analyses could not
+/// discharge, and the node-splitting ring buffers / snapshots.
+///
+/// The emitted function has the signature
+///
+/// \code
+///   int NAME(double *target, const double *const *inputs);
+/// \endcode
+///
+/// where `inputs[k]` is the flat storage of the k-th input array in
+/// `CEmitResult::InputNames` order. Compile-time parameters are baked in
+/// as constants. The return value is 0 on success or one of the
+/// HAC_ERR_* codes for a failed runtime check.
+///
+/// `let` bindings and fused folds inside element values use GNU statement
+/// expressions, so the output targets GCC/Clang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_CODEGEN_CEMITTER_H
+#define HAC_CODEGEN_CEMITTER_H
+
+#include "codegen/ExecPlan.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hac {
+
+/// Error codes the generated function can return.
+enum CEmitError : int {
+  HAC_OK = 0,
+  HAC_ERR_BOUNDS = 1,
+  HAC_ERR_COLLISION = 2,
+  HAC_ERR_EMPTY = 3,
+  HAC_ERR_DIV_ZERO = 4,
+};
+
+/// Result of emission.
+struct CEmitResult {
+  bool OK = false;
+  std::string Error; ///< why emission failed (unsupported construct)
+  std::string Code;  ///< the full C translation unit
+  /// Names of input arrays, in the order the generated function expects
+  /// them in its `inputs` argument.
+  std::vector<std::string> InputNames;
+};
+
+/// Emits a C function named \p FunctionName implementing \p Plan.
+/// \p InputDims optionally supplies the shape of each input array (for
+/// linearizing reads); inputs without an entry are assumed to share the
+/// target's shape. Fails (OK == false) on constructs the C backend does
+/// not support (e.g. calls to unknown functions).
+CEmitResult emitC(const ExecPlan &Plan, const std::string &FunctionName,
+                  const ParamEnv &Params,
+                  const std::map<std::string, ArrayDims> &InputDims = {});
+
+} // namespace hac
+
+#endif // HAC_CODEGEN_CEMITTER_H

@@ -1,0 +1,190 @@
+//===- codegen/ExecPlan.cpp - Plan lowering -------------------------------===//
+
+#include "codegen/ExecPlan.h"
+
+#include "ast/ASTPrinter.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace hac;
+
+namespace {
+
+void printStmts(const std::vector<PlanStmt> &Stmts, std::ostringstream &OS,
+                unsigned Indent) {
+  auto Pad = [&]() {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+  };
+  for (const PlanStmt &S : Stmts) {
+    if (S.K == PlanStmt::Kind::For) {
+      Pad();
+      const LoopBounds &B = S.Loop->bounds();
+      if (!S.Backward)
+        OS << "for " << S.Loop->var() << " = " << B.Lo << " to " << B.Hi
+           << " step " << B.Step << " {\n";
+      else
+        OS << "for " << S.Loop->var() << " = " << B.Hi << " downto " << B.Lo
+           << " step " << B.Step << " (reversed) {\n";
+      printStmts(S.Body, OS, Indent + 1);
+      Pad();
+      OS << "}\n";
+      continue;
+    }
+    Pad();
+    OS << "store #" << S.Clause->id() << " [";
+    for (unsigned D = 0; D != S.Clause->rank(); ++D) {
+      if (D)
+        OS << ", ";
+      OS << exprToString(S.Clause->subscript(D));
+    }
+    OS << "] := " << exprToString(S.Clause->value());
+    if (S.SaveRingId >= 0)
+      OS << "  (save old -> ring " << S.SaveRingId << ")";
+    OS << "\n";
+  }
+}
+
+} // namespace
+
+std::string ExecPlan::str() const {
+  std::ostringstream OS;
+  OS << "plan for '" << TargetName << "'";
+  for (const auto &[Lo, Hi] : Dims)
+    OS << " [" << Lo << ".." << Hi << "]";
+  OS << (InPlace ? " (in place)" : "") << "\n";
+  OS << "checks: bounds=" << (CheckStoreBounds ? "on" : "off")
+     << " collisions=" << (CheckCollisions ? "on" : "off")
+     << " empties=" << (CheckEmpties ? "on" : "off") << "\n";
+  for (const RingSpec &R : Rings)
+    OS << "ring " << R.Id << ": clause #" << R.Clause->id() << " level "
+       << R.Level << " depth " << R.Depth << " size " << R.size() << "\n";
+  for (const SnapshotSpec &S : Snapshots) {
+    OS << "snapshot " << S.Id << ": region";
+    for (const auto &[Lo, Hi] : S.Region)
+      OS << " [" << Lo << ".." << Hi << "]";
+    OS << " size " << S.size() << "\n";
+  }
+  printStmts(Stmts, OS, 0);
+  return OS.str();
+}
+
+namespace {
+
+/// Lowers scheduled units into plan statements.
+std::vector<PlanStmt>
+lowerUnits(const std::vector<SchedUnit> &Units,
+           const std::map<const ClauseNode *, int> &SaveRingOf) {
+  std::vector<PlanStmt> Out;
+  for (const SchedUnit &U : Units) {
+    if (U.K == SchedUnit::Kind::Clause) {
+      auto It = SaveRingOf.find(U.Clause);
+      Out.push_back(PlanStmt::makeStore(
+          U.Clause, It == SaveRingOf.end() ? -1 : It->second));
+      continue;
+    }
+    // LoopDir::Either defaults to a forward pass.
+    Out.push_back(PlanStmt::makeFor(U.Loop, U.Dir == LoopDir::Backward,
+                                    lowerUnits(U.Body, SaveRingOf)));
+  }
+  return Out;
+}
+
+} // namespace
+
+ExecPlan hac::buildArrayPlan(const CompNest &Nest, const Schedule &Sched,
+                             const std::string &TargetName,
+                             const ArrayDims &Dims,
+                             const CollisionAnalysis &Collisions,
+                             const CoverageAnalysis &Coverage) {
+  (void)Nest;
+  assert(Sched.Thunkless && "cannot lower a schedule that needs thunks");
+  ExecPlan Plan;
+  Plan.TargetName = TargetName;
+  Plan.Dims = Dims;
+  Plan.InPlace = false;
+  Plan.Stmts = lowerUnits(Sched.Units, {});
+  // Check elimination (Sections 4 and 7): a Proven analysis outcome
+  // removes the runtime check entirely.
+  Plan.CheckStoreBounds = Coverage.InBounds != CheckOutcome::Proven;
+  Plan.CheckCollisions = Collisions.NoCollisions != CheckOutcome::Proven;
+  Plan.CheckEmpties = Coverage.NoEmpties != CheckOutcome::Proven;
+  return Plan;
+}
+
+ExecPlan hac::buildInPlaceArrayPlan(const CompNest &Nest,
+                                    const UpdateSchedule &Update,
+                                    const std::string &TargetName,
+                                    const std::string &ReuseName,
+                                    const ArrayDims &Dims,
+                                    const CollisionAnalysis &Collisions,
+                                    const CoverageAnalysis &Coverage) {
+  ExecPlan Plan = buildUpdatePlan(Nest, Update, TargetName, Dims);
+  Plan.Dims = Dims;
+  Plan.AliasName = ReuseName;
+  // This is still a *construction*: collisions are errors and every
+  // element needs a definition, unless the analyses proved otherwise.
+  Plan.CheckStoreBounds = Coverage.InBounds != CheckOutcome::Proven;
+  Plan.CheckCollisions = Collisions.NoCollisions != CheckOutcome::Proven;
+  Plan.CheckEmpties = Coverage.NoEmpties != CheckOutcome::Proven;
+  return Plan;
+}
+
+ExecPlan hac::buildUpdatePlan(const CompNest &Nest,
+                              const UpdateSchedule &Update,
+                              const std::string &TargetName,
+                              const ArrayDims &Dims) {
+  (void)Nest;
+  assert(Update.InPlace && "cannot lower a non-in-place update");
+  ExecPlan Plan;
+  Plan.TargetName = TargetName;
+  Plan.Dims = Dims;
+  Plan.InPlace = true;
+  // Updates overwrite an existing, fully defined array: collisions are
+  // legitimate sequencing and emptiness cannot arise.
+  Plan.CheckCollisions = false;
+  Plan.CheckEmpties = false;
+  Plan.CheckStoreBounds = true; // refined below if all writes proven safe
+
+  // Unify the rolling splits of each clause into a single ring buffer at
+  // the *minimum* carried level: saves from that ring serve every deeper
+  // or same-level redirect (see the header comment).
+  std::map<const ClauseNode *, std::vector<const SplitAction *>> ByClause;
+  for (const SplitAction &A : Update.Splits) {
+    if (A.K == SplitAction::Kind::Rolling)
+      ByClause[A.Clause].push_back(&A);
+    else {
+      SnapshotSpec Snap;
+      Snap.Id = Plan.Snapshots.size();
+      Snap.Region = A.Region;
+      Plan.SnapRedirects[A.ReadRef] = SnapshotRedirect{Snap.Id};
+      Plan.Snapshots.push_back(std::move(Snap));
+    }
+  }
+
+  std::map<const ClauseNode *, int> SaveRingOf;
+  for (auto &[Clause, Actions] : ByClause) {
+    RingSpec Ring;
+    Ring.Id = Plan.Rings.size();
+    Ring.Clause = Clause;
+    Ring.Level = ~0u;
+    for (const SplitAction *A : Actions)
+      Ring.Level = std::min(Ring.Level, A->CarriedLevel);
+    Ring.Depth = 1;
+    for (const SplitAction *A : Actions)
+      if (A->CarriedLevel == Ring.Level)
+        Ring.Depth = std::max(Ring.Depth, A->Distance);
+    for (size_t M = Ring.Level + 1; M < Clause->loops().size(); ++M)
+      Ring.DeeperTrips.push_back(Clause->loops()[M]->bounds().tripCount());
+    for (const SplitAction *A : Actions)
+      Plan.RingRedirects[A->ReadRef] =
+          RingRedirect{Ring.Id, A->CarriedLevel, A->Distance};
+    SaveRingOf[Clause] = static_cast<int>(Ring.Id);
+    Plan.Rings.push_back(std::move(Ring));
+  }
+
+  Plan.Stmts = lowerUnits(Update.Sched.Units, SaveRingOf);
+  return Plan;
+}

@@ -1,0 +1,291 @@
+//===- comp/CompNest.cpp - Clause-tree construction -----------------------===//
+
+#include "comp/CompNest.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtils.h"
+#include "support/Casting.h"
+
+#include <map>
+#include <sstream>
+
+using namespace hac;
+
+CompNode::~CompNode() = default;
+
+namespace {
+
+/// Builder state threaded through the recursive walk.
+class NestBuilder {
+public:
+  NestBuilder(const ParamEnv &Params, DiagnosticEngine &Diags)
+      : Params(Params), Diags(Diags) {}
+
+  CompNest build(const Expr *SvList) {
+    auto Root = std::make_unique<SeqNode>();
+    walk(SvList, Root.get());
+    Nest.Root = std::move(Root);
+    if (!Nest.Analyzable && Nest.FallbackReason.empty())
+      Nest.FallbackReason = "unsupported construct in subscript/value list";
+    return std::move(Nest);
+  }
+
+private:
+  const ParamEnv &Params;
+  DiagnosticEngine &Diags;
+  CompNest Nest;
+  unsigned NextClauseId = 0;
+  unsigned NextLoopId = 0;
+
+  std::vector<const LoopNode *> LoopStack;
+  std::vector<const GuardNode *> GuardStack;
+  /// Inlined `let`/`where` bindings, innermost last. RHSs are already
+  /// fully substituted at record time.
+  std::vector<std::pair<std::string, ExprPtr>> Substs;
+
+  void fallback(SourceLoc Loc, const std::string &Reason) {
+    if (Nest.Analyzable) {
+      Nest.Analyzable = false;
+      Nest.FallbackReason = Reason;
+      Diags.warning(Loc, "array comprehension not statically analyzable: " +
+                             Reason + "; falling back to thunked evaluation");
+    }
+  }
+
+  /// Applies all recorded substitutions (innermost wins because later
+  /// entries were substituted against earlier ones at record time).
+  ExprPtr applySubsts(const Expr *E) {
+    ExprPtr Result = cloneExpr(E);
+    for (const auto &[Name, RHS] : Substs)
+      Result = substitute(Result.get(), Name, RHS.get());
+    return Result;
+  }
+
+  void recordSubst(const std::string &Name, const Expr *RHS) {
+    Substs.emplace_back(Name, applySubsts(RHS));
+  }
+
+  void dropSubsts(size_t Mark) {
+    Substs.erase(Substs.begin() + Mark, Substs.end());
+  }
+
+  /// Removes substitutions shadowed by a loop variable.
+  void shadowVar(const std::string &Var) {
+    for (auto It = Substs.begin(); It != Substs.end();)
+      It = It->first == Var ? Substs.erase(It) : std::next(It);
+  }
+
+  void makeClause(const SvPairExpr *P, SeqNode *Out) {
+    std::vector<ExprPtr> Subscripts;
+    if (const auto *T = dyn_cast<TupleExpr>(P->subscript())) {
+      for (const ExprPtr &Dim : T->elems())
+        Subscripts.push_back(applySubsts(Dim.get()));
+    } else {
+      Subscripts.push_back(applySubsts(P->subscript()));
+    }
+    ExprPtr Value = applySubsts(P->value());
+    auto Clause = std::make_unique<ClauseNode>(
+        NextClauseId++, std::move(Subscripts), std::move(Value), LoopStack,
+        GuardStack, P->loc());
+    Nest.Clauses.push_back(Clause.get());
+    Out->add(std::move(Clause));
+  }
+
+  /// Evaluates a generator range; false when bounds are not static.
+  bool rangeBounds(const RangeExpr *R, LoopBounds &Out) {
+    int64_t Lo, Hi;
+    if (!tryEvalConstInt(R->lo(), Params, Lo) ||
+        !tryEvalConstInt(R->hi(), Params, Hi))
+      return false;
+    int64_t Step = 1;
+    if (R->hasSecond()) {
+      int64_t Second;
+      if (!tryEvalConstInt(R->second(), Params, Second))
+        return false;
+      Step = Second - Lo;
+      if (Step == 0)
+        return false;
+    }
+    Out = LoopBounds{Lo, Hi, Step};
+    return true;
+  }
+
+  void walkComp(const CompExpr *C, size_t QualIndex, SeqNode *Out) {
+    if (QualIndex == C->quals().size()) {
+      if (C->isNested()) {
+        walk(C->head(), Out);
+        return;
+      }
+      const auto *P = dyn_cast<SvPairExpr>(C->head());
+      if (!P) {
+        fallback(C->loc(), "comprehension head is not an s/v pair (use "
+                           "`s := v`)");
+        return;
+      }
+      makeClause(P, Out);
+      return;
+    }
+
+    const CompQual &Q = C->quals()[QualIndex];
+    switch (Q.kind()) {
+    case CompQual::Kind::Generator: {
+      const auto *R = dyn_cast<RangeExpr>(Q.source());
+      if (!R) {
+        fallback(Q.loc(), "generator '" + Q.var() +
+                              "' is not over an arithmetic sequence");
+        return;
+      }
+      LoopBounds Bounds;
+      if (!rangeBounds(R, Bounds)) {
+        fallback(Q.loc(), "generator bounds for '" + Q.var() +
+                              "' are not compile-time integers");
+        return;
+      }
+      auto Loop = std::make_unique<LoopNode>(
+          NextLoopId++, Q.var(), Bounds,
+          static_cast<unsigned>(LoopStack.size()));
+      LoopNode *L = Loop.get();
+      Nest.Loops.push_back(L);
+      shadowVar(Q.var());
+      LoopStack.push_back(L);
+      walkComp(C, QualIndex + 1, L->body());
+      LoopStack.pop_back();
+      Out->add(std::move(Loop));
+      return;
+    }
+    case CompQual::Kind::Guard: {
+      auto Guard = std::make_unique<GuardNode>(applySubsts(Q.cond()));
+      GuardNode *G = Guard.get();
+      GuardStack.push_back(G);
+      walkComp(C, QualIndex + 1, G->body());
+      GuardStack.pop_back();
+      Out->add(std::move(Guard));
+      return;
+    }
+    case CompQual::Kind::LetQual: {
+      size_t Mark = Substs.size();
+      for (const LetBind &B : Q.binds())
+        recordSubst(B.Name, B.Value.get());
+      walkComp(C, QualIndex + 1, Out);
+      dropSubsts(Mark);
+      return;
+    }
+    }
+  }
+
+  void walk(const Expr *E, SeqNode *Out) {
+    if (!Nest.Analyzable)
+      return;
+    switch (E->kind()) {
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      if (B->op() != BinaryOpKind::Append) {
+        fallback(E->loc(), "operator '" +
+                               std::string(binaryOpSpelling(B->op())) +
+                               "' does not produce a subscript/value list");
+        return;
+      }
+      walk(B->lhs(), Out);
+      walk(B->rhs(), Out);
+      return;
+    }
+    case ExprKind::List: {
+      const auto *L = cast<ListExpr>(E);
+      for (const ExprPtr &Elem : L->elems()) {
+        const auto *P = dyn_cast<SvPairExpr>(Elem.get());
+        if (!P) {
+          fallback(Elem->loc(), "list element is not an s/v pair");
+          return;
+        }
+        makeClause(P, Out);
+      }
+      return;
+    }
+    case ExprKind::Comp:
+      walkComp(cast<CompExpr>(E), 0, Out);
+      return;
+    case ExprKind::SvPair:
+      makeClause(cast<SvPairExpr>(E), Out);
+      return;
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      if (L->letKind() != LetKindEnum::Plain) {
+        fallback(E->loc(), "recursive let inside a subscript/value list");
+        return;
+      }
+      size_t Mark = Substs.size();
+      for (const LetBind &B : L->binds())
+        recordSubst(B.Name, B.Value.get());
+      walk(L->body(), Out);
+      dropSubsts(Mark);
+      return;
+    }
+    default:
+      fallback(E->loc(), std::string("subscript/value list contains a ") +
+                             exprKindName(E->kind()) + " expression");
+      return;
+    }
+  }
+};
+
+void printNode(const CompNode *N, std::ostringstream &OS, unsigned Indent) {
+  auto Pad = [&]() {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+  };
+  switch (N->kind()) {
+  case CompNodeKind::Seq:
+    for (const CompNodePtr &C : cast<SeqNode>(N)->children())
+      printNode(C.get(), OS, Indent);
+    return;
+  case CompNodeKind::Loop: {
+    const auto *L = cast<LoopNode>(N);
+    Pad();
+    OS << "loop " << L->var() << " = [" << L->bounds().Lo;
+    if (L->bounds().Step != 1)
+      OS << ", " << (L->bounds().Lo + L->bounds().Step);
+    OS << " .. " << L->bounds().Hi << "] {\n";
+    printNode(L->body(), OS, Indent + 1);
+    Pad();
+    OS << "}\n";
+    return;
+  }
+  case CompNodeKind::Guard: {
+    const auto *G = cast<GuardNode>(N);
+    Pad();
+    OS << "guard " << exprToString(G->cond()) << " {\n";
+    printNode(G->body(), OS, Indent + 1);
+    Pad();
+    OS << "}\n";
+    return;
+  }
+  case CompNodeKind::Clause: {
+    const auto *C = cast<ClauseNode>(N);
+    Pad();
+    OS << "clause #" << C->id() << " [";
+    for (unsigned D = 0; D != C->rank(); ++D) {
+      if (D)
+        OS << ", ";
+      OS << exprToString(C->subscript(D));
+    }
+    OS << "] := " << exprToString(C->value()) << "\n";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+CompNest hac::buildCompNest(const Expr *SvList, const ParamEnv &Params,
+                            DiagnosticEngine &Diags) {
+  return NestBuilder(Params, Diags).build(SvList);
+}
+
+std::string hac::compNestToString(const CompNest &Nest) {
+  std::ostringstream OS;
+  if (!Nest.Analyzable)
+    OS << "<not analyzable: " << Nest.FallbackReason << ">\n";
+  if (Nest.Root)
+    printNode(Nest.Root.get(), OS, 0);
+  return OS.str();
+}

@@ -1,0 +1,205 @@
+//===- comp/CompNest.h - Clause-tree / loop-nest IR -------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clause tree the analyses operate on. A (nested) comprehension over
+/// arithmetic-sequence generators is translated into a tree of loops,
+/// guards, and s/v clauses — the "expression tree" of Section 3.1 / 5. An
+/// s/v clause "plays a role very similar to an assignment statement in a
+/// DO loop" (Section 5); the dependence graph's vertices are exactly these
+/// clauses.
+///
+/// `let` qualifiers and `where` bindings are inlined (substituted) into
+/// clause subscript and value expressions so that every array reference is
+/// visible to the subscript analysis. Loop bounds are constant-folded
+/// against the driver-supplied parameter environment, matching the paper's
+/// "loop bounds are statically known" assumption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_COMP_COMPNEST_H
+#define HAC_COMP_COMPNEST_H
+
+#include "ast/Expr.h"
+#include "comp/ConstFold.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hac {
+
+/// Static bounds of one generator `i <- [Lo, Lo+Step .. Hi]`.
+struct LoopBounds {
+  int64_t Lo = 1;
+  int64_t Hi = 0;
+  int64_t Step = 1;
+
+  /// Number of iterations (0 when the range is empty).
+  int64_t tripCount() const {
+    if (Step > 0)
+      return Hi >= Lo ? (Hi - Lo) / Step + 1 : 0;
+    return Lo >= Hi ? (Lo - Hi) / (-Step) + 1 : 0;
+  }
+};
+
+class CompNode;
+class SeqNode;
+class LoopNode;
+class GuardNode;
+class ClauseNode;
+using CompNodePtr = std::unique_ptr<CompNode>;
+
+enum class CompNodeKind : uint8_t { Seq, Loop, Guard, Clause };
+
+/// Base class of clause-tree nodes.
+class CompNode {
+public:
+  CompNode(const CompNode &) = delete;
+  CompNode &operator=(const CompNode &) = delete;
+  virtual ~CompNode();
+
+  CompNodeKind kind() const { return Kind; }
+
+protected:
+  explicit CompNode(CompNodeKind Kind) : Kind(Kind) {}
+
+private:
+  CompNodeKind Kind;
+};
+
+/// Ordered children appended together (`++` and list structure).
+class SeqNode : public CompNode {
+public:
+  SeqNode() : CompNode(CompNodeKind::Seq) {}
+
+  void add(CompNodePtr Child) { Children.push_back(std::move(Child)); }
+  const std::vector<CompNodePtr> &children() const { return Children; }
+
+  static bool classof(const CompNode *N) {
+    return N->kind() == CompNodeKind::Seq;
+  }
+
+private:
+  std::vector<CompNodePtr> Children;
+};
+
+/// One generator, with statically known bounds. Depth 0 is outermost.
+class LoopNode : public CompNode {
+public:
+  LoopNode(unsigned Id, std::string Var, LoopBounds Bounds, unsigned Depth)
+      : CompNode(CompNodeKind::Loop), Id(Id), Var(std::move(Var)),
+        Bounds(Bounds), Depth(Depth), Body(std::make_unique<SeqNode>()) {}
+
+  unsigned id() const { return Id; }
+  const std::string &var() const { return Var; }
+  const LoopBounds &bounds() const { return Bounds; }
+  unsigned depth() const { return Depth; }
+  SeqNode *body() { return Body.get(); }
+  const SeqNode *body() const { return Body.get(); }
+
+  static bool classof(const CompNode *N) {
+    return N->kind() == CompNodeKind::Loop;
+  }
+
+private:
+  unsigned Id;
+  std::string Var;
+  LoopBounds Bounds;
+  unsigned Depth;
+  std::unique_ptr<SeqNode> Body;
+};
+
+/// A boolean guard around its children. Dependence analysis ignores guard
+/// conditions (sound over-approximation); coverage analysis treats guarded
+/// clauses as unknown-count.
+class GuardNode : public CompNode {
+public:
+  explicit GuardNode(ExprPtr Cond)
+      : CompNode(CompNodeKind::Guard), Cond(std::move(Cond)),
+        Body(std::make_unique<SeqNode>()) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  SeqNode *body() { return Body.get(); }
+  const SeqNode *body() const { return Body.get(); }
+
+  static bool classof(const CompNode *N) {
+    return N->kind() == CompNodeKind::Guard;
+  }
+
+private:
+  ExprPtr Cond;
+  std::unique_ptr<SeqNode> Body;
+};
+
+/// One s/v clause: the vertex type of the dependence graph. Subscript
+/// dimension expressions and the value expression have `let`s inlined;
+/// their free variables are loop indices, compile-time parameters, and
+/// array names.
+class ClauseNode : public CompNode {
+public:
+  ClauseNode(unsigned Id, std::vector<ExprPtr> Subscripts, ExprPtr Value,
+             std::vector<const LoopNode *> Loops,
+             std::vector<const GuardNode *> Guards, SourceLoc Loc)
+      : CompNode(CompNodeKind::Clause), Id(Id),
+        Subscripts(std::move(Subscripts)), Value(std::move(Value)),
+        Loops(std::move(Loops)), Guards(std::move(Guards)), Loc(Loc) {}
+
+  unsigned id() const { return Id; }
+  unsigned rank() const { return Subscripts.size(); }
+  const Expr *subscript(unsigned Dim) const { return Subscripts[Dim].get(); }
+  const std::vector<ExprPtr> &subscripts() const { return Subscripts; }
+  const Expr *value() const { return Value.get(); }
+  /// Enclosing loops, outermost first.
+  const std::vector<const LoopNode *> &loops() const { return Loops; }
+  const std::vector<const GuardNode *> &guards() const { return Guards; }
+  bool isGuarded() const { return !Guards.empty(); }
+  SourceLoc loc() const { return Loc; }
+
+  static bool classof(const CompNode *N) {
+    return N->kind() == CompNodeKind::Clause;
+  }
+
+private:
+  unsigned Id;
+  std::vector<ExprPtr> Subscripts;
+  ExprPtr Value;
+  std::vector<const LoopNode *> Loops;
+  std::vector<const GuardNode *> Guards;
+  SourceLoc Loc;
+};
+
+/// The whole clause tree for one array expression's s/v list, with flat
+/// indexes of clauses and loops.
+struct CompNest {
+  /// False when the s/v list used a construct the static pipeline does not
+  /// model (non-range generator, clause through a variable, ...). The
+  /// driver then falls back to the lazy interpreter.
+  bool Analyzable = true;
+  std::string FallbackReason;
+
+  CompNodePtr Root;
+  std::vector<const ClauseNode *> Clauses;
+  std::vector<const LoopNode *> Loops;
+
+  const ClauseNode *clause(unsigned Id) const { return Clauses[Id]; }
+  unsigned numClauses() const { return Clauses.size(); }
+};
+
+/// Builds the clause tree for \p SvList (the second argument of `array` or
+/// `bigupd`). \p Params supplies values for free integer parameters used
+/// in loop bounds. Problems are reported to \p Diags (as warnings) and
+/// recorded in the returned nest's FallbackReason.
+CompNest buildCompNest(const Expr *SvList, const ParamEnv &Params,
+                       DiagnosticEngine &Diags);
+
+/// Renders the nest as an indented tree (tests and tools).
+std::string compNestToString(const CompNest &Nest);
+
+} // namespace hac
+
+#endif // HAC_COMP_COMPNEST_H

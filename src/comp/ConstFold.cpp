@@ -1,0 +1,86 @@
+//===- comp/ConstFold.cpp - Compile-time integer evaluation ---------------===//
+
+#include "comp/ConstFold.h"
+
+#include "support/Casting.h"
+
+using namespace hac;
+
+bool hac::tryEvalConstInt(const Expr *E, const ParamEnv &Params,
+                          int64_t &Out) {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    Out = cast<IntLitExpr>(E)->value();
+    return true;
+  case ExprKind::Var: {
+    auto It = Params.find(cast<VarExpr>(E)->name());
+    if (It == Params.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() != UnaryOpKind::Neg)
+      return false;
+    int64_t V;
+    if (!tryEvalConstInt(U->operand(), Params, V))
+      return false;
+    Out = -V;
+    return true;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    int64_t L, R;
+    if (!tryEvalConstInt(B->lhs(), Params, L) ||
+        !tryEvalConstInt(B->rhs(), Params, R))
+      return false;
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      Out = L + R;
+      return true;
+    case BinaryOpKind::Sub:
+      Out = L - R;
+      return true;
+    case BinaryOpKind::Mul:
+      Out = L * R;
+      return true;
+    case BinaryOpKind::Div:
+      if (R == 0)
+        return false;
+      Out = L / R;
+      return true;
+    case BinaryOpKind::Mod:
+      if (R == 0)
+        return false;
+      Out = L % R;
+      return true;
+    default:
+      return false;
+    }
+  }
+  case ExprKind::Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    const auto *Fn = dyn_cast<VarExpr>(A->fn());
+    if (!Fn || A->numArgs() != 2)
+      return false;
+    int64_t L, R;
+    if (!tryEvalConstInt(A->arg(0), Params, L) ||
+        !tryEvalConstInt(A->arg(1), Params, R))
+      return false;
+    if (Fn->name() == "min") {
+      Out = L < R ? L : R;
+      return true;
+    }
+    if (Fn->name() == "max") {
+      Out = L > R ? L : R;
+      return true;
+    }
+    return false;
+  }
+  default:
+    return false;
+  }
+}

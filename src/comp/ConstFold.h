@@ -1,0 +1,37 @@
+//===- comp/ConstFold.h - Compile-time integer evaluation -------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compile-time evaluator for integer expressions over named
+/// parameters. The subscript analysis (Section 6) assumes statically known
+/// loop bounds; the driver supplies concrete values for free parameters
+/// like `n`, and this folder evaluates range endpoints and array bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_COMP_CONSTFOLD_H
+#define HAC_COMP_CONSTFOLD_H
+
+#include "ast/Expr.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hac {
+
+/// Named compile-time integer parameters (e.g. {"n", 100}).
+using ParamEnv = std::map<std::string, int64_t>;
+
+/// Attempts to evaluate \p E to an integer constant given \p Params.
+/// Handles literals, parameter references, +, -, *, /, %, unary negation,
+/// min/max applications, and parenthesized forms. Returns false when the
+/// expression is not a compile-time integer.
+bool tryEvalConstInt(const Expr *E, const ParamEnv &Params, int64_t &Out);
+
+} // namespace hac
+
+#endif // HAC_COMP_CONSTFOLD_H

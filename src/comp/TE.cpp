@@ -1,0 +1,204 @@
+//===- comp/TE.cpp - The paper's TE comprehension translation -------------===//
+
+#include "comp/TE.h"
+
+#include "ast/ASTUtils.h"
+#include "support/Casting.h"
+
+using namespace hac;
+
+namespace {
+
+/// TE over the comprehension body: peels one qualifier per step.
+ExprPtr translateComp(const CompExpr *C, size_t QualIndex);
+
+/// TE over a nested-comprehension head (a list-producing expression).
+ExprPtr translateHead(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOpKind::Append)
+      return makeBinary(BinaryOpKind::Append, translateHead(B->lhs()),
+                        translateHead(B->rhs()));
+    break;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    std::vector<LetBind> Binds;
+    for (const LetBind &B : L->binds())
+      Binds.emplace_back(B.Name, desugarComprehensions(B.Value.get()), B.Loc);
+    return std::make_unique<LetExpr>(L->letKind(), std::move(Binds),
+                                     translateHead(L->body()), E->loc());
+  }
+  case ExprKind::List: {
+    const auto *L = cast<ListExpr>(E);
+    std::vector<ExprPtr> Elems;
+    for (const ExprPtr &Elem : L->elems())
+      Elems.push_back(desugarComprehensions(Elem.get()));
+    return std::make_unique<ListExpr>(std::move(Elems), E->loc());
+  }
+  case ExprKind::Comp:
+    return translateComp(cast<CompExpr>(E), 0);
+  default:
+    break;
+  }
+  // Any other list-producing expression is left as-is (desugared inside).
+  return desugarComprehensions(E);
+}
+
+ExprPtr translateComp(const CompExpr *C, size_t QualIndex) {
+  if (QualIndex == C->quals().size()) {
+    if (C->isNested())
+      return translateHead(C->head());
+    // Ordinary comprehension: TE{ [E] } = [E].
+    std::vector<ExprPtr> Single;
+    Single.push_back(desugarComprehensions(C->head()));
+    return std::make_unique<ListExpr>(std::move(Single), C->loc());
+  }
+
+  const CompQual &Q = C->quals()[QualIndex];
+  switch (Q.kind()) {
+  case CompQual::Kind::Generator: {
+    // flatmap (\i . TE{ rest }) L
+    ExprPtr Lambda = std::make_unique<LambdaExpr>(
+        std::vector<std::string>{Q.var()}, translateComp(C, QualIndex + 1),
+        Q.loc());
+    std::vector<ExprPtr> Args;
+    Args.push_back(std::move(Lambda));
+    Args.push_back(desugarComprehensions(Q.source()));
+    return std::make_unique<ApplyExpr>(makeVar("flatmap"), std::move(Args),
+                                       C->loc());
+  }
+  case CompQual::Kind::Guard:
+    // if B then TE{ rest } else []
+    return std::make_unique<IfExpr>(
+        desugarComprehensions(Q.cond()), translateComp(C, QualIndex + 1),
+        std::make_unique<ListExpr>(std::vector<ExprPtr>(), Q.loc()),
+        C->loc());
+  case CompQual::Kind::LetQual: {
+    std::vector<LetBind> Binds;
+    for (const LetBind &B : Q.binds())
+      Binds.emplace_back(B.Name, desugarComprehensions(B.Value.get()), B.Loc);
+    return std::make_unique<LetExpr>(LetKindEnum::Plain, std::move(Binds),
+                                     translateComp(C, QualIndex + 1),
+                                     Q.loc());
+  }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+ExprPtr hac::desugarComprehensions(const Expr *E) {
+  if (!E)
+    return nullptr;
+  if (const auto *C = dyn_cast<CompExpr>(E))
+    return translateComp(C, 0);
+
+  // Structural recursion: rebuild the node with desugared children. Reuse
+  // clone for leaves.
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::BoolLit:
+  case ExprKind::Var:
+    return cloneExpr(E);
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::make_unique<UnaryExpr>(
+        U->op(), desugarComprehensions(U->operand()), E->loc());
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return std::make_unique<BinaryExpr>(B->op(),
+                                        desugarComprehensions(B->lhs()),
+                                        desugarComprehensions(B->rhs()),
+                                        E->loc());
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    return std::make_unique<IfExpr>(desugarComprehensions(I->cond()),
+                                    desugarComprehensions(I->thenExpr()),
+                                    desugarComprehensions(I->elseExpr()),
+                                    E->loc());
+  }
+  case ExprKind::Tuple: {
+    std::vector<ExprPtr> Elems;
+    for (const ExprPtr &Elem : cast<TupleExpr>(E)->elems())
+      Elems.push_back(desugarComprehensions(Elem.get()));
+    return std::make_unique<TupleExpr>(std::move(Elems), E->loc());
+  }
+  case ExprKind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    return std::make_unique<LambdaExpr>(
+        L->params(), desugarComprehensions(L->body()), E->loc());
+  }
+  case ExprKind::Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &Arg : A->args())
+      Args.push_back(desugarComprehensions(Arg.get()));
+    return std::make_unique<ApplyExpr>(desugarComprehensions(A->fn()),
+                                       std::move(Args), E->loc());
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    std::vector<LetBind> Binds;
+    for (const LetBind &B : L->binds())
+      Binds.emplace_back(B.Name, desugarComprehensions(B.Value.get()), B.Loc);
+    return std::make_unique<LetExpr>(L->letKind(), std::move(Binds),
+                                     desugarComprehensions(L->body()),
+                                     E->loc());
+  }
+  case ExprKind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    return std::make_unique<RangeExpr>(
+        desugarComprehensions(R->lo()),
+        R->second() ? desugarComprehensions(R->second()) : nullptr,
+        desugarComprehensions(R->hi()), E->loc());
+  }
+  case ExprKind::List: {
+    std::vector<ExprPtr> Elems;
+    for (const ExprPtr &Elem : cast<ListExpr>(E)->elems())
+      Elems.push_back(desugarComprehensions(Elem.get()));
+    return std::make_unique<ListExpr>(std::move(Elems), E->loc());
+  }
+  case ExprKind::SvPair: {
+    const auto *P = cast<SvPairExpr>(E);
+    return std::make_unique<SvPairExpr>(
+        desugarComprehensions(P->subscript()),
+        desugarComprehensions(P->value()), E->loc());
+  }
+  case ExprKind::ArraySub: {
+    const auto *S = cast<ArraySubExpr>(E);
+    return std::make_unique<ArraySubExpr>(desugarComprehensions(S->base()),
+                                          desugarComprehensions(S->index()),
+                                          E->loc());
+  }
+  case ExprKind::MakeArray: {
+    const auto *M = cast<MakeArrayExpr>(E);
+    return std::make_unique<MakeArrayExpr>(
+        desugarComprehensions(M->bounds()),
+        desugarComprehensions(M->svList()), E->loc());
+  }
+  case ExprKind::AccumArray: {
+    const auto *A = cast<AccumArrayExpr>(E);
+    return std::make_unique<AccumArrayExpr>(
+        desugarComprehensions(A->fn()), desugarComprehensions(A->init()),
+        desugarComprehensions(A->bounds()),
+        desugarComprehensions(A->svList()), E->loc());
+  }
+  case ExprKind::BigUpd: {
+    const auto *U = cast<BigUpdExpr>(E);
+    return std::make_unique<BigUpdExpr>(desugarComprehensions(U->base()),
+                                        desugarComprehensions(U->svList()),
+                                        E->loc());
+  }
+  case ExprKind::ForceElements:
+    return std::make_unique<ForceElementsExpr>(
+        desugarComprehensions(cast<ForceElementsExpr>(E)->arg()), E->loc());
+  case ExprKind::Comp:
+    break; // handled above
+  }
+  return nullptr;
+}

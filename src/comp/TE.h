@@ -1,0 +1,41 @@
+//===- comp/TE.h - The paper's TE comprehension translation -----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translation rule TE of Section 3.1, mapping (nested) list
+/// comprehensions to the primitive constructs `flatmap`, `if`, `++`,
+/// `let`, and singleton lists:
+///
+/// \code
+///   TE{ [* E | i <- L *] }    = flatmap (\i . TE{ E }) L
+///   TE{ [* E | i <- L; Q *] } = flatmap (\i . TE{ [* E | Q *] }) L
+///   TE{ [* E | B *] }         = if B then TE{ E } else []
+///   TE{ E1 ++ E2 }            = TE{ E1 } ++ TE{ E2 }
+///   TE{ let BINDS in E }      = let BINDS in TE{ E }
+///   TE{ [E] }                 = [E]
+/// \endcode
+///
+/// TE makes the semantics of nested comprehensions clear; the test suite
+/// checks that evaluating TE's output agrees with the interpreter's direct
+/// comprehension evaluation (and that TE indeed CONSes proportionally).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_COMP_TE_H
+#define HAC_COMP_TE_H
+
+#include "ast/Expr.h"
+
+namespace hac {
+
+/// Recursively rewrites every comprehension in \p E using the TE rules.
+/// The result uses `flatmap` (an interpreter builtin) and contains no Comp
+/// nodes.
+ExprPtr desugarComprehensions(const Expr *E);
+
+} // namespace hac
+
+#endif // HAC_COMP_TE_H

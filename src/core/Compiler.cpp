@@ -1,0 +1,577 @@
+//===- core/Compiler.cpp - The end-to-end compilation driver --------------===//
+
+#include "core/Compiler.h"
+
+#include "ast/ASTUtils.h"
+#include "frontend/Parser.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <sstream>
+
+using namespace hac;
+
+Compiler::Compiler(CompileOptions Options) : Options(std::move(Options)) {}
+
+namespace {
+
+/// Parses the bounds argument of `array` into concrete dimensions given
+/// the parameter environment. Accepts (lo,hi) and ((l1..),(h1..)).
+bool boundsToDims(const Expr *Bounds, const ParamEnv &Params, ArrayDims &Out,
+                  DiagnosticEngine &Diags) {
+  const auto *T = dyn_cast<TupleExpr>(Bounds);
+  if (!T || T->size() != 2) {
+    Diags.error(Bounds->loc(), "array bounds must be a pair");
+    return false;
+  }
+  int64_t Lo, Hi;
+  if (tryEvalConstInt(T->elem(0), Params, Lo) &&
+      tryEvalConstInt(T->elem(1), Params, Hi)) {
+    Out.emplace_back(Lo, Hi);
+    return true;
+  }
+  const auto *LoT = dyn_cast<TupleExpr>(T->elem(0));
+  const auto *HiT = dyn_cast<TupleExpr>(T->elem(1));
+  if (!LoT || !HiT || LoT->size() != HiT->size()) {
+    Diags.error(Bounds->loc(),
+                "array bounds are not compile-time constants");
+    return false;
+  }
+  for (unsigned D = 0; D != LoT->size(); ++D) {
+    if (!tryEvalConstInt(LoT->elem(D), Params, Lo) ||
+        !tryEvalConstInt(HiT->elem(D), Params, Hi)) {
+      Diags.error(Bounds->loc(),
+                  "array bound is not a compile-time constant");
+      return false;
+    }
+    Out.emplace_back(Lo, Hi);
+  }
+  return true;
+}
+
+/// Peels outer `let` wrappers: constant integer bindings extend Params;
+/// other plain-let bindings are recorded as expected runtime inputs.
+/// Returns the first non-let expression (or the target letrec).
+const Expr *peelLets(const Expr *E, ParamEnv &Params,
+                     std::vector<std::string> &InputNames) {
+  for (;;) {
+    const auto *L = dyn_cast<LetExpr>(E);
+    if (!L)
+      return E;
+    // Stop at the defining letrec/letrec* whose binding is the array.
+    if (L->letKind() != LetKindEnum::Plain) {
+      bool IsTarget = false;
+      for (const LetBind &B : L->binds())
+        IsTarget |= isa<MakeArrayExpr>(B.Value.get()) ||
+                    isa<AccumArrayExpr>(B.Value.get());
+      if (IsTarget)
+        return E;
+    }
+    for (const LetBind &B : L->binds()) {
+      int64_t V;
+      if (tryEvalConstInt(B.Value.get(), Params, V))
+        Params[B.Name] = V;
+      else
+        InputNames.push_back(B.Name);
+    }
+    E = L->body();
+  }
+}
+
+} // namespace
+
+std::optional<CompiledArray>
+Compiler::compileArray(const std::string &Source) {
+  ExprPtr Ast = parseString(Source, Diags);
+  if (!Ast)
+    return std::nullopt;
+
+  CompiledArray Result;
+  Result.Params = Options.Params;
+  const Expr *E = peelLets(Ast.get(), Result.Params, Result.InputNames);
+
+  // Locate the defining binding: letrec/letrec*/let NAME = array ... .
+  const MakeArrayExpr *Make = nullptr;
+  if (const auto *L = dyn_cast<LetExpr>(E)) {
+    for (const LetBind &B : L->binds()) {
+      if (const auto *M = dyn_cast<MakeArrayExpr>(B.Value.get())) {
+        Result.Name = B.Name;
+        Make = M;
+        break;
+      }
+    }
+  } else if (const auto *M = dyn_cast<MakeArrayExpr>(E)) {
+    // A bare array expression: anonymous target.
+    Result.Name = "a";
+    Make = M;
+  }
+  if (!Make) {
+    Diags.error(E->loc(), "program does not define an array "
+                          "(expected `letrec* NAME = array BOUNDS LIST`)");
+    return std::nullopt;
+  }
+
+  if (!boundsToDims(Make->bounds(), Result.Params, Result.Dims, Diags))
+    return std::nullopt;
+
+  Result.Ast = std::move(Ast);
+  Result.Nest = buildCompNest(Make->svList(), Result.Params, Diags);
+  if (!Result.Nest.Analyzable) {
+    Result.Thunkless = false;
+    Result.FallbackReason = Result.Nest.FallbackReason;
+    return Result;
+  }
+
+  DepGraphOptions GraphOptions;
+  GraphOptions.ExactBudget = Options.ExactBudget;
+  Result.Graph = buildDepGraph(Result.Nest, Result.Name, Result.Params,
+                               DepGraphMode::Monolithic, GraphOptions);
+  Result.Collisions =
+      analyzeCollisions(Result.Nest, Result.Params, Options.ExactBudget);
+  Result.Coverage = analyzeCoverage(Result.Nest, Result.Dims, Result.Params,
+                                    Result.Collisions);
+
+  if (Result.Collisions.NoCollisions == CheckOutcome::Disproven) {
+    Diags.error(SourceLoc(), "write collision: " + Result.Collisions.Witness);
+    Result.Thunkless = false;
+    Result.FallbackReason = "definite write collision";
+    return Result;
+  }
+  if (Result.Coverage.InBounds == CheckOutcome::Disproven)
+    Diags.warning(SourceLoc(),
+                  "some array definitions are provably out of bounds: " +
+                      Result.Coverage.Detail);
+
+  if (Result.Graph.HasUnknownRef) {
+    Result.Thunkless = false;
+    Result.FallbackReason = Result.Graph.UnknownRefReason;
+    return Result;
+  }
+
+  // Schedule against the flow edges (output edges are error reports, not
+  // ordering constraints, for plain monolithic arrays).
+  std::vector<const DepEdge *> FlowEdges;
+  for (const DepEdge &Edge : Result.Graph.Edges)
+    if (Edge.Kind == DepKind::Flow)
+      FlowEdges.push_back(&Edge);
+  Result.Sched = scheduleNest(Result.Nest, FlowEdges);
+  if (!Result.Sched.Thunkless) {
+    Result.Thunkless = false;
+    Result.FallbackReason = Result.Sched.FailureReason;
+    return Result;
+  }
+  Result.Vectorization = analyzeVectorization(Result.Sched, FlowEdges);
+
+  Result.Thunkless = true;
+  CollisionAnalysis EffCollisions = Result.Collisions;
+  CoverageAnalysis EffCoverage = Result.Coverage;
+  if (!Options.EnableCheckElimination) {
+    // Ablation: pretend nothing was proven.
+    EffCollisions.NoCollisions = CheckOutcome::Unknown;
+    EffCoverage.InBounds = CheckOutcome::Unknown;
+    EffCoverage.NoEmpties = CheckOutcome::Unknown;
+  }
+  Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
+                               Result.Dims, EffCollisions, EffCoverage);
+  return Result;
+}
+
+std::optional<CompiledUpdate>
+Compiler::compileUpdate(const std::string &Source) {
+  ExprPtr Ast = parseString(Source, Diags);
+  if (!Ast)
+    return std::nullopt;
+
+  CompiledUpdate Result;
+  Result.Params = Options.Params;
+  std::vector<std::string> InputNames;
+  const Expr *E = peelLets(Ast.get(), Result.Params, InputNames);
+
+  const BigUpdExpr *Upd = dyn_cast<BigUpdExpr>(E);
+  if (!Upd) {
+    // Allow `let b = bigupd a ... in b` shape.
+    if (const auto *L = dyn_cast<LetExpr>(E))
+      for (const LetBind &B : L->binds())
+        if ((Upd = dyn_cast<BigUpdExpr>(B.Value.get())))
+          break;
+  }
+  if (!Upd) {
+    Diags.error(E->loc(), "program does not contain a bigupd");
+    return std::nullopt;
+  }
+  const auto *Base = dyn_cast<VarExpr>(Upd->base());
+  if (!Base) {
+    Diags.error(Upd->base()->loc(), "bigupd base must be an array name");
+    return std::nullopt;
+  }
+  Result.BaseName = Base->name();
+
+  Result.Ast = std::move(Ast);
+  Result.Nest = buildCompNest(Upd->svList(), Result.Params, Diags);
+  if (!Result.Nest.Analyzable) {
+    Result.InPlace = false;
+    Result.FallbackReason = Result.Nest.FallbackReason;
+    return Result;
+  }
+
+  DepGraphOptions GraphOptions;
+  GraphOptions.ExactBudget = Options.ExactBudget;
+  Result.Graph = buildDepGraph(Result.Nest, Result.BaseName, Result.Params,
+                               DepGraphMode::Update, GraphOptions);
+  Result.Update = scheduleUpdate(Result.Nest, Result.Graph);
+  if (!Result.Update.InPlace) {
+    Result.InPlace = false;
+    Result.FallbackReason = Result.Update.Reason;
+    return Result;
+  }
+  {
+    // Vectorization is judged against the surviving (post-split) edges.
+    std::vector<const DepEdge *> Remaining;
+    std::set<const Expr *> SplitReads;
+    for (const SplitAction &A : Result.Update.Splits)
+      SplitReads.insert(A.ReadRef);
+    for (const DepEdge &E : Result.Graph.Edges)
+      if (!(E.Kind == DepKind::Anti && SplitReads.count(E.ReadRef)))
+        Remaining.push_back(&E);
+    Result.Vectorization =
+        analyzeVectorization(Result.Update.Sched, Remaining);
+  }
+
+  Result.InPlace = true;
+  Result.Plan = buildUpdatePlan(Result.Nest, Result.Update, Result.BaseName,
+                                /*Dims=*/{});
+  return Result;
+}
+
+namespace {
+
+/// Rewrites every s/v pair value `v` in \p SvList into the combining
+/// expression `f z v` with the lambda inlined: body[p0 := z, p1 := v].
+ExprPtr transformAccumValues(const Expr *SvList, const LambdaExpr *Fn,
+                             const Expr *Init) {
+  switch (SvList->kind()) {
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(SvList);
+    if (B->op() != BinaryOpKind::Append)
+      break;
+    return makeBinary(BinaryOpKind::Append,
+                      transformAccumValues(B->lhs(), Fn, Init),
+                      transformAccumValues(B->rhs(), Fn, Init));
+  }
+  case ExprKind::List: {
+    std::vector<ExprPtr> Elems;
+    for (const ExprPtr &Elem : cast<ListExpr>(SvList)->elems())
+      Elems.push_back(transformAccumValues(Elem.get(), Fn, Init));
+    return std::make_unique<ListExpr>(std::move(Elems), SvList->loc());
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(SvList);
+    std::vector<LetBind> Binds;
+    for (const LetBind &B : L->binds())
+      Binds.emplace_back(B.Name, cloneExpr(B.Value.get()), B.Loc);
+    return std::make_unique<LetExpr>(
+        L->letKind(), std::move(Binds),
+        transformAccumValues(L->body(), Fn, Init), SvList->loc());
+  }
+  case ExprKind::Comp: {
+    const auto *C = cast<CompExpr>(SvList);
+    // Clone the whole comprehension to obtain owned qualifier copies,
+    // then rebuild it around the transformed head.
+    ExprPtr Scratch = cloneExpr(SvList);
+    std::vector<CompQual> Quals =
+        std::move(cast<CompExpr>(Scratch.get())->quals());
+    return std::make_unique<CompExpr>(
+        transformAccumValues(C->head(), Fn, Init), std::move(Quals),
+        C->isNested(), C->loc());
+  }
+  case ExprKind::SvPair: {
+    const auto *P = cast<SvPairExpr>(SvList);
+    // body[p0 := z] first (z is a literal, no capture possible), then
+    // [p1 := v].
+    ExprPtr Step1 =
+        substitute(Fn->body(), Fn->params()[0], Init);
+    ExprPtr NewValue =
+        substitute(Step1.get(), Fn->params()[1], P->value());
+    return std::make_unique<SvPairExpr>(cloneExpr(P->subscript()),
+                                        std::move(NewValue), P->loc());
+  }
+  default:
+    break;
+  }
+  return cloneExpr(SvList);
+}
+
+} // namespace
+
+std::optional<CompiledArray>
+Compiler::compileAccum(const std::string &Source) {
+  ExprPtr Ast = parseString(Source, Diags);
+  if (!Ast)
+    return std::nullopt;
+
+  CompiledArray Result;
+  Result.Params = Options.Params;
+  const Expr *E = peelLets(Ast.get(), Result.Params, Result.InputNames);
+
+  const AccumArrayExpr *Accum = nullptr;
+  if (const auto *L = dyn_cast<LetExpr>(E)) {
+    for (const LetBind &B : L->binds())
+      if (const auto *A = dyn_cast<AccumArrayExpr>(B.Value.get())) {
+        Result.Name = B.Name;
+        Accum = A;
+        break;
+      }
+  } else if (const auto *A = dyn_cast<AccumArrayExpr>(E)) {
+    Result.Name = "a";
+    Accum = A;
+  }
+  if (!Accum) {
+    Diags.error(E->loc(), "program does not define an accumulated array");
+    return std::nullopt;
+  }
+
+  if (!boundsToDims(Accum->bounds(), Result.Params, Result.Dims, Diags))
+    return std::nullopt;
+  Result.Ast = std::move(Ast);
+  Result.IsAccum = true;
+
+  // The static special case needs a two-parameter lambda and a constant
+  // initial value.
+  const auto *Fn = dyn_cast<LambdaExpr>(Accum->fn());
+  if (!Fn || Fn->params().size() != 2) {
+    Result.Thunkless = false;
+    Result.FallbackReason =
+        "accumArray combining function is not a two-parameter lambda";
+    return Result;
+  }
+  double InitValue = 0;
+  if (const auto *IL = dyn_cast<IntLitExpr>(Accum->init()))
+    InitValue = static_cast<double>(IL->value());
+  else if (const auto *FL = dyn_cast<FloatLitExpr>(Accum->init()))
+    InitValue = FL->value();
+  else {
+    int64_t IV;
+    if (!tryEvalConstInt(Accum->init(), Result.Params, IV)) {
+      Result.Thunkless = false;
+      Result.FallbackReason =
+          "accumArray initial value is not a compile-time constant";
+      return Result;
+    }
+    InitValue = static_cast<double>(IV);
+  }
+  Result.AccumInit = InitValue;
+
+  // Inline the combining function into every pair value.
+  ExprPtr Transformed =
+      transformAccumValues(Accum->svList(), Fn, Accum->init());
+  Result.Nest = buildCompNest(Transformed.get(), Result.Params, Diags);
+  if (!Result.Nest.Analyzable) {
+    Result.Thunkless = false;
+    Result.FallbackReason = Result.Nest.FallbackReason;
+    return Result;
+  }
+
+  DepGraphOptions GraphOptions;
+  GraphOptions.ExactBudget = Options.ExactBudget;
+  Result.Graph = buildDepGraph(Result.Nest, Result.Name, Result.Params,
+                               DepGraphMode::Monolithic, GraphOptions);
+  if (Result.Graph.HasUnknownRef ||
+      !Result.Graph.edgesOfKind(DepKind::Flow).empty()) {
+    Result.Thunkless = false;
+    Result.FallbackReason = "self-referencing accumulated arrays read "
+                            "partially combined values; falling back";
+    return Result;
+  }
+
+  // Soundness gate: the combining order is unobservable only when no
+  // element receives more than one pair.
+  Result.Collisions =
+      analyzeCollisions(Result.Nest, Result.Params, Options.ExactBudget);
+  Result.Coverage = analyzeCoverage(Result.Nest, Result.Dims, Result.Params,
+                                    Result.Collisions);
+  if (Result.Collisions.NoCollisions != CheckOutcome::Proven) {
+    Result.Thunkless = false;
+    Result.FallbackReason =
+        "possible multiple pairs per element: combining order must be "
+        "preserved (interpreter fallback)";
+    return Result;
+  }
+
+  Result.Sched = scheduleNest(Result.Nest, {});
+  if (!Result.Sched.Thunkless) {
+    Result.Thunkless = false;
+    Result.FallbackReason = Result.Sched.FailureReason;
+    return Result;
+  }
+  Result.Vectorization = analyzeVectorization(Result.Sched, {});
+
+  Result.Thunkless = true;
+  CoverageAnalysis EffCoverage = Result.Coverage;
+  // Untouched elements are the initial value, never "empties".
+  EffCoverage.NoEmpties = CheckOutcome::Proven;
+  Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
+                               Result.Dims, Result.Collisions, EffCoverage);
+  return Result;
+}
+
+std::optional<CompiledArray>
+Compiler::compileArrayInPlace(const std::string &Source,
+                              const std::string &ReuseName) {
+  auto Result = compileArray(Source);
+  if (!Result)
+    return std::nullopt;
+  Result->ReuseName = ReuseName;
+  if (!Result->Nest.Analyzable || Result->Graph.HasUnknownRef ||
+      Result->Collisions.NoCollisions == CheckOutcome::Disproven) {
+    Result->Thunkless = false;
+    return Result;
+  }
+
+  // Antidependences on the reused input join the flow dependences.
+  DepGraphOptions GraphOptions;
+  GraphOptions.ExactBudget = Options.ExactBudget;
+  DepGraph AntiGraph = buildDepGraph(Result->Nest, ReuseName, Result->Params,
+                                     DepGraphMode::Update, GraphOptions);
+  if (AntiGraph.HasUnknownRef) {
+    Result->Thunkless = false;
+    Result->FallbackReason = AntiGraph.UnknownRefReason;
+    return Result;
+  }
+  DepGraph Combined;
+  Combined.NumClauses = Result->Graph.NumClauses;
+  for (const DepEdge &E : Result->Graph.Edges)
+    if (E.Kind == DepKind::Flow)
+      Combined.Edges.push_back(E);
+  for (const DepEdge &E : AntiGraph.Edges)
+    Combined.Edges.push_back(E);
+
+  Result->InPlaceSched = scheduleUpdate(Result->Nest, Combined);
+  // FailingEdges point into the local Combined graph; never expose them.
+  Result->InPlaceSched.Sched.FailingEdges.clear();
+  if (!Result->InPlaceSched.InPlace) {
+    Result->Thunkless = false;
+    Result->FallbackReason = Result->InPlaceSched.Reason;
+    return Result;
+  }
+
+  Result->Thunkless = true;
+  {
+    std::vector<const DepEdge *> Remaining;
+    std::set<const Expr *> SplitReads;
+    for (const SplitAction &A : Result->InPlaceSched.Splits)
+      SplitReads.insert(A.ReadRef);
+    for (const DepEdge &E : Combined.Edges)
+      if (!(E.Kind == DepKind::Anti && SplitReads.count(E.ReadRef)))
+        Remaining.push_back(&E);
+    Result->Vectorization =
+        analyzeVectorization(Result->InPlaceSched.Sched, Remaining);
+  }
+  CollisionAnalysis EffCollisions = Result->Collisions;
+  CoverageAnalysis EffCoverage = Result->Coverage;
+  if (!Options.EnableCheckElimination) {
+    EffCollisions.NoCollisions = CheckOutcome::Unknown;
+    EffCoverage.InBounds = CheckOutcome::Unknown;
+    EffCoverage.NoEmpties = CheckOutcome::Unknown;
+  }
+  Result->Plan = buildInPlaceArrayPlan(Result->Nest, Result->InPlaceSched,
+                                       Result->Name, ReuseName, Result->Dims,
+                                       EffCollisions, EffCoverage);
+  Result->Sched = Result->InPlaceSched.Sched;
+  return Result;
+}
+
+bool CompiledArray::evaluate(DoubleArray &Out, Executor &Exec,
+                             std::string &Err) const {
+  if (!Thunkless) {
+    Err = "array was not compiled thunklessly: " + FallbackReason;
+    return false;
+  }
+  Out = DoubleArray(Dims);
+  if (IsAccum)
+    for (size_t I = 0; I != Out.size(); ++I)
+      Out[I] = AccumInit;
+  if (Plan.CheckCollisions || Plan.CheckEmpties)
+    Out.enableDefinedBits();
+  return Exec.run(Plan, Out, Err);
+}
+
+bool CompiledArray::evaluateInPlace(DoubleArray &Target, Executor &Exec,
+                                    std::string &Err) const {
+  if (!Thunkless || ReuseName.empty()) {
+    Err = "array was not compiled for in-place reuse: " + FallbackReason;
+    return false;
+  }
+  if (Target.dims() != Dims) {
+    Err = "in-place target has the wrong shape";
+    return false;
+  }
+  if (Plan.CheckCollisions || Plan.CheckEmpties)
+    Target.enableDefinedBits();
+  return Exec.run(Plan, Target, Err);
+}
+
+bool CompiledUpdate::evaluateInPlace(DoubleArray &Target, Executor &Exec,
+                                     std::string &Err) const {
+  if (!InPlace) {
+    Err = "update was not compiled in place: " + FallbackReason;
+    return false;
+  }
+  return Exec.run(Plan, Target, Err);
+}
+
+std::string CompiledArray::report() const {
+  std::ostringstream OS;
+  OS << "=== array '" << Name << "'";
+  for (const auto &[Lo, Hi] : Dims)
+    OS << " [" << Lo << ".." << Hi << "]";
+  OS << " ===\n";
+  if (!Nest.Analyzable) {
+    OS << "not analyzable: " << Nest.FallbackReason << "\n";
+    return OS.str();
+  }
+  OS << "clauses: " << Nest.numClauses() << ", loops: " << Nest.Loops.size()
+     << "\n";
+  OS << "dependence graph:\n" << Graph.str();
+  OS << "collisions: " << checkOutcomeName(Collisions.NoCollisions);
+  if (!Collisions.Witness.empty())
+    OS << " (" << Collisions.Witness << ")";
+  OS << "\n";
+  OS << "in-bounds: " << checkOutcomeName(Coverage.InBounds)
+     << ", empties: " << checkOutcomeName(Coverage.NoEmpties)
+     << " (instances " << Coverage.TotalInstances << " / size "
+     << Coverage.ArraySize << ")\n";
+  if (Thunkless) {
+    OS << "schedule (thunkless, " << Sched.PassCount << " passes):\n"
+       << Sched.str();
+    OS << "runtime checks: bounds="
+       << (Plan.CheckStoreBounds ? "on" : "off")
+       << " collisions=" << (Plan.CheckCollisions ? "on" : "off")
+       << " empties=" << (Plan.CheckEmpties ? "on" : "off") << "\n";
+    OS << Vectorization.str();
+  } else {
+    OS << "thunked fallback: " << FallbackReason << "\n";
+  }
+  return OS.str();
+}
+
+std::string CompiledUpdate::report() const {
+  std::ostringstream OS;
+  OS << "=== bigupd '" << BaseName << "' ===\n";
+  if (!Nest.Analyzable) {
+    OS << "not analyzable: " << Nest.FallbackReason << "\n";
+    return OS.str();
+  }
+  OS << "clauses: " << Nest.numClauses() << "\n";
+  OS << "dependence graph:\n" << Graph.str();
+  if (InPlace) {
+    OS << "in place (splits: " << Update.Splits.size()
+       << ", extra copies: " << Update.splitCopyCost() << ")\n";
+    for (const SplitAction &A : Update.Splits)
+      OS << "  " << A.str() << "\n";
+    OS << "schedule:\n" << Update.Sched.str();
+    OS << Vectorization.str();
+  } else {
+    OS << "copying fallback: " << FallbackReason << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,72 @@
+//===- core/InterpBridge.cpp - Interpreter <-> runtime bridge -------------===//
+
+#include "core/InterpBridge.h"
+
+#include "frontend/Parser.h"
+#include "support/Casting.h"
+
+using namespace hac;
+
+std::optional<DoubleArray> hac::interpArrayToDouble(Interpreter &Interp,
+                                                    const ValuePtr &V,
+                                                    std::string &Err) {
+  if (V->isError()) {
+    Err = cast<ErrorValue>(V.get())->message();
+    return std::nullopt;
+  }
+  const auto *A = dyn_cast<ArrayValue>(V.get());
+  if (!A) {
+    Err = "value is not an array";
+    return std::nullopt;
+  }
+  DoubleArray::Dims Dims(A->dims().begin(), A->dims().end());
+  DoubleArray Out(Dims);
+  for (size_t I = 0; I != A->size(); ++I) {
+    ValuePtr EV = Interp.force(A->elemThunk(I));
+    if (EV->isError()) {
+      Err = cast<ErrorValue>(EV.get())->message();
+      return std::nullopt;
+    }
+    if (const auto *IV = dyn_cast<IntValue>(EV.get()))
+      Out[I] = static_cast<double>(IV->value());
+    else if (const auto *FV = dyn_cast<FloatValue>(EV.get()))
+      Out[I] = FV->value();
+    else {
+      Err = "array element is not numeric";
+      return std::nullopt;
+    }
+  }
+  return Out;
+}
+
+ValuePtr hac::doubleToInterpArray(const DoubleArray &A) {
+  ArrayValue::Bounds Dims(A.dims().begin(), A.dims().end());
+  std::vector<ThunkPtr> Elems;
+  Elems.reserve(A.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    Elems.push_back(makeValueThunk(makeFloatValue(A[I])));
+  return std::make_shared<ArrayValue>(std::move(Dims), std::move(Elems));
+}
+
+ValuePtr hac::runThunked(
+    const std::string &Source,
+    const std::map<std::string, const DoubleArray *> &Inputs,
+    Interpreter &Interp, DiagnosticEngine &Diags) {
+  ExprPtr Ast = parseString(Source, Diags);
+  if (!Ast)
+    return makeErrorValue("parse error: " + Diags.str());
+
+  EnvPtr Global = Interp.makeGlobalEnv();
+  for (const auto &[Name, Array] : Inputs)
+    Global->bind(Name, makeValueThunk(doubleToInterpArray(*Array)));
+
+  // The AST must stay alive while thunks reference it; deep-force now and
+  // drop laziness before it goes away.
+  ValuePtr Result = Interp.eval(Ast.get(), Global);
+  if (Result->isError())
+    return Result;
+  ValuePtr Forced = Interp.deepForce(Result);
+  if (Forced->isError())
+    return Forced;
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===- core/InterpBridge.h - Interpreter <-> runtime bridge -----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the lazy reference interpreter (the thunked baseline) and
+/// the flat runtime arrays: run a source program under the interpreter,
+/// force it, and convert array values to DoubleArray for differential
+/// comparison with compiled execution; and inject DoubleArrays as
+/// pre-forced interpreter arrays for programs with array inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_CORE_INTERPBRIDGE_H
+#define HAC_CORE_INTERPBRIDGE_H
+
+#include "interp/Interp.h"
+#include "runtime/DoubleArray.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hac {
+
+/// Converts a fully forceable interpreter array into a DoubleArray.
+/// Returns nullopt (with \p Err set) when the value is not an array, an
+/// element is an error, or an element is not numeric.
+std::optional<DoubleArray> interpArrayToDouble(Interpreter &Interp,
+                                               const ValuePtr &V,
+                                               std::string &Err);
+
+/// Builds a fully evaluated interpreter array value from a DoubleArray.
+ValuePtr doubleToInterpArray(const DoubleArray &A);
+
+/// Parses and evaluates \p Source under the lazy interpreter with the
+/// given array inputs bound as global names, forcing the result deeply.
+/// Returns the result value (which may be an ErrorValue).
+ValuePtr runThunked(const std::string &Source,
+                    const std::map<std::string, const DoubleArray *> &Inputs,
+                    Interpreter &Interp, DiagnosticEngine &Diags);
+
+} // namespace hac
+
+#endif // HAC_CORE_INTERPBRIDGE_H

@@ -1,0 +1,384 @@
+//===- frontend/Lexer.cpp - Hand-written lexer ----------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace hac;
+
+const char *hac::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::FloatLit:
+    return "float literal";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwLetrec:
+    return "'letrec'";
+  case TokenKind::KwLetrecStar:
+    return "'letrec*'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhere:
+    return "'where'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwTrue:
+    return "'True'";
+  case TokenKind::KwFalse:
+    return "'False'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrack:
+    return "'['";
+  case TokenKind::RBrack:
+    return "']'";
+  case TokenKind::LBrackStar:
+    return "'[*'";
+  case TokenKind::StarRBrack:
+    return "'*]'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Backslash:
+    return "'\\'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::SlashEq:
+    return "'/='";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::ColonEq:
+    return "':='";
+  case TokenKind::LArrow:
+    return "'<-'";
+  case TokenKind::Equal:
+    return "'='";
+  }
+  return "<unknown token>";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    // Line comment: "--" to end of line. Take care not to swallow the
+    // operator sequence "--x" ... there is no such operator in this
+    // language, so "--" always starts a comment (as in Haskell for
+    // non-operator continuations).
+    if (C == '-' && peek(1) == '-') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    // Nested block comment {- ... -}.
+    if (C == '{' && peek(1) == '-') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      int Depth = 1;
+      while (!atEnd() && Depth > 0) {
+        if (peek() == '{' && peek(1) == '-') {
+          advance();
+          advance();
+          ++Depth;
+        } else if (peek() == '-' && peek(1) == '}') {
+          advance();
+          advance();
+          --Depth;
+        } else {
+          advance();
+        }
+      }
+      if (Depth > 0)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  // A '.' begins a fraction only when followed by a digit; "1..n" keeps
+  // the dots for the range token.
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    unsigned DigitAt = (Sign == '+' || Sign == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(DigitAt)))) {
+      IsFloat = true;
+      advance(); // e
+      if (Sign == '+' || Sign == '-')
+        advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+  std::string Text = Source.substr(Start, Pos - Start);
+  Token T = make(IsFloat ? TokenKind::FloatLit : TokenKind::IntLit, Loc, Text);
+  if (IsFloat) {
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  } else {
+    errno = 0;
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+      Diags.error(Loc, "integer literal '" + Text + "' out of range");
+  }
+  return T;
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '\'';
+}
+
+Token Lexer::lexIdent(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (!atEnd() && isIdentCont(peek()))
+    advance();
+  std::string Text = Source.substr(Start, Pos - Start);
+  if (Text == "let")
+    return make(TokenKind::KwLet, Loc, Text);
+  if (Text == "letrec") {
+    // "letrec*" is a single keyword (Section 2 of the paper).
+    if (peek() == '*') {
+      advance();
+      return make(TokenKind::KwLetrecStar, Loc, "letrec*");
+    }
+    return make(TokenKind::KwLetrec, Loc, Text);
+  }
+  if (Text == "in")
+    return make(TokenKind::KwIn, Loc, Text);
+  if (Text == "if")
+    return make(TokenKind::KwIf, Loc, Text);
+  if (Text == "then")
+    return make(TokenKind::KwThen, Loc, Text);
+  if (Text == "else")
+    return make(TokenKind::KwElse, Loc, Text);
+  if (Text == "where")
+    return make(TokenKind::KwWhere, Loc, Text);
+  if (Text == "not")
+    return make(TokenKind::KwNot, Loc, Text);
+  if (Text == "True")
+    return make(TokenKind::KwTrue, Loc, Text);
+  if (Text == "False")
+    return make(TokenKind::KwFalse, Loc, Text);
+  return make(TokenKind::Ident, Loc, Text);
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  if (atEnd())
+    return make(TokenKind::Eof, Loc, "");
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (isIdentStart(C))
+    return lexIdent(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return make(TokenKind::LParen, Loc, "(");
+  case ')':
+    return make(TokenKind::RParen, Loc, ")");
+  case '[':
+    if (peek() == '*') {
+      advance();
+      return make(TokenKind::LBrackStar, Loc, "[*");
+    }
+    return make(TokenKind::LBrack, Loc, "[");
+  case ']':
+    return make(TokenKind::RBrack, Loc, "]");
+  case ',':
+    return make(TokenKind::Comma, Loc, ",");
+  case ';':
+    return make(TokenKind::Semi, Loc, ";");
+  case '\\':
+    return make(TokenKind::Backslash, Loc, "\\");
+  case '.':
+    if (peek() == '.') {
+      advance();
+      return make(TokenKind::DotDot, Loc, "..");
+    }
+    return make(TokenKind::Dot, Loc, ".");
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return make(TokenKind::PipePipe, Loc, "||");
+    }
+    return make(TokenKind::Pipe, Loc, "|");
+  case '+':
+    if (peek() == '+') {
+      advance();
+      return make(TokenKind::PlusPlus, Loc, "++");
+    }
+    return make(TokenKind::Plus, Loc, "+");
+  case '-':
+    return make(TokenKind::Minus, Loc, "-");
+  case '*':
+    if (peek() == ']') {
+      advance();
+      return make(TokenKind::StarRBrack, Loc, "*]");
+    }
+    return make(TokenKind::Star, Loc, "*");
+  case '/':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::SlashEq, Loc, "/=");
+    }
+    return make(TokenKind::Slash, Loc, "/");
+  case '%':
+    return make(TokenKind::Percent, Loc, "%");
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::EqEq, Loc, "==");
+    }
+    return make(TokenKind::Equal, Loc, "=");
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::Le, Loc, "<=");
+    }
+    if (peek() == '-') {
+      advance();
+      return make(TokenKind::LArrow, Loc, "<-");
+    }
+    return make(TokenKind::Lt, Loc, "<");
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::Ge, Loc, ">=");
+    }
+    return make(TokenKind::Gt, Loc, ">");
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return make(TokenKind::AmpAmp, Loc, "&&");
+    }
+    break;
+  case '!':
+    return make(TokenKind::Bang, Loc, "!");
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::ColonEq, Loc, ":=");
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return make(TokenKind::Error, Loc, std::string(1, C));
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  unsigned ConsecutiveErrors = 0;
+  for (;;) {
+    Token T = next();
+    if (T.is(TokenKind::Error)) {
+      if (++ConsecutiveErrors > 16)
+        break; // give up on garbage input
+      continue;
+    }
+    ConsecutiveErrors = 0;
+    Tokens.push_back(T);
+    if (T.is(TokenKind::Eof))
+      break;
+  }
+  if (Tokens.empty() || Tokens.back().isNot(TokenKind::Eof)) {
+    Token Eof;
+    Eof.Kind = TokenKind::Eof;
+    Eof.Loc = here();
+    Tokens.push_back(Eof);
+  }
+  return Tokens;
+}

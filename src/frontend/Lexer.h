@@ -1,0 +1,60 @@
+//===- frontend/Lexer.h - Hand-written lexer --------------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for the mini-Haskell surface language. Supports
+/// `--` line comments, `{- -}` block comments (nested), the paper's
+/// bracket forms `[*`/`*]`, and careful disambiguation of `1..n` from
+/// float literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_FRONTEND_LEXER_H
+#define HAC_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace hac {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token. After end of input, repeatedly
+  /// returns an Eof token.
+  Token next();
+
+  /// Lexes the entire input into a token vector ending with Eof. Stops
+  /// early after too many consecutive error tokens.
+  std::vector<Token> lexAll();
+
+private:
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+
+  Token make(TokenKind Kind, SourceLoc Loc, std::string Text);
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdent(SourceLoc Loc);
+};
+
+} // namespace hac
+
+#endif // HAC_FRONTEND_LEXER_H

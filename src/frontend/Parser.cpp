@@ -1,0 +1,589 @@
+//===- frontend/Parser.cpp - Recursive descent parser ---------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "support/Casting.h"
+
+using namespace hac;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // the trailing Eof
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (current().isNot(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (consumeIf(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+ExprPtr Parser::parseProgram() {
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (current().isNot(TokenKind::Eof)) {
+    Diags.error(current().Loc,
+                std::string("unexpected ") + tokenKindName(current().Kind) +
+                    " after expression");
+    return nullptr;
+  }
+  return E;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr E = parseOpExpr();
+  if (!E)
+    return nullptr;
+  // Postfix `where binds` is sugar for a plain let around the expression.
+  while (current().is(TokenKind::KwWhere)) {
+    SourceLoc Loc = consume().Loc;
+    std::vector<LetBind> Binds;
+    if (!parseBinds(Binds))
+      return nullptr;
+    E = std::make_unique<LetExpr>(LetKindEnum::Plain, std::move(Binds),
+                                  std::move(E), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseOpExpr() {
+  ExprPtr LHS = parseOrExpr();
+  if (!LHS)
+    return nullptr;
+  if (current().is(TokenKind::ColonEq)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseOrExpr();
+    if (!RHS)
+      return nullptr;
+    return std::make_unique<SvPairExpr>(std::move(LHS), std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseOrExpr() {
+  ExprPtr LHS = parseAndExpr();
+  if (!LHS)
+    return nullptr;
+  while (current().is(TokenKind::PipePipe)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseAndExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOpKind::Or, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAndExpr() {
+  ExprPtr LHS = parseCmpExpr();
+  if (!LHS)
+    return nullptr;
+  while (current().is(TokenKind::AmpAmp)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseCmpExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOpKind::And, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseCmpExpr() {
+  ExprPtr LHS = parseAppendExpr();
+  if (!LHS)
+    return nullptr;
+  BinaryOpKind Op;
+  switch (current().Kind) {
+  case TokenKind::EqEq:
+    Op = BinaryOpKind::Eq;
+    break;
+  case TokenKind::SlashEq:
+    Op = BinaryOpKind::Ne;
+    break;
+  case TokenKind::Lt:
+    Op = BinaryOpKind::Lt;
+    break;
+  case TokenKind::Le:
+    Op = BinaryOpKind::Le;
+    break;
+  case TokenKind::Gt:
+    Op = BinaryOpKind::Gt;
+    break;
+  case TokenKind::Ge:
+    Op = BinaryOpKind::Ge;
+    break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = consume().Loc;
+  ExprPtr RHS = parseAppendExpr();
+  if (!RHS)
+    return nullptr;
+  // Comparison is non-associative: `a < b < c` is rejected downstream by
+  // the type-less evaluator, but we diagnose the common chained form here.
+  switch (current().Kind) {
+  case TokenKind::EqEq:
+  case TokenKind::SlashEq:
+  case TokenKind::Lt:
+  case TokenKind::Le:
+  case TokenKind::Gt:
+  case TokenKind::Ge:
+    Diags.error(current().Loc, "comparison operators are non-associative; "
+                               "parenthesize the chained comparison");
+    return nullptr;
+  default:
+    break;
+  }
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS), Loc);
+}
+
+ExprPtr Parser::parseAppendExpr() {
+  ExprPtr LHS = parseAddExpr();
+  if (!LHS)
+    return nullptr;
+  while (current().is(TokenKind::PlusPlus)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseAddExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOpKind::Append, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAddExpr() {
+  ExprPtr LHS = parseMulExpr();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    BinaryOpKind Op;
+    if (current().is(TokenKind::Plus))
+      Op = BinaryOpKind::Add;
+    else if (current().is(TokenKind::Minus))
+      Op = BinaryOpKind::Sub;
+    else
+      break;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseMulExpr();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseMulExpr() {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    BinaryOpKind Op;
+    if (current().is(TokenKind::Star))
+      Op = BinaryOpKind::Mul;
+    else if (current().is(TokenKind::Slash))
+      Op = BinaryOpKind::Div;
+    else if (current().is(TokenKind::Percent))
+      Op = BinaryOpKind::Mod;
+    else
+      break;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (current().is(TokenKind::Minus)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    // Fold negation of literals so -3 is an IntLit(-3), which keeps
+    // subscripts like a!(-1) affine-analyzable without a special case.
+    if (auto *IL = dyn_cast<IntLitExpr>(Operand.get()))
+      return std::make_unique<IntLitExpr>(-IL->value(), Loc);
+    if (auto *FL = dyn_cast<FloatLitExpr>(Operand.get()))
+      return std::make_unique<FloatLitExpr>(-FL->value(), Loc);
+    return std::make_unique<UnaryExpr>(UnaryOpKind::Neg, std::move(Operand),
+                                       Loc);
+  }
+  if (current().is(TokenKind::KwNot)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOpKind::Not, std::move(Operand),
+                                       Loc);
+  }
+  return parseApp();
+}
+
+bool Parser::startsArgAtom() const {
+  switch (current().Kind) {
+  case TokenKind::IntLit:
+  case TokenKind::FloatLit:
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse:
+  case TokenKind::Ident:
+  case TokenKind::LParen:
+  case TokenKind::LBrack:
+  case TokenKind::LBrackStar:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprPtr Parser::parseApp() {
+  ExprPtr Fn = parsePostfix();
+  if (!Fn)
+    return nullptr;
+  if (!startsArgAtom())
+    return Fn;
+
+  SourceLoc Loc = Fn->loc();
+  std::vector<ExprPtr> Args;
+  while (startsArgAtom()) {
+    ExprPtr Arg = parsePostfix();
+    if (!Arg)
+      return nullptr;
+    Args.push_back(std::move(Arg));
+  }
+
+  // Recognize the built-in array forms.
+  if (const auto *V = dyn_cast<VarExpr>(Fn.get())) {
+    const std::string &Name = V->name();
+    if (Name == "array") {
+      if (Args.size() != 2) {
+        Diags.error(Loc, "'array' expects exactly 2 arguments "
+                         "(bounds and subscript/value list)");
+        return nullptr;
+      }
+      return std::make_unique<MakeArrayExpr>(std::move(Args[0]),
+                                             std::move(Args[1]), Loc);
+    }
+    if (Name == "accumArray") {
+      if (Args.size() != 4) {
+        Diags.error(Loc, "'accumArray' expects exactly 4 arguments "
+                         "(function, initial value, bounds, list)");
+        return nullptr;
+      }
+      return std::make_unique<AccumArrayExpr>(
+          std::move(Args[0]), std::move(Args[1]), std::move(Args[2]),
+          std::move(Args[3]), Loc);
+    }
+    if (Name == "bigupd") {
+      if (Args.size() != 2) {
+        Diags.error(Loc, "'bigupd' expects exactly 2 arguments "
+                         "(array and subscript/value list)");
+        return nullptr;
+      }
+      return std::make_unique<BigUpdExpr>(std::move(Args[0]),
+                                          std::move(Args[1]), Loc);
+    }
+    if (Name == "forceElements") {
+      if (Args.size() != 1) {
+        Diags.error(Loc, "'forceElements' expects exactly 1 argument");
+        return nullptr;
+      }
+      return std::make_unique<ForceElementsExpr>(std::move(Args[0]), Loc);
+    }
+  }
+  return std::make_unique<ApplyExpr>(std::move(Fn), std::move(Args), Loc);
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr Base = parseAtom();
+  if (!Base)
+    return nullptr;
+  while (current().is(TokenKind::Bang)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Index = parseAtom();
+    if (!Index)
+      return nullptr;
+    Base = std::make_unique<ArraySubExpr>(std::move(Base), std::move(Index),
+                                          Loc);
+  }
+  return Base;
+}
+
+ExprPtr Parser::parseAtom() {
+  const Token &T = current();
+  switch (T.Kind) {
+  case TokenKind::IntLit: {
+    Token Tok = consume();
+    return std::make_unique<IntLitExpr>(Tok.IntValue, Tok.Loc);
+  }
+  case TokenKind::FloatLit: {
+    Token Tok = consume();
+    return std::make_unique<FloatLitExpr>(Tok.FloatValue, Tok.Loc);
+  }
+  case TokenKind::KwTrue:
+    return std::make_unique<BoolLitExpr>(true, consume().Loc);
+  case TokenKind::KwFalse:
+    return std::make_unique<BoolLitExpr>(false, consume().Loc);
+  case TokenKind::Ident: {
+    Token Tok = consume();
+    return std::make_unique<VarExpr>(Tok.Text, Tok.Loc);
+  }
+  case TokenKind::LParen: {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr First = parseExpr();
+    if (!First)
+      return nullptr;
+    if (consumeIf(TokenKind::RParen))
+      return First; // plain parenthesized expression
+    std::vector<ExprPtr> Elems;
+    Elems.push_back(std::move(First));
+    while (consumeIf(TokenKind::Comma)) {
+      ExprPtr E = parseExpr();
+      if (!E)
+        return nullptr;
+      Elems.push_back(std::move(E));
+    }
+    if (!expect(TokenKind::RParen, "to close tuple"))
+      return nullptr;
+    return std::make_unique<TupleExpr>(std::move(Elems), Loc);
+  }
+  case TokenKind::LBrack:
+  case TokenKind::LBrackStar:
+    return parseBrackets();
+  case TokenKind::Backslash:
+    return parseLambda();
+  case TokenKind::KwLet:
+  case TokenKind::KwLetrec:
+  case TokenKind::KwLetrecStar:
+    return parseLet();
+  case TokenKind::KwIf:
+    return parseIf();
+  default:
+    Diags.error(T.Loc, std::string("expected an expression, found ") +
+                           tokenKindName(T.Kind));
+    return nullptr;
+  }
+}
+
+ExprPtr Parser::parseBrackets() {
+  bool Nested = current().is(TokenKind::LBrackStar);
+  SourceLoc Loc = consume().Loc;
+  TokenKind CloseKind = Nested ? TokenKind::StarRBrack : TokenKind::RBrack;
+
+  // Empty list.
+  if (!Nested && consumeIf(TokenKind::RBrack))
+    return std::make_unique<ListExpr>(std::vector<ExprPtr>(), Loc);
+
+  ExprPtr First = parseExpr();
+  if (!First)
+    return nullptr;
+
+  // Comprehension: [ head | quals ] or [* head | quals *].
+  if (consumeIf(TokenKind::Pipe)) {
+    std::vector<CompQual> Quals;
+    if (!parseQuals(Quals))
+      return nullptr;
+    if (!expect(CloseKind, "to close comprehension"))
+      return nullptr;
+    return std::make_unique<CompExpr>(std::move(First), std::move(Quals),
+                                      Nested, Loc);
+  }
+
+  if (Nested) {
+    // A nested-comprehension bracket without a qualifier list degenerates
+    // to a single-element list; accept it for orthogonality.
+    if (!expect(CloseKind, "to close nested comprehension"))
+      return nullptr;
+    std::vector<ExprPtr> Elems;
+    Elems.push_back(std::move(First));
+    return std::make_unique<ListExpr>(std::move(Elems), Loc);
+  }
+
+  // Range without step: [lo .. hi].
+  if (consumeIf(TokenKind::DotDot)) {
+    ExprPtr Hi = parseExpr();
+    if (!Hi)
+      return nullptr;
+    if (!expect(TokenKind::RBrack, "to close range"))
+      return nullptr;
+    return std::make_unique<RangeExpr>(std::move(First), nullptr,
+                                       std::move(Hi), Loc);
+  }
+
+  // List literal or range with step [lo, second .. hi].
+  std::vector<ExprPtr> Elems;
+  Elems.push_back(std::move(First));
+  while (consumeIf(TokenKind::Comma)) {
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (Elems.size() == 1 && consumeIf(TokenKind::DotDot)) {
+      ExprPtr Hi = parseExpr();
+      if (!Hi)
+        return nullptr;
+      if (!expect(TokenKind::RBrack, "to close range"))
+        return nullptr;
+      return std::make_unique<RangeExpr>(std::move(Elems[0]), std::move(E),
+                                         std::move(Hi), Loc);
+    }
+    Elems.push_back(std::move(E));
+  }
+  if (!expect(TokenKind::RBrack, "to close list"))
+    return nullptr;
+  return std::make_unique<ListExpr>(std::move(Elems), Loc);
+}
+
+ExprPtr Parser::parseLambda() {
+  SourceLoc Loc = consume().Loc; // backslash
+  std::vector<std::string> Params;
+  while (current().is(TokenKind::Ident))
+    Params.push_back(consume().Text);
+  if (Params.empty()) {
+    Diags.error(current().Loc, "expected parameter name after '\\'");
+    return nullptr;
+  }
+  if (!expect(TokenKind::Dot, "after lambda parameters"))
+    return nullptr;
+  ExprPtr Body = parseExpr();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<LambdaExpr>(std::move(Params), std::move(Body),
+                                      Loc);
+}
+
+bool Parser::parseBinds(std::vector<LetBind> &Binds) {
+  do {
+    if (current().isNot(TokenKind::Ident)) {
+      Diags.error(current().Loc, "expected binding name");
+      return false;
+    }
+    Token NameTok = consume();
+    if (!expect(TokenKind::Equal, "in binding"))
+      return false;
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return false;
+    Binds.emplace_back(NameTok.Text, std::move(Value), NameTok.Loc);
+  } while (consumeIf(TokenKind::Semi));
+  return true;
+}
+
+ExprPtr Parser::parseLet() {
+  LetKindEnum Kind;
+  switch (current().Kind) {
+  case TokenKind::KwLet:
+    Kind = LetKindEnum::Plain;
+    break;
+  case TokenKind::KwLetrec:
+    Kind = LetKindEnum::Rec;
+    break;
+  case TokenKind::KwLetrecStar:
+    Kind = LetKindEnum::RecStrict;
+    break;
+  default:
+    assert(false && "parseLet called on non-let token");
+    return nullptr;
+  }
+  SourceLoc Loc = consume().Loc;
+  std::vector<LetBind> Binds;
+  if (!parseBinds(Binds))
+    return nullptr;
+  if (!expect(TokenKind::KwIn, "after let bindings"))
+    return nullptr;
+  ExprPtr Body = parseExpr();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<LetExpr>(Kind, std::move(Binds), std::move(Body),
+                                   Loc);
+}
+
+ExprPtr Parser::parseIf() {
+  SourceLoc Loc = consume().Loc;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::KwThen, "in conditional"))
+    return nullptr;
+  ExprPtr Then = parseExpr();
+  if (!Then)
+    return nullptr;
+  if (!expect(TokenKind::KwElse, "in conditional"))
+    return nullptr;
+  ExprPtr Else = parseExpr();
+  if (!Else)
+    return nullptr;
+  return std::make_unique<IfExpr>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+bool Parser::parseQuals(std::vector<CompQual> &Quals) {
+  do {
+    SourceLoc Loc = current().Loc;
+    // Generator: ident '<-' expr.
+    if (current().is(TokenKind::Ident) && peek(1).is(TokenKind::LArrow)) {
+      std::string Var = consume().Text;
+      consume(); // <-
+      ExprPtr Source = parseExpr();
+      if (!Source)
+        return false;
+      Quals.push_back(
+          CompQual::makeGenerator(std::move(Var), std::move(Source), Loc));
+      continue;
+    }
+    // Let qualifier.
+    if (consumeIf(TokenKind::KwLet)) {
+      std::vector<LetBind> Binds;
+      if (!parseBinds(Binds))
+        return false;
+      Quals.push_back(CompQual::makeLet(std::move(Binds), Loc));
+      continue;
+    }
+    // Guard.
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return false;
+    Quals.push_back(CompQual::makeGuard(std::move(Cond), Loc));
+  } while (consumeIf(TokenKind::Comma));
+  return true;
+}
+
+ExprPtr hac::parseString(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Diags);
+  return P.parseProgram();
+}

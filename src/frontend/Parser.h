@@ -1,0 +1,95 @@
+//===- frontend/Parser.h - Recursive descent parser -------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the mini-Haskell surface language. The
+/// grammar (loosest to tightest):
+///
+/// \code
+///   expr      := opexpr ['where' binds]
+///   opexpr    := orexpr [':=' orexpr]
+///   orexpr    := andexpr ('||' andexpr)*
+///   andexpr   := cmpexpr ('&&' cmpexpr)*
+///   cmpexpr   := appendexpr [cmpop appendexpr]        -- non-associative
+///   appendexpr:= addexpr ('++' addexpr)*
+///   addexpr   := mulexpr (('+'|'-') mulexpr)*
+///   mulexpr   := unary (('*'|'/'|'%') unary)*
+///   unary     := '-' unary | 'not' unary | app
+///   app       := postfix postfix*                     -- juxtaposition
+///   postfix   := atom ('!' atom)*                     -- array subscript
+///   atom      := literal | ident | '(' expr,+ ')' | brackets
+///             | lambda | let | if
+/// \endcode
+///
+/// Applications of `array`, `bigupd`, and `forceElements` are recognized
+/// and produce the dedicated AST nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_FRONTEND_PARSER_H
+#define HAC_FRONTEND_PARSER_H
+
+#include "ast/Expr.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace hac {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a complete program (a single expression followed by Eof).
+  /// Returns null and reports diagnostics on failure.
+  ExprPtr parseProgram();
+
+  /// Parses a single expression without requiring Eof afterwards.
+  ExprPtr parseExpr();
+
+private:
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool consumeIf(TokenKind Kind);
+  /// Consumes a token of kind \p Kind; reports an error mentioning
+  /// \p Context and returns false on mismatch.
+  bool expect(TokenKind Kind, const char *Context);
+
+  ExprPtr parseOpExpr();
+  ExprPtr parseOrExpr();
+  ExprPtr parseAndExpr();
+  ExprPtr parseCmpExpr();
+  ExprPtr parseAppendExpr();
+  ExprPtr parseAddExpr();
+  ExprPtr parseMulExpr();
+  ExprPtr parseUnary();
+  ExprPtr parseApp();
+  ExprPtr parsePostfix();
+  ExprPtr parseAtom();
+  ExprPtr parseBrackets();
+  ExprPtr parseLambda();
+  ExprPtr parseLet();
+  ExprPtr parseIf();
+
+  bool parseBinds(std::vector<LetBind> &Binds);
+  bool parseQuals(std::vector<CompQual> &Quals);
+
+  /// True if the current token can begin an application argument.
+  bool startsArgAtom() const;
+};
+
+/// Convenience: lexes and parses \p Source in one call.
+ExprPtr parseString(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace hac
+
+#endif // HAC_FRONTEND_PARSER_H

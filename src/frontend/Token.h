@@ -1,0 +1,96 @@
+//===- frontend/Token.h - Token definitions ---------------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens produced by the lexer for the mini-Haskell surface language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_FRONTEND_TOKEN_H
+#define HAC_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace hac {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+
+  Ident,
+  IntLit,
+  FloatLit,
+
+  // Keywords.
+  KwLet,
+  KwLetrec,
+  KwLetrecStar, ///< letrec*
+  KwIn,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwWhere,
+  KwNot,
+  KwTrue,
+  KwFalse,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrack,     ///< [
+  RBrack,     ///< ]
+  LBrackStar, ///< [*
+  StarRBrack, ///< *]
+  Comma,
+  Semi,
+  Backslash,
+  Dot,    ///< . (lambda body separator)
+  DotDot, ///< ..
+  Pipe,   ///< |
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  SlashEq, ///< /=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AmpAmp,
+  PipePipe,
+  PlusPlus, ///< ++
+  Bang,     ///< !
+  ColonEq,  ///< :=
+  LArrow,   ///< <-
+  Equal,    ///< =
+};
+
+/// Returns a human-readable name for \p Kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text is the exact source spelling; numeric values are
+/// pre-parsed for literal tokens.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace hac
+
+#endif // HAC_FRONTEND_TOKEN_H

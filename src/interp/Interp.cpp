@@ -1,0 +1,1039 @@
+//===- interp/Interp.cpp - Lazy reference interpreter ---------------------===//
+
+#include "interp/Interp.h"
+
+#include "support/Casting.h"
+
+#include <cmath>
+#include <functional>
+
+using namespace hac;
+
+namespace {
+
+/// Builtin name/arity table.
+struct BuiltinSpec {
+  const char *Name;
+  unsigned Arity;
+};
+
+constexpr BuiltinSpec Builtins[] = {
+    {"foldl", 3}, {"sum", 1},  {"product", 1}, {"length", 1},
+    {"head", 1},  {"tail", 1}, {"abs", 1},     {"min", 2},
+    {"max", 2},   {"fst", 1},  {"snd", 1},     {"intToFloat", 1},
+    {"sqrt", 1},  {"flatmap", 2},
+};
+
+bool isNumeric(const Value *V) {
+  return isa<IntValue>(V) || isa<FloatValue>(V);
+}
+
+double asDouble(const Value *V) {
+  if (const auto *I = dyn_cast<IntValue>(V))
+    return static_cast<double>(I->value());
+  return cast<FloatValue>(V)->value();
+}
+
+} // namespace
+
+Interpreter::Interpreter() = default;
+
+ThunkPtr Interpreter::makeThunk(const Expr *E, EnvPtr Environment) {
+  ++Stats.ThunksCreated;
+  return std::make_shared<Thunk>(E, std::move(Environment));
+}
+
+EnvPtr Interpreter::makeGlobalEnv() {
+  EnvPtr Global = std::make_shared<Env>();
+  for (const BuiltinSpec &B : Builtins)
+    Global->bind(B.Name,
+                 makeValueThunk(std::make_shared<BuiltinValue>(
+                     B.Name, B.Arity, std::vector<ThunkPtr>())));
+  return Global;
+}
+
+ValuePtr Interpreter::evalProgram(const Expr *E) {
+  return eval(E, makeGlobalEnv());
+}
+
+ValuePtr Interpreter::force(const ThunkPtr &T) {
+  assert(T && "forcing a null thunk");
+  switch (T->state()) {
+  case Thunk::State::Evaluated:
+    return T->memo();
+  case Thunk::State::BlackHole:
+    // Demanding a thunk already under evaluation: a truly circular value,
+    // i.e. bottom. (Haskell's "<<loop>>".)
+    return makeErrorValue("cycle detected: value depends on itself");
+  case Thunk::State::Unevaluated:
+    break;
+  }
+  ++Stats.ThunksForced;
+  const Expr *E = T->expr();
+  EnvPtr Environment = T->env();
+  T->blackhole();
+  ValuePtr V = eval(E, Environment);
+  T->update(V);
+  return V;
+}
+
+ValuePtr Interpreter::eval(const Expr *E, const EnvPtr &Environment) {
+  assert(E && "evaluating a null expression");
+  ++Stats.Steps;
+  if (Fuel != 0 && Stats.Steps > Fuel)
+    return makeErrorValue("evaluation fuel exhausted");
+
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return makeIntValue(cast<IntLitExpr>(E)->value());
+  case ExprKind::FloatLit:
+    return makeFloatValue(cast<FloatLitExpr>(E)->value());
+  case ExprKind::BoolLit:
+    return makeBoolValue(cast<BoolLitExpr>(E)->value());
+  case ExprKind::Var: {
+    const std::string &Name = cast<VarExpr>(E)->name();
+    ThunkPtr T = Environment->lookup(Name);
+    if (!T)
+      return makeErrorValue("unbound variable '" + Name + "'");
+    return force(T);
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    ValuePtr V = eval(U->operand(), Environment);
+    if (V->isError())
+      return V;
+    if (U->op() == UnaryOpKind::Neg) {
+      if (const auto *I = dyn_cast<IntValue>(V.get()))
+        return makeIntValue(-I->value());
+      if (const auto *F = dyn_cast<FloatValue>(V.get()))
+        return makeFloatValue(-F->value());
+      return makeErrorValue("negation of a non-numeric value");
+    }
+    if (const auto *B = dyn_cast<BoolValue>(V.get()))
+      return makeBoolValue(!B->value());
+    return makeErrorValue("'not' applied to a non-boolean value");
+  }
+  case ExprKind::Binary:
+    return evalBinary(cast<BinaryExpr>(E), Environment);
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    ValuePtr C = eval(I->cond(), Environment);
+    if (C->isError())
+      return C;
+    const auto *B = dyn_cast<BoolValue>(C.get());
+    if (!B)
+      return makeErrorValue("'if' condition is not a boolean");
+    return eval(B->value() ? I->thenExpr() : I->elseExpr(), Environment);
+  }
+  case ExprKind::Tuple: {
+    const auto *T = cast<TupleExpr>(E);
+    std::vector<ThunkPtr> Elems;
+    Elems.reserve(T->size());
+    for (const ExprPtr &Elem : T->elems())
+      Elems.push_back(makeThunk(Elem.get(), Environment));
+    return std::make_shared<TupleValue>(std::move(Elems));
+  }
+  case ExprKind::Lambda: {
+    const auto *L = cast<LambdaExpr>(E);
+    return std::make_shared<ClosureValue>(L->body(), L->params(),
+                                          Environment);
+  }
+  case ExprKind::Apply: {
+    const auto *A = cast<ApplyExpr>(E);
+    ValuePtr Fn = eval(A->fn(), Environment);
+    if (Fn->isError())
+      return Fn;
+    std::vector<ThunkPtr> Args;
+    Args.reserve(A->numArgs());
+    for (const ExprPtr &Arg : A->args())
+      Args.push_back(makeThunk(Arg.get(), Environment));
+    return apply(std::move(Fn), std::move(Args));
+  }
+  case ExprKind::Let:
+    return evalLet(cast<LetExpr>(E), Environment);
+  case ExprKind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    ValuePtr LoV = eval(R->lo(), Environment);
+    if (LoV->isError())
+      return LoV;
+    ValuePtr HiV = eval(R->hi(), Environment);
+    if (HiV->isError())
+      return HiV;
+    const auto *Lo = dyn_cast<IntValue>(LoV.get());
+    const auto *Hi = dyn_cast<IntValue>(HiV.get());
+    if (!Lo || !Hi)
+      return makeErrorValue("range bounds must be integers");
+    int64_t Step = 1;
+    if (R->hasSecond()) {
+      ValuePtr SecondV = eval(R->second(), Environment);
+      if (SecondV->isError())
+        return SecondV;
+      const auto *Second = dyn_cast<IntValue>(SecondV.get());
+      if (!Second)
+        return makeErrorValue("range step anchor must be an integer");
+      Step = Second->value() - Lo->value();
+      if (Step == 0)
+        return makeErrorValue("range step of zero");
+    }
+    std::vector<ThunkPtr> Elems;
+    if (Step > 0)
+      for (int64_t I = Lo->value(); I <= Hi->value(); I += Step)
+        Elems.push_back(makeValueThunk(makeIntValue(I)));
+    else
+      for (int64_t I = Lo->value(); I >= Hi->value(); I += Step)
+        Elems.push_back(makeValueThunk(makeIntValue(I)));
+    Stats.ConsCells += Elems.size();
+    return std::make_shared<ListValue>(std::move(Elems));
+  }
+  case ExprKind::List: {
+    const auto *L = cast<ListExpr>(E);
+    std::vector<ThunkPtr> Elems;
+    Elems.reserve(L->size());
+    for (const ExprPtr &Elem : L->elems())
+      Elems.push_back(makeThunk(Elem.get(), Environment));
+    Stats.ConsCells += Elems.size();
+    return std::make_shared<ListValue>(std::move(Elems));
+  }
+  case ExprKind::Comp:
+    return evalComp(cast<CompExpr>(E), Environment);
+  case ExprKind::SvPair: {
+    const auto *P = cast<SvPairExpr>(E);
+    std::vector<ThunkPtr> Elems;
+    Elems.push_back(makeThunk(P->subscript(), Environment));
+    Elems.push_back(makeThunk(P->value(), Environment));
+    return std::make_shared<TupleValue>(std::move(Elems));
+  }
+  case ExprKind::ArraySub:
+    return evalArraySub(cast<ArraySubExpr>(E), Environment);
+  case ExprKind::MakeArray:
+    return evalMakeArray(cast<MakeArrayExpr>(E), Environment);
+  case ExprKind::AccumArray:
+    return evalAccumArray(cast<AccumArrayExpr>(E), Environment);
+  case ExprKind::BigUpd:
+    return evalBigUpd(cast<BigUpdExpr>(E), Environment);
+  case ExprKind::ForceElements: {
+    ValuePtr V = eval(cast<ForceElementsExpr>(E)->arg(), Environment);
+    if (V->isError())
+      return V;
+    return forceElements(V);
+  }
+  }
+  return makeErrorValue("unhandled expression kind");
+}
+
+ValuePtr Interpreter::evalBinary(const BinaryExpr *B,
+                                 const EnvPtr &Environment) {
+  // Short-circuit booleans first.
+  if (B->op() == BinaryOpKind::And || B->op() == BinaryOpKind::Or) {
+    ValuePtr L = eval(B->lhs(), Environment);
+    if (L->isError())
+      return L;
+    const auto *LB = dyn_cast<BoolValue>(L.get());
+    if (!LB)
+      return makeErrorValue("boolean operator on a non-boolean value");
+    if (B->op() == BinaryOpKind::And && !LB->value())
+      return makeBoolValue(false);
+    if (B->op() == BinaryOpKind::Or && LB->value())
+      return makeBoolValue(true);
+    ValuePtr R = eval(B->rhs(), Environment);
+    if (R->isError())
+      return R;
+    const auto *RB = dyn_cast<BoolValue>(R.get());
+    if (!RB)
+      return makeErrorValue("boolean operator on a non-boolean value");
+    return makeBoolValue(RB->value());
+  }
+
+  ValuePtr L = eval(B->lhs(), Environment);
+  if (L->isError())
+    return L;
+  ValuePtr R = eval(B->rhs(), Environment);
+  if (R->isError())
+    return R;
+
+  if (B->op() == BinaryOpKind::Append) {
+    const auto *LL = dyn_cast<ListValue>(L.get());
+    const auto *RL = dyn_cast<ListValue>(R.get());
+    if (!LL || !RL)
+      return makeErrorValue("'++' applied to a non-list value");
+    std::vector<ThunkPtr> Elems;
+    Elems.reserve(LL->size() + RL->size());
+    for (const ThunkPtr &T : LL->elems())
+      Elems.push_back(T);
+    for (const ThunkPtr &T : RL->elems())
+      Elems.push_back(T);
+    // Appending rebuilds the left spine.
+    Stats.ConsCells += LL->size();
+    return std::make_shared<ListValue>(std::move(Elems));
+  }
+
+  // Arithmetic and comparisons need numeric (or comparable) operands.
+  bool LNum = isNumeric(L.get()), RNum = isNumeric(R.get());
+
+  auto BothInts = [&]() {
+    return isa<IntValue>(L.get()) && isa<IntValue>(R.get());
+  };
+
+  switch (B->op()) {
+  case BinaryOpKind::Add:
+  case BinaryOpKind::Sub:
+  case BinaryOpKind::Mul:
+  case BinaryOpKind::Div:
+  case BinaryOpKind::Mod: {
+    if (!LNum || !RNum)
+      return makeErrorValue("arithmetic on a non-numeric value");
+    if (BothInts()) {
+      int64_t A = cast<IntValue>(L.get())->value();
+      int64_t C = cast<IntValue>(R.get())->value();
+      switch (B->op()) {
+      case BinaryOpKind::Add:
+        return makeIntValue(A + C);
+      case BinaryOpKind::Sub:
+        return makeIntValue(A - C);
+      case BinaryOpKind::Mul:
+        return makeIntValue(A * C);
+      case BinaryOpKind::Div:
+        if (C == 0)
+          return makeErrorValue("integer division by zero");
+        return makeIntValue(A / C);
+      case BinaryOpKind::Mod:
+        if (C == 0)
+          return makeErrorValue("integer modulo by zero");
+        return makeIntValue(A % C);
+      default:
+        break;
+      }
+    }
+    double A = asDouble(L.get()), C = asDouble(R.get());
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return makeFloatValue(A + C);
+    case BinaryOpKind::Sub:
+      return makeFloatValue(A - C);
+    case BinaryOpKind::Mul:
+      return makeFloatValue(A * C);
+    case BinaryOpKind::Div:
+      return makeFloatValue(A / C);
+    case BinaryOpKind::Mod:
+      return makeFloatValue(std::fmod(A, C));
+    default:
+      break;
+    }
+    break;
+  }
+  case BinaryOpKind::Eq:
+  case BinaryOpKind::Ne:
+  case BinaryOpKind::Lt:
+  case BinaryOpKind::Le:
+  case BinaryOpKind::Gt:
+  case BinaryOpKind::Ge: {
+    // Booleans support (in)equality.
+    if (isa<BoolValue>(L.get()) && isa<BoolValue>(R.get())) {
+      bool A = cast<BoolValue>(L.get())->value();
+      bool C = cast<BoolValue>(R.get())->value();
+      if (B->op() == BinaryOpKind::Eq)
+        return makeBoolValue(A == C);
+      if (B->op() == BinaryOpKind::Ne)
+        return makeBoolValue(A != C);
+      return makeErrorValue("ordering comparison on booleans");
+    }
+    if (!LNum || !RNum)
+      return makeErrorValue("comparison on a non-numeric value");
+    double A = asDouble(L.get()), C = asDouble(R.get());
+    switch (B->op()) {
+    case BinaryOpKind::Eq:
+      return makeBoolValue(A == C);
+    case BinaryOpKind::Ne:
+      return makeBoolValue(A != C);
+    case BinaryOpKind::Lt:
+      return makeBoolValue(A < C);
+    case BinaryOpKind::Le:
+      return makeBoolValue(A <= C);
+    case BinaryOpKind::Gt:
+      return makeBoolValue(A > C);
+    case BinaryOpKind::Ge:
+      return makeBoolValue(A >= C);
+    default:
+      break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  return makeErrorValue("unhandled binary operator");
+}
+
+ValuePtr Interpreter::evalLet(const LetExpr *L, const EnvPtr &Environment) {
+  EnvPtr Inner = std::make_shared<Env>(Environment);
+  if (L->letKind() == LetKindEnum::Plain) {
+    // Sequential, non-recursive: each binding sees the previous ones.
+    for (const LetBind &B : L->binds())
+      Inner->bind(B.Name, makeThunk(B.Value.get(), Inner));
+    // NOTE: binding into Inner and evaluating in Inner gives sequential
+    // visibility; a binding that refers to its own name sees itself and
+    // blackholes, which models the (erroneous) circular plain let.
+    return eval(L->body(), Inner);
+  }
+
+  // letrec / letrec*: all names scope over all bound expressions.
+  for (const LetBind &B : L->binds())
+    Inner->bind(B.Name, makeThunk(B.Value.get(), Inner));
+
+  if (L->letKind() == LetKindEnum::RecStrict) {
+    // letrec* (Section 2): each binding is forced, and arrays are
+    // strictified with force-elements, before the body runs.
+    for (const LetBind &B : L->binds()) {
+      ThunkPtr T = Inner->lookup(B.Name);
+      ValuePtr V = force(T);
+      if (V->isError())
+        return V;
+      if (isa<ArrayValue>(V.get())) {
+        ValuePtr Forced = forceElements(V);
+        if (Forced->isError())
+          return Forced;
+      }
+    }
+  }
+  return eval(L->body(), Inner);
+}
+
+ValuePtr Interpreter::apply(ValuePtr Fn, std::vector<ThunkPtr> Args) {
+  ++Stats.Applications;
+  while (!Args.empty()) {
+    if (Fn->isError())
+      return Fn;
+    if (const auto *C = dyn_cast<ClosureValue>(Fn.get())) {
+      size_t NumParams = C->params().size();
+      size_t NumBound = Args.size() < NumParams ? Args.size() : NumParams;
+      EnvPtr CallEnv = std::make_shared<Env>(C->env());
+      for (size_t I = 0; I != NumBound; ++I)
+        CallEnv->bind(C->params()[I], Args[I]);
+      if (NumBound < NumParams) {
+        // Partial application: remaining parameters stay abstracted.
+        std::vector<std::string> Rest(C->params().begin() + NumBound,
+                                      C->params().end());
+        return std::make_shared<ClosureValue>(C->body(), std::move(Rest),
+                                              CallEnv);
+      }
+      ValuePtr Result = eval(C->body(), CallEnv);
+      Args.erase(Args.begin(), Args.begin() + NumBound);
+      Fn = std::move(Result);
+      continue;
+    }
+    if (const auto *B = dyn_cast<BuiltinValue>(Fn.get())) {
+      std::vector<ThunkPtr> All = B->args();
+      size_t Needed = B->arity() - All.size();
+      size_t NumBound = Args.size() < Needed ? Args.size() : Needed;
+      for (size_t I = 0; I != NumBound; ++I)
+        All.push_back(Args[I]);
+      if (All.size() < B->arity())
+        return std::make_shared<BuiltinValue>(B->name(), B->arity(),
+                                              std::move(All));
+      ValuePtr Result = runBuiltin(B->name(), All);
+      Args.erase(Args.begin(), Args.begin() + NumBound);
+      Fn = std::move(Result);
+      continue;
+    }
+    return makeErrorValue("application of a non-function value");
+  }
+  return Fn;
+}
+
+ValuePtr Interpreter::runBuiltin(const std::string &Name,
+                                 const std::vector<ThunkPtr> &Args) {
+  auto ForceNumeric = [&](const ThunkPtr &T, ValuePtr &Out) -> bool {
+    Out = force(T);
+    return !Out->isError() && isNumeric(Out.get());
+  };
+
+  if (Name == "foldl") {
+    ValuePtr FnV = force(Args[0]);
+    if (FnV->isError())
+      return FnV;
+    ValuePtr ListV = force(Args[2]);
+    if (ListV->isError())
+      return ListV;
+    const auto *L = dyn_cast<ListValue>(ListV.get());
+    if (!L)
+      return makeErrorValue("foldl over a non-list value");
+    // Strict accumulator (foldl'): faithful for the numeric folds the
+    // paper targets and avoids building accumulator thunk chains.
+    ValuePtr Acc = force(Args[1]);
+    if (Acc->isError())
+      return Acc;
+    for (const ThunkPtr &Elem : L->elems()) {
+      std::vector<ThunkPtr> CallArgs;
+      CallArgs.push_back(makeValueThunk(Acc));
+      CallArgs.push_back(Elem);
+      Acc = apply(FnV, std::move(CallArgs));
+      if (Acc->isError())
+        return Acc;
+    }
+    return Acc;
+  }
+
+  if (Name == "sum" || Name == "product") {
+    ValuePtr ListV = force(Args[0]);
+    if (ListV->isError())
+      return ListV;
+    const auto *L = dyn_cast<ListValue>(ListV.get());
+    if (!L)
+      return makeErrorValue(Name + " over a non-list value");
+    bool Mul = Name == "product";
+    bool AnyFloat = false;
+    int64_t IntAcc = Mul ? 1 : 0;
+    double FloatAcc = Mul ? 1.0 : 0.0;
+    for (const ThunkPtr &Elem : L->elems()) {
+      ValuePtr V = force(Elem);
+      if (V->isError())
+        return V;
+      if (!isNumeric(V.get()))
+        return makeErrorValue(Name + " of a non-numeric element");
+      if (!AnyFloat && isa<FloatValue>(V.get())) {
+        AnyFloat = true;
+        FloatAcc = static_cast<double>(IntAcc);
+      }
+      if (AnyFloat) {
+        double X = asDouble(V.get());
+        FloatAcc = Mul ? FloatAcc * X : FloatAcc + X;
+      } else {
+        int64_t X = cast<IntValue>(V.get())->value();
+        IntAcc = Mul ? IntAcc * X : IntAcc + X;
+      }
+    }
+    if (AnyFloat)
+      return makeFloatValue(FloatAcc);
+    return makeIntValue(IntAcc);
+  }
+
+  if (Name == "length") {
+    ValuePtr ListV = force(Args[0]);
+    if (ListV->isError())
+      return ListV;
+    const auto *L = dyn_cast<ListValue>(ListV.get());
+    if (!L)
+      return makeErrorValue("length of a non-list value");
+    return makeIntValue(static_cast<int64_t>(L->size()));
+  }
+
+  if (Name == "head" || Name == "tail") {
+    ValuePtr ListV = force(Args[0]);
+    if (ListV->isError())
+      return ListV;
+    const auto *L = dyn_cast<ListValue>(ListV.get());
+    if (!L)
+      return makeErrorValue(Name + " of a non-list value");
+    if (L->size() == 0)
+      return makeErrorValue(Name + " of an empty list");
+    if (Name == "head")
+      return force(L->elem(0));
+    std::vector<ThunkPtr> Rest(L->elems().begin() + 1, L->elems().end());
+    return std::make_shared<ListValue>(std::move(Rest));
+  }
+
+  if (Name == "abs") {
+    ValuePtr V;
+    if (!ForceNumeric(Args[0], V))
+      return V->isError() ? V : makeErrorValue("abs of a non-numeric value");
+    if (const auto *I = dyn_cast<IntValue>(V.get()))
+      return makeIntValue(I->value() < 0 ? -I->value() : I->value());
+    double D = cast<FloatValue>(V.get())->value();
+    return makeFloatValue(D < 0 ? -D : D);
+  }
+
+  if (Name == "sqrt") {
+    ValuePtr V;
+    if (!ForceNumeric(Args[0], V))
+      return V->isError() ? V : makeErrorValue("sqrt of a non-numeric value");
+    return makeFloatValue(std::sqrt(asDouble(V.get())));
+  }
+
+  if (Name == "intToFloat") {
+    ValuePtr V;
+    if (!ForceNumeric(Args[0], V))
+      return V->isError() ? V
+                          : makeErrorValue("intToFloat of a non-numeric value");
+    return makeFloatValue(asDouble(V.get()));
+  }
+
+  if (Name == "min" || Name == "max") {
+    ValuePtr A, B;
+    if (!ForceNumeric(Args[0], A))
+      return A->isError() ? A : makeErrorValue(Name + " of non-numeric value");
+    if (!ForceNumeric(Args[1], B))
+      return B->isError() ? B : makeErrorValue(Name + " of non-numeric value");
+    if (isa<IntValue>(A.get()) && isa<IntValue>(B.get())) {
+      int64_t X = cast<IntValue>(A.get())->value();
+      int64_t Y = cast<IntValue>(B.get())->value();
+      bool TakeA = Name == "min" ? X <= Y : X >= Y;
+      return makeIntValue(TakeA ? X : Y);
+    }
+    double X = asDouble(A.get()), Y = asDouble(B.get());
+    bool TakeA = Name == "min" ? X <= Y : X >= Y;
+    return makeFloatValue(TakeA ? X : Y);
+  }
+
+  if (Name == "flatmap") {
+    // flatmap f xs = (f x1) ++ (f x2) ++ ... — the TE translation's
+    // primitive (Section 3.1).
+    ValuePtr FnV = force(Args[0]);
+    if (FnV->isError())
+      return FnV;
+    ValuePtr ListV = force(Args[1]);
+    if (ListV->isError())
+      return ListV;
+    const auto *L = dyn_cast<ListValue>(ListV.get());
+    if (!L)
+      return makeErrorValue("flatmap over a non-list value");
+    std::vector<ThunkPtr> Out;
+    for (const ThunkPtr &Elem : L->elems()) {
+      std::vector<ThunkPtr> CallArgs;
+      CallArgs.push_back(Elem);
+      ValuePtr Piece = apply(FnV, std::move(CallArgs));
+      if (Piece->isError())
+        return Piece;
+      const auto *PL = dyn_cast<ListValue>(Piece.get());
+      if (!PL)
+        return makeErrorValue("flatmap function did not produce a list");
+      for (const ThunkPtr &T : PL->elems())
+        Out.push_back(T);
+      Stats.ConsCells += PL->size();
+    }
+    return std::make_shared<ListValue>(std::move(Out));
+  }
+
+  if (Name == "fst" || Name == "snd") {
+    ValuePtr V = force(Args[0]);
+    if (V->isError())
+      return V;
+    const auto *T = dyn_cast<TupleValue>(V.get());
+    if (!T || T->size() < 2)
+      return makeErrorValue(Name + " of a non-pair value");
+    return force(T->elem(Name == "fst" ? 0 : 1));
+  }
+
+  return makeErrorValue("unknown builtin '" + Name + "'");
+}
+
+ValuePtr Interpreter::evalComp(const CompExpr *C, const EnvPtr &Environment) {
+  std::vector<ThunkPtr> Out;
+
+  // Recursive qualifier expansion; returns an error value or null on
+  // success.
+  std::function<ValuePtr(size_t, const EnvPtr &)> Expand =
+      [&](size_t QualIndex, const EnvPtr &CurEnv) -> ValuePtr {
+    if (QualIndex == C->quals().size()) {
+      if (!C->isNested()) {
+        // Ordinary comprehension: the head is one (lazy) element.
+        Out.push_back(makeThunk(C->head(), CurEnv));
+        ++Stats.ConsCells;
+        return nullptr;
+      }
+      // Nested comprehension: the head evaluates to a list whose elements
+      // are spliced into the result (the TE translation's flatmap).
+      ValuePtr HeadV = eval(C->head(), CurEnv);
+      if (HeadV->isError())
+        return HeadV;
+      const auto *L = dyn_cast<ListValue>(HeadV.get());
+      if (!L)
+        return makeErrorValue(
+            "nested comprehension head did not produce a list");
+      for (const ThunkPtr &T : L->elems())
+        Out.push_back(T);
+      Stats.ConsCells += L->size();
+      return nullptr;
+    }
+
+    const CompQual &Q = C->quals()[QualIndex];
+    switch (Q.kind()) {
+    case CompQual::Kind::Generator: {
+      ValuePtr SourceV = eval(Q.source(), CurEnv);
+      if (SourceV->isError())
+        return SourceV;
+      const auto *L = dyn_cast<ListValue>(SourceV.get());
+      if (!L)
+        return makeErrorValue("generator source is not a list");
+      for (const ThunkPtr &Elem : L->elems()) {
+        EnvPtr Child = std::make_shared<Env>(CurEnv);
+        Child->bind(Q.var(), Elem);
+        if (ValuePtr Err = Expand(QualIndex + 1, Child))
+          return Err;
+      }
+      return nullptr;
+    }
+    case CompQual::Kind::Guard: {
+      ValuePtr CondV = eval(Q.cond(), CurEnv);
+      if (CondV->isError())
+        return CondV;
+      const auto *B = dyn_cast<BoolValue>(CondV.get());
+      if (!B)
+        return makeErrorValue("guard is not a boolean");
+      if (!B->value())
+        return nullptr;
+      return Expand(QualIndex + 1, CurEnv);
+    }
+    case CompQual::Kind::LetQual: {
+      EnvPtr Child = std::make_shared<Env>(CurEnv);
+      for (const LetBind &Bind : Q.binds())
+        Child->bind(Bind.Name, makeThunk(Bind.Value.get(), Child));
+      return Expand(QualIndex + 1, Child);
+    }
+    }
+    return nullptr;
+  };
+
+  if (ValuePtr Err = Expand(0, Environment))
+    return Err;
+  return std::make_shared<ListValue>(std::move(Out));
+}
+
+bool Interpreter::subscriptToIndex(const ValuePtr &V,
+                                   std::vector<int64_t> &Index,
+                                   ValuePtr &Err) {
+  if (V->isError()) {
+    Err = V;
+    return false;
+  }
+  if (const auto *I = dyn_cast<IntValue>(V.get())) {
+    Index.push_back(I->value());
+    return true;
+  }
+  if (const auto *T = dyn_cast<TupleValue>(V.get())) {
+    for (const ThunkPtr &Elem : T->elems()) {
+      ValuePtr EV = force(Elem);
+      if (EV->isError()) {
+        Err = EV;
+        return false;
+      }
+      const auto *I = dyn_cast<IntValue>(EV.get());
+      if (!I) {
+        Err = makeErrorValue("array subscript component is not an integer");
+        return false;
+      }
+      Index.push_back(I->value());
+    }
+    return true;
+  }
+  Err = makeErrorValue("array subscript is not an integer or tuple");
+  return false;
+}
+
+bool Interpreter::boundsToDims(const ValuePtr &V, ArrayValue::Bounds &Dims,
+                               ValuePtr &Err) {
+  const auto *T = dyn_cast<TupleValue>(V.get());
+  if (!T || T->size() != 2) {
+    Err = makeErrorValue("array bounds must be a pair");
+    return false;
+  }
+  ValuePtr LoV = force(T->elem(0));
+  if (LoV->isError()) {
+    Err = LoV;
+    return false;
+  }
+  ValuePtr HiV = force(T->elem(1));
+  if (HiV->isError()) {
+    Err = HiV;
+    return false;
+  }
+  // 1-D: (lo, hi) with integer endpoints.
+  if (isa<IntValue>(LoV.get()) && isa<IntValue>(HiV.get())) {
+    Dims.emplace_back(cast<IntValue>(LoV.get())->value(),
+                      cast<IntValue>(HiV.get())->value());
+    return true;
+  }
+  // k-D: ((lo1,...,lok), (hi1,...,hik)).
+  const auto *LoT = dyn_cast<TupleValue>(LoV.get());
+  const auto *HiT = dyn_cast<TupleValue>(HiV.get());
+  if (!LoT || !HiT || LoT->size() != HiT->size()) {
+    Err = makeErrorValue("malformed array bounds");
+    return false;
+  }
+  for (unsigned D = 0; D != LoT->size(); ++D) {
+    ValuePtr L = force(LoT->elem(D));
+    if (L->isError()) {
+      Err = L;
+      return false;
+    }
+    ValuePtr H = force(HiT->elem(D));
+    if (H->isError()) {
+      Err = H;
+      return false;
+    }
+    const auto *LI = dyn_cast<IntValue>(L.get());
+    const auto *HI = dyn_cast<IntValue>(H.get());
+    if (!LI || !HI) {
+      Err = makeErrorValue("array bound is not an integer");
+      return false;
+    }
+    Dims.emplace_back(LI->value(), HI->value());
+  }
+  return true;
+}
+
+ValuePtr Interpreter::evalMakeArray(const MakeArrayExpr *M,
+                                    const EnvPtr &Environment) {
+  ValuePtr BoundsV = eval(M->bounds(), Environment);
+  if (BoundsV->isError())
+    return BoundsV;
+  ArrayValue::Bounds Dims;
+  ValuePtr Err;
+  if (!boundsToDims(BoundsV, Dims, Err))
+    return Err;
+
+  size_t Size = 1;
+  for (const auto &[Lo, Hi] : Dims) {
+    if (Hi < Lo)
+      return makeErrorValue("array upper bound below lower bound");
+    Size *= static_cast<size_t>(Hi - Lo + 1);
+  }
+
+  // The constructor is strict in the s/v list spine and in subscripts,
+  // lazy in element values (Haskell array semantics).
+  ValuePtr ListV = eval(M->svList(), Environment);
+  if (ListV->isError())
+    return ListV;
+  const auto *L = dyn_cast<ListValue>(ListV.get());
+  if (!L)
+    return makeErrorValue("array subscript/value argument is not a list");
+
+  std::vector<ThunkPtr> Elems(Size);
+  std::vector<uint8_t> Defined(Size, 0);
+  for (const ThunkPtr &PairT : L->elems()) {
+    ValuePtr PairV = force(PairT);
+    if (PairV->isError())
+      return PairV;
+    const auto *P = dyn_cast<TupleValue>(PairV.get());
+    if (!P || P->size() != 2)
+      return makeErrorValue("array element is not a subscript/value pair");
+    ValuePtr SubV = force(P->elem(0));
+    std::vector<int64_t> Index;
+    if (!subscriptToIndex(SubV, Index, Err))
+      return Err;
+    if (Index.size() != Dims.size())
+      return makeErrorValue("array subscript rank mismatch");
+    // Compute the row-major position, checking bounds.
+    bool InBounds = true;
+    size_t Pos = 0;
+    for (size_t D = 0; D != Dims.size(); ++D) {
+      int64_t Lo = Dims[D].first, Hi = Dims[D].second;
+      if (Index[D] < Lo || Index[D] > Hi) {
+        InBounds = false;
+        break;
+      }
+      Pos = Pos * static_cast<size_t>(Hi - Lo + 1) +
+            static_cast<size_t>(Index[D] - Lo);
+    }
+    if (!InBounds)
+      return makeErrorValue("array definition out of bounds");
+    if (Defined[Pos])
+      return makeErrorValue("multiple definitions for one array element "
+                            "(write collision)");
+    Defined[Pos] = 1;
+    Elems[Pos] = P->elem(1);
+  }
+  for (size_t I = 0; I != Size; ++I)
+    if (!Defined[I])
+      Elems[I] = makeValueThunk(
+          makeErrorValue("undefined array element (empty)"));
+
+  ++Stats.ArrayAllocs;
+  return std::make_shared<ArrayValue>(std::move(Dims), std::move(Elems));
+}
+
+ValuePtr Interpreter::evalAccumArray(const AccumArrayExpr *A,
+                                     const EnvPtr &Environment) {
+  // accumArray f z bounds svlist (Section 3): every element starts at z;
+  // each (s, v) pair combines as f acc v *in list order* (the combining
+  // function may be non-commutative). The combine is strict, which is
+  // faithful for the numeric accumulations scientific code uses.
+  ValuePtr FnV = eval(A->fn(), Environment);
+  if (FnV->isError())
+    return FnV;
+  ValuePtr InitV = eval(A->init(), Environment);
+  if (InitV->isError())
+    return InitV;
+
+  ValuePtr BoundsV = eval(A->bounds(), Environment);
+  if (BoundsV->isError())
+    return BoundsV;
+  ArrayValue::Bounds Dims;
+  ValuePtr Err;
+  if (!boundsToDims(BoundsV, Dims, Err))
+    return Err;
+  size_t Size = 1;
+  for (const auto &[Lo, Hi] : Dims) {
+    if (Hi < Lo)
+      return makeErrorValue("array upper bound below lower bound");
+    Size *= static_cast<size_t>(Hi - Lo + 1);
+  }
+
+  ValuePtr ListV = eval(A->svList(), Environment);
+  if (ListV->isError())
+    return ListV;
+  const auto *L = dyn_cast<ListValue>(ListV.get());
+  if (!L)
+    return makeErrorValue("accumArray subscript/value argument is not a "
+                          "list");
+
+  std::vector<ValuePtr> Elems(Size, InitV);
+  for (const ThunkPtr &PairT : L->elems()) {
+    ValuePtr PairV = force(PairT);
+    if (PairV->isError())
+      return PairV;
+    const auto *P = dyn_cast<TupleValue>(PairV.get());
+    if (!P || P->size() != 2)
+      return makeErrorValue("accumArray element is not a subscript/value "
+                            "pair");
+    ValuePtr SubV = force(P->elem(0));
+    std::vector<int64_t> Index;
+    if (!subscriptToIndex(SubV, Index, Err))
+      return Err;
+    size_t Pos = 0;
+    bool InBounds = Index.size() == Dims.size();
+    if (InBounds) {
+      for (size_t D = 0; D != Dims.size(); ++D) {
+        int64_t Lo = Dims[D].first, Hi = Dims[D].second;
+        if (Index[D] < Lo || Index[D] > Hi) {
+          InBounds = false;
+          break;
+        }
+        Pos = Pos * static_cast<size_t>(Hi - Lo + 1) +
+              static_cast<size_t>(Index[D] - Lo);
+      }
+    }
+    if (!InBounds)
+      return makeErrorValue("accumArray definition out of bounds");
+    std::vector<ThunkPtr> CallArgs;
+    CallArgs.push_back(makeValueThunk(Elems[Pos]));
+    CallArgs.push_back(P->elem(1));
+    ValuePtr Combined = apply(FnV, std::move(CallArgs));
+    if (Combined->isError())
+      return Combined;
+    Elems[Pos] = Combined;
+  }
+
+  std::vector<ThunkPtr> Thunks;
+  Thunks.reserve(Size);
+  for (ValuePtr &V : Elems)
+    Thunks.push_back(makeValueThunk(std::move(V)));
+  ++Stats.ArrayAllocs;
+  return std::make_shared<ArrayValue>(std::move(Dims), std::move(Thunks));
+}
+
+ValuePtr Interpreter::evalBigUpd(const BigUpdExpr *U,
+                                 const EnvPtr &Environment) {
+  ValuePtr BaseV = eval(U->base(), Environment);
+  if (BaseV->isError())
+    return BaseV;
+  const auto *Base = dyn_cast<ArrayValue>(BaseV.get());
+  if (!Base)
+    return makeErrorValue("bigupd of a non-array value");
+
+  ValuePtr ListV = eval(U->svList(), Environment);
+  if (ListV->isError())
+    return ListV;
+  const auto *L = dyn_cast<ListValue>(ListV.get());
+  if (!L)
+    return makeErrorValue("bigupd subscript/value argument is not a list");
+
+  // bigupd a svpairs = foldl upd a svpairs; each functional upd copies the
+  // array — this *is* the naive cost the paper's Section 9 removes.
+  std::vector<ThunkPtr> Elems = Base->elemThunks();
+  Stats.ElemCopies += Elems.size();
+  ++Stats.ArrayAllocs;
+  ValuePtr Err;
+  bool First = true;
+  for (const ThunkPtr &PairT : L->elems()) {
+    if (!First) {
+      // Subsequent upd steps copy again (fresh array per update).
+      std::vector<ThunkPtr> Copy = Elems;
+      Stats.ElemCopies += Copy.size();
+      ++Stats.ArrayAllocs;
+      Elems = std::move(Copy);
+    }
+    First = false;
+    ValuePtr PairV = force(PairT);
+    if (PairV->isError())
+      return PairV;
+    const auto *P = dyn_cast<TupleValue>(PairV.get());
+    if (!P || P->size() != 2)
+      return makeErrorValue("bigupd element is not a subscript/value pair");
+    ValuePtr SubV = force(P->elem(0));
+    std::vector<int64_t> Index;
+    if (!subscriptToIndex(SubV, Index, Err))
+      return Err;
+    size_t Pos = 0;
+    bool InBounds = Index.size() == Base->dims().size();
+    if (InBounds) {
+      for (size_t D = 0; D != Base->dims().size(); ++D) {
+        int64_t Lo = Base->dims()[D].first, Hi = Base->dims()[D].second;
+        if (Index[D] < Lo || Index[D] > Hi) {
+          InBounds = false;
+          break;
+        }
+        Pos = Pos * static_cast<size_t>(Hi - Lo + 1) +
+              static_cast<size_t>(Index[D] - Lo);
+      }
+    }
+    if (!InBounds)
+      return makeErrorValue("bigupd subscript out of bounds");
+    Elems[Pos] = P->elem(1);
+  }
+  return std::make_shared<ArrayValue>(Base->dims(), std::move(Elems));
+}
+
+ValuePtr Interpreter::evalArraySub(const ArraySubExpr *S,
+                                   const EnvPtr &Environment) {
+  ValuePtr BaseV = eval(S->base(), Environment);
+  if (BaseV->isError())
+    return BaseV;
+  const auto *A = dyn_cast<ArrayValue>(BaseV.get());
+  if (!A)
+    return makeErrorValue("subscript of a non-array value");
+  ValuePtr IndexV = eval(S->index(), Environment);
+  std::vector<int64_t> Index;
+  ValuePtr Err;
+  if (!subscriptToIndex(IndexV, Index, Err))
+    return Err;
+  size_t Linear;
+  if (!A->linearize(Index, Linear))
+    return makeErrorValue("array subscript out of bounds");
+  return force(A->elemThunk(Linear));
+}
+
+ValuePtr Interpreter::forceElements(const ValuePtr &V) {
+  const auto *A = dyn_cast<ArrayValue>(V.get());
+  if (!A)
+    return makeErrorValue("forceElements of a non-array value");
+  for (const ThunkPtr &T : A->elemThunks()) {
+    ValuePtr EV = force(T);
+    if (EV->isError())
+      return EV; // a single bottom element makes the whole array bottom
+  }
+  return V;
+}
+
+ValuePtr Interpreter::deepForce(const ValuePtr &V) {
+  if (V->isError())
+    return V;
+  if (const auto *T = dyn_cast<TupleValue>(V.get())) {
+    for (const ThunkPtr &Elem : T->elems()) {
+      ValuePtr EV = deepForce(force(Elem));
+      if (EV->isError())
+        return EV;
+    }
+    return V;
+  }
+  if (const auto *L = dyn_cast<ListValue>(V.get())) {
+    for (const ThunkPtr &Elem : L->elems()) {
+      ValuePtr EV = deepForce(force(Elem));
+      if (EV->isError())
+        return EV;
+    }
+    return V;
+  }
+  if (isa<ArrayValue>(V.get()))
+    return forceElements(V);
+  return V;
+}

@@ -1,0 +1,102 @@
+//===- interp/Interp.h - Lazy reference interpreter -------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lazy (call-by-need) reference interpreter. It defines the meaning
+/// of every program and doubles as the paper's "naive implementation":
+/// every array element is a thunk, comprehensions build real intermediate
+/// lists, and `bigupd` copies the array on each update. Instrumentation
+/// counters expose those costs to the benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_INTERP_INTERP_H
+#define HAC_INTERP_INTERP_H
+
+#include "ast/Expr.h"
+#include "interp/Value.h"
+
+#include <cstdint>
+
+namespace hac {
+
+/// Operation counters modeling the costs the paper's optimizations remove.
+struct InterpStats {
+  uint64_t ThunksCreated = 0;
+  uint64_t ThunksForced = 0;
+  uint64_t ConsCells = 0;   ///< list cells allocated
+  uint64_t ArrayAllocs = 0; ///< arrays materialized
+  uint64_t ElemCopies = 0;  ///< array elements copied by bigupd
+  uint64_t Applications = 0;
+  uint64_t Steps = 0; ///< eval() invocations (fuel metric)
+};
+
+/// The call-by-need evaluator. A single instance may evaluate many
+/// programs; stats accumulate until reset.
+class Interpreter {
+public:
+  Interpreter();
+
+  /// Evaluates \p E in a fresh global environment containing only the
+  /// builtins. The result is in WHNF; errors come back as ErrorValue.
+  ValuePtr evalProgram(const Expr *E);
+
+  /// Evaluates \p E in \p Environment (both may recurse via thunks).
+  ValuePtr eval(const Expr *E, const EnvPtr &Environment);
+
+  /// Forces \p T to WHNF with memoization and blackholing.
+  ValuePtr force(const ThunkPtr &T);
+
+  /// Forces every element of array \p V; returns the strictified array or
+  /// the first element error (Section 2's force-elements).
+  ValuePtr forceElements(const ValuePtr &V);
+
+  /// Fully forces \p V (tuples, lists, arrays, deeply).
+  ValuePtr deepForce(const ValuePtr &V);
+
+  InterpStats &stats() { return Stats; }
+  const InterpStats &stats() const { return Stats; }
+  void resetStats() { Stats = InterpStats(); }
+
+  /// Limits the number of eval() steps (0 = unlimited). Exceeding the
+  /// budget produces an error value, never an abort; property tests use
+  /// this to survive accidentally divergent random programs.
+  void setFuel(uint64_t NewFuel) { Fuel = NewFuel; }
+
+  /// Builds the global environment with builtins (sum, foldl, length, ...).
+  EnvPtr makeGlobalEnv();
+
+private:
+  InterpStats Stats;
+  uint64_t Fuel = 0;
+
+  ThunkPtr makeThunk(const Expr *E, EnvPtr Environment);
+
+  ValuePtr apply(ValuePtr Fn, std::vector<ThunkPtr> Args);
+  ValuePtr runBuiltin(const std::string &Name,
+                      const std::vector<ThunkPtr> &Args);
+
+  ValuePtr evalComp(const CompExpr *C, const EnvPtr &Environment);
+  ValuePtr evalMakeArray(const MakeArrayExpr *M, const EnvPtr &Environment);
+  ValuePtr evalAccumArray(const AccumArrayExpr *A, const EnvPtr &Environment);
+  ValuePtr evalBigUpd(const BigUpdExpr *U, const EnvPtr &Environment);
+  ValuePtr evalLet(const LetExpr *L, const EnvPtr &Environment);
+  ValuePtr evalBinary(const BinaryExpr *B, const EnvPtr &Environment);
+  ValuePtr evalArraySub(const ArraySubExpr *S, const EnvPtr &Environment);
+
+  /// Forces a subscript value into an index vector; returns false (with
+  /// \p Err set) when it is not an integer or tuple of integers.
+  bool subscriptToIndex(const ValuePtr &V, std::vector<int64_t> &Index,
+                        ValuePtr &Err);
+
+  /// Parses an evaluated bounds value into array dimensions.
+  bool boundsToDims(const ValuePtr &V, ArrayValue::Bounds &Dims,
+                    ValuePtr &Err);
+};
+
+} // namespace hac
+
+#endif // HAC_INTERP_INTERP_H

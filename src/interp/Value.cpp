@@ -1,0 +1,101 @@
+//===- interp/Value.cpp - Runtime values ----------------------------------===//
+
+#include "interp/Value.h"
+
+#include <sstream>
+
+using namespace hac;
+
+Value::~Value() = default;
+
+bool ArrayValue::linearize(const std::vector<int64_t> &Index,
+                           size_t &Out) const {
+  if (Index.size() != Dims.size())
+    return false;
+  size_t Linear = 0;
+  for (size_t D = 0; D != Dims.size(); ++D) {
+    int64_t Lo = Dims[D].first, Hi = Dims[D].second;
+    if (Index[D] < Lo || Index[D] > Hi)
+      return false;
+    size_t Extent = static_cast<size_t>(Hi - Lo + 1);
+    Linear = Linear * Extent + static_cast<size_t>(Index[D] - Lo);
+  }
+  Out = Linear;
+  return true;
+}
+
+std::string Value::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case ValueKind::Int:
+    OS << cast<IntValue>(this)->value();
+    break;
+  case ValueKind::Float:
+    OS << cast<FloatValue>(this)->value();
+    break;
+  case ValueKind::Bool:
+    OS << (cast<BoolValue>(this)->value() ? "True" : "False");
+    break;
+  case ValueKind::Tuple: {
+    const auto *T = cast<TupleValue>(this);
+    OS << '(';
+    for (unsigned I = 0; I != T->size(); ++I) {
+      if (I)
+        OS << ", ";
+      const ThunkPtr &Elem = T->elem(I);
+      if (Elem && Elem->state() == Thunk::State::Evaluated)
+        OS << Elem->memo()->str();
+      else
+        OS << "<thunk>";
+    }
+    OS << ')';
+    break;
+  }
+  case ValueKind::List: {
+    const auto *L = cast<ListValue>(this);
+    OS << '[';
+    for (size_t I = 0; I != L->size(); ++I) {
+      if (I)
+        OS << ", ";
+      const ThunkPtr &T = L->elem(I);
+      if (T->state() == Thunk::State::Evaluated)
+        OS << T->memo()->str();
+      else
+        OS << "<thunk>";
+    }
+    OS << ']';
+    break;
+  }
+  case ValueKind::Closure:
+    OS << "<closure>";
+    break;
+  case ValueKind::Builtin:
+    OS << "<builtin " << cast<BuiltinValue>(this)->name() << '>';
+    break;
+  case ValueKind::Array: {
+    const auto *A = cast<ArrayValue>(this);
+    OS << "array";
+    for (const auto &[Lo, Hi] : A->dims())
+      OS << '[' << Lo << ".." << Hi << ']';
+    OS << " {";
+    size_t Limit = A->size() < 16 ? A->size() : 16;
+    for (size_t I = 0; I != Limit; ++I) {
+      if (I)
+        OS << ", ";
+      const ThunkPtr &T = A->elemThunk(I);
+      if (T && T->state() == Thunk::State::Evaluated)
+        OS << T->memo()->str();
+      else
+        OS << "<thunk>";
+    }
+    if (A->size() > Limit)
+      OS << ", ...";
+    OS << '}';
+    break;
+  }
+  case ValueKind::Error:
+    OS << "<error: " << cast<ErrorValue>(this)->message() << '>';
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,325 @@
+//===- interp/Value.h - Runtime values for the interpreter ------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime value representation for the lazy reference interpreter: the
+/// semantic baseline against which compiled code is differentially tested,
+/// and the cost model for the "naive implementation" the paper argues is
+/// prohibitive (per-element thunks, intermediate lists, copying updates).
+///
+/// Lists are spine-strict but element-lazy, which is faithful for every
+/// program in the paper (array construction forces the spine of its s/v
+/// list anyway). Non-strict monolithic arrays hold one thunk per element;
+/// errors (bottom) are modeled by an Error value that propagates, and
+/// forcing a thunk already under evaluation (a blackhole) yields the
+/// "cycle" error, modeling nontermination of truly circular demands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_INTERP_VALUE_H
+#define HAC_INTERP_VALUE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hac {
+
+class Expr;
+class Value;
+class Thunk;
+class Env;
+using ValuePtr = std::shared_ptr<Value>;
+using ThunkPtr = std::shared_ptr<Thunk>;
+using EnvPtr = std::shared_ptr<Env>;
+
+enum class ValueKind : uint8_t {
+  Int,
+  Float,
+  Bool,
+  Tuple,
+  List,
+  Closure,
+  Builtin,
+  Array,
+  Error,
+};
+
+/// Base class of interpreter values.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind kind() const { return Kind; }
+
+  bool isError() const { return Kind == ValueKind::Error; }
+
+  /// Renders the value for tests and tools (forced elements only).
+  std::string str() const;
+
+protected:
+  explicit Value(ValueKind Kind) : Kind(Kind) {}
+
+private:
+  ValueKind Kind;
+};
+
+class IntValue : public Value {
+public:
+  explicit IntValue(int64_t V) : Value(ValueKind::Int), V(V) {}
+  int64_t value() const { return V; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Int;
+  }
+
+private:
+  int64_t V;
+};
+
+class FloatValue : public Value {
+public:
+  explicit FloatValue(double V) : Value(ValueKind::Float), V(V) {}
+  double value() const { return V; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Float;
+  }
+
+private:
+  double V;
+};
+
+class BoolValue : public Value {
+public:
+  explicit BoolValue(bool V) : Value(ValueKind::Bool), V(V) {}
+  bool value() const { return V; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Bool;
+  }
+
+private:
+  bool V;
+};
+
+/// Tuples are lazy in their components, so `s := v` (which evaluates to a
+/// pair) keeps the element value side unevaluated until demanded.
+class TupleValue : public Value {
+public:
+  explicit TupleValue(std::vector<ThunkPtr> Elems)
+      : Value(ValueKind::Tuple), Elems(std::move(Elems)) {}
+  unsigned size() const { return Elems.size(); }
+  const ThunkPtr &elem(unsigned I) const { return Elems[I]; }
+  const std::vector<ThunkPtr> &elems() const { return Elems; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Tuple;
+  }
+
+private:
+  std::vector<ThunkPtr> Elems;
+};
+
+/// Spine-strict, element-lazy list.
+class ListValue : public Value {
+public:
+  explicit ListValue(std::vector<ThunkPtr> Elems)
+      : Value(ValueKind::List), Elems(std::move(Elems)) {}
+  size_t size() const { return Elems.size(); }
+  const ThunkPtr &elem(size_t I) const { return Elems[I]; }
+  const std::vector<ThunkPtr> &elems() const { return Elems; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::List;
+  }
+
+private:
+  std::vector<ThunkPtr> Elems;
+};
+
+/// A user lambda closed over its defining environment. Multi-parameter
+/// lambdas curry: applying to fewer arguments yields a partial closure.
+class ClosureValue : public Value {
+public:
+  ClosureValue(const Expr *Body, std::vector<std::string> Params, EnvPtr Env)
+      : Value(ValueKind::Closure), Body(Body), Params(std::move(Params)),
+        CapturedEnv(std::move(Env)) {}
+  const Expr *body() const { return Body; }
+  const std::vector<std::string> &params() const { return Params; }
+  const EnvPtr &env() const { return CapturedEnv; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Closure;
+  }
+
+private:
+  const Expr *Body;
+  std::vector<std::string> Params;
+  EnvPtr CapturedEnv;
+};
+
+/// A partially applied builtin (sum, foldl, length, ...).
+class BuiltinValue : public Value {
+public:
+  BuiltinValue(std::string Name, unsigned Arity, std::vector<ThunkPtr> Args)
+      : Value(ValueKind::Builtin), Name(std::move(Name)), Arity(Arity),
+        Args(std::move(Args)) {}
+  const std::string &name() const { return Name; }
+  unsigned arity() const { return Arity; }
+  const std::vector<ThunkPtr> &args() const { return Args; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Builtin;
+  }
+
+private:
+  std::string Name;
+  unsigned Arity;
+  std::vector<ThunkPtr> Args;
+};
+
+/// Non-strict monolithic array: bounds per dimension and one thunk per
+/// element (row-major). Elements with no s/v pair hold an "undefined
+/// element" error thunk.
+class ArrayValue : public Value {
+public:
+  using Bounds = std::vector<std::pair<int64_t, int64_t>>;
+
+  ArrayValue(Bounds Dims, std::vector<ThunkPtr> Elems)
+      : Value(ValueKind::Array), Dims(std::move(Dims)),
+        Elems(std::move(Elems)) {}
+
+  const Bounds &dims() const { return Dims; }
+  unsigned rank() const { return Dims.size(); }
+  size_t size() const { return Elems.size(); }
+  const ThunkPtr &elemThunk(size_t Linear) const { return Elems[Linear]; }
+  std::vector<ThunkPtr> &elemThunks() { return Elems; }
+  const std::vector<ThunkPtr> &elemThunks() const { return Elems; }
+
+  /// Row-major linearization of \p Index. Returns false when the index is
+  /// out of bounds.
+  bool linearize(const std::vector<int64_t> &Index, size_t &Out) const;
+
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Array;
+  }
+
+private:
+  Bounds Dims;
+  std::vector<ThunkPtr> Elems;
+};
+
+/// Bottom / runtime error, carrying a message. Propagates through every
+/// strict operation.
+class ErrorValue : public Value {
+public:
+  explicit ErrorValue(std::string Message)
+      : Value(ValueKind::Error), Message(std::move(Message)) {}
+  const std::string &message() const { return Message; }
+  static bool classof(const Value *Val) {
+    return Val->kind() == ValueKind::Error;
+  }
+
+private:
+  std::string Message;
+};
+
+//===----------------------------------------------------------------------===//
+// Thunks
+//===----------------------------------------------------------------------===//
+
+/// A delayed computation: either an unevaluated (expr, env) pair, a
+/// blackhole (under evaluation), or a memoized value. Also constructible
+/// directly from a value (an "indirection").
+class Thunk {
+public:
+  enum class State : uint8_t { Unevaluated, BlackHole, Evaluated };
+
+  Thunk(const Expr *E, EnvPtr Env)
+      : St(State::Unevaluated), E(E), CapturedEnv(std::move(Env)) {}
+  explicit Thunk(ValuePtr V)
+      : St(State::Evaluated), Memo(std::move(V)) {}
+
+  State state() const { return St; }
+  const Expr *expr() const { return E; }
+  const EnvPtr &env() const { return CapturedEnv; }
+  const ValuePtr &memo() const {
+    assert(St == State::Evaluated);
+    return Memo;
+  }
+
+  void blackhole() {
+    assert(St == State::Unevaluated);
+    St = State::BlackHole;
+  }
+  void update(ValuePtr V) {
+    Memo = std::move(V);
+    St = State::Evaluated;
+    // Drop the closure to release the environment.
+    E = nullptr;
+    CapturedEnv.reset();
+  }
+
+private:
+  State St;
+  const Expr *E = nullptr;
+  EnvPtr CapturedEnv;
+  ValuePtr Memo;
+};
+
+//===----------------------------------------------------------------------===//
+// Environments
+//===----------------------------------------------------------------------===//
+
+/// A chained environment frame mapping names to thunks.
+class Env : public std::enable_shared_from_this<Env> {
+public:
+  explicit Env(EnvPtr Parent = nullptr) : Parent(std::move(Parent)) {}
+
+  void bind(const std::string &Name, ThunkPtr T) {
+    Bindings[Name] = std::move(T);
+  }
+
+  /// Looks up \p Name through the parent chain; null when unbound.
+  ThunkPtr lookup(const std::string &Name) const {
+    for (const Env *E = this; E; E = E->Parent.get()) {
+      auto It = E->Bindings.find(Name);
+      if (It != E->Bindings.end())
+        return It->second;
+    }
+    return nullptr;
+  }
+
+private:
+  EnvPtr Parent;
+  std::map<std::string, ThunkPtr> Bindings;
+};
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+inline ValuePtr makeIntValue(int64_t V) {
+  return std::make_shared<IntValue>(V);
+}
+inline ValuePtr makeFloatValue(double V) {
+  return std::make_shared<FloatValue>(V);
+}
+inline ValuePtr makeBoolValue(bool V) {
+  return std::make_shared<BoolValue>(V);
+}
+inline ValuePtr makeErrorValue(std::string Message) {
+  return std::make_shared<ErrorValue>(std::move(Message));
+}
+inline ThunkPtr makeValueThunk(ValuePtr V) {
+  return std::make_shared<Thunk>(std::move(V));
+}
+
+} // namespace hac
+
+#endif // HAC_INTERP_VALUE_H

@@ -1,0 +1,124 @@
+//===- runtime/DoubleArray.h - Flat numeric array storage -------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thunkless array representation: a flat buffer of doubles with
+/// row-major layout and an optional "defined" bitmap used only when the
+/// collision / empties analyses could not discharge the runtime checks
+/// (Sections 4 and 7). This is what "performance comparable to Fortran"
+/// concretely means: direct stores and loads, no per-element boxes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_RUNTIME_DOUBLEARRAY_H
+#define HAC_RUNTIME_DOUBLEARRAY_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hac {
+
+/// An N-dimensional array of doubles with inclusive per-dimension bounds.
+class DoubleArray {
+public:
+  using Dims = std::vector<std::pair<int64_t, int64_t>>;
+
+  DoubleArray() = default;
+  explicit DoubleArray(Dims TheDims) : Bounds(std::move(TheDims)) {
+    size_t Size = 1;
+    for (const auto &[Lo, Hi] : Bounds)
+      Size *= Hi >= Lo ? static_cast<size_t>(Hi - Lo + 1) : 0;
+    Data.assign(Size, 0.0);
+  }
+
+  const Dims &dims() const { return Bounds; }
+  unsigned rank() const { return Bounds.size(); }
+  size_t size() const { return Data.size(); }
+
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
+
+  double &operator[](size_t Linear) { return Data[Linear]; }
+  double operator[](size_t Linear) const { return Data[Linear]; }
+
+  /// Row-major linearization; returns false when out of bounds.
+  bool linearize(const int64_t *Index, size_t Rank, size_t &Out) const {
+    if (Rank != Bounds.size())
+      return false;
+    size_t Linear = 0;
+    for (size_t D = 0; D != Rank; ++D) {
+      auto [Lo, Hi] = Bounds[D];
+      if (Index[D] < Lo || Index[D] > Hi)
+        return false;
+      Linear = Linear * static_cast<size_t>(Hi - Lo + 1) +
+               static_cast<size_t>(Index[D] - Lo);
+    }
+    Out = Linear;
+    return true;
+  }
+
+  /// Convenience element access for tests (asserts in-bounds).
+  double at(std::initializer_list<int64_t> Index) const {
+    size_t Linear = 0;
+    bool OK = linearize(Index.begin(), Index.size(), Linear);
+    assert(OK && "DoubleArray::at out of bounds");
+    (void)OK;
+    return Data[Linear];
+  }
+  void set(std::initializer_list<int64_t> Index, double V) {
+    size_t Linear = 0;
+    bool OK = linearize(Index.begin(), Index.size(), Linear);
+    assert(OK && "DoubleArray::set out of bounds");
+    (void)OK;
+    Data[Linear] = V;
+  }
+
+  /// Enables the defined bitmap (all elements undefined).
+  void enableDefinedBits() { DefinedBits.assign(Data.size(), 0); }
+  /// Marks every element defined (used for update targets).
+  void markAllDefined() { DefinedBits.assign(Data.size(), 1); }
+  bool hasDefinedBits() const { return !DefinedBits.empty(); }
+  bool isDefined(size_t Linear) const {
+    return DefinedBits.empty() || DefinedBits[Linear] != 0;
+  }
+  void setDefined(size_t Linear) {
+    if (!DefinedBits.empty())
+      DefinedBits[Linear] = 1;
+  }
+  /// Index of the first undefined element, or size() if none.
+  size_t firstUndefined() const {
+    for (size_t I = 0; I != DefinedBits.size(); ++I)
+      if (!DefinedBits[I])
+        return I;
+    return Data.size();
+  }
+
+  /// Maximum absolute elementwise difference (arrays must be same shape).
+  static double maxAbsDiff(const DoubleArray &A, const DoubleArray &B) {
+    assert(A.size() == B.size() && "shape mismatch");
+    double Max = 0;
+    for (size_t I = 0; I != A.size(); ++I) {
+      double D = A[I] - B[I];
+      if (D < 0)
+        D = -D;
+      if (D > Max)
+        Max = D;
+    }
+    return Max;
+  }
+
+private:
+  Dims Bounds;
+  std::vector<double> Data;
+  std::vector<uint8_t> DefinedBits;
+};
+
+} // namespace hac
+
+#endif // HAC_RUNTIME_DOUBLEARRAY_H

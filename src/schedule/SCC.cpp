@@ -1,0 +1,79 @@
+//===- schedule/SCC.cpp - Tarjan strongly connected components ------------===//
+
+#include "schedule/SCC.h"
+
+#include <algorithm>
+
+using namespace hac;
+
+SCCResult hac::computeSCCs(
+    unsigned NumVertices,
+    const std::vector<std::pair<unsigned, unsigned>> &Edges) {
+  // Adjacency lists.
+  std::vector<std::vector<unsigned>> Adj(NumVertices);
+  for (const auto &[U, V] : Edges)
+    Adj[U].push_back(V);
+
+  constexpr unsigned None = ~0u;
+  std::vector<unsigned> Index(NumVertices, None);
+  std::vector<unsigned> LowLink(NumVertices, 0);
+  std::vector<bool> OnStack(NumVertices, false);
+  std::vector<unsigned> Stack;
+  SCCResult Result;
+  Result.Comp.assign(NumVertices, None);
+  unsigned NextIndex = 0;
+
+  // Iterative Tarjan: each frame remembers the vertex and the position in
+  // its adjacency list.
+  struct Frame {
+    unsigned V;
+    size_t EdgeIndex;
+  };
+  std::vector<Frame> CallStack;
+
+  for (unsigned Start = 0; Start != NumVertices; ++Start) {
+    if (Index[Start] != None)
+      continue;
+    CallStack.push_back({Start, 0});
+    Index[Start] = LowLink[Start] = NextIndex++;
+    Stack.push_back(Start);
+    OnStack[Start] = true;
+
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      unsigned V = F.V;
+      if (F.EdgeIndex < Adj[V].size()) {
+        unsigned W = Adj[V][F.EdgeIndex++];
+        if (Index[W] == None) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          CallStack.push_back({W, 0});
+        } else if (OnStack[W]) {
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+        }
+        continue;
+      }
+      // All edges of V processed: maybe pop an SCC, then return to parent.
+      if (LowLink[V] == Index[V]) {
+        std::vector<unsigned> Component;
+        for (;;) {
+          unsigned W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Result.Comp[W] = Result.Members.size();
+          Component.push_back(W);
+          if (W == V)
+            break;
+        }
+        Result.Members.push_back(std::move(Component));
+      }
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        unsigned Parent = CallStack.back().V;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+    }
+  }
+  return Result;
+}

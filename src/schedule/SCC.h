@@ -1,0 +1,43 @@
+//===- schedule/SCC.h - Tarjan strongly connected components ----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan's SCC algorithm over small adjacency-list digraphs, used by the
+/// scheduler to classify dependence-graph cycles (Section 8.1.2: "a
+/// dependence graph is cyclic if at least one of its SCCs contains more
+/// than a single vertex"; self-edges also make a vertex cyclic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SCHEDULE_SCC_H
+#define HAC_SCHEDULE_SCC_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hac {
+
+/// Result of an SCC decomposition of a digraph with vertices 0..N-1.
+struct SCCResult {
+  /// Component id per vertex. Components are numbered in *reverse*
+  /// topological order of the quotient DAG (Tarjan property): if u's
+  /// component can reach v's component, then Comp[u] >= Comp[v].
+  std::vector<unsigned> Comp;
+  /// Vertices of each component.
+  std::vector<std::vector<unsigned>> Members;
+
+  unsigned numComponents() const { return Members.size(); }
+};
+
+/// Computes SCCs of the digraph with \p NumVertices vertices and \p Edges
+/// (pairs src -> dst). O(V + E), iterative (no recursion-depth limits).
+SCCResult computeSCCs(unsigned NumVertices,
+                      const std::vector<std::pair<unsigned, unsigned>> &Edges);
+
+} // namespace hac
+
+#endif // HAC_SCHEDULE_SCC_H

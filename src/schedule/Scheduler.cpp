@@ -1,0 +1,849 @@
+//===- schedule/Scheduler.cpp - Thunkless static scheduling ---------------===//
+
+#include "schedule/Scheduler.h"
+
+#include "schedule/SCC.h"
+#include "support/Casting.h"
+#include "support/IntMath.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace hac;
+
+const char *hac::loopDirName(LoopDir D) {
+  switch (D) {
+  case LoopDir::Forward:
+    return "forward";
+  case LoopDir::Backward:
+    return "backward";
+  case LoopDir::Either:
+    return "either";
+  }
+  return "?";
+}
+
+namespace {
+
+void printUnits(const std::vector<SchedUnit> &Units, std::ostringstream &OS,
+                unsigned Indent) {
+  auto Pad = [&]() {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+  };
+  for (const SchedUnit &U : Units) {
+    if (U.K == SchedUnit::Kind::Clause) {
+      Pad();
+      OS << "clause #" << U.Clause->id() << "\n";
+      continue;
+    }
+    Pad();
+    OS << "pass " << U.Loop->var() << " [" << U.Loop->bounds().Lo << ".."
+       << U.Loop->bounds().Hi << "] " << loopDirName(U.Dir) << " {\n";
+    printUnits(U.Body, OS, Indent + 1);
+    Pad();
+    OS << "}\n";
+  }
+}
+
+} // namespace
+
+std::string Schedule::str() const {
+  std::ostringstream OS;
+  if (!Thunkless) {
+    OS << "<needs thunks: " << FailureReason << ">\n";
+    return OS.str();
+  }
+  printUnits(Units, OS, 0);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// The level scheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Kahn topological sort preferring the smallest tie-break key (original
+/// textual position) among available vertices, so unconstrained entities
+/// keep their source order. Returns false on a cycle.
+bool kahnOrder(unsigned N,
+               const std::vector<std::pair<unsigned, unsigned>> &Pairs,
+               const std::vector<unsigned> &TieKey,
+               std::vector<unsigned> &Order) {
+  std::vector<std::vector<unsigned>> Adj(N);
+  std::vector<unsigned> InDegree(N, 0);
+  for (const auto &[U, V] : Pairs) {
+    if (U == V)
+      continue;
+    Adj[U].push_back(V);
+    ++InDegree[V];
+  }
+  // Available set ordered by (tie key, vertex).
+  std::set<std::pair<unsigned, unsigned>> Avail;
+  for (unsigned V = 0; V != N; ++V)
+    if (InDegree[V] == 0)
+      Avail.insert({TieKey[V], V});
+  Order.clear();
+  while (!Avail.empty()) {
+    unsigned V = Avail.begin()->second;
+    Avail.erase(Avail.begin());
+    Order.push_back(V);
+    for (unsigned W : Adj[V])
+      if (--InDegree[W] == 0)
+        Avail.insert({TieKey[W], W});
+  }
+  return Order.size() == N;
+}
+
+/// Flattens a body (Seq / Guard transparently) into entity nodes: loops
+/// and clauses.
+void collectEntities(const CompNode *N, std::vector<const CompNode *> &Out) {
+  switch (N->kind()) {
+  case CompNodeKind::Seq:
+    for (const CompNodePtr &C : cast<SeqNode>(N)->children())
+      collectEntities(C.get(), Out);
+    return;
+  case CompNodeKind::Guard:
+    collectEntities(cast<GuardNode>(N)->body(), Out);
+    return;
+  case CompNodeKind::Loop:
+  case CompNodeKind::Clause:
+    Out.push_back(N);
+    return;
+  }
+}
+
+class SchedulerImpl {
+public:
+  SchedulerImpl(const CompNest &Nest, std::vector<const DepEdge *> Edges)
+      : Nest(Nest), Edges(std::move(Edges)) {}
+
+  Schedule run() {
+    Result.Thunkless = true;
+    Result.Units = scheduleSeq(Nest.Root.get(), Edges, /*Consumed=*/0);
+    if (Failed) {
+      Result.Thunkless = false;
+      Result.Units.clear();
+    }
+    return std::move(Result);
+  }
+
+private:
+  const CompNest &Nest;
+  std::vector<const DepEdge *> Edges;
+  Schedule Result;
+  bool Failed = false;
+
+  void fail(const std::string &Reason,
+            std::vector<const DepEdge *> Cycle) {
+    if (Failed)
+      return;
+    Failed = true;
+    Result.FailureReason = Reason;
+    Result.FailingEdges = std::move(Cycle);
+  }
+
+  /// The entity (at the level whose enclosing-loop count is \p Consumed)
+  /// containing clause \p Id: the clause's loop at that depth, or the
+  /// clause itself when it has no deeper loop.
+  const CompNode *entityOf(unsigned Id, unsigned Consumed) const {
+    const ClauseNode *C = Nest.clause(Id);
+    if (C->loops().size() > Consumed)
+      return C->loops()[Consumed];
+    return C;
+  }
+
+  /// Schedules a sequence level (the top level): entities ordered by the
+  /// dirs-exhausted "()" edges; edges with remaining components are
+  /// routed into the loop entity both endpoints share.
+  std::vector<SchedUnit>
+  scheduleSeq(const CompNode *Body, const std::vector<const DepEdge *> &Es,
+              unsigned Consumed) {
+    std::vector<const CompNode *> Entities;
+    collectEntities(Body, Entities);
+    std::map<const CompNode *, unsigned> Idx;
+    for (unsigned I = 0; I != Entities.size(); ++I)
+      Idx[Entities[I]] = I;
+
+    std::vector<const DepEdge *> OrderEdges;
+    std::map<const CompNode *, std::vector<const DepEdge *>> Inner;
+    for (const DepEdge *E : Es) {
+      if (E->Dirs.size() > Consumed) {
+        // Intra-entity: both endpoints share a loop at this level.
+        const CompNode *Ent = entityOf(E->Src, Consumed);
+        assert(Ent == entityOf(E->Dst, Consumed) &&
+               "edge with remaining dirs must stay within one entity");
+        Inner[Ent].push_back(E);
+        continue;
+      }
+      if (E->Src == E->Dst) {
+        fail("clause #" + std::to_string(E->Src) +
+                 " depends on its own instance",
+             {E});
+        return {};
+      }
+      OrderEdges.push_back(E);
+    }
+
+    // Topologically order entities by the () edges.
+    std::vector<std::pair<unsigned, unsigned>> Pairs;
+    for (const DepEdge *E : OrderEdges) {
+      auto SI = Idx.find(entityOf(E->Src, Consumed));
+      auto DI = Idx.find(entityOf(E->Dst, Consumed));
+      assert(SI != Idx.end() && DI != Idx.end());
+      if (SI->second != DI->second)
+        Pairs.emplace_back(SI->second, DI->second);
+      // A () edge within one entity is vacuous here: both instances run
+      // inside the same unit and the entity's own structure decides.
+    }
+    SCCResult SCCs = computeSCCs(Entities.size(), Pairs);
+    for (const auto &Members : SCCs.Members) {
+      if (Members.size() <= 1)
+        continue;
+      std::vector<const DepEdge *> Cycle;
+      for (const DepEdge *E : OrderEdges) {
+        unsigned S = Idx[entityOf(E->Src, Consumed)];
+        unsigned D = Idx[entityOf(E->Dst, Consumed)];
+        if (SCCs.Comp[S] == SCCs.Comp[D] && S != D &&
+            std::find(Members.begin(), Members.end(), S) != Members.end())
+          Cycle.push_back(E);
+      }
+      fail("cyclic ordering constraints between top-level clauses",
+           std::move(Cycle));
+      return {};
+    }
+
+    // Topological order over entities, preferring source order.
+    std::vector<unsigned> TieKey(Entities.size());
+    for (unsigned I = 0; I != Entities.size(); ++I)
+      TieKey[I] = I;
+    std::vector<unsigned> Order;
+    bool Acyclic = kahnOrder(Entities.size(), Pairs, TieKey, Order);
+    assert(Acyclic && "cycle must have been caught above");
+    (void)Acyclic;
+
+    std::vector<SchedUnit> Units;
+    for (unsigned I : Order) {
+      const CompNode *Ent = Entities[I];
+      if (const auto *C = dyn_cast<ClauseNode>(Ent)) {
+        Units.push_back(SchedUnit::makeClause(C));
+        continue;
+      }
+      const auto *L = cast<LoopNode>(Ent);
+      auto Passes = scheduleLoop(L, Inner[Ent], Consumed);
+      if (Failed)
+        return {};
+      for (SchedUnit &U : Passes)
+        Units.push_back(std::move(U));
+    }
+    return Units;
+  }
+
+  /// Direction-unification lattice: Either is bottom; Forward/Backward
+  /// conflict.
+  static bool mergeDir(LoopDir &Into, LoopDir D) {
+    if (D == LoopDir::Either)
+      return true;
+    if (Into == LoopDir::Either) {
+      Into = D;
+      return true;
+    }
+    return Into == D;
+  }
+
+  /// Schedules the interior of loop \p L. Every edge in \p Es has both
+  /// endpoints inside L, and its component at index \p Consumed refers to
+  /// L itself. Returns one SchedUnit per pass of L.
+  std::vector<SchedUnit> scheduleLoop(const LoopNode *L,
+                                      const std::vector<const DepEdge *> &Es,
+                                      unsigned Consumed) {
+    std::vector<const CompNode *> Entities;
+    collectEntities(L->body(), Entities);
+    std::map<const CompNode *, unsigned> Idx;
+    for (unsigned I = 0; I != Entities.size(); ++I)
+      Idx[Entities[I]] = I;
+
+    struct LevelEdge {
+      const DepEdge *E;
+      unsigned SrcEnt;
+      unsigned DstEnt;
+      Dir D0;
+    };
+    std::vector<LevelEdge> Level;
+    std::map<const CompNode *, std::vector<const DepEdge *>> Deeper;
+
+    const unsigned InnerDepth = Consumed + 1;
+    for (const DepEdge *E : Es) {
+      assert(E->Dirs.size() > Consumed && "edge does not reach this loop");
+      Dir D0 = E->Dirs[Consumed];
+      unsigned SrcEnt = Idx[entityOf(E->Src, InnerDepth)];
+      unsigned DstEnt = Idx[entityOf(E->Dst, InnerDepth)];
+      if (D0 == Dir::Eq) {
+        if (E->Dirs.size() > InnerDepth) {
+          // Same outer instance, deeper loop shared: handled inside the
+          // child entity (Section 8.2.2 keeps only the (=,...) edges).
+          const CompNode *Ent = entityOf(E->Src, InnerDepth);
+          assert(Ent == entityOf(E->Dst, InnerDepth));
+          Deeper[Ent].push_back(E);
+          continue;
+        }
+        if (E->Src == E->Dst) {
+          fail("clause #" + std::to_string(E->Src) +
+                   " reads the element it defines (within-instance cycle)",
+               {E});
+          return {};
+        }
+      }
+      Level.push_back(LevelEdge{E, SrcEnt, DstEnt, D0});
+    }
+    if (Failed)
+      return {};
+
+    // SCCs over all level edges.
+    std::vector<std::pair<unsigned, unsigned>> Pairs;
+    for (const LevelEdge &LE : Level)
+      Pairs.emplace_back(LE.SrcEnt, LE.DstEnt);
+    SCCResult SCCs = computeSCCs(Entities.size(), Pairs);
+
+    // Per-SCC direction requirements and sanity (Section 8.1.2).
+    unsigned NumComps = SCCs.numComponents();
+    std::vector<LoopDir> CompDir(NumComps, LoopDir::Either);
+    for (unsigned Comp = 0; Comp != NumComps; ++Comp) {
+      bool SawLt = false, SawGt = false, SawStar = false;
+      std::vector<const DepEdge *> Internal;
+      bool Cyclic = SCCs.Members[Comp].size() > 1;
+      for (const LevelEdge &LE : Level) {
+        if (SCCs.Comp[LE.SrcEnt] != Comp || SCCs.Comp[LE.DstEnt] != Comp)
+          continue;
+        Internal.push_back(LE.E);
+        if (LE.SrcEnt == LE.DstEnt)
+          Cyclic = true;
+        switch (LE.D0) {
+        case Dir::Lt:
+          SawLt = true;
+          break;
+        case Dir::Gt:
+          SawGt = true;
+          break;
+        case Dir::Any:
+          SawStar = true;
+          break;
+        case Dir::Eq:
+          break;
+        }
+      }
+      if (!Cyclic)
+        continue;
+      if (SawStar || (SawLt && SawGt)) {
+        fail("cycle with both (<) and (>) dependences in loop '" +
+                 L->var() + "' cannot be statically scheduled",
+             std::move(Internal));
+        return {};
+      }
+      if (SawLt)
+        CompDir[Comp] = LoopDir::Forward;
+      else if (SawGt)
+        CompDir[Comp] = LoopDir::Backward;
+      // Within-SCC (=) cycles are caught by the per-pass ordering below.
+    }
+
+    // Topological order of components, preferring the source order of
+    // each component's first entity.
+    std::vector<std::pair<unsigned, unsigned>> CompPairs;
+    for (const LevelEdge &LE : Level)
+      if (SCCs.Comp[LE.SrcEnt] != SCCs.Comp[LE.DstEnt])
+        CompPairs.emplace_back(SCCs.Comp[LE.SrcEnt], SCCs.Comp[LE.DstEnt]);
+    std::vector<unsigned> CompTie(NumComps, ~0u);
+    for (unsigned Comp = 0; Comp != NumComps; ++Comp)
+      for (unsigned V : SCCs.Members[Comp])
+        CompTie[Comp] = std::min(CompTie[Comp], V);
+    std::vector<unsigned> CompOrder;
+    bool CompsAcyclic = kahnOrder(NumComps, CompPairs, CompTie, CompOrder);
+    assert(CompsAcyclic && "quotient graph must be acyclic");
+    (void)CompsAcyclic;
+
+    // Greedy pass packing: walk components in topological order, starting
+    // a new pass only when direction unification or a (*) edge forces it
+    // (this collapses the paper's one-pass-per-node schedule, Sec 8.1.2).
+    struct Pass {
+      LoopDir Dir = LoopDir::Either;
+      std::vector<unsigned> Comps;
+      std::vector<bool> HasEnt; // entity membership
+    };
+    std::vector<Pass> Passes;
+    std::vector<unsigned> PassOfComp(NumComps, 0);
+    for (unsigned Comp : CompOrder) {
+      bool Placed = false;
+      if (!Passes.empty()) {
+        Pass &Cur = Passes.back();
+        LoopDir Unified = Cur.Dir;
+        bool OK = mergeDir(Unified, CompDir[Comp]);
+        // Cross edges from current pass members into this component.
+        for (const LevelEdge &LE : Level) {
+          if (!OK)
+            break;
+          if (SCCs.Comp[LE.DstEnt] != Comp || !Cur.HasEnt[LE.SrcEnt] ||
+              SCCs.Comp[LE.SrcEnt] == Comp)
+            continue;
+          switch (LE.D0) {
+          case Dir::Lt:
+            OK = mergeDir(Unified, LoopDir::Forward);
+            break;
+          case Dir::Gt:
+            OK = mergeDir(Unified, LoopDir::Backward);
+            break;
+          case Dir::Any:
+            OK = false; // (*) requires strictly separate passes
+            break;
+          case Dir::Eq:
+            break; // within-instance order handles it
+          }
+        }
+        if (OK) {
+          Cur.Dir = Unified;
+          Cur.Comps.push_back(Comp);
+          for (unsigned V : SCCs.Members[Comp])
+            Cur.HasEnt[V] = true;
+          PassOfComp[Comp] = Passes.size() - 1;
+          Placed = true;
+        }
+      }
+      if (!Placed) {
+        Pass NewPass;
+        NewPass.Dir = CompDir[Comp];
+        NewPass.Comps.push_back(Comp);
+        NewPass.HasEnt.assign(Entities.size(), false);
+        for (unsigned V : SCCs.Members[Comp])
+          NewPass.HasEnt[V] = true;
+        PassOfComp[Comp] = Passes.size();
+        Passes.push_back(std::move(NewPass));
+      }
+    }
+
+    // Emit passes: order entities within a pass by the (=) edges
+    // (within-instance constraints, Section 8.1.4).
+    std::vector<SchedUnit> Units;
+    for (const Pass &P : Passes) {
+      std::vector<unsigned> Members;
+      for (unsigned I = 0; I != Entities.size(); ++I)
+        if (P.HasEnt[I])
+          Members.push_back(I);
+
+      std::vector<std::pair<unsigned, unsigned>> EqPairs;
+      std::vector<const DepEdge *> EqEdges;
+      for (const LevelEdge &LE : Level) {
+        if (LE.D0 != Dir::Eq || LE.SrcEnt == LE.DstEnt)
+          continue;
+        if (!P.HasEnt[LE.SrcEnt] || !P.HasEnt[LE.DstEnt])
+          continue;
+        EqPairs.emplace_back(LE.SrcEnt, LE.DstEnt);
+        EqEdges.push_back(LE.E);
+      }
+      // Order pass members by the (=) edges; a cycle means no safe
+      // within-instance order exists (Section 8.1.4).
+      std::vector<unsigned> MemberTie(Entities.size(), ~0u);
+      for (unsigned I = 0; I != Entities.size(); ++I)
+        MemberTie[I] = I;
+      std::vector<unsigned> FullOrder;
+      if (!kahnOrder(Entities.size(), EqPairs, MemberTie, FullOrder)) {
+        fail("cycle of within-instance (=) dependences in loop '" +
+                 L->var() + "'",
+             std::move(EqEdges));
+        return {};
+      }
+      std::vector<unsigned> Ordered;
+      for (unsigned I : FullOrder)
+        if (P.HasEnt[I])
+          Ordered.push_back(I);
+      Members = std::move(Ordered);
+
+      std::vector<SchedUnit> Body;
+      for (unsigned I : Members) {
+        const CompNode *Ent = Entities[I];
+        if (const auto *C = dyn_cast<ClauseNode>(Ent)) {
+          Body.push_back(SchedUnit::makeClause(C));
+          continue;
+        }
+        const auto *Child = cast<LoopNode>(Ent);
+        auto ChildPasses = scheduleLoop(Child, Deeper[Ent], InnerDepth);
+        if (Failed)
+          return {};
+        for (SchedUnit &U : ChildPasses)
+          Body.push_back(std::move(U));
+      }
+      Units.push_back(SchedUnit::makeLoop(L, P.Dir, std::move(Body)));
+      ++Result.PassCount;
+    }
+    // A loop with an empty body (no clauses at all) still emits nothing.
+    return Units;
+  }
+};
+
+} // namespace
+
+Schedule hac::scheduleNest(const CompNest &Nest,
+                           const std::vector<const DepEdge *> &Edges) {
+  if (!Nest.Analyzable) {
+    Schedule S;
+    S.Thunkless = false;
+    S.FailureReason = Nest.FallbackReason;
+    return S;
+  }
+  return SchedulerImpl(Nest, Edges).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Ready / not-ready pass scheduling (the paper's Section 8.1.3 algorithm)
+//===----------------------------------------------------------------------===//
+
+std::vector<bool> hac::markNotReady(unsigned NumVertices,
+                                    const std::vector<LabeledEdge> &Edges) {
+  std::vector<std::vector<std::pair<unsigned, Dir>>> Adj(NumVertices);
+  std::vector<unsigned> InDegree(NumVertices, 0);
+  for (const LabeledEdge &E : Edges) {
+    Adj[E.Src].emplace_back(E.Dst, E.D);
+    if (E.Src != E.Dst)
+      ++InDegree[E.Dst];
+  }
+
+  std::vector<bool> Visited(NumVertices, false);
+  std::vector<bool> NotReady(NumVertices, false);
+
+  // The modified DFS of Section 8.1.3. S is 'not-ready' when the path
+  // from the current root contains at least one (>) edge.
+  std::function<void(unsigned, bool)> Visit = [&](unsigned V, bool S) {
+    if (!Visited[V]) {
+      Visited[V] = true;
+      NotReady[V] = S;
+      for (auto [W, D] : Adj[V])
+        Visit(W, S || D == Dir::Gt);
+      return;
+    }
+    if (!S)
+      return; // ready path into an already-visited vertex: backtrack
+    if (NotReady[V])
+      return; // already not-ready: backtrack
+    // Re-mark from 'ready' to 'not-ready' and revisit children: all of
+    // its 'ready' descendants must be downgraded too.
+    NotReady[V] = true;
+    for (auto [W, D] : Adj[V])
+      Visit(W, true);
+  };
+
+  for (unsigned V = 0; V != NumVertices; ++V)
+    if (InDegree[V] == 0)
+      Visit(V, /*S=*/false);
+  return NotReady;
+}
+
+bool hac::readyPassSchedule(unsigned NumVertices,
+                            const std::vector<LabeledEdge> &Edges,
+                            std::vector<unsigned> &PassOut) {
+  PassOut.assign(NumVertices, 0);
+  // Precondition (Section 8.1.3): the graph must be acyclic, and forward
+  // passes cannot satisfy a (>) or (=) self edge.
+  {
+    std::vector<std::pair<unsigned, unsigned>> Pairs;
+    for (const LabeledEdge &E : Edges) {
+      if (E.Src == E.Dst) {
+        if (E.D != Dir::Lt)
+          return false;
+        continue;
+      }
+      Pairs.emplace_back(E.Src, E.Dst);
+    }
+    SCCResult SCCs = computeSCCs(NumVertices, Pairs);
+    for (const auto &Members : SCCs.Members)
+      if (Members.size() > 1)
+        return false;
+  }
+  std::vector<bool> Remaining(NumVertices, true);
+  unsigned NumRemaining = NumVertices;
+
+  for (unsigned PassIndex = 0; NumRemaining != 0; ++PassIndex) {
+    // Restrict the graph to the remaining vertices.
+    std::vector<unsigned> Map(NumVertices, ~0u);
+    std::vector<unsigned> Back;
+    for (unsigned V = 0; V != NumVertices; ++V)
+      if (Remaining[V]) {
+        Map[V] = Back.size();
+        Back.push_back(V);
+      }
+    std::vector<LabeledEdge> Sub;
+    for (const LabeledEdge &E : Edges)
+      if (Remaining[E.Src] && Remaining[E.Dst])
+        Sub.push_back(LabeledEdge{Map[E.Src], Map[E.Dst], E.D});
+
+    std::vector<bool> NotReady = markNotReady(Back.size(), Sub);
+    unsigned Scheduled = 0;
+    for (unsigned I = 0; I != Back.size(); ++I) {
+      if (NotReady[I])
+        continue;
+      PassOut[Back[I]] = PassIndex;
+      Remaining[Back[I]] = false;
+      ++Scheduled;
+    }
+    if (Scheduled == 0)
+      return false; // cycle or a (>) self edge: no progress
+    NumRemaining -= Scheduled;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Node splitting (Section 9)
+//===----------------------------------------------------------------------===//
+
+int64_t SplitAction::copyCost() const {
+  if (K == Kind::Snapshot) {
+    int64_t Size = 1;
+    for (const auto &[Lo, Hi] : Region)
+      Size = satMul(Size, Hi >= Lo ? Hi - Lo + 1 : 0);
+    return Size;
+  }
+  // Rolling: one save per clause instance.
+  int64_t Instances = 1;
+  for (const LoopNode *L : Clause->loops())
+    Instances = satMul(Instances, L->bounds().tripCount());
+  return Instances;
+}
+
+std::string SplitAction::str() const {
+  std::ostringstream OS;
+  if (K == Kind::Rolling) {
+    OS << "rolling-temp clause #" << Clause->id() << " level "
+       << CarriedLevel << " distance " << Distance;
+  } else {
+    OS << "snapshot clause #" << Clause->id() << " region";
+    for (const auto &[Lo, Hi] : Region)
+      OS << " [" << Lo << ".." << Hi << "]";
+  }
+  return OS.str();
+}
+
+int64_t UpdateSchedule::splitCopyCost() const {
+  int64_t Total = 0;
+  for (const SplitAction &A : Splits)
+    Total = satAdd(Total, A.copyCost());
+  return Total;
+}
+
+namespace {
+
+/// Tries to derive a uniform rolling distance for a self anti edge: the
+/// read must be the write displaced by d iterations of exactly one loop
+/// (distance vector d*e_c), with '>' at position c and '=' elsewhere in
+/// the edge label.
+bool deriveRolling(const DepEdge &E, unsigned &LevelOut,
+                   int64_t &DistanceOut) {
+  if (E.Src != E.Dst || E.SrcSub.empty() ||
+      E.SrcSub.size() != E.DstSub.size())
+    return false;
+  // Exactly one non-'=' component, and it must be '>'.
+  int Carried = -1;
+  for (size_t K = 0; K != E.Dirs.size(); ++K) {
+    if (E.Dirs[K] == Dir::Eq)
+      continue;
+    if (E.Dirs[K] != Dir::Gt || Carried != -1)
+      return false;
+    Carried = static_cast<int>(K);
+  }
+  if (Carried < 0 || static_cast<size_t>(Carried) >= E.SharedLoops.size())
+    return false;
+  const LoopNode *CLoop = E.SharedLoops[Carried];
+
+  // Read R (source) and write W (sink): need W(x - d*e_c) = R(x), i.e.
+  // per dimension equal coefficients everywhere and
+  // W.Const - coeffW(c)*d = R.Const.
+  int64_t Distance = 0;
+  bool HaveDistance = false;
+  for (size_t Dim = 0; Dim != E.SrcSub.size(); ++Dim) {
+    const AffineForm &R = E.SrcSub[Dim];
+    const AffineForm &W = E.DstSub[Dim];
+    for (const LoopNode *Loop : E.SharedLoops)
+      if (R.coeff(Loop) != W.coeff(Loop))
+        return false;
+    int64_t C = W.coeff(CLoop);
+    int64_t Delta = W.Const - R.Const;
+    if (C == 0) {
+      if (Delta != 0)
+        return false;
+      continue;
+    }
+    if (Delta % C != 0)
+      return false;
+    int64_t D = Delta / C;
+    if (HaveDistance && D != Distance)
+      return false;
+    Distance = D;
+    HaveDistance = true;
+  }
+  if (!HaveDistance || Distance < 1)
+    return false;
+  LevelOut = static_cast<unsigned>(Carried);
+  DistanceOut = Distance;
+  return true;
+}
+
+/// Builds a snapshot action covering everything \p ReadSub can touch.
+SplitAction makeSnapshot(const ClauseNode *Clause, const Expr *ReadRef,
+                         const std::vector<AffineForm> &ReadSub) {
+  SplitAction A;
+  A.K = SplitAction::Kind::Snapshot;
+  A.Clause = Clause;
+  A.ReadRef = ReadRef;
+  for (const AffineForm &F : ReadSub)
+    A.Region.emplace_back(F.minValue(), F.maxValue());
+  return A;
+}
+
+/// After a successful schedule, verify every rolling split's carried loop
+/// actually runs forward in the pass executing its clause.
+bool rollingDirectionsOK(const std::vector<SchedUnit> &Units,
+                         const std::vector<SplitAction> &Splits,
+                         std::vector<std::pair<const LoopNode *, LoopDir>>
+                             &Stack) {
+  for (const SchedUnit &U : Units) {
+    if (U.K == SchedUnit::Kind::Loop) {
+      Stack.emplace_back(U.Loop, U.Dir);
+      if (!rollingDirectionsOK(U.Body, Splits, Stack))
+        return false;
+      Stack.pop_back();
+      continue;
+    }
+    for (const SplitAction &A : Splits) {
+      if (A.K != SplitAction::Kind::Rolling || A.Clause != U.Clause)
+        continue;
+      const LoopNode *Carried = A.Clause->loops()[A.CarriedLevel];
+      for (const auto &[Loop, Dir] : Stack)
+        if (Loop == Carried && Dir == LoopDir::Backward)
+          return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+UpdateSchedule hac::scheduleUpdate(const CompNest &Nest,
+                                   const DepGraph &Graph) {
+  UpdateSchedule Result;
+  if (!Nest.Analyzable) {
+    Result.Reason = Nest.FallbackReason;
+    return Result;
+  }
+  if (Graph.HasUnknownRef) {
+    Result.Reason = Graph.UnknownRefReason;
+    return Result;
+  }
+
+  std::vector<const DepEdge *> Edges;
+  for (const DepEdge &E : Graph.Edges)
+    Edges.push_back(&E);
+
+  const unsigned MaxIters = Graph.Edges.size() + 2;
+  for (unsigned Iter = 0; Iter != MaxIters; ++Iter) {
+    Schedule S = scheduleNest(Nest, Edges);
+    if (S.Thunkless) {
+      std::vector<std::pair<const LoopNode *, LoopDir>> Stack;
+      if (!rollingDirectionsOK(S.Units, Result.Splits, Stack)) {
+        Result.InPlace = false;
+        Result.Reason = "rolling temporary requires a forward loop that "
+                        "the schedule runs backward";
+        return Result;
+      }
+      Result.InPlace = true;
+      Result.Sched = std::move(S);
+      return Result;
+    }
+
+    // Find a breakable antidependence in the failing cycle (Section 9:
+    // "a cycle including at least one antidependence edge can always be
+    // broken by node-splitting").
+    const DepEdge *Best = nullptr;
+    bool BestRolling = false;
+    unsigned BestLevel = 0;
+    int64_t BestDistance = 0;
+    // Rolling is only sound when *every* remaining anti edge sourced at
+    // the read has the same uniform self-distance: the ring buffer then
+    // reproduces exactly the values the read needs.
+    auto RollingSoundForRef = [&](const DepEdge *Cand, unsigned Level,
+                                  int64_t Distance) {
+      for (const DepEdge *E : Edges) {
+        if (E->Kind != DepKind::Anti || E->ReadRef != Cand->ReadRef)
+          continue;
+        unsigned L2;
+        int64_t D2;
+        if (!deriveRolling(*E, L2, D2) || L2 != Level || D2 != Distance)
+          return false;
+      }
+      return true;
+    };
+
+    for (const DepEdge *E : S.FailingEdges) {
+      if (E->Kind != DepKind::Anti || !E->ReadRef)
+        continue;
+      unsigned Level;
+      int64_t Distance;
+      // A guarded clause may skip instances — and with them the ring
+      // saves the redirected read would consume. Rolling is unsound
+      // there; the (always-sound) snapshot covers guarded clauses.
+      if (!Nest.clause(E->Src)->isGuarded() &&
+          deriveRolling(*E, Level, Distance) &&
+          RollingSoundForRef(E, Level, Distance)) {
+        if (!Best || !BestRolling) {
+          Best = E;
+          BestRolling = true;
+          BestLevel = Level;
+          BestDistance = Distance;
+        }
+      } else if (!Best) {
+        Best = E;
+        BestRolling = false;
+      }
+    }
+    if (!Best) {
+      Result.InPlace = false;
+      Result.Reason = S.FailureReason +
+                      " (no antidependence available to split)";
+      return Result;
+    }
+
+    SplitAction Action;
+    if (BestRolling) {
+      Action.K = SplitAction::Kind::Rolling;
+      Action.Clause = Nest.clause(Best->Src);
+      Action.ReadRef = Best->ReadRef;
+      Action.CarriedLevel = BestLevel;
+      Action.Distance = BestDistance;
+    } else {
+      Action = makeSnapshot(Nest.clause(Best->Src), Best->ReadRef,
+                            Best->SrcSub);
+      if (Action.Region.empty()) {
+        // Non-affine read region: cannot bound the snapshot.
+        Result.InPlace = false;
+        Result.Reason = "cannot bound the region of a non-affine read for "
+                        "node splitting";
+        return Result;
+      }
+    }
+    Result.Splits.push_back(Action);
+
+    // The redirected read no longer touches live storage: delete every
+    // anti edge it sources.
+    const Expr *Ref = Best->ReadRef;
+    Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                               [&](const DepEdge *E) {
+                                 return E->Kind == DepKind::Anti &&
+                                        E->ReadRef == Ref;
+                               }),
+                Edges.end());
+  }
+  Result.InPlace = false;
+  Result.Reason = "node splitting did not converge";
+  return Result;
+}

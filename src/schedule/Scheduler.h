@@ -1,0 +1,172 @@
+//===- schedule/Scheduler.h - Thunkless static scheduling -------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static scheduling of s/v clause evaluation (Sections 8 and 9): choose
+/// loop directions, split loops into sequential passes, and order entities
+/// within a loop instance so that every dependence edge's source executes
+/// before its sink — then elements can be stored directly, without thunks.
+///
+/// The scheduler works level by level, exactly as Section 8.2 prescribes:
+/// at each loop it collapses inner loops into single entities, uses the
+/// leading direction-vector component to constrain pass structure and loop
+/// direction, keeps (=) edges for within-instance ordering, and recurses
+/// into inner loops with only the (=,...)-led edges, stripped by one.
+///
+/// Cycles that mix (<) and (>) (or contain a (*) or an all-(=) cycle)
+/// cannot be scheduled; for monolithic arrays that means thunks, but for
+/// `bigupd` (Section 9) a cycle containing an antidependence edge is
+/// broken by *node splitting*: either a rolling temporary for uniform
+/// loop-carried distances (Jacobi's scalar/row temps) or a snapshot of the
+/// read region (the row-swap temp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SCHEDULE_SCHEDULER_H
+#define HAC_SCHEDULE_SCHEDULER_H
+
+#include "analysis/DepGraph.h"
+#include "comp/CompNest.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hac {
+
+/// Direction a scheduled loop pass runs in.
+enum class LoopDir : uint8_t {
+  Forward,
+  Backward,
+  Either, ///< unconstrained; code generation picks Forward
+};
+
+const char *loopDirName(LoopDir D);
+
+/// One unit in the schedule: either a clause evaluation or one *pass* of a
+/// loop over an ordered body. The same LoopNode may appear in several
+/// consecutive units when the scheduler split it into passes.
+struct SchedUnit {
+  enum class Kind : uint8_t { Clause, Loop } K = Kind::Clause;
+  const ClauseNode *Clause = nullptr; ///< K == Clause
+  const LoopNode *Loop = nullptr;     ///< K == Loop
+  LoopDir Dir = LoopDir::Either;      ///< K == Loop
+  std::vector<SchedUnit> Body;        ///< K == Loop
+
+  static SchedUnit makeClause(const ClauseNode *C) {
+    SchedUnit U;
+    U.K = Kind::Clause;
+    U.Clause = C;
+    return U;
+  }
+  static SchedUnit makeLoop(const LoopNode *L, LoopDir Dir,
+                            std::vector<SchedUnit> Body) {
+    SchedUnit U;
+    U.K = Kind::Loop;
+    U.Loop = L;
+    U.Dir = Dir;
+    U.Body = std::move(Body);
+    return U;
+  }
+};
+
+/// The result of static scheduling.
+struct Schedule {
+  bool Thunkless = false;
+  std::string FailureReason;
+  /// Edges of the offending cycle when scheduling failed (used by node
+  /// splitting to find a breakable antidependence).
+  std::vector<const DepEdge *> FailingEdges;
+  /// Ordered top-level units.
+  std::vector<SchedUnit> Units;
+  /// Total number of loop passes emitted (telemetry; E11).
+  unsigned PassCount = 0;
+
+  /// Indented rendering for tests and tools.
+  std::string str() const;
+};
+
+/// Schedules \p Nest under the precedence constraints \p Edges (flow
+/// edges for monolithic arrays; anti + output edges for updates — the
+/// algorithms treat them uniformly, Section 9's conclusion).
+Schedule scheduleNest(const CompNest &Nest,
+                      const std::vector<const DepEdge *> &Edges);
+
+//===----------------------------------------------------------------------===//
+// Node splitting (Section 9)
+//===----------------------------------------------------------------------===//
+
+/// One node-splitting transformation applied to break an anti cycle.
+struct SplitAction {
+  enum class Kind : uint8_t {
+    Rolling,  ///< ring buffer of size Distance x (deeper trip counts)
+    Snapshot, ///< pre-pass copy of the whole read region
+  } K = Kind::Snapshot;
+
+  const ClauseNode *Clause = nullptr; ///< the reading clause
+  const Expr *ReadRef = nullptr;      ///< the ArraySub being redirected
+
+  // Rolling:
+  unsigned CarriedLevel = 0; ///< loop level carrying the dependence
+  int64_t Distance = 0;      ///< uniform dependence distance (>= 1)
+
+  // Snapshot: per-dimension inclusive [min, max] of the read region.
+  std::vector<std::pair<int64_t, int64_t>> Region;
+
+  /// Number of extra element copies this split costs per execution.
+  int64_t copyCost() const;
+
+  std::string str() const;
+};
+
+/// Result of scheduling an in-place update.
+struct UpdateSchedule {
+  /// True when the update can run in place (possibly after splits).
+  bool InPlace = false;
+  std::string Reason;
+  Schedule Sched;
+  std::vector<SplitAction> Splits;
+
+  /// Total extra copies all splits cost (compare against a full copy).
+  int64_t splitCopyCost() const;
+};
+
+/// Schedules `bigupd`-style in-place updates: anti and output edges
+/// constrain order; anti cycles are broken by node splitting. When no
+/// valid in-place schedule exists, InPlace is false and the caller falls
+/// back to copying semantics.
+UpdateSchedule scheduleUpdate(const CompNest &Nest, const DepGraph &Graph);
+
+//===----------------------------------------------------------------------===//
+// The paper's ready/not-ready pass scheduler (Section 8.1.3)
+//===----------------------------------------------------------------------===//
+
+/// A labeled edge for the standalone pass scheduler.
+struct LabeledEdge {
+  unsigned Src;
+  unsigned Dst;
+  Dir D;
+};
+
+/// The static scheduling algorithm of Section 8.1.3, verbatim: vertices
+/// reachable from a root through a path containing at least one (>) edge
+/// are 'not-ready'; ready vertices form the next forward pass and are
+/// deleted; repeat. Returns the pass index per vertex. Requires an acyclic
+/// graph; returns false when a cycle (or a (>) self edge) prevents
+/// progress.
+bool readyPassSchedule(unsigned NumVertices,
+                       const std::vector<LabeledEdge> &Edges,
+                       std::vector<unsigned> &PassOut);
+
+/// The modified depth-first 'not-ready' marking of Section 8.1.3: marks
+/// every vertex reachable from a root via a path with at least one (>)
+/// edge. Exposed for direct testing.
+std::vector<bool> markNotReady(unsigned NumVertices,
+                               const std::vector<LabeledEdge> &Edges);
+
+} // namespace hac
+
+#endif // HAC_SCHEDULE_SCHEDULER_H

@@ -1,0 +1,138 @@
+//===- schedule/Vectorize.cpp - Vectorizability analysis ------------------===//
+
+#include "schedule/Vectorize.h"
+
+#include "schedule/SCC.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace hac;
+
+std::string VectorizationReport::str() const {
+  std::ostringstream OS;
+  OS << "vectorizable inner loops: " << numVectorizable() << "/"
+     << InnerLoops.size() << "\n";
+  for (const VectorLoopInfo &I : InnerLoops) {
+    OS << "  loop " << I.Loop->var() << " (" << I.NumClauses
+       << " clauses): ";
+    if (I.Vectorizable)
+      OS << "vectorizable\n";
+    else
+      OS << "blocked by " << I.BlockingEdge << "\n";
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Collects the clause ids scheduled (transitively) under \p Units.
+void collectClauseIds(const std::vector<SchedUnit> &Units,
+                      std::set<unsigned> &Out) {
+  for (const SchedUnit &U : Units) {
+    if (U.K == SchedUnit::Kind::Clause)
+      Out.insert(U.Clause->id());
+    else
+      collectClauseIds(U.Body, Out);
+  }
+}
+
+/// The direction label of \p E at loop \p L, or Dir::Eq when L is not
+/// among the edge's shared loops.
+Dir labelAt(const DepEdge *E, const LoopNode *L) {
+  auto It = std::find(E->SharedLoops.begin(), E->SharedLoops.end(), L);
+  if (It == E->SharedLoops.end())
+    return Dir::Eq;
+  return E->Dirs[It - E->SharedLoops.begin()];
+}
+
+/// Decides vectorizability of one innermost pass: vector execution is
+/// statement-by-statement (loop distribution), each statement a vector
+/// load-compute-store. Hence:
+///  * a self *flow* or *output* edge carried at this loop is a genuine
+///    recurrence — blocks;
+///  * a self *anti* edge never blocks (vector loads precede the vector
+///    store);
+///  * cross-statement edges of any kind are ordering constraints between
+///    the distributed vector statements — they block only when cyclic.
+void analyzePass(const SchedUnit &U,
+                 const std::vector<const DepEdge *> &Edges,
+                 VectorizationReport &Report) {
+  VectorLoopInfo Info;
+  Info.Loop = U.Loop;
+  std::set<unsigned> Members;
+  collectClauseIds(U.Body, Members);
+  Info.NumClauses = Members.size();
+  Info.Vectorizable = true;
+
+  // Map member ids to dense vertices for the ordering-cycle check.
+  std::map<unsigned, unsigned> Dense;
+  for (unsigned Id : Members)
+    Dense.emplace(Id, Dense.size());
+  std::vector<std::pair<unsigned, unsigned>> OrderPairs;
+  std::vector<const DepEdge *> CrossEdges;
+
+  for (const DepEdge *E : Edges) {
+    if (!Members.count(E->Src) || !Members.count(E->Dst))
+      continue;
+    Dir D = labelAt(E, U.Loop);
+    if (E->Src == E->Dst) {
+      bool Carried = D == Dir::Lt || D == Dir::Gt || D == Dir::Any;
+      if (Carried && E->Kind != DepKind::Anti) {
+        Info.Vectorizable = false;
+        Info.BlockingEdge = E->str() + " (recurrence)";
+        break;
+      }
+      continue;
+    }
+    OrderPairs.emplace_back(Dense[E->Src], Dense[E->Dst]);
+    CrossEdges.push_back(E);
+  }
+
+  if (Info.Vectorizable && !OrderPairs.empty()) {
+    SCCResult SCCs = computeSCCs(Dense.size(), OrderPairs);
+    for (const auto &M : SCCs.Members) {
+      if (M.size() <= 1)
+        continue;
+      Info.Vectorizable = false;
+      Info.BlockingEdge = "a cycle of cross-statement dependences";
+      for (const DepEdge *E : CrossEdges)
+        if (SCCs.Comp[Dense[E->Src]] == SCCs.Comp[Dense[E->Dst]]) {
+          Info.BlockingEdge = E->str() + " (in a distribution cycle)";
+          break;
+        }
+      break;
+    }
+  }
+  Report.InnerLoops.push_back(std::move(Info));
+}
+
+void analyzeUnits(const std::vector<SchedUnit> &Units,
+                  const std::vector<const DepEdge *> &Edges,
+                  VectorizationReport &Report) {
+  for (const SchedUnit &U : Units) {
+    if (U.K != SchedUnit::Kind::Loop)
+      continue;
+    bool Innermost =
+        std::none_of(U.Body.begin(), U.Body.end(), [](const SchedUnit &B) {
+          return B.K == SchedUnit::Kind::Loop;
+        });
+    if (Innermost)
+      analyzePass(U, Edges, Report);
+    else
+      analyzeUnits(U.Body, Edges, Report);
+  }
+}
+
+} // namespace
+
+VectorizationReport
+hac::analyzeVectorization(const Schedule &Sched,
+                          const std::vector<const DepEdge *> &Edges) {
+  VectorizationReport Report;
+  if (Sched.Thunkless)
+    analyzeUnits(Sched.Units, Edges, Report);
+  return Report;
+}

@@ -1,0 +1,60 @@
+//===- schedule/Vectorize.h - Vectorizability analysis ----------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 10 ("Further Research"): "such transformations on
+/// functional language programs needs to focus on finding innermost loops
+/// with no loop-carried dependences". This module implements that
+/// analysis over a computed schedule: every innermost loop pass is marked
+/// vectorizable when no dependence edge between its members is carried at
+/// that loop's level. (Strict-context arrays — letrec* — already
+/// guarantee the elements are unboxed floats, the paper's other
+/// precondition for vectorization.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SCHEDULE_VECTORIZE_H
+#define HAC_SCHEDULE_VECTORIZE_H
+
+#include "analysis/DepGraph.h"
+#include "schedule/Scheduler.h"
+
+#include <string>
+#include <vector>
+
+namespace hac {
+
+/// Vectorizability verdict for one innermost loop pass.
+struct VectorLoopInfo {
+  const LoopNode *Loop = nullptr;
+  unsigned NumClauses = 0;
+  bool Vectorizable = false;
+  /// For non-vectorizable passes: the carried edge that blocks it.
+  std::string BlockingEdge;
+};
+
+/// The whole-schedule report.
+struct VectorizationReport {
+  std::vector<VectorLoopInfo> InnerLoops;
+
+  unsigned numVectorizable() const {
+    unsigned N = 0;
+    for (const VectorLoopInfo &I : InnerLoops)
+      N += I.Vectorizable;
+    return N;
+  }
+
+  std::string str() const;
+};
+
+/// Analyzes every innermost pass of \p Sched against the dependence
+/// edges \p Edges (the same set the schedule was built from).
+VectorizationReport analyzeVectorization(
+    const Schedule &Sched, const std::vector<const DepEdge *> &Edges);
+
+} // namespace hac
+
+#endif // HAC_SCHEDULE_VECTORIZE_H

@@ -1,0 +1,64 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ---------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-style kind-based RTTI. Classes participate by providing a
+/// static `bool classof(const Base *)` predicate; the library never uses
+/// C++ RTTI or exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SUPPORT_CASTING_H
+#define HAC_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace hac {
+
+/// Returns true if \p Val is an instance of To. \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && To::classof(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace hac
+
+#endif // HAC_SUPPORT_CASTING_H

@@ -1,0 +1,54 @@
+//===- support/Diagnostics.cpp - Diagnostic engine ------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace hac;
+
+const char *hac::severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << severityName(Severity) << ": ";
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  OS << Message;
+  return OS.str();
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  else if (Severity == DiagSeverity::Warning)
+    ++NumWarnings;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << '\n';
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

@@ -1,0 +1,87 @@
+//===- support/Diagnostics.h - Diagnostic engine ----------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code reports errors through a
+/// DiagnosticEngine instead of printing or aborting, so tools and tests can
+/// inspect what went wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SUPPORT_DIAGNOSTICS_H
+#define HAC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hac {
+
+/// Severity of a single diagnostic.
+enum class DiagSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// One reported diagnostic: severity, optional location, message text.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message" (location omitted when unknown).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced during compilation. The engine never
+/// aborts; callers check hasErrors() at phase boundaries.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void warning(std::string Message) {
+    warning(SourceLoc(), std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Discards all collected diagnostics and resets counters.
+  void clear();
+
+  /// Writes every diagnostic, one per line, to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Concatenates all diagnostics into a single newline-separated string.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+const char *severityName(DiagSeverity Severity);
+
+} // namespace hac
+
+#endif // HAC_SUPPORT_DIAGNOSTICS_H

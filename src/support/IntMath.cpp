@@ -1,0 +1,89 @@
+//===- support/IntMath.cpp - Integer number theory helpers ----------------===//
+
+#include "support/IntMath.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace hac;
+
+int64_t hac::gcd64(int64_t A, int64_t B) {
+  // Work with unsigned magnitudes so that INT64_MIN is handled correctly.
+  uint64_t UA = A < 0 ? 0ull - static_cast<uint64_t>(A) : A;
+  uint64_t UB = B < 0 ? 0ull - static_cast<uint64_t>(B) : B;
+  while (UB != 0) {
+    uint64_t T = UA % UB;
+    UA = UB;
+    UB = T;
+  }
+  return static_cast<int64_t>(UA);
+}
+
+ExtGcdResult hac::extGcd64(int64_t A, int64_t B) {
+  // Iterative extended Euclid on signed values; the returned G is
+  // non-negative and A*X + B*Y == G.
+  int64_t OldR = A, R = B;
+  int64_t OldS = 1, S = 0;
+  int64_t OldT = 0, T = 1;
+  while (R != 0) {
+    int64_t Q = OldR / R;
+    int64_t Tmp = OldR - Q * R;
+    OldR = R;
+    R = Tmp;
+    Tmp = OldS - Q * S;
+    OldS = S;
+    S = Tmp;
+    Tmp = OldT - Q * T;
+    OldT = T;
+    T = Tmp;
+  }
+  if (OldR < 0) {
+    OldR = -OldR;
+    OldS = -OldS;
+    OldT = -OldT;
+  }
+  return ExtGcdResult{OldR, OldS, OldT};
+}
+
+static constexpr int64_t I64Max = std::numeric_limits<int64_t>::max();
+static constexpr int64_t I64Min = std::numeric_limits<int64_t>::min();
+
+int64_t hac::satAdd(int64_t A, int64_t B) {
+  int64_t Result;
+  if (!__builtin_add_overflow(A, B, &Result))
+    return Result;
+  return B > 0 ? I64Max : I64Min;
+}
+
+int64_t hac::satSub(int64_t A, int64_t B) {
+  int64_t Result;
+  if (!__builtin_sub_overflow(A, B, &Result))
+    return Result;
+  return B < 0 ? I64Max : I64Min;
+}
+
+int64_t hac::satMul(int64_t A, int64_t B) {
+  int64_t Result;
+  if (!__builtin_mul_overflow(A, B, &Result))
+    return Result;
+  bool Negative = (A < 0) != (B < 0);
+  return Negative ? I64Min : I64Max;
+}
+
+int64_t hac::floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "floorDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t hac::ceilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "ceilDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}

@@ -1,0 +1,61 @@
+//===- support/IntMath.h - Integer number theory helpers -------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Number-theoretic helpers used by the subscript analysis: gcd, extended
+/// gcd, the positive/negative part operators t+ and t- from the Banerjee
+/// inequality development (Section 6 of the paper), and saturating
+/// arithmetic so that bound computations on adversarial inputs cannot
+/// silently overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SUPPORT_INTMATH_H
+#define HAC_SUPPORT_INTMATH_H
+
+#include <cstdint>
+
+namespace hac {
+
+/// Greatest common divisor of |A| and |B|; gcd(0, 0) == 0 by convention.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Result of the extended Euclidean algorithm: G = gcd(|A|,|B|) and
+/// Bezout coefficients with A*X + B*Y == G.
+struct ExtGcdResult {
+  int64_t G;
+  int64_t X;
+  int64_t Y;
+};
+
+/// Extended Euclidean algorithm. For A == B == 0 returns {0, 0, 0}.
+ExtGcdResult extGcd64(int64_t A, int64_t B);
+
+/// The "positive part" t+ of the paper: t if t >= 0, else 0.
+inline int64_t posPart(int64_t T) { return T >= 0 ? T : 0; }
+
+/// The "negative part" t- of the paper: -t if t <= 0, else 0.
+/// Note t == t+ - t- and |t| == t+ + t-.
+inline int64_t negPart(int64_t T) { return T <= 0 ? -T : 0; }
+
+/// Saturating addition on int64 (clamps to the representable range).
+int64_t satAdd(int64_t A, int64_t B);
+
+/// Saturating subtraction on int64.
+int64_t satSub(int64_t A, int64_t B);
+
+/// Saturating multiplication on int64.
+int64_t satMul(int64_t A, int64_t B);
+
+/// Floor division (rounds toward negative infinity). B must be nonzero.
+int64_t floorDiv(int64_t A, int64_t B);
+
+/// Ceiling division (rounds toward positive infinity). B must be nonzero.
+int64_t ceilDiv(int64_t A, int64_t B);
+
+} // namespace hac
+
+#endif // HAC_SUPPORT_INTMATH_H

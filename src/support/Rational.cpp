@@ -1,0 +1,58 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+
+#include "support/Rational.h"
+
+#include "support/IntMath.h"
+
+#include <cassert>
+
+using namespace hac;
+
+Rational::Rational(int64_t Num, int64_t Den) : Num(Num), Den(Den) {
+  assert(Den != 0 && "rational with zero denominator");
+  if (this->Den < 0) {
+    this->Num = -this->Num;
+    this->Den = -this->Den;
+  }
+  int64_t G = gcd64(this->Num, this->Den);
+  if (G > 1) {
+    this->Num /= G;
+    this->Den /= G;
+  }
+}
+
+int64_t Rational::floor() const { return floorDiv(Num, Den); }
+
+int64_t Rational::ceil() const { return ceilDiv(Num, Den); }
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return Num * RHS.Den < RHS.Num * Den;
+}
+
+bool Rational::operator<=(const Rational &RHS) const {
+  return Num * RHS.Den <= RHS.Num * Den;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

@@ -1,0 +1,74 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over int64, used by the bounded *rational*
+/// solution machinery behind the Banerjee test (Theorem 2 in Section 6)
+/// and by the exact dependence test's elimination steps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SUPPORT_RATIONAL_H
+#define HAC_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace hac {
+
+/// An exact rational Num/Den with Den > 0, always kept in lowest terms.
+/// Arithmetic asserts on overflow-free operation in debug builds; the
+/// analysis only ever manipulates small coefficients and loop bounds.
+class Rational {
+public:
+  Rational() = default;
+  /*implicit*/ Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isInteger() const { return Den == 1; }
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+
+  /// Rounds toward negative infinity.
+  int64_t floor() const;
+  /// Rounds toward positive infinity.
+  int64_t ceil() const;
+
+  Rational operator-() const { return Rational(-Num, Den); }
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// RHS must be nonzero.
+  Rational operator/(const Rational &RHS) const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const;
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return RHS <= *this; }
+
+  /// Renders as "n" when integral, else "n/d".
+  std::string str() const;
+
+private:
+  int64_t Num = 0;
+  int64_t Den = 1;
+};
+
+} // namespace hac
+
+#endif // HAC_SUPPORT_RATIONAL_H

@@ -1,0 +1,64 @@
+//===- support/SourceLoc.h - Source locations and ranges -------*- C++ -*-===//
+//
+// Part of the hac project: a reproduction of Anderson & Hudak,
+// "Compilation of Haskell Array Comprehensions for Scientific Computing",
+// PLDI 1990.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight 1-based line/column source locations used by the lexer,
+/// parser, and diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SUPPORT_SOURCELOC_H
+#define HAC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace hac {
+
+/// A position in a source buffer. Line and column are 1-based; a value of
+/// 0 in both fields denotes an invalid/unknown location.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+  bool operator<(const SourceLoc &RHS) const {
+    return Line < RHS.Line || (Line == RHS.Line && Col < RHS.Col);
+  }
+
+  /// Renders the location as "line:col", or "<unknown>" if invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// A half-open range of source text, [Begin, End).
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace hac
+
+#endif // HAC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,126 @@
+//===- tests/ast_test.cpp - AST utility tests -----------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtils.h"
+#include "frontend/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+ExprPtr parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseString(Source, Diags);
+  EXPECT_TRUE(E != nullptr) << Diags.str();
+  return E;
+}
+
+} // namespace
+
+TEST(ASTTest, CloneIsStructurallyEqual) {
+  const char *Sources[] = {
+      "a!(i-1,j) + a!(i,j-1)",
+      "letrec* a = array (1,n) [ i := 1 | i <- [1..n] ] in a",
+      "[* [ 3*i := 0 ] ++ [ 3*i-1 := 1 ] | i <- [1..100] *]",
+      "\\x . x + 1",
+      "bigupd a [ i := a!i | i <- [1..n] ]",
+  };
+  for (const char *S : Sources) {
+    ExprPtr E = parseOk(S);
+    ExprPtr C = cloneExpr(E.get());
+    EXPECT_TRUE(exprEquals(E.get(), C.get())) << S;
+    EXPECT_NE(E.get(), C.get());
+  }
+}
+
+TEST(ASTTest, EqualityDistinguishes) {
+  EXPECT_FALSE(
+      exprEquals(parseOk("a!(i-1)").get(), parseOk("a!(i+1)").get()));
+  EXPECT_FALSE(exprEquals(parseOk("1").get(), parseOk("1.0").get()));
+  EXPECT_FALSE(exprEquals(parseOk("x").get(), parseOk("y").get()));
+  EXPECT_FALSE(exprEquals(parseOk("[ i := 1 | i <- xs ]").get(),
+                          parseOk("[* i := 1 | i <- xs *]").get()));
+  EXPECT_TRUE(exprEquals(parseOk("a ! (i - 1)").get(),
+                         parseOk("a!(i-1)").get()));
+}
+
+TEST(ASTTest, FreeVarsSimple) {
+  auto FV = freeVars(parseOk("x + y * x").get());
+  EXPECT_EQ(FV, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(ASTTest, FreeVarsLambdaBinds) {
+  auto FV = freeVars(parseOk("\\x . x + y").get());
+  EXPECT_EQ(FV, (std::set<std::string>{"y"}));
+}
+
+TEST(ASTTest, FreeVarsLetrecScopesOverBinds) {
+  // In letrec the bound name is visible in its own definition.
+  auto FV = freeVars(parseOk("letrec a = a + b in a").get());
+  EXPECT_EQ(FV, (std::set<std::string>{"b"}));
+  // In a plain let it is not.
+  auto FV2 = freeVars(parseOk("let a = a + b in a").get());
+  EXPECT_EQ(FV2, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(ASTTest, FreeVarsGeneratorBinds) {
+  auto FV = freeVars(parseOk("[ i + n | i <- [1..n] ]").get());
+  EXPECT_EQ(FV, (std::set<std::string>{"n"}));
+}
+
+TEST(ASTTest, FreeVarsGeneratorSourceSeesOuter) {
+  // The generator source is outside the scope of its own variable.
+  auto FV = freeVars(parseOk("[ i | i <- [1..i] ]").get());
+  EXPECT_EQ(FV, (std::set<std::string>{"i"}));
+}
+
+TEST(ASTTest, FreeVarsLetQualifier) {
+  auto FV = freeVars(parseOk("[ v | i <- [1..n], let v = i * c ]").get());
+  EXPECT_EQ(FV, (std::set<std::string>{"c", "n"}));
+}
+
+TEST(ASTTest, FreeVarsWavefront) {
+  ExprPtr E = parseOk(
+      "letrec* a = array ((1,1),(n,n)) "
+      "  ([ (1,j) := 1 | j <- [1..n] ] ++ "
+      "   [ (i,j) := a!(i-1,j) | i <- [2..n], j <- [2..n] ]) in a");
+  auto FV = freeVars(E.get());
+  EXPECT_EQ(FV, (std::set<std::string>{"n"}));
+}
+
+TEST(ASTTest, SubstituteVar) {
+  ExprPtr E = parseOk("x + y");
+  ExprPtr R = parseOk("z * 2");
+  ExprPtr S = substitute(E.get(), "x", R.get());
+  EXPECT_TRUE(exprEquals(S.get(), parseOk("z * 2 + y").get()));
+}
+
+TEST(ASTTest, SubstituteRespectsLambdaShadowing) {
+  ExprPtr E = parseOk("(\\x . x + y) x");
+  ExprPtr R = parseOk("42");
+  ExprPtr S = substitute(E.get(), "x", R.get());
+  EXPECT_TRUE(exprEquals(S.get(), parseOk("(\\x . x + y) 42").get()));
+}
+
+TEST(ASTTest, SubstituteRespectsGeneratorShadowing) {
+  ExprPtr E = parseOk("[ i | i <- [1..i] ]");
+  ExprPtr R = parseOk("7");
+  ExprPtr S = substitute(E.get(), "i", R.get());
+  // The source sees the outer i (replaced); the head's i is bound.
+  EXPECT_TRUE(exprEquals(S.get(), parseOk("[ i | i <- [1..7] ]").get()));
+}
+
+TEST(ASTTest, ExprKindNames) {
+  EXPECT_STREQ(exprKindName(ExprKind::Comp), "Comp");
+  EXPECT_STREQ(exprKindName(ExprKind::SvPair), "SvPair");
+  EXPECT_STREQ(exprKindName(ExprKind::MakeArray), "MakeArray");
+}
+
+TEST(ASTTest, PrinterParenthesizesMinimally) {
+  EXPECT_EQ(exprToString(parseOk("1 + 2 * 3").get()), "1 + 2 * 3");
+  EXPECT_EQ(exprToString(parseOk("(1 + 2) * 3").get()), "(1 + 2) * 3");
+  EXPECT_EQ(exprToString(parseOk("a!(i-1)").get()), "a ! (i - 1)");
+}

@@ -1,0 +1,162 @@
+//===- tests/codegen_test.cpp - Plan lowering tests -----------------------===//
+
+#include "core/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+CompiledArray compileArrayOk(const std::string &Source) {
+  Compiler C;
+  auto Compiled = C.compileArray(Source);
+  EXPECT_TRUE(Compiled.has_value()) << C.diags().str();
+  EXPECT_TRUE(!Compiled || Compiled->Thunkless)
+      << Compiled->FallbackReason;
+  return std::move(*Compiled);
+}
+
+CompiledUpdate compileUpdateOk(const std::string &Source) {
+  Compiler C;
+  auto Compiled = C.compileUpdate(Source);
+  EXPECT_TRUE(Compiled.has_value()) << C.diags().str();
+  EXPECT_TRUE(!Compiled || Compiled->InPlace) << Compiled->FallbackReason;
+  return std::move(*Compiled);
+}
+
+} // namespace
+
+TEST(CodegenTest, CheckFlagsFollowAnalyses) {
+  // Fully provable kernel: every check off.
+  CompiledArray Full = compileArrayOk(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i := 1.0 | i <- [1..n] ] in a");
+  EXPECT_FALSE(Full.Plan.CheckStoreBounds);
+  EXPECT_FALSE(Full.Plan.CheckCollisions);
+  EXPECT_FALSE(Full.Plan.CheckEmpties);
+
+  // Guard blinds the coverage count: only the empties check survives.
+  CompiledArray Guarded = compileArrayOk(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i := 1.0 | i <- [1..n], i > 0 ] in a");
+  EXPECT_FALSE(Guarded.Plan.CheckStoreBounds);
+  EXPECT_FALSE(Guarded.Plan.CheckCollisions);
+  EXPECT_TRUE(Guarded.Plan.CheckEmpties);
+}
+
+TEST(CodegenTest, BackwardPassLowersReversed) {
+  CompiledArray Compiled = compileArrayOk(
+      "let n = 8 in letrec* a = array (1,n) "
+      "([ n := 1.0 ] ++ [ i := a!(i+1) + 1.0 | i <- [1..n-1] ]) in a");
+  std::string S = Compiled.Plan.str();
+  EXPECT_NE(S.find("downto"), std::string::npos) << S;
+  EXPECT_NE(S.find("(reversed)"), std::string::npos) << S;
+}
+
+TEST(CodegenTest, JacobiRingUnification) {
+  // The two rolling splits of the Jacobi clause unify into ONE ring at
+  // the outer level (depth 1, previous-row width), so old values are
+  // saved once per instance.
+  CompiledUpdate Compiled = compileUpdateOk(
+      "let n = 10 in "
+      "bigupd a [ (i,j) := (a!(i-1,j) + a!(i+1,j) + a!(i,j-1) + "
+      "a!(i,j+1)) / 4.0 | i <- [2..n-1], j <- [2..n-1] ]");
+  ASSERT_EQ(Compiled.Update.Splits.size(), 2u);
+  ASSERT_EQ(Compiled.Plan.Rings.size(), 1u) << Compiled.Plan.str();
+  const RingSpec &Ring = Compiled.Plan.Rings[0];
+  EXPECT_EQ(Ring.Level, 0u);
+  EXPECT_EQ(Ring.Depth, 1);
+  EXPECT_EQ(Ring.size(), 8u); // inner trip count: one previous row
+  EXPECT_EQ(Compiled.Plan.RingRedirects.size(), 2u);
+  // Both redirects reference the same ring.
+  for (const auto &[Ref, RR] : Compiled.Plan.RingRedirects)
+    EXPECT_EQ(RR.RingId, Ring.Id);
+}
+
+TEST(CodegenTest, SnapshotSpecFromSplitRegion) {
+  CompiledUpdate Compiled = compileUpdateOk(
+      "let n = 6 in "
+      "bigupd m ([ (1,j) := m!(2,j) | j <- [1..n] ] ++ "
+      "          [ (2,j) := m!(1,j) | j <- [1..n] ])");
+  ASSERT_EQ(Compiled.Plan.Snapshots.size(), 1u);
+  const SnapshotSpec &Snap = Compiled.Plan.Snapshots[0];
+  EXPECT_EQ(Snap.size(), 6u); // one row
+  ASSERT_EQ(Snap.Region.size(), 2u);
+  // The snapshotted row is degenerate in the row dimension.
+  EXPECT_EQ(Snap.Region[0].first, Snap.Region[0].second);
+  EXPECT_EQ(Snap.Region[1].first, 1);
+  EXPECT_EQ(Snap.Region[1].second, 6);
+  EXPECT_EQ(Compiled.Plan.SnapRedirects.size(), 1u);
+}
+
+TEST(CodegenTest, UpdatePlanHasNoConstructionChecks) {
+  CompiledUpdate Compiled = compileUpdateOk(
+      "let n = 6 in bigupd a [ i := a!i * 2.0 | i <- [1..n] ]");
+  EXPECT_TRUE(Compiled.Plan.InPlace);
+  EXPECT_FALSE(Compiled.Plan.CheckCollisions);
+  EXPECT_FALSE(Compiled.Plan.CheckEmpties);
+}
+
+TEST(CodegenTest, PlanPrinterShowsStructure) {
+  CompiledArray Compiled = compileArrayOk(
+      "let n = 5 in letrec* a = array ((1,1),(n,n)) "
+      "([ (1,j) := 1.0 | j <- [1..n] ] ++ "
+      " [ (i,1) := 1.0 | i <- [2..n] ] ++ "
+      " [ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ]) "
+      "in a");
+  std::string S = Compiled.Plan.str();
+  EXPECT_NE(S.find("plan for 'a' [1..5] [1..5]"), std::string::npos) << S;
+  EXPECT_NE(S.find("for j = 1 to 5 step 1"), std::string::npos) << S;
+  EXPECT_NE(S.find("store #2"), std::string::npos) << S;
+  EXPECT_NE(S.find("checks: bounds=off collisions=off empties=off"),
+            std::string::npos)
+      << S;
+}
+
+TEST(CodegenTest, SaveRingAnnotatedOnStore) {
+  CompiledUpdate Compiled = compileUpdateOk(
+      "let n = 8 in bigupd a [ i := a!(i-1) + 0 * a!(i+1) "
+      "| i <- [2..n] ]");
+  std::string S = Compiled.Plan.str();
+  EXPECT_NE(S.find("save old -> ring"), std::string::npos) << S;
+}
+
+TEST(CodegenTest, InPlaceArrayPlanAliases) {
+  Compiler C;
+  auto Compiled = C.compileArrayInPlace(
+      "let n = 6 in letrec* a = array (1,n) "
+      "([ 1 := b!1 ] ++ [ i := a!(i-1) + b!i | i <- [2..n] ]) in a",
+      "b");
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->Thunkless) << Compiled->FallbackReason;
+  EXPECT_EQ(Compiled->Plan.AliasName, "b");
+  EXPECT_TRUE(Compiled->Plan.InPlace);
+  // Construction semantics retained: check flags follow the analyses
+  // (all provable here).
+  EXPECT_FALSE(Compiled->Plan.CheckCollisions);
+  EXPECT_FALSE(Compiled->Plan.CheckEmpties);
+
+  // Run it: prefix recurrence over b's old values, in b's storage.
+  DoubleArray B(DoubleArray::Dims{{1, 6}});
+  for (int64_t I = 1; I <= 6; ++I)
+    B.set({I}, 1.0);
+  Executor Exec(Compiled->Params);
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluateInPlace(B, Exec, Err)) << Err;
+  // a!i = a!(i-1) + 1 (b's old value read before being overwritten...
+  // b!i is read in the same instance that overwrites it: load-then-store).
+  EXPECT_DOUBLE_EQ(B.at({6}), 6.0);
+}
+
+TEST(CodegenTest, RingSpecSizes) {
+  RingSpec R;
+  R.Depth = 2;
+  R.DeeperTrips = {5, 3};
+  EXPECT_EQ(R.size(), 30u);
+  SnapshotSpec S;
+  S.Region = {{2, 2}, {1, 6}};
+  EXPECT_EQ(S.size(), 6u);
+  S.Region = {{3, 1}, {1, 6}}; // empty region
+  EXPECT_EQ(S.size(), 0u);
+}

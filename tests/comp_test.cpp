@@ -1,0 +1,293 @@
+//===- tests/comp_test.cpp - CompNest / ConstFold / TE tests --------------===//
+
+#include "ast/ASTPrinter.h"
+#include "comp/CompNest.h"
+#include "comp/ConstFold.h"
+#include "comp/TE.h"
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+ExprPtr parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseString(Source, Diags);
+  EXPECT_TRUE(E != nullptr) << Diags.str();
+  return E;
+}
+
+/// Builds the nest for the s/v list of `array bounds svlist` source.
+CompNest nestOf(const std::string &ArraySource, const ParamEnv &Params,
+                ExprPtr &Keep) {
+  Keep = parseOk(ArraySource);
+  const auto *M = cast<MakeArrayExpr>(Keep.get());
+  DiagnosticEngine Diags;
+  return buildCompNest(M->svList(), Params, Diags);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ConstFold
+//===----------------------------------------------------------------------===//
+
+TEST(ConstFoldTest, Basics) {
+  ParamEnv Params{{"n", 10}, {"m", 4}};
+  int64_t Out;
+  EXPECT_TRUE(tryEvalConstInt(parseOk("2 * n + 1").get(), Params, Out));
+  EXPECT_EQ(Out, 21);
+  EXPECT_TRUE(tryEvalConstInt(parseOk("n - m").get(), Params, Out));
+  EXPECT_EQ(Out, 6);
+  EXPECT_TRUE(tryEvalConstInt(parseOk("-m").get(), Params, Out));
+  EXPECT_EQ(Out, -4);
+  EXPECT_TRUE(tryEvalConstInt(parseOk("min n m").get(), Params, Out));
+  EXPECT_EQ(Out, 4);
+  EXPECT_TRUE(tryEvalConstInt(parseOk("max n m").get(), Params, Out));
+  EXPECT_EQ(Out, 10);
+  EXPECT_TRUE(tryEvalConstInt(parseOk("n / 3").get(), Params, Out));
+  EXPECT_EQ(Out, 3);
+  EXPECT_TRUE(tryEvalConstInt(parseOk("n % 3").get(), Params, Out));
+  EXPECT_EQ(Out, 1);
+}
+
+TEST(ConstFoldTest, Failures) {
+  ParamEnv Params{{"n", 10}};
+  int64_t Out;
+  EXPECT_FALSE(tryEvalConstInt(parseOk("k + 1").get(), Params, Out));
+  EXPECT_FALSE(tryEvalConstInt(parseOk("n / 0").get(), Params, Out));
+  EXPECT_FALSE(tryEvalConstInt(parseOk("2.5").get(), Params, Out));
+  EXPECT_FALSE(tryEvalConstInt(parseOk("a!i").get(), Params, Out));
+}
+
+//===----------------------------------------------------------------------===//
+// LoopBounds
+//===----------------------------------------------------------------------===//
+
+TEST(LoopBoundsTest, TripCounts) {
+  EXPECT_EQ((LoopBounds{1, 10, 1}).tripCount(), 10);
+  EXPECT_EQ((LoopBounds{1, 0, 1}).tripCount(), 0);
+  EXPECT_EQ((LoopBounds{1, 10, 3}).tripCount(), 4); // 1,4,7,10
+  EXPECT_EQ((LoopBounds{10, 1, -1}).tripCount(), 10);
+  EXPECT_EQ((LoopBounds{10, 1, -4}).tripCount(), 3); // 10,6,2
+  EXPECT_EQ((LoopBounds{5, 5, 1}).tripCount(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// CompNest construction
+//===----------------------------------------------------------------------===//
+
+TEST(CompNestTest, SimpleComprehension) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf("array (1,n) [ i := i * i | i <- [1..n] ]",
+                         {{"n", 10}}, Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  ASSERT_EQ(Nest.numClauses(), 1u);
+  ASSERT_EQ(Nest.Loops.size(), 1u);
+  const ClauseNode *C = Nest.clause(0);
+  EXPECT_EQ(C->rank(), 1u);
+  EXPECT_EQ(exprToString(C->subscript(0)), "i");
+  ASSERT_EQ(C->loops().size(), 1u);
+  EXPECT_EQ(C->loops()[0]->var(), "i");
+  EXPECT_EQ(C->loops()[0]->bounds().Lo, 1);
+  EXPECT_EQ(C->loops()[0]->bounds().Hi, 10);
+}
+
+TEST(CompNestTest, WavefrontThreeClauses) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf(
+      "array ((1,1),(n,n)) "
+      "([ (1,j) := 1 | j <- [1..n] ] ++ "
+      " [ (i,1) := 1 | i <- [2..n] ] ++ "
+      " [ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ])",
+      {{"n", 8}}, Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  ASSERT_EQ(Nest.numClauses(), 3u);
+  EXPECT_EQ(Nest.clause(0)->loops().size(), 1u);
+  EXPECT_EQ(Nest.clause(2)->loops().size(), 2u);
+  EXPECT_EQ(Nest.clause(2)->loops()[0]->var(), "i");
+  EXPECT_EQ(Nest.clause(2)->loops()[1]->var(), "j");
+  EXPECT_EQ(Nest.clause(2)->rank(), 2u);
+  // Outer loop of clause 2 runs [2..8].
+  EXPECT_EQ(Nest.clause(2)->loops()[0]->bounds().Lo, 2);
+  EXPECT_EQ(Nest.clause(2)->loops()[0]->bounds().Hi, 8);
+}
+
+TEST(CompNestTest, NestedComprehensionSharedLoop) {
+  // Section 5 example 1: three clauses sharing one loop.
+  ExprPtr Keep;
+  CompNest Nest =
+      nestOf("array (1,300) "
+             "[* [3*i := 1] ++ [3*i-1 := a!(3*(i-1))] ++ [3*i-2 := a!(3*i)] "
+             "| i <- [1..100] *]",
+             {}, Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  ASSERT_EQ(Nest.numClauses(), 3u);
+  ASSERT_EQ(Nest.Loops.size(), 1u);
+  // All three clauses share the same loop node.
+  EXPECT_EQ(Nest.clause(0)->loops()[0], Nest.clause(1)->loops()[0]);
+  EXPECT_EQ(Nest.clause(1)->loops()[0], Nest.clause(2)->loops()[0]);
+  EXPECT_EQ(exprToString(Nest.clause(1)->subscript(0)), "3 * i - 1");
+}
+
+TEST(CompNestTest, LetQualifierInlined) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf(
+      "array (1,n) [ i := v + a!(i-1) | i <- [1..n], let v = i * 2 ]",
+      {{"n", 5}}, Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  ASSERT_EQ(Nest.numClauses(), 1u);
+  // v is replaced by i * 2 in the clause value.
+  EXPECT_EQ(exprToString(Nest.clause(0)->value()), "i * 2 + a ! (i - 1)");
+}
+
+TEST(CompNestTest, WhereBindingInlined) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf(
+      "array (1,n) ([ i := v * i | i <- [1..n] ] where v = 7)", {{"n", 5}},
+      Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  EXPECT_EQ(exprToString(Nest.clause(0)->value()), "7 * i");
+}
+
+TEST(CompNestTest, LoopVarShadowsSubst) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf(
+      "array (1,n) (let i = 99 in [ i := i | i <- [1..n] ])", {{"n", 5}},
+      Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  // The generator's i shadows the let binding.
+  EXPECT_EQ(exprToString(Nest.clause(0)->subscript(0)), "i");
+  EXPECT_EQ(exprToString(Nest.clause(0)->value()), "i");
+}
+
+TEST(CompNestTest, GuardedClauseMarked) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf(
+      "array (1,n) [ i := 1 | i <- [1..n], i % 2 == 0 ]", {{"n", 10}}, Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  EXPECT_TRUE(Nest.clause(0)->isGuarded());
+}
+
+TEST(CompNestTest, SteppedAndBackwardRanges) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf(
+      "array (1,100) ([ i := 1 | i <- [1, 4 .. 100] ] ++ "
+      "               [ j := 2 | j <- [99, 96 .. 1] ])",
+      {}, Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  ASSERT_EQ(Nest.Loops.size(), 2u);
+  EXPECT_EQ(Nest.Loops[0]->bounds().Step, 3);
+  EXPECT_EQ(Nest.Loops[1]->bounds().Step, -3);
+  EXPECT_EQ(Nest.Loops[1]->bounds().tripCount(), 33);
+}
+
+TEST(CompNestTest, ExplicitPairsBecomeClauses) {
+  ExprPtr Keep;
+  CompNest Nest =
+      nestOf("array (1,3) [ 1 := 10, 2 := 20, 3 := 30 ]", {}, Keep);
+  ASSERT_TRUE(Nest.Analyzable) << Nest.FallbackReason;
+  EXPECT_EQ(Nest.numClauses(), 3u);
+  EXPECT_TRUE(Nest.clause(0)->loops().empty());
+}
+
+TEST(CompNestTest, NonRangeGeneratorFallsBack) {
+  ExprPtr Keep;
+  CompNest Nest =
+      nestOf("array (1,3) [ i := 1 | i <- xs ]", {}, Keep);
+  EXPECT_FALSE(Nest.Analyzable);
+  EXPECT_NE(Nest.FallbackReason.find("arithmetic sequence"),
+            std::string::npos);
+}
+
+TEST(CompNestTest, DynamicBoundsFallBack) {
+  ExprPtr Keep;
+  // k is not in the parameter environment.
+  CompNest Nest =
+      nestOf("array (1,3) [ i := 1 | i <- [1..k] ]", {}, Keep);
+  EXPECT_FALSE(Nest.Analyzable);
+}
+
+TEST(CompNestTest, ListThroughVariableFallsBack) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf("array (1,3) xs", {}, Keep);
+  EXPECT_FALSE(Nest.Analyzable);
+}
+
+TEST(CompNestTest, PrinterShowsTree) {
+  ExprPtr Keep;
+  CompNest Nest = nestOf(
+      "array (1,100) [* [3*i := 1] ++ [3*i-1 := 2] | i <- [1..100] *]", {},
+      Keep);
+  std::string S = compNestToString(Nest);
+  EXPECT_NE(S.find("loop i = [1 .. 100]"), std::string::npos);
+  EXPECT_NE(S.find("clause #0 [3 * i] := 1"), std::string::npos);
+  EXPECT_NE(S.find("clause #1 [3 * i - 1] := 2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// TE desugaring
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks that direct evaluation and TE-desugared evaluation agree on an
+/// integer result.
+void expectTeAgrees(const std::string &Source) {
+  ExprPtr E = parseOk(Source);
+  ExprPtr D = desugarComprehensions(E.get());
+  ASSERT_TRUE(D) << Source;
+
+  Interpreter I1, I2;
+  I1.setFuel(10'000'000);
+  I2.setFuel(10'000'000);
+  ValuePtr V1 = I1.evalProgram(E.get());
+  ValuePtr V2 = I2.evalProgram(D.get());
+  ASSERT_TRUE(isa<IntValue>(V1.get())) << Source << " => " << V1->str();
+  ASSERT_TRUE(isa<IntValue>(V2.get()))
+      << exprToString(D.get()) << " => " << V2->str();
+  EXPECT_EQ(cast<IntValue>(V1.get())->value(),
+            cast<IntValue>(V2.get())->value())
+      << Source;
+}
+
+} // namespace
+
+TEST(TETest, DesugarsToFlatmap) {
+  ExprPtr E = parseOk("[ i | i <- [1..3] ]");
+  ExprPtr D = desugarComprehensions(E.get());
+  std::string S = exprToString(D.get());
+  EXPECT_NE(S.find("flatmap"), std::string::npos);
+  EXPECT_EQ(S.find("|"), std::string::npos); // no comprehension remains
+}
+
+TEST(TETest, SemanticsPreserved) {
+  expectTeAgrees("sum [ i * i | i <- [1..10] ]");
+  expectTeAgrees("sum [ i | i <- [1..20], i % 3 == 0 ]");
+  expectTeAgrees("sum [ v | i <- [1..5], let v = i * 10 ]");
+  expectTeAgrees("sum [ i * 100 + j | i <- [1..3], j <- [1..3] ]");
+  expectTeAgrees("sum [* [i, i * 2] ++ [i * 3] | i <- [1..4] *]");
+  expectTeAgrees("length [* ([ i + j | j <- [1..2] ] where w = i) ++ [ i ] "
+                 "| i <- [1..3] *]");
+}
+
+TEST(TETest, ArrayComprehensionPreserved) {
+  const char *Source =
+      "let n = 6 in "
+      "letrec a = array (1,n) "
+      "  ([ 1 := 1, 2 := 1 ] ++ [ i := a!(i-1) + a!(i-2) | i <- [3..n] ]) "
+      "in a!n";
+  ExprPtr E = parseOk(Source);
+  ExprPtr D = desugarComprehensions(E.get());
+  Interpreter I1, I2;
+  ValuePtr V1 = I1.evalProgram(E.get());
+  ValuePtr V2 = I2.evalProgram(D.get());
+  ASSERT_TRUE(isa<IntValue>(V1.get()));
+  ASSERT_TRUE(isa<IntValue>(V2.get())) << V2->str();
+  EXPECT_EQ(cast<IntValue>(V1.get())->value(), 8);
+  EXPECT_EQ(cast<IntValue>(V2.get())->value(), 8);
+}

@@ -1,0 +1,288 @@
+//===- tests/extra_test.cpp - Additional cross-cutting coverage -----------===//
+//
+// Edge cases that cut across modules: mutually recursive arrays under
+// letrec*, strict-context error propagation, multi-dimensional Banerjee
+// with unshared loops, scheduler behavior under guards, and driver
+// robustness on malformed programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/InterpBridge.h"
+#include "frontend/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace hac;
+
+//===----------------------------------------------------------------------===//
+// Interpreter: mutual recursion and strict contexts
+//===----------------------------------------------------------------------===//
+
+TEST(ExtraInterpTest, MutuallyRecursiveArrays) {
+  // Two arrays defined in terms of each other: a!i = b!(i-1) + 1,
+  // b!i = a!i * 2, seeded by b!0... expressed with offsets so demands
+  // terminate.
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked(
+      "let n = 6 in "
+      "letrec* a = array (1,n) ([ 1 := 1 ] ++ "
+      "                         [ i := b!(i-1) + 1 | i <- [2..n] ]); "
+      "        b = array (1,n) [ i := a!i * 2 | i <- [1..n] ] "
+      "in b",
+      {}, Interp, Diags);
+  ASSERT_FALSE(V->isError()) << V->str();
+  std::string Err;
+  auto B = interpArrayToDouble(Interp, V, Err);
+  ASSERT_TRUE(B.has_value()) << Err;
+  // a = 1, 3, 7, 15, 31, 63; b = 2a.
+  EXPECT_DOUBLE_EQ(B->at({1}), 2.0);
+  EXPECT_DOUBLE_EQ(B->at({3}), 14.0);
+  EXPECT_DOUBLE_EQ(B->at({6}), 126.0);
+}
+
+TEST(ExtraInterpTest, MutualRecursionCycleIsBottom) {
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked("letrec* a = array (1,1) [ 1 := b!1 ]; "
+                          "        b = array (1,1) [ 1 := a!1 ] in a",
+                          {}, Interp, Diags);
+  ASSERT_TRUE(V->isError());
+  EXPECT_NE(cast<ErrorValue>(V.get())->message().find("cycle"),
+            std::string::npos);
+}
+
+TEST(ExtraInterpTest, ForceElementsOnNonArray) {
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked("forceElements 42", {}, Interp, Diags);
+  ASSERT_TRUE(V->isError());
+  EXPECT_NE(cast<ErrorValue>(V.get())->message().find("non-array"),
+            std::string::npos);
+}
+
+TEST(ExtraInterpTest, LetrecStarScalarBindingsForced) {
+  // letrec* forces non-array bindings too; an erroring scalar surfaces.
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked("letrec* x = 1 / 0 in 5", {}, Interp, Diags);
+  ASSERT_TRUE(V->isError());
+  EXPECT_NE(cast<ErrorValue>(V.get())->message().find("division"),
+            std::string::npos);
+}
+
+TEST(ExtraInterpTest, CurriedBuiltins) {
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked("let add3 = foldl (\\a x . a + x) 0 in "
+                          "add3 [1, 2, 3] + (min 2) 7",
+                          {}, Interp, Diags);
+  ASSERT_FALSE(V->isError()) << V->str();
+  EXPECT_EQ(cast<IntValue>(V.get())->value(), 8);
+}
+
+TEST(ExtraInterpTest, NestedCompInsideNestedComp) {
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked(
+      "sum [* [* [i * 10 + j] | j <- [1..2] *] | i <- [1..2] *]", {},
+      Interp, Diags);
+  ASSERT_FALSE(V->isError()) << V->str();
+  EXPECT_EQ(cast<IntValue>(V.get())->value(), 11 + 12 + 21 + 22);
+}
+
+TEST(ExtraInterpTest, PaperSection2HiddenDependence) {
+  // The paper's Section 2 motivating example: `f u = letrec v = ...u...
+  // in v` looks non-recursive, but the call `letrec a = g (f a)` makes
+  // v's definition recursive through the caller. With letrec* the hidden
+  // cycle is forced immediately and surfaces as bottom.
+  Interpreter Interp;
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked(
+      "let f = \\u . letrec* v = array (1,2) "
+      "  [ i := u!i + 1 | i <- [1..2] ] in v in "
+      "letrec a = f a in a!1",
+      {}, Interp, Diags);
+  ASSERT_TRUE(V->isError()) << V->str();
+  EXPECT_NE(cast<ErrorValue>(V.get())->message().find("cycle"),
+            std::string::npos);
+
+  // The same f applied to a concrete array is perfectly fine.
+  DoubleArray U(DoubleArray::Dims{{1, 2}});
+  U.set({1}, 10.0);
+  U.set({2}, 20.0);
+  Interpreter Interp2;
+  ValuePtr V2 = runThunked(
+      "let f = \\w . letrec* v = array (1,2) "
+      "  [ i := w!i + 1 | i <- [1..2] ] in v in (f u)!2",
+      {{"u", &U}}, Interp2, Diags);
+  ASSERT_FALSE(V2->isError()) << V2->str();
+  EXPECT_DOUBLE_EQ(cast<FloatValue>(V2.get())->value(), 21.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis: multi-dimensional and unshared-loop interactions
+//===----------------------------------------------------------------------===//
+
+TEST(ExtraAnalysisTest, UnsharedLoopsBothSides) {
+  // Source in loop x (1..5) writes f = x; sink in a *different* loop y
+  // (1..5) reads g = y + 3: overlap on {4, 5}.
+  LoopNode LX(0, "x", LoopBounds{1, 5, 1}, 0);
+  LoopNode LY(1, "y", LoopBounds{1, 5, 1}, 0);
+  AffineForm F, G;
+  F.Coeffs[&LX] = 1;
+  G.Coeffs[&LY] = 1;
+  G.Const = 3;
+  DepProblem P;
+  P.Dims.emplace_back(F, G);
+  P.SrcOnlyLoops.push_back(&LX);
+  P.SinkOnlyLoops.push_back(&LY);
+  EXPECT_EQ(banerjeeTest(P, {}), TestResult::Possible);
+  EXPECT_EQ(exactTest(P, {}), TestResult::Definite);
+
+  // Shift the read out of range: no overlap.
+  AffineForm G2 = G;
+  G2.Const = 6; // reads 7..11, writes 1..5
+  DepProblem P2;
+  P2.Dims.emplace_back(F, G2);
+  P2.SrcOnlyLoops.push_back(&LX);
+  P2.SinkOnlyLoops.push_back(&LY);
+  EXPECT_EQ(banerjeeTest(P2, {}), TestResult::Independent);
+}
+
+TEST(ExtraAnalysisTest, TwoDimensionalCrossedCoefficients) {
+  // The transpose pattern: f = (i, j), g = (j, i). Writing instance x
+  // feeds reading instance y when x_i = y_j and x_j = y_i — which admits
+  // (=,=) (the diagonal) plus the famous antisymmetric pair (<,>) and
+  // (>,<) (e.g. x=(1,2) feeds y=(2,1)), and nothing else.
+  LoopNode LI(0, "i", LoopBounds{1, 4, 1}, 0);
+  LoopNode LJ(1, "j", LoopBounds{1, 4, 1}, 1);
+  AffineForm FI, FJ, GI, GJ;
+  FI.Coeffs[&LI] = 1;
+  FJ.Coeffs[&LJ] = 1;
+  GI.Coeffs[&LJ] = 1; // g's first dim is j
+  GJ.Coeffs[&LI] = 1; // g's second dim is i
+  DepProblem P;
+  P.SharedLoops = {&LI, &LJ};
+  P.Dims.emplace_back(FI, GI);
+  P.Dims.emplace_back(FJ, GJ);
+
+  auto Dirs = refineDirections(P, /*ExactBudget=*/1'000'000);
+  ASSERT_EQ(Dirs.size(), 3u);
+  EXPECT_TRUE(std::find(Dirs.begin(), Dirs.end(),
+                        DirVector{Dir::Eq, Dir::Eq}) != Dirs.end());
+  EXPECT_TRUE(std::find(Dirs.begin(), Dirs.end(),
+                        DirVector{Dir::Lt, Dir::Gt}) != Dirs.end());
+  EXPECT_TRUE(std::find(Dirs.begin(), Dirs.end(),
+                        DirVector{Dir::Gt, Dir::Lt}) != Dirs.end());
+  // And the exact test confirms e.g. (<,=) is impossible.
+  EXPECT_EQ(exactTest(P, {Dir::Lt, Dir::Eq}), TestResult::Independent);
+}
+
+TEST(ExtraAnalysisTest, SteppedLoopsNormalizeInDependence) {
+  // Writes at even positions from a stepped loop, reads at odd positions:
+  // never meet (caught by GCD after normalization).
+  DiagnosticEngine Diags;
+  ExprPtr Ast = parseString(
+      "array (1,40) ([ 2*i := a!(2*i - 1) | i <- [1..20] ] ++ "
+      "              [ 2*i - 1 := 1.0 | i <- [1..20] ])",
+      Diags);
+  ASSERT_TRUE(Ast) << Diags.str();
+  const auto *M = cast<MakeArrayExpr>(Ast.get());
+  CompNest Nest = buildCompNest(M->svList(), {}, Diags);
+  ASSERT_TRUE(Nest.Analyzable);
+  DepGraph G = buildDepGraph(Nest, "a", {}, DepGraphMode::Monolithic);
+  // Only the odd-writer feeds the even-writer's reads.
+  ASSERT_EQ(G.edgesOfKind(DepKind::Flow).size(), 1u) << G.str();
+  EXPECT_EQ(G.edgesOfKind(DepKind::Flow)[0]->Src, 1u);
+  EXPECT_EQ(G.edgesOfKind(DepKind::Flow)[0]->Dst, 0u);
+  EXPECT_TRUE(G.edgesOfKind(DepKind::Output).empty()) << G.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Driver robustness
+//===----------------------------------------------------------------------===//
+
+TEST(ExtraDriverTest, SyntaxErrorGivesDiagnostics) {
+  Compiler C;
+  auto Compiled = C.compileArray("letrec* a = array (1,n [ i := 1 ] in a");
+  EXPECT_FALSE(Compiled.has_value());
+  EXPECT_TRUE(C.diags().hasErrors());
+}
+
+TEST(ExtraDriverTest, MissingArrayDefinition) {
+  Compiler C;
+  auto Compiled = C.compileArray("let x = 5 in x + 1");
+  EXPECT_FALSE(Compiled.has_value());
+  EXPECT_TRUE(C.diags().hasErrors());
+}
+
+TEST(ExtraDriverTest, DynamicBoundsRejected) {
+  Compiler C; // no parameter binding for k
+  auto Compiled =
+      C.compileArray("letrec* a = array (1,k) [ i := 1 | i <- [1..k] ] in a");
+  EXPECT_FALSE(Compiled.has_value());
+  EXPECT_TRUE(C.diags().hasErrors());
+}
+
+TEST(ExtraDriverTest, ParamsFromOptionsAndLetsMerge) {
+  CompileOptions Options;
+  Options.Params["n"] = 6;
+  Compiler C(Options);
+  auto Compiled = C.compileArray(
+      "let m = n + 2 in letrec* a = array (1,m) "
+      "[ i := 1.0 * i | i <- [1..m] ] in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless) << C.diags().str();
+  EXPECT_EQ(Compiled->Dims[0].second, 8);
+}
+
+TEST(ExtraDriverTest, NegativeLowerBounds) {
+  Compiler C;
+  auto Compiled = C.compileArray(
+      "letrec* a = array (-3,3) [ i := 1.0 * i * i | i <- [-3..3] ] in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless)
+      << (Compiled ? Compiled->FallbackReason : C.diags().str());
+  EXPECT_EQ(Compiled->Coverage.NoEmpties, CheckOutcome::Proven)
+      << Compiled->Coverage.Detail;
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+  EXPECT_DOUBLE_EQ(Out.at({-3}), 9.0);
+  EXPECT_DOUBLE_EQ(Out.at({0}), 0.0);
+  EXPECT_DOUBLE_EQ(Out.at({3}), 9.0);
+}
+
+TEST(ExtraDriverTest, ThreeDimensionalArray) {
+  Compiler C;
+  auto Compiled = C.compileArray(
+      "let n = 4 in letrec* a = array ((1,1,1),(n,n,n)) "
+      "([ (1,j,k) := 1.0 | j <- [1..n], k <- [1..n] ] ++ "
+      " [ (i,j,k) := a!(i-1,j,k) + 1.0 "
+      "   | i <- [2..n], j <- [1..n], k <- [1..n] ]) in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless)
+      << (Compiled ? Compiled->FallbackReason : C.diags().str());
+  EXPECT_EQ(Compiled->Coverage.NoEmpties, CheckOutcome::Proven);
+  Executor Exec(Compiled->Params);
+  Exec.setValidateReads(true);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+  EXPECT_DOUBLE_EQ(Out.at({4, 2, 3}), 4.0);
+}
+
+TEST(ExtraDriverTest, ReportIsInformative) {
+  Compiler C;
+  auto Compiled = C.compileArray(
+      "let n = 8 in letrec* a = array (1,n) "
+      "([ 1 := 1.0 ] ++ [ i := a!(i-1) | i <- [2..n] ]) in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless);
+  std::string R = Compiled->report();
+  EXPECT_NE(R.find("collisions: proven"), std::string::npos) << R;
+  EXPECT_NE(R.find("thunkless"), std::string::npos) << R;
+  EXPECT_NE(R.find("1 -> 1 (<) flow"), std::string::npos) << R;
+}

@@ -1,0 +1,338 @@
+//===- tests/interp_test.cpp - Lazy interpreter tests ---------------------===//
+
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  Interpreter Interp;
+
+  ValuePtr run(const std::string &Source) {
+    DiagnosticEngine Diags;
+    ExprPtr E = parseString(Source, Diags);
+    EXPECT_TRUE(E != nullptr) << Diags.str();
+    if (!E)
+      return makeErrorValue("parse failure");
+    Interp.setFuel(50'000'000);
+    Keep.push_back(std::move(E));
+    return Interp.evalProgram(Keep.back().get());
+  }
+
+  int64_t runInt(const std::string &Source) {
+    ValuePtr V = run(Source);
+    EXPECT_TRUE(isa<IntValue>(V.get())) << Source << " => " << V->str();
+    if (const auto *I = dyn_cast<IntValue>(V.get()))
+      return I->value();
+    return INT64_MIN;
+  }
+
+  double runFloat(const std::string &Source) {
+    ValuePtr V = run(Source);
+    EXPECT_TRUE(isa<FloatValue>(V.get())) << Source << " => " << V->str();
+    if (const auto *F = dyn_cast<FloatValue>(V.get()))
+      return F->value();
+    return -1e300;
+  }
+
+  std::string runError(const std::string &Source) {
+    ValuePtr V = run(Source);
+    EXPECT_TRUE(V->isError()) << Source << " => " << V->str();
+    if (const auto *E = dyn_cast<ErrorValue>(V.get()))
+      return E->message();
+    return "";
+  }
+
+  /// Forces and returns element (i) or (i,j) of an array program result.
+  double arrayElem(const ValuePtr &V, std::vector<int64_t> Index) {
+    const auto *A = dyn_cast<ArrayValue>(V.get());
+    EXPECT_TRUE(A) << V->str();
+    if (!A)
+      return -1e300;
+    size_t Linear;
+    EXPECT_TRUE(A->linearize(Index, Linear));
+    ValuePtr EV = Interp.force(A->elemThunk(Linear));
+    EXPECT_FALSE(EV->isError()) << EV->str();
+    if (const auto *I = dyn_cast<IntValue>(EV.get()))
+      return static_cast<double>(I->value());
+    if (const auto *F = dyn_cast<FloatValue>(EV.get()))
+      return F->value();
+    return -1e300;
+  }
+
+private:
+  std::vector<ExprPtr> Keep; // AST must outlive thunks
+};
+
+} // namespace
+
+TEST_F(InterpTest, Arithmetic) {
+  EXPECT_EQ(runInt("1 + 2 * 3"), 7);
+  EXPECT_EQ(runInt("10 - 3 - 2"), 5);
+  EXPECT_EQ(runInt("7 / 2"), 3);
+  EXPECT_EQ(runInt("7 % 3"), 1);
+  EXPECT_DOUBLE_EQ(runFloat("1 / 2.0"), 0.5);
+  EXPECT_DOUBLE_EQ(runFloat("2.5 + 1"), 3.5);
+}
+
+TEST_F(InterpTest, Comparison) {
+  ValuePtr V = run("1 < 2");
+  EXPECT_TRUE(cast<BoolValue>(V.get())->value());
+  V = run("2.5 >= 3");
+  EXPECT_FALSE(cast<BoolValue>(V.get())->value());
+  V = run("True == True");
+  EXPECT_TRUE(cast<BoolValue>(V.get())->value());
+}
+
+TEST_F(InterpTest, ShortCircuit) {
+  // The right operand would error; && must not evaluate it.
+  ValuePtr V = run("False && (1 / 0 == 0)");
+  EXPECT_FALSE(cast<BoolValue>(V.get())->value());
+  V = run("True || (1 / 0 == 0)");
+  EXPECT_TRUE(cast<BoolValue>(V.get())->value());
+}
+
+TEST_F(InterpTest, IfAndUnary) {
+  EXPECT_EQ(runInt("if 2 < 3 then 10 else 20"), 10);
+  EXPECT_EQ(runInt("if not (2 < 3) then 10 else 20"), 20);
+  EXPECT_EQ(runInt("-(2 + 3)"), -5);
+}
+
+TEST_F(InterpTest, LetAndLambda) {
+  EXPECT_EQ(runInt("let x = 2; y = x + 3 in x * y"), 10);
+  EXPECT_EQ(runInt("(\\x y . x * 10 + y) 3 4"), 34);
+  // Partial application.
+  EXPECT_EQ(runInt("let f = (\\x y . x - y) 10 in f 3"), 7);
+}
+
+TEST_F(InterpTest, LazyLetBindingUnusedErrorIsFine) {
+  // boom is never demanded, so the program succeeds: call-by-need.
+  EXPECT_EQ(runInt("let boom = 1 / 0 in 42"), 42);
+}
+
+TEST_F(InterpTest, LetrecFunctionRecursion) {
+  EXPECT_EQ(
+      runInt("letrec fact = \\n . if n <= 1 then 1 else n * fact (n - 1) "
+             "in fact 10"),
+      3628800);
+}
+
+TEST_F(InterpTest, CircularValueIsCycleError) {
+  std::string Msg = runError("letrec x = x + 1 in x");
+  EXPECT_NE(Msg.find("cycle"), std::string::npos);
+}
+
+TEST_F(InterpTest, RangesAndLists) {
+  EXPECT_EQ(runInt("sum [1..10]"), 55);
+  EXPECT_EQ(runInt("sum [10, 8 .. 1]"), 10 + 8 + 6 + 4 + 2);
+  EXPECT_EQ(runInt("length ([1,2] ++ [3])"), 3);
+  EXPECT_EQ(runInt("head [7, 8]"), 7);
+  EXPECT_EQ(runInt("sum (tail [7, 8, 9])"), 17);
+  EXPECT_EQ(runInt("product [1..5]"), 120);
+}
+
+TEST_F(InterpTest, Builtins) {
+  EXPECT_EQ(runInt("abs (-5)"), 5);
+  EXPECT_EQ(runInt("min 3 7"), 3);
+  EXPECT_EQ(runInt("max 3 7"), 7);
+  EXPECT_EQ(runInt("fst (4, 5)"), 4);
+  EXPECT_EQ(runInt("snd (4, 5)"), 5);
+  EXPECT_DOUBLE_EQ(runFloat("sqrt 9"), 3.0);
+  EXPECT_EQ(runInt("foldl (\\a x . a * 2 + x) 0 [1, 1, 1]"), 7);
+}
+
+TEST_F(InterpTest, Comprehensions) {
+  EXPECT_EQ(runInt("sum [ i * i | i <- [1..4] ]"), 30);
+  EXPECT_EQ(runInt("sum [ i | i <- [1..10], i % 2 == 0 ]"), 30);
+  EXPECT_EQ(runInt("sum [ v | i <- [1..3], let v = i * 10 ]"), 60);
+  EXPECT_EQ(runInt("sum [ i * 10 + j | i <- [1..2], j <- [1..2] ]"),
+            11 + 12 + 21 + 22);
+}
+
+TEST_F(InterpTest, NestedComprehensionSplices) {
+  // [* [i, i] | i <- [1..3] *] = [1,1,2,2,3,3].
+  EXPECT_EQ(runInt("sum [* [i, i] | i <- [1..3] *]"), 12);
+  EXPECT_EQ(runInt("length [* [i] ++ [i, i] | i <- [1..2] *]"), 6);
+}
+
+TEST_F(InterpTest, SimpleArray) {
+  ValuePtr V = run("let a = array (1,5) [ i := i * i | i <- [1..5] ] "
+                   "in forceElements a");
+  ASSERT_TRUE(isa<ArrayValue>(V.get())) << V->str();
+  EXPECT_DOUBLE_EQ(arrayElem(V, {3}), 9.0);
+  EXPECT_DOUBLE_EQ(arrayElem(V, {5}), 25.0);
+}
+
+TEST_F(InterpTest, ArraySubscripting) {
+  EXPECT_EQ(runInt("let a = array (1,5) [ i := i * 2 | i <- [1..5] ] "
+                   "in a!3 + a!5"),
+            16);
+}
+
+TEST_F(InterpTest, ArrayIsNonStrict) {
+  // Element 2 is an error, but only element 1 is demanded.
+  EXPECT_EQ(runInt("let a = array (1,2) [ 1 := 10, 2 := 1/0 ] in a!1"), 10);
+}
+
+TEST_F(InterpTest, ForceElementsDemandsEverything) {
+  std::string Msg = run("let a = array (1,2) [ 1 := 10, 2 := 1/0 ] "
+                        "in forceElements a")
+                        ->str();
+  EXPECT_NE(Msg.find("division"), std::string::npos);
+}
+
+TEST_F(InterpTest, WriteCollisionIsError) {
+  std::string Msg = runError("array (1,3) [ 1 := 0, 1 := 1, 2 := 2 ]");
+  EXPECT_NE(Msg.find("collision"), std::string::npos);
+}
+
+TEST_F(InterpTest, EmptyElementIsError) {
+  std::string Msg =
+      runError("let a = array (1,3) [ 1 := 0, 2 := 1 ] in a!3");
+  EXPECT_NE(Msg.find("undefined"), std::string::npos);
+}
+
+TEST_F(InterpTest, OutOfBoundsDefinitionIsError) {
+  std::string Msg = runError("array (1,3) [ i := 0 | i <- [1..4] ]");
+  EXPECT_NE(Msg.find("out of bounds"), std::string::npos);
+}
+
+TEST_F(InterpTest, OutOfBoundsAccessIsError) {
+  std::string Msg =
+      runError("let a = array (1,3) [ i := 0 | i <- [1..3] ] in a!4");
+  EXPECT_NE(Msg.find("out of bounds"), std::string::npos);
+}
+
+TEST_F(InterpTest, RecursiveArrayFibonacci) {
+  EXPECT_EQ(runInt("letrec a = array (1,10) "
+                   "  ([ 1 := 1, 2 := 1 ] ++ "
+                   "   [ i := a!(i-1) + a!(i-2) | i <- [3..10] ]) "
+                   "in a!10"),
+            55);
+}
+
+TEST_F(InterpTest, PaperWavefrontRecurrence) {
+  // Section 3 example: borders 1, interior = N + NW + W. Row-major forcing
+  // succeeds because each element depends only on earlier elements.
+  ValuePtr V = run(
+      "let n = 6 in "
+      "letrec* a = array ((1,1),(n,n)) "
+      "  ([ (1,j) := 1 | j <- [1..n] ] ++ "
+      "   [ (i,1) := 1 | i <- [2..n] ] ++ "
+      "   [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1) "
+      "     | i <- [2..n], j <- [2..n] ]) "
+      "in a");
+  ASSERT_TRUE(isa<ArrayValue>(V.get())) << V->str();
+  EXPECT_DOUBLE_EQ(arrayElem(V, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(arrayElem(V, {2, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(arrayElem(V, {3, 3}), 13.0);
+  // Delannoy numbers: D(4,4) along the diagonal of this recurrence.
+  EXPECT_DOUBLE_EQ(arrayElem(V, {4, 4}), 63.0);
+  EXPECT_DOUBLE_EQ(arrayElem(V, {5, 5}), 321.0);
+}
+
+TEST_F(InterpTest, LetrecStarForcesBindings) {
+  // letrec* forces array elements eagerly: an element error surfaces even
+  // though the body never touches the array.
+  std::string Msg =
+      runError("letrec* a = array (1,2) [ 1 := 1, 2 := 1/0 ] in 99");
+  EXPECT_NE(Msg.find("division"), std::string::npos);
+}
+
+TEST_F(InterpTest, LetrecStarSelfCycleIsBottom) {
+  std::string Msg =
+      runError("letrec* a = array (1,2) [ 1 := a!2, 2 := a!1 ] in a!1");
+  EXPECT_NE(Msg.find("cycle"), std::string::npos);
+}
+
+TEST_F(InterpTest, BigUpdBasics) {
+  EXPECT_EQ(runInt("let a = array (1,4) [ i := i | i <- [1..4] ] in "
+                   "let b = bigupd a [ 2 := 20, 3 := 30 ] in "
+                   "b!1 + b!2 + b!3 + b!4"),
+            1 + 20 + 30 + 4);
+}
+
+TEST_F(InterpTest, BigUpdReadsOldArray) {
+  // Values reference the *original* array `a`: the paper's expressive,
+  // non-single-threaded form. Reversal via a is exact.
+  EXPECT_EQ(runInt("let n = 5 in "
+                   "let a = array (1,n) [ i := i | i <- [1..n] ] in "
+                   "let b = bigupd a [ i := a!(n+1-i) | i <- [1..n] ] in "
+                   "b!1 * 10000 + b!2 * 1000 + b!3 * 100 + b!4 * 10 + b!5"),
+            54321);
+}
+
+TEST_F(InterpTest, BigUpdRowSwap) {
+  // Section 9's LINPACK row swap.
+  EXPECT_EQ(runInt(
+                "let m = array ((1,2),(2,3)) "
+                "  [ (i,j) := i * 10 + j | i <- [1..2], j <- [2..3] ] in "
+                "let s = bigupd m ([ (1,j) := m!(2,j) | j <- [2..3] ] ++ "
+                "                  [ (2,j) := m!(1,j) | j <- [2..3] ]) in "
+                "s!(1,2) * 1000000 + s!(1,3) * 10000 + s!(2,2) * 100 + "
+                "s!(2,3)"),
+            22231213);
+}
+
+TEST_F(InterpTest, BigUpdCountsCopies) {
+  Interp.resetStats();
+  run("let a = array (1,100) [ i := i | i <- [1..100] ] in "
+      "forceElements (bigupd a [ i := a!i + 1 | i <- [1..100] ])");
+  // 100 updates, each copying 100 elements: the naive quadratic cost.
+  EXPECT_EQ(Interp.stats().ElemCopies, 100u * 100u);
+}
+
+TEST_F(InterpTest, StatsCountThunks) {
+  Interp.resetStats();
+  run("forceElements (array (1,50) [ i := i * 2 | i <- [1..50] ])");
+  EXPECT_GE(Interp.stats().ThunksCreated, 50u);
+  EXPECT_GE(Interp.stats().ThunksForced, 50u);
+  EXPECT_GE(Interp.stats().ConsCells, 50u);
+  EXPECT_EQ(Interp.stats().ArrayAllocs, 1u);
+}
+
+TEST_F(InterpTest, FuelLimitsRunawayPrograms) {
+  Interpreter Small;
+  DiagnosticEngine Diags;
+  ExprPtr E = parseString(
+      "letrec loop = \\n . loop (n + 1) in loop 0", Diags);
+  ASSERT_TRUE(E);
+  Small.setFuel(10'000);
+  ValuePtr V = Small.evalProgram(E.get());
+  ASSERT_TRUE(V->isError());
+  EXPECT_NE(cast<ErrorValue>(V.get())->message().find("fuel"),
+            std::string::npos);
+}
+
+TEST_F(InterpTest, SumOfProductsFromPaper) {
+  // Section 3.1: sum [ a!k * b!k | k <- [1..n] ].
+  EXPECT_EQ(runInt("let n = 4 in "
+                   "let a = array (1,n) [ i := i | i <- [1..n] ] in "
+                   "let b = array (1,n) [ i := i | i <- [1..n] ] in "
+                   "sum [ a!k * b!k | k <- [1..n] ]"),
+            1 + 4 + 9 + 16);
+}
+
+TEST_F(InterpTest, UnboundVariable) {
+  std::string Msg = runError("x + 1");
+  EXPECT_NE(Msg.find("unbound"), std::string::npos);
+}
+
+TEST_F(InterpTest, TypeErrors) {
+  EXPECT_NE(runError("1 + True").find("non-numeric"), std::string::npos);
+  EXPECT_NE(runError("if 1 then 2 else 3").find("boolean"),
+            std::string::npos);
+  EXPECT_NE(runError("1 2").find("non-function"), std::string::npos);
+  EXPECT_NE(runError("[1] + [2]").find("non-numeric"), std::string::npos);
+}
+
+TEST_F(InterpTest, DivisionByZero) {
+  EXPECT_NE(runError("1 / 0").find("division"), std::string::npos);
+  EXPECT_NE(runError("1 % 0").find("modulo"), std::string::npos);
+}

@@ -1,0 +1,153 @@
+//===- tests/lexer_test.cpp - Lexer tests ---------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  std::vector<TokenKind> Result;
+  for (const Token &T : lex(Source))
+    Result.push_back(T.Kind);
+  return Result;
+}
+
+} // namespace
+
+TEST(LexerTest, Empty) {
+  auto K = kinds("");
+  ASSERT_EQ(K.size(), 1u);
+  EXPECT_EQ(K[0], TokenKind::Eof);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Tokens = lex("foo bar' _x a1");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "bar'");
+  EXPECT_EQ(Tokens[2].Text, "_x");
+  EXPECT_EQ(Tokens[3].Text, "a1");
+}
+
+TEST(LexerTest, Keywords) {
+  auto K = kinds("let letrec letrec* in if then else where not True False");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwLet,  TokenKind::KwLetrec, TokenKind::KwLetrecStar,
+      TokenKind::KwIn,   TokenKind::KwIf,     TokenKind::KwThen,
+      TokenKind::KwElse, TokenKind::KwWhere,  TokenKind::KwNot,
+      TokenKind::KwTrue, TokenKind::KwFalse,  TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, LetrecStarRequiresAdjacency) {
+  // "letrec *" (with a space) is letrec followed by star.
+  auto K = kinds("letrec *");
+  std::vector<TokenKind> Expected = {TokenKind::KwLetrec, TokenKind::Star,
+                                     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, IntAndFloatLiterals) {
+  auto Tokens = lex("42 3.5 1e3 2.5e-2 7");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLit);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 3.5);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 1000.0);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 0.025);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::IntLit);
+}
+
+TEST(LexerTest, RangeDotsAreNotFloats) {
+  // The classic "1..n" case: must lex as IntLit DotDot Ident.
+  auto K = kinds("[1..n]");
+  std::vector<TokenKind> Expected = {TokenKind::LBrack, TokenKind::IntLit,
+                                     TokenKind::DotDot, TokenKind::Ident,
+                                     TokenKind::RBrack, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, NestedCompBrackets) {
+  auto K = kinds("[* x *]");
+  std::vector<TokenKind> Expected = {TokenKind::LBrackStar, TokenKind::Ident,
+                                     TokenKind::StarRBrack, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, StarInListIsMultiplication) {
+  auto K = kinds("[2*3, x]");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBrack, TokenKind::IntLit, TokenKind::Star,
+      TokenKind::IntLit, TokenKind::Comma,  TokenKind::Ident,
+      TokenKind::RBrack, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, Operators) {
+  auto K = kinds("+ - * / % == /= < <= > >= && || ++ ! := <- = . ..");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,   TokenKind::Minus,    TokenKind::Star,
+      TokenKind::Slash,  TokenKind::Percent,  TokenKind::EqEq,
+      TokenKind::SlashEq, TokenKind::Lt,      TokenKind::Le,
+      TokenKind::Gt,     TokenKind::Ge,       TokenKind::AmpAmp,
+      TokenKind::PipePipe, TokenKind::PlusPlus, TokenKind::Bang,
+      TokenKind::ColonEq, TokenKind::LArrow,  TokenKind::Equal,
+      TokenKind::Dot,    TokenKind::DotDot,   TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, LineComments) {
+  auto K = kinds("x -- this is a comment\ny");
+  std::vector<TokenKind> Expected = {TokenKind::Ident, TokenKind::Ident,
+                                     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, NestedBlockComments) {
+  auto K = kinds("a {- outer {- inner -} still outer -} b");
+  std::vector<TokenKind> Expected = {TokenKind::Ident, TokenKind::Ident,
+                                     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReportsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a {- never closed", Diags);
+  (void)L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, SourceLocations) {
+  auto Tokens = lex("ab\n  cd");
+  EXPECT_EQ(Tokens[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Tokens[1].Loc, SourceLoc(2, 3));
+}
+
+TEST(LexerTest, BadCharacterReportsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a # b", Diags);
+  (void)L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, GeneratorArrowVsComparison) {
+  auto K = kinds("i <- xs, i <= n, i < m");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Ident, TokenKind::LArrow, TokenKind::Ident, TokenKind::Comma,
+      TokenKind::Ident, TokenKind::Le,     TokenKind::Ident, TokenKind::Comma,
+      TokenKind::Ident, TokenKind::Lt,     TokenKind::Ident, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}

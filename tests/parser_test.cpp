@@ -1,0 +1,281 @@
+//===- tests/parser_test.cpp - Parser tests -------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtils.h"
+#include "frontend/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+ExprPtr parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseString(Source, Diags);
+  EXPECT_TRUE(E != nullptr) << "failed to parse: " << Source << "\n"
+                            << Diags.str();
+  return E;
+}
+
+void expectParseError(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseString(Source, Diags);
+  EXPECT_TRUE(E == nullptr || Diags.hasErrors())
+      << "expected parse failure: " << Source;
+}
+
+/// Round-trip: parse, print, re-parse, compare structure.
+void expectRoundTrip(const std::string &Source) {
+  ExprPtr E1 = parseOk(Source);
+  ASSERT_TRUE(E1);
+  std::string Printed = exprToString(E1.get());
+  DiagnosticEngine Diags;
+  ExprPtr E2 = parseString(Printed, Diags);
+  ASSERT_TRUE(E2) << "reparse failed for: " << Printed << "\n" << Diags.str();
+  EXPECT_TRUE(exprEquals(E1.get(), E2.get()))
+      << "round trip mismatch:\n  orig:  " << Source
+      << "\n  print: " << Printed << "\n  again: " << exprToString(E2.get());
+}
+
+} // namespace
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(cast<IntLitExpr>(parseOk("42").get())->value(), 42);
+  EXPECT_DOUBLE_EQ(cast<FloatLitExpr>(parseOk("2.5").get())->value(), 2.5);
+  EXPECT_TRUE(cast<BoolLitExpr>(parseOk("True").get())->value());
+  EXPECT_FALSE(cast<BoolLitExpr>(parseOk("False").get())->value());
+}
+
+TEST(ParserTest, NegativeLiteralFolding) {
+  EXPECT_EQ(cast<IntLitExpr>(parseOk("-3").get())->value(), -3);
+  EXPECT_DOUBLE_EQ(cast<FloatLitExpr>(parseOk("-2.5").get())->value(), -2.5);
+}
+
+TEST(ParserTest, Precedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  ExprPtr E = parseOk("1 + 2 * 3");
+  const auto *Add = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Add->op(), BinaryOpKind::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->rhs())->op(), BinaryOpKind::Mul);
+}
+
+TEST(ParserTest, Associativity) {
+  // 10 - 3 - 2 parses as (10 - 3) - 2.
+  ExprPtr E = parseOk("10 - 3 - 2");
+  const auto *Outer = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Outer->op(), BinaryOpKind::Sub);
+  EXPECT_EQ(cast<BinaryExpr>(Outer->lhs())->op(), BinaryOpKind::Sub);
+  EXPECT_EQ(cast<IntLitExpr>(Outer->rhs())->value(), 2);
+}
+
+TEST(ParserTest, ComparisonBindsLooserThanArithmetic) {
+  ExprPtr E = parseOk("i + 1 <= n");
+  const auto *Cmp = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Cmp->op(), BinaryOpKind::Le);
+}
+
+TEST(ParserTest, ChainedComparisonRejected) {
+  expectParseError("a < b < c");
+}
+
+TEST(ParserTest, SubscriptBindsTighterThanArithmetic) {
+  // a!(i-1) + a!(i+1) must parse as (a!(i-1)) + (a!(i+1)).
+  ExprPtr E = parseOk("a!(i-1) + a!(i+1)");
+  const auto *Add = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Add->op(), BinaryOpKind::Add);
+  EXPECT_TRUE(isa<ArraySubExpr>(Add->lhs()));
+  EXPECT_TRUE(isa<ArraySubExpr>(Add->rhs()));
+}
+
+TEST(ParserTest, MultiDimSubscript) {
+  ExprPtr E = parseOk("a!(i-1,j)");
+  const auto *Sub = cast<ArraySubExpr>(E.get());
+  const auto *Idx = cast<TupleExpr>(Sub->index());
+  EXPECT_EQ(Idx->size(), 2u);
+}
+
+TEST(ParserTest, SvPair) {
+  ExprPtr E = parseOk("(i,j) := a!(i-1,j) + 1");
+  const auto *P = cast<SvPairExpr>(E.get());
+  EXPECT_TRUE(isa<TupleExpr>(P->subscript()));
+  EXPECT_TRUE(isa<BinaryExpr>(P->value()));
+}
+
+TEST(ParserTest, Lambda) {
+  ExprPtr E = parseOk("\\x y . x + y");
+  const auto *L = cast<LambdaExpr>(E.get());
+  ASSERT_EQ(L->params().size(), 2u);
+  EXPECT_EQ(L->params()[0], "x");
+  EXPECT_EQ(L->params()[1], "y");
+}
+
+TEST(ParserTest, Application) {
+  ExprPtr E = parseOk("f x y");
+  const auto *A = cast<ApplyExpr>(E.get());
+  EXPECT_EQ(A->numArgs(), 2u);
+  EXPECT_EQ(cast<VarExpr>(A->fn())->name(), "f");
+}
+
+TEST(ParserTest, LetForms) {
+  EXPECT_EQ(cast<LetExpr>(parseOk("let x = 1 in x").get())->letKind(),
+            LetKindEnum::Plain);
+  EXPECT_EQ(cast<LetExpr>(parseOk("letrec x = 1 in x").get())->letKind(),
+            LetKindEnum::Rec);
+  EXPECT_EQ(cast<LetExpr>(parseOk("letrec* x = 1 in x").get())->letKind(),
+            LetKindEnum::RecStrict);
+}
+
+TEST(ParserTest, MultipleBindings) {
+  ExprPtr E = parseOk("let x = 1; y = x + 1 in y");
+  const auto *L = cast<LetExpr>(E.get());
+  ASSERT_EQ(L->binds().size(), 2u);
+  EXPECT_EQ(L->binds()[0].Name, "x");
+  EXPECT_EQ(L->binds()[1].Name, "y");
+}
+
+TEST(ParserTest, WhereIsLetSugar) {
+  ExprPtr E = parseOk("x + v where v = 3");
+  const auto *L = cast<LetExpr>(E.get());
+  EXPECT_EQ(L->letKind(), LetKindEnum::Plain);
+  ASSERT_EQ(L->binds().size(), 1u);
+  EXPECT_EQ(L->binds()[0].Name, "v");
+  EXPECT_TRUE(isa<BinaryExpr>(L->body()));
+}
+
+TEST(ParserTest, Ranges) {
+  const auto *R = cast<RangeExpr>(parseOk("[1..n]").get());
+  EXPECT_FALSE(R->hasSecond());
+  const auto *R2 = cast<RangeExpr>(parseOk("[n, n-1 .. 1]").get());
+  EXPECT_TRUE(R2->hasSecond());
+}
+
+TEST(ParserTest, ListsAndEmptyList) {
+  EXPECT_EQ(cast<ListExpr>(parseOk("[]").get())->size(), 0u);
+  EXPECT_EQ(cast<ListExpr>(parseOk("[1, 2, 3]").get())->size(), 3u);
+  // [a, b, c] with three elements is a list, not a stepped range.
+  EXPECT_TRUE(isa<ListExpr>(parseOk("[a, b, c]").get()));
+}
+
+TEST(ParserTest, OrdinaryComprehension) {
+  ExprPtr E = parseOk("[ i := i*i | i <- [1..n] ]");
+  const auto *C = cast<CompExpr>(E.get());
+  EXPECT_FALSE(C->isNested());
+  ASSERT_EQ(C->quals().size(), 1u);
+  EXPECT_EQ(C->quals()[0].kind(), CompQual::Kind::Generator);
+  EXPECT_EQ(C->quals()[0].var(), "i");
+  EXPECT_TRUE(isa<SvPairExpr>(C->head()));
+}
+
+TEST(ParserTest, MultiGeneratorComprehension) {
+  ExprPtr E = parseOk("[ (i,j) := 0 | i <- [2..m], j <- [2..n] ]");
+  const auto *C = cast<CompExpr>(E.get());
+  ASSERT_EQ(C->quals().size(), 2u);
+  EXPECT_EQ(C->quals()[0].var(), "i");
+  EXPECT_EQ(C->quals()[1].var(), "j");
+}
+
+TEST(ParserTest, GuardQualifier) {
+  ExprPtr E = parseOk("[ i := 1 | i <- [1..n], i % 2 == 0 ]");
+  const auto *C = cast<CompExpr>(E.get());
+  ASSERT_EQ(C->quals().size(), 2u);
+  EXPECT_EQ(C->quals()[1].kind(), CompQual::Kind::Guard);
+}
+
+TEST(ParserTest, LetQualifier) {
+  ExprPtr E = parseOk("[ i := v | i <- [1..n], let v = i * i ]");
+  const auto *C = cast<CompExpr>(E.get());
+  ASSERT_EQ(C->quals().size(), 2u);
+  EXPECT_EQ(C->quals()[1].kind(), CompQual::Kind::LetQual);
+}
+
+TEST(ParserTest, NestedComprehension) {
+  // The paper's Section 3.1 example shape.
+  ExprPtr E = parseOk("[* ([* [ (i,j) := 1, (j,i) := 2 ] | j <- [2..m] *] "
+                      "where v = i) ++ [ (i,1) := 3 ] | i <- [1..n] *]");
+  const auto *C = cast<CompExpr>(E.get());
+  EXPECT_TRUE(C->isNested());
+  ASSERT_EQ(C->quals().size(), 1u);
+  EXPECT_TRUE(isa<BinaryExpr>(C->head())); // the ++ node
+}
+
+TEST(ParserTest, ArrayBuiltin) {
+  ExprPtr E = parseOk("array (1,n) [ i := i | i <- [1..n] ]");
+  const auto *M = cast<MakeArrayExpr>(E.get());
+  EXPECT_TRUE(isa<TupleExpr>(M->bounds()));
+  EXPECT_TRUE(isa<CompExpr>(M->svList()));
+}
+
+TEST(ParserTest, ArrayWrongArityRejected) {
+  expectParseError("array (1,n)");
+  expectParseError("array (1,n) xs extra");
+}
+
+TEST(ParserTest, BigUpdBuiltin) {
+  ExprPtr E = parseOk("bigupd a [ i := a!(i) + 1 | i <- [1..n] ]");
+  EXPECT_TRUE(isa<BigUpdExpr>(E.get()));
+}
+
+TEST(ParserTest, ForceElementsBuiltin) {
+  ExprPtr E = parseOk("forceElements a");
+  EXPECT_TRUE(isa<ForceElementsExpr>(E.get()));
+}
+
+TEST(ParserTest, PaperWavefront) {
+  // The Section 3 wavefront recurrence, verbatim modulo whitespace.
+  const char *Source =
+      "letrec* a = array ((1,1),(n,n)) "
+      "  ([ (1,j) := 1 | j <- [1..n] ] ++ "
+      "   [ (i,1) := 1 | i <- [2..n] ] ++ "
+      "   [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1) "
+      "     | i <- [2..n], j <- [2..n] ]) "
+      "in a";
+  ExprPtr E = parseOk(Source);
+  const auto *L = cast<LetExpr>(E.get());
+  EXPECT_EQ(L->letKind(), LetKindEnum::RecStrict);
+  const auto *M = cast<MakeArrayExpr>(L->binds()[0].Value.get());
+  // The s/v list is two appends of three comprehensions.
+  const auto *App = cast<BinaryExpr>(M->svList());
+  EXPECT_EQ(App->op(), BinaryOpKind::Append);
+}
+
+TEST(ParserTest, PaperSec5Example1) {
+  const char *Source =
+      "array (1,300) "
+      "[* [3*i := 1.0] ++ "
+      "   [3*i-1 := a!(3*(i-1))] ++ "
+      "   [3*i-2 := a!(3*i)] | i <- [1..100] *]";
+  ExprPtr E = parseOk(Source);
+  EXPECT_TRUE(isa<MakeArrayExpr>(E.get()));
+}
+
+TEST(ParserTest, TrailingGarbageRejected) { expectParseError("1 + 2 )"); }
+
+TEST(ParserTest, MissingCloseBracketRejected) {
+  expectParseError("[1, 2, 3");
+  expectParseError("[ i := 1 | i <- [1..n]");
+}
+
+TEST(ParserTest, RoundTrips) {
+  const char *Sources[] = {
+      "1 + 2 * 3 - 4",
+      "a!(i-1,j) + a!(i,j-1)",
+      "let x = 1; y = 2 in x + y",
+      "letrec* a = array (1,n) [ i := 1 | i <- [1..n] ] in a",
+      "[ (i,j) := a!(i-1,j) | i <- [2..n], j <- [2..n] ]",
+      "[* [ 3*i := 0 ] ++ [ 3*i-1 := 1 ] | i <- [1..100] *]",
+      "\\x y . x * y + 1",
+      "if x <= 0 then 0 - x else x",
+      "sum [ a!k * b!k | k <- [1..n] ]",
+      "bigupd a ([ (i,j) := a!(k,j) | j <- [1..n] ] ++ "
+      "          [ (k,j) := a!(i,j) | j <- [1..n] ])",
+      "f x y + g z",
+      "x + v where v = 3",
+      "[n, n-1 .. 1]",
+      "not (x < y) && (y < z || z == 0)",
+      "accumArray (\\a v . a + v) 0 (1,n) [ i := 1 | i <- [1..n] ]",
+  };
+  for (const char *S : Sources)
+    expectRoundTrip(S);
+}

@@ -1,0 +1,284 @@
+//===- tests/runtime_test.cpp - DoubleArray / Executor tests --------------===//
+
+#include "core/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+//===----------------------------------------------------------------------===//
+// DoubleArray
+//===----------------------------------------------------------------------===//
+
+TEST(DoubleArrayTest, LinearizeRowMajor) {
+  DoubleArray A(DoubleArray::Dims{{1, 3}, {1, 4}});
+  EXPECT_EQ(A.size(), 12u);
+  size_t Linear;
+  ASSERT_TRUE(A.linearize((const int64_t[]){1, 1}, 2, Linear));
+  EXPECT_EQ(Linear, 0u);
+  ASSERT_TRUE(A.linearize((const int64_t[]){1, 4}, 2, Linear));
+  EXPECT_EQ(Linear, 3u);
+  ASSERT_TRUE(A.linearize((const int64_t[]){2, 1}, 2, Linear));
+  EXPECT_EQ(Linear, 4u);
+  ASSERT_TRUE(A.linearize((const int64_t[]){3, 4}, 2, Linear));
+  EXPECT_EQ(Linear, 11u);
+}
+
+TEST(DoubleArrayTest, NonUnitLowerBounds) {
+  DoubleArray A(DoubleArray::Dims{{-2, 2}});
+  EXPECT_EQ(A.size(), 5u);
+  A.set({-2}, 7.0);
+  A.set({2}, 9.0);
+  EXPECT_DOUBLE_EQ(A.at({-2}), 7.0);
+  EXPECT_DOUBLE_EQ(A.at({2}), 9.0);
+  size_t Linear;
+  EXPECT_FALSE(A.linearize((const int64_t[]){3}, 1, Linear));
+  EXPECT_FALSE(A.linearize((const int64_t[]){-3}, 1, Linear));
+}
+
+TEST(DoubleArrayTest, RankMismatchRejected) {
+  DoubleArray A(DoubleArray::Dims{{1, 3}, {1, 3}});
+  size_t Linear;
+  EXPECT_FALSE(A.linearize((const int64_t[]){1}, 1, Linear));
+  EXPECT_FALSE(A.linearize((const int64_t[]){1, 1, 1}, 3, Linear));
+}
+
+TEST(DoubleArrayTest, DefinedBits) {
+  DoubleArray A(DoubleArray::Dims{{1, 4}});
+  EXPECT_TRUE(A.isDefined(0)); // no bitmap: everything counts as defined
+  A.enableDefinedBits();
+  EXPECT_FALSE(A.isDefined(0));
+  EXPECT_EQ(A.firstUndefined(), 0u);
+  A.setDefined(0);
+  A.setDefined(1);
+  EXPECT_EQ(A.firstUndefined(), 2u);
+  A.setDefined(2);
+  A.setDefined(3);
+  EXPECT_EQ(A.firstUndefined(), 4u);
+  A.markAllDefined();
+  EXPECT_TRUE(A.isDefined(2));
+}
+
+TEST(DoubleArrayTest, MaxAbsDiff) {
+  DoubleArray A(DoubleArray::Dims{{1, 3}});
+  DoubleArray B(DoubleArray::Dims{{1, 3}});
+  A.set({1}, 1.0);
+  B.set({1}, 1.5);
+  A.set({3}, -2.0);
+  B.set({3}, 2.0);
+  EXPECT_DOUBLE_EQ(DoubleArray::maxAbsDiff(A, B), 4.0);
+}
+
+TEST(DoubleArrayTest, EmptyDimension) {
+  DoubleArray A(DoubleArray::Dims{{5, 4}}); // hi < lo
+  EXPECT_EQ(A.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Executor behavior through compiled plans
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CompiledArray compileOk(const std::string &Source,
+                        const CompileOptions &Options = CompileOptions()) {
+  Compiler C(Options);
+  auto Compiled = C.compileArray(Source);
+  EXPECT_TRUE(Compiled.has_value()) << C.diags().str();
+  EXPECT_TRUE(!Compiled || Compiled->Thunkless)
+      << Compiled->FallbackReason;
+  return std::move(*Compiled);
+}
+
+} // namespace
+
+TEST(ExecutorTest, StatsCountStoresAndLoads) {
+  CompiledArray Compiled = compileOk(
+      "let n = 10 in letrec* a = array (1,n) "
+      "([ 1 := 1.0 ] ++ [ i := a!(i-1) * 2.0 | i <- [2..n] ]) in a");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().Stores, 10u);
+  EXPECT_EQ(Exec.stats().Loads, 9u);
+  EXPECT_DOUBLE_EQ(Out.at({10}), 512.0);
+}
+
+TEST(ExecutorTest, GuardsSkipInstances) {
+  CompiledArray Compiled = compileOk(
+      "let n = 10 in letrec* a = array (1,n) "
+      "([ i := 1.0 | i <- [1..n], i % 2 == 0 ] ++ "
+      " [ i := 2.0 | i <- [1..n], i % 2 == 1 ]) in a");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().Stores, 10u);     // half of each clause
+  EXPECT_EQ(Exec.stats().GuardEvals, 20u); // every instance evaluated
+}
+
+TEST(ExecutorTest, EmptiesCheckFires) {
+  // Coverage analysis cannot prove fullness (guard), and the guard
+  // actually leaves holes: the runtime empties check must fire.
+  Compiler C;
+  auto Compiled = C.compileArray(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i := 1.0 | i <- [1..n], i % 2 == 0 ] in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless);
+  ASSERT_TRUE(Compiled->Plan.CheckEmpties);
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  EXPECT_FALSE(Compiled->evaluate(Out, Exec, Err));
+  EXPECT_NE(Err.find("empty"), std::string::npos) << Err;
+}
+
+TEST(ExecutorTest, CollisionCheckFires) {
+  // A guarded kernel whose guard does NOT prevent the collision: the
+  // analysis cannot prove safety (guard), the runtime check catches it.
+  Compiler C;
+  auto Compiled = C.compileArray(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i / 2 := 1.0 | i <- [2..n], i > 1 ] in a");
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->Thunkless) << Compiled->FallbackReason;
+  ASSERT_TRUE(Compiled->Plan.CheckCollisions);
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  EXPECT_FALSE(Compiled->evaluate(Out, Exec, Err));
+  EXPECT_NE(Err.find("collision"), std::string::npos) << Err;
+}
+
+TEST(ExecutorTest, BoundsCheckFires) {
+  Compiler C;
+  auto Compiled = C.compileArray(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i + 1 := 1.0 | i <- [1..n], i > 0 ] in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless);
+  ASSERT_TRUE(Compiled->Plan.CheckStoreBounds);
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  EXPECT_FALSE(Compiled->evaluate(Out, Exec, Err));
+  EXPECT_NE(Err.find("out of bounds"), std::string::npos) << Err;
+}
+
+TEST(ExecutorTest, UnboundArrayIsRuntimeError) {
+  CompiledArray Compiled = compileOk(
+      "let n = 4 in letrec* a = array (1,n) "
+      "[ i := missing!i | i <- [1..n] ] in a");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  EXPECT_FALSE(Compiled.evaluate(Out, Exec, Err));
+  EXPECT_NE(Err.find("unbound array"), std::string::npos) << Err;
+}
+
+TEST(ExecutorTest, FusedFoldWithGuardAndLet) {
+  CompiledArray Compiled = compileOk(
+      "let n = 1 in letrec* s = array (1,1) "
+      "[ 1 := sum [ v | k <- [1..10], k % 2 == 0, let v = 1.0 * k * k ] ]"
+      " in s");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_DOUBLE_EQ(Out.at({1}), 4.0 + 16.0 + 36.0 + 64.0 + 100.0);
+}
+
+TEST(ExecutorTest, FusedProductAndNestedComp) {
+  CompiledArray Compiled = compileOk(
+      "letrec* s = array (1,2) "
+      "[ 1 := product [ 1.0 * k | k <- [1..5] ], "
+      "  2 := sum [* [1.0 * i, 2.0 * i] | i <- [1..3] *] ] in s");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_DOUBLE_EQ(Out.at({1}), 120.0);
+  EXPECT_DOUBLE_EQ(Out.at({2}), (1 + 2 + 3) * 3.0);
+}
+
+TEST(ExecutorTest, ScalarLetAndIfInValues) {
+  CompiledArray Compiled = compileOk(
+      "let n = 6 in letrec* a = array (1,n) "
+      "[ i := (let d = i * 2 in if d > 6 then 1.0 * d else 0.5 * d) "
+      "| i <- [1..n] ] in a");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_DOUBLE_EQ(Out.at({2}), 2.0);  // 0.5 * 4
+  EXPECT_DOUBLE_EQ(Out.at({5}), 10.0); // 1.0 * 10
+}
+
+TEST(ExecutorTest, IntegerSemanticsMatchInterpreter) {
+  // Integer division and modulo must truncate exactly like the reference
+  // interpreter.
+  CompiledArray Compiled = compileOk(
+      "let n = 7 in letrec* a = array (1,n) "
+      "[ i := 1.0 * (i * 10 / 3 % 4) | i <- [1..n] ] in a");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  for (int64_t I = 1; I <= 7; ++I)
+    EXPECT_DOUBLE_EQ(Out.at({I}), double(I * 10 / 3 % 4)) << I;
+}
+
+TEST(ExecutorTest, DivisionByZeroIsRuntimeError) {
+  CompiledArray Compiled = compileOk(
+      "let n = 3 in letrec* a = array (1,n) "
+      "[ i := 1 / (i - 2) | i <- [1..n] ] in a");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  EXPECT_FALSE(Compiled.evaluate(Out, Exec, Err));
+  EXPECT_NE(Err.find("division by zero"), std::string::npos) << Err;
+}
+
+TEST(ExecutorTest, RollingDistanceTwo) {
+  // A distance-2 rolling split: b!i := a!(i-2) in place, forward loop
+  // forced by another read. Ring must hold two phases.
+  Compiler C;
+  auto Compiled = C.compileUpdate(
+      "let n = 10 in "
+      "bigupd a [ i := a!(i-2) + 0 * a!(i+1) | i <- [3..n-1] ]");
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->InPlace) << Compiled->FallbackReason;
+  // The a!(i+1) read forces the forward direction; a!(i-2) then needs a
+  // rolling temp of distance 2.
+  bool HasDist2 = false;
+  for (const SplitAction &A : Compiled->Update.Splits)
+    HasDist2 |= A.K == SplitAction::Kind::Rolling && A.Distance == 2;
+  ASSERT_TRUE(HasDist2) << Compiled->report();
+
+  DoubleArray A(DoubleArray::Dims{{1, 10}});
+  for (int64_t I = 1; I <= 10; ++I)
+    A.set({I}, double(I * 100));
+  DoubleArray Expect = A;
+  for (int64_t I = 3; I <= 9; ++I)
+    Expect.set({I}, double((I - 2) * 100)); // old values!
+  Executor Exec(Compiled->Params);
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluateInPlace(A, Exec, Err)) << Err;
+  EXPECT_LE(DoubleArray::maxAbsDiff(A, Expect), 1e-12);
+}
+
+TEST(ExecutorTest, TempBytesTracksPeak) {
+  // Conflicting vertical reads force a rolling split (a single direction
+  // cannot satisfy both anti dependences).
+  Compiler C;
+  auto Compiled = C.compileUpdate(
+      "let n = 12 in "
+      "bigupd a [ (i,j) := a!(i-1,j) + a!(i+1,j) "
+      "| i <- [2..n-1], j <- [1..n] ]");
+  ASSERT_TRUE(Compiled && Compiled->InPlace) << C.diags().str();
+  DoubleArray A(DoubleArray::Dims{{1, 12}, {1, 12}});
+  Executor Exec(Compiled->Params);
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluateInPlace(A, Exec, Err)) << Err;
+  EXPECT_GT(Exec.stats().TempBytes, 0u);
+}

@@ -1,0 +1,159 @@
+//===- tests/support_test.cpp - Support library tests ---------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/IntMath.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace hac;
+
+//===----------------------------------------------------------------------===//
+// IntMath
+//===----------------------------------------------------------------------===//
+
+TEST(IntMathTest, GcdBasics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(18, 12), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(IntMathTest, GcdNegatives) {
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(-12, -18), 6);
+}
+
+TEST(IntMathTest, GcdInt64Min) {
+  int64_t Min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(gcd64(Min, 0), Min == 0 ? 0 : -(Min + 1) + 1); // |INT64_MIN|
+  EXPECT_EQ(gcd64(Min, 2), 2);
+}
+
+TEST(IntMathTest, ExtGcdBezout) {
+  for (int64_t A = -20; A <= 20; ++A) {
+    for (int64_t B = -20; B <= 20; ++B) {
+      ExtGcdResult R = extGcd64(A, B);
+      EXPECT_EQ(R.G, gcd64(A, B)) << "A=" << A << " B=" << B;
+      EXPECT_EQ(A * R.X + B * R.Y, R.G) << "A=" << A << " B=" << B;
+    }
+  }
+}
+
+TEST(IntMathTest, PosNegParts) {
+  EXPECT_EQ(posPart(5), 5);
+  EXPECT_EQ(posPart(-5), 0);
+  EXPECT_EQ(posPart(0), 0);
+  EXPECT_EQ(negPart(5), 0);
+  EXPECT_EQ(negPart(-5), 5);
+  EXPECT_EQ(negPart(0), 0);
+  // Identities used in the Banerjee proofs: t = t+ - t-, |t| = t+ + t-.
+  for (int64_t T = -10; T <= 10; ++T) {
+    EXPECT_EQ(posPart(T) - negPart(T), T);
+    EXPECT_EQ(posPart(T) + negPart(T), T < 0 ? -T : T);
+  }
+}
+
+TEST(IntMathTest, SaturatingArithmetic) {
+  int64_t Max = std::numeric_limits<int64_t>::max();
+  int64_t Min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(satAdd(Max, 1), Max);
+  EXPECT_EQ(satAdd(Min, -1), Min);
+  EXPECT_EQ(satAdd(1, 2), 3);
+  EXPECT_EQ(satSub(Min, 1), Min);
+  EXPECT_EQ(satSub(Max, -1), Max);
+  EXPECT_EQ(satMul(Max, 2), Max);
+  EXPECT_EQ(satMul(Max, -2), Min);
+  EXPECT_EQ(satMul(Min, -1), Max);
+  EXPECT_EQ(satMul(3, -4), -12);
+}
+
+TEST(IntMathTest, FloorCeilDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+TEST(RationalTest, Normalization) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.num(), 3);
+  EXPECT_EQ(R.den(), 2);
+  Rational N(3, -6);
+  EXPECT_EQ(N.num(), -1);
+  EXPECT_EQ(N.den(), 2);
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ((Half + Third), Rational(5, 6));
+  EXPECT_EQ((Half - Third), Rational(1, 6));
+  EXPECT_EQ((Half * Third), Rational(1, 6));
+  EXPECT_EQ((Half / Third), Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_GE(Rational(7), Rational(13, 2));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(RationalTest, Str) {
+  EXPECT_EQ(Rational(3, 2).str(), "3/2");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+  EXPECT_EQ(Rational(-1, 3).str(), "-1/3");
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsTest, CountsAndRendering) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(3, 7), "bad thing");
+  Diags.warning("iffy thing");
+  Diags.note(SourceLoc(4, 1), "fyi");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.warningCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+  EXPECT_EQ(Diags.diagnostics()[0].str(), "error: 3:7: bad thing");
+  EXPECT_EQ(Diags.diagnostics()[1].str(), "warning: iffy thing");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(DiagnosticsTest, SourceLocStr) {
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_EQ(SourceLoc(12, 34).str(), "12:34");
+  EXPECT_TRUE(SourceLoc(1, 1) < SourceLoc(1, 2));
+  EXPECT_TRUE(SourceLoc(1, 9) < SourceLoc(2, 1));
+}
