@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_cost.dir/bench_analysis_cost.cpp.o"
+  "CMakeFiles/bench_analysis_cost.dir/bench_analysis_cost.cpp.o.d"
+  "bench_analysis_cost"
+  "bench_analysis_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

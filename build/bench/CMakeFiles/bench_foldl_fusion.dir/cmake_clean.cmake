@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_foldl_fusion.dir/bench_foldl_fusion.cpp.o"
+  "CMakeFiles/bench_foldl_fusion.dir/bench_foldl_fusion.cpp.o.d"
+  "bench_foldl_fusion"
+  "bench_foldl_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_foldl_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rowswap.dir/bench_rowswap.cpp.o"
+  "CMakeFiles/bench_rowswap.dir/bench_rowswap.cpp.o.d"
+  "bench_rowswap"
+  "bench_rowswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rowswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5.dir/bench_sec5.cpp.o"
+  "CMakeFiles/bench_sec5.dir/bench_sec5.cpp.o.d"
+  "bench_sec5"
+  "bench_sec5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depgraph_tool.dir/depgraph_tool.cpp.o"
+  "CMakeFiles/depgraph_tool.dir/depgraph_tool.cpp.o.d"
+  "depgraph_tool"
+  "depgraph_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depgraph_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

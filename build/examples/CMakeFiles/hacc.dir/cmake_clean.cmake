@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc.dir/hacc.cpp.o"
+  "CMakeFiles/hacc.dir/hacc.cpp.o.d"
+  "hacc"
+  "hacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

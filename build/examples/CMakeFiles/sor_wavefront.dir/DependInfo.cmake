@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sor_wavefront.cpp" "examples/CMakeFiles/sor_wavefront.dir/sor_wavefront.cpp.o" "gcc" "examples/CMakeFiles/sor_wavefront.dir/sor_wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comp/CMakeFiles/hac_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hac_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/hac_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hac_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/hac_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/hac_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hac_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_wavefront.dir/sor_wavefront.cpp.o"
+  "CMakeFiles/sor_wavefront.dir/sor_wavefront.cpp.o.d"
+  "sor_wavefront"
+  "sor_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AffineExpr.cpp" "src/analysis/CMakeFiles/hac_analysis.dir/AffineExpr.cpp.o" "gcc" "src/analysis/CMakeFiles/hac_analysis.dir/AffineExpr.cpp.o.d"
+  "/root/repo/src/analysis/ArrayChecks.cpp" "src/analysis/CMakeFiles/hac_analysis.dir/ArrayChecks.cpp.o" "gcc" "src/analysis/CMakeFiles/hac_analysis.dir/ArrayChecks.cpp.o.d"
+  "/root/repo/src/analysis/DepGraph.cpp" "src/analysis/CMakeFiles/hac_analysis.dir/DepGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/hac_analysis.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/analysis/DependenceTest.cpp" "src/analysis/CMakeFiles/hac_analysis.dir/DependenceTest.cpp.o" "gcc" "src/analysis/CMakeFiles/hac_analysis.dir/DependenceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comp/CMakeFiles/hac_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hac_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_analysis.dir/AffineExpr.cpp.o"
+  "CMakeFiles/hac_analysis.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/hac_analysis.dir/ArrayChecks.cpp.o"
+  "CMakeFiles/hac_analysis.dir/ArrayChecks.cpp.o.d"
+  "CMakeFiles/hac_analysis.dir/DepGraph.cpp.o"
+  "CMakeFiles/hac_analysis.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/hac_analysis.dir/DependenceTest.cpp.o"
+  "CMakeFiles/hac_analysis.dir/DependenceTest.cpp.o.d"
+  "libhac_analysis.a"
+  "libhac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

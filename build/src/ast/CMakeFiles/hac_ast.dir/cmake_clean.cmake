@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_ast.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/hac_ast.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/hac_ast.dir/ASTUtils.cpp.o"
+  "CMakeFiles/hac_ast.dir/ASTUtils.cpp.o.d"
+  "CMakeFiles/hac_ast.dir/Expr.cpp.o"
+  "CMakeFiles/hac_ast.dir/Expr.cpp.o.d"
+  "libhac_ast.a"
+  "libhac_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_codegen.dir/CEmitter.cpp.o"
+  "CMakeFiles/hac_codegen.dir/CEmitter.cpp.o.d"
+  "CMakeFiles/hac_codegen.dir/ExecPlan.cpp.o"
+  "CMakeFiles/hac_codegen.dir/ExecPlan.cpp.o.d"
+  "libhac_codegen.a"
+  "libhac_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

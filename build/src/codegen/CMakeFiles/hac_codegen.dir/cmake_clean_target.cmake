@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhac_codegen.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_comp.dir/CompNest.cpp.o"
+  "CMakeFiles/hac_comp.dir/CompNest.cpp.o.d"
+  "CMakeFiles/hac_comp.dir/ConstFold.cpp.o"
+  "CMakeFiles/hac_comp.dir/ConstFold.cpp.o.d"
+  "CMakeFiles/hac_comp.dir/TE.cpp.o"
+  "CMakeFiles/hac_comp.dir/TE.cpp.o.d"
+  "libhac_comp.a"
+  "libhac_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_core.dir/Compiler.cpp.o"
+  "CMakeFiles/hac_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/hac_core.dir/InterpBridge.cpp.o"
+  "CMakeFiles/hac_core.dir/InterpBridge.cpp.o.d"
+  "libhac_core.a"
+  "libhac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/hac_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/hac_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/hac_frontend.dir/Parser.cpp.o.d"
+  "libhac_frontend.a"
+  "libhac_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_interp.dir/Interp.cpp.o"
+  "CMakeFiles/hac_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/hac_interp.dir/Value.cpp.o"
+  "CMakeFiles/hac_interp.dir/Value.cpp.o.d"
+  "libhac_interp.a"
+  "libhac_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_runtime.dir/Executor.cpp.o"
+  "CMakeFiles/hac_runtime.dir/Executor.cpp.o.d"
+  "libhac_runtime.a"
+  "libhac_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_schedule.dir/SCC.cpp.o"
+  "CMakeFiles/hac_schedule.dir/SCC.cpp.o.d"
+  "CMakeFiles/hac_schedule.dir/Scheduler.cpp.o"
+  "CMakeFiles/hac_schedule.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/hac_schedule.dir/Vectorize.cpp.o"
+  "CMakeFiles/hac_schedule.dir/Vectorize.cpp.o.d"
+  "libhac_schedule.a"
+  "libhac_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/hac_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/hac_support.dir/IntMath.cpp.o"
+  "CMakeFiles/hac_support.dir/IntMath.cpp.o.d"
+  "CMakeFiles/hac_support.dir/Rational.cpp.o"
+  "CMakeFiles/hac_support.dir/Rational.cpp.o.d"
+  "libhac_support.a"
+  "libhac_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

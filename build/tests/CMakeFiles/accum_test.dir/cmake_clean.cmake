@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accum_test.dir/accum_test.cpp.o"
+  "CMakeFiles/accum_test.dir/accum_test.cpp.o.d"
+  "accum_test"
+  "accum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cemit_test.dir/cemit_test.cpp.o"
+  "CMakeFiles/cemit_test.dir/cemit_test.cpp.o.d"
+  "cemit_test"
+  "cemit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cemit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comp_test.dir/comp_test.cpp.o"
+  "CMakeFiles/comp_test.dir/comp_test.cpp.o.d"
+  "comp_test"
+  "comp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

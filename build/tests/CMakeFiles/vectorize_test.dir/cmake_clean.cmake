@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorize_test.dir/vectorize_test.cpp.o"
+  "CMakeFiles/vectorize_test.dir/vectorize_test.cpp.o.d"
+  "vectorize_test"
+  "vectorize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
