@@ -17,6 +17,7 @@
 #include "codegen/CEmitter.h"
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,10 +25,102 @@
 #include <fstream>
 #include <string>
 #include <unistd.h>
+#include <utility>
+#include <vector>
 
 namespace hacbench {
 
 using namespace hac;
+
+//===--------------------------------------------------------------------===//
+// JSON telemetry
+//===--------------------------------------------------------------------===//
+
+/// When the HAC_BENCH_JSON environment variable names a file, tracing is
+/// enabled for the whole bench process and an atexit hook writes a JSON
+/// document there: any rows recorded via benchJsonRow() plus the trace
+/// fragment (phase spans and hac counters accumulated across every
+/// compile and run the bench performed). Without the variable this is
+/// completely inert. Call benchJsonInit() at the top of main — the
+/// HAC_BENCH_MAIN() macro below does so for google-benchmark binaries.
+class BenchJsonSink {
+public:
+  static BenchJsonSink &get() {
+    // Leaked for the same reason as TraceSink::get(): the atexit dump
+    // registered in the constructor would otherwise run after this
+    // object's destructor.
+    static BenchJsonSink *S = new BenchJsonSink;
+    return *S;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Records one result row. \p Fields are (key, already-rendered JSON
+  /// value) pairs: use hac::jsonQuote for strings, std::to_string for
+  /// numbers.
+  void row(const std::string &Name,
+           std::vector<std::pair<std::string, std::string>> Fields) {
+    if (!enabled())
+      return;
+    std::string R = "  {\"name\": " + jsonQuote(Name);
+    for (const auto &[Key, Value] : Fields)
+      R += ", " + jsonQuote(Key) + ": " + Value;
+    R += "}";
+    Rows.push_back(std::move(R));
+  }
+
+private:
+  BenchJsonSink() {
+    const char *Env = std::getenv("HAC_BENCH_JSON");
+    if (!Env || !*Env)
+      return;
+    Path = Env;
+    TraceSink::get().setEnabled(true);
+    std::atexit(dumpAtExit);
+  }
+
+  static void dumpAtExit() {
+    BenchJsonSink &S = get();
+    std::ofstream OS(S.Path);
+    if (!OS) {
+      std::fprintf(stderr, "hacbench: cannot write '%s'\n", S.Path.c_str());
+      return;
+    }
+    OS << "{\n \"rows\": [\n";
+    for (size_t I = 0; I != S.Rows.size(); ++I)
+      OS << S.Rows[I] << (I + 1 == S.Rows.size() ? "\n" : ",\n");
+    OS << " ],\n \"trace\":\n";
+    TraceSink::get().writeJson(OS, 2);
+    OS << "\n}\n";
+  }
+
+  std::string Path;
+  std::vector<std::string> Rows;
+};
+
+/// Arms the HAC_BENCH_JSON emitter (constructs the singleton so the
+/// atexit hook registers before any bench work runs).
+inline void benchJsonInit() { (void)BenchJsonSink::get(); }
+
+inline void
+benchJsonRow(const std::string &Name,
+             std::vector<std::pair<std::string, std::string>> Fields) {
+  BenchJsonSink::get().row(Name, std::move(Fields));
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN() that arms the JSON emitter
+/// before google-benchmark takes over.
+#define HAC_BENCH_MAIN()                                                    \
+  int main(int argc, char **argv) {                                         \
+    ::hacbench::benchJsonInit();                                            \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))               \
+      return 1;                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")
 
 /// Section 3's wavefront recurrence over an n x n grid.
 inline std::string wavefrontSource(int64_t N) {

@@ -108,4 +108,4 @@ static void BM_CompileWavefrontExactScreened(benchmark::State &State) {
 }
 BENCHMARK(BM_CompileWavefrontExactScreened)->Arg(64);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "analysis/DependenceTest.h"
 #include "comp/CompNest.h"
 
@@ -131,4 +133,4 @@ static void BM_RefineDirections(benchmark::State &State) {
 }
 BENCHMARK(BM_RefineDirections)->DenseRange(1, 6);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

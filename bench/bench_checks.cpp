@@ -62,4 +62,4 @@ static void BM_ChecksUnprovableGuard(benchmark::State &State) {
 }
 BENCHMARK(BM_ChecksUnprovableGuard)->Arg(1000)->Arg(100000);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

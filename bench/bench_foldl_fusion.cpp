@@ -70,4 +70,4 @@ static void BM_DotHandwritten(benchmark::State &State) {
 }
 BENCHMARK(BM_DotHandwritten)->Arg(100)->Arg(1000)->Arg(10000);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

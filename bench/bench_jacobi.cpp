@@ -72,4 +72,4 @@ static void BM_JacobiHandwrittenDoubleBuffer(benchmark::State &State) {
 }
 BENCHMARK(BM_JacobiHandwrittenDoubleBuffer)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "schedule/Scheduler.h"
 
 #include <benchmark/benchmark.h>
@@ -131,4 +133,4 @@ static void BM_GtChainWorstCase(benchmark::State &State) {
 }
 BENCHMARK(BM_GtChainWorstCase)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

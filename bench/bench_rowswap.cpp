@@ -69,4 +69,4 @@ static void BM_RowSwapHandwritten(benchmark::State &State) {
 }
 BENCHMARK(BM_RowSwapHandwritten)->Arg(16)->Arg(64)->Arg(128);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

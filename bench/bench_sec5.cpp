@@ -74,4 +74,4 @@ static void BM_Sec5Ex2Compiled(benchmark::State &State) {
 }
 BENCHMARK(BM_Sec5Ex2Compiled)->Arg(16)->Arg(32)->Arg(64);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

@@ -71,4 +71,4 @@ static void BM_SorHandwritten(benchmark::State &State) {
 }
 BENCHMARK(BM_SorHandwritten)->Arg(16)->Arg(32)->Arg(64)->Arg(256);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

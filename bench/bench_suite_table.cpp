@@ -30,6 +30,9 @@ void arrayRow(const char *Name, const std::string &Source) {
     std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | %s\n", Name,
                 "thunked", "-", "-", "-", "-",
                 Compiled->FallbackReason.c_str());
+    benchJsonRow(Name, {{"exec", "\"thunked\""},
+                        {"fallback_reason",
+                         jsonQuote(Compiled->FallbackReason)}});
     return;
   }
   std::printf(
@@ -41,6 +44,18 @@ void arrayRow(const char *Name, const std::string &Source) {
       Compiled->ReuseName.empty() ? "n/a" : "yes",
       Compiled->Sched.PassCount, Compiled->Vectorization.numVectorizable(),
       Compiled->Vectorization.InnerLoops.size());
+  benchJsonRow(
+      Name,
+      {{"exec", "\"thunkless\""},
+       {"collisions",
+        jsonQuote(checkOutcomeName(Compiled->Collisions.NoCollisions))},
+       {"empties",
+        jsonQuote(checkOutcomeName(Compiled->Coverage.NoEmpties))},
+       {"in_bounds",
+        jsonQuote(checkOutcomeName(Compiled->Coverage.InBounds))},
+       {"passes", std::to_string(Compiled->Sched.PassCount)},
+       {"vectorizable",
+        std::to_string(Compiled->Vectorization.numVectorizable())}});
 }
 
 void updateRow(const char *Name, const std::string &Source) {
@@ -54,6 +69,9 @@ void updateRow(const char *Name, const std::string &Source) {
     std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | %s\n", Name,
                 "copying", "-", "-", "-", "no",
                 Compiled->FallbackReason.c_str());
+    benchJsonRow(Name, {{"exec", "\"copying\""},
+                        {"fallback_reason",
+                         jsonQuote(Compiled->FallbackReason)}});
     return;
   }
   std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | splits=%zu "
@@ -63,6 +81,13 @@ void updateRow(const char *Name, const std::string &Source) {
               (long long)Compiled->Update.splitCopyCost(),
               Compiled->Vectorization.numVectorizable(),
               Compiled->Vectorization.InnerLoops.size());
+  benchJsonRow(Name,
+               {{"exec", "\"in-place\""},
+                {"splits", std::to_string(Compiled->Update.Splits.size())},
+                {"split_copy_cost",
+                 std::to_string(Compiled->Update.splitCopyCost())},
+                {"vectorizable",
+                 std::to_string(Compiled->Vectorization.numVectorizable())}});
 }
 
 void inPlaceArrayRow(const char *Name, const std::string &Source,
@@ -84,6 +109,13 @@ void inPlaceArrayRow(const char *Name, const std::string &Source,
               (long long)Compiled->InPlaceSched.splitCopyCost(),
               Compiled->Vectorization.numVectorizable(),
               Compiled->Vectorization.InnerLoops.size());
+  benchJsonRow(
+      Name, {{"exec", "\"in-place-reuse\""},
+             {"splits", std::to_string(Compiled->InPlaceSched.Splits.size())},
+             {"split_copy_cost",
+              std::to_string(Compiled->InPlaceSched.splitCopyCost())},
+             {"vectorizable",
+              std::to_string(Compiled->Vectorization.numVectorizable())}});
 }
 
 void accumRow(const char *Name, const std::string &Source) {
@@ -97,6 +129,9 @@ void accumRow(const char *Name, const std::string &Source) {
     std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | %s\n", Name,
                 "thunked", "-", "-", "-", "-",
                 Compiled->FallbackReason.c_str());
+    benchJsonRow(Name, {{"exec", "\"thunked\""},
+                        {"fallback_reason",
+                         jsonQuote(Compiled->FallbackReason)}});
     return;
   }
   std::printf(
@@ -106,11 +141,20 @@ void accumRow(const char *Name, const std::string &Source) {
       checkOutcomeName(Compiled->Coverage.InBounds), "n/a",
       Compiled->Sched.PassCount, Compiled->Vectorization.numVectorizable(),
       Compiled->Vectorization.InnerLoops.size());
+  benchJsonRow(
+      Name,
+      {{"exec", "\"thunkless\""},
+       {"collisions",
+        jsonQuote(checkOutcomeName(Compiled->Collisions.NoCollisions))},
+       {"passes", std::to_string(Compiled->Sched.PassCount)},
+       {"vectorizable",
+        std::to_string(Compiled->Vectorization.numVectorizable())}});
 }
 
 } // namespace
 
 int main() {
+  benchJsonInit();
   std::printf("E12: analysis outcome matrix for the paper's kernel suite "
               "(n = 64)\n\n");
   std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | notes\n",

@@ -98,4 +98,4 @@ static void BM_WavefrontHandwritten(benchmark::State &State) {
 }
 BENCHMARK(BM_WavefrontHandwritten)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
-BENCHMARK_MAIN();
+HAC_BENCH_MAIN();

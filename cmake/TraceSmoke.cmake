@@ -1,0 +1,54 @@
+# Smoke test for `hacc -json`: compiles and runs an example program with
+# telemetry enabled and asserts the JSON document carries the stable span
+# taxonomy and dependence-test outcome counters (see DESIGN.md
+# "Observability"). Invoked by ctest as
+#   cmake -DHACC=<hacc> -DPROGRAM=<file.hac> -DOUT=<scratch.json> -P TraceSmoke.cmake
+
+foreach(Var HACC PROGRAM OUT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "TraceSmoke.cmake needs -D${Var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${HACC} -json ${OUT} ${PROGRAM}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE Stdout
+  ERROR_VARIABLE Stderr)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "hacc -json failed (rc=${RC}):\n${Stdout}\n${Stderr}")
+endif()
+
+file(READ ${OUT} Json)
+
+# Phase spans: the compile tree and the runtime execution.
+set(ExpectedKeys
+  "\"phases\""
+  "\"counters\""
+  "\"name\": \"compile\""
+  "\"name\": \"parse\""
+  "\"name\": \"clause-tree\""
+  "\"name\": \"depgraph\""
+  "\"name\": \"affine-extract\""
+  "\"name\": \"dep-tests\""
+  "\"name\": \"schedule\""
+  "\"name\": \"plan-build\""
+  "\"name\": \"execute\""
+  "\"ms\": "
+  # Dependence-test outcome buckets: always present, even when zero.
+  "\"dep.gcd.independent\""
+  "\"dep.banerjee.independent\""
+  "\"dep.exact.independent\""
+  "\"dep.exact.budget_exhausted\""
+  "\"dep.assumed.dependent\""
+  # Runtime ExecStats folded into the same document.
+  "\"exec_stats\""
+  "\"exec.stores\""
+  "\"stores\": ")
+
+foreach(Key IN LISTS ExpectedKeys)
+  string(FIND "${Json}" "${Key}" Pos)
+  if(Pos EQUAL -1)
+    message(FATAL_ERROR "missing ${Key} in ${OUT}:\n${Json}")
+  endif()
+endforeach()

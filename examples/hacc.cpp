@@ -10,14 +10,22 @@
 //   hacc -emit-c FILE    emit the generated C kernel to stdout
 //   hacc -u ... FILE     treat the program as a bigupd update
 //   hacc -accum ... FILE treat the program as an accumArray construction
+//   hacc -trace ... FILE print the phase-timing tree + counters to stderr
+//   hacc -json OUT ...   write compile+run telemetry as JSON to OUT
+//                        ("-" for stdout)
 //
-// FILE may be "-" for stdin.
+// FILE may be "-" for stdin. Setting the HAC_TRACE environment variable
+// enables -trace-style output in any mode without flags.
+//
+// Exit codes: 0 success; 1 compile or runtime failure (diagnostics on
+// stderr); 2 (update mode) compiled but not in place.
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +37,20 @@
 using namespace hac;
 
 namespace {
+
+struct DriverOptions {
+  bool ReportOnly = false;
+  bool EmitCOnly = false;
+  bool Update = false;
+  bool Accum = false;
+  bool TraceTree = false;
+  std::string JsonPath; ///< empty = no JSON; "-" = stdout
+  std::string Path;
+
+  /// With -json to stdout the human-readable report would corrupt the
+  /// document, so it is suppressed.
+  bool quiet() const { return JsonPath == "-"; }
+};
 
 std::string readAll(const std::string &Path) {
   if (Path == "-") {
@@ -46,19 +68,142 @@ std::string readAll(const std::string &Path) {
   return OS.str();
 }
 
-int runArray(const std::string &Source, bool ReportOnly, bool EmitCOnly,
-             bool Accum) {
+/// Prints collected diagnostics to stderr (the single failure channel for
+/// every mode).
+void printDiags(Compiler &TheCompiler) {
+  TheCompiler.diags().print(std::cerr);
+}
+
+/// Pre-seeds the dependence-test outcome counters so the JSON key set is
+/// a stable contract even for programs where a bucket stays at zero.
+void seedStandardCounters() {
+  TraceSink &S = TraceSink::get();
+  for (const char *Name :
+       {"dep.gcd.independent", "dep.banerjee.independent",
+        "dep.exact.independent", "dep.exact.budget_exhausted",
+        "dep.assumed.dependent"})
+    S.count(Name, 0);
+}
+
+//===--------------------------------------------------------------------===//
+// JSON telemetry
+//===--------------------------------------------------------------------===//
+
+void writeExecStatsJson(std::ostream &OS, const ExecStats &Stats) {
+  OS << "  {\n"
+     << "   \"stores\": " << Stats.Stores << ",\n"
+     << "   \"loads\": " << Stats.Loads << ",\n"
+     << "   \"ring_saves\": " << Stats.RingSaves << ",\n"
+     << "   \"snapshot_copies\": " << Stats.SnapshotCopies << ",\n"
+     << "   \"bounds_checks\": " << Stats.BoundsChecks << ",\n"
+     << "   \"collision_checks\": " << Stats.CollisionChecks << ",\n"
+     << "   \"guard_evals\": " << Stats.GuardEvals << ",\n"
+     << "   \"fused_iters\": " << Stats.FusedIters << ",\n"
+     << "   \"temp_bytes_peak\": " << Stats.TempBytes << "\n"
+     << "  }";
+}
+
+/// The analysis-report fields of a compiled array, as a JSON object.
+void writeArrayAnalysisJson(std::ostream &OS, const CompiledArray &C) {
+  OS << "  {\n"
+     << "   \"clauses\": " << C.Nest.numClauses() << ",\n"
+     << "   \"loops\": " << C.Nest.Loops.size() << ",\n"
+     << "   \"edges\": " << C.Graph.Edges.size() << ",\n"
+     << "   \"collisions\": "
+     << jsonQuote(checkOutcomeName(C.Collisions.NoCollisions)) << ",\n"
+     << "   \"empties\": "
+     << jsonQuote(checkOutcomeName(C.Coverage.NoEmpties)) << ",\n"
+     << "   \"in_bounds\": "
+     << jsonQuote(checkOutcomeName(C.Coverage.InBounds)) << ",\n"
+     << "   \"instances\": " << C.Coverage.TotalInstances << ",\n"
+     << "   \"array_size\": " << C.Coverage.ArraySize << ",\n"
+     << "   \"passes\": " << (C.Thunkless ? C.Sched.PassCount : 0) << ",\n"
+     << "   \"vectorizable\": " << C.Vectorization.numVectorizable()
+     << ",\n"
+     << "   \"inner_loops\": " << C.Vectorization.InnerLoops.size()
+     << ",\n"
+     << "   \"check_store_bounds\": "
+     << (C.Thunkless && C.Plan.CheckStoreBounds ? "true" : "false") << ",\n"
+     << "   \"check_collisions\": "
+     << (C.Thunkless && C.Plan.CheckCollisions ? "true" : "false") << ",\n"
+     << "   \"check_empties\": "
+     << (C.Thunkless && C.Plan.CheckEmpties ? "true" : "false") << "\n"
+     << "  }";
+}
+
+void writeUpdateAnalysisJson(std::ostream &OS, const CompiledUpdate &C) {
+  OS << "  {\n"
+     << "   \"clauses\": " << C.Nest.numClauses() << ",\n"
+     << "   \"edges\": " << C.Graph.Edges.size() << ",\n"
+     << "   \"splits\": " << C.Update.Splits.size() << ",\n"
+     << "   \"split_copy_cost\": " << C.Update.splitCopyCost() << ",\n"
+     << "   \"vectorizable\": " << C.Vectorization.numVectorizable()
+     << ",\n"
+     << "   \"inner_loops\": " << C.Vectorization.InnerLoops.size() << "\n"
+     << "  }";
+}
+
+/// Emits the full telemetry document. \p WriteAnalysis writes the
+/// mode-specific analysis object (or null when compilation failed before
+/// analysis); \p ExecStatsPtr is null when nothing was executed.
+template <typename AnalysisFn>
+int writeTelemetry(const DriverOptions &Opts, const char *Mode,
+                   bool Thunkless, const std::string &FallbackReason,
+                   AnalysisFn WriteAnalysis, const ExecStats *ExecStatsPtr,
+                   const std::string &Error = "") {
+  std::ofstream FileOS;
+  std::ostream *OS = &std::cout;
+  if (Opts.JsonPath != "-") {
+    FileOS.open(Opts.JsonPath);
+    if (!FileOS) {
+      std::fprintf(stderr, "hacc: cannot write '%s'\n",
+                   Opts.JsonPath.c_str());
+      return 1;
+    }
+    OS = &FileOS;
+  }
+  *OS << "{\n \"file\": " << jsonQuote(Opts.Path)
+      << ",\n \"mode\": " << jsonQuote(Mode)
+      << ",\n \"thunkless\": " << (Thunkless ? "true" : "false");
+  if (!Error.empty())
+    *OS << ",\n \"error\": " << jsonQuote(Error);
+  if (!FallbackReason.empty())
+    *OS << ",\n \"fallback_reason\": " << jsonQuote(FallbackReason);
+  *OS << ",\n \"analysis\":\n";
+  WriteAnalysis(*OS);
+  if (ExecStatsPtr) {
+    *OS << ",\n \"exec_stats\":\n";
+    writeExecStatsJson(*OS, *ExecStatsPtr);
+  }
+  *OS << ",\n \"trace\":\n";
+  TraceSink::get().writeJson(*OS, 2);
+  *OS << "\n}\n";
+  return 0;
+}
+
+auto nullAnalysis = [](std::ostream &OS) { OS << "  null"; };
+
+//===--------------------------------------------------------------------===//
+// Modes
+//===--------------------------------------------------------------------===//
+
+int runArray(const DriverOptions &Opts, const std::string &Source) {
   Compiler TheCompiler;
-  auto Compiled = Accum ? TheCompiler.compileAccum(Source)
-                        : TheCompiler.compileArray(Source);
+  auto Compiled = Opts.Accum ? TheCompiler.compileAccum(Source)
+                             : TheCompiler.compileArray(Source);
+  const char *Mode = Opts.Accum ? "accum" : "array";
   if (!Compiled) {
-    std::fprintf(stderr, "%s", TheCompiler.diags().str().c_str());
+    printDiags(TheCompiler);
+    if (!Opts.JsonPath.empty())
+      writeTelemetry(Opts, Mode, false, "", nullAnalysis, nullptr,
+                     "compile failed: " + TheCompiler.diags().str());
     return 1;
   }
-  if (EmitCOnly) {
+  if (Opts.EmitCOnly) {
     if (!Compiled->Thunkless) {
       std::fprintf(stderr, "hacc: cannot emit C: %s\n",
                    Compiled->FallbackReason.c_str());
+      printDiags(TheCompiler);
       return 1;
     }
     CEmitResult Emitted = emitC(Compiled->Plan, "hac_kernel",
@@ -78,13 +223,24 @@ int runArray(const std::string &Source, bool ReportOnly, bool EmitCOnly,
     return 0;
   }
 
-  std::printf("%s\n", Compiled->report().c_str());
-  if (ReportOnly)
+  auto ArrayAnalysis = [&](std::ostream &OS) {
+    writeArrayAnalysisJson(OS, *Compiled);
+  };
+
+  if (!Opts.quiet())
+    std::printf("%s\n", Compiled->report().c_str());
+  if (Opts.ReportOnly) {
+    if (!Opts.JsonPath.empty())
+      return writeTelemetry(Opts, Mode, Compiled->Thunkless,
+                            Compiled->FallbackReason, ArrayAnalysis,
+                            nullptr);
     return 0;
+  }
   if (!Compiled->Thunkless) {
     // Fall back to the lazy reference interpreter, as a real compiler
     // for this language would.
-    std::printf("falling back to thunked evaluation...\n");
+    if (!Opts.quiet())
+      std::printf("falling back to thunked evaluation...\n");
     Interpreter Interp;
     Interp.setFuel(500'000'000);
     DiagnosticEngine Diags;
@@ -99,13 +255,18 @@ int runArray(const std::string &Source, bool ReportOnly, bool EmitCOnly,
       std::fprintf(stderr, "hacc: %s\n", ConvErr.c_str());
       return 1;
     }
-    std::printf("result: %zu elements; first = %g, last = %g\n",
-                Ref->size(), Ref->size() ? (*Ref)[0] : 0.0,
-                Ref->size() ? (*Ref)[Ref->size() - 1] : 0.0);
-    std::printf("stats: thunks=%llu forced=%llu cons-cells=%llu\n",
-                (unsigned long long)Interp.stats().ThunksCreated,
-                (unsigned long long)Interp.stats().ThunksForced,
-                (unsigned long long)Interp.stats().ConsCells);
+    if (!Opts.quiet()) {
+      std::printf("result: %zu elements; first = %g, last = %g\n",
+                  Ref->size(), Ref->size() ? (*Ref)[0] : 0.0,
+                  Ref->size() ? (*Ref)[Ref->size() - 1] : 0.0);
+      std::printf("stats: thunks=%llu forced=%llu cons-cells=%llu\n",
+                  (unsigned long long)Interp.stats().ThunksCreated,
+                  (unsigned long long)Interp.stats().ThunksForced,
+                  (unsigned long long)Interp.stats().ConsCells);
+    }
+    if (!Opts.JsonPath.empty())
+      return writeTelemetry(Opts, Mode, false, Compiled->FallbackReason,
+                            ArrayAnalysis, nullptr);
     return 0;
   }
 
@@ -114,31 +275,43 @@ int runArray(const std::string &Source, bool ReportOnly, bool EmitCOnly,
   std::string Err;
   if (!Compiled->evaluate(Out, Exec, Err)) {
     std::fprintf(stderr, "hacc: runtime error: %s\n", Err.c_str());
+    if (!Opts.JsonPath.empty())
+      writeTelemetry(Opts, Mode, true, "", ArrayAnalysis, &Exec.stats(),
+                     "runtime error: " + Err);
     return 1;
   }
-  std::printf("result: %zu elements; first = %g, last = %g\n", Out.size(),
-              Out.size() ? Out[0] : 0.0,
-              Out.size() ? Out[Out.size() - 1] : 0.0);
-  std::printf("stats: stores=%llu loads=%llu checks=%llu fused=%llu\n",
-              (unsigned long long)Exec.stats().Stores,
-              (unsigned long long)Exec.stats().Loads,
-              (unsigned long long)(Exec.stats().BoundsChecks +
-                                   Exec.stats().CollisionChecks),
-              (unsigned long long)Exec.stats().FusedIters);
+  if (!Opts.quiet()) {
+    std::printf("result: %zu elements; first = %g, last = %g\n", Out.size(),
+                Out.size() ? Out[0] : 0.0,
+                Out.size() ? Out[Out.size() - 1] : 0.0);
+    std::printf("stats: stores=%llu loads=%llu checks=%llu fused=%llu\n",
+                (unsigned long long)Exec.stats().Stores,
+                (unsigned long long)Exec.stats().Loads,
+                (unsigned long long)(Exec.stats().BoundsChecks +
+                                     Exec.stats().CollisionChecks),
+                (unsigned long long)Exec.stats().FusedIters);
+  }
+  if (!Opts.JsonPath.empty())
+    return writeTelemetry(Opts, Mode, true, "", ArrayAnalysis,
+                          &Exec.stats());
   return 0;
 }
 
-int runUpdate(const std::string &Source, bool ReportOnly, bool EmitCOnly) {
+int runUpdate(const DriverOptions &Opts, const std::string &Source) {
   Compiler TheCompiler;
   auto Compiled = TheCompiler.compileUpdate(Source);
   if (!Compiled) {
-    std::fprintf(stderr, "%s", TheCompiler.diags().str().c_str());
+    printDiags(TheCompiler);
+    if (!Opts.JsonPath.empty())
+      writeTelemetry(Opts, "update", false, "", nullAnalysis, nullptr,
+                     "compile failed: " + TheCompiler.diags().str());
     return 1;
   }
-  if (EmitCOnly) {
+  if (Opts.EmitCOnly) {
     if (!Compiled->InPlace) {
       std::fprintf(stderr, "hacc: cannot emit C: %s\n",
                    Compiled->FallbackReason.c_str());
+      printDiags(TheCompiler);
       return 1;
     }
     if (Compiled->Plan.Dims.empty()) {
@@ -157,35 +330,73 @@ int runUpdate(const std::string &Source, bool ReportOnly, bool EmitCOnly) {
     std::fputs(Emitted.Code.c_str(), stdout);
     return 0;
   }
-  std::printf("%s\n", Compiled->report().c_str());
-  (void)ReportOnly;
+  if (!Opts.quiet())
+    std::printf("%s\n", Compiled->report().c_str());
+  if (!Opts.JsonPath.empty()) {
+    int JsonRC = writeTelemetry(
+        Opts, "update", Compiled->InPlace, Compiled->FallbackReason,
+        [&](std::ostream &OS) { writeUpdateAnalysisJson(OS, *Compiled); },
+        nullptr);
+    if (JsonRC != 0)
+      return JsonRC;
+  }
   return Compiled->InPlace ? 0 : 2;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool ReportOnly = false, EmitCOnly = false, Update = false, Accum = false;
-  std::string Path;
+  DriverOptions Opts;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "-report") == 0)
-      ReportOnly = true;
+      Opts.ReportOnly = true;
     else if (std::strcmp(Argv[I], "-emit-c") == 0)
-      EmitCOnly = true;
+      Opts.EmitCOnly = true;
     else if (std::strcmp(Argv[I], "-u") == 0)
-      Update = true;
+      Opts.Update = true;
     else if (std::strcmp(Argv[I], "-accum") == 0)
-      Accum = true;
-    else
-      Path = Argv[I];
+      Opts.Accum = true;
+    else if (std::strcmp(Argv[I], "-trace") == 0)
+      Opts.TraceTree = true;
+    else if (std::strcmp(Argv[I], "-json") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "hacc: -json needs an output file\n");
+        return 1;
+      }
+      Opts.JsonPath = Argv[++I];
+    } else if (Argv[I][0] == '-' && Argv[I][1] != '\0') {
+      std::fprintf(stderr, "hacc: unknown flag '%s'\n", Argv[I]);
+      return 1;
+    } else
+      Opts.Path = Argv[I];
   }
-  if (Path.empty()) {
+  if (Opts.Path.empty()) {
     std::fprintf(stderr,
-                 "usage: hacc [-report | -emit-c] [-u | -accum] FILE\n");
+                 "usage: hacc [-report | -emit-c] [-u | -accum] [-trace] "
+                 "[-json FILE] FILE\n"
+                 "  -report      print the analysis report only\n"
+                 "  -emit-c      emit the generated C kernel to stdout\n"
+                 "  -u           treat the program as a bigupd update\n"
+                 "  -accum       treat the program as accumArray\n"
+                 "  -trace       print phase timings + counters to stderr\n"
+                 "  -json FILE   write compile+run telemetry as JSON "
+                 "(\"-\" = stdout)\n"
+                 "FILE may be \"-\" for stdin; HAC_TRACE=1 in the "
+                 "environment implies -trace.\n");
     return 1;
   }
-  std::string Source = readAll(Path);
-  if (Update)
-    return runUpdate(Source, ReportOnly, EmitCOnly);
-  return runArray(Source, ReportOnly, EmitCOnly, Accum);
+
+  if (Opts.TraceTree || !Opts.JsonPath.empty()) {
+    TraceSink::get().setEnabled(true);
+    seedStandardCounters();
+  }
+
+  std::string Source = readAll(Opts.Path);
+  int RC = Opts.Update ? runUpdate(Opts, Source) : runArray(Opts, Source);
+
+  if (Opts.TraceTree) {
+    std::cerr << "=== trace ===\n";
+    TraceSink::get().printTree(std::cerr);
+  }
+  return RC;
 }

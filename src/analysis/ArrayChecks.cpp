@@ -4,6 +4,7 @@
 
 #include "analysis/AffineExpr.h"
 #include "support/IntMath.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <sstream>
@@ -54,6 +55,7 @@ bool clauseHasInstances(const ClauseNode *Clause) {
 CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
                                          const ParamEnv &Params,
                                          uint64_t ExactBudget) {
+  HAC_TRACE_SPAN(Span, "collision-analysis");
   CollisionAnalysis Result;
   if (!Nest.Analyzable) {
     Result.NoCollisions = CheckOutcome::Unknown;
@@ -125,6 +127,7 @@ CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
                                       const ArrayDims &Dims,
                                       const ParamEnv &Params,
                                       const CollisionAnalysis &Collisions) {
+  HAC_TRACE_SPAN(Span, "coverage-analysis");
   CoverageAnalysis Result;
   Result.NoCollisions = Collisions.NoCollisions;
 

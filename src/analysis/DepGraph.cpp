@@ -3,6 +3,7 @@
 #include "analysis/DepGraph.h"
 
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -255,6 +256,7 @@ private:
 AccessInfo hac::collectAccesses(const CompNest &Nest,
                                 const std::string &TargetName,
                                 const ParamEnv &Params) {
+  HAC_TRACE_SPAN(Span, "affine-extract");
   AccessInfo Info;
   Info.Writes.resize(Nest.numClauses());
   for (const ClauseNode *Clause : Nest.Clauses) {
@@ -465,6 +467,7 @@ DepGraph hac::buildDepGraph(const CompNest &Nest,
                             const std::string &TargetName,
                             const ParamEnv &Params, DepGraphMode Mode,
                             const DepGraphOptions &Options) {
+  HAC_TRACE_SPAN(Span, "depgraph");
   DepGraph G;
   G.NumClauses = Nest.numClauses();
 
@@ -472,9 +475,11 @@ DepGraph hac::buildDepGraph(const CompNest &Nest,
   if (Info.HasUnknownRef) {
     G.HasUnknownRef = true;
     G.UnknownRefReason = Info.UnknownRefReason;
+    HAC_TRACE_COUNT("dep.unknown_ref");
     return G;
   }
 
+  HAC_TRACE_SPAN(TestSpan, "dep-tests");
   GraphBuilder Builder(Info, Options, G);
 
   if (Mode == DepGraphMode::Monolithic) {
@@ -498,5 +503,7 @@ DepGraph hac::buildDepGraph(const CompNest &Nest,
     for (size_t J = I; J != Info.Writes.size(); ++J)
       Builder.addOutputEdges(Info.Writes[I], Info.Writes[J]);
 
+  HAC_TRACE_COUNT("dep.edges", G.Edges.size());
+  HAC_TRACE_COUNT("dep.nonaffine_pairs", G.NonAffinePairs);
   return G;
 }

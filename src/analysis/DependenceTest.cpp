@@ -3,6 +3,7 @@
 #include "analysis/DependenceTest.h"
 
 #include "support/IntMath.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -410,14 +411,33 @@ std::vector<DirVector> hac::refineDirections(const DepProblem &P,
   DirVector Dirs(P.SharedLoops.size(), Dir::Any);
 
   // Depth-first refinement: prune a whole subtree as soon as the combined
-  // necessary test proves independence for its partial vector.
+  // necessary test proves independence for its partial vector. Each query
+  // outcome feeds the dep.* trace counters (one increment per direction
+  // vector tested, including partial vectors pruned mid-tree), so the
+  // ablation story — which test pays for which elimination — is
+  // quantified.
   std::function<void(size_t)> Go = [&](size_t Pos) {
-    if (hierTest(P, Dirs) == TestResult::Independent)
+    if (gcdTest(P, Dirs) == TestResult::Independent) {
+      HAC_TRACE_COUNT("dep.gcd.independent");
       return;
+    }
+    if (banerjeeTest(P, Dirs) == TestResult::Independent) {
+      HAC_TRACE_COUNT("dep.banerjee.independent");
+      return;
+    }
     if (Pos == Dirs.size()) {
-      if (ExactBudget != 0 &&
-          exactTest(P, Dirs, ExactBudget) == TestResult::Independent)
-        return;
+      if (ExactBudget != 0) {
+        ExactStats Stats;
+        TestResult R = exactTest(P, Dirs, ExactBudget, &Stats);
+        HAC_TRACE_COUNT("dep.exact.nodes", Stats.NodesVisited);
+        if (R == TestResult::Independent) {
+          HAC_TRACE_COUNT("dep.exact.independent");
+          return;
+        }
+        if (Stats.BudgetExhausted)
+          HAC_TRACE_COUNT("dep.exact.budget_exhausted");
+      }
+      HAC_TRACE_COUNT("dep.assumed.dependent");
       Result.push_back(Dirs);
       return;
     }

@@ -5,6 +5,7 @@
 #include "ast/ASTUtils.h"
 #include "frontend/Parser.h"
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <set>
 #include <sstream>
@@ -49,6 +50,29 @@ bool boundsToDims(const Expr *Bounds, const ParamEnv &Params, ArrayDims &Out,
   return true;
 }
 
+/// Parses \p Source under a "parse" span.
+ExprPtr parsePhase(const std::string &Source, DiagnosticEngine &Diags) {
+  HAC_TRACE_SPAN(Span, "parse");
+  return parseString(Source, Diags);
+}
+
+/// Builds the clause tree under a "clause-tree" span.
+CompNest nestPhase(const Expr *SvList, const ParamEnv &Params,
+                   DiagnosticEngine &Diags) {
+  HAC_TRACE_SPAN(Span, "clause-tree");
+  return buildCompNest(SvList, Params, Diags);
+}
+
+/// Records how one compile ended on the enclosing "compile" span.
+void traceOutcome(bool Thunkless, const std::string &FallbackReason) {
+  if (!traceEnabled())
+    return;
+  TraceSink::get().count(Thunkless ? "compile.thunkless"
+                                   : "compile.fallback");
+  TraceSink::get().annotate(Thunkless ? "thunkless"
+                                      : "fallback: " + FallbackReason);
+}
+
 /// Peels outer `let` wrappers: constant integer bindings extend Params;
 /// other plain-let bindings are recorded as expected runtime inputs.
 /// Returns the first non-let expression (or the target letrec).
@@ -82,7 +106,10 @@ const Expr *peelLets(const Expr *E, ParamEnv &Params,
 
 std::optional<CompiledArray>
 Compiler::compileArray(const std::string &Source) {
-  ExprPtr Ast = parseString(Source, Diags);
+  HAC_TRACE_SPAN(CompileSpan, "compile");
+  if (traceEnabled())
+    TraceSink::get().annotate("mode=array");
+  ExprPtr Ast = parsePhase(Source, Diags);
   if (!Ast)
     return std::nullopt;
 
@@ -115,10 +142,11 @@ Compiler::compileArray(const std::string &Source) {
     return std::nullopt;
 
   Result.Ast = std::move(Ast);
-  Result.Nest = buildCompNest(Make->svList(), Result.Params, Diags);
+  Result.Nest = nestPhase(Make->svList(), Result.Params, Diags);
   if (!Result.Nest.Analyzable) {
     Result.Thunkless = false;
     Result.FallbackReason = Result.Nest.FallbackReason;
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
 
@@ -135,6 +163,7 @@ Compiler::compileArray(const std::string &Source) {
     Diags.error(SourceLoc(), "write collision: " + Result.Collisions.Witness);
     Result.Thunkless = false;
     Result.FallbackReason = "definite write collision";
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
   if (Result.Coverage.InBounds == CheckOutcome::Disproven)
@@ -145,6 +174,7 @@ Compiler::compileArray(const std::string &Source) {
   if (Result.Graph.HasUnknownRef) {
     Result.Thunkless = false;
     Result.FallbackReason = Result.Graph.UnknownRefReason;
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
 
@@ -158,6 +188,7 @@ Compiler::compileArray(const std::string &Source) {
   if (!Result.Sched.Thunkless) {
     Result.Thunkless = false;
     Result.FallbackReason = Result.Sched.FailureReason;
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
   Result.Vectorization = analyzeVectorization(Result.Sched, FlowEdges);
@@ -171,14 +202,21 @@ Compiler::compileArray(const std::string &Source) {
     EffCoverage.InBounds = CheckOutcome::Unknown;
     EffCoverage.NoEmpties = CheckOutcome::Unknown;
   }
-  Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
-                               Result.Dims, EffCollisions, EffCoverage);
+  {
+    HAC_TRACE_SPAN(PlanSpan, "plan-build");
+    Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
+                                 Result.Dims, EffCollisions, EffCoverage);
+  }
+  traceOutcome(true, "");
   return Result;
 }
 
 std::optional<CompiledUpdate>
 Compiler::compileUpdate(const std::string &Source) {
-  ExprPtr Ast = parseString(Source, Diags);
+  HAC_TRACE_SPAN(CompileSpan, "compile");
+  if (traceEnabled())
+    TraceSink::get().annotate("mode=update");
+  ExprPtr Ast = parsePhase(Source, Diags);
   if (!Ast)
     return std::nullopt;
 
@@ -207,10 +245,11 @@ Compiler::compileUpdate(const std::string &Source) {
   Result.BaseName = Base->name();
 
   Result.Ast = std::move(Ast);
-  Result.Nest = buildCompNest(Upd->svList(), Result.Params, Diags);
+  Result.Nest = nestPhase(Upd->svList(), Result.Params, Diags);
   if (!Result.Nest.Analyzable) {
     Result.InPlace = false;
     Result.FallbackReason = Result.Nest.FallbackReason;
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
 
@@ -222,6 +261,7 @@ Compiler::compileUpdate(const std::string &Source) {
   if (!Result.Update.InPlace) {
     Result.InPlace = false;
     Result.FallbackReason = Result.Update.Reason;
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
   {
@@ -238,8 +278,12 @@ Compiler::compileUpdate(const std::string &Source) {
   }
 
   Result.InPlace = true;
-  Result.Plan = buildUpdatePlan(Result.Nest, Result.Update, Result.BaseName,
-                                /*Dims=*/{});
+  {
+    HAC_TRACE_SPAN(PlanSpan, "plan-build");
+    Result.Plan = buildUpdatePlan(Result.Nest, Result.Update,
+                                  Result.BaseName, /*Dims=*/{});
+  }
+  traceOutcome(true, "");
   return Result;
 }
 
@@ -305,7 +349,10 @@ ExprPtr transformAccumValues(const Expr *SvList, const LambdaExpr *Fn,
 
 std::optional<CompiledArray>
 Compiler::compileAccum(const std::string &Source) {
-  ExprPtr Ast = parseString(Source, Diags);
+  HAC_TRACE_SPAN(CompileSpan, "compile");
+  if (traceEnabled())
+    TraceSink::get().annotate("mode=accum");
+  ExprPtr Ast = parsePhase(Source, Diags);
   if (!Ast)
     return std::nullopt;
 
@@ -342,6 +389,7 @@ Compiler::compileAccum(const std::string &Source) {
     Result.Thunkless = false;
     Result.FallbackReason =
         "accumArray combining function is not a two-parameter lambda";
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
   double InitValue = 0;
@@ -355,6 +403,7 @@ Compiler::compileAccum(const std::string &Source) {
       Result.Thunkless = false;
       Result.FallbackReason =
           "accumArray initial value is not a compile-time constant";
+      traceOutcome(false, Result.FallbackReason);
       return Result;
     }
     InitValue = static_cast<double>(IV);
@@ -364,10 +413,11 @@ Compiler::compileAccum(const std::string &Source) {
   // Inline the combining function into every pair value.
   ExprPtr Transformed =
       transformAccumValues(Accum->svList(), Fn, Accum->init());
-  Result.Nest = buildCompNest(Transformed.get(), Result.Params, Diags);
+  Result.Nest = nestPhase(Transformed.get(), Result.Params, Diags);
   if (!Result.Nest.Analyzable) {
     Result.Thunkless = false;
     Result.FallbackReason = Result.Nest.FallbackReason;
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
 
@@ -380,6 +430,7 @@ Compiler::compileAccum(const std::string &Source) {
     Result.Thunkless = false;
     Result.FallbackReason = "self-referencing accumulated arrays read "
                             "partially combined values; falling back";
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
 
@@ -394,6 +445,7 @@ Compiler::compileAccum(const std::string &Source) {
     Result.FallbackReason =
         "possible multiple pairs per element: combining order must be "
         "preserved (interpreter fallback)";
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
 
@@ -401,6 +453,7 @@ Compiler::compileAccum(const std::string &Source) {
   if (!Result.Sched.Thunkless) {
     Result.Thunkless = false;
     Result.FallbackReason = Result.Sched.FailureReason;
+    traceOutcome(false, Result.FallbackReason);
     return Result;
   }
   Result.Vectorization = analyzeVectorization(Result.Sched, {});
@@ -409,14 +462,22 @@ Compiler::compileAccum(const std::string &Source) {
   CoverageAnalysis EffCoverage = Result.Coverage;
   // Untouched elements are the initial value, never "empties".
   EffCoverage.NoEmpties = CheckOutcome::Proven;
-  Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
-                               Result.Dims, Result.Collisions, EffCoverage);
+  {
+    HAC_TRACE_SPAN(PlanSpan, "plan-build");
+    Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
+                                 Result.Dims, Result.Collisions,
+                                 EffCoverage);
+  }
+  traceOutcome(true, "");
   return Result;
 }
 
 std::optional<CompiledArray>
 Compiler::compileArrayInPlace(const std::string &Source,
                               const std::string &ReuseName) {
+  HAC_TRACE_SPAN(CompileSpan, "compile");
+  if (traceEnabled())
+    TraceSink::get().annotate("mode=array-in-place reuse=" + ReuseName);
   auto Result = compileArray(Source);
   if (!Result)
     return std::nullopt;
@@ -424,6 +485,7 @@ Compiler::compileArrayInPlace(const std::string &Source,
   if (!Result->Nest.Analyzable || Result->Graph.HasUnknownRef ||
       Result->Collisions.NoCollisions == CheckOutcome::Disproven) {
     Result->Thunkless = false;
+    traceOutcome(false, Result->FallbackReason);
     return Result;
   }
 
@@ -435,6 +497,7 @@ Compiler::compileArrayInPlace(const std::string &Source,
   if (AntiGraph.HasUnknownRef) {
     Result->Thunkless = false;
     Result->FallbackReason = AntiGraph.UnknownRefReason;
+    traceOutcome(false, Result->FallbackReason);
     return Result;
   }
   DepGraph Combined;
@@ -451,6 +514,7 @@ Compiler::compileArrayInPlace(const std::string &Source,
   if (!Result->InPlaceSched.InPlace) {
     Result->Thunkless = false;
     Result->FallbackReason = Result->InPlaceSched.Reason;
+    traceOutcome(false, Result->FallbackReason);
     return Result;
   }
 
@@ -473,10 +537,15 @@ Compiler::compileArrayInPlace(const std::string &Source,
     EffCoverage.InBounds = CheckOutcome::Unknown;
     EffCoverage.NoEmpties = CheckOutcome::Unknown;
   }
-  Result->Plan = buildInPlaceArrayPlan(Result->Nest, Result->InPlaceSched,
-                                       Result->Name, ReuseName, Result->Dims,
-                                       EffCollisions, EffCoverage);
+  {
+    HAC_TRACE_SPAN(PlanSpan, "plan-build");
+    Result->Plan = buildInPlaceArrayPlan(Result->Nest, Result->InPlaceSched,
+                                         Result->Name, ReuseName,
+                                         Result->Dims, EffCollisions,
+                                         EffCoverage);
+  }
   Result->Sched = Result->InPlaceSched.Sched;
+  traceOutcome(true, "");
   return Result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "frontend/Parser.h"
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 using namespace hac;
 
@@ -52,6 +53,8 @@ ValuePtr hac::runThunked(
     const std::string &Source,
     const std::map<std::string, const DoubleArray *> &Inputs,
     Interpreter &Interp, DiagnosticEngine &Diags) {
+  TraceSpan Span("interp");
+  InterpStats Before = Interp.stats();
   ExprPtr Ast = parseString(Source, Diags);
   if (!Ast)
     return makeErrorValue("parse error: " + Diags.str());
@@ -66,6 +69,7 @@ ValuePtr hac::runThunked(
   if (Result->isError())
     return Result;
   ValuePtr Forced = Interp.deepForce(Result);
+  Interp.foldStatsIntoTrace(Before);
   if (Forced->isError())
     return Forced;
   return Result;

@@ -3,6 +3,7 @@
 #include "interp/Interp.h"
 
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <cmath>
 #include <functional>
@@ -53,7 +54,26 @@ EnvPtr Interpreter::makeGlobalEnv() {
 }
 
 ValuePtr Interpreter::evalProgram(const Expr *E) {
-  return eval(E, makeGlobalEnv());
+  if (!traceEnabled())
+    return eval(E, makeGlobalEnv());
+  TraceSpan Span("interp-eval");
+  InterpStats Before = Stats;
+  ValuePtr V = eval(E, makeGlobalEnv());
+  foldStatsIntoTrace(Before);
+  return V;
+}
+
+void Interpreter::foldStatsIntoTrace(const InterpStats &Before) const {
+  if (!traceEnabled())
+    return;
+  TraceSink &S = TraceSink::get();
+  S.count("interp.thunks_created", Stats.ThunksCreated - Before.ThunksCreated);
+  S.count("interp.thunks_forced", Stats.ThunksForced - Before.ThunksForced);
+  S.count("interp.cons_cells", Stats.ConsCells - Before.ConsCells);
+  S.count("interp.array_allocs", Stats.ArrayAllocs - Before.ArrayAllocs);
+  S.count("interp.elem_copies", Stats.ElemCopies - Before.ElemCopies);
+  S.count("interp.applications", Stats.Applications - Before.Applications);
+  S.count("interp.steps", Stats.Steps - Before.Steps);
 }
 
 ValuePtr Interpreter::force(const ThunkPtr &T) {

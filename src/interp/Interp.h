@@ -61,6 +61,12 @@ public:
   const InterpStats &stats() const { return Stats; }
   void resetStats() { Stats = InterpStats(); }
 
+  /// Folds the stats accumulated since \p Before into the global trace
+  /// sink under interp.* counter names (no-op when tracing is disabled),
+  /// so thunked-baseline costs land in the same report as compile-time
+  /// and thunkless-runtime telemetry.
+  void foldStatsIntoTrace(const InterpStats &Before) const;
+
   /// Limits the number of eval() steps (0 = unlimited). Exceeding the
   /// budget produces an error value, never an abort; property tests use
   /// this to survive accidentally divergent random programs.

@@ -4,6 +4,7 @@
 
 #include "ast/ASTPrinter.h"
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <cmath>
 #include <functional>
@@ -838,6 +839,30 @@ private:
 
 bool Executor::run(const ExecPlan &Plan, DoubleArray &Target,
                    std::string &Err) {
+  if (!traceEnabled()) {
+    Runner R(Plan, Target, Params, Inputs, Stats, ValidateReads);
+    return R.run(Err);
+  }
+
+  // Traced run: time the execution and fold this run's stat deltas into
+  // the sink so compile-time and run-time telemetry land in one report.
+  TraceSpan Span("execute");
+  ExecStats Before = Stats;
   Runner R(Plan, Target, Params, Inputs, Stats, ValidateReads);
-  return R.run(Err);
+  bool OK = R.run(Err);
+  TraceSink &S = TraceSink::get();
+  S.count("exec.stores", Stats.Stores - Before.Stores);
+  S.count("exec.loads", Stats.Loads - Before.Loads);
+  S.count("exec.ring_saves", Stats.RingSaves - Before.RingSaves);
+  S.count("exec.snapshot_copies",
+          Stats.SnapshotCopies - Before.SnapshotCopies);
+  S.count("exec.bounds_checks", Stats.BoundsChecks - Before.BoundsChecks);
+  S.count("exec.collision_checks",
+          Stats.CollisionChecks - Before.CollisionChecks);
+  S.count("exec.guard_evals", Stats.GuardEvals - Before.GuardEvals);
+  S.count("exec.fused_iters", Stats.FusedIters - Before.FusedIters);
+  S.countMax("exec.temp_bytes_peak", Stats.TempBytes);
+  if (!OK)
+    S.count("exec.runtime_errors");
+  return OK;
 }

@@ -5,6 +5,7 @@
 #include "schedule/SCC.h"
 #include "support/Casting.h"
 #include "support/IntMath.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <functional>
@@ -487,6 +488,7 @@ private:
 
 Schedule hac::scheduleNest(const CompNest &Nest,
                            const std::vector<const DepEdge *> &Edges) {
+  HAC_TRACE_SPAN(Span, "schedule");
   if (!Nest.Analyzable) {
     Schedule S;
     S.Thunkless = false;
@@ -731,6 +733,7 @@ bool rollingDirectionsOK(const std::vector<SchedUnit> &Units,
 
 UpdateSchedule hac::scheduleUpdate(const CompNest &Nest,
                                    const DepGraph &Graph) {
+  HAC_TRACE_SPAN(Span, "schedule-update");
   UpdateSchedule Result;
   if (!Nest.Analyzable) {
     Result.Reason = Nest.FallbackReason;
@@ -764,6 +767,7 @@ UpdateSchedule hac::scheduleUpdate(const CompNest &Nest,
     // Find a breakable antidependence in the failing cycle (Section 9:
     // "a cycle including at least one antidependence edge can always be
     // broken by node-splitting").
+    HAC_TRACE_SPAN(SplitSpan, "node-split");
     const DepEdge *Best = nullptr;
     bool BestRolling = false;
     unsigned BestLevel = 0;
@@ -831,6 +835,9 @@ UpdateSchedule hac::scheduleUpdate(const CompNest &Nest,
         return Result;
       }
     }
+    HAC_TRACE_COUNT(Action.K == SplitAction::Kind::Rolling
+                        ? "schedule.splits.rolling"
+                        : "schedule.splits.snapshot");
     Result.Splits.push_back(Action);
 
     // The redirected read no longer touches live storage: delete every

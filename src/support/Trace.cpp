@@ -1,0 +1,215 @@
+//===- support/Trace.cpp - Pipeline tracing & structured metrics ----------===//
+
+#include "support/Trace.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+using namespace hac;
+
+std::string hac::jsonQuote(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+namespace {
+
+/// atexit hook for HAC_TRACE: dump whatever was recorded to stderr.
+bool DumpJsonAtExit = false;
+
+void dumpAtExit() {
+  TraceSink &S = TraceSink::get();
+  if (S.events().empty() && S.counters().empty())
+    return;
+  if (DumpJsonAtExit) {
+    S.writeJson(std::cerr);
+    std::cerr << "\n";
+  } else {
+    std::cerr << "=== HAC_TRACE ===\n";
+    S.printTree(std::cerr);
+  }
+}
+
+} // namespace
+
+TraceSink::TraceSink() {
+  if (const char *Env = std::getenv("HAC_TRACE")) {
+    if (*Env && std::strcmp(Env, "0") != 0) {
+      Enabled = true;
+      DumpJsonAtExit = std::strcmp(Env, "json") == 0;
+      std::atexit(dumpAtExit);
+    }
+  }
+}
+
+TraceSink &TraceSink::get() {
+  // Intentionally leaked: the constructor may register an atexit dump
+  // (HAC_TRACE), which must outlive static destruction. atexit handlers
+  // and static destructors share one LIFO list, and a handler registered
+  // inside the constructor runs *after* the object's own destructor —
+  // so a function-local static would be dead by the time it fires.
+  static TraceSink *Instance = new TraceSink;
+  return *Instance;
+}
+
+void TraceSink::clear() {
+  Events.clear();
+  Counters.clear();
+  OpenStack.clear();
+}
+
+int TraceSink::beginSpan(std::string_view Name) {
+  TraceEvent E;
+  E.Name = std::string(Name);
+  E.Parent = OpenStack.empty() ? -1 : OpenStack.back();
+  E.Depth = static_cast<unsigned>(OpenStack.size());
+  E.Start = std::chrono::steady_clock::now();
+  int Index = static_cast<int>(Events.size());
+  Events.push_back(std::move(E));
+  OpenStack.push_back(Index);
+  return Index;
+}
+
+void TraceSink::endSpan(int Index) {
+  assert(Index >= 0 && static_cast<size_t>(Index) < Events.size() &&
+         "endSpan of an unknown span");
+  assert(!OpenStack.empty() && OpenStack.back() == Index &&
+         "spans must close in LIFO order");
+  TraceEvent &E = Events[Index];
+  E.Duration = std::chrono::steady_clock::now() - E.Start;
+  E.Closed = true;
+  OpenStack.pop_back();
+}
+
+void TraceSink::annotate(std::string_view Detail) {
+  if (!Enabled || OpenStack.empty())
+    return;
+  TraceEvent &E = Events[OpenStack.back()];
+  if (!E.Detail.empty())
+    E.Detail += "; ";
+  E.Detail += std::string(Detail);
+}
+
+void TraceSink::count(std::string_view Name, uint64_t Delta) {
+  // Transparent comparison keeps repeat increments allocation-free.
+  auto It = Counters.find(std::string(Name));
+  if (It == Counters.end())
+    Counters.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+void TraceSink::countMax(std::string_view Name, uint64_t Value) {
+  uint64_t &Slot = Counters[std::string(Name)];
+  if (Value > Slot)
+    Slot = Value;
+}
+
+uint64_t TraceSink::counter(std::string_view Name) const {
+  auto It = Counters.find(std::string(Name));
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void TraceSink::printTree(std::ostream &OS) const {
+  for (const TraceEvent &E : Events) {
+    for (unsigned I = 0; I != E.Depth; ++I)
+      OS << "  ";
+    OS << E.Name;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", E.millis());
+    OS << "  " << Buf << " ms";
+    if (!E.Closed)
+      OS << " (open)";
+    if (!E.Detail.empty())
+      OS << "  [" << E.Detail << "]";
+    OS << "\n";
+  }
+  if (!Counters.empty()) {
+    OS << "counters:\n";
+    for (const auto &[Name, Value] : Counters)
+      OS << "  " << Name << " = " << Value << "\n";
+  }
+}
+
+void TraceSink::writeEventJson(std::ostream &OS, size_t Index,
+                               unsigned Indent) const {
+  const TraceEvent &E = Events[Index];
+  std::string Pad(Indent, ' ');
+  OS << Pad << "{\"name\": " << jsonQuote(E.Name) << ", \"ms\": ";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", E.millis());
+  OS << Buf;
+  if (!E.Detail.empty())
+    OS << ", \"detail\": " << jsonQuote(E.Detail);
+  // Children are the later events whose Parent is this index.
+  std::vector<size_t> Children;
+  for (size_t I = Index + 1; I != Events.size(); ++I)
+    if (Events[I].Parent == static_cast<int>(Index))
+      Children.push_back(I);
+  if (!Children.empty()) {
+    OS << ", \"children\": [\n";
+    for (size_t I = 0; I != Children.size(); ++I) {
+      writeEventJson(OS, Children[I], Indent + 2);
+      OS << (I + 1 == Children.size() ? "\n" : ",\n");
+    }
+    OS << Pad << "]";
+  }
+  OS << "}";
+}
+
+void TraceSink::writeJson(std::ostream &OS, unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  OS << Pad << "{\n" << Pad << " \"phases\": [\n";
+  std::vector<size_t> Roots;
+  for (size_t I = 0; I != Events.size(); ++I)
+    if (Events[I].Parent < 0)
+      Roots.push_back(I);
+  for (size_t I = 0; I != Roots.size(); ++I) {
+    writeEventJson(OS, Roots[I], Indent + 2);
+    OS << (I + 1 == Roots.size() ? "\n" : ",\n");
+  }
+  OS << Pad << " ],\n" << Pad << " \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    OS << (First ? "\n" : ",\n") << Pad << "  " << jsonQuote(Name) << ": "
+       << Value;
+    First = false;
+  }
+  if (!First)
+    OS << "\n" << Pad << " ";
+  OS << "}\n" << Pad << "}";
+}

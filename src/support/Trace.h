@@ -1,0 +1,166 @@
+//===- support/Trace.h - Pipeline tracing & structured metrics --*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability subsystem: hierarchical phase timers (RAII scoped
+/// spans over std::chrono::steady_clock), named monotonic counters, and a
+/// structured event sink that renders as either a human-readable tree or
+/// JSON.
+///
+/// The sink is process-global and disabled by default. When disabled the
+/// fast path is a single inline branch on one bool — no allocation, no
+/// clock read — so instrumentation stays wired in permanently. Defining
+/// HAC_TRACE_DISABLED at build time removes even that branch (the
+/// HAC_TRACE_SPAN/HAC_TRACE_COUNT macros expand to nothing).
+///
+/// Span names form a stable taxonomy (see DESIGN.md "Observability"):
+/// benches and the hac_trace_smoke test key on them, so renaming a phase
+/// is an interface change.
+///
+/// Setting the HAC_TRACE environment variable enables tracing in any
+/// binary without flag plumbing; at process exit the span tree and
+/// counters are dumped to stderr (HAC_TRACE=json dumps JSON instead).
+///
+/// The sink is not thread-safe: the pipeline is single-threaded and the
+/// benches enable tracing only around single-threaded sections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SUPPORT_TRACE_H
+#define HAC_SUPPORT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hac {
+
+/// One completed (or still-open) span in the phase tree.
+struct TraceEvent {
+  std::string Name;
+  /// Free-form detail attached via TraceSink::annotate ("" when none).
+  std::string Detail;
+  /// Index of the parent event, or -1 for roots.
+  int Parent = -1;
+  /// Nesting depth (roots are 0).
+  unsigned Depth = 0;
+  std::chrono::steady_clock::time_point Start;
+  /// Wall-clock duration; valid once the span has ended.
+  std::chrono::nanoseconds Duration{0};
+  bool Closed = false;
+
+  double millis() const {
+    return std::chrono::duration<double, std::milli>(Duration).count();
+  }
+};
+
+/// The process-global event sink. Spans append TraceEvents in start
+/// order (a pre-order walk of the phase tree); counters accumulate
+/// monotonically until clear().
+class TraceSink {
+public:
+  /// The singleton. First access seeds the enabled flag from the
+  /// HAC_TRACE environment variable.
+  static TraceSink &get();
+
+  bool enabled() const { return Enabled; }
+  void setEnabled(bool E) { Enabled = E; }
+
+  /// Drops all events and counters (the enabled flag is unchanged).
+  void clear();
+
+  /// Starts a span and returns its event index. endSpan must be called
+  /// with the same index, in LIFO order (TraceSpan guarantees this).
+  int beginSpan(std::string_view Name);
+  void endSpan(int Index);
+
+  /// Attaches free-form detail to the innermost open span (no-op when
+  /// disabled or no span is open).
+  void annotate(std::string_view Detail);
+
+  /// Adds \p Delta to the named monotonic counter.
+  void count(std::string_view Name, uint64_t Delta = 1);
+
+  /// Raises the named counter to \p Value if it is below it (for
+  /// high-water marks like peak temporary bytes).
+  void countMax(std::string_view Name, uint64_t Value);
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  const std::map<std::string, uint64_t> &counters() const {
+    return Counters;
+  }
+  uint64_t counter(std::string_view Name) const;
+
+  /// Renders the span tree and counters as indented human-readable text.
+  void printTree(std::ostream &OS) const;
+
+  /// Writes {"phases": [...], "counters": {...}} — a JSON object callers
+  /// embed in larger telemetry documents.
+  void writeJson(std::ostream &OS, unsigned Indent = 0) const;
+
+private:
+  TraceSink();
+
+  bool Enabled = false;
+  std::vector<TraceEvent> Events;
+  std::map<std::string, uint64_t> Counters;
+  /// Indices of currently open spans, innermost last.
+  std::vector<int> OpenStack;
+
+  void writeEventJson(std::ostream &OS, size_t Index,
+                      unsigned Indent) const;
+};
+
+/// RAII scoped span. Constructing when tracing is disabled costs one
+/// branch; no allocation, no clock read.
+class TraceSpan {
+public:
+  explicit TraceSpan(std::string_view Name) {
+    TraceSink &S = TraceSink::get();
+    if (S.enabled())
+      Index = S.beginSpan(Name);
+  }
+  ~TraceSpan() {
+    if (Index >= 0)
+      TraceSink::get().endSpan(Index);
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  int Index = -1;
+};
+
+/// True when the global sink is recording. Use to guard non-trivial
+/// instrumentation (string building, stat folding).
+inline bool traceEnabled() { return TraceSink::get().enabled(); }
+
+/// Increments a named counter (one branch when disabled).
+inline void traceCount(std::string_view Name, uint64_t Delta = 1) {
+  TraceSink &S = TraceSink::get();
+  if (S.enabled())
+    S.count(Name, Delta);
+}
+
+/// Escapes and double-quotes \p S for JSON output.
+std::string jsonQuote(std::string_view S);
+
+#ifdef HAC_TRACE_DISABLED
+#define HAC_TRACE_SPAN(Var, Name)
+#define HAC_TRACE_COUNT(...)
+#else
+/// Declares an RAII span covering the rest of the enclosing scope.
+#define HAC_TRACE_SPAN(Var, Name) ::hac::TraceSpan Var(Name)
+#define HAC_TRACE_COUNT(...) ::hac::traceCount(__VA_ARGS__)
+#endif
+
+} // namespace hac
+
+#endif // HAC_SUPPORT_TRACE_H

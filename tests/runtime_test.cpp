@@ -281,4 +281,98 @@ TEST(ExecutorTest, TempBytesTracksPeak) {
   std::string Err;
   ASSERT_TRUE(Compiled->evaluateInPlace(A, Exec, Err)) << Err;
   EXPECT_GT(Exec.stats().TempBytes, 0u);
+
+  // High-water-mark regression: the peak equals the plan's own temporary
+  // footprint (sum of ring and snapshot element counts, as doubles), and
+  // stays the peak — re-running a plan with no temporaries must not
+  // lower it.
+  uint64_t PlanBytes = 0;
+  for (const RingSpec &R : Compiled->Plan.Rings)
+    PlanBytes += R.size() * sizeof(double);
+  for (const SnapshotSpec &S : Compiled->Plan.Snapshots)
+    PlanBytes += S.size() * sizeof(double);
+  EXPECT_EQ(Exec.stats().TempBytes, PlanBytes);
+
+  CompiledArray Plain = compileOk(
+      "let n = 4 in letrec* b = array (1,n) "
+      "[ i := 1.0 | i <- [1..n] ] in b");
+  DoubleArray Out;
+  ASSERT_TRUE(Plain.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().TempBytes, PlanBytes);
+}
+
+TEST(ExecutorTest, RingSavesCountRollingStores) {
+  // Every store into a rolling-split region first saves the old value
+  // into the ring: RingSaves == Stores for this kernel.
+  Compiler C;
+  auto Compiled = C.compileUpdate(
+      "let n = 10 in "
+      "bigupd a [ i := a!(i-2) + 0 * a!(i+1) | i <- [3..n-1] ]");
+  ASSERT_TRUE(Compiled && Compiled->InPlace) << C.diags().str();
+  DoubleArray A(DoubleArray::Dims{{1, 10}});
+  Executor Exec(Compiled->Params);
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluateInPlace(A, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().Stores, 7u); // i in [3..9]
+  EXPECT_EQ(Exec.stats().RingSaves, 7u);
+  EXPECT_EQ(Exec.stats().SnapshotCopies, 0u);
+}
+
+TEST(ExecutorTest, SnapshotCopiesCountRegionElements) {
+  // Reversal reads at distance n+1-2i — not a constant, so the split
+  // must snapshot the read region up front rather than roll a ring.
+  Compiler C;
+  auto Compiled = C.compileUpdate(
+      "let n = 8 in bigupd a [ i := a!(n+1-i) | i <- [1..n] ]");
+  ASSERT_TRUE(Compiled && Compiled->InPlace) << C.diags().str();
+  ASSERT_FALSE(Compiled->Plan.Snapshots.empty());
+  DoubleArray A(DoubleArray::Dims{{1, 8}});
+  for (int64_t I = 1; I <= 8; ++I)
+    A.set({I}, double(I));
+  Executor Exec(Compiled->Params);
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluateInPlace(A, Exec, Err)) << Err;
+  uint64_t RegionElems = 0;
+  for (const SnapshotSpec &S : Compiled->Plan.Snapshots)
+    RegionElems += S.size();
+  EXPECT_GT(RegionElems, 0u);
+  EXPECT_EQ(Exec.stats().SnapshotCopies, RegionElems);
+  EXPECT_DOUBLE_EQ(A.at({1}), 8.0); // reversed from the old values
+  EXPECT_DOUBLE_EQ(A.at({8}), 1.0);
+}
+
+TEST(ExecutorTest, BoundsAndCollisionChecksCountCheckedStores) {
+  // With check elimination ablated the checks stay on even though the
+  // kernel is provably safe: each runs once per store without firing.
+  CompileOptions Options;
+  Options.EnableCheckElimination = false;
+  CompiledArray Compiled =
+      compileOk("let n = 10 in letrec* a = array (1,n) "
+                "[ i := 1.0 | i <- [1..n] ] in a",
+                Options);
+  ASSERT_TRUE(Compiled.Plan.CheckStoreBounds);
+  ASSERT_TRUE(Compiled.Plan.CheckCollisions);
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().Stores, 10u);
+  EXPECT_EQ(Exec.stats().BoundsChecks, 10u);
+  EXPECT_EQ(Exec.stats().CollisionChecks, 10u);
+}
+
+TEST(ExecutorTest, FusedItersCountFoldIterations) {
+  // One fused sum over k in [1..10] plus one over k in [1..5]: the fold
+  // loops run 15 iterations total without materializing a list.
+  CompiledArray Compiled = compileOk(
+      "letrec* s = array (1,2) "
+      "[ 1 := sum [ 1.0 * k | k <- [1..10] ], "
+      "  2 := sum [ 1.0 * k | k <- [1..5] ] ] in s");
+  Executor Exec(Compiled.Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().FusedIters, 15u);
+  EXPECT_DOUBLE_EQ(Out.at({1}), 55.0);
+  EXPECT_DOUBLE_EQ(Out.at({2}), 15.0);
 }

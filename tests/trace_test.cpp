@@ -1,0 +1,321 @@
+//===- tests/trace_test.cpp - Observability subsystem tests ---------------===//
+//
+// Covers the trace sink itself (span nesting, counters, rendering) and
+// the contract the rest of the tree relies on: zero events when
+// disabled, and the stable span/counter taxonomy produced by a full
+// compile+run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "core/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace hac;
+
+namespace {
+
+/// Resets the global sink around each test so tests compose in one
+/// process regardless of order.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    TraceSink::get().clear();
+    TraceSink::get().setEnabled(true);
+  }
+  void TearDown() override {
+    TraceSink::get().setEnabled(false);
+    TraceSink::get().clear();
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// Span nesting
+//===--------------------------------------------------------------------===//
+
+TEST_F(TraceTest, SpansNestByScope) {
+  {
+    TraceSpan Outer("outer");
+    {
+      TraceSpan InnerA("inner-a");
+    }
+    {
+      TraceSpan InnerB("inner-b");
+      TraceSpan Grandchild("grandchild");
+    }
+  }
+  const auto &Events = TraceSink::get().events();
+  ASSERT_EQ(Events.size(), 4u);
+  // Pre-order: outer, inner-a, inner-b, grandchild.
+  EXPECT_EQ(Events[0].Name, "outer");
+  EXPECT_EQ(Events[0].Parent, -1);
+  EXPECT_EQ(Events[0].Depth, 0u);
+  EXPECT_EQ(Events[1].Name, "inner-a");
+  EXPECT_EQ(Events[1].Parent, 0);
+  EXPECT_EQ(Events[1].Depth, 1u);
+  EXPECT_EQ(Events[2].Name, "inner-b");
+  EXPECT_EQ(Events[2].Parent, 0);
+  EXPECT_EQ(Events[3].Name, "grandchild");
+  EXPECT_EQ(Events[3].Parent, 2);
+  EXPECT_EQ(Events[3].Depth, 2u);
+  for (const TraceEvent &E : Events)
+    EXPECT_TRUE(E.Closed) << E.Name;
+}
+
+TEST_F(TraceTest, ChildDurationWithinParent) {
+  {
+    TraceSpan Outer("outer");
+    TraceSpan Inner("inner");
+  }
+  const auto &Events = TraceSink::get().events();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_GE(Events[0].Duration.count(), Events[1].Duration.count());
+  EXPECT_GE(Events[1].Start, Events[0].Start);
+}
+
+TEST_F(TraceTest, AnnotateAttachesToInnermostOpenSpan) {
+  {
+    TraceSpan Outer("outer");
+    {
+      TraceSpan Inner("inner");
+      TraceSink::get().annotate("first");
+      TraceSink::get().annotate("second");
+    }
+    TraceSink::get().annotate("outer-note");
+  }
+  const auto &Events = TraceSink::get().events();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Detail, "outer-note");
+  EXPECT_EQ(Events[1].Detail, "first; second");
+}
+
+//===--------------------------------------------------------------------===//
+// Counters
+//===--------------------------------------------------------------------===//
+
+TEST_F(TraceTest, CountersAccumulate) {
+  TraceSink &S = TraceSink::get();
+  S.count("widgets");
+  S.count("widgets", 4);
+  S.count("gadgets", 0); // creates the key at zero
+  EXPECT_EQ(S.counter("widgets"), 5u);
+  EXPECT_EQ(S.counter("gadgets"), 0u);
+  EXPECT_EQ(S.counter("absent"), 0u);
+  ASSERT_EQ(S.counters().size(), 2u);
+}
+
+TEST_F(TraceTest, CountMaxIsHighWaterMark) {
+  TraceSink &S = TraceSink::get();
+  S.countMax("peak", 10);
+  S.countMax("peak", 3);
+  EXPECT_EQ(S.counter("peak"), 10u);
+  S.countMax("peak", 12);
+  EXPECT_EQ(S.counter("peak"), 12u);
+}
+
+//===--------------------------------------------------------------------===//
+// Disabled path
+//===--------------------------------------------------------------------===//
+
+TEST_F(TraceTest, DisabledSinkRecordsNothing) {
+  TraceSink &S = TraceSink::get();
+  S.setEnabled(false);
+  {
+    TraceSpan Span("should-not-appear");
+    traceCount("should-not-count", 7);
+    S.annotate("ignored");
+  }
+  EXPECT_TRUE(S.events().empty());
+  EXPECT_TRUE(S.counters().empty());
+  EXPECT_FALSE(traceEnabled());
+}
+
+TEST_F(TraceTest, DisabledCompileEmitsNoEvents) {
+  TraceSink::get().setEnabled(false);
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(
+      "let n = 8 in letrec* a = array (1,n) "
+      "[ i := 1.0 * i | i <- [1..n] ] in a");
+  ASSERT_TRUE(Compiled.has_value());
+  EXPECT_TRUE(Compiled->Thunkless);
+  EXPECT_TRUE(TraceSink::get().events().empty());
+  EXPECT_TRUE(TraceSink::get().counters().empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Rendering
+//===--------------------------------------------------------------------===//
+
+/// A minimal JSON well-formedness checker: validates balanced braces and
+/// brackets outside strings, proper string termination, and that the
+/// document is a single object. Not a full parser — enough to catch
+/// broken quoting or a trailing comma's missing value.
+bool jsonBalanced(const std::string &Text) {
+  std::vector<char> Stack;
+  bool InString = false;
+  for (size_t I = 0; I != Text.size(); ++I) {
+    char C = Text[I];
+    if (InString) {
+      if (C == '\\')
+        ++I; // skip the escaped character
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      Stack.push_back(C);
+      break;
+    case '}':
+      if (Stack.empty() || Stack.back() != '{')
+        return false;
+      Stack.pop_back();
+      break;
+    case ']':
+      if (Stack.empty() || Stack.back() != '[')
+        return false;
+      Stack.pop_back();
+      break;
+    default:
+      break;
+    }
+  }
+  return !InString && Stack.empty() && !Text.empty() && Text[0] == '{';
+}
+
+TEST_F(TraceTest, JsonIsWellFormed) {
+  {
+    TraceSpan Outer("phase \"quoted\" name"); // stress the escaping
+    TraceSpan Inner("inner\\path\n");
+    traceCount("some.counter", 3);
+  }
+  std::ostringstream OS;
+  TraceSink::get().writeJson(OS);
+  std::string Json = OS.str();
+  EXPECT_TRUE(jsonBalanced(Json)) << Json;
+  EXPECT_NE(Json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"some.counter\": 3"), std::string::npos);
+  // The quote and backslash must arrive escaped.
+  EXPECT_NE(Json.find("phase \\\"quoted\\\" name"), std::string::npos);
+  EXPECT_NE(Json.find("inner\\\\path\\n"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonEmptySinkIsStillAnObject) {
+  std::ostringstream OS;
+  TraceSink::get().writeJson(OS);
+  EXPECT_TRUE(jsonBalanced(OS.str())) << OS.str();
+}
+
+TEST_F(TraceTest, JsonQuoteEscapesControlCharacters) {
+  EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(jsonQuote("a\tb\n"), "\"a\\tb\\n\"");
+  EXPECT_EQ(jsonQuote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST_F(TraceTest, PrintTreeShowsNestingAndCounters) {
+  {
+    TraceSpan Outer("compile");
+    TraceSpan Inner("parse");
+    traceCount("dep.edges", 2);
+  }
+  std::ostringstream OS;
+  TraceSink::get().printTree(OS);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("compile"), std::string::npos);
+  EXPECT_NE(Text.find("  parse"), std::string::npos);
+  EXPECT_NE(Text.find("dep.edges = 2"), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// Pipeline taxonomy (the stable contract from DESIGN.md)
+//===--------------------------------------------------------------------===//
+
+/// Returns true when an event with \p Name exists under an (indirect)
+/// ancestor named \p Ancestor.
+bool hasSpanUnder(const std::string &Ancestor, const std::string &Name) {
+  const auto &Events = TraceSink::get().events();
+  for (size_t I = 0; I != Events.size(); ++I) {
+    if (Events[I].Name != Name)
+      continue;
+    for (int P = Events[I].Parent; P >= 0; P = Events[P].Parent)
+      if (Events[P].Name == Ancestor)
+        return true;
+  }
+  return false;
+}
+
+TEST_F(TraceTest, CompileProducesPhaseTaxonomy) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(
+      "let n = 16 in letrec* a = array (1,n) "
+      "([ 1 := 1.0, 2 := 1.0 ] ++ "
+      " [ i := a!(i-1) + a!(i-2) | i <- [3..n] ]) in a");
+  ASSERT_TRUE(Compiled.has_value());
+  ASSERT_TRUE(Compiled->Thunkless);
+
+  for (const char *Phase :
+       {"parse", "clause-tree", "depgraph", "collision-analysis",
+        "coverage-analysis", "schedule", "plan-build"})
+    EXPECT_TRUE(hasSpanUnder("compile", Phase)) << Phase;
+  EXPECT_TRUE(hasSpanUnder("depgraph", "affine-extract"));
+  EXPECT_TRUE(hasSpanUnder("depgraph", "dep-tests"));
+
+  const TraceSink &S = TraceSink::get();
+  EXPECT_EQ(S.counter("compile.thunkless"), 1u);
+  EXPECT_EQ(S.counter("dep.edges"), Compiled->Graph.Edges.size());
+  // The fibonacci recurrence must leave at least one assumed dependence.
+  EXPECT_GT(S.counter("dep.assumed.dependent"), 0u);
+}
+
+TEST_F(TraceTest, ExecuteFoldsExecStatsIntoCounters) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i := 2.0 * i | i <- [1..n] ] in a");
+  ASSERT_TRUE(Compiled.has_value());
+  ASSERT_TRUE(Compiled->Thunkless);
+
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+
+  const TraceSink &S = TraceSink::get();
+  EXPECT_EQ(S.counter("exec.stores"), Exec.stats().Stores);
+  EXPECT_EQ(S.counter("exec.stores"), 10u);
+  bool SawExecute = false;
+  for (const TraceEvent &E : S.events())
+    SawExecute |= E.Name == "execute";
+  EXPECT_TRUE(SawExecute);
+}
+
+TEST_F(TraceTest, ExecuteCountersAreDeltasAcrossRuns) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i := 2.0 * i | i <- [1..n] ] in a");
+  ASSERT_TRUE(Compiled.has_value() && Compiled->Thunkless);
+
+  // Run the same plan twice on one Executor: the executor's own stats
+  // accumulate, but each run must fold only its delta into the trace.
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().Stores, 20u);
+  EXPECT_EQ(TraceSink::get().counter("exec.stores"), 20u);
+}
+
+} // namespace
