@@ -36,6 +36,7 @@ void runPartition(benchmark::State &State, const CompiledArray &Compiled) {
   // The empties check is a defined-bitmap maintained per store plus a
   // final scan; report whether the plan still carries it.
   State.counters["empties_check"] = Compiled.Plan.CheckEmpties ? 1 : 0;
+  State.counters["read_checks_on"] = Compiled.Plan.CheckReadBounds ? 1 : 0;
 }
 
 } // namespace
@@ -61,5 +62,25 @@ static void BM_ChecksUnprovableGuard(benchmark::State &State) {
   runPartition(State, Compiled);
 }
 BENCHMARK(BM_ChecksUnprovableGuard)->Arg(1000)->Arg(100000);
+
+// The wavefront recurrence performs three target-array reads per interior
+// element. The read-bounds interval analysis proves them all in range, so
+// the compiled plan elides per-read bounds checks: bounds_checks stays 0
+// despite ~3n^2 loads. The ablation forces the checked read path and
+// counts every one.
+static void BM_ReadChecksEliminated(benchmark::State &State) {
+  CompiledArray Compiled = mustCompile(wavefrontSource(State.range(0)));
+  runPartition(State, Compiled);
+}
+BENCHMARK(BM_ReadChecksEliminated)->Arg(64)->Arg(256);
+
+static void BM_ReadChecksForcedOnAblation(benchmark::State &State) {
+  CompileOptions Options;
+  Options.EnableCheckElimination = false;
+  CompiledArray Compiled =
+      mustCompile(wavefrontSource(State.range(0)), Options);
+  runPartition(State, Compiled);
+}
+BENCHMARK(BM_ReadChecksForcedOnAblation)->Arg(64)->Arg(256);
 
 HAC_BENCH_MAIN();

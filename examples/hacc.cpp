@@ -7,6 +7,11 @@
 // Usage:
 //   hacc FILE            analyze + run, print result corners and stats
 //   hacc -report FILE    print the analysis report only
+//   hacc -analyze FILE   run the static verifier, print HACNNN findings
+//   hacc -sarif OUT ...  write the findings as SARIF 2.1.0 ("-" = stdout;
+//                        implies -analyze)
+//   hacc -Werror ...     treat warnings as errors
+//   hacc -Wno-hacNNN ... disable one verifier rule
 //   hacc -emit-c FILE    emit the generated C kernel to stdout
 //   hacc -u ... FILE     treat the program as a bigupd update
 //   hacc -accum ... FILE treat the program as an accumArray construction
@@ -18,7 +23,8 @@
 // enables -trace-style output in any mode without flags.
 //
 // Exit codes: 0 success; 1 compile or runtime failure (diagnostics on
-// stderr); 2 (update mode) compiled but not in place.
+// stderr) or, with -analyze, any error-severity finding; 2 (update mode)
+// compiled but not in place.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,13 +32,17 @@
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
 #include "support/Trace.h"
+#include "verify/SarifEmitter.h"
+#include "verify/Verifier.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace hac;
 
@@ -44,12 +54,16 @@ struct DriverOptions {
   bool Update = false;
   bool Accum = false;
   bool TraceTree = false;
-  std::string JsonPath; ///< empty = no JSON; "-" = stdout
+  bool Analyze = false;
+  bool WarningsAsErrors = false;
+  std::vector<RuleID> DisabledRules;
+  std::string SarifPath; ///< empty = no SARIF; "-" = stdout
+  std::string JsonPath;  ///< empty = no JSON; "-" = stdout
   std::string Path;
 
-  /// With -json to stdout the human-readable report would corrupt the
-  /// document, so it is suppressed.
-  bool quiet() const { return JsonPath == "-"; }
+  /// With -json or -sarif to stdout the human-readable report would
+  /// corrupt the document, so it is suppressed.
+  bool quiet() const { return JsonPath == "-" || SarifPath == "-"; }
 };
 
 std::string readAll(const std::string &Path) {
@@ -72,6 +86,60 @@ std::string readAll(const std::string &Path) {
 /// every mode).
 void printDiags(Compiler &TheCompiler) {
   TheCompiler.diags().print(std::cerr);
+}
+
+/// Applies -Werror / -Wno-hacNNN to the engine before compilation.
+void applyDiagOptions(const DriverOptions &Opts, DiagnosticEngine &Diags) {
+  Diags.setWarningsAsErrors(Opts.WarningsAsErrors);
+  for (RuleID Rule : Opts.DisabledRules)
+    Diags.setRuleEnabled(Rule, false);
+}
+
+/// Writes the SARIF document to Opts.SarifPath ("-" = stdout). Returns 0
+/// on success.
+int writeSarifTo(const DriverOptions &Opts, const DiagnosticEngine &Diags) {
+  std::string Uri = Opts.Path == "-" ? "<stdin>" : Opts.Path;
+  if (Opts.SarifPath == "-") {
+    writeSarif(std::cout, Diags, Uri);
+    return 0;
+  }
+  std::ofstream OS(Opts.SarifPath);
+  if (!OS) {
+    std::fprintf(stderr, "hacc: cannot write '%s'\n",
+                 Opts.SarifPath.c_str());
+    return 1;
+  }
+  writeSarif(OS, Diags, Uri);
+  return 0;
+}
+
+/// The -analyze mode tail: runs the verifier over \p Compiled (null when
+/// compilation itself failed), prints the findings, and emits SARIF when
+/// requested. Returns the process exit code.
+template <typename CompiledT>
+int runAnalyze(const DriverOptions &Opts, Compiler &TheCompiler,
+               const CompiledT *Compiled) {
+  DiagnosticEngine &Diags = TheCompiler.diags();
+  VerifyResult VR;
+  if (Compiled) {
+    Verifier V(Diags);
+    VR = V.verify(*Compiled);
+  }
+  if (!Opts.quiet()) {
+    if (Compiled)
+      std::printf("%s\n", Compiled->report().c_str());
+    Diags.print(std::cout);
+    std::printf("%u finding(s): %u error(s), %u warning(s)\n", VR.total(),
+                Diags.errorCount(), Diags.warningCount());
+  } else {
+    Diags.print(std::cerr);
+  }
+  if (!Opts.SarifPath.empty()) {
+    int RC = writeSarifTo(Opts, Diags);
+    if (RC != 0)
+      return RC;
+  }
+  return Diags.hasErrors() ? 1 : 0;
 }
 
 /// Pre-seeds the dependence-test outcome counters so the JSON key set is
@@ -127,7 +195,13 @@ void writeArrayAnalysisJson(std::ostream &OS, const CompiledArray &C) {
      << "   \"check_collisions\": "
      << (C.Thunkless && C.Plan.CheckCollisions ? "true" : "false") << ",\n"
      << "   \"check_empties\": "
-     << (C.Thunkless && C.Plan.CheckEmpties ? "true" : "false") << "\n"
+     << (C.Thunkless && C.Plan.CheckEmpties ? "true" : "false") << ",\n"
+     << "   \"read_bounds\": "
+     << jsonQuote(checkOutcomeName(C.ReadBounds.AllInBounds)) << ",\n"
+     << "   \"reads_proven\": " << C.ReadBounds.numProven() << ",\n"
+     << "   \"reads_total\": " << C.ReadBounds.Reads.size() << ",\n"
+     << "   \"check_read_bounds\": "
+     << (C.Thunkless && C.Plan.CheckReadBounds ? "true" : "false") << "\n"
      << "  }";
 }
 
@@ -139,7 +213,10 @@ void writeUpdateAnalysisJson(std::ostream &OS, const CompiledUpdate &C) {
      << "   \"split_copy_cost\": " << C.Update.splitCopyCost() << ",\n"
      << "   \"vectorizable\": " << C.Vectorization.numVectorizable()
      << ",\n"
-     << "   \"inner_loops\": " << C.Vectorization.InnerLoops.size() << "\n"
+     << "   \"inner_loops\": " << C.Vectorization.InnerLoops.size()
+     << ",\n"
+     << "   \"read_bounds\": "
+     << jsonQuote(checkOutcomeName(C.ReadBounds.AllInBounds)) << "\n"
      << "  }";
 }
 
@@ -189,10 +266,18 @@ auto nullAnalysis = [](std::ostream &OS) { OS << "  null"; };
 
 int runArray(const DriverOptions &Opts, const std::string &Source) {
   Compiler TheCompiler;
+  applyDiagOptions(Opts, TheCompiler.diags());
   auto Compiled = Opts.Accum ? TheCompiler.compileAccum(Source)
                              : TheCompiler.compileArray(Source);
   const char *Mode = Opts.Accum ? "accum" : "array";
   if (!Compiled) {
+    if (Opts.Analyze) {
+      runAnalyze<CompiledArray>(Opts, TheCompiler, nullptr);
+      if (!Opts.JsonPath.empty())
+        writeTelemetry(Opts, Mode, false, "", nullAnalysis, nullptr,
+                       "compile failed: " + TheCompiler.diags().str());
+      return 1;
+    }
     printDiags(TheCompiler);
     if (!Opts.JsonPath.empty())
       writeTelemetry(Opts, Mode, false, "", nullAnalysis, nullptr,
@@ -226,6 +311,18 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
   auto ArrayAnalysis = [&](std::ostream &OS) {
     writeArrayAnalysisJson(OS, *Compiled);
   };
+
+  if (Opts.Analyze) {
+    int RC = runAnalyze(Opts, TheCompiler, &*Compiled);
+    if (!Opts.JsonPath.empty()) {
+      int JsonRC = writeTelemetry(Opts, Mode, Compiled->Thunkless,
+                                  Compiled->FallbackReason, ArrayAnalysis,
+                                  nullptr);
+      if (JsonRC != 0)
+        return JsonRC;
+    }
+    return RC;
+  }
 
   if (!Opts.quiet())
     std::printf("%s\n", Compiled->report().c_str());
@@ -299,9 +396,13 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
 
 int runUpdate(const DriverOptions &Opts, const std::string &Source) {
   Compiler TheCompiler;
+  applyDiagOptions(Opts, TheCompiler.diags());
   auto Compiled = TheCompiler.compileUpdate(Source);
   if (!Compiled) {
-    printDiags(TheCompiler);
+    if (Opts.Analyze)
+      runAnalyze<CompiledUpdate>(Opts, TheCompiler, nullptr);
+    else
+      printDiags(TheCompiler);
     if (!Opts.JsonPath.empty())
       writeTelemetry(Opts, "update", false, "", nullAnalysis, nullptr,
                      "compile failed: " + TheCompiler.diags().str());
@@ -330,13 +431,26 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
     std::fputs(Emitted.Code.c_str(), stdout);
     return 0;
   }
+  auto UpdateAnalysis = [&](std::ostream &OS) {
+    writeUpdateAnalysisJson(OS, *Compiled);
+  };
+  if (Opts.Analyze) {
+    int RC = runAnalyze(Opts, TheCompiler, &*Compiled);
+    if (!Opts.JsonPath.empty()) {
+      int JsonRC =
+          writeTelemetry(Opts, "update", Compiled->InPlace,
+                         Compiled->FallbackReason, UpdateAnalysis, nullptr);
+      if (JsonRC != 0)
+        return JsonRC;
+    }
+    return RC;
+  }
   if (!Opts.quiet())
     std::printf("%s\n", Compiled->report().c_str());
   if (!Opts.JsonPath.empty()) {
-    int JsonRC = writeTelemetry(
-        Opts, "update", Compiled->InPlace, Compiled->FallbackReason,
-        [&](std::ostream &OS) { writeUpdateAnalysisJson(OS, *Compiled); },
-        nullptr);
+    int JsonRC = writeTelemetry(Opts, "update", Compiled->InPlace,
+                                Compiled->FallbackReason, UpdateAnalysis,
+                                nullptr);
     if (JsonRC != 0)
       return JsonRC;
   }
@@ -358,7 +472,25 @@ int main(int Argc, char **Argv) {
       Opts.Accum = true;
     else if (std::strcmp(Argv[I], "-trace") == 0)
       Opts.TraceTree = true;
-    else if (std::strcmp(Argv[I], "-json") == 0) {
+    else if (std::strcmp(Argv[I], "-analyze") == 0)
+      Opts.Analyze = true;
+    else if (std::strcmp(Argv[I], "-Werror") == 0)
+      Opts.WarningsAsErrors = true;
+    else if (std::strncmp(Argv[I], "-Wno-", 5) == 0) {
+      RuleID Rule = parseRuleName(Argv[I] + 5);
+      if (Rule == RuleID::None) {
+        std::fprintf(stderr, "hacc: unknown rule in '%s'\n", Argv[I]);
+        return 1;
+      }
+      Opts.DisabledRules.push_back(Rule);
+    } else if (std::strcmp(Argv[I], "-sarif") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "hacc: -sarif needs an output file\n");
+        return 1;
+      }
+      Opts.SarifPath = Argv[++I];
+      Opts.Analyze = true;
+    } else if (std::strcmp(Argv[I], "-json") == 0) {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "hacc: -json needs an output file\n");
         return 1;
@@ -372,9 +504,16 @@ int main(int Argc, char **Argv) {
   }
   if (Opts.Path.empty()) {
     std::fprintf(stderr,
-                 "usage: hacc [-report | -emit-c] [-u | -accum] [-trace] "
-                 "[-json FILE] FILE\n"
+                 "usage: hacc [-report | -analyze | -emit-c] [-u | -accum] "
+                 "[-trace] [-json FILE] [-sarif FILE] [-Werror] "
+                 "[-Wno-hacNNN] FILE\n"
                  "  -report      print the analysis report only\n"
+                 "  -analyze     run the static verifier, print HACNNN "
+                 "findings\n"
+                 "  -sarif FILE  write findings as SARIF 2.1.0 "
+                 "(\"-\" = stdout; implies -analyze)\n"
+                 "  -Werror      treat warnings as errors\n"
+                 "  -Wno-hacNNN  disable one verifier rule\n"
                  "  -emit-c      emit the generated C kernel to stdout\n"
                  "  -u           treat the program as a bigupd update\n"
                  "  -accum       treat the program as accumArray\n"
@@ -389,6 +528,15 @@ int main(int Argc, char **Argv) {
   if (Opts.TraceTree || !Opts.JsonPath.empty()) {
     TraceSink::get().setEnabled(true);
     seedStandardCounters();
+    // With -analyze the per-rule hit counters are part of the telemetry
+    // contract; pre-seed them so zero-hit rules still appear.
+    if (Opts.Analyze)
+      for (const RuleInfo &R : allRules()) {
+        std::string Name = ruleIdString(R.Id);
+        for (char &C : Name)
+          C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+        TraceSink::get().count("verify." + Name, 0);
+      }
   }
 
   std::string Source = readAll(Opts.Path);

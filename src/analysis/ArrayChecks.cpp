@@ -3,10 +3,13 @@
 #include "analysis/ArrayChecks.h"
 
 #include "analysis/AffineExpr.h"
+#include "support/Casting.h"
 #include "support/IntMath.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <functional>
+#include <set>
 #include <sstream>
 
 using namespace hac;
@@ -21,6 +24,93 @@ const char *hac::checkOutcomeName(CheckOutcome O) {
     return "disproven";
   }
   return "?";
+}
+
+std::string CollisionWitness::str() const {
+  std::ostringstream OS;
+  OS << "clauses #" << ClauseA << " and #" << ClauseB
+     << " definitely write the same element, directions "
+     << dirVectorToString(Dirs);
+  return OS.str();
+}
+
+std::string CoverageIssue::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case CoverageIssueKind::NotAnalyzable:
+    OS << "not statically analyzable";
+    break;
+  case CoverageIssueKind::RankMismatch:
+    OS << "clause #" << ClauseId << " has rank " << Min
+       << " but the array has rank " << Max;
+    break;
+  case CoverageIssueKind::NonAffineSubscript:
+    OS << "clause #" << ClauseId << " subscript not affine";
+    break;
+  case CoverageIssueKind::DefiniteOutOfBounds:
+    OS << "clause #" << ClauseId << " dim " << Dim << " range [" << Min
+       << "," << Max << "] entirely outside [" << Lo << "," << Hi << "]";
+    break;
+  case CoverageIssueKind::PossiblyOutOfBounds:
+    OS << "clause #" << ClauseId << " dim " << Dim << " range [" << Min
+       << "," << Max << "] may leave [" << Lo << "," << Hi << "]";
+    break;
+  case CoverageIssueKind::GuardedClause:
+    OS << "clause #" << ClauseId << " is guarded";
+    break;
+  case CoverageIssueKind::DeadClause:
+    OS << "clause #" << ClauseId << " is dead (loop '"
+       << (DeadLoop ? DeadLoop->var() : "?")
+       << "' has nonpositive trip count)";
+    break;
+  case CoverageIssueKind::TooFewDefinitions:
+    OS << "only " << Min << " definitions for " << Max << " elements";
+    break;
+  }
+  return OS.str();
+}
+
+std::string CoverageAnalysis::detail() const {
+  if (Issues.size() == 1 &&
+      Issues.front().Kind == CoverageIssueKind::NotAnalyzable)
+    return Issues.front().str();
+  std::string Out;
+  for (const CoverageIssue &I : Issues) {
+    Out += I.str();
+    Out += "; ";
+  }
+  return Out;
+}
+
+std::string ReadCheck::str() const {
+  std::ostringstream OS;
+  OS << "clause #" << ClauseId << " read of '" << ArrayName << "' ";
+  if (RankMismatch) {
+    OS << "has the wrong rank";
+    return OS.str();
+  }
+  if (!Affine) {
+    OS << "has a non-affine subscript";
+    return OS.str();
+  }
+  if (!DimsKnown) {
+    OS << "targets an array of unknown extent";
+    return OS.str();
+  }
+  switch (InBounds) {
+  case CheckOutcome::Proven:
+    OS << "is in bounds";
+    break;
+  case CheckOutcome::Unknown:
+    OS << "dim " << Dim << " range [" << Min << "," << Max
+       << "] may leave [" << Lo << "," << Hi << "]";
+    break;
+  case CheckOutcome::Disproven:
+    OS << "dim " << Dim << " range [" << Min << "," << Max
+       << "] entirely outside [" << Lo << "," << Hi << "]";
+    break;
+  }
+  return OS.str();
 }
 
 namespace {
@@ -50,6 +140,34 @@ bool clauseHasInstances(const ClauseNode *Clause) {
   return true;
 }
 
+/// The first zero-trip loop surrounding \p Clause, or null.
+const LoopNode *deadLoopOf(const ClauseNode *Clause) {
+  for (const LoopNode *L : Clause->loops())
+    if (L->bounds().tripCount() <= 0)
+      return L;
+  return nullptr;
+}
+
+/// Value of \p F at the instance with every normalized index at 1 (each
+/// loop variable at its lower bound) — a concrete witness instance when
+/// every instance has the property.
+int64_t valueAtFirstInstance(const AffineForm &F) {
+  int64_t V = F.Const;
+  for (const auto &[Loop, C] : F.Coeffs)
+    V = satAdd(V, C);
+  return V;
+}
+
+/// The loop assignment of the all-norms-1 instance (each variable at its
+/// lower bound), for witness messages.
+std::vector<std::pair<std::string, int64_t>>
+firstInstanceAssign(const ClauseNode *Clause) {
+  std::vector<std::pair<std::string, int64_t>> Out;
+  for (const LoopNode *L : Clause->loops())
+    Out.emplace_back(L->var(), L->bounds().Lo);
+  return Out;
+}
+
 } // namespace
 
 CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
@@ -70,11 +188,19 @@ CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
       if (!clauseHasInstances(A) || !clauseHasInstances(B))
         continue;
 
+      UnresolvedCollision Pair;
+      Pair.ClauseA = A->id();
+      Pair.ClauseB = B->id();
+      Pair.LocA = A->loc();
+      Pair.LocB = B->loc();
+
       std::vector<AffineForm> SubA, SubB;
       if (!writeSubscript(A, Params, SubA) ||
           !writeSubscript(B, Params, SubB) || SubA.size() != SubB.size()) {
         AllProven = false;
         ++Result.UnresolvedPairs;
+        Pair.NonAffine = true;
+        Result.Unresolved.push_back(std::move(Pair));
         continue;
       }
 
@@ -90,7 +216,6 @@ CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
       for (size_t D = 0; D != SubA.size(); ++D)
         P.Dims.emplace_back(SubA[D], SubB[D]);
 
-      bool PairUnresolved = false;
       for (const DirVector &Dirs : refineDirections(P)) {
         if (I == J && allEq(Dirs))
           continue; // an instance does not collide with itself
@@ -103,18 +228,21 @@ CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
         if (R == TestResult::Definite && !A->isGuarded() &&
             !B->isGuarded()) {
           Result.NoCollisions = CheckOutcome::Disproven;
-          std::ostringstream OS;
-          OS << "clauses #" << A->id() << " and #" << B->id()
-             << " definitely write the same element, directions "
-             << dirVectorToString(Dirs);
-          Result.Witness = OS.str();
+          CollisionWitness W;
+          W.ClauseA = A->id();
+          W.ClauseB = B->id();
+          W.LocA = A->loc();
+          W.LocB = B->loc();
+          W.Dirs = Dirs;
+          Result.Witness = std::move(W);
           return Result;
         }
-        PairUnresolved = true;
+        Pair.Dirs.push_back(Dirs);
       }
-      if (PairUnresolved) {
+      if (!Pair.Dirs.empty()) {
         AllProven = false;
         ++Result.UnresolvedPairs;
+        Result.Unresolved.push_back(std::move(Pair));
       }
     }
   }
@@ -131,33 +259,52 @@ CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
   CoverageAnalysis Result;
   Result.NoCollisions = Collisions.NoCollisions;
 
+  auto AddIssue = [&](CoverageIssueKind Kind,
+                      const ClauseNode *Clause) -> CoverageIssue & {
+    CoverageIssue I;
+    I.Kind = Kind;
+    if (Clause) {
+      I.ClauseId = Clause->id();
+      I.Loc = Clause->loc();
+    }
+    Result.Issues.push_back(std::move(I));
+    return Result.Issues.back();
+  };
+
   int64_t Size = 1;
   for (const auto &[Lo, Hi] : Dims)
     Size = satMul(Size, Hi >= Lo ? Hi - Lo + 1 : 0);
   Result.ArraySize = Size;
 
   if (!Nest.Analyzable) {
-    Result.Detail = "not statically analyzable";
+    AddIssue(CoverageIssueKind::NotAnalyzable, nullptr);
     return Result;
   }
 
   // Condition: every write provably in bounds.
   bool BoundsProven = true;
   bool BoundsViolated = false;
-  std::ostringstream Detail;
   for (const ClauseNode *Clause : Nest.Clauses) {
-    if (!clauseHasInstances(Clause))
+    if (!clauseHasInstances(Clause)) {
+      // The clause contributes no instances, so it cannot violate bounds —
+      // but a provably empty loop is almost certainly a bug; record it so
+      // the verifier can report HAC006 instead of proving properties over
+      // zero instances silently.
+      AddIssue(CoverageIssueKind::DeadClause, Clause).DeadLoop =
+          deadLoopOf(Clause);
       continue;
+    }
     if (Clause->rank() != Dims.size()) {
       BoundsViolated = true;
-      Detail << "clause #" << Clause->id() << " has rank " << Clause->rank()
-             << " but the array has rank " << Dims.size() << "; ";
+      CoverageIssue &I = AddIssue(CoverageIssueKind::RankMismatch, Clause);
+      I.Min = Clause->rank();
+      I.Max = Dims.size();
       continue;
     }
     std::vector<AffineForm> Sub;
     if (!writeSubscript(Clause, Params, Sub)) {
       BoundsProven = false;
-      Detail << "clause #" << Clause->id() << " subscript not affine; ";
+      AddIssue(CoverageIssueKind::NonAffineSubscript, Clause);
       continue;
     }
     for (size_t D = 0; D != Sub.size(); ++D) {
@@ -168,9 +315,18 @@ CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
         // clauses might never execute, so only report for unguarded.)
         if (!Clause->isGuarded()) {
           BoundsViolated = true;
-          Detail << "clause #" << Clause->id() << " dim " << D
-                 << " range [" << Min << "," << Max
-                 << "] entirely outside [" << Lo << "," << Hi << "]; ";
+          CoverageIssue &I =
+              AddIssue(CoverageIssueKind::DefiniteOutOfBounds, Clause);
+          I.Dim = D;
+          I.Min = Min;
+          I.Max = Max;
+          I.Lo = Lo;
+          I.Hi = Hi;
+          // Every instance violates dim D, so the very first one is a
+          // concrete witness index.
+          for (const AffineForm &F : Sub)
+            I.WitnessIndex.push_back(valueAtFirstInstance(F));
+          I.WitnessAssign = firstInstanceAssign(Clause);
           continue;
         }
         BoundsProven = false;
@@ -178,9 +334,13 @@ CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
       }
       if (Min < Lo || Max > Hi) {
         BoundsProven = false;
-        Detail << "clause #" << Clause->id() << " dim " << D << " range ["
-               << Min << "," << Max << "] may leave [" << Lo << "," << Hi
-               << "]; ";
+        CoverageIssue &I =
+            AddIssue(CoverageIssueKind::PossiblyOutOfBounds, Clause);
+        I.Dim = D;
+        I.Min = Min;
+        I.Max = Max;
+        I.Lo = Lo;
+        I.Hi = Hi;
       }
     }
   }
@@ -195,7 +355,7 @@ CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
   for (const ClauseNode *Clause : Nest.Clauses) {
     if (Clause->isGuarded()) {
       Countable = false;
-      Detail << "clause #" << Clause->id() << " is guarded; ";
+      AddIssue(CoverageIssueKind::GuardedClause, Clause);
       break;
     }
     int64_t Instances = 1;
@@ -221,8 +381,10 @@ CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
       // is definitely empty (too many is impossible without collisions).
       if (Total < Size) {
         Result.NoEmpties = CheckOutcome::Disproven;
-        Detail << "only " << Total << " definitions for " << Size
-               << " elements; ";
+        CoverageIssue &I = AddIssue(CoverageIssueKind::TooFewDefinitions,
+                                    nullptr);
+        I.Min = Total;
+        I.Max = Size;
       } else {
         Result.NoEmpties = CheckOutcome::Unknown;
       }
@@ -230,6 +392,236 @@ CoverageAnalysis hac::analyzeCoverage(const CompNest &Nest,
       Result.NoEmpties = CheckOutcome::Unknown;
     }
   }
-  Result.Detail = Detail.str();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Read-bounds analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Calls \p F on every ArraySub node reachable from \p E. Resolution is
+/// by name, exactly as the Executor resolves arrays at run time, so no
+/// shadow tracking is needed here.
+void walkReads(const Expr *E,
+               const std::function<void(const ArraySubExpr *)> &F) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::ArraySub: {
+    const auto *S = cast<ArraySubExpr>(E);
+    F(S);
+    if (!isa<VarExpr>(S->base()))
+      walkReads(S->base(), F);
+    walkReads(S->index(), F);
+    return;
+  }
+  case ExprKind::Unary:
+    walkReads(cast<UnaryExpr>(E)->operand(), F);
+    return;
+  case ExprKind::Binary:
+    walkReads(cast<BinaryExpr>(E)->lhs(), F);
+    walkReads(cast<BinaryExpr>(E)->rhs(), F);
+    return;
+  case ExprKind::If:
+    walkReads(cast<IfExpr>(E)->cond(), F);
+    walkReads(cast<IfExpr>(E)->thenExpr(), F);
+    walkReads(cast<IfExpr>(E)->elseExpr(), F);
+    return;
+  case ExprKind::Tuple:
+    for (const ExprPtr &Elem : cast<TupleExpr>(E)->elems())
+      walkReads(Elem.get(), F);
+    return;
+  case ExprKind::Lambda:
+    walkReads(cast<LambdaExpr>(E)->body(), F);
+    return;
+  case ExprKind::Apply:
+    walkReads(cast<ApplyExpr>(E)->fn(), F);
+    for (const ExprPtr &Arg : cast<ApplyExpr>(E)->args())
+      walkReads(Arg.get(), F);
+    return;
+  case ExprKind::Let:
+    for (const LetBind &B : cast<LetExpr>(E)->binds())
+      walkReads(B.Value.get(), F);
+    walkReads(cast<LetExpr>(E)->body(), F);
+    return;
+  case ExprKind::Range:
+    walkReads(cast<RangeExpr>(E)->lo(), F);
+    walkReads(cast<RangeExpr>(E)->second(), F);
+    walkReads(cast<RangeExpr>(E)->hi(), F);
+    return;
+  case ExprKind::List:
+    for (const ExprPtr &Elem : cast<ListExpr>(E)->elems())
+      walkReads(Elem.get(), F);
+    return;
+  case ExprKind::Comp: {
+    const auto *C = cast<CompExpr>(E);
+    for (const CompQual &Q : C->quals()) {
+      switch (Q.kind()) {
+      case CompQual::Kind::Generator:
+        walkReads(Q.source(), F);
+        break;
+      case CompQual::Kind::Guard:
+        walkReads(Q.cond(), F);
+        break;
+      case CompQual::Kind::LetQual:
+        for (const LetBind &B : Q.binds())
+          walkReads(B.Value.get(), F);
+        break;
+      }
+    }
+    walkReads(C->head(), F);
+    return;
+  }
+  case ExprKind::SvPair:
+    walkReads(cast<SvPairExpr>(E)->subscript(), F);
+    walkReads(cast<SvPairExpr>(E)->value(), F);
+    return;
+  case ExprKind::MakeArray:
+    walkReads(cast<MakeArrayExpr>(E)->bounds(), F);
+    walkReads(cast<MakeArrayExpr>(E)->svList(), F);
+    return;
+  case ExprKind::AccumArray:
+    walkReads(cast<AccumArrayExpr>(E)->fn(), F);
+    walkReads(cast<AccumArrayExpr>(E)->init(), F);
+    walkReads(cast<AccumArrayExpr>(E)->bounds(), F);
+    walkReads(cast<AccumArrayExpr>(E)->svList(), F);
+    return;
+  case ExprKind::BigUpd:
+    walkReads(cast<BigUpdExpr>(E)->base(), F);
+    walkReads(cast<BigUpdExpr>(E)->svList(), F);
+    return;
+  case ExprKind::ForceElements:
+    walkReads(cast<ForceElementsExpr>(E)->arg(), F);
+    return;
+  case ExprKind::Var:
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::BoolLit:
+    return;
+  }
+}
+
+} // namespace
+
+ReadBoundsAnalysis
+hac::analyzeReadBounds(const CompNest &Nest,
+                       const std::map<std::string, ArrayDims> &KnownDims,
+                       const ParamEnv &Params) {
+  HAC_TRACE_SPAN(Span, "read-bounds-analysis");
+  ReadBoundsAnalysis Result;
+  if (!Nest.Analyzable) {
+    Result.AllInBounds = CheckOutcome::Unknown;
+    return Result;
+  }
+
+  // A guard condition may be shared by several clauses; analyze it once
+  // (for the first clause that carries it — all carriers share the
+  // guard's enclosing loops as a loop-stack prefix).
+  std::set<const GuardNode *> SeenGuards;
+
+  auto CheckRead = [&](const ClauseNode *Clause, const ArraySubExpr *S) {
+    ReadCheck R;
+    R.ClauseId = Clause->id();
+    R.Loc = S->loc().isValid() ? S->loc() : Clause->loc();
+    R.Guarded = Clause->isGuarded();
+
+    const auto *Base = dyn_cast<VarExpr>(S->base());
+    if (!Base) {
+      R.ArrayName = "<computed>";
+      R.InBounds = CheckOutcome::Unknown;
+      Result.Reads.push_back(std::move(R));
+      return;
+    }
+    R.ArrayName = Base->name();
+
+    // Per-dimension affine forms of the subscript.
+    std::vector<AffineForm> Sub;
+    R.Affine = true;
+    auto AddDim = [&](const Expr *DimExpr) {
+      if (!R.Affine)
+        return;
+      auto F = extractAffine(DimExpr, Clause->loops(), Params);
+      if (!F) {
+        R.Affine = false;
+        return;
+      }
+      Sub.push_back(*F);
+    };
+    if (const auto *T = dyn_cast<TupleExpr>(S->index()))
+      for (const ExprPtr &Dim : T->elems())
+        AddDim(Dim.get());
+    else
+      AddDim(S->index());
+
+    auto It = KnownDims.find(Base->name());
+    R.DimsKnown = It != KnownDims.end();
+    if (!R.Affine || !R.DimsKnown) {
+      R.InBounds = CheckOutcome::Unknown;
+      Result.Reads.push_back(std::move(R));
+      return;
+    }
+    const ArrayDims &Dims = It->second;
+    if (Sub.size() != Dims.size()) {
+      R.RankMismatch = true;
+      R.InBounds = CheckOutcome::Disproven;
+      Result.Reads.push_back(std::move(R));
+      return;
+    }
+
+    R.InBounds = CheckOutcome::Proven;
+    for (size_t D = 0; D != Sub.size(); ++D) {
+      int64_t Min = Sub[D].minValue(), Max = Sub[D].maxValue();
+      auto [Lo, Hi] = Dims[D];
+      if (Min >= Lo && Max <= Hi)
+        continue;
+      R.Dim = D;
+      R.Min = Min;
+      R.Max = Max;
+      R.Lo = Lo;
+      R.Hi = Hi;
+      if (Max < Lo || Min > Hi) {
+        // Every instance reads outside this dimension: definite error.
+        R.InBounds = CheckOutcome::Disproven;
+        R.WitnessIndex.clear();
+        for (const AffineForm &F : Sub)
+          R.WitnessIndex.push_back(valueAtFirstInstance(F));
+        R.WitnessAssign = firstInstanceAssign(Clause);
+        break;
+      }
+      R.InBounds = CheckOutcome::Unknown;
+      // Keep scanning: a later dimension may be entirely outside.
+    }
+    Result.Reads.push_back(std::move(R));
+  };
+
+  for (const ClauseNode *Clause : Nest.Clauses) {
+    if (!clauseHasInstances(Clause))
+      continue; // dead clauses never execute a read (reported as HAC006)
+    walkReads(Clause->value(), [&](const ArraySubExpr *S) {
+      CheckRead(Clause, S);
+    });
+    for (const GuardNode *G : Clause->guards())
+      if (SeenGuards.insert(G).second)
+        walkReads(G->cond(), [&](const ArraySubExpr *S) {
+          CheckRead(Clause, S);
+        });
+  }
+
+  // Fold the per-read verdicts: any Disproven dominates; any non-Proven
+  // read forfeits the proof.
+  Result.AllInBounds = CheckOutcome::Proven;
+  for (const ReadCheck &R : Result.Reads) {
+    if (R.InBounds == CheckOutcome::Disproven) {
+      Result.AllInBounds = CheckOutcome::Disproven;
+      break;
+    }
+    if (R.InBounds != CheckOutcome::Proven)
+      Result.AllInBounds = CheckOutcome::Unknown;
+  }
+  HAC_TRACE_COUNT("readbounds.reads", Result.Reads.size());
+  if (Result.AllInBounds == CheckOutcome::Proven)
+    HAC_TRACE_COUNT("readbounds.proven_all");
   return Result;
 }

@@ -22,6 +22,18 @@
 ///  * Bounds: when every write subscript's affine range lies within the
 ///    array bounds, per-write bounds checks are elided.
 ///
+///  * Read bounds: a symbolic interval analysis over the affine read
+///    subscripts of arrays whose extents are statically known (the target
+///    array and, for storage reuse, its alias). When every read is proven
+///    in bounds the Executor elides per-read bounds checks; a read whose
+///    range lies entirely outside the array is a definite error (the
+///    verifier's HAC005).
+///
+/// All verdicts carry structured witnesses (clause indices, source
+/// locations, direction vectors, offending ranges) so the verifier can
+/// surface them as source-located diagnostics; the prose renderings used
+/// by report() are derived from the structured data.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HAC_ANALYSIS_ARRAYCHECKS_H
@@ -31,6 +43,8 @@
 #include "comp/CompNest.h"
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,13 +60,78 @@ enum class CheckOutcome : uint8_t {
 
 const char *checkOutcomeName(CheckOutcome O);
 
+/// A definite write collision: two clause instances provably write the
+/// same element.
+struct CollisionWitness {
+  unsigned ClauseA = 0;
+  unsigned ClauseB = 0;
+  SourceLoc LocA;
+  SourceLoc LocB;
+  /// Directions over the loops shared by the two clauses.
+  DirVector Dirs;
+
+  /// "clauses #A and #B definitely write the same element, directions
+  /// (...)" — the prose form used by report() and error messages.
+  std::string str() const;
+};
+
+/// One clause pair the collision analysis could not fully resolve.
+struct UnresolvedCollision {
+  unsigned ClauseA = 0;
+  unsigned ClauseB = 0;
+  SourceLoc LocA;
+  SourceLoc LocB;
+  /// Direction vectors that survived refinement (empty when the pair was
+  /// unresolved because a subscript was not affine).
+  std::vector<DirVector> Dirs;
+  bool NonAffine = false;
+};
+
 /// Result of the write-collision analysis.
 struct CollisionAnalysis {
   CheckOutcome NoCollisions = CheckOutcome::Unknown;
-  /// For Disproven: a witness description (clause pair + directions).
-  std::string Witness;
+  /// For Disproven: the witness clause pair.
+  std::optional<CollisionWitness> Witness;
+  /// Clause pairs that could not be fully resolved (Unknown outcomes).
+  std::vector<UnresolvedCollision> Unresolved;
   /// Number of clause pairs that could not be fully resolved.
   unsigned UnresolvedPairs = 0;
+
+  /// The witness prose, or "" when there is no witness.
+  std::string witnessStr() const { return Witness ? Witness->str() : ""; }
+};
+
+/// One structured fact recorded by the coverage / bounds analyses.
+enum class CoverageIssueKind : uint8_t {
+  NotAnalyzable,       ///< the nest was not statically analyzable
+  RankMismatch,        ///< clause rank != array rank
+  NonAffineSubscript,  ///< write subscript not affine
+  DefiniteOutOfBounds, ///< every instance writes outside the array
+  PossiblyOutOfBounds, ///< the write range may leave the array
+  GuardedClause,       ///< instance count unknowable (guard)
+  DeadClause,          ///< a surrounding loop has nonpositive trip count
+  TooFewDefinitions,   ///< fewer instances than elements: definite empties
+};
+
+struct CoverageIssue {
+  CoverageIssueKind Kind = CoverageIssueKind::NotAnalyzable;
+  unsigned ClauseId = 0;
+  SourceLoc Loc;
+  /// For bounds issues: the offending dimension, subscript range
+  /// [Min, Max], and declared bounds [Lo, Hi].
+  unsigned Dim = 0;
+  int64_t Min = 0, Max = 0, Lo = 0, Hi = 0;
+  /// For RankMismatch: clause rank (Min) vs array rank (Max).
+  /// For TooFewDefinitions: instances (Min) vs array size (Max).
+  /// For DeadClause: the zero-trip loop.
+  const LoopNode *DeadLoop = nullptr;
+  /// For DefiniteOutOfBounds: one concrete violating index, with the loop
+  /// assignment that produces it.
+  std::vector<int64_t> WitnessIndex;
+  std::vector<std::pair<std::string, int64_t>> WitnessAssign;
+
+  /// The prose fragment this issue contributes to detail().
+  std::string str() const;
 };
 
 /// Result of the coverage (empties) and bounds analyses.
@@ -63,7 +142,47 @@ struct CoverageAnalysis {
   /// Total s/v instances, or -1 when not statically countable (guards).
   int64_t TotalInstances = -1;
   int64_t ArraySize = 0;
-  std::string Detail;
+  /// Structured findings backing the outcomes above.
+  std::vector<CoverageIssue> Issues;
+
+  /// Prose rendering of Issues (the pre-structured Detail string).
+  std::string detail() const;
+};
+
+/// One array read checked by the read-bounds analysis.
+struct ReadCheck {
+  unsigned ClauseId = 0;
+  /// Location of the read expression (falls back to the clause location).
+  SourceLoc Loc;
+  std::string ArrayName;
+  CheckOutcome InBounds = CheckOutcome::Unknown;
+  bool DimsKnown = false; ///< the array's extents were statically known
+  bool Affine = false;    ///< every subscript dimension was affine
+  bool Guarded = false;   ///< the reading clause is guarded
+  bool RankMismatch = false;
+  /// First offending dimension when not Proven (with known dims).
+  unsigned Dim = 0;
+  int64_t Min = 0, Max = 0, Lo = 0, Hi = 0;
+  /// For Disproven: one concrete violating index and its loop assignment.
+  std::vector<int64_t> WitnessIndex;
+  std::vector<std::pair<std::string, int64_t>> WitnessAssign;
+
+  std::string str() const;
+};
+
+/// Result of the read-bounds analysis over one nest.
+struct ReadBoundsAnalysis {
+  /// Proven iff every read (of every array) is provably in bounds —
+  /// trivially Proven when the nest performs no reads.
+  CheckOutcome AllInBounds = CheckOutcome::Proven;
+  std::vector<ReadCheck> Reads;
+
+  unsigned numProven() const {
+    unsigned N = 0;
+    for (const ReadCheck &R : Reads)
+      N += R.InBounds == CheckOutcome::Proven;
+    return N;
+  }
 };
 
 /// Array bounds per dimension, as (lo, hi) inclusive.
@@ -80,6 +199,16 @@ CollisionAnalysis analyzeCollisions(const CompNest &Nest,
 CoverageAnalysis analyzeCoverage(const CompNest &Nest, const ArrayDims &Dims,
                                  const ParamEnv &Params,
                                  const CollisionAnalysis &Collisions);
+
+/// Analyzes every array read in the clause values and guard conditions of
+/// \p Nest against \p KnownDims (array name -> declared extents). Reads of
+/// arrays not in \p KnownDims are Unknown (the analysis cannot bound
+/// them); an affine read whose range provably stays inside the declared
+/// extents is Proven; one whose range lies entirely outside is Disproven.
+ReadBoundsAnalysis
+analyzeReadBounds(const CompNest &Nest,
+                  const std::map<std::string, ArrayDims> &KnownDims,
+                  const ParamEnv &Params);
 
 } // namespace hac
 

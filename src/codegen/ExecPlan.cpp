@@ -57,7 +57,8 @@ std::string ExecPlan::str() const {
   OS << (InPlace ? " (in place)" : "") << "\n";
   OS << "checks: bounds=" << (CheckStoreBounds ? "on" : "off")
      << " collisions=" << (CheckCollisions ? "on" : "off")
-     << " empties=" << (CheckEmpties ? "on" : "off") << "\n";
+     << " empties=" << (CheckEmpties ? "on" : "off")
+     << " reads=" << (CheckReadBounds ? "on" : "off") << "\n";
   for (const RingSpec &R : Rings)
     OS << "ring " << R.Id << ": clause #" << R.Clause->id() << " level "
        << R.Level << " depth " << R.Depth << " size " << R.size() << "\n";
@@ -98,7 +99,8 @@ ExecPlan hac::buildArrayPlan(const CompNest &Nest, const Schedule &Sched,
                              const std::string &TargetName,
                              const ArrayDims &Dims,
                              const CollisionAnalysis &Collisions,
-                             const CoverageAnalysis &Coverage) {
+                             const CoverageAnalysis &Coverage,
+                             const ReadBoundsAnalysis &ReadBounds) {
   (void)Nest;
   assert(Sched.Thunkless && "cannot lower a schedule that needs thunks");
   ExecPlan Plan;
@@ -111,6 +113,7 @@ ExecPlan hac::buildArrayPlan(const CompNest &Nest, const Schedule &Sched,
   Plan.CheckStoreBounds = Coverage.InBounds != CheckOutcome::Proven;
   Plan.CheckCollisions = Collisions.NoCollisions != CheckOutcome::Proven;
   Plan.CheckEmpties = Coverage.NoEmpties != CheckOutcome::Proven;
+  Plan.CheckReadBounds = ReadBounds.AllInBounds != CheckOutcome::Proven;
   return Plan;
 }
 
@@ -120,7 +123,8 @@ ExecPlan hac::buildInPlaceArrayPlan(const CompNest &Nest,
                                     const std::string &ReuseName,
                                     const ArrayDims &Dims,
                                     const CollisionAnalysis &Collisions,
-                                    const CoverageAnalysis &Coverage) {
+                                    const CoverageAnalysis &Coverage,
+                                    const ReadBoundsAnalysis &ReadBounds) {
   ExecPlan Plan = buildUpdatePlan(Nest, Update, TargetName, Dims);
   Plan.Dims = Dims;
   Plan.AliasName = ReuseName;
@@ -129,6 +133,7 @@ ExecPlan hac::buildInPlaceArrayPlan(const CompNest &Nest,
   Plan.CheckStoreBounds = Coverage.InBounds != CheckOutcome::Proven;
   Plan.CheckCollisions = Collisions.NoCollisions != CheckOutcome::Proven;
   Plan.CheckEmpties = Coverage.NoEmpties != CheckOutcome::Proven;
+  Plan.CheckReadBounds = ReadBounds.AllInBounds != CheckOutcome::Proven;
   return Plan;
 }
 

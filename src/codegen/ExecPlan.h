@@ -135,6 +135,9 @@ struct ExecPlan {
   bool CheckStoreBounds = true;
   bool CheckCollisions = true;
   bool CheckEmpties = true;
+  /// Per-read bounds checks; false when the read-bounds analysis proved
+  /// every array read in bounds (the verifier's HAC005 proof).
+  bool CheckReadBounds = true;
 
   /// True for in-place updates (bigupd): the target starts defined and
   /// collisions are sequencing, not errors.
@@ -150,7 +153,8 @@ struct ExecPlan {
 ExecPlan buildArrayPlan(const CompNest &Nest, const Schedule &Sched,
                         const std::string &TargetName, const ArrayDims &Dims,
                         const CollisionAnalysis &Collisions,
-                        const CoverageAnalysis &Coverage);
+                        const CoverageAnalysis &Coverage,
+                        const ReadBoundsAnalysis &ReadBounds);
 
 /// Lowers an update schedule (with node splits) to an in-place plan.
 ExecPlan buildUpdatePlan(const CompNest &Nest, const UpdateSchedule &Update,
@@ -167,7 +171,8 @@ ExecPlan buildInPlaceArrayPlan(const CompNest &Nest,
                                const std::string &ReuseName,
                                const ArrayDims &Dims,
                                const CollisionAnalysis &Collisions,
-                               const CoverageAnalysis &Coverage);
+                               const CoverageAnalysis &Coverage,
+                               const ReadBoundsAnalysis &ReadBounds);
 
 } // namespace hac
 

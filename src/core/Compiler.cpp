@@ -158,9 +158,12 @@ Compiler::compileArray(const std::string &Source) {
       analyzeCollisions(Result.Nest, Result.Params, Options.ExactBudget);
   Result.Coverage = analyzeCoverage(Result.Nest, Result.Dims, Result.Params,
                                     Result.Collisions);
+  Result.ReadBounds = analyzeReadBounds(
+      Result.Nest, {{Result.Name, Result.Dims}}, Result.Params);
 
   if (Result.Collisions.NoCollisions == CheckOutcome::Disproven) {
-    Diags.error(SourceLoc(), "write collision: " + Result.Collisions.Witness);
+    Diags.error(SourceLoc(),
+                "write collision: " + Result.Collisions.witnessStr());
     Result.Thunkless = false;
     Result.FallbackReason = "definite write collision";
     traceOutcome(false, Result.FallbackReason);
@@ -169,7 +172,7 @@ Compiler::compileArray(const std::string &Source) {
   if (Result.Coverage.InBounds == CheckOutcome::Disproven)
     Diags.warning(SourceLoc(),
                   "some array definitions are provably out of bounds: " +
-                      Result.Coverage.Detail);
+                      Result.Coverage.detail());
 
   if (Result.Graph.HasUnknownRef) {
     Result.Thunkless = false;
@@ -196,16 +199,19 @@ Compiler::compileArray(const std::string &Source) {
   Result.Thunkless = true;
   CollisionAnalysis EffCollisions = Result.Collisions;
   CoverageAnalysis EffCoverage = Result.Coverage;
+  ReadBoundsAnalysis EffReadBounds = Result.ReadBounds;
   if (!Options.EnableCheckElimination) {
     // Ablation: pretend nothing was proven.
     EffCollisions.NoCollisions = CheckOutcome::Unknown;
     EffCoverage.InBounds = CheckOutcome::Unknown;
     EffCoverage.NoEmpties = CheckOutcome::Unknown;
+    EffReadBounds.AllInBounds = CheckOutcome::Unknown;
   }
   {
     HAC_TRACE_SPAN(PlanSpan, "plan-build");
     Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
-                                 Result.Dims, EffCollisions, EffCoverage);
+                                 Result.Dims, EffCollisions, EffCoverage,
+                                 EffReadBounds);
   }
   traceOutcome(true, "");
   return Result;
@@ -252,6 +258,9 @@ Compiler::compileUpdate(const std::string &Source) {
     traceOutcome(false, Result.FallbackReason);
     return Result;
   }
+  // The updated array's extents are runtime values: reads can be
+  // enumerated for the verifier but never proven in bounds here.
+  Result.ReadBounds = analyzeReadBounds(Result.Nest, {}, Result.Params);
 
   DepGraphOptions GraphOptions;
   GraphOptions.ExactBudget = Options.ExactBudget;
@@ -440,6 +449,8 @@ Compiler::compileAccum(const std::string &Source) {
       analyzeCollisions(Result.Nest, Result.Params, Options.ExactBudget);
   Result.Coverage = analyzeCoverage(Result.Nest, Result.Dims, Result.Params,
                                     Result.Collisions);
+  Result.ReadBounds = analyzeReadBounds(
+      Result.Nest, {{Result.Name, Result.Dims}}, Result.Params);
   if (Result.Collisions.NoCollisions != CheckOutcome::Proven) {
     Result.Thunkless = false;
     Result.FallbackReason =
@@ -466,7 +477,7 @@ Compiler::compileAccum(const std::string &Source) {
     HAC_TRACE_SPAN(PlanSpan, "plan-build");
     Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
                                  Result.Dims, Result.Collisions,
-                                 EffCoverage);
+                                 EffCoverage, Result.ReadBounds);
   }
   traceOutcome(true, "");
   return Result;
@@ -530,19 +541,27 @@ Compiler::compileArrayInPlace(const std::string &Source,
     Result->Vectorization =
         analyzeVectorization(Result->InPlaceSched.Sched, Remaining);
   }
+  // With storage reuse the alias shares the target's extents, so its
+  // reads become provable too.
+  Result->ReadBounds = analyzeReadBounds(
+      Result->Nest,
+      {{Result->Name, Result->Dims}, {ReuseName, Result->Dims}},
+      Result->Params);
   CollisionAnalysis EffCollisions = Result->Collisions;
   CoverageAnalysis EffCoverage = Result->Coverage;
+  ReadBoundsAnalysis EffReadBounds = Result->ReadBounds;
   if (!Options.EnableCheckElimination) {
     EffCollisions.NoCollisions = CheckOutcome::Unknown;
     EffCoverage.InBounds = CheckOutcome::Unknown;
     EffCoverage.NoEmpties = CheckOutcome::Unknown;
+    EffReadBounds.AllInBounds = CheckOutcome::Unknown;
   }
   {
     HAC_TRACE_SPAN(PlanSpan, "plan-build");
     Result->Plan = buildInPlaceArrayPlan(Result->Nest, Result->InPlaceSched,
                                          Result->Name, ReuseName,
                                          Result->Dims, EffCollisions,
-                                         EffCoverage);
+                                         EffCoverage, EffReadBounds);
   }
   Result->Sched = Result->InPlaceSched.Sched;
   traceOutcome(true, "");
@@ -602,20 +621,24 @@ std::string CompiledArray::report() const {
      << "\n";
   OS << "dependence graph:\n" << Graph.str();
   OS << "collisions: " << checkOutcomeName(Collisions.NoCollisions);
-  if (!Collisions.Witness.empty())
-    OS << " (" << Collisions.Witness << ")";
+  if (Collisions.Witness)
+    OS << " (" << Collisions.witnessStr() << ")";
   OS << "\n";
   OS << "in-bounds: " << checkOutcomeName(Coverage.InBounds)
      << ", empties: " << checkOutcomeName(Coverage.NoEmpties)
      << " (instances " << Coverage.TotalInstances << " / size "
      << Coverage.ArraySize << ")\n";
+  OS << "read-bounds: " << checkOutcomeName(ReadBounds.AllInBounds) << " ("
+     << ReadBounds.numProven() << "/" << ReadBounds.Reads.size()
+     << " reads proven)\n";
   if (Thunkless) {
     OS << "schedule (thunkless, " << Sched.PassCount << " passes):\n"
        << Sched.str();
     OS << "runtime checks: bounds="
        << (Plan.CheckStoreBounds ? "on" : "off")
        << " collisions=" << (Plan.CheckCollisions ? "on" : "off")
-       << " empties=" << (Plan.CheckEmpties ? "on" : "off") << "\n";
+       << " empties=" << (Plan.CheckEmpties ? "on" : "off")
+       << " reads=" << (Plan.CheckReadBounds ? "on" : "off") << "\n";
     OS << Vectorization.str();
   } else {
     OS << "thunked fallback: " << FallbackReason << "\n";

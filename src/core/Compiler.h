@@ -78,6 +78,10 @@ struct CompiledArray {
   DepGraph Graph;
   CollisionAnalysis Collisions;
   CoverageAnalysis Coverage;
+  /// Symbolic interval analysis of every array read against statically
+  /// known extents (the target and, for storage reuse, its alias). A
+  /// Proven outcome lets the Executor elide per-read bounds checks.
+  ReadBoundsAnalysis ReadBounds;
   Schedule Sched;
   /// Section 10: which innermost loop passes are vectorizable.
   VectorizationReport Vectorization;
@@ -117,6 +121,9 @@ struct CompiledUpdate {
   ExprPtr Ast;
   CompNest Nest;
   DepGraph Graph;
+  /// Read analysis for the verifier; the updated array's extents are
+  /// runtime values, so reads are at best Unknown here.
+  ReadBoundsAnalysis ReadBounds;
   UpdateSchedule Update;
   /// Section 10: which innermost loop passes are vectorizable.
   VectorizationReport Vectorization;

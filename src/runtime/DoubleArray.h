@@ -63,6 +63,22 @@ public:
     return true;
   }
 
+  /// Row-major linearization without per-dimension bounds compares, for
+  /// reads the read-bounds analysis proved in bounds. The caller vouches
+  /// for Rank == rank() and Lo <= Index[D] <= Hi in every dimension.
+  size_t linearizeUnchecked(const int64_t *Index, size_t Rank) const {
+    assert(Rank == Bounds.size() && "rank mismatch in unchecked access");
+    size_t Linear = 0;
+    for (size_t D = 0; D != Rank; ++D) {
+      auto [Lo, Hi] = Bounds[D];
+      assert(Index[D] >= Lo && Index[D] <= Hi &&
+             "proven-in-bounds read is out of bounds");
+      Linear = Linear * static_cast<size_t>(Hi - Lo + 1) +
+               static_cast<size_t>(Index[D] - Lo);
+    }
+    return Linear;
+  }
+
   /// Convenience element access for tests (asserts in-bounds).
   double at(std::initializer_list<int64_t> Index) const {
     size_t Linear = 0;

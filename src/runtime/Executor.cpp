@@ -417,6 +417,25 @@ private:
     return AddDim(IndexExpr);
   }
 
+  /// Linearizes a read index. When the read-bounds analysis proved every
+  /// read in bounds (Plan.CheckReadBounds == false) the per-dimension
+  /// compares are elided entirely; ValidateReads forces the checked path
+  /// (without counting it as an eliminated-check candidate).
+  bool readLinear(const DoubleArray &A, const std::string &Name,
+                  const std::vector<int64_t> &Index, size_t &Linear) {
+    if (!Plan.CheckReadBounds && !ValidateReads) {
+      Linear = A.linearizeUnchecked(Index.data(), Index.size());
+      return true;
+    }
+    if (Plan.CheckReadBounds)
+      ++Stats.BoundsChecks;
+    if (!A.linearize(Index.data(), Index.size(), Linear)) {
+      fail("array read out of bounds on '" + Name + "'");
+      return false;
+    }
+    return true;
+  }
+
   Scalar evalRead(const ArraySubExpr *S) {
     // Node-splitting redirects (Section 9).
     auto RIt = Plan.RingRedirects.find(S);
@@ -440,10 +459,8 @@ private:
     if (!evalIndex(S->index(), Index))
       return Scalar::makeInt(0);
     size_t Linear;
-    if (!A->linearize(Index.data(), Index.size(), Linear)) {
-      fail("array read out of bounds on '" + Base->name() + "'");
+    if (!readLinear(*A, Base->name(), Index, Linear))
       return Scalar::makeInt(0);
-    }
     if (ValidateReads && A == &Target && !Target.isDefined(Linear)) {
       fail("schedule violation: read of element not yet computed (linear "
            "index " +
@@ -506,10 +523,8 @@ private:
     if (!evalIndex(S->index(), Index))
       return Scalar::makeInt(0);
     size_t Linear;
-    if (!A->linearize(Index.data(), Index.size(), Linear)) {
-      fail("array read out of bounds on '" + Base->name() + "'");
+    if (!readLinear(*A, Base->name(), Index, Linear))
       return Scalar::makeInt(0);
-    }
     ++Stats.Loads;
     return Scalar::makeFloat((*A)[Linear]);
   }

@@ -2,6 +2,8 @@
 
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
 
 using namespace hac;
@@ -18,22 +20,89 @@ const char *hac::severityName(DiagSeverity Severity) {
   return "unknown";
 }
 
+const char *hac::ruleIdString(RuleID Rule) {
+  switch (Rule) {
+  case RuleID::None:
+    return "";
+  case RuleID::HAC001:
+    return "HAC001";
+  case RuleID::HAC002:
+    return "HAC002";
+  case RuleID::HAC003:
+    return "HAC003";
+  case RuleID::HAC004:
+    return "HAC004";
+  case RuleID::HAC005:
+    return "HAC005";
+  case RuleID::HAC006:
+    return "HAC006";
+  case RuleID::HAC007:
+    return "HAC007";
+  }
+  return "";
+}
+
+RuleID hac::ruleIdFromNumber(unsigned N) {
+  if (N >= 1 && N <= kNumRules)
+    return static_cast<RuleID>(N);
+  return RuleID::None;
+}
+
 std::string Diagnostic::str() const {
   std::ostringstream OS;
   OS << severityName(Severity) << ": ";
   if (Loc.isValid())
     OS << Loc.str() << ": ";
+  if (Rule != RuleID::None)
+    OS << "[" << ruleIdString(Rule) << "] ";
   OS << Message;
   return OS.str();
 }
 
+Diagnostic hac::makeNote(SourceLoc Loc, std::string Message) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Note;
+  D.Loc = Loc;
+  D.Message = std::move(Message);
+  return D;
+}
+
 void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
                               std::string Message) {
-  if (Severity == DiagSeverity::Error)
+  Diagnostic D;
+  D.Severity = Severity;
+  D.Loc = Loc;
+  D.Message = std::move(Message);
+  report(std::move(D));
+}
+
+bool DiagnosticEngine::report(Diagnostic Diag) {
+  if (!isRuleEnabled(Diag.Rule))
+    return false;
+  if (WarningsAsErrors && Diag.Severity == DiagSeverity::Warning)
+    Diag.Severity = DiagSeverity::Error;
+  if (Diag.Severity == DiagSeverity::Error)
     ++NumErrors;
-  else if (Severity == DiagSeverity::Warning)
+  else if (Diag.Severity == DiagSeverity::Warning)
     ++NumWarnings;
-  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+  Diags.push_back(std::move(Diag));
+  return true;
+}
+
+void DiagnosticEngine::setRuleEnabled(RuleID Rule, bool Enabled) {
+  if (Rule == RuleID::None)
+    return;
+  uint32_t Bit = 1u << static_cast<unsigned>(Rule);
+  if (Enabled)
+    DisabledRules &= ~Bit;
+  else
+    DisabledRules |= Bit;
+}
+
+bool DiagnosticEngine::isRuleEnabled(RuleID Rule) const {
+  if (Rule == RuleID::None)
+    return true;
+  return !(DisabledRules & (1u << static_cast<unsigned>(Rule)));
 }
 
 void DiagnosticEngine::clear() {
@@ -43,8 +112,19 @@ void DiagnosticEngine::clear() {
 }
 
 void DiagnosticEngine::print(std::ostream &OS) const {
-  for (const Diagnostic &D : Diags)
+  // Stable sort by location: global (location-less) diagnostics first,
+  // then source order; ties preserve report order.
+  std::vector<size_t> Order(Diags.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Diags[A].Loc < Diags[B].Loc;
+  });
+  for (size_t I : Order) {
+    const Diagnostic &D = Diags[I];
     OS << D.str() << '\n';
+    for (const Diagnostic &N : D.Notes)
+      OS << "  " << N.str() << '\n';
+  }
 }
 
 std::string DiagnosticEngine::str() const {

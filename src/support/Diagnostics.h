@@ -9,6 +9,12 @@
 /// DiagnosticEngine instead of printing or aborting, so tools and tests can
 /// inspect what went wrong.
 ///
+/// Diagnostics may carry a stable verifier rule ID (the HACNNN taxonomy of
+/// src/verify/Rules.h — IDs are a published contract and are never reused)
+/// and attached notes that print nested under their parent. The engine
+/// supports per-rule enable/disable (`-Wno-hacNNN`) and warnings-as-errors
+/// (`-Werror`).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HAC_SUPPORT_DIAGNOSTICS_H
@@ -16,6 +22,7 @@
 
 #include "support/SourceLoc.h"
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -29,21 +36,60 @@ enum class DiagSeverity {
   Error,
 };
 
-/// One reported diagnostic: severity, optional location, message text.
+/// Stable verifier rule identifiers (see src/verify/Rules.h for the full
+/// metadata table). The numeric values are part of the published taxonomy:
+/// an ID, once assigned, is never reused for a different rule.
+enum class RuleID : uint8_t {
+  None = 0,   ///< not a verifier finding
+  HAC001 = 1, ///< non-affine-subscript
+  HAC002 = 2, ///< possible-write-collision
+  HAC003 = 3, ///< possibly-undefined-elements
+  HAC004 = 4, ///< definite-out-of-bounds-write
+  HAC005 = 5, ///< out-of-bounds-read
+  HAC006 = 6, ///< dead-clause
+  HAC007 = 7, ///< fallback-forced
+};
+
+/// Number of assigned rules (RuleID values 1..kNumRules are valid).
+inline constexpr unsigned kNumRules = 7;
+
+/// "HAC001" ... "HAC007", or "" for RuleID::None.
+const char *ruleIdString(RuleID Rule);
+
+/// Maps 1..kNumRules to the rule; anything else to RuleID::None.
+RuleID ruleIdFromNumber(unsigned N);
+
+/// One reported diagnostic: severity, optional rule, optional location,
+/// message text, and notes nested under it.
 struct Diagnostic {
   DiagSeverity Severity = DiagSeverity::Error;
+  RuleID Rule = RuleID::None;
   SourceLoc Loc;
   std::string Message;
+  /// Attached notes (witnesses, secondary locations). Notes of notes are
+  /// not supported; nested entries are printed flat under the parent.
+  std::vector<Diagnostic> Notes;
 
-  /// Renders as "error: 3:7: message" (location omitted when unknown).
+  /// Renders as "error: 3:7: [HAC004] message" (location and rule tag
+  /// omitted when unknown). Notes are not included; see
+  /// DiagnosticEngine::print for the nested rendering.
   std::string str() const;
 };
+
+/// Builds a note diagnostic (for Diagnostic::Notes).
+Diagnostic makeNote(SourceLoc Loc, std::string Message);
 
 /// Collects diagnostics produced during compilation. The engine never
 /// aborts; callers check hasErrors() at phase boundaries.
 class DiagnosticEngine {
 public:
   void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  /// Reports a verifier finding with a rule ID and attached notes.
+  /// Disabled rules are dropped silently; with warnings-as-errors set,
+  /// warnings are promoted to errors. Returns true when the diagnostic
+  /// was recorded.
+  bool report(Diagnostic Diag);
 
   void error(SourceLoc Loc, std::string Message) {
     report(DiagSeverity::Error, Loc, std::move(Message));
@@ -59,25 +105,40 @@ public:
     report(DiagSeverity::Note, Loc, std::move(Message));
   }
 
+  /// When set, subsequent warnings are recorded (and counted) as errors.
+  void setWarningsAsErrors(bool V) { WarningsAsErrors = V; }
+  bool warningsAsErrors() const { return WarningsAsErrors; }
+
+  /// Per-rule enable/disable (`-Wno-hacNNN`). Disabling a rule makes
+  /// report() drop findings tagged with it. All rules start enabled.
+  void setRuleEnabled(RuleID Rule, bool Enabled);
+  bool isRuleEnabled(RuleID Rule) const;
+
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   unsigned warningCount() const { return NumWarnings; }
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
-  /// Discards all collected diagnostics and resets counters.
+  /// Discards all collected diagnostics and resets counters (the
+  /// warnings-as-errors and per-rule flags are unchanged).
   void clear();
 
-  /// Writes every diagnostic, one per line, to \p OS.
+  /// Writes every diagnostic to \p OS sorted by source location
+  /// (location-less diagnostics first, then line/column order; ties keep
+  /// report order), with notes nested under their parent.
   void print(std::ostream &OS) const;
 
-  /// Concatenates all diagnostics into a single newline-separated string.
+  /// Concatenates the print() rendering into a single string.
   std::string str() const;
 
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
   unsigned NumWarnings = 0;
+  bool WarningsAsErrors = false;
+  /// Bit N set = rule N disabled (bit 0 unused).
+  uint32_t DisabledRules = 0;
 };
 
 const char *severityName(DiagSeverity Severity);

@@ -1,0 +1,68 @@
+//===- verify/Rules.cpp - The HACNNN rule taxonomy ------------------------===//
+
+#include "verify/Rules.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace hac;
+
+namespace {
+
+// The published taxonomy. Append-only: new rules take fresh numbers and
+// retired ones are never recycled (see DESIGN.md "Static verifier").
+const std::array<RuleInfo, kNumRules> Rules = {{
+    {RuleID::HAC001, "non-affine-subscript",
+     "A subscript is not an affine function of the loop indices, so the "
+     "range proofs cannot see through it and runtime checks remain.",
+     DiagSeverity::Warning},
+    {RuleID::HAC002, "possible-write-collision",
+     "Two s/v clause instances may write the same element; the runtime "
+     "collision check stays on (paper Section 7).",
+     DiagSeverity::Warning},
+    {RuleID::HAC003, "possibly-undefined-elements",
+     "Some array elements may be left without a definition; the runtime "
+     "definedness check stays on (paper Section 4).",
+     DiagSeverity::Warning},
+    {RuleID::HAC004, "definite-out-of-bounds-write",
+     "Every instance of a clause writes outside the declared array "
+     "bounds.",
+     DiagSeverity::Error},
+    {RuleID::HAC005, "out-of-bounds-read",
+     "An affine array read's subscript range leaves the array's declared "
+     "extents.",
+     DiagSeverity::Error},
+    {RuleID::HAC006, "dead-clause",
+     "A clause can never execute: a surrounding loop has a nonpositive "
+     "trip count or a guard is constant false.",
+     DiagSeverity::Warning},
+    {RuleID::HAC007, "fallback-forced",
+     "The program cannot be compiled thunklessly and falls back to the "
+     "lazy interpreter; explains why.",
+     DiagSeverity::Note},
+}};
+
+} // namespace
+
+const RuleInfo &hac::ruleInfo(RuleID Id) {
+  assert(Id != RuleID::None && "RuleID::None has no metadata");
+  return Rules[static_cast<unsigned>(Id) - 1];
+}
+
+const std::array<RuleInfo, kNumRules> &hac::allRules() { return Rules; }
+
+RuleID hac::parseRuleName(const std::string &Spelling) {
+  if (Spelling.size() != 6)
+    return RuleID::None;
+  if ((Spelling[0] != 'h' && Spelling[0] != 'H') ||
+      (Spelling[1] != 'a' && Spelling[1] != 'A') ||
+      (Spelling[2] != 'c' && Spelling[2] != 'C'))
+    return RuleID::None;
+  unsigned N = 0;
+  for (size_t I = 3; I != 6; ++I) {
+    if (!std::isdigit(static_cast<unsigned char>(Spelling[I])))
+      return RuleID::None;
+    N = N * 10 + static_cast<unsigned>(Spelling[I] - '0');
+  }
+  return ruleIdFromNumber(N);
+}

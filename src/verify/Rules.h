@@ -1,0 +1,53 @@
+//===- verify/Rules.h - The HACNNN rule taxonomy ----------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata for the verifier's stable rule taxonomy. Rule IDs are a
+/// published contract (DESIGN.md "Static verifier"): an ID, once
+/// assigned, keeps its meaning forever and is never reused for a
+/// different rule — retired rules leave a hole in the numbering.
+///
+/// The enum itself lives in support/Diagnostics.h so the diagnostic
+/// engine can filter findings without depending on this layer; this file
+/// adds the name/summary/severity table used by the human report and the
+/// SARIF emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_VERIFY_RULES_H
+#define HAC_VERIFY_RULES_H
+
+#include "support/Diagnostics.h"
+
+#include <array>
+
+namespace hac {
+
+/// Static metadata for one verifier rule.
+struct RuleInfo {
+  RuleID Id = RuleID::None;
+  /// Stable kebab-case short name, e.g. "non-affine-subscript".
+  const char *Name = "";
+  /// One-line description (SARIF shortDescription).
+  const char *Summary = "";
+  /// Severity findings of this rule are reported with by default.
+  DiagSeverity DefaultSeverity = DiagSeverity::Warning;
+};
+
+/// Metadata for \p Id; \p Id must not be RuleID::None.
+const RuleInfo &ruleInfo(RuleID Id);
+
+/// The full table, in rule-number order (HAC001 first).
+const std::array<RuleInfo, kNumRules> &allRules();
+
+/// Parses "hacNNN" / "HACNNN" / "HAC001"-style spellings (as used by
+/// -Wno-hacNNN). Returns RuleID::None when the spelling is not a known
+/// rule.
+RuleID parseRuleName(const std::string &Spelling);
+
+} // namespace hac
+
+#endif // HAC_VERIFY_RULES_H

@@ -1,0 +1,113 @@
+//===- verify/SarifEmitter.cpp - SARIF 2.1.0 output -----------------------===//
+
+#include "verify/SarifEmitter.h"
+
+#include "support/Trace.h"
+#include "verify/Rules.h"
+
+using namespace hac;
+
+namespace {
+
+const char *sarifLevel(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "none";
+}
+
+void writePhysicalLocation(std::ostream &OS, const std::string &Uri,
+                           SourceLoc Loc, const char *Indent) {
+  OS << Indent << "\"physicalLocation\": {\n";
+  OS << Indent << "  \"artifactLocation\": { \"uri\": " << jsonQuote(Uri)
+     << ", \"index\": 0 },\n";
+  OS << Indent << "  \"region\": { \"startLine\": " << Loc.Line
+     << ", \"startColumn\": " << (Loc.Col ? Loc.Col : 1) << " }\n";
+  OS << Indent << "}";
+}
+
+void writeResult(std::ostream &OS, const Diagnostic &D,
+                 const std::string &Uri) {
+  OS << "        {\n";
+  if (D.Rule != RuleID::None) {
+    OS << "          \"ruleId\": " << jsonQuote(ruleIdString(D.Rule))
+       << ",\n";
+    OS << "          \"ruleIndex\": "
+       << (static_cast<unsigned>(D.Rule) - 1) << ",\n";
+  }
+  OS << "          \"level\": " << jsonQuote(sarifLevel(D.Severity))
+     << ",\n";
+  OS << "          \"message\": { \"text\": " << jsonQuote(D.Message)
+     << " }";
+  if (D.Loc.isValid()) {
+    OS << ",\n          \"locations\": [\n            {\n";
+    writePhysicalLocation(OS, Uri, D.Loc, "              ");
+    OS << "\n            }\n          ]";
+  }
+  if (!D.Notes.empty()) {
+    OS << ",\n          \"relatedLocations\": [";
+    for (size_t I = 0; I != D.Notes.size(); ++I) {
+      const Diagnostic &N = D.Notes[I];
+      OS << (I ? ",\n" : "\n") << "            {\n";
+      if (N.Loc.isValid()) {
+        writePhysicalLocation(OS, Uri, N.Loc, "              ");
+        OS << ",\n";
+      }
+      OS << "              \"message\": { \"text\": "
+         << jsonQuote(N.Message) << " }\n";
+      OS << "            }";
+    }
+    OS << "\n          ]";
+  }
+  OS << "\n        }";
+}
+
+} // namespace
+
+void hac::writeSarif(std::ostream &OS, const DiagnosticEngine &Diags,
+                     const std::string &ArtifactUri) {
+  OS << "{\n";
+  OS << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  OS << "  \"version\": \"2.1.0\",\n";
+  OS << "  \"runs\": [\n    {\n";
+
+  OS << "      \"tool\": {\n        \"driver\": {\n";
+  OS << "          \"name\": \"hac-verify\",\n";
+  OS << "          \"informationUri\": "
+        "\"https://dl.acm.org/doi/10.1145/93542.93561\",\n";
+  OS << "          \"rules\": [";
+  const auto &Rules = allRules();
+  for (size_t I = 0; I != Rules.size(); ++I) {
+    const RuleInfo &R = Rules[I];
+    OS << (I ? ",\n" : "\n") << "            {\n";
+    OS << "              \"id\": " << jsonQuote(ruleIdString(R.Id))
+       << ",\n";
+    OS << "              \"name\": " << jsonQuote(R.Name) << ",\n";
+    OS << "              \"shortDescription\": { \"text\": "
+       << jsonQuote(R.Summary) << " },\n";
+    OS << "              \"defaultConfiguration\": { \"level\": "
+       << jsonQuote(sarifLevel(R.DefaultSeverity)) << " }\n";
+    OS << "            }";
+  }
+  OS << "\n          ]\n        }\n      },\n";
+
+  OS << "      \"artifacts\": [\n";
+  OS << "        { \"location\": { \"uri\": " << jsonQuote(ArtifactUri)
+     << " } }\n";
+  OS << "      ],\n";
+
+  OS << "      \"results\": [";
+  const auto &All = Diags.diagnostics();
+  for (size_t I = 0; I != All.size(); ++I) {
+    OS << (I ? ",\n" : "\n");
+    writeResult(OS, All[I], ArtifactUri);
+  }
+  OS << (All.empty() ? "]\n" : "\n      ]\n");
+  OS << "    }\n  ]\n}\n";
+}

@@ -1,0 +1,36 @@
+//===- verify/SarifEmitter.h - SARIF 2.1.0 output ---------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the diagnostics collected by a DiagnosticEngine as a SARIF
+/// 2.1.0 log (https://docs.oasis-open.org/sarif/sarif/v2.1.0/), the
+/// interchange format CI systems and editors ingest. One run, driver
+/// "hac-verify", with the full HACNNN rule table in
+/// tool.driver.rules; each diagnostic becomes a result (ruleId omitted
+/// for untagged compile-phase diagnostics) and its notes become
+/// relatedLocations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_VERIFY_SARIFEMITTER_H
+#define HAC_VERIFY_SARIFEMITTER_H
+
+#include "support/Diagnostics.h"
+
+#include <ostream>
+#include <string>
+
+namespace hac {
+
+/// Writes a complete SARIF 2.1.0 document for the diagnostics in
+/// \p Diags. \p ArtifactUri names the analyzed source file (used for the
+/// run's artifact and every result location).
+void writeSarif(std::ostream &OS, const DiagnosticEngine &Diags,
+                const std::string &ArtifactUri);
+
+} // namespace hac
+
+#endif // HAC_VERIFY_SARIFEMITTER_H

@@ -1,0 +1,366 @@
+//===- verify/Verifier.cpp - Source-located comprehension verifier --------===//
+
+#include "verify/Verifier.h"
+
+#include "analysis/DependenceTest.h"
+#include "comp/ConstFold.h"
+#include "support/Casting.h"
+#include "support/Trace.h"
+
+#include <optional>
+#include <set>
+#include <sstream>
+
+using namespace hac;
+
+namespace {
+
+const char *const TraceCounterNames[kNumRules] = {
+    "verify.hac001", "verify.hac002", "verify.hac003", "verify.hac004",
+    "verify.hac005", "verify.hac006", "verify.hac007",
+};
+
+Diagnostic finding(RuleID Rule, DiagSeverity Severity, SourceLoc Loc,
+                   std::string Message) {
+  Diagnostic D;
+  D.Rule = Rule;
+  D.Severity = Severity;
+  D.Loc = Loc;
+  D.Message = std::move(Message);
+  return D;
+}
+
+std::string rangeStr(int64_t Min, int64_t Max, int64_t Lo, int64_t Hi) {
+  std::ostringstream OS;
+  OS << "range [" << Min << ", " << Max << "] vs declared [" << Lo << ", "
+     << Hi << "]";
+  return OS.str();
+}
+
+/// "e.g. index (5, 1) when i = 1, j = 1" for a concrete OOB witness.
+std::string witnessNote(const std::vector<int64_t> &Index,
+                        const std::vector<std::pair<std::string, int64_t>>
+                            &Assign) {
+  std::ostringstream OS;
+  OS << "e.g. index (";
+  for (size_t I = 0; I != Index.size(); ++I)
+    OS << (I ? ", " : "") << Index[I];
+  OS << ")";
+  if (!Assign.empty()) {
+    OS << " when ";
+    for (size_t I = 0; I != Assign.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Assign[I].first << " = " << Assign[I].second;
+    }
+  }
+  return OS.str();
+}
+
+/// Constant-folds a boolean guard condition; nullopt when not constant.
+/// Only the shapes a const-false guard realistically takes are handled:
+/// boolean literals, integer comparisons of constants, and the boolean
+/// connectives over those.
+std::optional<bool> evalConstBool(const Expr *E, const ParamEnv &Params) {
+  if (!E)
+    return std::nullopt;
+  if (const auto *B = dyn_cast<BoolLitExpr>(E))
+    return B->value();
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    if (U->op() != UnaryOpKind::Not)
+      return std::nullopt;
+    auto V = evalConstBool(U->operand(), Params);
+    return V ? std::optional<bool>(!*V) : std::nullopt;
+  }
+  const auto *Bin = dyn_cast<BinaryExpr>(E);
+  if (!Bin)
+    return std::nullopt;
+  switch (Bin->op()) {
+  case BinaryOpKind::And: {
+    auto L = evalConstBool(Bin->lhs(), Params);
+    auto R = evalConstBool(Bin->rhs(), Params);
+    if ((L && !*L) || (R && !*R))
+      return false;
+    if (L && R)
+      return *L && *R;
+    return std::nullopt;
+  }
+  case BinaryOpKind::Or: {
+    auto L = evalConstBool(Bin->lhs(), Params);
+    auto R = evalConstBool(Bin->rhs(), Params);
+    if ((L && *L) || (R && *R))
+      return true;
+    if (L && R)
+      return *L || *R;
+    return std::nullopt;
+  }
+  case BinaryOpKind::Eq:
+  case BinaryOpKind::Ne:
+  case BinaryOpKind::Lt:
+  case BinaryOpKind::Le:
+  case BinaryOpKind::Gt:
+  case BinaryOpKind::Ge: {
+    int64_t L = 0, R = 0;
+    if (!tryEvalConstInt(Bin->lhs(), Params, L) ||
+        !tryEvalConstInt(Bin->rhs(), Params, R))
+      return std::nullopt;
+    switch (Bin->op()) {
+    case BinaryOpKind::Eq:
+      return L == R;
+    case BinaryOpKind::Ne:
+      return L != R;
+    case BinaryOpKind::Lt:
+      return L < R;
+    case BinaryOpKind::Le:
+      return L <= R;
+    case BinaryOpKind::Gt:
+      return L > R;
+    default:
+      return L >= R;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+void Verifier::emit(Diagnostic D) {
+  RuleID Rule = D.Rule;
+  if (!Diags.report(std::move(D)))
+    return;
+  unsigned Idx = static_cast<unsigned>(Rule) - 1;
+  ++Result.Hits[Idx];
+  HAC_TRACE_COUNT(TraceCounterNames[Idx]);
+}
+
+void Verifier::checkNonAffineWrites(const CoverageAnalysis &Coverage) {
+  for (const CoverageIssue &I : Coverage.Issues)
+    if (I.Kind == CoverageIssueKind::NonAffineSubscript)
+      emit(finding(RuleID::HAC001, DiagSeverity::Warning, I.Loc,
+                   "clause #" + std::to_string(I.ClauseId) +
+                       " write subscript is not an affine function of the "
+                       "loop indices; its range cannot be proven"));
+}
+
+void Verifier::checkCollisions(const CollisionAnalysis &Collisions) {
+  if (Collisions.Witness) {
+    const CollisionWitness &W = *Collisions.Witness;
+    Diagnostic D = finding(
+        RuleID::HAC002, DiagSeverity::Error, W.LocA,
+        "clauses #" + std::to_string(W.ClauseA) + " and #" +
+            std::to_string(W.ClauseB) +
+            " definitely write the same element");
+    D.Notes.push_back(makeNote(W.LocB, "clause #" +
+                                           std::to_string(W.ClauseB) +
+                                           " writes here"));
+    D.Notes.push_back(
+        makeNote(SourceLoc(), "collision under directions " +
+                                  dirVectorToString(W.Dirs)));
+    emit(std::move(D));
+  }
+  for (const UnresolvedCollision &U : Collisions.Unresolved) {
+    Diagnostic D = finding(
+        RuleID::HAC002, DiagSeverity::Warning, U.LocA,
+        "clauses #" + std::to_string(U.ClauseA) + " and #" +
+            std::to_string(U.ClauseB) +
+            " may write the same element; the runtime collision check "
+            "stays on");
+    D.Notes.push_back(makeNote(U.LocB, "clause #" +
+                                           std::to_string(U.ClauseB) +
+                                           " writes here"));
+    for (const DirVector &Dirs : U.Dirs)
+      D.Notes.push_back(makeNote(SourceLoc(),
+                                 "possible collision under directions " +
+                                     dirVectorToString(Dirs)));
+    if (U.NonAffine)
+      D.Notes.push_back(makeNote(
+          SourceLoc(), "a subscript in the pair is not affine, so the "
+                       "dependence test does not apply"));
+    emit(std::move(D));
+  }
+}
+
+void Verifier::checkCoverage(const std::string &Name,
+                             const CoverageAnalysis &Coverage) {
+  if (Coverage.NoEmpties == CheckOutcome::Proven)
+    return;
+
+  if (Coverage.NoEmpties == CheckOutcome::Disproven) {
+    // Definitely too few definitions: some element is provably undefined.
+    for (const CoverageIssue &I : Coverage.Issues)
+      if (I.Kind == CoverageIssueKind::TooFewDefinitions)
+        emit(finding(RuleID::HAC003, DiagSeverity::Error, I.Loc,
+                     "array '" + Name +
+                         "' definitely has undefined elements: only " +
+                         std::to_string(I.Min) + " definitions for " +
+                         std::to_string(I.Max) + " elements"));
+    return;
+  }
+
+  // Unknown: gather the reasons as notes under one finding.
+  Diagnostic D =
+      finding(RuleID::HAC003, DiagSeverity::Warning, SourceLoc(),
+              "array '" + Name +
+                  "' may be left with undefined elements; the runtime "
+                  "definedness check stays on");
+  for (const CoverageIssue &I : Coverage.Issues) {
+    switch (I.Kind) {
+    case CoverageIssueKind::NotAnalyzable:
+    case CoverageIssueKind::GuardedClause:
+    case CoverageIssueKind::PossiblyOutOfBounds:
+      D.Notes.push_back(makeNote(I.Loc, I.str()));
+      break;
+    default:
+      break;
+    }
+  }
+  // Anchor the finding at the first located reason, if any.
+  for (const Diagnostic &N : D.Notes)
+    if (N.Loc.isValid()) {
+      D.Loc = N.Loc;
+      break;
+    }
+  emit(std::move(D));
+}
+
+void Verifier::checkWriteBounds(const CoverageAnalysis &Coverage) {
+  for (const CoverageIssue &I : Coverage.Issues) {
+    if (I.Kind == CoverageIssueKind::RankMismatch) {
+      emit(finding(RuleID::HAC004, DiagSeverity::Error, I.Loc,
+                   "clause #" + std::to_string(I.ClauseId) +
+                       " writes with rank " + std::to_string(I.Min) +
+                       " but the array has rank " + std::to_string(I.Max)));
+      continue;
+    }
+    if (I.Kind != CoverageIssueKind::DefiniteOutOfBounds)
+      continue;
+    Diagnostic D = finding(
+        RuleID::HAC004, DiagSeverity::Error, I.Loc,
+        "clause #" + std::to_string(I.ClauseId) +
+            " always writes out of bounds: dimension " +
+            std::to_string(I.Dim) + " " +
+            rangeStr(I.Min, I.Max, I.Lo, I.Hi));
+    if (!I.WitnessIndex.empty())
+      D.Notes.push_back(
+          makeNote(SourceLoc(), witnessNote(I.WitnessIndex,
+                                            I.WitnessAssign)));
+    emit(std::move(D));
+  }
+}
+
+void Verifier::checkReads(const ReadBoundsAnalysis &Reads) {
+  for (const ReadCheck &R : Reads.Reads) {
+    if (!R.Affine) {
+      emit(finding(RuleID::HAC001, DiagSeverity::Warning, R.Loc,
+                   R.ArrayName == "<computed>"
+                       ? "array read through a computed base expression; "
+                         "its bounds cannot be proven"
+                       : "read of '" + R.ArrayName +
+                             "' has a non-affine subscript; its bounds "
+                             "cannot be proven"));
+      continue;
+    }
+    if (!R.DimsKnown)
+      continue; // nothing to prove against
+    if (R.RankMismatch) {
+      emit(finding(RuleID::HAC005, DiagSeverity::Error, R.Loc,
+                   "read of '" + R.ArrayName +
+                       "' has a subscript rank that does not match the "
+                       "array's declared rank"));
+      continue;
+    }
+    if (R.InBounds == CheckOutcome::Disproven) {
+      // A guard (ignored by the range analysis) may keep the read from
+      // ever executing, so a guarded definite violation is a warning.
+      Diagnostic D = finding(
+          RuleID::HAC005,
+          R.Guarded ? DiagSeverity::Warning : DiagSeverity::Error, R.Loc,
+          "read of '" + R.ArrayName +
+              "' is always out of bounds: dimension " +
+              std::to_string(R.Dim) + " " +
+              rangeStr(R.Min, R.Max, R.Lo, R.Hi));
+      if (!R.WitnessIndex.empty())
+        D.Notes.push_back(
+            makeNote(SourceLoc(), witnessNote(R.WitnessIndex,
+                                              R.WitnessAssign)));
+      if (R.Guarded)
+        D.Notes.push_back(makeNote(
+            SourceLoc(), "the reading clause is guarded; the read may "
+                         "never execute"));
+      emit(std::move(D));
+      continue;
+    }
+    if (R.InBounds == CheckOutcome::Unknown)
+      emit(finding(RuleID::HAC005, DiagSeverity::Warning, R.Loc,
+                   "read of '" + R.ArrayName +
+                       "' may be out of bounds: dimension " +
+                       std::to_string(R.Dim) + " " +
+                       rangeStr(R.Min, R.Max, R.Lo, R.Hi)));
+  }
+}
+
+void Verifier::checkDeadClauses(const CompNest &Nest,
+                                const ParamEnv &Params) {
+  if (!Nest.Analyzable)
+    return;
+  for (const ClauseNode *Clause : Nest.Clauses) {
+    const LoopNode *Dead = nullptr;
+    for (const LoopNode *L : Clause->loops())
+      if (L->bounds().tripCount() <= 0) {
+        Dead = L;
+        break;
+      }
+    if (Dead) {
+      emit(finding(RuleID::HAC006, DiagSeverity::Warning, Clause->loc(),
+                   "clause #" + std::to_string(Clause->id()) +
+                       " can never execute: loop '" + Dead->var() +
+                       "' has a nonpositive trip count"));
+      continue;
+    }
+    for (const GuardNode *G : Clause->guards()) {
+      auto V = evalConstBool(G->cond(), Params);
+      if (V && !*V) {
+        emit(finding(RuleID::HAC006, DiagSeverity::Warning, Clause->loc(),
+                     "clause #" + std::to_string(Clause->id()) +
+                         " can never execute: a guard condition is "
+                         "constant false"));
+        break;
+      }
+    }
+  }
+}
+
+void Verifier::checkFallback(bool Compiled, const std::string &Reason) {
+  if (Compiled)
+    return;
+  emit(finding(RuleID::HAC007, DiagSeverity::Note, SourceLoc(),
+               Reason.empty()
+                   ? std::string("program falls back to the lazy "
+                                 "interpreter")
+                   : "program falls back to the lazy interpreter: " +
+                         Reason));
+}
+
+VerifyResult Verifier::verify(const CompiledArray &CA) {
+  HAC_TRACE_SPAN(Span, "verify");
+  Result = VerifyResult();
+  checkNonAffineWrites(CA.Coverage);
+  checkCollisions(CA.Collisions);
+  checkCoverage(CA.Name, CA.Coverage);
+  checkWriteBounds(CA.Coverage);
+  checkReads(CA.ReadBounds);
+  checkDeadClauses(CA.Nest, CA.Params);
+  checkFallback(CA.Thunkless, CA.FallbackReason);
+  return Result;
+}
+
+VerifyResult Verifier::verify(const CompiledUpdate &CU) {
+  HAC_TRACE_SPAN(Span, "verify");
+  Result = VerifyResult();
+  checkReads(CU.ReadBounds);
+  checkDeadClauses(CU.Nest, CU.Params);
+  checkFallback(CU.InPlace, CU.FallbackReason);
+  return Result;
+}

@@ -559,7 +559,7 @@ TEST(CollisionTest, ProvenNoCollisions) {
                 "| i <- [1..100] *]",
                 {});
   auto R = analyzeCollisions(F.Nest, {});
-  EXPECT_EQ(R.NoCollisions, CheckOutcome::Proven) << R.Witness;
+  EXPECT_EQ(R.NoCollisions, CheckOutcome::Proven) << R.witnessStr();
 }
 
 TEST(CollisionTest, DefiniteCollisionDetected) {
@@ -569,7 +569,7 @@ TEST(CollisionTest, DefiniteCollisionDetected) {
                 {{"n", 10}});
   auto R = analyzeCollisions(F.Nest, {});
   EXPECT_EQ(R.NoCollisions, CheckOutcome::Disproven);
-  EXPECT_FALSE(R.Witness.empty());
+  EXPECT_TRUE(R.Witness.has_value());
 }
 
 TEST(CollisionTest, SelfCollisionAcrossInstances) {
@@ -601,7 +601,7 @@ TEST(CollisionTest, WavefrontProven) {
       " [ (i,j) := 0 | i <- [2..n], j <- [2..n] ])",
       {{"n", 10}});
   auto R = analyzeCollisions(F.Nest, {{"n", 10}});
-  EXPECT_EQ(R.NoCollisions, CheckOutcome::Proven) << R.Witness;
+  EXPECT_EQ(R.NoCollisions, CheckOutcome::Proven) << R.witnessStr();
 }
 
 //===----------------------------------------------------------------------===//
@@ -618,10 +618,10 @@ TEST(CoverageTest, WavefrontNoEmpties) {
       Params);
   auto Col = analyzeCollisions(F.Nest, Params);
   auto Cov = analyzeCoverage(F.Nest, {{1, 10}, {1, 10}}, Params, Col);
-  EXPECT_EQ(Cov.InBounds, CheckOutcome::Proven) << Cov.Detail;
+  EXPECT_EQ(Cov.InBounds, CheckOutcome::Proven) << Cov.detail();
   EXPECT_EQ(Cov.TotalInstances, 100);
   EXPECT_EQ(Cov.ArraySize, 100);
-  EXPECT_EQ(Cov.NoEmpties, CheckOutcome::Proven) << Cov.Detail;
+  EXPECT_EQ(Cov.NoEmpties, CheckOutcome::Proven) << Cov.detail();
 }
 
 TEST(CoverageTest, MissingElementDisproven) {
@@ -630,7 +630,7 @@ TEST(CoverageTest, MissingElementDisproven) {
   auto Col = analyzeCollisions(F.Nest, Params);
   auto Cov = analyzeCoverage(F.Nest, {{1, 10}}, Params, Col);
   EXPECT_EQ(Cov.TotalInstances, 9);
-  EXPECT_EQ(Cov.NoEmpties, CheckOutcome::Disproven) << Cov.Detail;
+  EXPECT_EQ(Cov.NoEmpties, CheckOutcome::Disproven) << Cov.detail();
 }
 
 TEST(CoverageTest, OutOfBoundsDisproven) {
@@ -638,7 +638,7 @@ TEST(CoverageTest, OutOfBoundsDisproven) {
   NestFixture F("array (1,n) [ i + 5 := 1 | i <- [1..n] ]", Params);
   auto Col = analyzeCollisions(F.Nest, Params);
   auto Cov = analyzeCoverage(F.Nest, {{1, 10}}, Params, Col);
-  EXPECT_EQ(Cov.InBounds, CheckOutcome::Unknown) << Cov.Detail;
+  EXPECT_EQ(Cov.InBounds, CheckOutcome::Unknown) << Cov.detail();
   EXPECT_NE(Cov.NoEmpties, CheckOutcome::Proven);
 }
 
@@ -648,7 +648,7 @@ TEST(CoverageTest, EntirelyOutOfBoundsIsError) {
                 Params);
   auto Col = analyzeCollisions(F.Nest, Params);
   auto Cov = analyzeCoverage(F.Nest, {{1, 10}}, Params, Col);
-  EXPECT_EQ(Cov.InBounds, CheckOutcome::Disproven) << Cov.Detail;
+  EXPECT_EQ(Cov.InBounds, CheckOutcome::Disproven) << Cov.detail();
   EXPECT_EQ(Cov.NoEmpties, CheckOutcome::Disproven);
 }
 
@@ -669,5 +669,5 @@ TEST(CoverageTest, SteppedPartition) {
                 {});
   auto Col = analyzeCollisions(F.Nest, {});
   auto Cov = analyzeCoverage(F.Nest, {{1, 300}}, {}, Col);
-  EXPECT_EQ(Cov.NoEmpties, CheckOutcome::Proven) << Cov.Detail;
+  EXPECT_EQ(Cov.NoEmpties, CheckOutcome::Proven) << Cov.detail();
 }

@@ -247,7 +247,7 @@ TEST(ExtraDriverTest, NegativeLowerBounds) {
   ASSERT_TRUE(Compiled && Compiled->Thunkless)
       << (Compiled ? Compiled->FallbackReason : C.diags().str());
   EXPECT_EQ(Compiled->Coverage.NoEmpties, CheckOutcome::Proven)
-      << Compiled->Coverage.Detail;
+      << Compiled->Coverage.detail();
   Executor Exec(Compiled->Params);
   DoubleArray Out;
   std::string Err;

@@ -1,0 +1,451 @@
+//===- tests/verify_test.cpp - Static verifier golden suite ---------------===//
+//
+// One positive and one negative program per HACNNN rule (seeded under
+// examples/programs/bad/), plus rule-metadata, flag-filtering, and SARIF
+// shape tests. The positive tests pin exact rule IDs, source locations,
+// and witness content; the negative tests pin zero hits for their rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Rules.h"
+#include "verify/SarifEmitter.h"
+#include "verify/Verifier.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+std::string readProgram(const std::string &Name) {
+  std::string Path = std::string(HAC_EXAMPLES_DIR) + "/bad/" + Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+/// Compiles an array program and runs the verifier; returns the result
+/// and leaves the diagnostics in \p TheCompiler's engine.
+VerifyResult verifyArraySource(Compiler &TheCompiler,
+                               const std::string &Source) {
+  auto Compiled = TheCompiler.compileArray(Source);
+  EXPECT_TRUE(Compiled.has_value());
+  if (!Compiled)
+    return VerifyResult();
+  Verifier V(TheCompiler.diags());
+  return V.verify(*Compiled);
+}
+
+VerifyResult verifyProgram(Compiler &TheCompiler,
+                           const std::string &Name) {
+  return verifyArraySource(TheCompiler, readProgram(Name));
+}
+
+/// All recorded diagnostics tagged with \p Rule.
+std::vector<const Diagnostic *> withRule(const DiagnosticEngine &Diags,
+                                         RuleID Rule) {
+  std::vector<const Diagnostic *> Out;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Rule == Rule)
+      Out.push_back(&D);
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// Rule metadata
+//===--------------------------------------------------------------------===//
+
+TEST(Rules, TableIsStable) {
+  const auto &All = allRules();
+  ASSERT_EQ(All.size(), kNumRules);
+  for (unsigned N = 1; N <= kNumRules; ++N) {
+    const RuleInfo &R = All[N - 1];
+    EXPECT_EQ(static_cast<unsigned>(R.Id), N);
+    EXPECT_STRNE(R.Name, "");
+    EXPECT_STRNE(R.Summary, "");
+    EXPECT_EQ(&ruleInfo(R.Id), &R);
+  }
+  EXPECT_STREQ(ruleInfo(RuleID::HAC001).Name, "non-affine-subscript");
+  EXPECT_STREQ(ruleInfo(RuleID::HAC002).Name, "possible-write-collision");
+  EXPECT_STREQ(ruleInfo(RuleID::HAC003).Name,
+               "possibly-undefined-elements");
+  EXPECT_STREQ(ruleInfo(RuleID::HAC004).Name,
+               "definite-out-of-bounds-write");
+  EXPECT_STREQ(ruleInfo(RuleID::HAC005).Name, "out-of-bounds-read");
+  EXPECT_STREQ(ruleInfo(RuleID::HAC006).Name, "dead-clause");
+  EXPECT_STREQ(ruleInfo(RuleID::HAC007).Name, "fallback-forced");
+  EXPECT_EQ(ruleInfo(RuleID::HAC004).DefaultSeverity, DiagSeverity::Error);
+  EXPECT_EQ(ruleInfo(RuleID::HAC007).DefaultSeverity, DiagSeverity::Note);
+}
+
+TEST(Rules, ParseRuleName) {
+  EXPECT_EQ(parseRuleName("hac001"), RuleID::HAC001);
+  EXPECT_EQ(parseRuleName("HAC005"), RuleID::HAC005);
+  EXPECT_EQ(parseRuleName("Hac007"), RuleID::HAC007);
+  EXPECT_EQ(parseRuleName("hac008"), RuleID::None);
+  EXPECT_EQ(parseRuleName("hac000"), RuleID::None);
+  EXPECT_EQ(parseRuleName("hac01"), RuleID::None);
+  EXPECT_EQ(parseRuleName("bogus1"), RuleID::None);
+  EXPECT_EQ(parseRuleName(""), RuleID::None);
+}
+
+//===--------------------------------------------------------------------===//
+// HAC001 non-affine-subscript
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, Hac001Positive) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac001_pos.hac");
+  EXPECT_GE(R.hits(RuleID::HAC001), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC001);
+  ASSERT_FALSE(Found.empty());
+  EXPECT_EQ(Found[0]->Loc, SourceLoc(3, 33));
+  EXPECT_EQ(Found[0]->Severity, DiagSeverity::Warning);
+  EXPECT_NE(Found[0]->Message.find("not an affine function"),
+            std::string::npos);
+}
+
+TEST(Verify, Hac001Negative) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac001_neg.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC001), 0u);
+  EXPECT_EQ(R.total(), 0u);
+  EXPECT_FALSE(C.diags().hasErrors());
+}
+
+//===--------------------------------------------------------------------===//
+// HAC002 possible-write-collision
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, Hac002Positive) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac002_pos.hac");
+  EXPECT_GE(R.hits(RuleID::HAC002), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC002);
+  ASSERT_FALSE(Found.empty());
+  const Diagnostic &D = *Found[0];
+  EXPECT_EQ(D.Loc, SourceLoc(5, 8));
+  EXPECT_EQ(D.Severity, DiagSeverity::Warning);
+  EXPECT_NE(D.Message.find("clauses #0 and #1"), std::string::npos);
+  // The witness pair: the second clause's location rides along as a note.
+  ASSERT_FALSE(D.Notes.empty());
+  EXPECT_EQ(D.Notes[0].Loc, SourceLoc(6, 8));
+  EXPECT_NE(D.Notes[0].Message.find("clause #1"), std::string::npos);
+}
+
+TEST(Verify, Hac002Negative) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac002_neg.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC002), 0u);
+  EXPECT_EQ(R.total(), 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// HAC003 possibly-undefined-elements
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, Hac003Positive) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac003_pos.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC003), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC003);
+  ASSERT_EQ(Found.size(), 1u);
+  // Too few definitions is a whole-array property proven definitely bad:
+  // error severity, with the instance/size counts in the message.
+  EXPECT_EQ(Found[0]->Severity, DiagSeverity::Error);
+  EXPECT_NE(Found[0]->Message.find("only 5 definitions for 9 elements"),
+            std::string::npos);
+  EXPECT_TRUE(C.diags().hasErrors());
+}
+
+TEST(Verify, Hac003Negative) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac003_neg.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC003), 0u);
+  EXPECT_EQ(R.total(), 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// HAC004 definite-out-of-bounds-write
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, Hac004Positive) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac004_pos.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC004), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC004);
+  ASSERT_EQ(Found.size(), 1u);
+  const Diagnostic &D = *Found[0];
+  EXPECT_EQ(D.Loc, SourceLoc(3, 34));
+  EXPECT_EQ(D.Severity, DiagSeverity::Error);
+  EXPECT_NE(D.Message.find("always writes out of bounds"),
+            std::string::npos);
+  EXPECT_NE(D.Message.find("range [11, 15] vs declared [1, 5]"),
+            std::string::npos);
+  // The concrete witness index rides along as a note.
+  ASSERT_EQ(D.Notes.size(), 1u);
+  EXPECT_NE(D.Notes[0].Message.find("index (11) when i = 1"),
+            std::string::npos);
+}
+
+TEST(Verify, Hac004Negative) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac004_neg.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC004), 0u);
+  EXPECT_EQ(R.total(), 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// HAC005 out-of-bounds-read
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, Hac005Positive) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac005_pos.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC005), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC005);
+  ASSERT_EQ(Found.size(), 1u);
+  const Diagnostic &D = *Found[0];
+  EXPECT_EQ(D.Loc, SourceLoc(3, 33));
+  EXPECT_EQ(D.Severity, DiagSeverity::Error);
+  EXPECT_NE(D.Message.find("read of 'a' is always out of bounds"),
+            std::string::npos);
+  EXPECT_NE(D.Message.find("range [21, 25] vs declared [1, 5]"),
+            std::string::npos);
+  ASSERT_EQ(D.Notes.size(), 1u);
+  EXPECT_NE(D.Notes[0].Message.find("index (21) when i = 1"),
+            std::string::npos);
+}
+
+TEST(Verify, Hac005Negative) {
+  Compiler C;
+  std::string Source = readProgram("hac005_neg.hac");
+  auto Compiled = C.compileArray(Source);
+  ASSERT_TRUE(Compiled.has_value());
+  Verifier V(C.diags());
+  VerifyResult R = V.verify(*Compiled);
+  EXPECT_EQ(R.hits(RuleID::HAC005), 0u);
+  EXPECT_EQ(R.total(), 0u);
+
+  // The proof doubles as a performance fact: the plan drops per-read
+  // bounds checks, so executing the kernel performs zero of them.
+  EXPECT_EQ(Compiled->ReadBounds.AllInBounds, CheckOutcome::Proven);
+  ASSERT_TRUE(Compiled->Thunkless);
+  EXPECT_FALSE(Compiled->Plan.CheckReadBounds);
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(Exec.stats().BoundsChecks, 0u);
+  EXPECT_DOUBLE_EQ(Out[7], 8.0); // 1, 2, ..., 8 along the recurrence
+}
+
+//===--------------------------------------------------------------------===//
+// HAC006 dead-clause
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, Hac006Positive) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac006_pos.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC006), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC006);
+  ASSERT_EQ(Found.size(), 1u);
+  EXPECT_EQ(Found[0]->Loc, SourceLoc(5, 8));
+  EXPECT_EQ(Found[0]->Severity, DiagSeverity::Warning);
+  EXPECT_NE(Found[0]->Message.find(
+                "clause #1 can never execute: loop 'i' has a nonpositive "
+                "trip count"),
+            std::string::npos);
+  // The fix for the silent-vacuous-truth bug: a dead clause must not be
+  // silently treated as "covered"; everything else still proves out.
+  EXPECT_FALSE(C.diags().hasErrors());
+}
+
+TEST(Verify, Hac006ConstFalseGuard) {
+  Compiler C;
+  VerifyResult R = verifyArraySource(
+      C, "letrec* a = array (1,4)\n"
+         "  ([ i := 1.0 | i <- [1..4] ] ++\n"
+         "   [ i := 2.0 | i <- [1..4], 1 > 2 ])\n"
+         "in a");
+  EXPECT_EQ(R.hits(RuleID::HAC006), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC006);
+  ASSERT_EQ(Found.size(), 1u);
+  EXPECT_NE(Found[0]->Message.find("guard condition is constant false"),
+            std::string::npos);
+}
+
+TEST(Verify, Hac006Negative) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac006_neg.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC006), 0u);
+  EXPECT_EQ(R.total(), 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// HAC007 fallback-forced
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, Hac007Positive) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac007_pos.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC007), 1u);
+  auto Found = withRule(C.diags(), RuleID::HAC007);
+  ASSERT_EQ(Found.size(), 1u);
+  // A legitimate fallback is informational, never an -analyze failure.
+  EXPECT_EQ(Found[0]->Severity, DiagSeverity::Note);
+  EXPECT_NE(Found[0]->Message.find("falls back to the lazy interpreter"),
+            std::string::npos);
+  EXPECT_FALSE(C.diags().hasErrors());
+}
+
+TEST(Verify, Hac007Negative) {
+  Compiler C;
+  VerifyResult R = verifyProgram(C, "hac007_neg.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC007), 0u);
+  EXPECT_EQ(R.total(), 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Engine integration: -Wno-hacNNN, -Werror, sorted printing
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, DisabledRuleIsDropped) {
+  Compiler C;
+  C.diags().setRuleEnabled(RuleID::HAC006, false);
+  VerifyResult R = verifyProgram(C, "hac006_pos.hac");
+  EXPECT_EQ(R.hits(RuleID::HAC006), 0u);
+  EXPECT_TRUE(withRule(C.diags(), RuleID::HAC006).empty());
+}
+
+TEST(Verify, WarningsAsErrorsPromotes) {
+  Compiler C;
+  C.diags().setWarningsAsErrors(true);
+  verifyProgram(C, "hac006_pos.hac");
+  auto Found = withRule(C.diags(), RuleID::HAC006);
+  ASSERT_EQ(Found.size(), 1u);
+  EXPECT_EQ(Found[0]->Severity, DiagSeverity::Error);
+  EXPECT_TRUE(C.diags().hasErrors());
+}
+
+TEST(Verify, PrintIsSortedByLocation) {
+  DiagnosticEngine Diags;
+  Diags.report({DiagSeverity::Warning, RuleID::HAC001, SourceLoc(9, 1),
+                "later", {}});
+  Diagnostic First{DiagSeverity::Warning, RuleID::HAC006, SourceLoc(2, 5),
+                   "earlier", {}};
+  First.Notes.push_back(makeNote(SourceLoc(3, 1), "attached"));
+  Diags.report(std::move(First));
+  std::string Out = Diags.str();
+  size_t Earlier = Out.find("2:5: [HAC006] earlier");
+  size_t Note = Out.find("note: 3:1: attached");
+  size_t Later = Out.find("9:1: [HAC001] later");
+  ASSERT_NE(Earlier, std::string::npos);
+  ASSERT_NE(Note, std::string::npos);
+  ASSERT_NE(Later, std::string::npos);
+  EXPECT_LT(Earlier, Note);
+  EXPECT_LT(Note, Later);
+}
+
+//===--------------------------------------------------------------------===//
+// Update-mode verification
+//===--------------------------------------------------------------------===//
+
+TEST(Verify, UpdateModeClean) {
+  Compiler C;
+  auto Compiled = C.compileUpdate(
+      "let n = 8 in\n"
+      "bigupd m ([ (1,j) := m!(2,j) | j <- [1..n] ] ++\n"
+      "          [ (2,j) := m!(1,j) | j <- [1..n] ])");
+  ASSERT_TRUE(Compiled.has_value());
+  Verifier V(C.diags());
+  VerifyResult R = V.verify(*Compiled);
+  EXPECT_EQ(R.total(), 0u);
+  EXPECT_FALSE(C.diags().hasErrors());
+}
+
+TEST(Verify, UpdateModeDeadClause) {
+  Compiler C;
+  auto Compiled = C.compileUpdate(
+      "bigupd m [ (1,j) := 0.0 | j <- [5..4] ]");
+  ASSERT_TRUE(Compiled.has_value());
+  Verifier V(C.diags());
+  VerifyResult R = V.verify(*Compiled);
+  EXPECT_EQ(R.hits(RuleID::HAC006), 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// SARIF 2.1.0 output
+//===--------------------------------------------------------------------===//
+
+TEST(Sarif, DocumentShape) {
+  Compiler C;
+  verifyProgram(C, "hac004_pos.hac");
+  std::ostringstream OS;
+  writeSarif(OS, C.diags(), "hac004_pos.hac");
+  std::string S = OS.str();
+
+  EXPECT_NE(S.find("\"$schema\": "
+                   "\"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(S.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\": \"hac-verify\""), std::string::npos);
+  // The full rule table is published with every run.
+  for (const RuleInfo &R : allRules()) {
+    EXPECT_NE(S.find(std::string("\"id\": \"") + ruleIdString(R.Id) +
+                     "\""),
+              std::string::npos);
+    EXPECT_NE(S.find(std::string("\"name\": \"") + R.Name + "\""),
+              std::string::npos);
+  }
+  // The HAC004 finding becomes a result with a physical location and the
+  // witness note as a relatedLocation.
+  EXPECT_NE(S.find("\"ruleId\": \"HAC004\""), std::string::npos);
+  EXPECT_NE(S.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(S.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(S.find("\"startColumn\": 34"), std::string::npos);
+  EXPECT_NE(S.find("\"uri\": \"hac004_pos.hac\""), std::string::npos);
+  EXPECT_NE(S.find("relatedLocations"), std::string::npos);
+  EXPECT_NE(S.find("index (11) when i = 1"), std::string::npos);
+
+  // Crude well-formedness: brackets and braces balance, and the document
+  // is a single object.
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I != S.size(); ++I) {
+    char Ch = S[I];
+    if (InString) {
+      if (Ch == '\\')
+        ++I;
+      else if (Ch == '"')
+        InString = false;
+      continue;
+    }
+    if (Ch == '"')
+      InString = true;
+    else if (Ch == '{' || Ch == '[')
+      ++Depth;
+    else if (Ch == '}' || Ch == ']') {
+      --Depth;
+      ASSERT_GE(Depth, 0);
+    }
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_FALSE(InString);
+}
+
+TEST(Sarif, CleanRunHasEmptyResults) {
+  Compiler C;
+  verifyProgram(C, "hac001_neg.hac");
+  std::ostringstream OS;
+  writeSarif(OS, C.diags(), "hac001_neg.hac");
+  std::string S = OS.str();
+  EXPECT_NE(S.find("\"results\": []"), std::string::npos);
+}
+
+} // namespace
