@@ -1,0 +1,119 @@
+//===- bench/bench_lir.cpp - E13: Loop IR ablation ------------------------===//
+//
+// Experiment E13: what the unified Loop IR buys at run time. Three
+// evaluators run the same ExecPlans:
+//
+//   *LIR        — the production Executor: plans lower once to flat LIR
+//                 (slots, linearized addresses) and the passes (LICM,
+//                 strength reduction, check hoisting, DCE) run.
+//   *LIRNoOpt   — same evaluator with the passes disabled: isolates the
+//                 pass pipeline from the lowering itself.
+//   *TreeWalker — the seed tree-walking executor preserved verbatim in
+//                 runtime/TreeExec.h: per-element AST dispatch,
+//                 name-keyed scopes, re-derived row-major multiplies.
+//
+// Kernels: Section 9's Jacobi step (in-place update with a previous-row
+// ring) and Section 3's wavefront recurrence (construction). Executors
+// are created outside the timing loop, so LIR lowering amortizes across
+// iterations the way repeated solves amortize it in practice.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "runtime/TreeExec.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hacbench;
+
+//===--------------------------------------------------------------------===//
+// Jacobi step (update path)
+//===--------------------------------------------------------------------===//
+
+static void runJacobiLIR(benchmark::State &State, bool Optimize) {
+  int64_t N = State.range(0);
+  CompiledUpdate Compiled = mustCompileUpdate(jacobiSource(N));
+  DoubleArray A = makeGrid(N);
+  Executor Exec(Compiled.Params);
+  Exec.setLIROptimize(Optimize);
+  for (auto _ : State) {
+    std::string Err;
+    if (!Compiled.evaluateInPlace(A, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(A.data());
+  }
+  State.counters["stores"] = static_cast<double>(Exec.stats().Stores);
+}
+
+static void BM_JacobiLIR(benchmark::State &State) {
+  runJacobiLIR(State, /*Optimize=*/true);
+}
+BENCHMARK(BM_JacobiLIR)->Arg(64)->Arg(256);
+
+static void BM_JacobiLIRNoOpt(benchmark::State &State) {
+  runJacobiLIR(State, /*Optimize=*/false);
+}
+BENCHMARK(BM_JacobiLIRNoOpt)->Arg(64)->Arg(256);
+
+static void BM_JacobiTreeWalker(benchmark::State &State) {
+  int64_t N = State.range(0);
+  CompiledUpdate Compiled = mustCompileUpdate(jacobiSource(N));
+  DoubleArray A = makeGrid(N);
+  TreeWalkExecutor Exec(Compiled.Params);
+  for (auto _ : State) {
+    std::string Err;
+    if (!Exec.run(Compiled.Plan, A, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(A.data());
+  }
+  State.counters["stores"] = static_cast<double>(Exec.stats().Stores);
+}
+BENCHMARK(BM_JacobiTreeWalker)->Arg(64)->Arg(256);
+
+//===--------------------------------------------------------------------===//
+// Wavefront recurrence (construction path)
+//===--------------------------------------------------------------------===//
+
+static void runWavefrontLIR(benchmark::State &State, bool Optimize) {
+  int64_t N = State.range(0);
+  CompiledArray Compiled = mustCompile(wavefrontSource(N));
+  Executor Exec(Compiled.Params);
+  Exec.setLIROptimize(Optimize);
+  for (auto _ : State) {
+    DoubleArray Out;
+    std::string Err;
+    if (!Compiled.evaluate(Out, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.counters["stores"] = static_cast<double>(Exec.stats().Stores);
+}
+
+static void BM_WavefrontLIR(benchmark::State &State) {
+  runWavefrontLIR(State, /*Optimize=*/true);
+}
+BENCHMARK(BM_WavefrontLIR)->Arg(64)->Arg(256);
+
+static void BM_WavefrontLIRNoOpt(benchmark::State &State) {
+  runWavefrontLIR(State, /*Optimize=*/false);
+}
+BENCHMARK(BM_WavefrontLIRNoOpt)->Arg(64)->Arg(256);
+
+static void BM_WavefrontTreeWalker(benchmark::State &State) {
+  int64_t N = State.range(0);
+  CompiledArray Compiled = mustCompile(wavefrontSource(N));
+  TreeWalkExecutor Exec(Compiled.Params);
+  for (auto _ : State) {
+    DoubleArray Out(Compiled.Dims);
+    if (Compiled.Plan.CheckCollisions || Compiled.Plan.CheckEmpties)
+      Out.enableDefinedBits();
+    std::string Err;
+    if (!Exec.run(Compiled.Plan, Out, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.counters["stores"] = static_cast<double>(Exec.stats().Stores);
+}
+BENCHMARK(BM_WavefrontTreeWalker)->Arg(64)->Arg(256);
+
+HAC_BENCH_MAIN();

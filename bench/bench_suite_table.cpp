@@ -12,6 +12,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "codegen/ShapeEstimate.h"
+#include "lir/LIR.h"
+#include "lir/LIRLowering.h"
+#include "lir/LIRPasses.h"
 
 #include <cstdio>
 
@@ -151,6 +155,62 @@ void accumRow(const char *Name, const std::string &Source) {
         std::to_string(Compiled->Vectorization.numVectorizable())}});
 }
 
+/// One row of the Loop IR matrix: lowers \p Plan the way the evaluator
+/// does and reports instruction counts before/after the pass pipeline.
+void lirRow(const char *Name, const hac::ExecPlan &Plan,
+            const hac::ArrayDims &Dims, const hac::ParamEnv &Params) {
+  hac::lir::LIRProgram P = hac::lir::lowerPlan(Plan, Dims, Params, {},
+                                               /*ForC=*/false,
+                                               /*ValidateReads=*/false);
+  std::string Err;
+  if (!hac::lir::seal(P, Err)) {
+    std::printf("%-22s | lowering failed: %s\n", Name, Err.c_str());
+    return;
+  }
+  size_t Before = P.Code.size();
+  hac::lir::optimize(P);
+  if (!hac::lir::seal(P, Err)) {
+    std::printf("%-22s | re-seal failed: %s\n", Name, Err.c_str());
+    return;
+  }
+  std::printf("%-22s | %6zu | %6zu | %7llu | %8llu | %4llu\n", Name, Before,
+              P.Code.size(), (unsigned long long)P.NumHoisted,
+              (unsigned long long)P.NumStrengthReduced,
+              (unsigned long long)P.NumDce);
+  benchJsonRow(std::string("lir/") + Name,
+               {{"instrs_before", std::to_string(Before)},
+                {"instrs_after", std::to_string(P.Code.size())},
+                {"hoisted", std::to_string(P.NumHoisted)},
+                {"strength_reduced", std::to_string(P.NumStrengthReduced)},
+                {"dce", std::to_string(P.NumDce)}});
+}
+
+void lirArrayRow(const char *Name, const std::string &Source) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(Source);
+  if (!Compiled || !Compiled->Thunkless) {
+    std::printf("%-22s | thunked; not lowered\n", Name);
+    return;
+  }
+  lirRow(Name, Compiled->Plan, Compiled->Dims, Compiled->Params);
+}
+
+void lirUpdateRow(const char *Name, const std::string &Source) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileUpdate(Source);
+  if (!Compiled || !Compiled->InPlace) {
+    std::printf("%-22s | copying; not lowered\n", Name);
+    return;
+  }
+  hac::ArrayDims Dims = Compiled->Plan.Dims;
+  if (Dims.empty() &&
+      !hac::estimateUpdateDims(Compiled->Plan, Compiled->Params, Dims)) {
+    std::printf("%-22s | shape not derivable; not lowered\n", Name);
+    return;
+  }
+  lirRow(Name, Compiled->Plan, Dims, Compiled->Params);
+}
+
 } // namespace
 
 int main() {
@@ -191,5 +251,19 @@ int main() {
            "let n = 64 in letrec* h = accumArray (\\a v . a + v) 0 (1,8) "
            "[ i % 8 + 1 := 1 | i <- [1..n] ] in h");
   inPlaceArrayRow("sor / livermore-23", sorSource(64), "b");
+
+  std::printf("\nLoop IR lowering matrix (evaluator variant, n = 64)\n\n");
+  std::printf("%-22s | %6s | %6s | %7s | %8s | %4s\n", "kernel", "before",
+              "after", "hoisted", "str-red", "dce");
+  std::printf("%-22s-+-%6s-+-%6s-+-%7s-+-%8s-+-%4s\n",
+              "----------------------", "------", "------", "-------",
+              "--------", "----");
+  lirArrayRow("squares", "let n = 64 in letrec* a = array (1,n) "
+                         "[ i := 1.0 * i * i | i <- [1..n] ] in a");
+  lirArrayRow("wavefront", wavefrontSource(64));
+  lirArrayRow("sec5-ex1 (stride 3)", sec5Ex1Source(64));
+  lirArrayRow("sec5-ex2 (backward)", sec5Ex2Source(64));
+  lirUpdateRow("rowswap (LINPACK)", rowSwapSource(64));
+  lirUpdateRow("jacobi step", jacobiSource(64));
   return 0;
 }

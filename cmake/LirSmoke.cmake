@@ -1,0 +1,45 @@
+# Loop-IR gate: runs `hacc -dump-lir -selfcheck` over every example
+# program. -dump-lir lowers each program to LIR, runs the optimization
+# passes, and fails on verifier errors; -selfcheck then executes both the
+# LIR evaluator and the cc-compiled C kernel and requires bit-identical
+# results. Programs that fall back to thunked evaluation print a note and
+# exit 0 — the gate is about the compiled path agreeing with itself, not
+# about every program being compilable. Invoked by ctest as
+#   cmake -DHACC=<hacc> -DPROGRAMS_DIR=<dir> -P LirSmoke.cmake
+
+foreach(Var HACC PROGRAMS_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "LirSmoke.cmake needs -D${Var}=...")
+  endif()
+endforeach()
+
+# Non-recursive on purpose: bad/ holds seeded rule-firing programs.
+file(GLOB Programs "${PROGRAMS_DIR}/*.hac")
+if(NOT Programs)
+  message(FATAL_ERROR "no .hac programs under ${PROGRAMS_DIR}")
+endif()
+
+foreach(Program IN LISTS Programs)
+  # Infer the driver mode from the program text, the way the repo's docs
+  # describe running each example.
+  file(READ ${Program} Source)
+  set(ModeFlags "")
+  if(Source MATCHES "bigupd")
+    set(ModeFlags "-u")
+  elseif(Source MATCHES "accumArray")
+    set(ModeFlags "-accum")
+  endif()
+
+  execute_process(
+    COMMAND ${HACC} -dump-lir -selfcheck ${ModeFlags} ${Program}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "hacc -dump-lir -selfcheck failed on ${Program} (rc=${RC}):\n"
+      "${Stdout}\n${Stderr}")
+  endif()
+
+  message(STATUS "lir ok: ${Program}")
+endforeach()

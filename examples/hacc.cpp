@@ -13,6 +13,10 @@
 //   hacc -Werror ...     treat warnings as errors
 //   hacc -Wno-hacNNN ... disable one verifier rule
 //   hacc -emit-c FILE    emit the generated C kernel to stdout
+//   hacc -dump-lir FILE  print the unified Loop IR before and after the
+//                        optimization passes; exit 1 on verifier errors
+//   hacc -selfcheck FILE run the LIR evaluator AND the compiled-C kernel
+//                        and require bit-identical results
 //   hacc -u ... FILE     treat the program as a bigupd update
 //   hacc -accum ... FILE treat the program as an accumArray construction
 //   hacc -trace ... FILE print the phase-timing tree + counters to stderr
@@ -29,8 +33,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
+#include "codegen/ShapeEstimate.h"
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
+#include "lir/LIR.h"
+#include "lir/LIRLowering.h"
+#include "lir/LIRPasses.h"
 #include "support/Trace.h"
 #include "verify/SarifEmitter.h"
 #include "verify/Verifier.h"
@@ -38,10 +46,12 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <dlfcn.h>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace hac;
@@ -51,6 +61,8 @@ namespace {
 struct DriverOptions {
   bool ReportOnly = false;
   bool EmitCOnly = false;
+  bool DumpLIR = false;
+  bool SelfCheck = false;
   bool Update = false;
   bool Accum = false;
   bool TraceTree = false;
@@ -261,6 +273,123 @@ int writeTelemetry(const DriverOptions &Opts, const char *Mode,
 auto nullAnalysis = [](std::ostream &OS) { OS << "  null"; };
 
 //===--------------------------------------------------------------------===//
+// LIR dump + selfcheck
+//===--------------------------------------------------------------------===//
+
+/// -dump-lir: lowers once (the evaluator variant, which renders the
+/// exec-only stat counters and validation checks too), prints the program
+/// before and after the optimization passes, and runs the verifier.
+/// Returns the process exit code.
+int dumpLIR(const std::string &What, const ExecPlan &Plan,
+            const ArrayDims &Dims, const ParamEnv &Params) {
+  lir::LIRProgram P = lir::lowerPlan(Plan, Dims, Params, {}, /*ForC=*/false,
+                                     /*ValidateReads=*/false);
+  std::string SealErr;
+  if (!lir::seal(P, SealErr)) {
+    std::fprintf(stderr, "hacc: LIR seal failed: %s\n", SealErr.c_str());
+    return 1;
+  }
+  std::printf("=== LIR for '%s' (before passes) ===\n%s", What.c_str(),
+              lir::printLIR(P).c_str());
+  lir::optimize(P);
+  if (!lir::seal(P, SealErr)) {
+    std::fprintf(stderr, "hacc: LIR re-seal failed: %s\n", SealErr.c_str());
+    return 1;
+  }
+  std::printf("=== LIR (after passes: %llu hoisted, %llu strength-reduced, "
+              "%llu dce) ===\n%s",
+              (unsigned long long)P.NumHoisted,
+              (unsigned long long)P.NumStrengthReduced,
+              (unsigned long long)P.NumDce, lir::printLIR(P).c_str());
+  std::string VerifyErr = lir::verify(P);
+  if (!VerifyErr.empty()) {
+    std::fprintf(stderr, "hacc: %s\n", VerifyErr.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+using KernelFn = int (*)(double *, const double *const *);
+
+/// Compiles emitted C with the system compiler, loads the shared object,
+/// and resolves hac_kernel. Handles are process-lifetime.
+KernelFn buildNativeKernel(const std::string &Code, std::string &Error) {
+  static int Counter = 0;
+  std::string Base = "/tmp/hac_selfcheck_" + std::to_string(getpid()) + "_" +
+                     std::to_string(Counter++);
+  std::string CPath = Base + ".c", SoPath = Base + ".so";
+  {
+    std::ofstream OS(CPath);
+    OS << Code;
+  }
+  std::string Cmd =
+      "cc -O1 -shared -fPIC -o " + SoPath + " " + CPath + " -lm 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe) {
+    Error = "failed to spawn the C compiler";
+    return nullptr;
+  }
+  std::string Output;
+  char Buf[256];
+  while (fgets(Buf, sizeof(Buf), Pipe))
+    Output += Buf;
+  if (pclose(Pipe) != 0) {
+    Error = "C compilation failed:\n" + Output;
+    return nullptr;
+  }
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW);
+  if (!Handle) {
+    Error = std::string("dlopen failed: ") + dlerror();
+    return nullptr;
+  }
+  auto Fn = reinterpret_cast<KernelFn>(dlsym(Handle, "hac_kernel"));
+  if (!Fn)
+    Error = std::string("dlsym failed: ") + dlerror();
+  return Fn;
+}
+
+/// -selfcheck tail: emits C for \p Plan, runs the native kernel on
+/// \p Start (already pre-initialized the way the evaluator's target
+/// was), and requires bit-identical agreement with the evaluator's
+/// \p Ref. Returns the process exit code.
+int runSelfCheckKernel(const ExecPlan &Plan, const ParamEnv &Params,
+                       const DoubleArray &Ref, DoubleArray Start) {
+  CEmitResult Emitted = emitC(Plan, "hac_kernel", Params);
+  if (!Emitted.OK) {
+    std::printf("selfcheck: C backend declined (%s); evaluator-only\n",
+                Emitted.Error.c_str());
+    return 0;
+  }
+  if (!Emitted.InputNames.empty()) {
+    std::printf("selfcheck: kernel expects external inputs; skipped\n");
+    return 0;
+  }
+  std::string BuildErr;
+  KernelFn Fn = buildNativeKernel(Emitted.Code, BuildErr);
+  if (!Fn) {
+    std::fprintf(stderr, "hacc: selfcheck: %s\n", BuildErr.c_str());
+    return 1;
+  }
+  int Rc = Fn(Start.data(), nullptr);
+  if (Rc != 0) {
+    std::fprintf(stderr, "hacc: selfcheck: native kernel failed (rc=%d)\n",
+                 Rc);
+    return 1;
+  }
+  double Diff = DoubleArray::maxAbsDiff(Ref, Start);
+  if (Diff > 0.0) {
+    std::fprintf(stderr,
+                 "hacc: selfcheck: evaluator and compiled C diverge "
+                 "(max |diff| = %g)\n",
+                 Diff);
+    return 1;
+  }
+  std::printf("selfcheck: evaluator and compiled C agree on %zu elements\n",
+              Ref.size());
+  return 0;
+}
+
+//===--------------------------------------------------------------------===//
 // Modes
 //===--------------------------------------------------------------------===//
 
@@ -304,6 +433,38 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
       for (const std::string &Name : Emitted.InputNames)
         std::fprintf(stdout, " %s", Name.c_str());
       std::fprintf(stdout, " */\n");
+    }
+    return 0;
+  }
+  if (Opts.DumpLIR || Opts.SelfCheck) {
+    if (!Compiled->Thunkless) {
+      std::printf("lir: program needs thunked evaluation (%s); "
+                  "nothing to lower\n",
+                  Compiled->FallbackReason.c_str());
+      return 0;
+    }
+    if (Opts.DumpLIR) {
+      int RC = dumpLIR(Compiled->Name, Compiled->Plan, Compiled->Dims,
+                       Compiled->Params);
+      if (RC != 0)
+        return RC;
+    }
+    if (Opts.SelfCheck) {
+      Executor Exec(Compiled->Params);
+      DoubleArray Ref;
+      std::string Err;
+      if (!Compiled->evaluate(Ref, Exec, Err)) {
+        std::fprintf(stderr, "hacc: runtime error: %s\n", Err.c_str());
+        return 1;
+      }
+      DoubleArray Start(Compiled->Dims);
+      if (Compiled->IsAccum)
+        for (size_t I = 0, N = Start.size(); I != N; ++I)
+          Start[I] = Compiled->AccumInit;
+      int RC = runSelfCheckKernel(Compiled->Plan, Compiled->Params, Ref,
+                                  std::move(Start));
+      if (RC != 0)
+        return RC;
     }
     return 0;
   }
@@ -431,6 +592,43 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
     std::fputs(Emitted.Code.c_str(), stdout);
     return 0;
   }
+  if (Opts.DumpLIR || Opts.SelfCheck) {
+    if (!Compiled->InPlace) {
+      std::printf("lir: update is not in-place (%s); nothing to lower\n",
+                  Compiled->FallbackReason.c_str());
+      return 0;
+    }
+    ExecPlan Plan = Compiled->Plan;
+    if (Plan.Dims.empty() &&
+        !estimateUpdateDims(Plan, Compiled->Params, Plan.Dims)) {
+      std::printf("lir: cannot derive the update target's shape from its "
+                  "subscripts; skipped\n");
+      return 0;
+    }
+    if (Opts.DumpLIR) {
+      int RC = dumpLIR(Compiled->BaseName, Plan, Plan.Dims,
+                       Compiled->Params);
+      if (RC != 0)
+        return RC;
+    }
+    if (Opts.SelfCheck) {
+      DoubleArray Start(Plan.Dims);
+      for (size_t I = 0, N = Start.size(); I != N; ++I)
+        Start[I] = 1.0 + 0.25 * static_cast<double>(I % 7);
+      DoubleArray Ref = Start;
+      Executor Exec(Compiled->Params);
+      std::string Err;
+      if (!Compiled->evaluateInPlace(Ref, Exec, Err)) {
+        std::fprintf(stderr, "hacc: runtime error: %s\n", Err.c_str());
+        return 1;
+      }
+      int RC = runSelfCheckKernel(Plan, Compiled->Params, Ref,
+                                  std::move(Start));
+      if (RC != 0)
+        return RC;
+    }
+    return 0;
+  }
   auto UpdateAnalysis = [&](std::ostream &OS) {
     writeUpdateAnalysisJson(OS, *Compiled);
   };
@@ -466,6 +664,10 @@ int main(int Argc, char **Argv) {
       Opts.ReportOnly = true;
     else if (std::strcmp(Argv[I], "-emit-c") == 0)
       Opts.EmitCOnly = true;
+    else if (std::strcmp(Argv[I], "-dump-lir") == 0)
+      Opts.DumpLIR = true;
+    else if (std::strcmp(Argv[I], "-selfcheck") == 0)
+      Opts.SelfCheck = true;
     else if (std::strcmp(Argv[I], "-u") == 0)
       Opts.Update = true;
     else if (std::strcmp(Argv[I], "-accum") == 0)
@@ -504,7 +706,8 @@ int main(int Argc, char **Argv) {
   }
   if (Opts.Path.empty()) {
     std::fprintf(stderr,
-                 "usage: hacc [-report | -analyze | -emit-c] [-u | -accum] "
+                 "usage: hacc [-report | -analyze | -emit-c | -dump-lir] "
+                 "[-selfcheck] [-u | -accum] "
                  "[-trace] [-json FILE] [-sarif FILE] [-Werror] "
                  "[-Wno-hacNNN] FILE\n"
                  "  -report      print the analysis report only\n"
@@ -515,6 +718,10 @@ int main(int Argc, char **Argv) {
                  "  -Werror      treat warnings as errors\n"
                  "  -Wno-hacNNN  disable one verifier rule\n"
                  "  -emit-c      emit the generated C kernel to stdout\n"
+                 "  -dump-lir    print the unified Loop IR before and after "
+                 "the optimization passes\n"
+                 "  -selfcheck   run the LIR evaluator and the compiled C "
+                 "kernel; require bit-identical results\n"
                  "  -u           treat the program as a bigupd update\n"
                  "  -accum       treat the program as accumArray\n"
                  "  -trace       print phase timings + counters to stderr\n"

@@ -23,8 +23,12 @@
 /// as constants. The return value is 0 on success or one of the
 /// HAC_ERR_* codes for a failed runtime check.
 ///
-/// `let` bindings and fused folds inside element values use GNU statement
-/// expressions, so the output targets GCC/Clang.
+/// The emitter prints the unified Loop IR (src/lir/) rather than walking
+/// the plan's AST: plans are lowered by the same LIRLowering the
+/// Executor runs, optimized by the same passes, and then rendered
+/// instruction by instruction — one C statement per LIR instruction over
+/// flat `long long`/`double` slot variables. Whatever the evaluator
+/// executes is exactly what the C compiler sees.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +50,10 @@ enum CEmitError : int {
   HAC_ERR_COLLISION = 2,
   HAC_ERR_EMPTY = 3,
   HAC_ERR_DIV_ZERO = 4,
+  /// A fold over a runtime-valued range whose step evaluated to zero
+  /// (the loop would never terminate). The seed backend looped forever
+  /// here; the LIR lowering emits an explicit check in both backends.
+  HAC_ERR_RANGE_STEP = 5,
 };
 
 /// Result of emission.

@@ -93,6 +93,11 @@ lowerUnits(const std::vector<SchedUnit> &Units,
   return Out;
 }
 
+uint64_t nextPlanId() {
+  static uint64_t Next = 0;
+  return ++Next;
+}
+
 } // namespace
 
 ExecPlan hac::buildArrayPlan(const CompNest &Nest, const Schedule &Sched,
@@ -104,6 +109,7 @@ ExecPlan hac::buildArrayPlan(const CompNest &Nest, const Schedule &Sched,
   (void)Nest;
   assert(Sched.Thunkless && "cannot lower a schedule that needs thunks");
   ExecPlan Plan;
+  Plan.Id = nextPlanId();
   Plan.TargetName = TargetName;
   Plan.Dims = Dims;
   Plan.InPlace = false;
@@ -126,6 +132,7 @@ ExecPlan hac::buildInPlaceArrayPlan(const CompNest &Nest,
                                     const CoverageAnalysis &Coverage,
                                     const ReadBoundsAnalysis &ReadBounds) {
   ExecPlan Plan = buildUpdatePlan(Nest, Update, TargetName, Dims);
+  Plan.Id = nextPlanId();
   Plan.Dims = Dims;
   Plan.AliasName = ReuseName;
   // This is still a *construction*: collisions are errors and every
@@ -144,6 +151,7 @@ ExecPlan hac::buildUpdatePlan(const CompNest &Nest,
   (void)Nest;
   assert(Update.InPlace && "cannot lower a non-in-place update");
   ExecPlan Plan;
+  Plan.Id = nextPlanId();
   Plan.TargetName = TargetName;
   Plan.Dims = Dims;
   Plan.InPlace = true;

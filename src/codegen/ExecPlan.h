@@ -143,6 +143,12 @@ struct ExecPlan {
   /// collisions are sequencing, not errors.
   bool InPlace = false;
 
+  /// Unique identity assigned by the plan builders. The Executor's LIR
+  /// cache keys on it, so two plans that happen to reuse the same stack
+  /// or heap address never alias a cached compilation (0 = unassigned,
+  /// never cached).
+  uint64_t Id = 0;
+
   /// Human-readable rendering (tests, the depgraph tool).
   std::string str() const;
 };

@@ -1,0 +1,125 @@
+//===- codegen/ShapeEstimate.cpp - Target shapes for update plans ---------===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ShapeEstimate.h"
+
+#include "analysis/AffineExpr.h"
+#include "ast/Expr.h"
+#include "comp/CompNest.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace hac;
+
+namespace {
+
+void collectStoreClauses(const std::vector<PlanStmt> &Stmts,
+                         std::vector<const ClauseNode *> &Out) {
+  for (const PlanStmt &S : Stmts) {
+    if (S.K == PlanStmt::Kind::For)
+      collectStoreClauses(S.Body, Out);
+    else
+      Out.push_back(S.Clause);
+  }
+}
+
+/// Widens \p Dims (growing it to \p Rank on first use) so dimension \p D
+/// covers the affine range of \p E over the clause's loops. Clears \p OK
+/// on non-affine subscripts and rank mismatches.
+void widenDim(const Expr *E, size_t D, size_t Rank, const ClauseNode *C,
+              const ParamEnv &Params, ArrayDims &Dims, bool &OK) {
+  if (!OK)
+    return;
+  auto F = extractAffine(E, C->loops(), Params);
+  if (!F) {
+    OK = false;
+    return;
+  }
+  if (Dims.size() < Rank)
+    Dims.resize(Rank, {INT64_MAX, INT64_MIN});
+  if (D >= Dims.size()) {
+    OK = false;
+    return;
+  }
+  Dims[D].first = std::min(Dims[D].first, F->minValue());
+  Dims[D].second = std::max(Dims[D].second, F->maxValue());
+}
+
+/// Walks \p E for reads of the updated array (by target or alias name)
+/// and widens \p Dims to cover their subscript ranges too.
+void widenFromReads(const Expr *E, const ExecPlan &Plan,
+                    const ClauseNode *C, const ParamEnv &Params,
+                    ArrayDims &Dims, bool &OK) {
+  if (!E || !OK)
+    return;
+  auto Recurse = [&](const Expr *Sub) {
+    widenFromReads(Sub, Plan, C, Params, Dims, OK);
+  };
+  if (const auto *S = dyn_cast<ArraySubExpr>(E)) {
+    Recurse(S->index());
+    const auto *Base = dyn_cast<VarExpr>(S->base());
+    if (!Base || (Base->name() != Plan.TargetName &&
+                  (Plan.AliasName.empty() || Base->name() != Plan.AliasName)))
+      return;
+    if (const auto *T = dyn_cast<TupleExpr>(S->index())) {
+      for (size_t D = 0; D != T->elems().size(); ++D)
+        widenDim(T->elems()[D].get(), D, T->elems().size(), C, Params, Dims,
+                 OK);
+    } else {
+      widenDim(S->index(), 0, 1, C, Params, Dims, OK);
+    }
+    return;
+  }
+  switch (E->kind()) {
+  case ExprKind::Unary:
+    Recurse(cast<UnaryExpr>(E)->operand());
+    return;
+  case ExprKind::Binary:
+    Recurse(cast<BinaryExpr>(E)->lhs());
+    Recurse(cast<BinaryExpr>(E)->rhs());
+    return;
+  case ExprKind::If:
+    Recurse(cast<IfExpr>(E)->cond());
+    Recurse(cast<IfExpr>(E)->thenExpr());
+    Recurse(cast<IfExpr>(E)->elseExpr());
+    return;
+  case ExprKind::Let:
+    for (const LetBind &B : cast<LetExpr>(E)->binds())
+      Recurse(B.Value.get());
+    Recurse(cast<LetExpr>(E)->body());
+    return;
+  case ExprKind::Apply:
+    for (const ExprPtr &Arg : cast<ApplyExpr>(E)->args())
+      Recurse(Arg.get());
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+bool hac::estimateUpdateDims(const ExecPlan &Plan, const ParamEnv &Params,
+                             ArrayDims &Dims) {
+  std::vector<const ClauseNode *> Clauses;
+  collectStoreClauses(Plan.Stmts, Clauses);
+  if (Clauses.empty())
+    return false;
+  bool OK = true;
+  Dims.clear();
+  for (const ClauseNode *C : Clauses) {
+    for (size_t D = 0; D != C->rank(); ++D)
+      widenDim(C->subscript(D), D, C->rank(), C, Params, Dims, OK);
+    widenFromReads(C->value(), Plan, C, Params, Dims, OK);
+    for (const GuardNode *G : C->guards())
+      widenFromReads(G->cond(), Plan, C, Params, Dims, OK);
+  }
+  for (const auto &[Lo, Hi] : Dims)
+    if (Lo > Hi)
+      OK = false;
+  return OK;
+}

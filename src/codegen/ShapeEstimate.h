@@ -1,0 +1,35 @@
+//===- codegen/ShapeEstimate.h - Target shapes for update plans -*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives a concrete target shape for an update plan whose extents are
+/// only known at run time (the `bigupd` driver path: the library caller
+/// would pass the real array, but the standalone tools have nothing to
+/// pass). The estimate is the smallest box that covers every write
+/// subscript range *and* every read of the updated array — a shape that
+/// admits the writes but not the reads would fault on e.g. the Jacobi
+/// stencil's `a!(i-1,j)` halo row.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_CODEGEN_SHAPEESTIMATE_H
+#define HAC_CODEGEN_SHAPEESTIMATE_H
+
+#include "codegen/ExecPlan.h"
+
+namespace hac {
+
+/// Computes interval bounds for every dimension of \p Plan's target by
+/// affine range analysis over all store subscripts and all reads of the
+/// target (or alias) array inside clause values and guards. Returns
+/// false — leaving \p Dims unspecified — when any subscript is not
+/// affine in the clause's loop variables or the covered box is empty.
+bool estimateUpdateDims(const ExecPlan &Plan, const ParamEnv &Params,
+                        ArrayDims &Dims);
+
+} // namespace hac
+
+#endif // HAC_CODEGEN_SHAPEESTIMATE_H

@@ -1,0 +1,297 @@
+//===- lir/LIREval.cpp - LIR evaluator ------------------------------------===//
+
+#include "lir/LIREval.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace hac;
+using namespace hac::lir;
+
+namespace {
+union Reg {
+  int64_t i;
+  double d;
+};
+} // namespace
+
+bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
+                  const std::vector<const double *> &Inputs,
+                  std::vector<std::vector<double>> &Rings,
+                  std::vector<std::vector<double>> &Snaps, ExecStats &Stats,
+                  std::string &Err) {
+  std::vector<Reg> R(P.NumSlots, Reg{0});
+  const LInst *Code = P.Code.data();
+  const size_t N = P.Code.size();
+
+  uint64_t Stores = 0, Loads = 0, RingSaves = 0, SnapshotCopies = 0;
+  uint64_t BoundsChecks = 0, CollisionChecks = 0, GuardEvals = 0,
+           FusedIters = 0;
+  auto Flush = [&] {
+    Stats.Stores += Stores;
+    Stats.Loads += Loads;
+    Stats.RingSaves += RingSaves;
+    Stats.SnapshotCopies += SnapshotCopies;
+    Stats.BoundsChecks += BoundsChecks;
+    Stats.CollisionChecks += CollisionChecks;
+    Stats.GuardEvals += GuardEvals;
+    Stats.FusedIters += FusedIters;
+  };
+  auto Fail = [&](std::string Msg) {
+    Err = std::move(Msg);
+    Flush();
+    return false;
+  };
+
+  size_t PC = 0;
+  while (PC < N) {
+    const LInst &I = Code[PC];
+    switch (I.Op) {
+    case LOp::ConstI:
+      R[I.A].i = I.Imm0;
+      break;
+    case LOp::ConstF:
+      R[I.A].d = I.FImm;
+      break;
+    case LOp::MovI:
+      R[I.A].i = R[I.B].i;
+      break;
+    case LOp::MovF:
+      R[I.A].d = R[I.B].d;
+      break;
+    case LOp::IToF:
+      R[I.A].d = static_cast<double>(R[I.B].i);
+      break;
+
+    case LOp::AddI:
+      R[I.A].i = R[I.B].i + R[I.C].i;
+      break;
+    case LOp::SubI:
+      R[I.A].i = R[I.B].i - R[I.C].i;
+      break;
+    case LOp::MulI:
+      R[I.A].i = R[I.B].i * R[I.C].i;
+      break;
+    case LOp::DivI: // a preceding CheckNonZeroI guards the divisor
+      R[I.A].i = R[I.B].i / R[I.C].i;
+      break;
+    case LOp::ModI:
+      R[I.A].i = R[I.B].i % R[I.C].i;
+      break;
+    case LOp::NegI:
+      R[I.A].i = -R[I.B].i;
+      break;
+    case LOp::AbsI:
+      R[I.A].i = R[I.B].i < 0 ? -R[I.B].i : R[I.B].i;
+      break;
+    case LOp::MinI:
+      R[I.A].i = R[I.B].i < R[I.C].i ? R[I.B].i : R[I.C].i;
+      break;
+    case LOp::MaxI:
+      R[I.A].i = R[I.B].i > R[I.C].i ? R[I.B].i : R[I.C].i;
+      break;
+    case LOp::AddImmI:
+      R[I.A].i = R[I.B].i + I.Imm0;
+      break;
+    case LOp::MulImmI:
+      R[I.A].i = R[I.B].i * I.Imm0;
+      break;
+    case LOp::ModImmI:
+      R[I.A].i = R[I.B].i % I.Imm0;
+      break;
+
+    case LOp::AddF:
+      R[I.A].d = R[I.B].d + R[I.C].d;
+      break;
+    case LOp::SubF:
+      R[I.A].d = R[I.B].d - R[I.C].d;
+      break;
+    case LOp::MulF:
+      R[I.A].d = R[I.B].d * R[I.C].d;
+      break;
+    case LOp::DivF:
+      R[I.A].d = R[I.B].d / R[I.C].d;
+      break;
+    case LOp::ModF:
+      R[I.A].d = std::fmod(R[I.B].d, R[I.C].d);
+      break;
+    case LOp::NegF:
+      R[I.A].d = -R[I.B].d;
+      break;
+    case LOp::AbsF:
+      R[I.A].d = std::fabs(R[I.B].d);
+      break;
+    case LOp::MinF:
+      R[I.A].d = R[I.B].d < R[I.C].d ? R[I.B].d : R[I.C].d;
+      break;
+    case LOp::MaxF:
+      R[I.A].d = R[I.B].d > R[I.C].d ? R[I.B].d : R[I.C].d;
+      break;
+    case LOp::SqrtF:
+      R[I.A].d = std::sqrt(R[I.B].d);
+      break;
+
+    case LOp::CmpEqI:
+      R[I.A].i = R[I.B].i == R[I.C].i;
+      break;
+    case LOp::CmpNeI:
+      R[I.A].i = R[I.B].i != R[I.C].i;
+      break;
+    case LOp::CmpLtI:
+      R[I.A].i = R[I.B].i < R[I.C].i;
+      break;
+    case LOp::CmpLeI:
+      R[I.A].i = R[I.B].i <= R[I.C].i;
+      break;
+    case LOp::CmpGtI:
+      R[I.A].i = R[I.B].i > R[I.C].i;
+      break;
+    case LOp::CmpGeI:
+      R[I.A].i = R[I.B].i >= R[I.C].i;
+      break;
+    case LOp::CmpEqF:
+      R[I.A].i = R[I.B].d == R[I.C].d;
+      break;
+    case LOp::CmpNeF:
+      R[I.A].i = R[I.B].d != R[I.C].d;
+      break;
+    case LOp::CmpLtF:
+      R[I.A].i = R[I.B].d < R[I.C].d;
+      break;
+    case LOp::CmpLeF:
+      R[I.A].i = R[I.B].d <= R[I.C].d;
+      break;
+    case LOp::CmpGtF:
+      R[I.A].i = R[I.B].d > R[I.C].d;
+      break;
+    case LOp::CmpGeF:
+      R[I.A].i = R[I.B].d >= R[I.C].d;
+      break;
+    case LOp::NotB:
+      R[I.A].i = R[I.B].i ? 0 : 1;
+      break;
+
+    case LOp::LoopBegin:
+      if (I.Imm2 <= 0) {
+        PC = static_cast<size_t>(I.Jump) + 1;
+        continue;
+      }
+      R[I.A].i = I.Imm0;
+      R[I.B].i = I.backward() ? I.Imm2 : 1;
+      break;
+    case LOp::LoopEnd: {
+      R[I.A].i += I.Imm1;
+      int64_t Ord = R[I.B].i + (I.backward() ? -1 : 1);
+      R[I.B].i = Ord;
+      if (I.backward() ? Ord >= 1 : Ord <= I.Imm2) {
+        PC = static_cast<size_t>(I.Jump) + 1;
+        continue;
+      }
+      break;
+    }
+    case LOp::LoopDynBegin: {
+      int64_t Step = R[I.C].i;
+      bool In = Step > 0 ? R[I.A].i <= R[I.B].i : R[I.A].i >= R[I.B].i;
+      if (!In) {
+        PC = static_cast<size_t>(I.Jump) + 1;
+        continue;
+      }
+      break;
+    }
+    case LOp::LoopDynEnd:
+      R[I.A].i += R[I.C].i;
+      PC = static_cast<size_t>(I.Jump); // re-test at the Begin
+      continue;
+    case LOp::IfBegin:
+      if (!R[I.A].i) {
+        PC = static_cast<size_t>(I.Jump) + 1;
+        continue;
+      }
+      break;
+    case LOp::Else: // end of the then-branch: skip past the IfEnd
+      PC = static_cast<size_t>(I.Jump) + 1;
+      continue;
+    case LOp::IfEnd:
+      break;
+
+    case LOp::LoadT:
+      R[I.A].d = Target[static_cast<size_t>(R[I.B].i)];
+      ++Loads;
+      break;
+    case LOp::LoadIn:
+      R[I.A].d = Inputs[static_cast<size_t>(I.Imm0)][R[I.B].i];
+      ++Loads;
+      break;
+    case LOp::LoadRing:
+      R[I.A].d = Rings[static_cast<size_t>(I.Imm0)][R[I.B].i];
+      ++Loads;
+      break;
+    case LOp::LoadSnap:
+      R[I.A].d = Snaps[static_cast<size_t>(I.Imm0)][R[I.B].i];
+      ++Loads;
+      break;
+    case LOp::StoreT: {
+      size_t Lin = static_cast<size_t>(R[I.B].i);
+      Target[Lin] = R[I.C].d;
+      Target.setDefined(Lin);
+      ++Stores;
+      break;
+    }
+    case LOp::SaveRing:
+      Rings[static_cast<size_t>(I.Imm0)][R[I.B].i] =
+          Target[static_cast<size_t>(R[I.C].i)];
+      ++RingSaves;
+      break;
+    case LOp::SnapSaveT:
+      Snaps[static_cast<size_t>(I.Imm0)][R[I.B].i] =
+          Target[static_cast<size_t>(R[I.C].i)];
+      ++SnapshotCopies;
+      break;
+
+    case LOp::CheckIdx: {
+      int64_t V = R[I.B].i;
+      if (V < I.Imm0 || V > I.Imm1)
+        return Fail(P.str(I.Str));
+      break;
+    }
+    case LOp::CheckNonZeroI:
+      if (R[I.B].i == 0)
+        return Fail(P.str(I.Str));
+      break;
+    case LOp::CheckCollision: {
+      ++CollisionChecks;
+      size_t Lin = static_cast<size_t>(R[I.B].i);
+      if (Target.hasDefinedBits() && Target.isDefined(Lin))
+        return Fail(
+            "multiple definitions for one array element (write collision)"
+            " at linear index " +
+            std::to_string(Lin));
+      break;
+    }
+    case LOp::CheckDefined: {
+      size_t Lin = static_cast<size_t>(R[I.B].i);
+      if (!Target.isDefined(Lin))
+        return Fail("schedule violation: read of element not yet computed "
+                    "(linear index " +
+                    std::to_string(Lin) + ")");
+      break;
+    }
+
+    case LOp::CountBounds:
+      BoundsChecks += static_cast<uint64_t>(I.Imm0);
+      break;
+    case LOp::CountGuard:
+      GuardEvals += static_cast<uint64_t>(I.Imm0);
+      break;
+    case LOp::CountFused:
+      FusedIters += static_cast<uint64_t>(I.Imm0);
+      break;
+
+    case LOp::Fail:
+      return Fail(P.str(I.Str));
+    }
+    ++PC;
+  }
+  Flush();
+  return true;
+}

@@ -1,0 +1,43 @@
+//===- lir/LIREval.h - LIR evaluator ----------------------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact LIR evaluator: a program counter over the sealed
+/// instruction stream and a flat register file. No AST dispatch, no
+/// name lookups, no per-element multiply chains — the hot path is one
+/// switch on a small opcode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_LIR_LIREVAL_H
+#define HAC_LIR_LIREVAL_H
+
+#include "lir/LIR.h"
+#include "runtime/DoubleArray.h"
+#include "runtime/ExecStats.h"
+
+#include <string>
+#include <vector>
+
+namespace hac {
+namespace lir {
+
+/// Runs a sealed \p P against \p Target. \p Inputs are raw base
+/// pointers in LIRProgram::InputNames order; \p Rings / \p Snaps must be
+/// pre-sized to RingSizes / SnapSizes. Counters accumulate into
+/// \p Stats on success and on failure (matching the seed executor,
+/// which counted events up to the point of the error). Returns false
+/// with \p Err set on the first runtime error.
+bool evalLIR(const LIRProgram &P, DoubleArray &Target,
+             const std::vector<const double *> &Inputs,
+             std::vector<std::vector<double>> &Rings,
+             std::vector<std::vector<double>> &Snaps, ExecStats &Stats,
+             std::string &Err);
+
+} // namespace lir
+} // namespace hac
+
+#endif // HAC_LIR_LIREVAL_H

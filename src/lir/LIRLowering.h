@@ -1,0 +1,56 @@
+//===- lir/LIRLowering.h - ExecPlan -> LIR lowering -------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles an ExecPlan into a LIRProgram exactly once. The same lowering
+/// serves both backends: the in-process evaluator asks for ForC == false
+/// (unknown arrays become lazy Fail instructions, ValidateReads adds
+/// exec-only defined-bitmap checks) and the C emitter asks for
+/// ForC == true (every array resolves, with InputDims supplying shapes
+/// for inputs that do not share the target's).
+///
+/// Runtime error codes baked into CheckIdx / CheckNonZeroI instructions
+/// match codegen/CEmitter.h's CEmitError values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_LIR_LIRLOWERING_H
+#define HAC_LIR_LIRLOWERING_H
+
+#include "codegen/ExecPlan.h"
+#include "lir/LIR.h"
+
+#include <map>
+#include <string>
+
+namespace hac {
+namespace lir {
+
+/// Error codes carried in check instructions (mirrors CEmitError).
+enum : int64_t {
+  RcBounds = 1,
+  RcCollision = 2,
+  RcEmpty = 3,
+  RcDivZero = 4,
+  RcRangeStep = 5,
+};
+
+/// Lowers \p Plan against the concrete target shape \p TargetDims (for
+/// update plans Plan.Dims may be empty; pass the target array's dims).
+/// \p InputDims maps input array names to their shapes; in exec mode
+/// (ForC == false) an array absent from the map lowers to a Fail at its
+/// use site, in C mode it falls back to the target's shape, matching the
+/// seed C backend. The returned program is NOT yet sealed or optimized —
+/// run the pass pipeline (LIRPasses.h) and seal() before use.
+LIRProgram lowerPlan(const ExecPlan &Plan, const ArrayDims &TargetDims,
+                     const ParamEnv &Params,
+                     const std::map<std::string, ArrayDims> &InputDims,
+                     bool ForC, bool ValidateReads);
+
+} // namespace lir
+} // namespace hac
+
+#endif // HAC_LIR_LIRLOWERING_H

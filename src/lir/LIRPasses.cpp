@@ -1,0 +1,436 @@
+//===- lir/LIRPasses.cpp - LIR optimization passes ------------------------===//
+//
+// The passes only consult the region structure (Begin/End markers),
+// never the Jump fields — but the def/use scans need the loop-closer
+// operand mirroring seal() performs, so optimize() seals on entry and
+// the caller must seal again afterwards (moves invalidate Jump).
+// Counter instructions (CountBounds/CountGuard/CountFused) and
+// memory/check operations are never created, moved, or deleted except
+// where documented: ExecStats totals stay bit-identical to the seed
+// tree-walking executor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lir/LIRPasses.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace hac;
+using namespace hac::lir;
+
+namespace {
+
+bool isOpenOp(LOp Op) {
+  return Op == LOp::LoopBegin || Op == LOp::LoopDynBegin ||
+         Op == LOp::IfBegin;
+}
+bool isCloseOp(LOp Op) {
+  return Op == LOp::LoopEnd || Op == LOp::LoopDynEnd || Op == LOp::IfEnd;
+}
+
+struct Region {
+  size_t Begin = 0;
+  size_t End = 0;
+};
+
+/// All loop regions, innermost before any loop enclosing them (the order
+/// their End markers appear in).
+std::vector<Region> collectLoops(const std::vector<LInst> &Code) {
+  std::vector<Region> Loops;
+  std::vector<size_t> Stack;
+  for (size_t I = 0; I != Code.size(); ++I) {
+    if (isOpenOp(Code[I].Op)) {
+      Stack.push_back(I);
+    } else if (isCloseOp(Code[I].Op)) {
+      size_t B = Stack.back();
+      Stack.pop_back();
+      if (Code[B].Op != LOp::IfBegin)
+        Loops.push_back({B, I});
+    }
+  }
+  return Loops;
+}
+
+std::vector<std::vector<size_t>> defSites(const LIRProgram &P) {
+  std::vector<std::vector<size_t>> Defs(P.NumSlots);
+  int32_t W[2];
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    int N = writtenSlots(P.Code[I], W);
+    for (int K = 0; K != N; ++K)
+      Defs[W[K]].push_back(I);
+  }
+  return Defs;
+}
+
+std::vector<std::vector<size_t>> useSites(const LIRProgram &P) {
+  std::vector<std::vector<size_t>> Uses(P.NumSlots);
+  int32_t R[3];
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    int N = readSlots(P.Code[I], R);
+    for (int K = 0; K != N; ++K)
+      Uses[R[K]].push_back(I);
+  }
+  return Uses;
+}
+
+/// Indices of the instructions at nesting depth 0 of the loop body
+/// (region markers themselves excluded).
+std::vector<size_t> topLevelOf(const std::vector<LInst> &Code, Region L) {
+  std::vector<size_t> Out;
+  int Depth = 0;
+  for (size_t I = L.Begin + 1; I < L.End; ++I) {
+    LOp Op = Code[I].Op;
+    if (isOpenOp(Op)) {
+      ++Depth;
+      continue;
+    }
+    if (isCloseOp(Op)) {
+      --Depth;
+      continue;
+    }
+    if (Op == LOp::Else)
+      continue;
+    if (Depth == 0)
+      Out.push_back(I);
+  }
+  return Out;
+}
+
+bool allOutside(const std::vector<size_t> &Sites, Region L) {
+  for (size_t S : Sites)
+    if (S >= L.Begin && S <= L.End)
+      return false;
+  return true;
+}
+
+//===--------------------------------------------------------------------===//
+// Loop-invariant code motion
+//===--------------------------------------------------------------------===//
+
+bool licmLoop(LIRProgram &P, Region L) {
+  auto Defs = defSites(P);
+  auto Top = topLevelOf(P.Code, L);
+  std::set<size_t> Moved;
+  std::set<int32_t> MovedDst;
+  bool Grow = true;
+  while (Grow) {
+    Grow = false;
+    for (size_t I : Top) {
+      if (Moved.count(I))
+        continue;
+      const LInst &In = P.Code[I];
+      if (!isPureValueOp(In.Op))
+        continue;
+      if (Defs[In.A].size() != 1)
+        continue;
+      int32_t Rd[3];
+      int N = readSlots(In, Rd);
+      bool OK = true;
+      for (int K = 0; K != N; ++K)
+        if (!MovedDst.count(Rd[K]) && !allOutside(Defs[Rd[K]], L)) {
+          OK = false;
+          break;
+        }
+      if (!OK)
+        continue;
+      Moved.insert(I);
+      MovedDst.insert(In.A);
+      Grow = true;
+    }
+  }
+  if (Moved.empty())
+    return false;
+  std::vector<LInst> NewCode;
+  NewCode.reserve(P.Code.size());
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    if (I == L.Begin)
+      for (size_t M : Moved) // std::set iterates ascending: order kept
+        NewCode.push_back(P.Code[M]);
+    if (!Moved.count(I))
+      NewCode.push_back(P.Code[I]);
+  }
+  P.Code = std::move(NewCode);
+  P.NumHoisted += Moved.size();
+  return true;
+}
+
+bool licmPass(LIRProgram &P) {
+  bool Any = false, Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Region L : collectLoops(P.Code))
+      if (licmLoop(P, L)) { // indices now stale: rescan
+        Any = Changed = true;
+        break;
+      }
+  }
+  return Any;
+}
+
+//===--------------------------------------------------------------------===//
+// Strength reduction
+//===--------------------------------------------------------------------===//
+
+/// Rewrites address chains in one static loop. An instruction whose
+/// value changes by a known constant per iteration becomes a carried
+/// slot: the preheader computes its first-iteration value into a fresh
+/// slot and copies it in, one AddImmI at the loop tail advances it, and
+/// the in-loop definition disappears. Chains reference the fresh
+/// preheader slots, so the init code is itself single-definition and
+/// reducible when the enclosing loop is processed (multi-level SR).
+bool srLoop(LIRProgram &P, Region L) {
+  const LInst Begin = P.Code[L.Begin];
+  if (Begin.Op != LOp::LoopBegin)
+    return false;
+  const int32_t Iv = Begin.A, Ord = Begin.B;
+  const int64_t IvDelta = Begin.Imm1;
+  const int64_t OrdDelta = Begin.backward() ? -1 : 1;
+  const int64_t IvInit = Begin.Imm0;
+  const int64_t OrdInit = Begin.backward() ? Begin.Imm2 : 1;
+
+  auto Defs = defSites(P);
+  auto Uses = useSites(P);
+  auto Top = topLevelOf(P.Code, L);
+
+  std::map<int32_t, int64_t> Delta;  // accepted dst -> per-iter delta
+  std::map<int32_t, int32_t> Fresh;  // accepted dst -> preheader slot
+  std::set<size_t> Removed;
+  std::vector<LInst> Pre, Tail;
+  int32_t IvC = -1, OrdC = -1;
+
+  auto getDelta = [&](int32_t S) -> std::optional<int64_t> {
+    if (S == Iv)
+      return IvDelta;
+    if (S == Ord)
+      return OrdDelta;
+    auto It = Delta.find(S);
+    if (It != Delta.end())
+      return It->second;
+    if (allOutside(Defs[S], L))
+      return 0;
+    return std::nullopt;
+  };
+  auto canMaterialize = [&](int32_t S) {
+    return S == Iv || S == Ord || Fresh.count(S) || allOutside(Defs[S], L);
+  };
+  auto materializeConst = [&](int32_t &Cache, int64_t V) {
+    if (Cache < 0) {
+      Cache = static_cast<int32_t>(P.newSlot(false));
+      LInst CI;
+      CI.Op = LOp::ConstI;
+      CI.A = Cache;
+      CI.Imm0 = V;
+      Pre.push_back(CI);
+    }
+    return Cache;
+  };
+  auto materialize = [&](int32_t S) -> int32_t {
+    if (S == Iv)
+      return materializeConst(IvC, IvInit);
+    if (S == Ord)
+      return materializeConst(OrdC, OrdInit);
+    auto It = Fresh.find(S);
+    return It != Fresh.end() ? It->second : S;
+  };
+
+  for (size_t I : Top) {
+    const LInst &In = P.Code[I];
+    std::optional<int64_t> D;
+    switch (In.Op) {
+    case LOp::AddImmI:
+      D = getDelta(In.B);
+      break;
+    case LOp::MulImmI:
+      if (auto B = getDelta(In.B))
+        D = *B * In.Imm0;
+      break;
+    case LOp::AddI:
+      if (auto B = getDelta(In.B))
+        if (auto C = getDelta(In.C))
+          D = *B + *C;
+      break;
+    case LOp::SubI:
+      if (auto B = getDelta(In.B))
+        if (auto C = getDelta(In.C))
+          D = *B - *C;
+      break;
+    default:
+      continue;
+    }
+    if (!D || *D == 0)
+      continue;
+    if (Defs[In.A].size() != 1)
+      continue;
+    if (!allOutside(Uses[In.A], Region{0, L.Begin}) ||
+        !allOutside(Uses[In.A], Region{L.End + 1, P.Code.size()}))
+      continue; // a use outside the loop would see init + Trip*delta
+    int32_t Rd[3];
+    int N = readSlots(In, Rd);
+    bool OK = true;
+    for (int K = 0; K != N; ++K)
+      if (!canMaterialize(Rd[K])) {
+        OK = false;
+        break;
+      }
+    if (!OK)
+      continue;
+
+    LInst Init = In;
+    Init.B = materialize(In.B);
+    if (In.Op == LOp::AddI || In.Op == LOp::SubI)
+      Init.C = materialize(In.C);
+    int32_t F = static_cast<int32_t>(P.newSlot(false));
+    Init.A = F;
+    Pre.push_back(Init);
+    LInst Mv;
+    Mv.Op = LOp::MovI;
+    Mv.A = In.A;
+    Mv.B = F;
+    Pre.push_back(Mv);
+    LInst Inc;
+    Inc.Op = LOp::AddImmI;
+    Inc.A = In.A;
+    Inc.B = In.A;
+    Inc.Imm0 = *D;
+    Tail.push_back(Inc);
+    Fresh[In.A] = F;
+    Delta[In.A] = *D;
+    Removed.insert(I);
+  }
+  if (Removed.empty())
+    return false;
+
+  std::vector<LInst> NewCode;
+  NewCode.reserve(P.Code.size() + Pre.size() + Tail.size());
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    if (I == L.Begin)
+      for (const LInst &X : Pre)
+        NewCode.push_back(X);
+    if (I == L.End)
+      for (const LInst &X : Tail)
+        NewCode.push_back(X);
+    if (!Removed.count(I))
+      NewCode.push_back(P.Code[I]);
+  }
+  P.Code = std::move(NewCode);
+  P.NumStrengthReduced += Removed.size();
+  return true;
+}
+
+bool srPass(LIRProgram &P) {
+  bool Any = false, Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Region L : collectLoops(P.Code))
+      if (srLoop(P, L)) {
+        Any = Changed = true;
+        break;
+      }
+  }
+  return Any;
+}
+
+//===--------------------------------------------------------------------===//
+// Check hoisting
+//===--------------------------------------------------------------------===//
+
+bool checkHoistLoop(LIRProgram &P, Region L) {
+  // Only loops that provably run at least once: hoisting a check out of
+  // a zero-trip loop would surface an error the program never hits.
+  if (P.Code[L.Begin].Op != LOp::LoopBegin || P.Code[L.Begin].Imm2 < 1)
+    return false;
+  auto Defs = defSites(P);
+  std::set<size_t> Moved;
+  for (size_t I : topLevelOf(P.Code, L)) {
+    const LInst &In = P.Code[I];
+    if (In.Op != LOp::CheckIdx)
+      continue;
+    if (!allOutside(Defs[In.B], L))
+      continue;
+    Moved.insert(I);
+  }
+  if (Moved.empty())
+    return false;
+  std::vector<LInst> NewCode;
+  NewCode.reserve(P.Code.size());
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    if (I == L.Begin)
+      for (size_t M : Moved)
+        NewCode.push_back(P.Code[M]);
+    if (!Moved.count(I))
+      NewCode.push_back(P.Code[I]);
+  }
+  P.Code = std::move(NewCode);
+  P.NumHoisted += Moved.size();
+  return true;
+}
+
+void checkHoistPass(LIRProgram &P) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Region L : collectLoops(P.Code))
+      if (checkHoistLoop(P, L)) {
+        Changed = true;
+        break;
+      }
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Dead instruction elimination
+//===--------------------------------------------------------------------===//
+
+void dcePass(LIRProgram &P) {
+  while (true) {
+    std::vector<uint32_t> Reads(P.NumSlots, 0);
+    int32_t Rd[3];
+    for (const LInst &I : P.Code) {
+      int N = readSlots(I, Rd);
+      for (int K = 0; K != N; ++K)
+        ++Reads[Rd[K]];
+    }
+    std::vector<LInst> NewCode;
+    NewCode.reserve(P.Code.size());
+    uint64_t NRemoved = 0;
+    for (const LInst &I : P.Code) {
+      if (isPureValueOp(I.Op) && Reads[I.A] == 0) {
+        ++NRemoved;
+        continue;
+      }
+      NewCode.push_back(I);
+    }
+    if (!NRemoved)
+      break;
+    P.Code = std::move(NewCode);
+    P.NumDce += NRemoved;
+  }
+}
+
+} // namespace
+
+void lir::optimize(LIRProgram &P) {
+  // The def/use scans read loop-closer operands, which only exist after
+  // the mirroring pass; an unbalanced program is a lowering bug the
+  // caller's own seal() will report, so just skip optimizing it.
+  std::string SealErr;
+  if (!seal(P, SealErr))
+    return;
+  // LICM first so loop-invariant pieces of address chains move out and
+  // become materializable SR operands; alternate to fixpoint because SR
+  // init code exposes new invariants at the enclosing loop level (and
+  // vice versa).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    if (licmPass(P))
+      Changed = true;
+    if (srPass(P))
+      Changed = true;
+  }
+  checkHoistPass(P);
+  dcePass(P);
+}

@@ -1,0 +1,50 @@
+//===- lir/LIRPasses.h - LIR optimization pipeline --------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR-level pass pipeline shared by both backends: because the
+/// Executor evaluates and the CEmitter prints the *same* optimized
+/// stream, every pass lands in the in-process runtime and the emitted C
+/// simultaneously.
+///
+///   1. Strength reduction — address chains (AddImmI/MulImmI/AddI/SubI)
+///      whose value changes by a loop-constant delta per iteration
+///      become carried slots: initialized in the preheader, bumped by
+///      one AddImmI at the loop tail. Kills the per-element row-major
+///      multiply chains the ISSUE calls out.
+///   2. Loop-invariant code motion — pure single-definition computations
+///      whose operands are defined outside the loop move to the
+///      preheader (innermost-first, to fixpoint, so invariants climb
+///      out of whole nests).
+///   3. Check hoisting — loop-invariant CheckIdx instructions in loops
+///      with a static trip count >= 1 move to the preheader. Counter
+///      instructions (CountBounds et al.) never move: ExecStats stays
+///      bit-identical to the seed tree-walking executor.
+///   4. Dead instruction elimination — pure computations whose results
+///      are never read are deleted, to fixpoint.
+///
+/// Passes run on unsealed code (Jump fields unresolved); call seal()
+/// afterwards. Statistics accumulate into the program's NumHoisted /
+/// NumStrengthReduced / NumDce fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_LIR_LIRPASSES_H
+#define HAC_LIR_LIRPASSES_H
+
+#include "lir/LIR.h"
+
+namespace hac {
+namespace lir {
+
+/// Runs the full pipeline in place: strength reduction, LICM, check
+/// hoisting, DCE. Does not seal.
+void optimize(LIRProgram &P);
+
+} // namespace lir
+} // namespace hac
+
+#endif // HAC_LIR_LIRPASSES_H

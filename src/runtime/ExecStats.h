@@ -1,0 +1,37 @@
+//===- runtime/ExecStats.h - Execution cost counters ------------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost counters for plan executions, shared by the LIR evaluator and
+/// the Executor shell. Counter semantics are pinned by the runtime
+/// tests: they count the same events the seed tree-walking executor
+/// counted, regardless of how the LIR optimizer rearranges the code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_RUNTIME_EXECSTATS_H
+#define HAC_RUNTIME_EXECSTATS_H
+
+#include <cstdint>
+
+namespace hac {
+
+/// Cost counters for one or more plan executions.
+struct ExecStats {
+  uint64_t Stores = 0;
+  uint64_t Loads = 0;          ///< array element reads
+  uint64_t RingSaves = 0;      ///< node-splitting old-value saves
+  uint64_t SnapshotCopies = 0; ///< node-splitting pre-pass copies
+  uint64_t BoundsChecks = 0;
+  uint64_t CollisionChecks = 0;
+  uint64_t GuardEvals = 0;
+  uint64_t FusedIters = 0; ///< iterations of fused fold loops
+  uint64_t TempBytes = 0;  ///< peak bytes of node-splitting temporaries
+};
+
+} // namespace hac
+
+#endif // HAC_RUNTIME_EXECSTATS_H

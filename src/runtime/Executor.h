@@ -1,4 +1,4 @@
-//===- runtime/Executor.h - Thunkless plan execution ------------*- C++ -*-===//
+//===- runtime/Executor.h - LIR plan execution ------------------*- C++ -*-===//
 //
 // Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
 //
@@ -6,15 +6,13 @@
 ///
 /// \file
 /// Executes ExecPlans against flat DoubleArray storage: the thunkless
-/// evaluation path. Scalar expressions are evaluated directly (ints,
-/// doubles, booleans — no boxes, no thunks); `sum`/`product` over
-/// comprehensions run as fused accumulator loops with no intermediate
-/// lists (the foldl fusion of Section 3.1); node-splitting ring buffers
-/// and snapshots are consulted transparently for redirected reads.
-///
-/// Instrumentation counters expose exactly the costs the paper's
-/// optimizations target, so benchmarks can compare against the thunked
-/// interpreter.
+/// evaluation path. Each plan is lowered once to the unified Loop IR
+/// (src/lir/), optimized, and cached; the hot path is then the compact
+/// LIREval register machine — no per-element AST dispatch, no name
+/// lookups, no re-derived multiply chains. Semantics (evaluation order,
+/// runtime error messages, ExecStats counters) match the seed
+/// tree-walking executor, which survives as TreeWalkExecutor for the
+/// bench_lir ablation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,29 +21,21 @@
 
 #include "codegen/ExecPlan.h"
 #include "runtime/DoubleArray.h"
+#include "runtime/ExecStats.h"
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace hac {
 
-/// Cost counters for one or more plan executions.
-struct ExecStats {
-  uint64_t Stores = 0;
-  uint64_t Loads = 0;          ///< array element reads
-  uint64_t RingSaves = 0;      ///< node-splitting old-value saves
-  uint64_t SnapshotCopies = 0; ///< node-splitting pre-pass copies
-  uint64_t BoundsChecks = 0;
-  uint64_t CollisionChecks = 0;
-  uint64_t GuardEvals = 0;
-  uint64_t FusedIters = 0; ///< iterations of fused fold loops
-  uint64_t TempBytes = 0;  ///< peak bytes of node-splitting temporaries
-};
+struct LIRCacheImpl;
 
 /// Executes plans. One executor may run many plans; stats accumulate
-/// until reset.
+/// until reset. Lowered LIR is cached per (plan, shapes, mode) inside
+/// the executor instance.
 class Executor {
 public:
   explicit Executor(ParamEnv Params = {});
@@ -56,6 +46,11 @@ public:
   /// When set, every read of the target array checks the defined bitmap —
   /// a validation mode used by the schedule-safety property tests.
   void setValidateReads(bool V) { ValidateReads = V; }
+
+  /// Disables the LIR optimization passes (strength reduction, LICM,
+  /// check hoisting, DCE). On by default; bench_lir flips this for the
+  /// passes-off ablation.
+  void setLIROptimize(bool V) { LIROptimize = V; }
 
   /// Runs \p Plan against \p Target. For construction plans the target
   /// must be freshly constructed with Plan.Dims; for in-place updates it
@@ -68,10 +63,14 @@ public:
   void resetStats() { Stats = ExecStats(); }
 
 private:
+  bool runImpl(const ExecPlan &Plan, DoubleArray &Target, std::string &Err);
+
   ParamEnv Params;
   std::map<std::string, const DoubleArray *> Inputs;
   ExecStats Stats;
   bool ValidateReads = false;
+  bool LIROptimize = true;
+  std::shared_ptr<LIRCacheImpl> Cache;
 };
 
 } // namespace hac

@@ -1,0 +1,858 @@
+//===- runtime/TreeExec.cpp - Seed tree-walking executor ------------------===//
+//
+// This file preserves the seed Executor's Runner unchanged (modulo the
+// class name): it is the ablation baseline bench_lir compares the LIR
+// evaluator against. Do not optimize it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TreeExec.h"
+
+#include "ast/ASTPrinter.h"
+#include "support/Casting.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+using namespace hac;
+
+namespace {
+
+/// An unboxed scalar: the only runtime values compiled code manipulates.
+struct Scalar {
+  enum class Kind : uint8_t { Int, Float, Bool } K = Kind::Int;
+  int64_t I = 0;
+  double F = 0;
+  bool B = false;
+
+  static Scalar makeInt(int64_t V) {
+    Scalar S;
+    S.K = Kind::Int;
+    S.I = V;
+    return S;
+  }
+  static Scalar makeFloat(double V) {
+    Scalar S;
+    S.K = Kind::Float;
+    S.F = V;
+    return S;
+  }
+  static Scalar makeBool(bool V) {
+    Scalar S;
+    S.K = Kind::Bool;
+    S.B = V;
+    return S;
+  }
+
+  bool isNumeric() const { return K != Kind::Bool; }
+  double asDouble() const { return K == Kind::Int ? double(I) : F; }
+};
+
+/// Execution state for one plan run.
+class Runner {
+public:
+  Runner(const ExecPlan &Plan, DoubleArray &Target, const ParamEnv &Params,
+         const std::map<std::string, const DoubleArray *> &Inputs,
+         ExecStats &Stats, bool ValidateReads)
+      : Plan(Plan), Target(Target), Params(Params), Inputs(Inputs),
+        Stats(Stats), ValidateReads(ValidateReads) {}
+
+  bool run(std::string &Err) {
+    // Allocate node-splitting temporaries.
+    Rings.resize(Plan.Rings.size());
+    uint64_t TempBytes = 0;
+    for (const RingSpec &R : Plan.Rings) {
+      Rings[R.Id].assign(R.size(), 0.0);
+      TempBytes += R.size() * sizeof(double);
+    }
+    Snaps.resize(Plan.Snapshots.size());
+    for (const SnapshotSpec &S : Plan.Snapshots) {
+      if (!takeSnapshot(S))
+        break;
+      TempBytes += Snaps[S.Id].size() * sizeof(double);
+    }
+    if (TempBytes > Stats.TempBytes)
+      Stats.TempBytes = TempBytes;
+
+    if (Error.empty())
+      execStmts(Plan.Stmts);
+    if (!Error.empty()) {
+      Err = Error;
+      return false;
+    }
+
+    // Empties check (Section 4): every element must have a definition.
+    if (Plan.CheckEmpties && Target.hasDefinedBits()) {
+      size_t Missing = Target.firstUndefined();
+      if (Missing != Target.size()) {
+        Err = "undefined array element (empty) at linear index " +
+              std::to_string(Missing);
+        return false;
+      }
+    }
+    return true;
+  }
+
+private:
+  const ExecPlan &Plan;
+  DoubleArray &Target;
+  const ParamEnv &Params;
+  const std::map<std::string, const DoubleArray *> &Inputs;
+  ExecStats &Stats;
+  bool ValidateReads;
+
+  std::string Error;
+  /// Lexical scope: loop indices and let-bound scalars, innermost last.
+  std::vector<std::pair<std::string, Scalar>> Scope;
+  /// Normalized (1-based) position of each active loop.
+  std::map<const LoopNode *, int64_t> Norm;
+  std::vector<std::vector<double>> Rings;
+  std::vector<std::vector<double>> Snaps;
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+  bool failed() const { return !Error.empty(); }
+
+  bool lookup(const std::string &Name, Scalar &Out) const {
+    for (auto It = Scope.rbegin(); It != Scope.rend(); ++It) {
+      if (It->first == Name) {
+        Out = It->second;
+        return true;
+      }
+    }
+    auto PIt = Params.find(Name);
+    if (PIt != Params.end()) {
+      Out = Scalar::makeInt(PIt->second);
+      return true;
+    }
+    return false;
+  }
+
+  const DoubleArray *arrayNamed(const std::string &Name) const {
+    if (Name == Plan.TargetName ||
+        (!Plan.AliasName.empty() && Name == Plan.AliasName))
+      return &Target;
+    auto It = Inputs.find(Name);
+    return It == Inputs.end() ? nullptr : It->second;
+  }
+
+  bool takeSnapshot(const SnapshotSpec &S) {
+    // Copy the (bounds-clipped) region of the target's *original*
+    // contents.
+    std::vector<std::pair<int64_t, int64_t>> Clipped = S.Region;
+    if (Clipped.size() != Target.dims().size()) {
+      fail("snapshot rank mismatch");
+      return false;
+    }
+    for (size_t D = 0; D != Clipped.size(); ++D) {
+      Clipped[D].first = std::max(Clipped[D].first, Target.dims()[D].first);
+      Clipped[D].second =
+          std::min(Clipped[D].second, Target.dims()[D].second);
+    }
+    size_t Size = 1;
+    for (const auto &[Lo, Hi] : Clipped)
+      Size *= Hi >= Lo ? static_cast<size_t>(Hi - Lo + 1) : 0;
+    Snaps[S.Id].assign(S.size(), 0.0);
+
+    // Iterate the clipped region copying element by element.
+    std::vector<int64_t> Index(Clipped.size());
+    for (size_t D = 0; D != Clipped.size(); ++D)
+      Index[D] = Clipped[D].first;
+    if (Size == 0)
+      return true;
+    for (;;) {
+      size_t SrcLinear;
+      if (Target.linearize(Index.data(), Index.size(), SrcLinear)) {
+        size_t DstLinear = 0;
+        for (size_t D = 0; D != Index.size(); ++D)
+          DstLinear = DstLinear * static_cast<size_t>(S.Region[D].second -
+                                                      S.Region[D].first + 1) +
+                      static_cast<size_t>(Index[D] - S.Region[D].first);
+        Snaps[S.Id][DstLinear] = Target[SrcLinear];
+        ++Stats.SnapshotCopies;
+      }
+      // Advance the multi-index.
+      size_t D = Index.size();
+      for (;;) {
+        if (D == 0)
+          return true;
+        --D;
+        if (++Index[D] <= Clipped[D].second)
+          break;
+        Index[D] = Clipped[D].first;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Scalar expression evaluation
+  //===--------------------------------------------------------------------===//
+
+  Scalar eval(const Expr *E) {
+    if (failed())
+      return Scalar::makeInt(0);
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Scalar::makeInt(cast<IntLitExpr>(E)->value());
+    case ExprKind::FloatLit:
+      return Scalar::makeFloat(cast<FloatLitExpr>(E)->value());
+    case ExprKind::BoolLit:
+      return Scalar::makeBool(cast<BoolLitExpr>(E)->value());
+    case ExprKind::Var: {
+      Scalar S;
+      if (!lookup(cast<VarExpr>(E)->name(), S)) {
+        fail("unbound variable '" + cast<VarExpr>(E)->name() +
+             "' in compiled code");
+        return Scalar::makeInt(0);
+      }
+      return S;
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Scalar V = eval(U->operand());
+      if (failed())
+        return V;
+      if (U->op() == UnaryOpKind::Neg) {
+        if (V.K == Scalar::Kind::Int)
+          return Scalar::makeInt(-V.I);
+        if (V.K == Scalar::Kind::Float)
+          return Scalar::makeFloat(-V.F);
+        fail("negation of a non-numeric value");
+        return V;
+      }
+      if (V.K != Scalar::Kind::Bool) {
+        fail("'not' of a non-boolean value");
+        return V;
+      }
+      return Scalar::makeBool(!V.B);
+    }
+    case ExprKind::Binary:
+      return evalBinary(cast<BinaryExpr>(E));
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      Scalar C = eval(I->cond());
+      if (failed())
+        return C;
+      if (C.K != Scalar::Kind::Bool) {
+        fail("'if' condition is not a boolean");
+        return C;
+      }
+      return eval(C.B ? I->thenExpr() : I->elseExpr());
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      size_t Mark = Scope.size();
+      for (const LetBind &B : L->binds()) {
+        Scalar V = eval(B.Value.get());
+        if (failed())
+          return V;
+        Scope.emplace_back(B.Name, V);
+      }
+      Scalar R = eval(L->body());
+      Scope.resize(Mark);
+      return R;
+    }
+    case ExprKind::ArraySub:
+      return evalRead(cast<ArraySubExpr>(E));
+    case ExprKind::Apply:
+      return evalApply(cast<ApplyExpr>(E));
+    default:
+      fail(std::string("expression kind ") + exprKindName(E->kind()) +
+           " is not supported in compiled code: " + exprToString(E));
+      return Scalar::makeInt(0);
+    }
+  }
+
+  Scalar evalBinary(const BinaryExpr *B) {
+    if (B->op() == BinaryOpKind::And || B->op() == BinaryOpKind::Or) {
+      Scalar L = eval(B->lhs());
+      if (failed())
+        return L;
+      if (L.K != Scalar::Kind::Bool) {
+        fail("boolean operator on a non-boolean value");
+        return L;
+      }
+      if (B->op() == BinaryOpKind::And && !L.B)
+        return Scalar::makeBool(false);
+      if (B->op() == BinaryOpKind::Or && L.B)
+        return Scalar::makeBool(true);
+      Scalar R = eval(B->rhs());
+      if (failed())
+        return R;
+      if (R.K != Scalar::Kind::Bool) {
+        fail("boolean operator on a non-boolean value");
+        return R;
+      }
+      return R;
+    }
+
+    Scalar L = eval(B->lhs());
+    if (failed())
+      return L;
+    Scalar R = eval(B->rhs());
+    if (failed())
+      return R;
+
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+    case BinaryOpKind::Sub:
+    case BinaryOpKind::Mul:
+    case BinaryOpKind::Div:
+    case BinaryOpKind::Mod: {
+      if (!L.isNumeric() || !R.isNumeric()) {
+        fail("arithmetic on a non-numeric value");
+        return L;
+      }
+      if (L.K == Scalar::Kind::Int && R.K == Scalar::Kind::Int) {
+        switch (B->op()) {
+        case BinaryOpKind::Add:
+          return Scalar::makeInt(L.I + R.I);
+        case BinaryOpKind::Sub:
+          return Scalar::makeInt(L.I - R.I);
+        case BinaryOpKind::Mul:
+          return Scalar::makeInt(L.I * R.I);
+        case BinaryOpKind::Div:
+          if (R.I == 0) {
+            fail("integer division by zero");
+            return L;
+          }
+          return Scalar::makeInt(L.I / R.I);
+        case BinaryOpKind::Mod:
+          if (R.I == 0) {
+            fail("integer modulo by zero");
+            return L;
+          }
+          return Scalar::makeInt(L.I % R.I);
+        default:
+          break;
+        }
+      }
+      double A = L.asDouble(), C = R.asDouble();
+      switch (B->op()) {
+      case BinaryOpKind::Add:
+        return Scalar::makeFloat(A + C);
+      case BinaryOpKind::Sub:
+        return Scalar::makeFloat(A - C);
+      case BinaryOpKind::Mul:
+        return Scalar::makeFloat(A * C);
+      case BinaryOpKind::Div:
+        return Scalar::makeFloat(A / C);
+      case BinaryOpKind::Mod:
+        return Scalar::makeFloat(std::fmod(A, C));
+      default:
+        break;
+      }
+      break;
+    }
+    case BinaryOpKind::Eq:
+    case BinaryOpKind::Ne:
+    case BinaryOpKind::Lt:
+    case BinaryOpKind::Le:
+    case BinaryOpKind::Gt:
+    case BinaryOpKind::Ge: {
+      if (L.K == Scalar::Kind::Bool && R.K == Scalar::Kind::Bool) {
+        if (B->op() == BinaryOpKind::Eq)
+          return Scalar::makeBool(L.B == R.B);
+        if (B->op() == BinaryOpKind::Ne)
+          return Scalar::makeBool(L.B != R.B);
+        fail("ordering comparison on booleans");
+        return L;
+      }
+      if (!L.isNumeric() || !R.isNumeric()) {
+        fail("comparison on a non-numeric value");
+        return L;
+      }
+      double A = L.asDouble(), C = R.asDouble();
+      switch (B->op()) {
+      case BinaryOpKind::Eq:
+        return Scalar::makeBool(A == C);
+      case BinaryOpKind::Ne:
+        return Scalar::makeBool(A != C);
+      case BinaryOpKind::Lt:
+        return Scalar::makeBool(A < C);
+      case BinaryOpKind::Le:
+        return Scalar::makeBool(A <= C);
+      case BinaryOpKind::Gt:
+        return Scalar::makeBool(A > C);
+      case BinaryOpKind::Ge:
+        return Scalar::makeBool(A >= C);
+      default:
+        break;
+      }
+      break;
+    }
+    case BinaryOpKind::Append:
+      fail("'++' is not a scalar operation in compiled code");
+      return L;
+    default:
+      break;
+    }
+    fail("unhandled binary operator");
+    return L;
+  }
+
+  /// Evaluates an array subscript into \p Index.
+  bool evalIndex(const Expr *IndexExpr, std::vector<int64_t> &Index) {
+    auto AddDim = [&](const Expr *Dim) {
+      Scalar V = eval(Dim);
+      if (failed())
+        return false;
+      if (V.K != Scalar::Kind::Int) {
+        fail("array subscript is not an integer");
+        return false;
+      }
+      Index.push_back(V.I);
+      return true;
+    };
+    if (const auto *T = dyn_cast<TupleExpr>(IndexExpr)) {
+      for (const ExprPtr &Dim : T->elems())
+        if (!AddDim(Dim.get()))
+          return false;
+      return true;
+    }
+    return AddDim(IndexExpr);
+  }
+
+  /// Linearizes a read index. When the read-bounds analysis proved every
+  /// read in bounds (Plan.CheckReadBounds == false) the per-dimension
+  /// compares are elided entirely; ValidateReads forces the checked path
+  /// (without counting it as an eliminated-check candidate).
+  bool readLinear(const DoubleArray &A, const std::string &Name,
+                  const std::vector<int64_t> &Index, size_t &Linear) {
+    if (!Plan.CheckReadBounds && !ValidateReads) {
+      Linear = A.linearizeUnchecked(Index.data(), Index.size());
+      return true;
+    }
+    if (Plan.CheckReadBounds)
+      ++Stats.BoundsChecks;
+    if (!A.linearize(Index.data(), Index.size(), Linear)) {
+      fail("array read out of bounds on '" + Name + "'");
+      return false;
+    }
+    return true;
+  }
+
+  Scalar evalRead(const ArraySubExpr *S) {
+    // Node-splitting redirects (Section 9).
+    auto RIt = Plan.RingRedirects.find(S);
+    if (RIt != Plan.RingRedirects.end())
+      return evalRingRead(S, RIt->second);
+    auto SIt = Plan.SnapRedirects.find(S);
+    if (SIt != Plan.SnapRedirects.end())
+      return evalSnapshotRead(S, SIt->second);
+
+    const auto *Base = dyn_cast<VarExpr>(S->base());
+    if (!Base) {
+      fail("array expression too complex for compiled code");
+      return Scalar::makeInt(0);
+    }
+    const DoubleArray *A = arrayNamed(Base->name());
+    if (!A) {
+      fail("unbound array '" + Base->name() + "' in compiled code");
+      return Scalar::makeInt(0);
+    }
+    std::vector<int64_t> Index;
+    if (!evalIndex(S->index(), Index))
+      return Scalar::makeInt(0);
+    size_t Linear;
+    if (!readLinear(*A, Base->name(), Index, Linear))
+      return Scalar::makeInt(0);
+    if (ValidateReads && A == &Target && !Target.isDefined(Linear)) {
+      fail("schedule violation: read of element not yet computed (linear "
+           "index " +
+           std::to_string(Linear) + ")");
+      return Scalar::makeInt(0);
+    }
+    ++Stats.Loads;
+    return Scalar::makeFloat((*A)[Linear]);
+  }
+
+  /// Ordinal (0-based) of loop \p M of \p Clause, shifted by \p Delta on
+  /// loop \p Shifted.
+  int64_t ordinalOf(const ClauseNode *Clause, size_t M, size_t Shifted,
+                    int64_t Delta) {
+    const LoopNode *L = Clause->loops()[M];
+    auto It = Norm.find(L);
+    assert(It != Norm.end() && "loop not active");
+    int64_t N = It->second;
+    if (M == Shifted)
+      N -= Delta;
+    return N - 1;
+  }
+
+  /// Linear ring slot the *saving* instance y = x - Distance*e_k wrote.
+  size_t ringSlot(const RingSpec &R, size_t ShiftLevel, int64_t Delta) {
+    const ClauseNode *C = R.Clause;
+    int64_t Phase =
+        ordinalOf(C, R.Level, ShiftLevel, Delta) % R.Depth;
+    size_t Slot = static_cast<size_t>(Phase);
+    for (size_t M = R.Level + 1; M < C->loops().size(); ++M) {
+      size_t Extent =
+          static_cast<size_t>(R.DeeperTrips[M - R.Level - 1]);
+      Slot = Slot * Extent +
+             static_cast<size_t>(ordinalOf(C, M, ShiftLevel, Delta));
+    }
+    return Slot;
+  }
+
+  Scalar evalRingRead(const ArraySubExpr *S, const RingRedirect &RR) {
+    const RingSpec &R = Plan.Rings[RR.RingId];
+    const ClauseNode *C = R.Clause;
+    // Does the saving instance exist? norm(x_k) - d >= 1.
+    const LoopNode *Carried = C->loops()[RR.Level];
+    auto It = Norm.find(Carried);
+    assert(It != Norm.end() && "carried loop not active");
+    if (It->second - RR.Distance >= 1) {
+      ++Stats.Loads;
+      return Scalar::makeFloat(
+          Rings[R.Id][ringSlot(R, RR.Level, RR.Distance)]);
+    }
+    // No saving instance: the element has not been overwritten yet; read
+    // the array directly through the normal (non-redirected) path.
+    const auto *Base = cast<VarExpr>(S->base());
+    const DoubleArray *A = arrayNamed(Base->name());
+    if (!A) {
+      fail("unbound array '" + Base->name() + "'");
+      return Scalar::makeInt(0);
+    }
+    std::vector<int64_t> Index;
+    if (!evalIndex(S->index(), Index))
+      return Scalar::makeInt(0);
+    size_t Linear;
+    if (!readLinear(*A, Base->name(), Index, Linear))
+      return Scalar::makeInt(0);
+    ++Stats.Loads;
+    return Scalar::makeFloat((*A)[Linear]);
+  }
+
+  Scalar evalSnapshotRead(const ArraySubExpr *S, const SnapshotRedirect &SR) {
+    const SnapshotSpec &Spec = Plan.Snapshots[SR.SnapId];
+    std::vector<int64_t> Index;
+    if (!evalIndex(S->index(), Index))
+      return Scalar::makeInt(0);
+    if (Index.size() != Spec.Region.size()) {
+      fail("snapshot read rank mismatch");
+      return Scalar::makeInt(0);
+    }
+    size_t Linear = 0;
+    for (size_t D = 0; D != Index.size(); ++D) {
+      auto [Lo, Hi] = Spec.Region[D];
+      if (Index[D] < Lo || Index[D] > Hi) {
+        fail("snapshot read outside the captured region");
+        return Scalar::makeInt(0);
+      }
+      Linear = Linear * static_cast<size_t>(Hi - Lo + 1) +
+               static_cast<size_t>(Index[D] - Lo);
+    }
+    ++Stats.Loads;
+    return Scalar::makeFloat(Snaps[SR.SnapId][Linear]);
+  }
+
+  /// Fused folds: sum/product over a comprehension or range run as plain
+  /// accumulator loops with zero allocation (Section 3.1).
+  Scalar evalApply(const ApplyExpr *A) {
+    const auto *Fn = dyn_cast<VarExpr>(A->fn());
+    if (!Fn) {
+      fail("higher-order application is not supported in compiled code");
+      return Scalar::makeInt(0);
+    }
+    const std::string &Name = Fn->name();
+
+    if ((Name == "sum" || Name == "product") && A->numArgs() == 1) {
+      bool Mul = Name == "product";
+      bool AnyFloat = false;
+      int64_t IntAcc = Mul ? 1 : 0;
+      double FloatAcc = Mul ? 1.0 : 0.0;
+      FoldFn Accumulate = [&](Scalar V) {
+        if (!V.isNumeric()) {
+          fail(Name + " of a non-numeric element");
+          return;
+        }
+        if (!AnyFloat && V.K == Scalar::Kind::Float) {
+          AnyFloat = true;
+          FloatAcc = static_cast<double>(IntAcc);
+        }
+        if (AnyFloat) {
+          double X = V.asDouble();
+          FloatAcc = Mul ? FloatAcc * X : FloatAcc + X;
+        } else {
+          IntAcc = Mul ? IntAcc * V.I : IntAcc + V.I;
+        }
+        ++Stats.FusedIters;
+      };
+      if (!foldOver(A->arg(0), Accumulate))
+        return Scalar::makeInt(0);
+      if (failed())
+        return Scalar::makeInt(0);
+      return AnyFloat ? Scalar::makeFloat(FloatAcc) : Scalar::makeInt(IntAcc);
+    }
+
+    // Scalar builtins.
+    auto EvalNumeric = [&](unsigned I, Scalar &Out) {
+      Out = eval(A->arg(I));
+      if (failed())
+        return false;
+      if (!Out.isNumeric()) {
+        fail(Name + " of a non-numeric value");
+        return false;
+      }
+      return true;
+    };
+    if (Name == "abs" && A->numArgs() == 1) {
+      Scalar V;
+      if (!EvalNumeric(0, V))
+        return Scalar::makeInt(0);
+      if (V.K == Scalar::Kind::Int)
+        return Scalar::makeInt(V.I < 0 ? -V.I : V.I);
+      return Scalar::makeFloat(V.F < 0 ? -V.F : V.F);
+    }
+    if (Name == "sqrt" && A->numArgs() == 1) {
+      Scalar V;
+      if (!EvalNumeric(0, V))
+        return Scalar::makeInt(0);
+      return Scalar::makeFloat(std::sqrt(V.asDouble()));
+    }
+    if (Name == "intToFloat" && A->numArgs() == 1) {
+      Scalar V;
+      if (!EvalNumeric(0, V))
+        return Scalar::makeInt(0);
+      return Scalar::makeFloat(V.asDouble());
+    }
+    if ((Name == "min" || Name == "max") && A->numArgs() == 2) {
+      Scalar L, R;
+      if (!EvalNumeric(0, L) || !EvalNumeric(1, R))
+        return Scalar::makeInt(0);
+      if (L.K == Scalar::Kind::Int && R.K == Scalar::Kind::Int) {
+        bool TakeL = Name == "min" ? L.I <= R.I : L.I >= R.I;
+        return TakeL ? L : R;
+      }
+      bool TakeL = Name == "min" ? L.asDouble() <= R.asDouble()
+                                 : L.asDouble() >= R.asDouble();
+      return TakeL ? L : R;
+    }
+    fail("function '" + Name + "' is not supported in compiled code");
+    return Scalar::makeInt(0);
+  }
+
+  /// Iterates the elements of a fold source (comprehension, range, or
+  /// list literal) without materializing a list. Uses std::function to
+  /// keep the recursion (foldOver <-> foldComp) monomorphic.
+  using FoldFn = std::function<void(Scalar)>;
+  bool foldOver(const Expr *Source, const FoldFn &Fn) {
+    switch (Source->kind()) {
+    case ExprKind::Range: {
+      const auto *R = cast<RangeExpr>(Source);
+      int64_t Lo, Hi, Step = 1;
+      Scalar LoV = eval(R->lo());
+      if (failed())
+        return false;
+      Scalar HiV = eval(R->hi());
+      if (failed())
+        return false;
+      if (LoV.K != Scalar::Kind::Int || HiV.K != Scalar::Kind::Int) {
+        fail("range bounds must be integers");
+        return false;
+      }
+      Lo = LoV.I;
+      Hi = HiV.I;
+      if (R->hasSecond()) {
+        Scalar SecondV = eval(R->second());
+        if (failed())
+          return false;
+        if (SecondV.K != Scalar::Kind::Int) {
+          fail("range step anchor must be an integer");
+          return false;
+        }
+        Step = SecondV.I - Lo;
+        if (Step == 0) {
+          fail("range step of zero");
+          return false;
+        }
+      }
+      if (Step > 0)
+        for (int64_t I = Lo; I <= Hi && !failed(); I += Step)
+          Fn(Scalar::makeInt(I));
+      else
+        for (int64_t I = Lo; I >= Hi && !failed(); I += Step)
+          Fn(Scalar::makeInt(I));
+      return !failed();
+    }
+    case ExprKind::List: {
+      for (const ExprPtr &Elem : cast<ListExpr>(Source)->elems()) {
+        Fn(eval(Elem.get()));
+        if (failed())
+          return false;
+      }
+      return true;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(Source);
+      if (B->op() != BinaryOpKind::Append)
+        break;
+      return foldOver(B->lhs(), Fn) && foldOver(B->rhs(), Fn);
+    }
+    case ExprKind::Comp:
+      return foldComp(cast<CompExpr>(Source), 0, Fn);
+    default:
+      break;
+    }
+    fail("fold source is not a comprehension, range, or list");
+    return false;
+  }
+
+  bool foldComp(const CompExpr *C, size_t QualIndex, const FoldFn &Fn) {
+    if (failed())
+      return false;
+    if (QualIndex == C->quals().size()) {
+      if (C->isNested())
+        return foldOver(C->head(), Fn);
+      Fn(eval(C->head()));
+      return !failed();
+    }
+    const CompQual &Q = C->quals()[QualIndex];
+    switch (Q.kind()) {
+    case CompQual::Kind::Generator: {
+      size_t Mark = Scope.size();
+      Scope.emplace_back(Q.var(), Scalar::makeInt(0));
+      FoldFn Step = [&](Scalar V) {
+        Scope.back().second = V;
+        // The generator variable stays on top of the scope.
+        foldComp(C, QualIndex + 1, Fn);
+      };
+      bool OK = foldOver(Q.source(), Step);
+      Scope.resize(Mark);
+      return OK && !failed();
+    }
+    case CompQual::Kind::Guard: {
+      Scalar V = eval(Q.cond());
+      if (failed())
+        return false;
+      if (V.K != Scalar::Kind::Bool) {
+        fail("guard is not a boolean");
+        return false;
+      }
+      if (!V.B)
+        return true;
+      return foldComp(C, QualIndex + 1, Fn);
+    }
+    case CompQual::Kind::LetQual: {
+      size_t Mark = Scope.size();
+      for (const LetBind &B : Q.binds()) {
+        Scalar V = eval(B.Value.get());
+        if (failed())
+          return false;
+        Scope.emplace_back(B.Name, V);
+      }
+      bool OK = foldComp(C, QualIndex + 1, Fn);
+      Scope.resize(Mark);
+      return OK;
+    }
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement execution
+  //===--------------------------------------------------------------------===//
+
+  void execStmts(const std::vector<PlanStmt> &Stmts) {
+    for (const PlanStmt &S : Stmts) {
+      if (failed())
+        return;
+      if (S.K == PlanStmt::Kind::For)
+        execFor(S);
+      else
+        execStore(S);
+    }
+  }
+
+  void execFor(const PlanStmt &S) {
+    const LoopBounds &B = S.Loop->bounds();
+    int64_t M = B.tripCount();
+    size_t Mark = Scope.size();
+    Scope.emplace_back(S.Loop->var(), Scalar::makeInt(0));
+    for (int64_t T = 1; T <= M && !failed(); ++T) {
+      int64_t Pos = S.Backward ? M - T + 1 : T;
+      int64_t Value = B.Lo + (Pos - 1) * B.Step;
+      Scope.back().second = Scalar::makeInt(Value);
+      Norm[S.Loop] = Pos;
+      execStmts(S.Body);
+    }
+    Norm.erase(S.Loop);
+    Scope.resize(Mark);
+  }
+
+  void execStore(const PlanStmt &S) {
+    const ClauseNode *C = S.Clause;
+    // Guards: outermost first; a false guard skips the instance.
+    for (const GuardNode *G : C->guards()) {
+      ++Stats.GuardEvals;
+      Scalar V = eval(G->cond());
+      if (failed())
+        return;
+      if (V.K != Scalar::Kind::Bool) {
+        fail("guard is not a boolean");
+        return;
+      }
+      if (!V.B)
+        return;
+    }
+
+    std::vector<int64_t> Index;
+    Index.reserve(C->rank());
+    for (unsigned D = 0; D != C->rank(); ++D) {
+      Scalar V = eval(C->subscript(D));
+      if (failed())
+        return;
+      if (V.K != Scalar::Kind::Int) {
+        fail("array subscript is not an integer");
+        return;
+      }
+      Index.push_back(V.I);
+    }
+
+    Scalar Value = eval(C->value());
+    if (failed())
+      return;
+    if (!Value.isNumeric()) {
+      fail("array element value is not numeric");
+      return;
+    }
+
+    size_t Linear;
+    if (Plan.CheckStoreBounds)
+      ++Stats.BoundsChecks;
+    if (!Target.linearize(Index.data(), Index.size(), Linear)) {
+      fail("array definition out of bounds");
+      return;
+    }
+    if (Plan.CheckCollisions) {
+      ++Stats.CollisionChecks;
+      if (Target.hasDefinedBits() && Target.isDefined(Linear)) {
+        fail("multiple definitions for one array element (write collision)"
+             " at linear index " +
+             std::to_string(Linear));
+        return;
+      }
+    }
+    if (S.SaveRingId >= 0) {
+      const RingSpec &R = Plan.Rings[S.SaveRingId];
+      Rings[R.Id][ringSlot(R, /*ShiftLevel=*/~0u, 0)] = Target[Linear];
+      ++Stats.RingSaves;
+    }
+    Target[Linear] = Value.asDouble();
+    Target.setDefined(Linear);
+    ++Stats.Stores;
+  }
+};
+
+} // namespace
+
+bool TreeWalkExecutor::run(const ExecPlan &Plan, DoubleArray &Target,
+                           std::string &Err) {
+  Runner R(Plan, Target, Params, Inputs, Stats, ValidateReads);
+  return R.run(Err);
+}

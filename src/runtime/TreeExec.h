@@ -1,0 +1,56 @@
+//===- runtime/TreeExec.h - Seed tree-walking executor ----------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original tree-walking plan executor, preserved verbatim as the
+/// baseline for the bench_lir ablation: it re-walks the clause-value AST
+/// for every element (per-node switch dispatch, name-keyed scope
+/// lookups, re-derived row-major multiply chains). The production
+/// Executor now runs lowered LIR instead; this class exists so the
+/// "LIR evaluator vs seed tree-walker" speedup stays measurable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_RUNTIME_TREEEXEC_H
+#define HAC_RUNTIME_TREEEXEC_H
+
+#include "codegen/ExecPlan.h"
+#include "runtime/DoubleArray.h"
+#include "runtime/ExecStats.h"
+
+#include <map>
+#include <string>
+
+namespace hac {
+
+/// Executes plans by walking the AST per element (the seed Executor).
+/// Same interface and semantics as Executor; kept for benchmarking.
+class TreeWalkExecutor {
+public:
+  explicit TreeWalkExecutor(ParamEnv Params = {})
+      : Params(std::move(Params)) {}
+
+  void bindInput(const std::string &Name, const DoubleArray *Array) {
+    Inputs[Name] = Array;
+  }
+  void setValidateReads(bool V) { ValidateReads = V; }
+
+  bool run(const ExecPlan &Plan, DoubleArray &Target, std::string &Err);
+
+  ExecStats &stats() { return Stats; }
+  const ExecStats &stats() const { return Stats; }
+  void resetStats() { Stats = ExecStats(); }
+
+private:
+  ParamEnv Params;
+  std::map<std::string, const DoubleArray *> Inputs;
+  ExecStats Stats;
+  bool ValidateReads = false;
+};
+
+} // namespace hac
+
+#endif // HAC_RUNTIME_TREEEXEC_H

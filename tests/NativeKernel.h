@@ -1,0 +1,68 @@
+//===- tests/NativeKernel.h - cc + dlopen harness for emitted C -----------===//
+//
+// Shared helper for every suite that compiles the C backend's output with
+// the system compiler and runs the resulting kernel in-process. Kept free
+// of gtest so the benches can use it too; callers turn a non-empty error
+// string into whatever failure their framework wants.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_TESTS_NATIVE_KERNEL_H
+#define HAC_TESTS_NATIVE_KERNEL_H
+
+#include <cstdio>
+#include <dlfcn.h>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+namespace hac {
+
+using KernelFn = int (*)(double *, const double *const *);
+
+/// Compiles a C translation unit into a shared object and resolves the
+/// kernel symbol. Returns nullptr with \p Error set on any failure.
+/// Handles are intentionally leaked (process-lifetime).
+inline KernelFn buildNativeKernel(const std::string &Code,
+                                  const std::string &FnName,
+                                  std::string &Error) {
+  static int Counter = 0;
+  std::string Base = "/tmp/hac_native_" + std::to_string(getpid()) + "_" +
+                     std::to_string(Counter++);
+  std::string CPath = Base + ".c";
+  std::string SoPath = Base + ".so";
+  {
+    std::ofstream OS(CPath);
+    OS << Code;
+  }
+  std::string Cmd =
+      "cc -O1 -shared -fPIC -o " + SoPath + " " + CPath + " -lm 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe) {
+    Error = "failed to spawn the C compiler";
+    return nullptr;
+  }
+  std::string Output;
+  char Buf[256];
+  while (fgets(Buf, sizeof(Buf), Pipe))
+    Output += Buf;
+  if (pclose(Pipe) != 0) {
+    Error = "C compilation failed:\n" + Output + "\n" + Code;
+    return nullptr;
+  }
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW);
+  if (!Handle) {
+    Error = std::string("dlopen failed: ") + dlerror();
+    return nullptr;
+  }
+  auto Fn = reinterpret_cast<KernelFn>(dlsym(Handle, FnName.c_str()));
+  if (!Fn) {
+    Error = std::string("dlsym failed: ") + dlerror();
+    return nullptr;
+  }
+  return Fn;
+}
+
+} // namespace hac
+
+#endif // HAC_TESTS_NATIVE_KERNEL_H

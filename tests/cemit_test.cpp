@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "NativeKernel.h"
 #include "codegen/CEmitter.h"
 #include "core/Compiler.h"
 
@@ -15,55 +16,20 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <dlfcn.h>
-#include <fstream>
 #include <random>
 #include <sstream>
 #include <string>
-#include <unistd.h>
 
 using namespace hac;
 
 namespace {
 
-using KernelFn = int (*)(double *, const double *const *);
-
-/// Compiles a C translation unit into a shared object and resolves the
-/// kernel symbol. Handles are intentionally leaked (process-lifetime).
+/// gtest shim over the shared cc + dlopen harness.
 KernelFn buildKernel(const std::string &Code, const std::string &FnName) {
-  static int Counter = 0;
-  std::string Base = "/tmp/hac_cemit_" + std::to_string(getpid()) + "_" +
-                     std::to_string(Counter++);
-  std::string CPath = Base + ".c";
-  std::string SoPath = Base + ".so";
-  {
-    std::ofstream OS(CPath);
-    OS << Code;
-  }
-  std::string Cmd =
-      "cc -O1 -shared -fPIC -o " + SoPath + " " + CPath + " -lm 2>&1";
-  FILE *Pipe = popen(Cmd.c_str(), "r");
-  if (!Pipe) {
-    ADD_FAILURE() << "failed to spawn the C compiler";
-    return nullptr;
-  }
-  std::string Output;
-  char Buf[256];
-  while (fgets(Buf, sizeof(Buf), Pipe))
-    Output += Buf;
-  int Status = pclose(Pipe);
-  if (Status != 0) {
-    ADD_FAILURE() << "C compilation failed:\n" << Output << "\n" << Code;
-    return nullptr;
-  }
-  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW);
-  if (!Handle) {
-    ADD_FAILURE() << "dlopen failed: " << dlerror();
-    return nullptr;
-  }
-  auto Fn = reinterpret_cast<KernelFn>(dlsym(Handle, FnName.c_str()));
+  std::string Error;
+  KernelFn Fn = buildNativeKernel(Code, FnName, Error);
   if (!Fn)
-    ADD_FAILURE() << "dlsym failed: " << dlerror();
+    ADD_FAILURE() << Error;
   return Fn;
 }
 

@@ -1,0 +1,316 @@
+//===- tests/lir_test.cpp - Loop IR goldens + three-way differential ------===//
+//
+// Two halves:
+//
+//  * Golden structure tests pin the LIR the paper's Section 5/8 kernels
+//    lower to — the loop shapes, the address code, the ring/snapshot
+//    instructions — and that the optimization passes fire (and verify
+//    clean) on each of them.
+//
+//  * A differential suite runs every program under examples/programs/
+//    through three independent evaluators — the lazy reference
+//    interpreter, the LIR evaluator behind Executor, and the emitted C
+//    compiled by the system compiler — and requires bit-identical
+//    results. This is the unified-lowering invariant made into a test:
+//    both backends consume the same LIR, so they must agree exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "NativeKernel.h"
+#include "codegen/CEmitter.h"
+#include "codegen/ShapeEstimate.h"
+#include "core/Compiler.h"
+#include "core/InterpBridge.h"
+#include "lir/LIR.h"
+#include "lir/LIRLowering.h"
+#include "lir/LIRPasses.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace hac;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  EXPECT_TRUE(IS.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+std::string examplePath(const std::string &Name) {
+  return std::string(HAC_EXAMPLES_DIR) + "/" + Name;
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t At = Haystack.find(Needle); At != std::string::npos;
+       At = Haystack.find(Needle, At + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+/// Lowers a compiled plan the way the evaluator does, returning the
+/// pre-pass and post-pass textual LIR (both sealed and verified).
+struct LoweredText {
+  std::string Before;
+  std::string After;
+  lir::LIRProgram Prog;
+};
+
+LoweredText lowerToText(const ExecPlan &Plan, const ArrayDims &Dims,
+                        const ParamEnv &Params) {
+  LoweredText R;
+  R.Prog = lir::lowerPlan(Plan, Dims, Params, {}, /*ForC=*/false,
+                          /*ValidateReads=*/false);
+  std::string Err;
+  EXPECT_TRUE(lir::seal(R.Prog, Err)) << Err;
+  EXPECT_EQ(lir::verify(R.Prog), "");
+  R.Before = lir::printLIR(R.Prog);
+  lir::optimize(R.Prog);
+  EXPECT_TRUE(lir::seal(R.Prog, Err)) << Err;
+  EXPECT_EQ(lir::verify(R.Prog), "");
+  R.After = lir::printLIR(R.Prog);
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Golden structure: Section 5 / Section 8 kernels
+//===----------------------------------------------------------------------===//
+
+TEST(LIRGolden, Section5StrideThreeClauses) {
+  Compiler C;
+  auto Compiled = C.compileArray(readFile(examplePath("sec5_example1.hac")));
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->Thunkless) << Compiled->FallbackReason;
+  LoweredText L =
+      lowerToText(Compiled->Plan, Compiled->Dims, Compiled->Params);
+
+  // One shared forward loop over i in [2..100]; three stores per pass
+  // plus three scalar border stores ahead of it.
+  EXPECT_EQ(countOccurrences(L.Before, "loop iv="), 1u);
+  EXPECT_NE(L.Before.find("init=2 delta=1 trip=99"), std::string::npos);
+  EXPECT_EQ(countOccurrences(L.Before, "store.t"), 6u);
+  // a!(3*(i-1)) and a!(3*i) are target reads, not input loads.
+  EXPECT_EQ(countOccurrences(L.Before, "load.t"), 2u);
+  EXPECT_EQ(countOccurrences(L.Before, "load.in"), 0u);
+  // Every store is guarded by a writability check in the evaluator.
+  EXPECT_EQ(countOccurrences(L.Before, "check.idx"), 6u);
+
+  // The passes must hoist the loop-invariant constants and strength-
+  // reduce at least one address chain.
+  EXPECT_GT(L.Prog.NumHoisted, 0u);
+  EXPECT_GT(L.Prog.NumStrengthReduced, 0u);
+}
+
+TEST(LIRGolden, Section8WavefrontNest) {
+  Compiler C;
+  auto Compiled = C.compileArray(readFile(examplePath("wavefront.hac")));
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->Thunkless) << Compiled->FallbackReason;
+  LoweredText L =
+      lowerToText(Compiled->Plan, Compiled->Dims, Compiled->Params);
+
+  // Two border loops plus the forward/forward interior nest.
+  EXPECT_EQ(countOccurrences(L.Before, "loop iv="), 4u);
+  // Three neighbour reads of the target per interior instance.
+  EXPECT_EQ(countOccurrences(L.Before, "load.t"), 3u);
+  EXPECT_EQ(countOccurrences(L.Before, "store.t"), 3u);
+  EXPECT_GT(L.Prog.NumHoisted, 0u);
+}
+
+TEST(LIRGolden, Section9JacobiUsesRingBuffer) {
+  Compiler C;
+  auto Compiled = C.compileUpdate(readFile(examplePath("jacobi_step.hac")));
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->InPlace) << Compiled->FallbackReason;
+
+  // The driver path: the target shape is reconstructed from the affine
+  // ranges of the writes *and* the stencil reads (the halo rows).
+  ArrayDims Dims;
+  ASSERT_TRUE(estimateUpdateDims(Compiled->Plan, Compiled->Params, Dims));
+  ASSERT_EQ(Dims.size(), 2u);
+  EXPECT_EQ(Dims[0], (std::pair<int64_t, int64_t>{1, 16}));
+  EXPECT_EQ(Dims[1], (std::pair<int64_t, int64_t>{1, 16}));
+
+  LoweredText L = lowerToText(Compiled->Plan, Dims, Compiled->Params);
+  // Node splitting runs Jacobi in place with a previous-row ring: the
+  // old value is saved before each store, and the north read goes
+  // through the ring once enough rows are buffered.
+  EXPECT_GT(countOccurrences(L.Before, "save.ring"), 0u);
+  EXPECT_GT(countOccurrences(L.Before, "load.ring"), 0u);
+}
+
+TEST(LIRGolden, Section9RowswapUsesSnapshot) {
+  Compiler C;
+  auto Compiled = C.compileUpdate(readFile(examplePath("rowswap.hac")));
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->InPlace) << Compiled->FallbackReason;
+  ArrayDims Dims;
+  ASSERT_TRUE(estimateUpdateDims(Compiled->Plan, Compiled->Params, Dims));
+
+  LoweredText L = lowerToText(Compiled->Plan, Dims, Compiled->Params);
+  // The antidependence cycle is broken by a one-row snapshot copy: rows
+  // are saved with snapsave.t and the swapped reads come from load.snap.
+  EXPECT_GT(countOccurrences(L.Before, "snapsave.t"), 0u);
+  EXPECT_GT(countOccurrences(L.Before, "load.snap"), 0u);
+}
+
+TEST(LIRGolden, PassesNeverChangeResults) {
+  // The optimizer is semantics-preserving: evaluate a kernel with the
+  // passes on (the Executor default) and with setLIROptimize(false),
+  // and require bit-identical output.
+  Compiler C;
+  auto Compiled = C.compileArray(readFile(examplePath("wavefront.hac")));
+  ASSERT_TRUE(Compiled.has_value()) << C.diags().str();
+  ASSERT_TRUE(Compiled->Thunkless);
+
+  DoubleArray Opt, NoOpt;
+  std::string Err;
+  {
+    Executor Exec(Compiled->Params);
+    ASSERT_TRUE(Compiled->evaluate(Opt, Exec, Err)) << Err;
+  }
+  {
+    Executor Exec(Compiled->Params);
+    Exec.setLIROptimize(false);
+    ASSERT_TRUE(Compiled->evaluate(NoOpt, Exec, Err)) << Err;
+  }
+  EXPECT_LE(DoubleArray::maxAbsDiff(Opt, NoOpt), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Three-way differential over every example program
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic non-trivial starting contents for update targets.
+void fillStart(DoubleArray &A) {
+  for (size_t I = 0, N = A.size(); I != N; ++I)
+    A[I] = 1.0 + 0.25 * static_cast<double>(I % 7);
+}
+
+/// interp vs Executor vs compiled C for one construction/accum program.
+void diffConstruction(const std::string &Path, const std::string &Source,
+                      bool Accum, size_t &Checked) {
+  Compiler C;
+  auto Compiled = Accum ? C.compileAccum(Source) : C.compileArray(Source);
+  ASSERT_TRUE(Compiled.has_value()) << Path << "\n" << C.diags().str();
+  if (!Compiled->Thunkless)
+    return; // interpreter-only program; nothing to cross-check
+
+  Interpreter Interp;
+  Interp.setFuel(100'000'000);
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked(Source, {}, Interp, Diags);
+  ASSERT_FALSE(V->isError()) << Path << "\n" << V->str();
+  std::string ConvErr;
+  auto Ref = interpArrayToDouble(Interp, V, ConvErr);
+  ASSERT_TRUE(Ref.has_value()) << Path << "\n" << ConvErr;
+
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Path << "\n" << Err;
+  EXPECT_LE(DoubleArray::maxAbsDiff(*Ref, Out), 0.0)
+      << Path << ": interpreter vs LIR evaluator";
+
+  CEmitResult Emitted = emitC(Compiled->Plan, "kernel", Compiled->Params);
+  ASSERT_TRUE(Emitted.OK) << Path << "\n" << Emitted.Error;
+  ASSERT_TRUE(Emitted.InputNames.empty()) << Path;
+  std::string BuildErr;
+  KernelFn Fn = buildNativeKernel(Emitted.Code, "kernel", BuildErr);
+  ASSERT_NE(Fn, nullptr) << Path << "\n" << BuildErr;
+  DoubleArray Native(Compiled->Dims);
+  if (Compiled->IsAccum)
+    for (size_t I = 0, N = Native.size(); I != N; ++I)
+      Native[I] = Compiled->AccumInit;
+  ASSERT_EQ(Fn(Native.data(), nullptr), HAC_OK) << Path;
+  EXPECT_LE(DoubleArray::maxAbsDiff(Out, Native), 0.0)
+      << Path << ": LIR evaluator vs compiled C";
+  ++Checked;
+}
+
+/// interp vs Executor vs compiled C for one bigupd program.
+void diffUpdate(const std::string &Path, const std::string &Source,
+                size_t &Checked) {
+  Compiler C;
+  auto Compiled = C.compileUpdate(Source);
+  ASSERT_TRUE(Compiled.has_value()) << Path << "\n" << C.diags().str();
+  if (!Compiled->InPlace)
+    return;
+
+  ArrayDims Dims = Compiled->Plan.Dims;
+  if (Dims.empty())
+    ASSERT_TRUE(estimateUpdateDims(Compiled->Plan, Compiled->Params, Dims))
+        << Path;
+  DoubleArray Start(Dims);
+  fillStart(Start);
+
+  Interpreter Interp;
+  Interp.setFuel(100'000'000);
+  DiagnosticEngine Diags;
+  ValuePtr V =
+      runThunked(Source, {{Compiled->BaseName, &Start}}, Interp, Diags);
+  ASSERT_FALSE(V->isError()) << Path << "\n" << V->str();
+  std::string ConvErr;
+  auto Ref = interpArrayToDouble(Interp, V, ConvErr);
+  ASSERT_TRUE(Ref.has_value()) << Path << "\n" << ConvErr;
+
+  DoubleArray ExecOut = Start;
+  Executor Exec(Compiled->Params);
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluateInPlace(ExecOut, Exec, Err))
+      << Path << "\n" << Err;
+  EXPECT_LE(DoubleArray::maxAbsDiff(*Ref, ExecOut), 0.0)
+      << Path << ": interpreter vs LIR evaluator";
+
+  ExecPlan Plan = Compiled->Plan;
+  Plan.Dims = Dims;
+  CEmitResult Emitted = emitC(Plan, "kernel", Compiled->Params);
+  ASSERT_TRUE(Emitted.OK) << Path << "\n" << Emitted.Error;
+  std::string BuildErr;
+  KernelFn Fn = buildNativeKernel(Emitted.Code, "kernel", BuildErr);
+  ASSERT_NE(Fn, nullptr) << Path << "\n" << BuildErr;
+  DoubleArray Native = Start;
+  ASSERT_EQ(Fn(Native.data(), nullptr), HAC_OK) << Path;
+  EXPECT_LE(DoubleArray::maxAbsDiff(ExecOut, Native), 0.0)
+      << Path << ": LIR evaluator vs compiled C";
+  ++Checked;
+}
+
+} // namespace
+
+TEST(LIRDifferential, AllExamplePrograms) {
+  size_t Checked = 0;
+  std::vector<std::filesystem::path> Programs;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(HAC_EXAMPLES_DIR))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".hac")
+      Programs.push_back(Entry.path());
+  std::sort(Programs.begin(), Programs.end());
+  ASSERT_GE(Programs.size(), 5u);
+
+  for (const auto &Program : Programs) {
+    std::string Source = readFile(Program.string());
+    if (Source.find("bigupd") != std::string::npos)
+      diffUpdate(Program.string(), Source, Checked);
+    else
+      diffConstruction(Program.string(), Source,
+                       Source.find("accumArray") != std::string::npos,
+                       Checked);
+  }
+  // The suite is only meaningful if most programs actually ran all
+  // three legs (fallback programs are allowed to opt out).
+  EXPECT_GE(Checked, 4u);
+}

@@ -318,4 +318,52 @@ TEST_F(TraceTest, ExecuteCountersAreDeltasAcrossRuns) {
   EXPECT_EQ(TraceSink::get().counter("exec.stores"), 20u);
 }
 
+TEST_F(TraceTest, LIRLoweringEmitsSpanAndCounters) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i := 2.0 * i | i <- [1..n] ] in a");
+  ASSERT_TRUE(Compiled.has_value() && Compiled->Thunkless);
+
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+
+  const TraceSink &S = TraceSink::get();
+  bool SawLower = false;
+  for (const TraceEvent &E : S.events())
+    SawLower |= E.Name == "lower.lir";
+  EXPECT_TRUE(SawLower);
+  // The program lowered to a non-trivial instruction stream, and the
+  // passes hoisted at least the loop-invariant 2.0 out of the loop.
+  EXPECT_GT(S.counter("lir.instrs"), 0u);
+  EXPECT_GT(S.counter("lir.hoisted"), 0u);
+}
+
+TEST_F(TraceTest, LIRLoweringIsCachedAcrossRuns) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(
+      "let n = 10 in letrec* a = array (1,n) "
+      "[ i := 2.0 * i | i <- [1..n] ] in a");
+  ASSERT_TRUE(Compiled.has_value() && Compiled->Thunkless);
+
+  // Two runs of one plan on one Executor: the second run hits the LIR
+  // cache, so the lowering counters must not grow and no second
+  // lower.lir span may appear.
+  Executor Exec(Compiled->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+  uint64_t InstrsAfterFirst = TraceSink::get().counter("lir.instrs");
+  ASSERT_GT(InstrsAfterFirst, 0u);
+  ASSERT_TRUE(Compiled->evaluate(Out, Exec, Err)) << Err;
+  EXPECT_EQ(TraceSink::get().counter("lir.instrs"), InstrsAfterFirst);
+
+  size_t LowerSpans = 0;
+  for (const TraceEvent &E : TraceSink::get().events())
+    LowerSpans += E.Name == "lower.lir";
+  EXPECT_EQ(LowerSpans, 1u);
+}
+
 } // namespace
