@@ -181,6 +181,22 @@ inline std::string jacobiSource(int64_t N) {
          "a!(i,j+1)) / 4.0 | i <- [2..n-1], j <- [2..n-1] ]";
 }
 
+/// One Jacobi relaxation step in the out-of-place form: every read comes
+/// from the previous grid `b`, so no dependence is carried by any loop
+/// and the parallel planner proves every pass DOALL (contrast with
+/// jacobiSource, whose in-place update needs a serial ring-buffer pass).
+inline std::string jacobiDoallSource(int64_t N) {
+  return "let n = " + std::to_string(N) +
+         " in "
+         "letrec* a = array ((1,1),(n,n)) "
+         "([ (1,j) := b!(1,j) | j <- [1..n] ] ++ "
+         " [ (n,j) := b!(n,j) | j <- [1..n] ] ++ "
+         " [ (i,1) := b!(i,1) | i <- [2..n-1] ] ++ "
+         " [ (i,n) := b!(i,n) | i <- [2..n-1] ] ++ "
+         " [ (i,j) := (b!(i-1,j) + b!(i+1,j) + b!(i,j-1) + b!(i,j+1)) "
+         "/ 4.0 | i <- [2..n-1], j <- [2..n-1] ]) in a";
+}
+
 /// Section 9 / Livermore 23: one Gauss-Seidel (SOR omega=1) sweep as a
 /// monolithic array whose result overwrites the old grid `b`.
 inline std::string sorSource(int64_t N) {

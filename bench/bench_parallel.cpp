@@ -1,0 +1,128 @@
+//===- bench/bench_parallel.cpp - E15: parallel execution scaling ---------===//
+//
+// Experiment E15: the dependence-driven parallel runtime on the two
+// kernels that exercise both scheduling classes —
+//
+//   * Jacobi (out-of-place): every pass is DOALL, block-partitioned over
+//     the worker pool.
+//   * SOR / Livermore 23 (in-place): the interior nest runs as skewed
+//     anti-diagonal wavefronts with a barrier per front; the border
+//     passes are DOALL.
+//
+// Each kernel runs at 1/2/4/8 worker threads over the same Executor so
+// the LIR cache is shared and only the scheduling changes. Note the
+// thread counts are requested concurrency: on a machine with fewer
+// hardware cores the extra workers time-slice one core and the speedup
+// ceiling is min(threads, cores). Results are bit-identical across all
+// thread counts (asserted here against the serial sweep).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace hacbench;
+
+namespace {
+
+/// Emits one HAC_BENCH_JSON row with a wall-clock measurement of
+/// \p Sweeps evaluator sweeps at the given thread count.
+template <typename SweepFn>
+void rowTimedSweeps(const std::string &Kernel, int64_t N, unsigned Threads,
+                    int Sweeps, SweepFn Sweep) {
+  auto T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Sweeps; ++I)
+    Sweep();
+  auto T1 = std::chrono::steady_clock::now();
+  double Ns = std::chrono::duration<double, std::nano>(T1 - T0).count() /
+              Sweeps;
+  benchJsonRow(Kernel, {{"n", std::to_string(N)},
+                        {"threads", std::to_string(Threads)},
+                        {"ns_per_sweep", std::to_string(Ns)}});
+}
+
+} // namespace
+
+static void BM_JacobiDoallEval(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Threads = static_cast<unsigned>(State.range(1));
+  CompiledArray Compiled = mustCompile(jacobiDoallSource(N));
+  DoubleArray B = makeGrid(N);
+
+  Executor Serial(Compiled.Params);
+  Serial.bindInput("b", &B);
+  DoubleArray Ref;
+  std::string Err;
+  if (!Compiled.evaluate(Ref, Serial, Err)) {
+    State.SkipWithError(Err.c_str());
+    return;
+  }
+
+  Executor Exec(Compiled.Params);
+  Exec.setNumThreads(Threads);
+  Exec.bindInput("b", &B);
+  DoubleArray Out;
+  for (auto _ : State) {
+    if (!Compiled.evaluate(Out, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+  }
+  if (DoubleArray::maxAbsDiff(Ref, Out) > 0.0)
+    State.SkipWithError("parallel result diverges from serial");
+  State.counters["threads"] = static_cast<double>(Threads);
+  rowTimedSweeps("parallel/jacobi-doall", N, Threads, 3, [&] {
+    Compiled.evaluate(Out, Exec, Err);
+  });
+}
+BENCHMARK(BM_JacobiDoallEval)
+    ->ArgsProduct({{64, 256}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
+
+static void BM_SorWavefrontEval(benchmark::State &State) {
+  int64_t N = State.range(0);
+  auto Threads = static_cast<unsigned>(State.range(1));
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArrayInPlace(sorSource(N), "b");
+  if (!Compiled || !Compiled->Thunkless) {
+    State.SkipWithError("SOR failed to compile in place");
+    return;
+  }
+
+  DoubleArray Ref = makeGrid(N);
+  {
+    Executor Serial(Compiled->Params);
+    std::string Err;
+    if (!Compiled->evaluateInPlace(Ref, Serial, Err)) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+  }
+
+  Executor Exec(Compiled->Params);
+  Exec.setNumThreads(Threads);
+  std::string Err;
+  DoubleArray Grid = makeGrid(N);
+  for (auto _ : State) {
+    State.PauseTiming();
+    Grid = makeGrid(N);
+    State.ResumeTiming();
+    if (!Compiled->evaluateInPlace(Grid, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Grid.data());
+  }
+  if (DoubleArray::maxAbsDiff(Ref, Grid) > 0.0)
+    State.SkipWithError("parallel wavefront diverges from serial");
+  State.counters["threads"] = static_cast<double>(Threads);
+  rowTimedSweeps("parallel/sor-wavefront", N, Threads, 3, [&] {
+    Grid = makeGrid(N);
+    Compiled->evaluateInPlace(Grid, Exec, Err);
+  });
+}
+BENCHMARK(BM_SorWavefrontEval)
+    ->ArgsProduct({{64, 256}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
+
+HAC_BENCH_MAIN();

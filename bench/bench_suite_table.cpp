@@ -17,7 +17,10 @@
 #include "lir/LIRLowering.h"
 #include "lir/LIRPasses.h"
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 using namespace hacbench;
 
@@ -211,6 +214,73 @@ void lirUpdateRow(const char *Name, const std::string &Source) {
   lirRow(Name, Compiled->Plan, Dims, Compiled->Params);
 }
 
+//===--------------------------------------------------------------------===//
+// E15 companion: parallel scheduling classes + thread-scaling matrix
+//===--------------------------------------------------------------------===//
+
+/// Counts the planner's loop classes over a plan tree (the wavefront
+/// inner loop counts into its pair, not separately).
+void countParClasses(const std::vector<hac::PlanStmt> &Stmts,
+                     unsigned &Doall, unsigned &Wave, unsigned &Serial) {
+  for (const hac::PlanStmt &S : Stmts) {
+    if (S.K != hac::PlanStmt::Kind::For)
+      continue;
+    switch (S.Par) {
+    case hac::par::ParClass::Doall:
+      ++Doall;
+      break;
+    case hac::par::ParClass::WaveOuter:
+      ++Wave;
+      break;
+    case hac::par::ParClass::WaveInner:
+      break;
+    case hac::par::ParClass::Serial:
+      ++Serial;
+      break;
+    }
+    countParClasses(S.Body, Doall, Wave, Serial);
+  }
+}
+
+/// Milliseconds per sweep, median-free quick measurement: \p Sweeps runs
+/// of \p Sweep after one warmup (which also populates the LIR cache).
+double msPerSweep(int Sweeps, const std::function<void()> &Sweep) {
+  Sweep();
+  auto T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Sweeps; ++I)
+    Sweep();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(T1 - T0).count() /
+         Sweeps;
+}
+
+/// One row of the scaling matrix: classes, per-thread-count wall
+/// clock, and the speedup at 4 threads. \p MakeSweep builds a sweep
+/// closure bound to an executor at the given thread count.
+void parScalingRow(
+    const char *Name, const std::vector<hac::PlanStmt> &Stmts,
+    const std::function<std::function<void()>(unsigned)> &MakeSweep) {
+  unsigned Doall = 0, Wave = 0, Serial = 0;
+  countParClasses(Stmts, Doall, Wave, Serial);
+  const unsigned Threads[] = {1, 2, 4, 8};
+  double Ms[4] = {};
+  for (int I = 0; I != 4; ++I)
+    Ms[I] = msPerSweep(3, MakeSweep(Threads[I]));
+  std::printf("%-22s | %5u | %4u | %6u | %7.3f | %7.3f | %7.3f | %7.3f "
+              "| %5.2fx\n",
+              Name, Doall, Wave, Serial, Ms[0], Ms[1], Ms[2], Ms[3],
+              Ms[2] > 0.0 ? Ms[0] / Ms[2] : 0.0);
+  for (int I = 0; I != 4; ++I)
+    benchJsonRow(std::string("par/") + Name,
+                 {{"threads", std::to_string(Threads[I])},
+                  {"ms_per_sweep", std::to_string(Ms[I])},
+                  {"doall", std::to_string(Doall)},
+                  {"wavefront", std::to_string(Wave)},
+                  {"serial", std::to_string(Serial)},
+                  {"speedup_vs_1t",
+                   std::to_string(Ms[I] > 0.0 ? Ms[0] / Ms[I] : 0.0)}});
+}
+
 } // namespace
 
 int main() {
@@ -265,5 +335,45 @@ int main() {
   lirArrayRow("sec5-ex2 (backward)", sec5Ex2Source(64));
   lirUpdateRow("rowswap (LINPACK)", rowSwapSource(64));
   lirUpdateRow("jacobi step", jacobiSource(64));
+
+  std::printf("\nParallel scheduling & thread-scaling matrix "
+              "(LIR evaluator, n = 128, ms/sweep)\n"
+              "(speedup is bounded by the machine's hardware core count; "
+              "extra workers time-slice)\n\n");
+  std::printf("%-22s | %5s | %4s | %6s | %7s | %7s | %7s | %7s | %s\n",
+              "kernel", "doall", "wave", "serial", "t=1", "t=2", "t=4",
+              "t=8", "x4");
+  std::printf("%-22s-+-%5s-+-%4s-+-%6s-+-%7s-+-%7s-+-%7s-+-%7s-+----\n",
+              "----------------------", "-----", "----", "------",
+              "-------", "-------", "-------", "-------");
+
+  {
+    const int64_t N = 128;
+    Compiler ParCompiler;
+    auto Jacobi = ParCompiler.compileArray(jacobiDoallSource(N));
+    DoubleArray B = makeGrid(N);
+    if (Jacobi && Jacobi->Thunkless)
+      parScalingRow("jacobi (doall)", Jacobi->Plan.Stmts, [&](unsigned T) {
+        auto Exec = std::make_shared<Executor>(Jacobi->Params);
+        Exec->setNumThreads(T);
+        Exec->bindInput("b", &B);
+        return [&, Exec] {
+          DoubleArray Out;
+          std::string Err;
+          Jacobi->evaluate(Out, *Exec, Err);
+        };
+      });
+    auto Sor = ParCompiler.compileArrayInPlace(sorSource(N), "b");
+    if (Sor && Sor->Thunkless)
+      parScalingRow("sor (wavefront)", Sor->Plan.Stmts, [&](unsigned T) {
+        auto Exec = std::make_shared<Executor>(Sor->Params);
+        Exec->setNumThreads(T);
+        return [&, Exec] {
+          DoubleArray Grid = makeGrid(N);
+          std::string Err;
+          Sor->evaluateInPlace(Grid, *Exec, Err);
+        };
+      });
+  }
   return 0;
 }

@@ -17,6 +17,8 @@
 //                        optimization passes; exit 1 on verifier errors
 //   hacc -selfcheck FILE run the LIR evaluator AND the compiled-C kernel
 //                        and require bit-identical results
+//   hacc -j N ... FILE   evaluate with N worker threads (0 = auto:
+//                        HAC_THREADS, else the hardware concurrency)
 //   hacc -u ... FILE     treat the program as a bigupd update
 //   hacc -accum ... FILE treat the program as an accumArray construction
 //   hacc -trace ... FILE print the phase-timing tree + counters to stderr
@@ -39,12 +41,14 @@
 #include "lir/LIR.h"
 #include "lir/LIRLowering.h"
 #include "lir/LIRPasses.h"
+#include "parallel/ThreadPool.h"
 #include "support/Trace.h"
 #include "verify/SarifEmitter.h"
 #include "verify/Verifier.h"
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <dlfcn.h>
 #include <fstream>
@@ -68,6 +72,10 @@ struct DriverOptions {
   bool TraceTree = false;
   bool Analyze = false;
   bool WarningsAsErrors = false;
+  /// Worker threads for the evaluator and the emitted C (-j). 0 = auto:
+  /// HAC_THREADS, else the hardware concurrency. main() resolves it to a
+  /// concrete count (>= 1) before the mode runners see it.
+  unsigned Threads = 0;
   std::vector<RuleID> DisabledRules;
   std::string SarifPath; ///< empty = no SARIF; "-" = stdout
   std::string JsonPath;  ///< empty = no JSON; "-" = stdout
@@ -253,7 +261,8 @@ int writeTelemetry(const DriverOptions &Opts, const char *Mode,
   }
   *OS << "{\n \"file\": " << jsonQuote(Opts.Path)
       << ",\n \"mode\": " << jsonQuote(Mode)
-      << ",\n \"thunkless\": " << (Thunkless ? "true" : "false");
+      << ",\n \"thunkless\": " << (Thunkless ? "true" : "false")
+      << ",\n \"threads\": " << Opts.Threads;
   if (!Error.empty())
     *OS << ",\n \"error\": " << jsonQuote(Error);
   if (!FallbackReason.empty())
@@ -279,9 +288,13 @@ auto nullAnalysis = [](std::ostream &OS) { OS << "  null"; };
 /// -dump-lir: lowers once (the evaluator variant, which renders the
 /// exec-only stat counters and validation checks too), prints the program
 /// before and after the optimization passes, and runs the verifier.
-/// Returns the process exit code.
+/// The "before" dump shows the planner's par= loop annotations; the
+/// "after" dump shows what the chosen thread count actually executes
+/// (flags stripped when serial, legalized when parallel — mirroring the
+/// Executor's pipeline). Returns the process exit code.
 int dumpLIR(const std::string &What, const ExecPlan &Plan,
-            const ArrayDims &Dims, const ParamEnv &Params) {
+            const ArrayDims &Dims, const ParamEnv &Params,
+            unsigned Threads) {
   lir::LIRProgram P = lir::lowerPlan(Plan, Dims, Params, {}, /*ForC=*/false,
                                      /*ValidateReads=*/false);
   std::string SealErr;
@@ -291,11 +304,15 @@ int dumpLIR(const std::string &What, const ExecPlan &Plan,
   }
   std::printf("=== LIR for '%s' (before passes) ===\n%s", What.c_str(),
               lir::printLIR(P).c_str());
+  if (Threads <= 1)
+    lir::stripParFlags(P);
   lir::optimize(P);
   if (!lir::seal(P, SealErr)) {
     std::fprintf(stderr, "hacc: LIR re-seal failed: %s\n", SealErr.c_str());
     return 1;
   }
+  if (Threads > 1)
+    lir::legalizePar(P, /*ForC=*/false);
   std::printf("=== LIR (after passes: %llu hoisted, %llu strength-reduced, "
               "%llu dce) ===\n%s",
               (unsigned long long)P.NumHoisted,
@@ -311,9 +328,19 @@ int dumpLIR(const std::string &What, const ExecPlan &Plan,
 
 using KernelFn = int (*)(double *, const double *const *);
 
+/// The OpenMP flag CMake detected for the host C compiler ("" when the
+/// probe failed; the emitted pragmas are then ignored and the kernel
+/// runs serially).
+#ifndef HAC_OPENMP_CFLAG
+#define HAC_OPENMP_CFLAG ""
+#endif
+
 /// Compiles emitted C with the system compiler, loads the shared object,
-/// and resolves hac_kernel. Handles are process-lifetime.
-KernelFn buildNativeKernel(const std::string &Code, std::string &Error) {
+/// and resolves hac_kernel. Handles are process-lifetime. With
+/// \p OpenMP set the detected OpenMP flag is added (and dropped on a
+/// retry if the compiler rejects it — unknown pragmas are harmless).
+KernelFn buildNativeKernel(const std::string &Code, std::string &Error,
+                           bool OpenMP = false) {
   static int Counter = 0;
   std::string Base = "/tmp/hac_selfcheck_" + std::to_string(getpid()) + "_" +
                      std::to_string(Counter++);
@@ -322,19 +349,29 @@ KernelFn buildNativeKernel(const std::string &Code, std::string &Error) {
     std::ofstream OS(CPath);
     OS << Code;
   }
-  std::string Cmd =
-      "cc -O1 -shared -fPIC -o " + SoPath + " " + CPath + " -lm 2>&1";
-  FILE *Pipe = popen(Cmd.c_str(), "r");
-  if (!Pipe) {
-    Error = "failed to spawn the C compiler";
-    return nullptr;
-  }
+  std::string OmpFlag = OpenMP ? std::string(HAC_OPENMP_CFLAG) : "";
+  auto tryCompile = [&](const std::string &Extra,
+                        std::string &Output) -> bool {
+    std::string Cmd = "cc -O1 -shared -fPIC" +
+                      (Extra.empty() ? "" : " " + Extra) + " -o " + SoPath +
+                      " " + CPath + " -lm 2>&1";
+    FILE *Pipe = popen(Cmd.c_str(), "r");
+    if (!Pipe)
+      return false;
+    char Buf[256];
+    while (fgets(Buf, sizeof(Buf), Pipe))
+      Output += Buf;
+    return pclose(Pipe) == 0;
+  };
   std::string Output;
-  char Buf[256];
-  while (fgets(Buf, sizeof(Buf), Pipe))
-    Output += Buf;
-  if (pclose(Pipe) != 0) {
-    Error = "C compilation failed:\n" + Output;
+  bool OK = tryCompile(OmpFlag, Output);
+  if (!OK && !OmpFlag.empty()) {
+    Output.clear();
+    OK = tryCompile("", Output);
+  }
+  if (!OK) {
+    Error = Output.empty() ? "failed to spawn the C compiler"
+                           : "C compilation failed:\n" + Output;
     return nullptr;
   }
   void *Handle = dlopen(SoPath.c_str(), RTLD_NOW);
@@ -353,8 +390,10 @@ KernelFn buildNativeKernel(const std::string &Code, std::string &Error) {
 /// was), and requires bit-identical agreement with the evaluator's
 /// \p Ref. Returns the process exit code.
 int runSelfCheckKernel(const ExecPlan &Plan, const ParamEnv &Params,
-                       const DoubleArray &Ref, DoubleArray Start) {
-  CEmitResult Emitted = emitC(Plan, "hac_kernel", Params);
+                       const DoubleArray &Ref, DoubleArray Start,
+                       unsigned Threads) {
+  CEmitResult Emitted =
+      emitC(Plan, "hac_kernel", Params, {}, /*Parallel=*/Threads > 1);
   if (!Emitted.OK) {
     std::printf("selfcheck: C backend declined (%s); evaluator-only\n",
                 Emitted.Error.c_str());
@@ -365,7 +404,8 @@ int runSelfCheckKernel(const ExecPlan &Plan, const ParamEnv &Params,
     return 0;
   }
   std::string BuildErr;
-  KernelFn Fn = buildNativeKernel(Emitted.Code, BuildErr);
+  KernelFn Fn = buildNativeKernel(Emitted.Code, BuildErr,
+                                  /*OpenMP=*/Threads > 1);
   if (!Fn) {
     std::fprintf(stderr, "hacc: selfcheck: %s\n", BuildErr.c_str());
     return 1;
@@ -421,7 +461,8 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
       return 1;
     }
     CEmitResult Emitted = emitC(Compiled->Plan, "hac_kernel",
-                                Compiled->Params);
+                                Compiled->Params, {},
+                                /*Parallel=*/Opts.Threads > 1);
     if (!Emitted.OK) {
       std::fprintf(stderr, "hacc: C emission failed: %s\n",
                    Emitted.Error.c_str());
@@ -445,12 +486,13 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
     }
     if (Opts.DumpLIR) {
       int RC = dumpLIR(Compiled->Name, Compiled->Plan, Compiled->Dims,
-                       Compiled->Params);
+                       Compiled->Params, Opts.Threads);
       if (RC != 0)
         return RC;
     }
     if (Opts.SelfCheck) {
       Executor Exec(Compiled->Params);
+      Exec.setNumThreads(Opts.Threads);
       DoubleArray Ref;
       std::string Err;
       if (!Compiled->evaluate(Ref, Exec, Err)) {
@@ -462,7 +504,7 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
         for (size_t I = 0, N = Start.size(); I != N; ++I)
           Start[I] = Compiled->AccumInit;
       int RC = runSelfCheckKernel(Compiled->Plan, Compiled->Params, Ref,
-                                  std::move(Start));
+                                  std::move(Start), Opts.Threads);
       if (RC != 0)
         return RC;
     }
@@ -529,6 +571,7 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
   }
 
   Executor Exec(Compiled->Params);
+  Exec.setNumThreads(Opts.Threads);
   DoubleArray Out;
   std::string Err;
   if (!Compiled->evaluate(Out, Exec, Err)) {
@@ -583,7 +626,8 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
       return 1;
     }
     CEmitResult Emitted =
-        emitC(Compiled->Plan, "hac_kernel", Compiled->Params);
+        emitC(Compiled->Plan, "hac_kernel", Compiled->Params, {},
+              /*Parallel=*/Opts.Threads > 1);
     if (!Emitted.OK) {
       std::fprintf(stderr, "hacc: C emission failed: %s\n",
                    Emitted.Error.c_str());
@@ -607,7 +651,7 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
     }
     if (Opts.DumpLIR) {
       int RC = dumpLIR(Compiled->BaseName, Plan, Plan.Dims,
-                       Compiled->Params);
+                       Compiled->Params, Opts.Threads);
       if (RC != 0)
         return RC;
     }
@@ -617,13 +661,14 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
         Start[I] = 1.0 + 0.25 * static_cast<double>(I % 7);
       DoubleArray Ref = Start;
       Executor Exec(Compiled->Params);
+      Exec.setNumThreads(Opts.Threads);
       std::string Err;
       if (!Compiled->evaluateInPlace(Ref, Exec, Err)) {
         std::fprintf(stderr, "hacc: runtime error: %s\n", Err.c_str());
         return 1;
       }
       int RC = runSelfCheckKernel(Plan, Compiled->Params, Ref,
-                                  std::move(Start));
+                                  std::move(Start), Opts.Threads);
       if (RC != 0)
         return RC;
     }
@@ -685,6 +730,18 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Opts.DisabledRules.push_back(Rule);
+    } else if (std::strcmp(Argv[I], "-j") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "hacc: -j needs a thread count\n");
+        return 1;
+      }
+      char *End = nullptr;
+      long N = std::strtol(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || N < 0 || N > 4096) {
+        std::fprintf(stderr, "hacc: bad thread count '%s'\n", Argv[I]);
+        return 1;
+      }
+      Opts.Threads = static_cast<unsigned>(N);
     } else if (std::strcmp(Argv[I], "-sarif") == 0) {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "hacc: -sarif needs an output file\n");
@@ -707,7 +764,7 @@ int main(int Argc, char **Argv) {
   if (Opts.Path.empty()) {
     std::fprintf(stderr,
                  "usage: hacc [-report | -analyze | -emit-c | -dump-lir] "
-                 "[-selfcheck] [-u | -accum] "
+                 "[-selfcheck] [-u | -accum] [-j N] "
                  "[-trace] [-json FILE] [-sarif FILE] [-Werror] "
                  "[-Wno-hacNNN] FILE\n"
                  "  -report      print the analysis report only\n"
@@ -722,6 +779,9 @@ int main(int Argc, char **Argv) {
                  "the optimization passes\n"
                  "  -selfcheck   run the LIR evaluator and the compiled C "
                  "kernel; require bit-identical results\n"
+                 "  -j N         evaluate with N worker threads (0 = "
+                 "auto: HAC_THREADS, else hardware concurrency); "
+                 "parallelizes -emit-c/-selfcheck kernels with OpenMP\n"
                  "  -u           treat the program as a bigupd update\n"
                  "  -accum       treat the program as accumArray\n"
                  "  -trace       print phase timings + counters to stderr\n"
@@ -745,6 +805,9 @@ int main(int Argc, char **Argv) {
         TraceSink::get().count("verify." + Name, 0);
       }
   }
+
+  if (Opts.Threads == 0)
+    Opts.Threads = par::ThreadPool::defaultThreads();
 
   std::string Source = readAll(Opts.Path);
   int RC = Opts.Update ? runUpdate(Opts, Source) : runArray(Opts, Source);

@@ -507,3 +507,141 @@ DepGraph hac::buildDepGraph(const CompNest &Nest,
   HAC_TRACE_COUNT("dep.nonaffine_pairs", G.NonAffinePairs);
   return G;
 }
+
+//===----------------------------------------------------------------------===//
+// Distance / direction summaries
+//===----------------------------------------------------------------------===//
+
+bool hac::edgeCarriedAt(const DepEdge &E, const LoopNode *Loop) {
+  // No shared loops (a pure sequence-order edge) or a direction vector of
+  // unexpected shape: conservatively carried.
+  if (E.SharedLoops.empty() || E.Dirs.size() != E.SharedLoops.size())
+    return true;
+  for (size_t K = 0; K != E.SharedLoops.size(); ++K) {
+    if (E.SharedLoops[K] == Loop)
+      return E.Dirs[K] != Dir::Eq;
+    // An outer shared loop whose direction *cannot* be '=' carries the
+    // dependence itself; iterations of Loop within one of its iterations
+    // are then unconstrained by this edge.
+    if (E.Dirs[K] == Dir::Lt || E.Dirs[K] == Dir::Gt)
+      return false;
+  }
+  // Loop is not among the shared loops; with both endpoints inside it
+  // this should not happen — stay conservative.
+  return true;
+}
+
+bool hac::uniformDistance(const DepEdge &E, std::vector<int64_t> &Delta) {
+  const size_t N = E.SharedLoops.size();
+  Delta.assign(N, 0);
+  if (N == 0 || E.Dirs.size() != N || E.SrcSub.empty() ||
+      E.SrcSub.size() != E.DstSub.size())
+    return false;
+
+  // '=' directions pin their components to zero; the rest are unknowns.
+  std::vector<int> Col(N, -1);
+  int NumUnknowns = 0;
+  for (size_t K = 0; K != N; ++K)
+    if (E.Dirs[K] != Dir::Eq)
+      Col[K] = NumUnknowns++;
+  if (NumUnknowns == 0)
+    return true; // all-'=' edge: distance (0,...,0)
+
+  auto IsShared = [&](const LoopNode *L) {
+    for (const LoopNode *S : E.SharedLoops)
+      if (S == L)
+        return true;
+    return false;
+  };
+
+  // One equation per subscript dimension: with equal coefficients c_k on
+  // both sides, c . (sink - source) = SrcConst - DstConst.
+  std::vector<std::vector<int64_t>> Rows; // NumUnknowns coeffs + rhs
+  for (size_t Dim = 0; Dim != E.SrcSub.size(); ++Dim) {
+    const AffineForm &S = E.SrcSub[Dim];
+    const AffineForm &D = E.DstSub[Dim];
+    for (const auto &[Loop, C] : S.Coeffs)
+      if (C != 0 && !IsShared(Loop))
+        return false;
+    for (const auto &[Loop, C] : D.Coeffs)
+      if (C != 0 && !IsShared(Loop))
+        return false;
+    std::vector<int64_t> Row(NumUnknowns + 1, 0);
+    bool NonTrivial = false;
+    for (size_t K = 0; K != N; ++K) {
+      int64_t C = S.coeff(E.SharedLoops[K]);
+      if (C != D.coeff(E.SharedLoops[K]))
+        return false;
+      if (Col[K] >= 0 && C != 0) {
+        Row[Col[K]] = C;
+        NonTrivial = true;
+      }
+    }
+    Row[NumUnknowns] = S.Const - D.Const;
+    if (!NonTrivial) {
+      if (Row[NumUnknowns] != 0)
+        return false; // inconsistent: treat conservatively
+      continue;
+    }
+    Rows.push_back(std::move(Row));
+  }
+
+  // Fraction-free Gaussian elimination; a unique integral solution is
+  // required (underdetermined or inconsistent systems fail).
+  int Rank = 0;
+  std::vector<int> PivotCol;
+  for (int C = 0; C != NumUnknowns && Rank < (int)Rows.size(); ++C) {
+    int Pivot = -1;
+    for (size_t R = Rank; R != Rows.size(); ++R)
+      if (Rows[R][C] != 0) {
+        Pivot = static_cast<int>(R);
+        break;
+      }
+    if (Pivot < 0)
+      continue;
+    std::swap(Rows[Rank], Rows[Pivot]);
+    for (size_t R = 0; R != Rows.size(); ++R) {
+      if ((int)R == Rank || Rows[R][C] == 0)
+        continue;
+      __int128 A = Rows[Rank][C], B = Rows[R][C];
+      for (int J = 0; J <= NumUnknowns; ++J) {
+        __int128 V = A * Rows[R][J] - B * Rows[Rank][J];
+        if (V > INT64_MAX || V < INT64_MIN)
+          return false;
+        Rows[R][J] = static_cast<int64_t>(V);
+      }
+    }
+    PivotCol.push_back(C);
+    ++Rank;
+  }
+  // Leftover rows must be 0 = 0.
+  for (size_t R = Rank; R != Rows.size(); ++R) {
+    for (int J = 0; J <= NumUnknowns; ++J)
+      if (Rows[R][J] != 0)
+        return false;
+  }
+  if (Rank != NumUnknowns)
+    return false; // underdetermined: no uniform distance
+
+  std::vector<int64_t> X(NumUnknowns, 0);
+  for (int R = 0; R != Rank; ++R) {
+    int C = PivotCol[R];
+    if (Rows[R][NumUnknowns] % Rows[R][C] != 0)
+      return false; // non-integral distance
+    X[C] = Rows[R][NumUnknowns] / Rows[R][C];
+  }
+
+  // Direction consistency: '<' means the source instance runs first, so
+  // sink - source must be positive; '>' the reverse.
+  for (size_t K = 0; K != N; ++K) {
+    if (Col[K] < 0)
+      continue;
+    int64_t V = X[Col[K]];
+    if (E.Dirs[K] == Dir::Lt && V < 1)
+      return false;
+    if (E.Dirs[K] == Dir::Gt && V > -1)
+      return false;
+    Delta[K] = V;
+  }
+  return true;
+}

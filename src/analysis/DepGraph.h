@@ -133,6 +133,31 @@ DepGraph buildDepGraph(const CompNest &Nest, const std::string &TargetName,
                        const ParamEnv &Params, DepGraphMode Mode,
                        const DepGraphOptions &Options = DepGraphOptions());
 
+//===----------------------------------------------------------------------===//
+// Per-edge distance / direction summaries (exported for the parallel
+// planner and the scheduler's rolling-temporary derivation)
+//===----------------------------------------------------------------------===//
+
+/// True when \p E can be *carried* by shared loop \p Loop: the direction
+/// at Loop's position admits a cross-iteration instance pair (anything but
+/// '=') while every outer shared loop still admits '='. A loop that no
+/// edge carries is DOALL-safe with respect to that edge.
+bool edgeCarriedAt(const DepEdge &E, const LoopNode *Loop);
+
+/// Attempts to derive the *uniform* dependence distance vector of \p E
+/// over its shared loops, in normalized iteration space (AffineForm
+/// indices run [1..trip] with step 1), signed sink-minus-source.
+///
+/// Requirements: both references affine with equal per-loop coefficients
+/// in every dimension, no coefficient on a non-shared loop, '=' directions
+/// pinning their components to zero, and the remaining linear system
+/// having a unique integral solution consistent with the edge's direction
+/// vector ('<' forces a positive component, '>' a negative one).
+///
+/// On success fills \p Delta (one entry per shared loop, outermost first)
+/// and returns true.
+bool uniformDistance(const DepEdge &E, std::vector<int64_t> &Delta);
+
 } // namespace hac
 
 #endif // HAC_ANALYSIS_DEPGRAPH_H

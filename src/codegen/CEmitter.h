@@ -71,9 +71,20 @@ struct CEmitResult {
 /// linearizing reads); inputs without an entry are assumed to share the
 /// target's shape. Fails (OK == false) on constructs the C backend does
 /// not support (e.g. calls to unknown functions).
+///
+/// With \p Parallel set, loops the ParPlanner classified DOALL become
+/// `#pragma omp parallel for` over a canonical 0-based counter, and
+/// wavefront pairs become an explicit anti-diagonal front loop whose
+/// per-front cell loop carries the pragma. The pragmas are ignored by
+/// compilers without OpenMP support, and the parallel code computes the
+/// same values in either case — emission only annotates loops the
+/// legality pass (legalizePar) kept. Without \p Parallel the par flags
+/// are stripped first and the output is byte-identical to the serial
+/// emitter.
 CEmitResult emitC(const ExecPlan &Plan, const std::string &FunctionName,
                   const ParamEnv &Params,
-                  const std::map<std::string, ArrayDims> &InputDims = {});
+                  const std::map<std::string, ArrayDims> &InputDims = {},
+                  bool Parallel = false);
 
 } // namespace hac
 

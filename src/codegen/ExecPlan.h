@@ -26,6 +26,7 @@
 
 #include "analysis/ArrayChecks.h"
 #include "comp/CompNest.h"
+#include "parallel/ParPlan.h"
 #include "schedule/Scheduler.h"
 
 #include <cstdint>
@@ -89,6 +90,12 @@ struct PlanStmt {
   const LoopNode *Loop = nullptr;
   bool Backward = false;
   std::vector<PlanStmt> Body;
+  /// Parallel class assigned by the ParPlanner (Serial until it runs)
+  /// plus the human-readable proof witness / blocking reason. Lowering
+  /// mirrors the class onto the LIR loop flags; hac-verify surfaces
+  /// serial witnesses as HAC008 notes.
+  par::ParClass Par = par::ParClass::Serial;
+  std::string ParWitness;
 
   // Kind::Store — evaluate one clause instance and store it. Guards are
   // evaluated first; RingId >= 0 requests an old-value save before the

@@ -4,6 +4,7 @@
 
 #include "ast/ASTUtils.h"
 #include "frontend/Parser.h"
+#include "parallel/ParPlanner.h"
 #include "support/Casting.h"
 #include "support/Trace.h"
 
@@ -213,6 +214,15 @@ Compiler::compileArray(const std::string &Source) {
                                  Result.Dims, EffCollisions, EffCoverage,
                                  EffReadBounds);
   }
+  {
+    // Classify every loop of the plan for the parallel backends; the
+    // monolithic graph's flow and output edges are the constraints the
+    // serial schedule honors.
+    std::vector<const DepEdge *> AllEdges;
+    for (const DepEdge &E : Result.Graph.Edges)
+      AllEdges.push_back(&E);
+    par::planParallel(Result.Plan, AllEdges);
+  }
   traceOutcome(true, "");
   return Result;
 }
@@ -273,9 +283,10 @@ Compiler::compileUpdate(const std::string &Source) {
     traceOutcome(false, Result.FallbackReason);
     return Result;
   }
+  // Vectorization and the parallel planner are judged against the
+  // surviving (post-split) edges.
+  std::vector<const DepEdge *> Remaining;
   {
-    // Vectorization is judged against the surviving (post-split) edges.
-    std::vector<const DepEdge *> Remaining;
     std::set<const Expr *> SplitReads;
     for (const SplitAction &A : Result.Update.Splits)
       SplitReads.insert(A.ReadRef);
@@ -292,6 +303,7 @@ Compiler::compileUpdate(const std::string &Source) {
     Result.Plan = buildUpdatePlan(Result.Nest, Result.Update,
                                   Result.BaseName, /*Dims=*/{});
   }
+  par::planParallel(Result.Plan, Remaining);
   traceOutcome(true, "");
   return Result;
 }
@@ -479,6 +491,9 @@ Compiler::compileAccum(const std::string &Source) {
                                  Result.Dims, Result.Collisions,
                                  EffCoverage, Result.ReadBounds);
   }
+  // The gates above proved there are no flow edges and no collisions:
+  // every loop of an accumulated array is trivially independent.
+  par::planParallel(Result.Plan, {});
   traceOutcome(true, "");
   return Result;
 }
@@ -530,8 +545,8 @@ Compiler::compileArrayInPlace(const std::string &Source,
   }
 
   Result->Thunkless = true;
+  std::vector<const DepEdge *> Remaining;
   {
-    std::vector<const DepEdge *> Remaining;
     std::set<const Expr *> SplitReads;
     for (const SplitAction &A : Result->InPlaceSched.Splits)
       SplitReads.insert(A.ReadRef);
@@ -563,6 +578,7 @@ Compiler::compileArrayInPlace(const std::string &Source,
                                          Result->Dims, EffCollisions,
                                          EffCoverage, EffReadBounds);
   }
+  par::planParallel(Result->Plan, Remaining);
   Result->Sched = Result->InPlaceSched.Sched;
   traceOutcome(true, "");
   return Result;

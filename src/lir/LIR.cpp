@@ -366,8 +366,14 @@ std::string lir::printLIR(const LIRProgram &P) {
     case LOp::LoopBegin:
       OS << "loop iv=" << Slot(Inst.A) << " ord=" << Slot(Inst.B)
          << " init=" << Inst.Imm0 << " delta=" << Inst.Imm1
-         << " trip=" << Inst.Imm2 << (Inst.backward() ? " backward" : "")
-         << " {";
+         << " trip=" << Inst.Imm2 << (Inst.backward() ? " backward" : "");
+      if (Inst.parDoall())
+        OS << " par=doall";
+      else if (Inst.parWaveOuter())
+        OS << " par=wave-outer";
+      else if (Inst.parWaveInner())
+        OS << " par=wave-inner";
+      OS << " {";
       break;
     case LOp::LoopEnd:
       OS << "}";

@@ -122,7 +122,19 @@ const char *opName(LOp Op);
 enum : uint8_t {
   FlagExecOnly = 1u << 0, ///< render in the evaluator only, not in C
   FlagBackward = 1u << 1, ///< LoopBegin/LoopEnd: ordinal runs Trip..1
+  /// LoopBegin/LoopEnd parallel classes from the ParPlanner. Backends
+  /// strip these (stripParFlags) when running single-threaded, and the
+  /// legality pass (legalizePar) demotes any loop whose lowered body
+  /// turned out to contain a construct the parallel runtime cannot
+  /// execute concurrently (rings, defined-bitmap checks, ...).
+  FlagParDoall = 1u << 2,     ///< iterations are independent
+  FlagParWaveOuter = 1u << 3, ///< outer loop of a wavefront pair
+  FlagParWaveInner = 1u << 4, ///< inner loop of a wavefront pair
 };
+
+/// All parallel-class flag bits.
+inline constexpr uint8_t ParFlagMask =
+    FlagParDoall | FlagParWaveOuter | FlagParWaveInner;
 
 /// One LIR instruction.
 struct LInst {
@@ -136,6 +148,9 @@ struct LInst {
 
   bool execOnly() const { return Flags & FlagExecOnly; }
   bool backward() const { return Flags & FlagBackward; }
+  bool parDoall() const { return Flags & FlagParDoall; }
+  bool parWaveOuter() const { return Flags & FlagParWaveOuter; }
+  bool parWaveInner() const { return Flags & FlagParWaveInner; }
 };
 
 /// A complete lowered program: the instruction stream plus everything the

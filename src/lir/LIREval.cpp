@@ -1,7 +1,33 @@
 //===- lir/LIREval.cpp - LIR evaluator ------------------------------------===//
+//
+// Serial execution is a single runSpan over the whole stream. Parallel
+// execution dispatches par-flagged loops to the thread pool:
+//
+//   DOALL      — the iteration space is split into contiguous chunks
+//                (at most threads*4 for stealing slack); every task
+//                copies the register file at loop entry, sets the
+//                induction slots per iteration, and runs the body span.
+//   wavefront  — anti-diagonal fronts f = o + i are executed in order
+//                with a barrier between fronts (ThreadPool::parallelFor
+//                is the barrier); cells within a front are independent
+//                by construction of the ParPlanner's distance test. The
+//                pure prelude between the outer and inner loop is
+//                re-evaluated per cell, which legalizePar proved safe.
+//
+// Error reporting stays deterministic across thread counts: each task
+// records the iteration coordinates of its first failure and the merge
+// keeps the lexicographically smallest one — exactly the iteration the
+// serial run would have failed on (cells ordered before it observe the
+// same stores in both schedules, so they behave identically). Stores
+// issued by iterations ordered after the failing one may differ from a
+// serial run, matching the usual "results are undefined after an
+// error" contract.
+//
+//===----------------------------------------------------------------------===//
 
 #include "lir/LIREval.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -9,42 +35,54 @@ using namespace hac;
 using namespace hac::lir;
 
 namespace {
+
 union Reg {
   int64_t i;
   double d;
 };
-} // namespace
 
-bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
-                  const std::vector<const double *> &Inputs,
-                  std::vector<std::vector<double>> &Rings,
-                  std::vector<std::vector<double>> &Snaps, ExecStats &Stats,
-                  std::string &Err) {
-  std::vector<Reg> R(P.NumSlots, Reg{0});
-  const LInst *Code = P.Code.data();
-  const size_t N = P.Code.size();
-
+/// Per-task ExecStats deltas; merged under no lock after the pool
+/// barrier, so parallel totals equal serial totals exactly.
+struct LocalCounters {
   uint64_t Stores = 0, Loads = 0, RingSaves = 0, SnapshotCopies = 0;
   uint64_t BoundsChecks = 0, CollisionChecks = 0, GuardEvals = 0,
            FusedIters = 0;
-  auto Flush = [&] {
-    Stats.Stores += Stores;
-    Stats.Loads += Loads;
-    Stats.RingSaves += RingSaves;
-    Stats.SnapshotCopies += SnapshotCopies;
-    Stats.BoundsChecks += BoundsChecks;
-    Stats.CollisionChecks += CollisionChecks;
-    Stats.GuardEvals += GuardEvals;
-    Stats.FusedIters += FusedIters;
-  };
+  void mergeInto(LocalCounters &O) const {
+    O.Stores += Stores;
+    O.Loads += Loads;
+    O.RingSaves += RingSaves;
+    O.SnapshotCopies += SnapshotCopies;
+    O.BoundsChecks += BoundsChecks;
+    O.CollisionChecks += CollisionChecks;
+    O.GuardEvals += GuardEvals;
+    O.FusedIters += FusedIters;
+  }
+};
+
+struct Machine {
+  const LIRProgram &P;
+  DoubleArray &Target;
+  const std::vector<const double *> &Inputs;
+  std::vector<std::vector<double>> &Rings;
+  std::vector<std::vector<double>> &Snaps;
+  par::ThreadPool *Pool;
+
+  bool runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
+               std::string &Err, bool AllowPar);
+  bool runDoall(size_t Begin, Reg *R, LocalCounters &C, std::string &Err);
+  bool runWave(size_t Begin, Reg *R, LocalCounters &C, std::string &Err);
+};
+
+bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
+                      std::string &Err, bool AllowPar) {
+  const LInst *Code = P.Code.data();
   auto Fail = [&](std::string Msg) {
     Err = std::move(Msg);
-    Flush();
     return false;
   };
 
-  size_t PC = 0;
-  while (PC < N) {
+  size_t PC = Lo;
+  while (PC < Hi) {
     const LInst &I = Code[PC];
     switch (I.Op) {
     case LOp::ConstI:
@@ -172,6 +210,23 @@ bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
       break;
 
     case LOp::LoopBegin:
+      if (AllowPar && Pool && (I.Flags & ParFlagMask)) {
+        // Nested par-flagged loops were cleared by legalizePar; a task
+        // never re-enters the pool (AllowPar is false inside tasks).
+        if (I.parDoall()) {
+          if (!runDoall(PC, R, C, Err))
+            return false;
+          PC = static_cast<size_t>(I.Jump) + 1;
+          continue;
+        }
+        if (I.parWaveOuter()) {
+          if (!runWave(PC, R, C, Err))
+            return false;
+          PC = static_cast<size_t>(I.Jump) + 1;
+          continue;
+        }
+        // A stray WaveInner runs serially.
+      }
       if (I.Imm2 <= 0) {
         PC = static_cast<size_t>(I.Jump) + 1;
         continue;
@@ -216,36 +271,36 @@ bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
 
     case LOp::LoadT:
       R[I.A].d = Target[static_cast<size_t>(R[I.B].i)];
-      ++Loads;
+      ++C.Loads;
       break;
     case LOp::LoadIn:
       R[I.A].d = Inputs[static_cast<size_t>(I.Imm0)][R[I.B].i];
-      ++Loads;
+      ++C.Loads;
       break;
     case LOp::LoadRing:
       R[I.A].d = Rings[static_cast<size_t>(I.Imm0)][R[I.B].i];
-      ++Loads;
+      ++C.Loads;
       break;
     case LOp::LoadSnap:
       R[I.A].d = Snaps[static_cast<size_t>(I.Imm0)][R[I.B].i];
-      ++Loads;
+      ++C.Loads;
       break;
     case LOp::StoreT: {
       size_t Lin = static_cast<size_t>(R[I.B].i);
       Target[Lin] = R[I.C].d;
       Target.setDefined(Lin);
-      ++Stores;
+      ++C.Stores;
       break;
     }
     case LOp::SaveRing:
       Rings[static_cast<size_t>(I.Imm0)][R[I.B].i] =
           Target[static_cast<size_t>(R[I.C].i)];
-      ++RingSaves;
+      ++C.RingSaves;
       break;
     case LOp::SnapSaveT:
       Snaps[static_cast<size_t>(I.Imm0)][R[I.B].i] =
           Target[static_cast<size_t>(R[I.C].i)];
-      ++SnapshotCopies;
+      ++C.SnapshotCopies;
       break;
 
     case LOp::CheckIdx: {
@@ -259,7 +314,7 @@ bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
         return Fail(P.str(I.Str));
       break;
     case LOp::CheckCollision: {
-      ++CollisionChecks;
+      ++C.CollisionChecks;
       size_t Lin = static_cast<size_t>(R[I.B].i);
       if (Target.hasDefinedBits() && Target.isDefined(Lin))
         return Fail(
@@ -278,13 +333,13 @@ bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
     }
 
     case LOp::CountBounds:
-      BoundsChecks += static_cast<uint64_t>(I.Imm0);
+      C.BoundsChecks += static_cast<uint64_t>(I.Imm0);
       break;
     case LOp::CountGuard:
-      GuardEvals += static_cast<uint64_t>(I.Imm0);
+      C.GuardEvals += static_cast<uint64_t>(I.Imm0);
       break;
     case LOp::CountFused:
-      FusedIters += static_cast<uint64_t>(I.Imm0);
+      C.FusedIters += static_cast<uint64_t>(I.Imm0);
       break;
 
     case LOp::Fail:
@@ -292,6 +347,177 @@ bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
     }
     ++PC;
   }
-  Flush();
   return true;
+}
+
+bool Machine::runDoall(size_t Begin, Reg *R, LocalCounters &C,
+                       std::string &Err) {
+  const LInst &I = P.Code[Begin];
+  const size_t End = static_cast<size_t>(I.Jump);
+  const int64_t Trip = I.Imm2;
+  if (Trip <= 0)
+    return true; // caller skips past the end marker
+  const int64_t NumChunks = std::min<int64_t>(
+      Trip, static_cast<int64_t>(Pool->threads()) * 4);
+
+  struct TaskOut {
+    LocalCounters C;
+    std::string Msg;
+    int64_t ErrIter = -1;
+  };
+  std::vector<TaskOut> Outs(static_cast<size_t>(NumChunks));
+  const Reg *Entry = R;
+  Pool->parallelFor(static_cast<size_t>(NumChunks), [&](size_t T) {
+    TaskOut &TO = Outs[T];
+    std::vector<Reg> LR(Entry, Entry + P.NumSlots);
+    const int64_t Lo = Trip * static_cast<int64_t>(T) / NumChunks;
+    const int64_t Hi = Trip * static_cast<int64_t>(T + 1) / NumChunks;
+    for (int64_t K = Lo; K < Hi; ++K) {
+      LR[I.A].i = I.Imm0 + K * I.Imm1;
+      LR[I.B].i = I.backward() ? Trip - K : K + 1;
+      std::string E2;
+      if (!runSpan(Begin + 1, End, LR.data(), TO.C, E2,
+                   /*AllowPar=*/false)) {
+        TO.Msg = std::move(E2);
+        TO.ErrIter = K;
+        return;
+      }
+    }
+  });
+
+  int64_t MinIter = -1;
+  size_t MinT = 0;
+  for (size_t T = 0; T != Outs.size(); ++T) {
+    Outs[T].C.mergeInto(C);
+    if (Outs[T].ErrIter >= 0 && (MinIter < 0 || Outs[T].ErrIter < MinIter)) {
+      MinIter = Outs[T].ErrIter;
+      MinT = T;
+    }
+  }
+  if (MinIter >= 0) {
+    Err = std::move(Outs[MinT].Msg);
+    return false;
+  }
+  // Serial exit state of the induction slots (chunk files are private).
+  R[I.A].i = I.Imm0 + Trip * I.Imm1;
+  R[I.B].i = I.backward() ? 0 : Trip + 1;
+  return true;
+}
+
+bool Machine::runWave(size_t Begin, Reg *R, LocalCounters &C,
+                      std::string &Err) {
+  const LInst &O = P.Code[Begin];
+  size_t IB = Begin + 1;
+  while (P.Code[IB].Op != LOp::LoopBegin) // legalizePar proved it exists
+    ++IB;
+  const LInst &In = P.Code[IB];
+  const size_t IE = static_cast<size_t>(In.Jump);
+  const int64_t T1 = O.Imm2, T2 = In.Imm2;
+  if (T1 <= 0)
+    return true;
+  auto SetExit = [&] {
+    R[O.A].i = O.Imm0 + T1 * O.Imm1;
+    R[O.B].i = T1 + 1; // the planner only pairs forward loops
+    if (T2 > 0) {
+      R[In.A].i = In.Imm0 + T2 * In.Imm1;
+      R[In.B].i = T2 + 1;
+    }
+  };
+  if (T2 <= 0) {
+    // The body reduces to the pure, non-escaping prelude: no effect.
+    SetExit();
+    return true;
+  }
+
+  struct TaskOut {
+    LocalCounters C;
+    std::string Msg;
+    int64_t EO = -1, EI = -1; // first failing cell, task-local
+  };
+  int64_t MinO = -1, MinI = -1;
+  std::string MinMsg;
+  const Reg *Entry = R;
+  const int64_t TaskCap = static_cast<int64_t>(Pool->threads()) * 4;
+
+  for (int64_t F = 0; F <= T1 + T2 - 2; ++F) {
+    // Keep sweeping until every cell ordered lex-before the recorded
+    // error has run, so the reported failure matches the serial one.
+    if (MinO >= 0 && F > MinO + T2 - 1)
+      break;
+    const int64_t OLo = std::max<int64_t>(0, F - (T2 - 1));
+    const int64_t OHi = std::min<int64_t>(F, T1 - 1); // inclusive
+    const int64_t Cells = OHi - OLo + 1;
+    const int64_t NumTasks = std::min<int64_t>(Cells, TaskCap);
+    std::vector<TaskOut> Outs(static_cast<size_t>(NumTasks));
+    Pool->parallelFor(static_cast<size_t>(NumTasks), [&](size_t T) {
+      TaskOut &TO = Outs[T];
+      std::vector<Reg> LR(Entry, Entry + P.NumSlots);
+      const int64_t CLo = OLo + Cells * static_cast<int64_t>(T) / NumTasks;
+      const int64_t CHi =
+          OLo + Cells * static_cast<int64_t>(T + 1) / NumTasks;
+      for (int64_t Co = CLo; Co < CHi; ++Co) {
+        const int64_t Ci = F - Co;
+        LR[O.A].i = O.Imm0 + Co * O.Imm1;
+        LR[O.B].i = Co + 1;
+        std::string E2;
+        // The pure prelude is re-evaluated per cell from loop-entry
+        // register state (legalizePar proved that safe).
+        if (!runSpan(Begin + 1, IB, LR.data(), TO.C, E2, false)) {
+          TO.Msg = std::move(E2);
+          TO.EO = Co;
+          TO.EI = -1; // before any inner iteration of this cell
+          return;
+        }
+        LR[In.A].i = In.Imm0 + Ci * In.Imm1;
+        LR[In.B].i = Ci + 1;
+        if (!runSpan(IB + 1, IE, LR.data(), TO.C, E2, false)) {
+          TO.Msg = std::move(E2);
+          TO.EO = Co;
+          TO.EI = Ci;
+          return;
+        }
+      }
+    });
+    for (TaskOut &TO : Outs) {
+      TO.C.mergeInto(C);
+      if (TO.EO >= 0 && (MinO < 0 || TO.EO < MinO ||
+                         (TO.EO == MinO && TO.EI < MinI))) {
+        MinO = TO.EO;
+        MinI = TO.EI;
+        MinMsg = std::move(TO.Msg);
+      }
+    }
+  }
+  if (MinO >= 0) {
+    Err = std::move(MinMsg);
+    return false;
+  }
+  SetExit();
+  return true;
+}
+
+} // namespace
+
+bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
+                  const std::vector<const double *> &Inputs,
+                  std::vector<std::vector<double>> &Rings,
+                  std::vector<std::vector<double>> &Snaps, ExecStats &Stats,
+                  std::string &Err, par::ThreadPool *Pool) {
+  std::vector<Reg> R(P.NumSlots, Reg{0});
+  LocalCounters C;
+  Machine M{P, Target, Inputs, Rings, Snaps,
+            Pool && Pool->threads() > 1 ? Pool : nullptr};
+  bool OK = M.runSpan(0, P.Code.size(), R.data(), C, Err,
+                      /*AllowPar=*/M.Pool != nullptr);
+  // Flush counters on success and on failure alike (the seed executor
+  // counted events up to the point of the error).
+  Stats.Stores += C.Stores;
+  Stats.Loads += C.Loads;
+  Stats.RingSaves += C.RingSaves;
+  Stats.SnapshotCopies += C.SnapshotCopies;
+  Stats.BoundsChecks += C.BoundsChecks;
+  Stats.CollisionChecks += C.CollisionChecks;
+  Stats.GuardEvals += C.GuardEvals;
+  Stats.FusedIters += C.FusedIters;
+  return OK;
 }

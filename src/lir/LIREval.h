@@ -10,12 +10,21 @@
 /// name lookups, no per-element multiply chains — the hot path is one
 /// switch on a small opcode.
 ///
+/// With a thread pool, loops the ParPlanner flagged (and legalizePar
+/// kept) execute in parallel: DOALL loops block-partition their
+/// iteration space, wavefront pairs sweep anti-diagonal fronts with a
+/// barrier per front. Each task runs on a private copy of the register
+/// file and accumulates ExecStats counters locally; the merged totals
+/// are bit-identical to the serial run because counter instructions are
+/// never moved and iteration sets are exactly partitioned.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HAC_LIR_LIREVAL_H
 #define HAC_LIR_LIREVAL_H
 
 #include "lir/LIR.h"
+#include "parallel/ThreadPool.h"
 #include "runtime/DoubleArray.h"
 #include "runtime/ExecStats.h"
 
@@ -30,12 +39,16 @@ namespace lir {
 /// pre-sized to RingSizes / SnapSizes. Counters accumulate into
 /// \p Stats on success and on failure (matching the seed executor,
 /// which counted events up to the point of the error). Returns false
-/// with \p Err set on the first runtime error.
+/// with \p Err set on the first runtime error; with a pool, "first"
+/// means the lexicographically first failing iteration, so the message
+/// is deterministic across thread counts. \p Pool enables parallel
+/// execution of par-flagged loops; null (or a 1-thread pool) runs
+/// everything serially.
 bool evalLIR(const LIRProgram &P, DoubleArray &Target,
              const std::vector<const double *> &Inputs,
              std::vector<std::vector<double>> &Rings,
              std::vector<std::vector<double>> &Snaps, ExecStats &Stats,
-             std::string &Err);
+             std::string &Err, par::ThreadPool *Pool = nullptr);
 
 } // namespace lir
 } // namespace hac

@@ -1053,6 +1053,21 @@ private:
     LInst I;
     I.Op = LOp::LoopBegin;
     I.Flags = S.Backward ? FlagBackward : 0;
+    // Mirror the ParPlanner's decision; single-threaded backends strip
+    // these flags again (stripParFlags) before optimizing.
+    switch (S.Par) {
+    case par::ParClass::Serial:
+      break;
+    case par::ParClass::Doall:
+      I.Flags |= FlagParDoall;
+      break;
+    case par::ParClass::WaveOuter:
+      I.Flags |= FlagParWaveOuter;
+      break;
+    case par::ParClass::WaveInner:
+      I.Flags |= FlagParWaveInner;
+      break;
+    }
     I.A = Iv;
     I.B = Ord;
     I.Imm0 = IvInit;

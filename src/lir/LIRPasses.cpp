@@ -185,6 +185,13 @@ bool srLoop(LIRProgram &P, Region L) {
   const LInst Begin = P.Code[L.Begin];
   if (Begin.Op != LOp::LoopBegin)
     return false;
+  // Parallel loops enter the iteration space at arbitrary chunk
+  // boundaries, which a carried slot (preheader init + tail increment)
+  // cannot survive; par-flagged loops opt out of strength reduction.
+  // Single-threaded backends strip the flags first, so the serial
+  // pipeline is unchanged.
+  if (Begin.Flags & ParFlagMask)
+    return false;
   const int32_t Iv = Begin.A, Ord = Begin.B;
   const int64_t IvDelta = Begin.Imm1;
   const int64_t OrdDelta = Begin.backward() ? -1 : 1;
@@ -342,6 +349,11 @@ bool checkHoistLoop(LIRProgram &P, Region L) {
   // a zero-trip loop would surface an error the program never hits.
   if (P.Code[L.Begin].Op != LOp::LoopBegin || P.Code[L.Begin].Imm2 < 1)
     return false;
+  // The destination of a hoist out of a wavefront inner loop is the
+  // wavefront prelude, which must stay pure value computation (it is
+  // re-run per cell); keep checks inside instead.
+  if (P.Code[L.Begin].Flags & FlagParWaveInner)
+    return false;
   auto Defs = defSites(P);
   std::set<size_t> Moved;
   for (size_t I : topLevelOf(P.Code, L)) {
@@ -433,4 +445,199 @@ void lir::optimize(LIRProgram &P) {
   }
   checkHoistPass(P);
   dcePass(P);
+}
+
+void lir::stripParFlags(LIRProgram &P) {
+  for (LInst &I : P.Code)
+    I.Flags &= static_cast<uint8_t>(~ParFlagMask);
+}
+
+namespace {
+
+/// Clears the par bits on a sealed loop's Begin and its mirrored End.
+void demoteLoop(LIRProgram &P, size_t Begin) {
+  LInst &B = P.Code[Begin];
+  P.Code[static_cast<size_t>(B.Jump)].Flags &=
+      static_cast<uint8_t>(~ParFlagMask);
+  B.Flags &= static_cast<uint8_t>(~ParFlagMask);
+}
+
+/// True when \p I may not execute inside a parallel region's body.
+bool forbiddenInParBody(const LInst &I, bool ForC) {
+  // Exec-only instructions never render in C, so they cannot break the
+  // emitted OpenMP region.
+  if (ForC && I.execOnly())
+    return false;
+  switch (I.Op) {
+  case LOp::SaveRing:   // rolling temporaries carry values serially
+  case LOp::LoadRing:
+  case LOp::SnapSaveT:  // snapshot saves are ordered with the stores
+  case LOp::CheckCollision: // defined-bitmap read/modify/write races
+  case LOp::CheckDefined:
+    return true;
+  case LOp::CheckIdx:
+  case LOp::CheckNonZeroI:
+  case LOp::Fail:
+    // The C rendering of a failing check is `goto done`, which may not
+    // jump out of an OpenMP region; the evaluator instead records a
+    // per-task error and reports the lexicographically first one.
+    return ForC;
+  default:
+    return false;
+  }
+}
+
+bool regionHasForbidden(const LIRProgram &P, size_t B, size_t E, bool ForC) {
+  for (size_t I = B + 1; I < E; ++I)
+    if (forbiddenInParBody(P.Code[I], ForC))
+      return true;
+  return false;
+}
+
+/// True when a slot written anywhere in [B, E] is read outside that
+/// range. The parallel runtime does not propagate a partitioned loop's
+/// register exit state (beyond the induction slots the evaluator
+/// restores itself), so any escaping write forces a demotion. Reads
+/// *before* B matter too: inside an enclosing loop they re-execute
+/// after the region and would observe the previous iteration's value.
+bool writesEscape(const LIRProgram &P, size_t B, size_t E) {
+  std::set<int32_t> W;
+  int32_t Buf[3];
+  for (size_t I = B; I <= E; ++I) {
+    int N = writtenSlots(P.Code[I], Buf);
+    for (int K = 0; K != N; ++K)
+      W.insert(Buf[K]);
+  }
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    if (I >= B && I <= E)
+      continue;
+    int N = readSlots(P.Code[I], Buf);
+    for (int K = 0; K != N; ++K)
+      if (W.count(Buf[K]))
+        return true;
+  }
+  return false;
+}
+
+/// Validates the wavefront pair rooted at the sealed WaveOuter loop at
+/// \p OB: a pure prelude (re-runnable per cell from loop-entry register
+/// state), then the flagged inner loop, then nothing until the outer
+/// end; inner body restrictions match DOALL. On success stores the
+/// inner LoopBegin index in \p InnerBegin.
+bool validateWavePair(const LIRProgram &P, size_t OB, bool ForC,
+                      size_t &InnerBegin) {
+  const LInst &Outer = P.Code[OB];
+  size_t OE = static_cast<size_t>(Outer.Jump);
+  if (Outer.backward())
+    return false;
+  size_t IB = OB + 1;
+  while (IB < OE && isPureValueOp(P.Code[IB].Op))
+    ++IB;
+  if (IB >= OE || P.Code[IB].Op != LOp::LoopBegin ||
+      !P.Code[IB].parWaveInner() || P.Code[IB].backward())
+    return false;
+  size_t IE = static_cast<size_t>(P.Code[IB].Jump);
+  if (IE + 1 != OE) // something between the inner end and the outer end
+    return false;
+  if (regionHasForbidden(P, IB, IE, ForC))
+    return false;
+  // Prelude re-run safety: every cell re-evaluates the prelude from the
+  // outer loop's *entry* register state, so a prelude read may only see
+  // slots the outer region never writes, the outer induction slots, or
+  // results of earlier prelude instructions.
+  std::set<int32_t> Unsafe; // written by the inner region or the prelude
+  int32_t Buf[3];
+  for (size_t I = IB; I <= IE; ++I) {
+    int N = writtenSlots(P.Code[I], Buf);
+    for (int K = 0; K != N; ++K)
+      Unsafe.insert(Buf[K]);
+  }
+  for (size_t I = OB + 1; I < IB; ++I) {
+    int N = writtenSlots(P.Code[I], Buf);
+    for (int K = 0; K != N; ++K)
+      Unsafe.insert(Buf[K]);
+  }
+  std::set<int32_t> Seen; // earlier prelude results are fine again
+  for (size_t I = OB + 1; I < IB; ++I) {
+    int N = readSlots(P.Code[I], Buf);
+    for (int K = 0; K != N; ++K) {
+      int32_t S = Buf[K];
+      if (S == Outer.A || S == Outer.B || Seen.count(S))
+        continue;
+      if (Unsafe.count(S))
+        return false;
+    }
+    int NW = writtenSlots(P.Code[I], Buf);
+    for (int K = 0; K != NW; ++K)
+      Seen.insert(Buf[K]);
+  }
+  if (writesEscape(P, OB, OE))
+    return false;
+  InnerBegin = IB;
+  return true;
+}
+
+} // namespace
+
+void lir::legalizePar(LIRProgram &P, bool ForC) {
+  // Pass 1: the outermost parallel level wins. Any par-flagged loop
+  // nested inside another parallel region is cleared — except the
+  // WaveInner directly paired with its still-flagged WaveOuter.
+  {
+    struct Ent {
+      bool Par;       // region still carries a par flag
+      bool WaveOuter; // region is a still-flagged wave outer
+      bool TookInner; // its paired inner has been claimed
+    };
+    std::vector<Ent> Stack;
+    for (size_t I = 0; I != P.Code.size(); ++I) {
+      const LOp Op = P.Code[I].Op;
+      if (Op == LOp::LoopBegin) {
+        uint8_t F = P.Code[I].Flags & ParFlagMask;
+        bool InsidePar = false;
+        for (const Ent &E : Stack)
+          InsidePar |= E.Par;
+        bool Keep = F != 0;
+        if (F && InsidePar) {
+          Keep = F == FlagParWaveInner && !Stack.empty() &&
+                 Stack.back().WaveOuter && !Stack.back().TookInner;
+          if (Keep)
+            Stack.back().TookInner = true;
+          else
+            demoteLoop(P, I);
+        }
+        Stack.push_back({Keep, Keep && F == FlagParWaveOuter, false});
+      } else if (Op == LOp::LoopDynBegin || Op == LOp::IfBegin) {
+        Stack.push_back({false, false, false});
+      } else if (isCloseOp(Op)) {
+        Stack.pop_back();
+      }
+    }
+  }
+  // Pass 2: per-loop body legality.
+  std::set<size_t> ClaimedInner;
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    LInst &In = P.Code[I];
+    if (In.Op != LOp::LoopBegin)
+      continue;
+    size_t E = static_cast<size_t>(In.Jump);
+    if (In.parDoall()) {
+      if (regionHasForbidden(P, I, E, ForC) || writesEscape(P, I, E))
+        demoteLoop(P, I);
+    } else if (In.parWaveOuter()) {
+      size_t IB = 0;
+      if (validateWavePair(P, I, ForC, IB)) {
+        ClaimedInner.insert(IB);
+      } else {
+        for (size_t J = I + 1; J < E; ++J)
+          if (P.Code[J].Op == LOp::LoopBegin &&
+              (P.Code[J].Flags & ParFlagMask))
+            demoteLoop(P, J);
+        demoteLoop(P, I);
+      }
+    } else if (In.parWaveInner() && !ClaimedInner.count(I)) {
+      // An inner that lost its outer cannot run on its own.
+      demoteLoop(P, I);
+    }
+  }
 }

@@ -44,6 +44,26 @@ namespace lir {
 /// hoisting, DCE. Does not seal.
 void optimize(LIRProgram &P);
 
+/// Clears the ParPlanner flags from every instruction. Single-threaded
+/// backends call this before optimize() so the serial pipeline (including
+/// strength reduction, which par-flagged loops opt out of) is exactly the
+/// pre-parallel one.
+void stripParFlags(LIRProgram &P);
+
+/// Parallel legality pass: demotes (clears the flags of) any par-flagged
+/// loop whose lowered body contains a construct the parallel runtime
+/// cannot execute concurrently — ring saves/loads, snapshot saves,
+/// defined-bitmap checks (CheckCollision/CheckDefined), a nested
+/// par-flagged loop (the outermost level wins), a wavefront prelude that
+/// is not pure value computation, or a body-written slot read after the
+/// loop. With \p ForC set it additionally demotes loops whose body
+/// contains rc-setting checks (CheckIdx/CheckNonZeroI/Fail), because the
+/// emitted `goto done` may not jump out of an OpenMP region; the
+/// evaluator handles those via per-worker error records instead.
+/// Requires a sealed program; flags stay consistent between LoopBegin and
+/// LoopEnd.
+void legalizePar(LIRProgram &P, bool ForC);
+
 } // namespace lir
 } // namespace hac
 

@@ -1,0 +1,62 @@
+//===- parallel/ParPlan.h - Parallel classification of plan loops -*- C++ -*-=//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel-classification lattice shared by the planner, the plan IR,
+/// the LIR, and both backends. Every `For` statement in an ExecPlan gets
+/// exactly one class:
+///
+///   Serial     — a dependence (or a node-splitting temporary) is carried
+///                by the loop; iterations must run in order.
+///   Doall      — no dependence is carried by the loop: iterations are
+///                independent and may be block-partitioned across workers.
+///   WaveOuter/ — a 2-deep nest whose carried dependences all have uniform
+///   WaveInner    distance (d1, d2) with d1 + d2 >= 1: the anti-diagonal
+///                fronts f = it_outer + it_inner are executed in sequence
+///                with a barrier between fronts, and the cells of one front
+///                run in parallel (the classic wavefront / hyperplane
+///                transform; the SOR kernel is the motivating case).
+///
+/// This header is dependency-free on purpose: codegen stores a ParClass in
+/// every PlanStmt without linking the planner, and the LIR mirrors the
+/// classes as instruction flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_PARALLEL_PARPLAN_H
+#define HAC_PARALLEL_PARPLAN_H
+
+#include <cstdint>
+
+namespace hac {
+namespace par {
+
+/// Parallel execution class of one plan loop (see file comment).
+enum class ParClass : uint8_t {
+  Serial = 0,
+  Doall,
+  WaveOuter,
+  WaveInner,
+};
+
+inline const char *parClassName(ParClass C) {
+  switch (C) {
+  case ParClass::Serial:
+    return "serial";
+  case ParClass::Doall:
+    return "doall";
+  case ParClass::WaveOuter:
+    return "wave-outer";
+  case ParClass::WaveInner:
+    return "wave-inner";
+  }
+  return "?";
+}
+
+} // namespace par
+} // namespace hac
+
+#endif // HAC_PARALLEL_PARPLAN_H

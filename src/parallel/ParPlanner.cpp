@@ -1,0 +1,191 @@
+//===- parallel/ParPlanner.cpp - Dependence-driven loop classifier --------===//
+
+#include "parallel/ParPlanner.h"
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace hac;
+using namespace hac::par;
+
+std::string ParSummary::str() const {
+  std::ostringstream OS;
+  OS << "doall=" << NumDoall << " wavefront=" << NumWave
+     << " serial=" << NumSerial;
+  return OS.str();
+}
+
+namespace {
+
+/// Collects the clause ids stored anywhere under \p S and whether any of
+/// them saves into a ring buffer.
+void collectSubtree(const PlanStmt &S, std::set<unsigned> &Clauses,
+                    bool &HasRing) {
+  if (S.K == PlanStmt::Kind::Store) {
+    if (S.Clause)
+      Clauses.insert(S.Clause->id());
+    if (S.SaveRingId >= 0)
+      HasRing = true;
+    return;
+  }
+  for (const PlanStmt &C : S.Body)
+    collectSubtree(C, Clauses, HasRing);
+}
+
+struct Planner {
+  const std::vector<const DepEdge *> &Edges;
+  bool UnknownRefs;
+  const std::string &UnknownReason;
+  ParSummary Summary;
+
+  bool bothInside(const DepEdge &E, const std::set<unsigned> &Clauses) {
+    return Clauses.count(E.Src) && Clauses.count(E.Dst);
+  }
+
+  /// Tries to prove the 2-deep nest rooted at \p S a wavefront: every
+  /// edge internal to the nest must have a uniform distance (d1, d2) over
+  /// (outer, inner) with d1 + d2 >= 1, so the anti-diagonal fronts
+  /// f = it1 + it2 respect every dependence. Fills the witness with the
+  /// distance set on success, the blocking reason on failure.
+  bool tryWavefront(PlanStmt &S, const std::set<unsigned> &Clauses,
+                    std::string &Witness) {
+    if (S.Body.size() != 1 || S.Body[0].K != PlanStmt::Kind::For) {
+      Witness = "not a singly nested loop pair";
+      return false;
+    }
+    PlanStmt &Inner = S.Body[0];
+    if (S.Backward || Inner.Backward) {
+      Witness = "backward loop in the nest";
+      return false;
+    }
+    for (const PlanStmt &B : Inner.Body)
+      if (B.K != PlanStmt::Kind::Store) {
+        Witness = "inner loop body is not store-only";
+        return false;
+      }
+    const LoopNode *Outer = S.Loop, *InnerL = Inner.Loop;
+    std::ostringstream Dists;
+    bool Any = false;
+    for (const DepEdge *EP : Edges) {
+      const DepEdge &E = *EP;
+      if (!bothInside(E, Clauses))
+        continue;
+      std::vector<int64_t> Delta;
+      if (!uniformDistance(E, Delta)) {
+        Witness = "no uniform distance for " + E.str();
+        return false;
+      }
+      // Locate the pair's components; a nonzero distance on an outer
+      // (ancestor) shared loop means that loop alone satisfies the edge.
+      int64_t D1 = 0, D2 = 0;
+      bool CarriedOutside = false;
+      for (size_t K = 0; K != E.SharedLoops.size(); ++K) {
+        if (E.SharedLoops[K] == Outer)
+          D1 = Delta[K];
+        else if (E.SharedLoops[K] == InnerL)
+          D2 = Delta[K];
+        else if (Delta[K] != 0)
+          CarriedOutside = true;
+      }
+      if (CarriedOutside)
+        continue;
+      // Normalize to execution order (sink after source).
+      if (D1 < 0 || (D1 == 0 && D2 < 0)) {
+        D1 = -D1;
+        D2 = -D2;
+      }
+      if (D1 == 0 && D2 == 0)
+        continue; // loop-independent: ordered within one cell
+      if (D1 + D2 < 1) {
+        std::ostringstream OS;
+        OS << "distance (" << D1 << "," << D2 << ") of " << E.str()
+           << " crosses a front";
+        Witness = OS.str();
+        return false;
+      }
+      Dists << (Any ? ", " : "") << "(" << D1 << "," << D2 << ")";
+      Any = true;
+    }
+    Witness = "uniform distances {" + Dists.str() +
+              "}: front f = i1 + i2 respects every dependence";
+    return true;
+  }
+
+  void classifyFor(PlanStmt &S) {
+    std::set<unsigned> Clauses;
+    bool HasRing = false;
+    collectSubtree(S, Clauses, HasRing);
+
+    if (UnknownRefs) {
+      S.Par = ParClass::Serial;
+      S.ParWitness = "analysis poisoned: " + UnknownReason;
+    } else if (HasRing) {
+      S.Par = ParClass::Serial;
+      S.ParWitness =
+          "rolling ring buffer carries old values across iterations";
+    } else {
+      const DepEdge *Carrier = nullptr;
+      unsigned Checked = 0;
+      for (const DepEdge *E : Edges) {
+        if (!bothInside(*E, Clauses))
+          continue;
+        ++Checked;
+        if (!Carrier && edgeCarriedAt(*E, S.Loop))
+          Carrier = E;
+      }
+      if (!Carrier) {
+        S.Par = ParClass::Doall;
+        std::ostringstream OS;
+        OS << "no dependence carried by this loop (" << Checked
+           << " edge(s) checked)";
+        S.ParWitness = OS.str();
+      } else {
+        std::string Witness;
+        if (tryWavefront(S, Clauses, Witness)) {
+          S.Par = ParClass::WaveOuter;
+          S.ParWitness = Witness;
+          S.Body[0].Par = ParClass::WaveInner;
+          S.Body[0].ParWitness = "inner loop of the wavefront pair";
+          ++Summary.NumWave;
+          HAC_TRACE_COUNT("par.wavefront");
+          return; // the inner loop is classified; no recursion needed
+        }
+        S.Par = ParClass::Serial;
+        S.ParWitness = "carried dependence " + Carrier->str() +
+                       (Witness.empty() ? "" : "; wavefront: " + Witness);
+      }
+    }
+
+    if (S.Par == ParClass::Doall) {
+      ++Summary.NumDoall;
+      HAC_TRACE_COUNT("par.doall");
+    } else {
+      ++Summary.NumSerial;
+      HAC_TRACE_COUNT("par.serial");
+    }
+    // Classify nested loops too; backends use the outermost parallel
+    // level and run anything nested below it serially.
+    for (PlanStmt &C : S.Body)
+      if (C.K == PlanStmt::Kind::For)
+        classifyFor(C);
+  }
+};
+
+} // namespace
+
+ParSummary par::planParallel(ExecPlan &Plan,
+                             const std::vector<const DepEdge *> &Edges,
+                             bool UnknownRefs,
+                             const std::string &UnknownReason) {
+  HAC_TRACE_SPAN(Span, "par-plan");
+  Planner P{Edges, UnknownRefs, UnknownReason, ParSummary{}};
+  for (PlanStmt &S : Plan.Stmts)
+    if (S.K == PlanStmt::Kind::For)
+      P.classifyFor(S);
+  if (traceEnabled())
+    TraceSink::get().annotate(P.Summary.str());
+  return P.Summary;
+}

@@ -1,0 +1,52 @@
+//===- parallel/ParPlanner.h - Dependence-driven loop classifier -*- C++ -*-==//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ParPlanner consumes the dependence edges a compiled plan still has
+/// to honor and classifies every `For` statement as DOALL, wavefront
+/// (outer/inner of a 2-deep uniform-distance nest), or serial, recording
+/// the decision and its proof witness in the plan itself. Both backends —
+/// the LIR evaluator and the C emitter — then execute the same decisions,
+/// and hac-verify surfaces the serial witnesses as HAC008 notes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_PARALLEL_PARPLANNER_H
+#define HAC_PARALLEL_PARPLANNER_H
+
+#include "analysis/DepGraph.h"
+#include "codegen/ExecPlan.h"
+#include "parallel/ParPlan.h"
+
+#include <string>
+#include <vector>
+
+namespace hac {
+namespace par {
+
+/// Aggregate classification result (also traced as par.* counters).
+struct ParSummary {
+  unsigned NumDoall = 0;
+  /// Number of wavefront *pairs* (outer+inner count as one).
+  unsigned NumWave = 0;
+  unsigned NumSerial = 0;
+
+  std::string str() const;
+};
+
+/// Classifies every For statement of \p Plan in place. \p Edges are the
+/// dependence edges the serial schedule still honors (post node
+/// splitting); \p UnknownRefs marks a poisoned analysis (every loop then
+/// stays serial with the reason as witness).
+ParSummary planParallel(ExecPlan &Plan,
+                        const std::vector<const DepEdge *> &Edges,
+                        bool UnknownRefs = false,
+                        const std::string &UnknownReason = "");
+
+} // namespace par
+} // namespace hac
+
+#endif // HAC_PARALLEL_PARPLANNER_H

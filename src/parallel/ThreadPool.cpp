@@ -1,0 +1,162 @@
+//===- parallel/ThreadPool.cpp - Work-stealing worker pool ----------------===//
+
+#include "parallel/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace hac;
+using namespace hac::par;
+
+namespace {
+
+/// One worker's deque. The owner pops from the back, thieves pop from the
+/// front; both sides take the mutex — tasks here are loop *chunks*, so
+/// queue traffic is a handful of operations per parallelFor, not per
+/// iteration, and an uncontended mutex is cheaper than getting a lock-free
+/// deque wrong.
+struct WorkerQueue {
+  std::mutex M;
+  std::deque<size_t> Q;
+};
+
+} // namespace
+
+struct ThreadPool::Impl {
+  unsigned NumThreads = 1;
+  std::vector<std::thread> Workers;
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+
+  std::mutex JobM;
+  std::condition_variable JobCV;  // workers wait here between jobs
+  std::condition_variable DoneCV; // parallelFor waits here for the barrier
+  const std::function<void(size_t)> *JobFn = nullptr;
+  std::atomic<size_t> Remaining{0};
+  uint64_t JobGen = 0;
+  bool Shutdown = false;
+
+  /// Pops one task for worker \p Self: own deque from the back first,
+  /// then steal from the other deques' fronts. Returns false when no
+  /// task is available anywhere.
+  bool popTask(unsigned Self, size_t &Task) {
+    {
+      WorkerQueue &Own = *Queues[Self];
+      std::lock_guard<std::mutex> Lock(Own.M);
+      if (!Own.Q.empty()) {
+        Task = Own.Q.back();
+        Own.Q.pop_back();
+        return true;
+      }
+    }
+    for (unsigned I = 1; I != NumThreads; ++I) {
+      WorkerQueue &Victim = *Queues[(Self + I) % NumThreads];
+      std::lock_guard<std::mutex> Lock(Victim.M);
+      if (!Victim.Q.empty()) {
+        Task = Victim.Q.front();
+        Victim.Q.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drains every available task for worker \p Self, decrementing the
+  /// barrier count and waking the caller when the last task finishes.
+  void drain(unsigned Self, const std::function<void(size_t)> &Fn) {
+    size_t Task;
+    while (popTask(Self, Task)) {
+      Fn(Task);
+      if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(JobM);
+        DoneCV.notify_all();
+      }
+    }
+  }
+
+  void workerLoop(unsigned Self) {
+    uint64_t SeenGen = 0;
+    for (;;) {
+      const std::function<void(size_t)> *Fn = nullptr;
+      {
+        std::unique_lock<std::mutex> Lock(JobM);
+        JobCV.wait(Lock,
+                   [&] { return Shutdown || JobGen != SeenGen; });
+        if (Shutdown)
+          return;
+        SeenGen = JobGen;
+        Fn = JobFn;
+      }
+      drain(Self, *Fn);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned Threads) : P(std::make_unique<Impl>()) {
+  if (Threads == 0)
+    Threads = defaultThreads();
+  P->NumThreads = Threads;
+  P->Queues.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    P->Queues.push_back(std::make_unique<WorkerQueue>());
+  // Worker 0 is the calling thread.
+  for (unsigned I = 1; I != Threads; ++I)
+    P->Workers.emplace_back([this, I] { P->workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(P->JobM);
+    P->Shutdown = true;
+    P->JobCV.notify_all();
+  }
+  for (std::thread &T : P->Workers)
+    T.join();
+}
+
+unsigned ThreadPool::threads() const { return P->NumThreads; }
+
+void ThreadPool::parallelFor(size_t NumTasks,
+                             const std::function<void(size_t)> &Fn) {
+  if (NumTasks == 0)
+    return;
+  if (P->NumThreads == 1 || NumTasks == 1) {
+    for (size_t T = 0; T != NumTasks; ++T)
+      Fn(T);
+    return;
+  }
+  // Round-robin the tasks over the deques, then publish the job.
+  for (size_t T = 0; T != NumTasks; ++T) {
+    WorkerQueue &Q = *P->Queues[T % P->NumThreads];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    Q.Q.push_back(T);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(P->JobM);
+    P->JobFn = &Fn;
+    P->Remaining.store(NumTasks, std::memory_order_relaxed);
+    ++P->JobGen;
+    P->JobCV.notify_all();
+  }
+  // The caller works too, then waits out the barrier.
+  P->drain(0, Fn);
+  std::unique_lock<std::mutex> Lock(P->JobM);
+  P->DoneCV.wait(Lock, [&] {
+    return P->Remaining.load(std::memory_order_acquire) == 0;
+  });
+  P->JobFn = nullptr;
+}
+
+unsigned ThreadPool::defaultThreads() {
+  if (const char *Env = std::getenv("HAC_THREADS")) {
+    long N = std::strtol(Env, nullptr, 10);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}

@@ -1,0 +1,62 @@
+//===- parallel/ThreadPool.h - Work-stealing worker pool --------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool built for the LIR evaluator's
+/// parallel loops: N-1 persistent worker threads plus the calling thread,
+/// per-worker task deques (owners pop from the back, thieves steal from
+/// the front), and a single blocking entry point `parallelFor` that acts
+/// as a barrier — it returns only once every task has finished.
+///
+/// Tasks must not throw; error reporting happens through whatever state
+/// the task closure captures (the evaluator records the lexically first
+/// failing iteration under its own mutex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_PARALLEL_THREADPOOL_H
+#define HAC_PARALLEL_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace hac {
+namespace par {
+
+class ThreadPool {
+public:
+  /// Creates a pool of \p Threads total workers (the calling thread
+  /// counts as one, so Threads - 1 OS threads are spawned). Threads == 0
+  /// is treated as defaultThreads().
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total worker count, including the caller.
+  unsigned threads() const;
+
+  /// Runs Fn(Task) for every Task in [0, NumTasks), distributing tasks
+  /// over the workers' deques; the caller participates and the call
+  /// returns only when all tasks are done (a barrier). Not reentrant:
+  /// Fn must not call parallelFor on the same pool.
+  void parallelFor(size_t NumTasks, const std::function<void(size_t)> &Fn);
+
+  /// The HAC_THREADS environment override when set to a positive number,
+  /// otherwise std::thread::hardware_concurrency() (at least 1).
+  static unsigned defaultThreads();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace par
+} // namespace hac
+
+#endif // HAC_PARALLEL_THREADPOOL_H

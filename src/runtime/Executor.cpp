@@ -5,6 +5,7 @@
 #include "lir/LIREval.h"
 #include "lir/LIRLowering.h"
 #include "lir/LIRPasses.h"
+#include "parallel/ThreadPool.h"
 #include "support/Trace.h"
 
 using namespace hac;
@@ -20,6 +21,7 @@ struct LIRCacheImpl {
     uint64_t PlanId = 0;
     bool ValidateReads = false;
     bool Optimize = true;
+    bool Parallel = false;
     size_t NumStmts = 0;
     const void *FirstStmt = nullptr;
     const void *LastStmt = nullptr;
@@ -29,7 +31,8 @@ struct LIRCacheImpl {
 
     bool operator==(const Key &O) const {
       return PlanId == O.PlanId && ValidateReads == O.ValidateReads &&
-             Optimize == O.Optimize && NumStmts == O.NumStmts &&
+             Optimize == O.Optimize && Parallel == O.Parallel &&
+             NumStmts == O.NumStmts &&
              FirstStmt == O.FirstStmt && LastStmt == O.LastStmt &&
              CheckFlags == O.CheckFlags && TargetDims == O.TargetDims &&
              InputDims == O.InputDims;
@@ -47,12 +50,14 @@ struct LIRCacheImpl {
 namespace {
 
 LIRCacheImpl::Key makeKey(const ExecPlan &Plan, bool ValidateReads,
-                          bool Optimize, const ArrayDims &TargetDims,
+                          bool Optimize, bool Parallel,
+                          const ArrayDims &TargetDims,
                           std::map<std::string, ArrayDims> InputDims) {
   LIRCacheImpl::Key K;
   K.PlanId = Plan.Id;
   K.ValidateReads = ValidateReads;
   K.Optimize = Optimize;
+  K.Parallel = Parallel;
   K.NumStmts = Plan.Stmts.size();
   K.FirstStmt = Plan.Stmts.empty() ? nullptr
                                    : static_cast<const void *>(
@@ -79,6 +84,15 @@ LIRCacheImpl::Key makeKey(const ExecPlan &Plan, bool ValidateReads,
 
 Executor::Executor(ParamEnv Params) : Params(std::move(Params)) {}
 
+void Executor::setNumThreads(unsigned N) {
+  if (N == 0)
+    N = par::ThreadPool::defaultThreads();
+  if (N != Threads) {
+    Threads = N;
+    Pool.reset(); // rebuilt lazily at the next parallel run
+  }
+}
+
 void Executor::bindInput(const std::string &Name, const DoubleArray *Array) {
   Inputs[Name] = Array;
 }
@@ -92,10 +106,11 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
   for (const auto &[Name, Arr] : Inputs)
     InDims[Name] = Arr->dims();
 
+  const bool Parallel = Threads > 1;
   if (!Cache)
     Cache = std::make_shared<LIRCacheImpl>();
-  LIRCacheImpl::Key Key =
-      makeKey(Plan, ValidateReads, LIROptimize, TargetDims, std::move(InDims));
+  LIRCacheImpl::Key Key = makeKey(Plan, ValidateReads, LIROptimize, Parallel,
+                                  TargetDims, std::move(InDims));
 
   const lir::LIRProgram *Prog = nullptr;
   if (Plan.Id != 0)
@@ -111,6 +126,11 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
       TraceSpan Span("lower.lir");
       Local = lir::lowerPlan(Plan, TargetDims, Params, Key.InputDims,
                              /*ForC=*/false, ValidateReads);
+      // Single-threaded runs strip the ParPlanner flags up front so the
+      // optimized serial LIR is byte-identical to the pre-parallel
+      // pipeline (par-flagged loops opt out of strength reduction).
+      if (!Parallel)
+        lir::stripParFlags(Local);
       if (LIROptimize)
         lir::optimize(Local);
       std::string SealErr;
@@ -118,6 +138,10 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
         Err = "internal error: LIR seal failed: " + SealErr;
         return false;
       }
+      // Demote any par-flagged loop whose lowered body turned out not
+      // to be safe for concurrent execution (needs a sealed program).
+      if (Parallel)
+        lir::legalizePar(Local, /*ForC=*/false);
     }
     if (traceEnabled()) {
       TraceSink &S = TraceSink::get();
@@ -125,6 +149,16 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
       S.count("lir.hoisted", Local.NumHoisted);
       S.count("lir.strength_reduced", Local.NumStrengthReduced);
       S.count("lir.dce", Local.NumDce);
+      if (Parallel) {
+        uint64_t Doall = 0, Wave = 0;
+        for (const lir::LInst &I : Local.Code)
+          if (I.Op == lir::LOp::LoopBegin) {
+            Doall += I.parDoall();
+            Wave += I.parWaveOuter();
+          }
+        S.count("lir.par_doall", Doall);
+        S.count("lir.par_wavefront", Wave);
+      }
     }
     if (Plan.Id != 0) {
       if (Cache->Entries.size() >= 16)
@@ -157,7 +191,10 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
   if (TempBytes > Stats.TempBytes)
     Stats.TempBytes = TempBytes;
 
-  if (!lir::evalLIR(P, Target, InVec, Rings, Snaps, Stats, Err))
+  if (Threads > 1 && !Pool)
+    Pool = std::make_shared<par::ThreadPool>(Threads);
+  if (!lir::evalLIR(P, Target, InVec, Rings, Snaps, Stats, Err,
+                    Threads > 1 ? Pool.get() : nullptr))
     return false;
 
   // Empties check (Section 4): every element must have a definition.

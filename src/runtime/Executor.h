@@ -31,6 +31,10 @@
 
 namespace hac {
 
+namespace par {
+class ThreadPool;
+}
+
 struct LIRCacheImpl;
 
 /// Executes plans. One executor may run many plans; stats accumulate
@@ -52,6 +56,15 @@ public:
   /// passes-off ablation.
   void setLIROptimize(bool V) { LIROptimize = V; }
 
+  /// Sets the worker count for parallel loop execution. 1 (the default)
+  /// keeps the fully serial pipeline — par flags are stripped before
+  /// the optimization passes, so single-threaded LIR is byte-identical
+  /// to the pre-parallel one. 0 picks the HAC_THREADS environment
+  /// override or else std::thread::hardware_concurrency(). The lazily
+  /// created thread pool is shared across runs of this executor.
+  void setNumThreads(unsigned N);
+  unsigned numThreads() const { return Threads; }
+
   /// Runs \p Plan against \p Target. For construction plans the target
   /// must be freshly constructed with Plan.Dims; for in-place updates it
   /// holds the old contents. Returns false with \p Err set on a runtime
@@ -70,6 +83,8 @@ private:
   ExecStats Stats;
   bool ValidateReads = false;
   bool LIROptimize = true;
+  unsigned Threads = 1;
+  std::shared_ptr<par::ThreadPool> Pool;
   std::shared_ptr<LIRCacheImpl> Cache;
 };
 

@@ -642,8 +642,7 @@ namespace {
 /// the edge label.
 bool deriveRolling(const DepEdge &E, unsigned &LevelOut,
                    int64_t &DistanceOut) {
-  if (E.Src != E.Dst || E.SrcSub.empty() ||
-      E.SrcSub.size() != E.DstSub.size())
+  if (E.Src != E.Dst)
     return false;
   // Exactly one non-'=' component, and it must be '>'.
   int Carried = -1;
@@ -656,35 +655,16 @@ bool deriveRolling(const DepEdge &E, unsigned &LevelOut,
   }
   if (Carried < 0 || static_cast<size_t>(Carried) >= E.SharedLoops.size())
     return false;
-  const LoopNode *CLoop = E.SharedLoops[Carried];
 
-  // Read R (source) and write W (sink): need W(x - d*e_c) = R(x), i.e.
-  // per dimension equal coefficients everywhere and
-  // W.Const - coeffW(c)*d = R.Const.
-  int64_t Distance = 0;
-  bool HaveDistance = false;
-  for (size_t Dim = 0; Dim != E.SrcSub.size(); ++Dim) {
-    const AffineForm &R = E.SrcSub[Dim];
-    const AffineForm &W = E.DstSub[Dim];
-    for (const LoopNode *Loop : E.SharedLoops)
-      if (R.coeff(Loop) != W.coeff(Loop))
-        return false;
-    int64_t C = W.coeff(CLoop);
-    int64_t Delta = W.Const - R.Const;
-    if (C == 0) {
-      if (Delta != 0)
-        return false;
-      continue;
-    }
-    if (Delta % C != 0)
-      return false;
-    int64_t D = Delta / C;
-    if (HaveDistance && D != Distance)
-      return false;
-    Distance = D;
-    HaveDistance = true;
-  }
-  if (!HaveDistance || Distance < 1)
+  // Read R (source) and write W (sink): need W(x - d*e_c) = R(x). The
+  // uniform-distance solver returns sink - source, so the rolling
+  // distance is its negation at the carried position (the '=' components
+  // are pinned to zero by the edge label).
+  std::vector<int64_t> Delta;
+  if (!uniformDistance(E, Delta))
+    return false;
+  int64_t Distance = -Delta[Carried];
+  if (Distance < 1)
     return false;
   LevelOut = static_cast<unsigned>(Carried);
   DistanceOut = Distance;

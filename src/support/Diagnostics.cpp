@@ -38,6 +38,8 @@ const char *hac::ruleIdString(RuleID Rule) {
     return "HAC006";
   case RuleID::HAC007:
     return "HAC007";
+  case RuleID::HAC008:
+    return "HAC008";
   }
   return "";
 }

@@ -48,12 +48,13 @@ enum class RuleID : uint8_t {
   HAC005 = 5, ///< out-of-bounds-read
   HAC006 = 6, ///< dead-clause
   HAC007 = 7, ///< fallback-forced
+  HAC008 = 8, ///< loop-not-parallel
 };
 
 /// Number of assigned rules (RuleID values 1..kNumRules are valid).
-inline constexpr unsigned kNumRules = 7;
+inline constexpr unsigned kNumRules = 8;
 
-/// "HAC001" ... "HAC007", or "" for RuleID::None.
+/// "HAC001" ... "HAC008", or "" for RuleID::None.
 const char *ruleIdString(RuleID Rule);
 
 /// Maps 1..kNumRules to the rule; anything else to RuleID::None.

@@ -87,12 +87,14 @@ TraceSink &TraceSink::get() {
 }
 
 void TraceSink::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Events.clear();
   Counters.clear();
   OpenStack.clear();
 }
 
 int TraceSink::beginSpan(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   TraceEvent E;
   E.Name = std::string(Name);
   E.Parent = OpenStack.empty() ? -1 : OpenStack.back();
@@ -105,6 +107,7 @@ int TraceSink::beginSpan(std::string_view Name) {
 }
 
 void TraceSink::endSpan(int Index) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   assert(Index >= 0 && static_cast<size_t>(Index) < Events.size() &&
          "endSpan of an unknown span");
   assert(!OpenStack.empty() && OpenStack.back() == Index &&
@@ -116,6 +119,7 @@ void TraceSink::endSpan(int Index) {
 }
 
 void TraceSink::annotate(std::string_view Detail) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (!Enabled || OpenStack.empty())
     return;
   TraceEvent &E = Events[OpenStack.back()];
@@ -125,6 +129,7 @@ void TraceSink::annotate(std::string_view Detail) {
 }
 
 void TraceSink::count(std::string_view Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   // Transparent comparison keeps repeat increments allocation-free.
   auto It = Counters.find(std::string(Name));
   if (It == Counters.end())
@@ -134,12 +139,14 @@ void TraceSink::count(std::string_view Name, uint64_t Delta) {
 }
 
 void TraceSink::countMax(std::string_view Name, uint64_t Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   uint64_t &Slot = Counters[std::string(Name)];
   if (Value > Slot)
     Slot = Value;
 }
 
 uint64_t TraceSink::counter(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Counters.find(std::string(Name));
   return It == Counters.end() ? 0 : It->second;
 }

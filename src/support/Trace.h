@@ -24,8 +24,12 @@
 /// binary without flag plumbing; at process exit the span tree and
 /// counters are dumped to stderr (HAC_TRACE=json dumps JSON instead).
 ///
-/// The sink is not thread-safe: the pipeline is single-threaded and the
-/// benches enable tracing only around single-threaded sections.
+/// Counters and spans are thread-safe: a mutex guards every mutation, so
+/// parallel-runtime workers may bump counters concurrently. The span
+/// *tree* is still logically single-threaded (spans close in LIFO order
+/// on the thread that opened them); workers should stick to count().
+/// The events()/counters() accessors return references into the sink —
+/// read them only while no worker threads are running.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +39,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -108,6 +113,9 @@ public:
 private:
   TraceSink();
 
+  /// Guards Events/Counters/OpenStack against concurrent mutation from
+  /// parallel-runtime worker threads.
+  mutable std::mutex Mutex;
   bool Enabled = false;
   std::vector<TraceEvent> Events;
   std::map<std::string, uint64_t> Counters;

@@ -40,6 +40,11 @@ const std::array<RuleInfo, kNumRules> Rules = {{
      "The program cannot be compiled thunklessly and falls back to the "
      "lazy interpreter; explains why.",
      DiagSeverity::Note},
+    {RuleID::HAC008, "loop-not-parallel",
+     "A loop stays serial under the parallel planner: a carried "
+     "dependence (or poisoned analysis) prevents DOALL and wavefront "
+     "execution; the witness explains which.",
+     DiagSeverity::Note},
 }};
 
 } // namespace

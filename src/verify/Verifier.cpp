@@ -7,6 +7,7 @@
 #include "support/Casting.h"
 #include "support/Trace.h"
 
+#include <functional>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -17,7 +18,7 @@ namespace {
 
 const char *const TraceCounterNames[kNumRules] = {
     "verify.hac001", "verify.hac002", "verify.hac003", "verify.hac004",
-    "verify.hac005", "verify.hac006", "verify.hac007",
+    "verify.hac005", "verify.hac006", "verify.hac007", "verify.hac008",
 };
 
 Diagnostic finding(RuleID Rule, DiagSeverity Severity, SourceLoc Loc,
@@ -343,6 +344,42 @@ void Verifier::checkFallback(bool Compiled, const std::string &Reason) {
                          Reason));
 }
 
+namespace {
+
+/// First source location of any clause stored under \p S, so HAC008
+/// findings anchor at the body the serial loop surrounds.
+SourceLoc firstClauseLoc(const PlanStmt &S) {
+  if (S.K == PlanStmt::Kind::Store)
+    return S.Clause ? S.Clause->loc() : SourceLoc();
+  for (const PlanStmt &C : S.Body) {
+    SourceLoc L = firstClauseLoc(C);
+    if (L.isValid())
+      return L;
+  }
+  return SourceLoc();
+}
+
+} // namespace
+
+void Verifier::checkParallel(const ExecPlan &Plan) {
+  // Walk every For in the plan tree. The planner classifies each one and
+  // leaves a witness; a Serial class with a witness is a "why not
+  // parallel" explanation worth surfacing. The wavefront inner loop is
+  // part of its pair and never reported on its own.
+  std::function<void(const PlanStmt &)> Walk = [&](const PlanStmt &S) {
+    if (S.K != PlanStmt::Kind::For)
+      return;
+    if (S.Par == par::ParClass::Serial && !S.ParWitness.empty())
+      emit(finding(RuleID::HAC008, DiagSeverity::Note, firstClauseLoc(S),
+                   "loop over '" + (S.Loop ? S.Loop->var() : "?") +
+                       "' is not parallelizable: " + S.ParWitness));
+    for (const PlanStmt &C : S.Body)
+      Walk(C);
+  };
+  for (const PlanStmt &S : Plan.Stmts)
+    Walk(S);
+}
+
 VerifyResult Verifier::verify(const CompiledArray &CA) {
   HAC_TRACE_SPAN(Span, "verify");
   Result = VerifyResult();
@@ -353,6 +390,8 @@ VerifyResult Verifier::verify(const CompiledArray &CA) {
   checkReads(CA.ReadBounds);
   checkDeadClauses(CA.Nest, CA.Params);
   checkFallback(CA.Thunkless, CA.FallbackReason);
+  if (CA.Thunkless)
+    checkParallel(CA.Plan);
   return Result;
 }
 
@@ -362,5 +401,7 @@ VerifyResult Verifier::verify(const CompiledUpdate &CU) {
   checkReads(CU.ReadBounds);
   checkDeadClauses(CU.Nest, CU.Params);
   checkFallback(CU.InPlace, CU.FallbackReason);
+  if (CU.InPlace)
+    checkParallel(CU.Plan);
   return Result;
 }

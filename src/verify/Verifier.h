@@ -78,6 +78,10 @@ private:
   void checkReads(const ReadBoundsAnalysis &Reads);
   void checkDeadClauses(const CompNest &Nest, const ParamEnv &Params);
   void checkFallback(bool Compiled, const std::string &Reason);
+  /// HAC008: notes every loop the parallel planner left serial, quoting
+  /// its blocking witness. Only meaningful on plans the planner has seen
+  /// (Thunkless / InPlace); callers skip it otherwise.
+  void checkParallel(const ExecPlan &Plan);
 };
 
 } // namespace hac

@@ -225,6 +225,20 @@ void diffConstruction(const std::string &Path, const std::string &Source,
   EXPECT_LE(DoubleArray::maxAbsDiff(*Ref, Out), 0.0)
       << Path << ": interpreter vs LIR evaluator";
 
+  // The parallel evaluator must be bit-identical to the serial one at
+  // every thread count (DOALL partitioning and wavefront sweeps never
+  // reorder the stores a result element observes).
+  for (unsigned Threads : {2u, 8u}) {
+    Executor ParExec(Compiled->Params);
+    ParExec.setNumThreads(Threads);
+    DoubleArray ParOut;
+    std::string ParErr;
+    ASSERT_TRUE(Compiled->evaluate(ParOut, ParExec, ParErr))
+        << Path << " @" << Threads << " threads\n" << ParErr;
+    EXPECT_LE(DoubleArray::maxAbsDiff(Out, ParOut), 0.0)
+        << Path << ": serial vs " << Threads << "-thread LIR evaluator";
+  }
+
   CEmitResult Emitted = emitC(Compiled->Plan, "kernel", Compiled->Params);
   ASSERT_TRUE(Emitted.OK) << Path << "\n" << Emitted.Error;
   ASSERT_TRUE(Emitted.InputNames.empty()) << Path;
@@ -274,6 +288,17 @@ void diffUpdate(const std::string &Path, const std::string &Source,
       << Path << "\n" << Err;
   EXPECT_LE(DoubleArray::maxAbsDiff(*Ref, ExecOut), 0.0)
       << Path << ": interpreter vs LIR evaluator";
+
+  for (unsigned Threads : {2u, 8u}) {
+    DoubleArray ParOut = Start;
+    Executor ParExec(Compiled->Params);
+    ParExec.setNumThreads(Threads);
+    std::string ParErr;
+    ASSERT_TRUE(Compiled->evaluateInPlace(ParOut, ParExec, ParErr))
+        << Path << " @" << Threads << " threads\n" << ParErr;
+    EXPECT_LE(DoubleArray::maxAbsDiff(ExecOut, ParOut), 0.0)
+        << Path << ": serial vs " << Threads << "-thread LIR evaluator";
+  }
 
   ExecPlan Plan = Compiled->Plan;
   Plan.Dims = Dims;
