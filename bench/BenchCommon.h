@@ -17,6 +17,7 @@
 #include "codegen/CEmitter.h"
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
+#include "parallel/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <cstdio>
@@ -27,6 +28,15 @@
 #include <unistd.h>
 #include <utility>
 #include <vector>
+
+// Build provenance for the JSON header, filled in by bench/CMakeLists.txt.
+// The fallbacks keep the header self-contained for ad-hoc compiles.
+#ifndef HAC_BENCH_BUILD_TYPE
+#define HAC_BENCH_BUILD_TYPE ""
+#endif
+#ifndef HAC_BENCH_CXX_FLAGS
+#define HAC_BENCH_CXX_FLAGS ""
+#endif
 
 namespace hacbench {
 
@@ -86,7 +96,15 @@ private:
       std::fprintf(stderr, "hacbench: cannot write '%s'\n", S.Path.c_str());
       return;
     }
-    OS << "{\n \"rows\": [\n";
+    // schema_version history: 1 = rows + trace; 2 adds threads (the
+    // HAC_THREADS/hardware default the parallel benches use) and build
+    // provenance so bench_diff can refuse apples-to-oranges comparisons.
+    OS << "{\n \"schema_version\": 2,\n"
+       << " \"threads\": " << par::ThreadPool::defaultThreads() << ",\n"
+       << " \"build\": {\"compiler\": " << jsonQuote(__VERSION__)
+       << ", \"type\": " << jsonQuote(HAC_BENCH_BUILD_TYPE)
+       << ", \"cxx_flags\": " << jsonQuote(HAC_BENCH_CXX_FLAGS) << "},\n";
+    OS << " \"rows\": [\n";
     for (size_t I = 0; I != S.Rows.size(); ++I)
       OS << S.Rows[I] << (I + 1 == S.Rows.size() ? "\n" : ",\n");
     OS << " ],\n \"trace\":\n";

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compare two HAC_BENCH_JSON artifacts and flag perf regressions.
+
+Usage:
+    bench_diff.py OLD.json NEW.json [--threshold PCT] [--metric REGEX]
+
+Each bench binary writes one JSON document when HAC_BENCH_JSON names a
+file (see bench/BenchCommon.h). This tool matches the two documents'
+result rows and prints per-benchmark deltas for every numeric field the
+rows share. Rows are keyed on the benchmark name plus the identity
+dimensions that parameterize it ("n", "threads", "exec") so e.g.
+par/jacobi at 1 thread only ever compares against par/jacobi at 1
+thread.
+
+Only time-like fields gate the exit status: a NEW value more than
+--threshold percent above OLD on a field matching --metric (default:
+ns/ms-per-iteration style names) is a regression and the tool exits 1.
+Other numeric fields (speedups, instruction counts, hoist counters) are
+reported but never fail the run — whether a change there is good or bad
+needs a human.
+
+Typical CI usage, comparing against the previous run's artifact:
+
+    HAC_BENCH_JSON=new.json ./build/bench/bench_parallel
+    python3 bench/bench_diff.py baseline/bench_parallel.json new.json \
+        --threshold 10
+
+stdlib only; no third-party packages required.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Fields that identify a row rather than measure it.
+IDENTITY_FIELDS = ("n", "threads", "exec")
+
+# Default pattern for "lower is better, gate on it" metrics.
+DEFAULT_METRIC = r"(^|_)(ns|ms|nanos)(_|$)|(^|_)time$"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if "rows" not in doc:
+        sys.exit(f"bench_diff: {path} has no 'rows' array "
+                 "(not a HAC_BENCH_JSON artifact?)")
+    return doc
+
+
+def row_key(row):
+    key = [row.get("name", "?")]
+    for field in IDENTITY_FIELDS:
+        if field in row:
+            key.append(f"{field}={row[field]}")
+    return " ".join(str(k) for k in key)
+
+
+def numeric_metrics(row):
+    out = {}
+    for field, value in row.items():
+        if field == "name" or field in IDENTITY_FIELDS:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[field] = value
+    return out
+
+
+def check_provenance(old, new):
+    """Warn when the two artifacts are not apples to apples."""
+    for field in ("schema_version", "threads"):
+        a, b = old.get(field), new.get(field)
+        if a != b:
+            print(f"bench_diff: warning: {field} differs "
+                  f"({a} vs {b})", file=sys.stderr)
+    a, b = old.get("build"), new.get("build")
+    if a != b and a is not None and b is not None:
+        print(f"bench_diff: warning: build provenance differs:\n"
+              f"  old: {a}\n  new: {b}", file=sys.stderr)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two HAC_BENCH_JSON files")
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                    help="regression gate on time-like metrics "
+                         "(default: %(default)s%%)")
+    ap.add_argument("--metric", default=DEFAULT_METRIC, metavar="REGEX",
+                    help="fields the gate applies to "
+                         "(default: ns/ms-style names)")
+    args = ap.parse_args()
+    gate = re.compile(args.metric)
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    check_provenance(old_doc, new_doc)
+
+    old_rows = {row_key(r): r for r in old_doc["rows"]}
+    new_rows = {row_key(r): r for r in new_doc["rows"]}
+
+    regressions = []
+    width = max((len(k) for k in old_rows), default=10)
+    print(f"{'benchmark':<{width}}  {'field':<16} {'old':>14} {'new':>14} "
+          f"{'delta':>8}")
+    for key in sorted(old_rows):
+        if key not in new_rows:
+            print(f"{key:<{width}}  (missing from {args.new})")
+            continue
+        old_m = numeric_metrics(old_rows[key])
+        new_m = numeric_metrics(new_rows[key])
+        for field in sorted(old_m):
+            if field not in new_m:
+                continue
+            a, b = old_m[field], new_m[field]
+            if a == 0:
+                delta = "n/a" if b == 0 else "+inf"
+                pct = None
+            else:
+                pct = (b - a) / a * 100.0
+                delta = f"{pct:+.1f}%"
+            gated = bool(gate.search(field))
+            mark = ""
+            if gated and args.threshold >= 0 and (
+                    pct is None and b > a or
+                    pct is not None and pct > args.threshold):
+                regressions.append((key, field, a, b))
+                mark = "  REGRESSION"
+            print(f"{key:<{width}}  {field:<16} {a:>14} {b:>14} "
+                  f"{delta:>8}{mark}")
+    for key in sorted(new_rows.keys() - old_rows.keys()):
+        print(f"{key:<{width}}  (new in {args.new})")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold}%:", file=sys.stderr)
+        for key, field, a, b in regressions:
+            print(f"  {key} {field}: {a} -> {b}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

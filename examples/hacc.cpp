@@ -24,9 +24,15 @@
 //   hacc -trace ... FILE print the phase-timing tree + counters to stderr
 //   hacc -json OUT ...   write compile+run telemetry as JSON to OUT
 //                        ("-" for stdout)
+//   hacc -profile ...    print the ranked hot-loop table (source lines,
+//                        par classes, HAC008 witnesses) to stderr after
+//                        the run; adds a "profile" object to -json
+//   hacc -timeline OUT   write a Chrome trace-event timeline (load in
+//                        chrome://tracing or Perfetto; "-" = stdout)
 //
 // FILE may be "-" for stdin. Setting the HAC_TRACE environment variable
-// enables -trace-style output in any mode without flags.
+// enables -trace-style output in any mode without flags; HAC_PROFILE
+// likewise implies -profile's stderr table.
 //
 // Exit codes: 0 success; 1 compile or runtime failure (diagnostics on
 // stderr) or, with -analyze, any error-severity finding; 2 (update mode)
@@ -42,6 +48,8 @@
 #include "lir/LIRLowering.h"
 #include "lir/LIRPasses.h"
 #include "parallel/ThreadPool.h"
+#include "support/ChromeTrace.h"
+#include "support/Profile.h"
 #include "support/Trace.h"
 #include "verify/SarifEmitter.h"
 #include "verify/Verifier.h"
@@ -70,6 +78,7 @@ struct DriverOptions {
   bool Update = false;
   bool Accum = false;
   bool TraceTree = false;
+  bool Profile = false;
   bool Analyze = false;
   bool WarningsAsErrors = false;
   /// Worker threads for the evaluator and the emitted C (-j). 0 = auto:
@@ -77,13 +86,16 @@ struct DriverOptions {
   /// concrete count (>= 1) before the mode runners see it.
   unsigned Threads = 0;
   std::vector<RuleID> DisabledRules;
-  std::string SarifPath; ///< empty = no SARIF; "-" = stdout
-  std::string JsonPath;  ///< empty = no JSON; "-" = stdout
+  std::string SarifPath;    ///< empty = no SARIF; "-" = stdout
+  std::string JsonPath;     ///< empty = no JSON; "-" = stdout
+  std::string TimelinePath; ///< empty = no timeline; "-" = stdout
   std::string Path;
 
-  /// With -json or -sarif to stdout the human-readable report would
-  /// corrupt the document, so it is suppressed.
-  bool quiet() const { return JsonPath == "-" || SarifPath == "-"; }
+  /// With -json, -sarif, or -timeline to stdout the human-readable
+  /// report would corrupt the document, so it is suppressed.
+  bool quiet() const {
+    return JsonPath == "-" || SarifPath == "-" || TimelinePath == "-";
+  }
 };
 
 std::string readAll(const std::string &Path) {
@@ -272,6 +284,10 @@ int writeTelemetry(const DriverOptions &Opts, const char *Mode,
   if (ExecStatsPtr) {
     *OS << ",\n \"exec_stats\":\n";
     writeExecStatsJson(*OS, *ExecStatsPtr);
+  }
+  if (ProfileSink::get().enabled()) {
+    *OS << ",\n \"profile\":\n  ";
+    ProfileSink::get().writeJson(*OS, 2);
   }
   *OS << ",\n \"trace\":\n";
   TraceSink::get().writeJson(*OS, 2);
@@ -719,7 +735,15 @@ int main(int Argc, char **Argv) {
       Opts.Accum = true;
     else if (std::strcmp(Argv[I], "-trace") == 0)
       Opts.TraceTree = true;
-    else if (std::strcmp(Argv[I], "-analyze") == 0)
+    else if (std::strcmp(Argv[I], "-profile") == 0)
+      Opts.Profile = true;
+    else if (std::strcmp(Argv[I], "-timeline") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "hacc: -timeline needs an output file\n");
+        return 1;
+      }
+      Opts.TimelinePath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "-analyze") == 0)
       Opts.Analyze = true;
     else if (std::strcmp(Argv[I], "-Werror") == 0)
       Opts.WarningsAsErrors = true;
@@ -787,12 +811,25 @@ int main(int Argc, char **Argv) {
                  "  -trace       print phase timings + counters to stderr\n"
                  "  -json FILE   write compile+run telemetry as JSON "
                  "(\"-\" = stdout)\n"
+                 "  -profile     print the ranked hot-loop table (source "
+                 "lines, par classes, HAC008 witnesses) to stderr\n"
+                 "  -timeline FILE  write a Chrome trace-event timeline "
+                 "(chrome://tracing / Perfetto; \"-\" = stdout)\n"
                  "FILE may be \"-\" for stdin; HAC_TRACE=1 in the "
-                 "environment implies -trace.\n");
+                 "environment implies -trace, HAC_PROFILE=1 implies "
+                 "-profile's stderr table.\n");
     return 1;
   }
 
-  if (Opts.TraceTree || !Opts.JsonPath.empty()) {
+  if (Opts.Profile)
+    ProfileSink::get().setEnabled(true);
+  if (!Opts.TimelinePath.empty())
+    ChromeTraceSink::get().setEnabled(true);
+
+  // The timeline imports TraceSink's phase spans as its pipeline lane,
+  // so -timeline turns the span sink on too.
+  if (Opts.TraceTree || !Opts.JsonPath.empty() ||
+      !Opts.TimelinePath.empty()) {
     TraceSink::get().setEnabled(true);
     seedStandardCounters();
     // With -analyze the per-rule hit counters are part of the telemetry
@@ -815,6 +852,23 @@ int main(int Argc, char **Argv) {
   if (Opts.TraceTree) {
     std::cerr << "=== trace ===\n";
     TraceSink::get().printTree(std::cerr);
+  }
+  if (Opts.Profile)
+    ProfileSink::get().printTable(std::cerr);
+  if (!Opts.TimelinePath.empty()) {
+    ChromeTraceSink &CT = ChromeTraceSink::get();
+    CT.importTraceSink();
+    if (Opts.TimelinePath == "-") {
+      CT.writeJson(std::cout);
+    } else {
+      std::ofstream OS(Opts.TimelinePath);
+      if (!OS) {
+        std::fprintf(stderr, "hacc: cannot write '%s'\n",
+                     Opts.TimelinePath.c_str());
+        return 1;
+      }
+      CT.writeJson(OS);
+    }
   }
   return RC;
 }

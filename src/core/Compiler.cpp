@@ -591,9 +591,11 @@ bool CompiledArray::evaluate(DoubleArray &Out, Executor &Exec,
     return false;
   }
   Out = DoubleArray(Dims);
-  if (IsAccum)
+  if (IsAccum) {
+    HAC_TRACE_SPAN(PrefillSpan, "accum.prefill");
     for (size_t I = 0; I != Out.size(); ++I)
       Out[I] = AccumInit;
+  }
   if (Plan.CheckCollisions || Plan.CheckEmpties)
     Out.enableDefinedBits();
   return Exec.run(Plan, Out, Err);

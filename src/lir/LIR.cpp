@@ -296,6 +296,12 @@ std::string lir::verify(const LIRProgram &P) {
     if (Inst.Jump >= 0 &&
         static_cast<size_t>(Inst.Jump) >= P.Code.size())
       return Bad(I, "jump out of range");
+
+    // Loop attribution references.
+    if (Inst.Meta >= 0 &&
+        (static_cast<size_t>(Inst.Meta) >= P.Loops.size() ||
+         (Inst.Op != LOp::LoopBegin && Inst.Op != LOp::LoopDynBegin)))
+      return Bad(I, "bad loop meta index");
   }
   if (!Stack.empty())
     return "LIR verify: unclosed region at end of program";

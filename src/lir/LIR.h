@@ -145,12 +145,43 @@ struct LInst {
   double FImm = 0.0;
   int32_t Str = -1;
   int32_t Jump = -1;
+  /// LoopBegin/LoopDynBegin: index into LIRProgram::Loops, or -1. The
+  /// passes copy instructions wholesale, so the attribution survives
+  /// LICM, strength reduction, check hoisting, DCE, and the par-flag
+  /// rewrites; only the profiler reads it.
+  int32_t Meta = -1;
 
   bool execOnly() const { return Flags & FlagExecOnly; }
   bool backward() const { return Flags & FlagBackward; }
   bool parDoall() const { return Flags & FlagParDoall; }
   bool parWaveOuter() const { return Flags & FlagParWaveOuter; }
   bool parWaveInner() const { return Flags & FlagParWaveInner; }
+};
+
+/// Source attribution for one lowered loop (profiler side table). The
+/// lowering records one entry per LoopBegin/LoopDynBegin it emits; the
+/// instruction's Meta field indexes this table. Purely descriptive: the
+/// evaluator and the C emitter never read it.
+struct LoopMeta {
+  /// The comprehension generator variable, or "<fold>" / "<snapshot>"
+  /// for loops the lowering synthesized itself.
+  std::string Var;
+  /// Source location of the originating comprehension clause (1-based;
+  /// Line == 0 when unknown).
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  /// Static nesting depth at lowering time (outermost loops are 0).
+  uint32_t Depth = 0;
+  /// Index of the enclosing loop's meta, or -1 for top-level loops.
+  int32_t Parent = -1;
+  /// par::ParClass the planner assigned (0 = serial). Stored as a raw
+  /// byte so this header stays dependency-free.
+  uint8_t ParClass = 0;
+  /// The HAC008 witness explaining why a loop stayed serial ("" when
+  /// parallel or never examined).
+  std::string Witness;
+  /// Compile-time trip count, or -1 for dynamic-bound loops.
+  int64_t StaticTrip = -1;
 };
 
 /// A complete lowered program: the instruction stream plus everything the
@@ -173,6 +204,8 @@ struct LIRProgram {
   std::vector<uint8_t> SlotIsF; ///< per-slot: 1 = double, 0 = int64
   std::vector<LInst> Code;
   std::vector<std::string> Strs;
+  /// Loop attribution table (LInst::Meta indexes it).
+  std::vector<LoopMeta> Loops;
 
   /// Pass statistics (lir.* trace counters).
   uint64_t NumHoisted = 0;

@@ -27,7 +27,10 @@
 
 #include "lir/LIREval.h"
 
+#include "support/ChromeTrace.h"
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
@@ -39,6 +42,28 @@ namespace {
 union Reg {
   int64_t i;
   double d;
+};
+
+uint64_t profNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-run profiling state, threaded through the profiled interpreter
+/// instantiation only. Instrs/Checks are whole-run tallies; Stack holds
+/// one frame per currently open attributed loop, recording the tallies
+/// and clock at entry so the exit can charge the inclusive deltas.
+struct ProfCtx {
+  LoopProfile *Tab = nullptr; ///< parallel to LIRProgram::Loops
+  uint64_t Instrs = 0;
+  uint64_t Checks = 0;
+  struct Frame {
+    int32_t Meta;
+    uint64_t I0, C0, T0;
+  };
+  std::vector<Frame> Stack;
 };
 
 /// Per-task ExecStats deltas; merged under no lock after the pool
@@ -67,14 +92,34 @@ struct Machine {
   std::vector<std::vector<double>> &Snaps;
   par::ThreadPool *Pool;
 
+  /// Dispatches to the plain or profiled interpreter instantiation.
+  /// The disabled path carries no profiling code at all — not even the
+  /// dead branches — so `-profile` off costs nothing in the hot loop.
   bool runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
-               std::string &Err, bool AllowPar);
-  bool runDoall(size_t Begin, Reg *R, LocalCounters &C, std::string &Err);
-  bool runWave(size_t Begin, Reg *R, LocalCounters &C, std::string &Err);
+               std::string &Err, bool AllowPar, ProfCtx *PF) {
+    return PF ? runSpanImpl<true>(Lo, Hi, R, C, Err, AllowPar, PF)
+              : runSpanImpl<false>(Lo, Hi, R, C, Err, AllowPar, nullptr);
+  }
+  template <bool ProfOn>
+  bool runSpanImpl(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
+                   std::string &Err, bool AllowPar, ProfCtx *PF);
+  bool runDoall(size_t Begin, Reg *R, LocalCounters &C, std::string &Err,
+                ProfCtx *PF);
+  bool runWave(size_t Begin, Reg *R, LocalCounters &C, std::string &Err,
+               ProfCtx *PF);
+
+  /// Span name for the timeline: the generator variable when the loop
+  /// is attributed, else the opcode position.
+  std::string loopName(const LInst &I, size_t At) const {
+    if (I.Meta >= 0)
+      return P.Loops[static_cast<size_t>(I.Meta)].Var;
+    return "loop@" + std::to_string(At);
+  }
 };
 
-bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
-                      std::string &Err, bool AllowPar) {
+template <bool ProfOn>
+bool Machine::runSpanImpl(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
+                          std::string &Err, bool AllowPar, ProfCtx *PF) {
   const LInst *Code = P.Code.data();
   auto Fail = [&](std::string Msg) {
     Err = std::move(Msg);
@@ -84,6 +129,8 @@ bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
   size_t PC = Lo;
   while (PC < Hi) {
     const LInst &I = Code[PC];
+    if constexpr (ProfOn)
+      ++PF->Instrs;
     switch (I.Op) {
     case LOp::ConstI:
       R[I.A].i = I.Imm0;
@@ -214,13 +261,13 @@ bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
         // Nested par-flagged loops were cleared by legalizePar; a task
         // never re-enters the pool (AllowPar is false inside tasks).
         if (I.parDoall()) {
-          if (!runDoall(PC, R, C, Err))
+          if (!runDoall(PC, R, C, Err, PF))
             return false;
           PC = static_cast<size_t>(I.Jump) + 1;
           continue;
         }
         if (I.parWaveOuter()) {
-          if (!runWave(PC, R, C, Err))
+          if (!runWave(PC, R, C, Err, PF))
             return false;
           PC = static_cast<size_t>(I.Jump) + 1;
           continue;
@@ -230,6 +277,18 @@ bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
       if (I.Imm2 <= 0) {
         PC = static_cast<size_t>(I.Jump) + 1;
         continue;
+      }
+      if constexpr (ProfOn) {
+        // Static loops dispatch their Begin once per entry (the back
+        // edge targets Begin+1), so this is the open-frame point. The
+        // -1 charges the Begin dispatch itself to the loop.
+        if (I.Meta >= 0) {
+          LoopProfile &L = PF->Tab[I.Meta];
+          L.Entries += 1;
+          L.Trips += static_cast<uint64_t>(I.Imm2);
+          PF->Stack.push_back(
+              {I.Meta, PF->Instrs - 1, PF->Checks, profNowNs()});
+        }
       }
       R[I.A].i = I.Imm0;
       R[I.B].i = I.backward() ? I.Imm2 : 1;
@@ -242,11 +301,49 @@ bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
         PC = static_cast<size_t>(I.Jump) + 1;
         continue;
       }
+      if constexpr (ProfOn) {
+        // Falling through is the loop exit; the matching Begin (this
+        // End's Jump target) carries the attribution.
+        int32_t Meta = Code[I.Jump].Meta;
+        if (Meta >= 0 && !PF->Stack.empty() &&
+            PF->Stack.back().Meta == Meta) {
+          ProfCtx::Frame F = PF->Stack.back();
+          PF->Stack.pop_back();
+          LoopProfile &L = PF->Tab[Meta];
+          L.Instrs += PF->Instrs - F.I0;
+          L.Checks += PF->Checks - F.C0;
+          L.Nanos += profNowNs() - F.T0;
+        }
+      }
       break;
     }
     case LOp::LoopDynBegin: {
       int64_t Step = R[I.C].i;
       bool In = Step > 0 ? R[I.A].i <= R[I.B].i : R[I.A].i >= R[I.B].i;
+      if constexpr (ProfOn) {
+        // Dynamic loops re-dispatch their Begin for every iteration
+        // test, so the frame opens on the first passing test and
+        // closes on the failing one.
+        if (I.Meta >= 0) {
+          bool Open =
+              !PF->Stack.empty() && PF->Stack.back().Meta == I.Meta;
+          if (In) {
+            if (!Open) {
+              PF->Tab[I.Meta].Entries += 1;
+              PF->Stack.push_back(
+                  {I.Meta, PF->Instrs - 1, PF->Checks, profNowNs()});
+            }
+            PF->Tab[I.Meta].Trips += 1;
+          } else if (Open) {
+            ProfCtx::Frame F = PF->Stack.back();
+            PF->Stack.pop_back();
+            LoopProfile &L = PF->Tab[I.Meta];
+            L.Instrs += PF->Instrs - F.I0;
+            L.Checks += PF->Checks - F.C0;
+            L.Nanos += profNowNs() - F.T0;
+          }
+        }
+      }
       if (!In) {
         PC = static_cast<size_t>(I.Jump) + 1;
         continue;
@@ -304,16 +401,22 @@ bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
       break;
 
     case LOp::CheckIdx: {
+      if constexpr (ProfOn)
+        ++PF->Checks;
       int64_t V = R[I.B].i;
       if (V < I.Imm0 || V > I.Imm1)
         return Fail(P.str(I.Str));
       break;
     }
     case LOp::CheckNonZeroI:
+      if constexpr (ProfOn)
+        ++PF->Checks;
       if (R[I.B].i == 0)
         return Fail(P.str(I.Str));
       break;
     case LOp::CheckCollision: {
+      if constexpr (ProfOn)
+        ++PF->Checks;
       ++C.CollisionChecks;
       size_t Lin = static_cast<size_t>(R[I.B].i);
       if (Target.hasDefinedBits() && Target.isDefined(Lin))
@@ -324,6 +427,8 @@ bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
       break;
     }
     case LOp::CheckDefined: {
+      if constexpr (ProfOn)
+        ++PF->Checks;
       size_t Lin = static_cast<size_t>(R[I.B].i);
       if (!Target.isDefined(Lin))
         return Fail("schedule violation: read of element not yet computed "
@@ -351,7 +456,7 @@ bool Machine::runSpan(size_t Lo, size_t Hi, Reg *R, LocalCounters &C,
 }
 
 bool Machine::runDoall(size_t Begin, Reg *R, LocalCounters &C,
-                       std::string &Err) {
+                       std::string &Err, ProfCtx *PF) {
   const LInst &I = P.Code[Begin];
   const size_t End = static_cast<size_t>(I.Jump);
   const int64_t Trip = I.Imm2;
@@ -360,10 +465,17 @@ bool Machine::runDoall(size_t Begin, Reg *R, LocalCounters &C,
   const int64_t NumChunks = std::min<int64_t>(
       Trip, static_cast<int64_t>(Pool->threads()) * 4);
 
+  const bool TL = timelineEnabled();
+  ChromeTraceSink &TS = ChromeTraceSink::get();
+  const uint64_t LoopT0 = (TL || PF) ? TS.nowNs() : 0;
+  const uint64_t WallT0 = PF ? profNowNs() : 0;
+
   struct TaskOut {
     LocalCounters C;
     std::string Msg;
     int64_t ErrIter = -1;
+    std::vector<LoopProfile> Prof; ///< nested-loop tallies, task-local
+    uint64_t Instrs = 0, Checks = 0;
   };
   std::vector<TaskOut> Outs(static_cast<size_t>(NumChunks));
   const Reg *Entry = R;
@@ -372,26 +484,80 @@ bool Machine::runDoall(size_t Begin, Reg *R, LocalCounters &C,
     std::vector<Reg> LR(Entry, Entry + P.NumSlots);
     const int64_t Lo = Trip * static_cast<int64_t>(T) / NumChunks;
     const int64_t Hi = Trip * static_cast<int64_t>(T + 1) / NumChunks;
+    ProfCtx TCtx;
+    ProfCtx *TPF = nullptr;
+    if (PF) {
+      TO.Prof.assign(P.Loops.size(), LoopProfile{});
+      TCtx.Tab = TO.Prof.data();
+      TPF = &TCtx;
+    }
+    const uint64_t ChunkT0 = TL ? TS.nowNs() : 0;
     for (int64_t K = Lo; K < Hi; ++K) {
       LR[I.A].i = I.Imm0 + K * I.Imm1;
       LR[I.B].i = I.backward() ? Trip - K : K + 1;
       std::string E2;
       if (!runSpan(Begin + 1, End, LR.data(), TO.C, E2,
-                   /*AllowPar=*/false)) {
+                   /*AllowPar=*/false, TPF)) {
         TO.Msg = std::move(E2);
         TO.ErrIter = K;
-        return;
+        break;
       }
     }
+    if (TPF) {
+      TO.Instrs = TCtx.Instrs;
+      TO.Checks = TCtx.Checks;
+    }
+    if (TL)
+      TS.completeSpan("chunk", "doall", ChunkT0, TS.nowNs(),
+                      par::ThreadPool::currentWorker(),
+                      "\"lo\": " + std::to_string(Lo) +
+                          ", \"hi\": " + std::to_string(Hi));
   });
 
   int64_t MinIter = -1;
   size_t MinT = 0;
+  uint64_t BodyInstrs = 0, BodyChecks = 0;
   for (size_t T = 0; T != Outs.size(); ++T) {
     Outs[T].C.mergeInto(C);
+    if (PF) {
+      BodyInstrs += Outs[T].Instrs;
+      BodyChecks += Outs[T].Checks;
+      for (size_t L = 0; L != Outs[T].Prof.size(); ++L) {
+        LoopProfile &Dst = PF->Tab[L];
+        const LoopProfile &Src = Outs[T].Prof[L];
+        Dst.Entries += Src.Entries;
+        Dst.Trips += Src.Trips;
+        Dst.Instrs += Src.Instrs;
+        Dst.Checks += Src.Checks;
+        Dst.Nanos += Src.Nanos;
+      }
+    }
     if (Outs[T].ErrIter >= 0 && (MinIter < 0 || Outs[T].ErrIter < MinIter)) {
       MinIter = Outs[T].ErrIter;
       MinT = T;
+    }
+  }
+  if (TL)
+    TS.completeSpan(loopName(I, Begin), "doall", LoopT0, TS.nowNs(),
+                    par::ThreadPool::currentWorker(),
+                    "\"trip\": " + std::to_string(Trip) +
+                        ", \"chunks\": " + std::to_string(NumChunks));
+  if (PF) {
+    // Tasks counted body dispatches only; add what the serial schedule
+    // would also have dispatched: one LoopEnd per iteration (the Begin
+    // was already tallied by the caller's dispatch).
+    PF->Instrs += BodyInstrs;
+    PF->Checks += BodyChecks;
+    if (MinIter < 0) {
+      PF->Instrs += static_cast<uint64_t>(Trip);
+      if (I.Meta >= 0) {
+        LoopProfile &L = PF->Tab[I.Meta];
+        L.Entries += 1;
+        L.Trips += static_cast<uint64_t>(Trip);
+        L.Instrs += BodyInstrs + static_cast<uint64_t>(Trip) + 1;
+        L.Checks += BodyChecks;
+        L.Nanos += profNowNs() - WallT0;
+      }
     }
   }
   if (MinIter >= 0) {
@@ -405,7 +571,7 @@ bool Machine::runDoall(size_t Begin, Reg *R, LocalCounters &C,
 }
 
 bool Machine::runWave(size_t Begin, Reg *R, LocalCounters &C,
-                      std::string &Err) {
+                      std::string &Err, ProfCtx *PF) {
   const LInst &O = P.Code[Begin];
   size_t IB = Begin + 1;
   while (P.Code[IB].Op != LOp::LoopBegin) // legalizePar proved it exists
@@ -415,6 +581,13 @@ bool Machine::runWave(size_t Begin, Reg *R, LocalCounters &C,
   const int64_t T1 = O.Imm2, T2 = In.Imm2;
   if (T1 <= 0)
     return true;
+  // The pure prelude between the loop headers, executed once per outer
+  // iteration in the serial schedule but once per *cell* here.
+  const uint64_t PreLen = static_cast<uint64_t>(IB - (Begin + 1));
+  const bool TL = timelineEnabled();
+  ChromeTraceSink &TS = ChromeTraceSink::get();
+  const uint64_t LoopT0 = TL ? TS.nowNs() : 0;
+  const uint64_t WallT0 = PF ? profNowNs() : 0;
   auto SetExit = [&] {
     R[O.A].i = O.Imm0 + T1 * O.Imm1;
     R[O.B].i = T1 + 1; // the planner only pairs forward loops
@@ -424,7 +597,19 @@ bool Machine::runWave(size_t Begin, Reg *R, LocalCounters &C,
     }
   };
   if (T2 <= 0) {
-    // The body reduces to the pure, non-escaping prelude: no effect.
+    // The body reduces to the pure, non-escaping prelude: no effect on
+    // state. The serial schedule would still have dispatched, per outer
+    // iteration, the prelude plus the inner Begin and outer End.
+    if (PF) {
+      PF->Instrs += static_cast<uint64_t>(T1) * (PreLen + 2);
+      if (O.Meta >= 0) {
+        LoopProfile &L = PF->Tab[O.Meta];
+        L.Entries += 1;
+        L.Trips += static_cast<uint64_t>(T1);
+        L.Instrs += 1 + static_cast<uint64_t>(T1) * (PreLen + 2);
+        L.Nanos += profNowNs() - WallT0;
+      }
+    }
     SetExit();
     return true;
   }
@@ -433,11 +618,14 @@ bool Machine::runWave(size_t Begin, Reg *R, LocalCounters &C,
     LocalCounters C;
     std::string Msg;
     int64_t EO = -1, EI = -1; // first failing cell, task-local
+    std::vector<LoopProfile> Prof;
+    uint64_t Instrs = 0, Checks = 0, Nanos = 0;
   };
   int64_t MinO = -1, MinI = -1;
   std::string MinMsg;
   const Reg *Entry = R;
   const int64_t TaskCap = static_cast<int64_t>(Pool->threads()) * 4;
+  uint64_t CellBodySum = 0, CellCheckSum = 0, CellNanoSum = 0;
 
   for (int64_t F = 0; F <= T1 + T2 - 2; ++F) {
     // Keep sweeping until every cell ordered lex-before the recorded
@@ -448,6 +636,7 @@ bool Machine::runWave(size_t Begin, Reg *R, LocalCounters &C,
     const int64_t OHi = std::min<int64_t>(F, T1 - 1); // inclusive
     const int64_t Cells = OHi - OLo + 1;
     const int64_t NumTasks = std::min<int64_t>(Cells, TaskCap);
+    const uint64_t FrontT0 = TL ? TS.nowNs() : 0;
     std::vector<TaskOut> Outs(static_cast<size_t>(NumTasks));
     Pool->parallelFor(static_cast<size_t>(NumTasks), [&](size_t T) {
       TaskOut &TO = Outs[T];
@@ -455,37 +644,118 @@ bool Machine::runWave(size_t Begin, Reg *R, LocalCounters &C,
       const int64_t CLo = OLo + Cells * static_cast<int64_t>(T) / NumTasks;
       const int64_t CHi =
           OLo + Cells * static_cast<int64_t>(T + 1) / NumTasks;
+      ProfCtx TCtx;
+      ProfCtx *TPF = nullptr;
+      uint64_t TaskT0 = 0;
+      if (PF) {
+        TO.Prof.assign(P.Loops.size(), LoopProfile{});
+        TCtx.Tab = TO.Prof.data();
+        TPF = &TCtx;
+        TaskT0 = profNowNs();
+      }
+      const uint64_t SpanT0 = TL ? TS.nowNs() : 0;
       for (int64_t Co = CLo; Co < CHi; ++Co) {
         const int64_t Ci = F - Co;
         LR[O.A].i = O.Imm0 + Co * O.Imm1;
         LR[O.B].i = Co + 1;
         std::string E2;
         // The pure prelude is re-evaluated per cell from loop-entry
-        // register state (legalizePar proved that safe).
-        if (!runSpan(Begin + 1, IB, LR.data(), TO.C, E2, false)) {
+        // register state (legalizePar proved that safe). It is pure
+        // value code — no loops, checks, or counters — so it runs
+        // unprofiled: the serial schedule executes it once per outer
+        // iteration, not per cell, and the caller compensates with
+        // T1 * PreLen below.
+        if (!runSpan(Begin + 1, IB, LR.data(), TO.C, E2, false,
+                     nullptr)) {
           TO.Msg = std::move(E2);
           TO.EO = Co;
           TO.EI = -1; // before any inner iteration of this cell
-          return;
+          break;
         }
         LR[In.A].i = In.Imm0 + Ci * In.Imm1;
         LR[In.B].i = Ci + 1;
-        if (!runSpan(IB + 1, IE, LR.data(), TO.C, E2, false)) {
+        if (!runSpan(IB + 1, IE, LR.data(), TO.C, E2, false, TPF)) {
           TO.Msg = std::move(E2);
           TO.EO = Co;
           TO.EI = Ci;
-          return;
+          break;
         }
       }
+      if (TPF) {
+        TO.Instrs = TCtx.Instrs;
+        TO.Checks = TCtx.Checks;
+        TO.Nanos = profNowNs() - TaskT0;
+      }
+      if (TL)
+        TS.completeSpan("cells", "wave", SpanT0, TS.nowNs(),
+                        par::ThreadPool::currentWorker(),
+                        "\"front\": " + std::to_string(F) +
+                            ", \"lo\": " + std::to_string(CLo) +
+                            ", \"hi\": " + std::to_string(CHi));
     });
     for (TaskOut &TO : Outs) {
       TO.C.mergeInto(C);
+      if (PF) {
+        CellBodySum += TO.Instrs;
+        CellCheckSum += TO.Checks;
+        CellNanoSum += TO.Nanos;
+        for (size_t L = 0; L != TO.Prof.size(); ++L) {
+          LoopProfile &Dst = PF->Tab[L];
+          const LoopProfile &Src = TO.Prof[L];
+          Dst.Entries += Src.Entries;
+          Dst.Trips += Src.Trips;
+          Dst.Instrs += Src.Instrs;
+          Dst.Checks += Src.Checks;
+          Dst.Nanos += Src.Nanos;
+        }
+      }
       if (TO.EO >= 0 && (MinO < 0 || TO.EO < MinO ||
                          (TO.EO == MinO && TO.EI < MinI))) {
         MinO = TO.EO;
         MinI = TO.EI;
         MinMsg = std::move(TO.Msg);
       }
+    }
+    if (TL)
+      TS.completeSpan("front", "wave", FrontT0, TS.nowNs(),
+                      par::ThreadPool::currentWorker(),
+                      "\"front\": " + std::to_string(F) +
+                          ", \"cells\": " + std::to_string(Cells));
+  }
+  if (TL)
+    TS.completeSpan(loopName(O, Begin) + "/" + loopName(In, IB), "wave",
+                    LoopT0, TS.nowNs(), par::ThreadPool::currentWorker(),
+                    "\"t1\": " + std::to_string(T1) +
+                        ", \"t2\": " + std::to_string(T2));
+  if (PF) {
+    PF->Checks += CellCheckSum;
+    if (MinO < 0) {
+      const uint64_t UT1 = static_cast<uint64_t>(T1);
+      const uint64_t UT2 = static_cast<uint64_t>(T2);
+      // Serial-equivalent dispatch compensation (the outer Begin was
+      // tallied by the caller): per outer iteration the serial run
+      // executes the prelude (PreLen), the inner Begin, T2 inner Ends,
+      // and the outer End, plus every cell's inner-body instructions.
+      PF->Instrs += UT1 * PreLen + 2 * UT1 + UT1 * UT2 + CellBodySum;
+      const uint64_t InnerIncl = CellBodySum + UT1 + UT1 * UT2;
+      if (In.Meta >= 0) {
+        LoopProfile &L = PF->Tab[In.Meta];
+        L.Entries += UT1;
+        L.Trips += UT1 * UT2;
+        L.Instrs += InnerIncl;
+        L.Checks += CellCheckSum;
+        L.Nanos += CellNanoSum;
+      }
+      if (O.Meta >= 0) {
+        LoopProfile &L = PF->Tab[O.Meta];
+        L.Entries += 1;
+        L.Trips += UT1;
+        L.Instrs += 1 + UT1 * PreLen + UT1 + InnerIncl;
+        L.Checks += CellCheckSum;
+        L.Nanos += profNowNs() - WallT0;
+      }
+    } else {
+      PF->Instrs += CellBodySum;
     }
   }
   if (MinO >= 0) {
@@ -502,13 +772,28 @@ bool lir::evalLIR(const LIRProgram &P, DoubleArray &Target,
                   const std::vector<const double *> &Inputs,
                   std::vector<std::vector<double>> &Rings,
                   std::vector<std::vector<double>> &Snaps, ExecStats &Stats,
-                  std::string &Err, par::ThreadPool *Pool) {
+                  std::string &Err, par::ThreadPool *Pool,
+                  EvalProfile *Prof) {
   std::vector<Reg> R(P.NumSlots, Reg{0});
   LocalCounters C;
   Machine M{P, Target, Inputs, Rings, Snaps,
             Pool && Pool->threads() > 1 ? Pool : nullptr};
+  ProfCtx Ctx;
+  ProfCtx *PF = nullptr;
+  uint64_t T0 = 0;
+  if (Prof) {
+    Prof->Loops.assign(P.Loops.size(), LoopProfile{});
+    Ctx.Tab = Prof->Loops.data();
+    PF = &Ctx;
+    T0 = profNowNs();
+  }
   bool OK = M.runSpan(0, P.Code.size(), R.data(), C, Err,
-                      /*AllowPar=*/M.Pool != nullptr);
+                      /*AllowPar=*/M.Pool != nullptr, PF);
+  if (Prof) {
+    Prof->RootInstrs = Ctx.Instrs;
+    Prof->RootChecks = Ctx.Checks;
+    Prof->RootNanos = profNowNs() - T0;
+  }
   // Flush counters on success and on failure alike (the seed executor
   // counted events up to the point of the error).
   Stats.Stores += C.Stores;

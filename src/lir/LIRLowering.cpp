@@ -88,6 +88,53 @@ private:
   /// Set when a fold discovered a float element while lowering with an
   /// integer accumulator: unwind to the fold root and re-lower.
   bool Retry = false;
+  /// Open loop metas, innermost last (Parent/Depth for LoopMeta).
+  std::vector<int32_t> MetaStack;
+  /// Source location of the clause currently being lowered; attributes
+  /// the loops a fold synthesizes inside a clause value or guard.
+  SourceLoc CurLoc;
+
+  //===------------------------------------------------------------------===//
+  // Loop attribution
+  //===------------------------------------------------------------------===//
+
+  /// Appends one LoopMeta and opens it on the meta stack. The caller
+  /// stores the returned index in the LoopBegin's Meta field and calls
+  /// popLoopMeta() once the loop body is lowered.
+  int32_t pushLoopMeta(std::string Var, SourceLoc Loc, uint8_t ParClass,
+                       std::string Witness, int64_t StaticTrip) {
+    LoopMeta M;
+    M.Var = std::move(Var);
+    M.Line = Loc.Line;
+    M.Col = Loc.Col;
+    M.Depth = static_cast<uint32_t>(MetaStack.size());
+    M.Parent = MetaStack.empty() ? -1 : MetaStack.back();
+    M.ParClass = ParClass;
+    M.Witness = std::move(Witness);
+    M.StaticTrip = StaticTrip;
+    P.Loops.push_back(std::move(M));
+    int32_t Id = static_cast<int32_t>(P.Loops.size() - 1);
+    MetaStack.push_back(Id);
+    return Id;
+  }
+
+  void popLoopMeta() { MetaStack.pop_back(); }
+
+  /// Source location of the lexically first store clause under \p Stmts
+  /// (the anchor a `for` statement's loop is attributed to — LoopNode
+  /// itself carries no location).
+  static SourceLoc firstClauseLoc(const std::vector<PlanStmt> &Stmts) {
+    for (const PlanStmt &S : Stmts) {
+      if (S.K == PlanStmt::Kind::For) {
+        SourceLoc L = firstClauseLoc(S.Body);
+        if (L.isValid())
+          return L;
+      } else if (S.Clause) {
+        return S.Clause->loc();
+      }
+    }
+    return SourceLoc();
+  }
 
   //===------------------------------------------------------------------===//
   // Instruction builders
@@ -841,6 +888,7 @@ private:
     for (int Attempt = 0;; ++Attempt) {
       size_t CodeMark = P.Code.size();
       size_t ScopeMark = Scope.size();
+      size_t LoopMark = P.Loops.size();
       uint32_t SlotMark = P.NumSlots;
       bool AccIsF = Attempt > 0;
       Retry = false;
@@ -864,9 +912,11 @@ private:
       foldOver(Source, Accum);
       if (!Retry)
         return {Acc, AccIsF ? VType::Float : VType::Int};
-      // Truncate the attempt: code, scope, and the slots it created.
+      // Truncate the attempt: code, scope, loop metas, and the slots it
+      // created.
       P.Code.resize(CodeMark);
       Scope.resize(ScopeMark);
+      P.Loops.resize(LoopMark);
       P.SlotIsF.resize(SlotMark);
       P.NumSlots = SlotMark;
       for (auto It = ConstVals.begin(); It != ConstVals.end();)
@@ -922,8 +972,10 @@ private:
         B.Imm0 = LoC;
         B.Imm1 = StepC;
         B.Imm2 = Trip;
+        B.Meta = pushLoopMeta("<fold>", CurLoc, 0, "", Trip);
         push(B);
         Fn({Iv, VType::Int});
+        popLoopMeta(); // balanced even on a fold retry unwind
         if (Retry)
           return;
         LInst E;
@@ -945,8 +997,10 @@ private:
       B.A = Iv;
       B.B = Hi.Slot;
       B.C = StepSlot;
+      B.Meta = pushLoopMeta("<fold>", CurLoc, 0, "", -1);
       push(B);
       Fn({Iv, VType::Int});
+      popLoopMeta();
       if (Retry)
         return;
       LInst E;
@@ -1073,6 +1127,8 @@ private:
     I.Imm0 = IvInit;
     I.Imm1 = IvDelta;
     I.Imm2 = Trip;
+    I.Meta = pushLoopMeta(S.Loop->var(), firstClauseLoc(S.Body),
+                          static_cast<uint8_t>(S.Par), S.ParWitness, Trip);
     push(I);
     size_t Mark = Scope.size();
     Scope.emplace_back(S.Loop->var(), LVal{Iv, VType::Int});
@@ -1080,6 +1136,7 @@ private:
     lowerStmts(S.Body);
     ActiveLoops.erase(S.Loop);
     Scope.resize(Mark);
+    popLoopMeta();
     LInst E;
     E.Op = LOp::LoopEnd;
     push(E);
@@ -1087,6 +1144,7 @@ private:
 
   void lowerStore(const PlanStmt &S) {
     const ClauseNode *C = S.Clause;
+    CurLoc = C->loc(); // attributes fold loops inside guards/values
     // Guards, outermost first. Both backends follow the seed executor's
     // instance order: guards, subscripts, value, checks, save, store.
     unsigned OpenIfs = 0;
@@ -1185,6 +1243,7 @@ private:
       B.Imm0 = Clipped[D].first;
       B.Imm1 = 1;
       B.Imm2 = Clipped[D].second - Clipped[D].first + 1;
+      B.Meta = pushLoopMeta("<snapshot>", SourceLoc(), 0, "", B.Imm2);
       push(B);
       Ivs.push_back(Iv);
     }
@@ -1198,6 +1257,7 @@ private:
     Cp.Imm0 = Sn.Id;
     push(Cp);
     for (size_t D = 0; D != Clipped.size(); ++D) {
+      popLoopMeta();
       LInst E;
       E.Op = LOp::LoopEnd;
       push(E);

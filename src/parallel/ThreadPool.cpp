@@ -3,6 +3,7 @@
 #include "parallel/ThreadPool.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -25,12 +26,35 @@ struct WorkerQueue {
   std::deque<size_t> Q;
 };
 
+/// One worker's utilization counters. All relaxed: each counter is an
+/// independent monotonic tally, and readers (stats()) only need eventual
+/// per-counter values, not cross-counter ordering. Cache-line padded so
+/// workers never bounce each other's counters.
+struct alignas(64) WStats {
+  std::atomic<uint64_t> Tasks{0};
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> IdleNanos{0};
+};
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The calling thread's lane within its pool (0 outside a pool).
+thread_local unsigned CurWorker = 0;
+
 } // namespace
 
 struct ThreadPool::Impl {
   unsigned NumThreads = 1;
   std::vector<std::thread> Workers;
   std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::unique_ptr<WStats>> Stats;
+  std::atomic<uint64_t> Jobs{0};
+  std::atomic<uint64_t> MaxQueueDepth{0};
 
   std::mutex JobM;
   std::condition_variable JobCV;  // workers wait here between jobs
@@ -59,6 +83,7 @@ struct ThreadPool::Impl {
       if (!Victim.Q.empty()) {
         Task = Victim.Q.front();
         Victim.Q.pop_front();
+        Stats[Self]->Steals.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
@@ -71,6 +96,7 @@ struct ThreadPool::Impl {
     size_t Task;
     while (popTask(Self, Task)) {
       Fn(Task);
+      Stats[Self]->Tasks.fetch_add(1, std::memory_order_relaxed);
       if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> Lock(JobM);
         DoneCV.notify_all();
@@ -79,13 +105,17 @@ struct ThreadPool::Impl {
   }
 
   void workerLoop(unsigned Self) {
+    CurWorker = Self;
     uint64_t SeenGen = 0;
     for (;;) {
       const std::function<void(size_t)> *Fn = nullptr;
       {
+        uint64_t T0 = nowNanos();
         std::unique_lock<std::mutex> Lock(JobM);
         JobCV.wait(Lock,
                    [&] { return Shutdown || JobGen != SeenGen; });
+        Stats[Self]->IdleNanos.fetch_add(nowNanos() - T0,
+                                         std::memory_order_relaxed);
         if (Shutdown)
           return;
         SeenGen = JobGen;
@@ -101,8 +131,11 @@ ThreadPool::ThreadPool(unsigned Threads) : P(std::make_unique<Impl>()) {
     Threads = defaultThreads();
   P->NumThreads = Threads;
   P->Queues.reserve(Threads);
-  for (unsigned I = 0; I != Threads; ++I)
+  P->Stats.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I) {
     P->Queues.push_back(std::make_unique<WorkerQueue>());
+    P->Stats.push_back(std::make_unique<WStats>());
+  }
   // Worker 0 is the calling thread.
   for (unsigned I = 1; I != Threads; ++I)
     P->Workers.emplace_back([this, I] { P->workerLoop(I); });
@@ -124,9 +157,11 @@ void ThreadPool::parallelFor(size_t NumTasks,
                              const std::function<void(size_t)> &Fn) {
   if (NumTasks == 0)
     return;
+  P->Jobs.fetch_add(1, std::memory_order_relaxed);
   if (P->NumThreads == 1 || NumTasks == 1) {
     for (size_t T = 0; T != NumTasks; ++T)
       Fn(T);
+    P->Stats[0]->Tasks.fetch_add(NumTasks, std::memory_order_relaxed);
     return;
   }
   // Round-robin the tasks over the deques, then publish the job.
@@ -134,6 +169,11 @@ void ThreadPool::parallelFor(size_t NumTasks,
     WorkerQueue &Q = *P->Queues[T % P->NumThreads];
     std::lock_guard<std::mutex> Lock(Q.M);
     Q.Q.push_back(T);
+    uint64_t Depth = Q.Q.size();
+    uint64_t Prev = P->MaxQueueDepth.load(std::memory_order_relaxed);
+    while (Prev < Depth && !P->MaxQueueDepth.compare_exchange_weak(
+                               Prev, Depth, std::memory_order_relaxed))
+      ;
   }
   {
     std::lock_guard<std::mutex> Lock(P->JobM);
@@ -144,12 +184,44 @@ void ThreadPool::parallelFor(size_t NumTasks,
   }
   // The caller works too, then waits out the barrier.
   P->drain(0, Fn);
+  uint64_t T0 = nowNanos();
   std::unique_lock<std::mutex> Lock(P->JobM);
   P->DoneCV.wait(Lock, [&] {
     return P->Remaining.load(std::memory_order_acquire) == 0;
   });
+  P->Stats[0]->IdleNanos.fetch_add(nowNanos() - T0,
+                                   std::memory_order_relaxed);
   P->JobFn = nullptr;
 }
+
+PoolStats ThreadPool::stats() const {
+  PoolStats S;
+  S.Jobs = P->Jobs.load(std::memory_order_relaxed);
+  S.MaxQueueDepth = P->MaxQueueDepth.load(std::memory_order_relaxed);
+  S.Workers.reserve(P->NumThreads);
+  for (const auto &W : P->Stats) {
+    WorkerStats WS;
+    WS.Tasks = W->Tasks.load(std::memory_order_relaxed);
+    WS.Steals = W->Steals.load(std::memory_order_relaxed);
+    WS.IdleNanos = W->IdleNanos.load(std::memory_order_relaxed);
+    S.Tasks += WS.Tasks;
+    S.Steals += WS.Steals;
+    S.Workers.push_back(WS);
+  }
+  return S;
+}
+
+void ThreadPool::resetStats() {
+  P->Jobs.store(0, std::memory_order_relaxed);
+  P->MaxQueueDepth.store(0, std::memory_order_relaxed);
+  for (const auto &W : P->Stats) {
+    W->Tasks.store(0, std::memory_order_relaxed);
+    W->Steals.store(0, std::memory_order_relaxed);
+    W->IdleNanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+unsigned ThreadPool::currentWorker() { return CurWorker; }
 
 unsigned ThreadPool::defaultThreads() {
   if (const char *Env = std::getenv("HAC_THREADS")) {

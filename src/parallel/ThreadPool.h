@@ -21,11 +21,32 @@
 #define HAC_PARALLEL_THREADPOOL_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace hac {
 namespace par {
+
+/// One worker's utilization counters, monotonic since pool construction
+/// or the last resetStats().
+struct WorkerStats {
+  uint64_t Tasks = 0;     ///< tasks executed by this worker
+  uint64_t Steals = 0;    ///< tasks popped from another worker's deque
+  uint64_t IdleNanos = 0; ///< time spent blocked waiting for work
+};
+
+/// A consistent-enough snapshot of the pool's utilization counters.
+/// Individual counters are exact; cross-counter relations (e.g. Tasks
+/// vs Jobs) are only guaranteed when no job is in flight.
+struct PoolStats {
+  uint64_t Jobs = 0;          ///< parallelFor calls that ran tasks
+  uint64_t Tasks = 0;         ///< sum of Workers[i].Tasks
+  uint64_t Steals = 0;        ///< sum of Workers[i].Steals
+  uint64_t MaxQueueDepth = 0; ///< high-water mark of any deque
+  std::vector<WorkerStats> Workers;
+};
 
 class ThreadPool {
 public:
@@ -46,6 +67,18 @@ public:
   /// returns only when all tasks are done (a barrier). Not reentrant:
   /// Fn must not call parallelFor on the same pool.
   void parallelFor(size_t NumTasks, const std::function<void(size_t)> &Fn);
+
+  /// Snapshots the utilization counters (relaxed atomic loads — callable
+  /// at any time, including while a job runs).
+  PoolStats stats() const;
+
+  /// Zeroes all utilization counters.
+  void resetStats();
+
+  /// The pool lane index of the calling thread: 0 for the thread that
+  /// invoked parallelFor (and for any thread outside a pool), 1..N-1 for
+  /// the pool's own workers. Timeline spans use this as their lane id.
+  static unsigned currentWorker();
 
   /// The HAC_THREADS environment override when set to a positive number,
   /// otherwise std::thread::hardware_concurrency() (at least 1).

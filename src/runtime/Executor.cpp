@@ -5,7 +5,9 @@
 #include "lir/LIREval.h"
 #include "lir/LIRLowering.h"
 #include "lir/LIRPasses.h"
+#include "parallel/ParPlan.h"
 #include "parallel/ThreadPool.h"
+#include "support/Profile.h"
 #include "support/Trace.h"
 
 using namespace hac;
@@ -78,6 +80,54 @@ LIRCacheImpl::Key makeKey(const ExecPlan &Plan, bool ValidateReads,
   K.TargetDims = TargetDims;
   K.InputDims = std::move(InputDims);
   return K;
+}
+
+/// Converts one run's EvalProfile into the sink's source-attributed
+/// form. The par class reported is the one the loop *executed* as:
+/// the sealed program's LoopBegin flags when a pool ran it, "serial"
+/// otherwise (a -j1 run of a doall-planned loop is a serial loop).
+void recordProfile(const ExecPlan &Plan, const lir::LIRProgram &P,
+                   const lir::EvalProfile &EP, bool Parallel) {
+  ProgramProfile PP;
+  PP.Name = Plan.TargetName;
+  PP.Runs = 1;
+  PP.RootInstrs = EP.RootInstrs;
+  PP.RootChecks = EP.RootChecks;
+  PP.RootNanos = EP.RootNanos;
+  std::vector<par::ParClass> Exec(P.Loops.size(), par::ParClass::Serial);
+  if (Parallel)
+    for (const lir::LInst &I : P.Code) {
+      if (I.Op != lir::LOp::LoopBegin || I.Meta < 0)
+        continue;
+      if (I.parDoall())
+        Exec[I.Meta] = par::ParClass::Doall;
+      else if (I.parWaveOuter())
+        Exec[I.Meta] = par::ParClass::WaveOuter;
+      else if (I.parWaveInner())
+        Exec[I.Meta] = par::ParClass::WaveInner;
+    }
+  PP.Loops.reserve(P.Loops.size());
+  for (size_t L = 0; L != P.Loops.size(); ++L) {
+    const lir::LoopMeta &M = P.Loops[L];
+    ProfiledLoop PL;
+    PL.Var = M.Var;
+    PL.Line = M.Line;
+    PL.Col = M.Col;
+    PL.Depth = M.Depth;
+    PL.Parent = M.Parent;
+    PL.ParClass = par::parClassName(Exec[L]);
+    PL.Witness = M.Witness;
+    if (L < EP.Loops.size()) {
+      const lir::LoopProfile &LP = EP.Loops[L];
+      PL.Entries = LP.Entries;
+      PL.Trips = LP.Trips;
+      PL.Instrs = LP.Instrs;
+      PL.Checks = LP.Checks;
+      PL.Nanos = LP.Nanos;
+    }
+    PP.Loops.push_back(std::move(PL));
+  }
+  ProfileSink::get().record(PP);
 }
 
 } // namespace
@@ -193,8 +243,14 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
 
   if (Threads > 1 && !Pool)
     Pool = std::make_shared<par::ThreadPool>(Threads);
-  if (!lir::evalLIR(P, Target, InVec, Rings, Snaps, Stats, Err,
-                    Threads > 1 ? Pool.get() : nullptr))
+  const bool Profiled = profileEnabled();
+  lir::EvalProfile EP;
+  bool OK = lir::evalLIR(P, Target, InVec, Rings, Snaps, Stats, Err,
+                         Threads > 1 ? Pool.get() : nullptr,
+                         Profiled ? &EP : nullptr);
+  if (Profiled)
+    recordProfile(Plan, P, EP, Threads > 1);
+  if (!OK)
     return false;
 
   // Empties check (Section 4): every element must have a definition.
@@ -211,27 +267,66 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
 
 bool Executor::run(const ExecPlan &Plan, DoubleArray &Target,
                    std::string &Err) {
-  if (!traceEnabled())
+  const bool Traced = traceEnabled();
+  const bool Profiled = profileEnabled();
+  if (!Traced && !Profiled)
     return runImpl(Plan, Target, Err);
 
-  // Traced run: time the execution and fold this run's stat deltas into
-  // the sink so compile-time and run-time telemetry land in one report.
-  TraceSpan Span("execute");
+  // Instrumented run: time the execution and fold this run's stat
+  // deltas into the sinks so compile-time and run-time telemetry land
+  // in one report. The pool snapshot brackets the run because the pool
+  // counters are monotonic over the executor's lifetime.
+  par::PoolStats PS0 = Pool ? Pool->stats() : par::PoolStats{};
   ExecStats Before = Stats;
-  bool OK = runImpl(Plan, Target, Err);
-  TraceSink &S = TraceSink::get();
-  S.count("exec.stores", Stats.Stores - Before.Stores);
-  S.count("exec.loads", Stats.Loads - Before.Loads);
-  S.count("exec.ring_saves", Stats.RingSaves - Before.RingSaves);
-  S.count("exec.snapshot_copies",
-          Stats.SnapshotCopies - Before.SnapshotCopies);
-  S.count("exec.bounds_checks", Stats.BoundsChecks - Before.BoundsChecks);
-  S.count("exec.collision_checks",
-          Stats.CollisionChecks - Before.CollisionChecks);
-  S.count("exec.guard_evals", Stats.GuardEvals - Before.GuardEvals);
-  S.count("exec.fused_iters", Stats.FusedIters - Before.FusedIters);
-  S.countMax("exec.temp_bytes_peak", Stats.TempBytes);
-  if (!OK)
-    S.count("exec.runtime_errors");
+  bool OK;
+  {
+    TraceSpan Span("execute");
+    OK = runImpl(Plan, Target, Err);
+  }
+  if (Traced) {
+    TraceSink &S = TraceSink::get();
+    S.count("exec.stores", Stats.Stores - Before.Stores);
+    S.count("exec.loads", Stats.Loads - Before.Loads);
+    S.count("exec.ring_saves", Stats.RingSaves - Before.RingSaves);
+    S.count("exec.snapshot_copies",
+            Stats.SnapshotCopies - Before.SnapshotCopies);
+    S.count("exec.bounds_checks", Stats.BoundsChecks - Before.BoundsChecks);
+    S.count("exec.collision_checks",
+            Stats.CollisionChecks - Before.CollisionChecks);
+    S.count("exec.guard_evals", Stats.GuardEvals - Before.GuardEvals);
+    S.count("exec.fused_iters", Stats.FusedIters - Before.FusedIters);
+    S.countMax("exec.temp_bytes_peak", Stats.TempBytes);
+    if (!OK)
+      S.count("exec.runtime_errors");
+  }
+  if (Pool) {
+    par::PoolStats PS1 = Pool->stats();
+    PoolUtilization U;
+    U.Jobs = PS1.Jobs - PS0.Jobs;
+    U.MaxQueueDepth = PS1.MaxQueueDepth; // high-water mark, not a delta
+    U.Workers.resize(PS1.Workers.size());
+    for (size_t I = 0; I != PS1.Workers.size(); ++I) {
+      par::WorkerStats W0 =
+          I < PS0.Workers.size() ? PS0.Workers[I] : par::WorkerStats{};
+      U.Workers[I].Tasks = PS1.Workers[I].Tasks - W0.Tasks;
+      U.Workers[I].Steals = PS1.Workers[I].Steals - W0.Steals;
+      U.Workers[I].IdleNanos = PS1.Workers[I].IdleNanos - W0.IdleNanos;
+    }
+    if (U.Jobs != 0) {
+      if (Traced) {
+        TraceSink &S = TraceSink::get();
+        S.count("pool.jobs", U.Jobs);
+        S.count("pool.tasks", PS1.Tasks - PS0.Tasks);
+        S.count("pool.steals", PS1.Steals - PS0.Steals);
+        S.countMax("pool.max_queue_depth", U.MaxQueueDepth);
+        uint64_t Idle = 0;
+        for (const PoolUtilization::Worker &W : U.Workers)
+          Idle += W.IdleNanos;
+        S.count("pool.idle_nanos", Idle);
+      }
+      if (Profiled)
+        ProfileSink::get().recordPool(U);
+    }
+  }
   return OK;
 }

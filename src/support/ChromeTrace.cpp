@@ -1,0 +1,178 @@
+//===- support/ChromeTrace.cpp - Chrome trace-event timelines -------------===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ChromeTrace.h"
+#include "Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace hac;
+
+ChromeTraceSink::ChromeTraceSink()
+    : Epoch(std::chrono::steady_clock::now()) {
+  if (const char *Env = std::getenv("HAC_TIMELINE")) {
+    if (*Env && std::strcmp(Env, "0") != 0)
+      Enabled = true;
+  }
+}
+
+ChromeTraceSink &ChromeTraceSink::get() {
+  // Leaked for the same reason as TraceSink: callers may write the
+  // timeline from atexit handlers.
+  static ChromeTraceSink *Instance = new ChromeTraceSink;
+  return *Instance;
+}
+
+uint64_t ChromeTraceSink::nowNs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - Epoch)
+                                   .count());
+}
+
+void ChromeTraceSink::completeSpan(std::string_view Name, std::string_view Cat,
+                                   uint64_t BeginNs, uint64_t EndNs,
+                                   uint32_t Tid, std::string Args) {
+  TimelineSpan S;
+  S.Name = std::string(Name);
+  S.Cat = std::string(Cat);
+  S.Args = std::move(Args);
+  S.BeginNs = BeginNs;
+  S.EndNs = EndNs < BeginNs ? BeginNs : EndNs;
+  S.Tid = Tid;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.push_back(std::move(S));
+}
+
+void ChromeTraceSink::threadName(uint32_t Tid, std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  LaneNames[Tid] = std::string(Name);
+}
+
+void ChromeTraceSink::importTraceSink() {
+  TraceSink &TS = TraceSink::get();
+  std::vector<TraceEvent> Events = TS.eventsSnapshot();
+  for (const TraceEvent &E : Events) {
+    if (!E.Closed)
+      continue;
+    // TraceSink stamps absolute steady_clock points; rebase onto this
+    // sink's epoch. TraceSink may have recorded spans before the first
+    // ChromeTraceSink::get() pinned the epoch — clamp those to 0 so the
+    // timeline never goes negative.
+    auto Rel = E.Start - Epoch;
+    int64_t BeginSigned =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Rel).count();
+    uint64_t Begin = BeginSigned < 0 ? 0 : static_cast<uint64_t>(BeginSigned);
+    uint64_t End = Begin + static_cast<uint64_t>(E.Duration.count());
+    std::string Args;
+    if (!E.Detail.empty())
+      Args = "\"detail\": " + jsonQuote(E.Detail);
+    completeSpan(E.Name, "phase", Begin, End, PipelineTid, std::move(Args));
+  }
+  threadName(PipelineTid, "pipeline");
+}
+
+void ChromeTraceSink::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.clear();
+  LaneNames.clear();
+}
+
+bool ChromeTraceSink::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Spans.empty();
+}
+
+std::vector<TimelineSpan> ChromeTraceSink::spansSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Spans;
+}
+
+namespace {
+
+/// One B or E record awaiting emission.
+struct Rec {
+  uint64_t Ns;      ///< event timestamp
+  uint64_t PairNs;  ///< the matching end (for B) / begin (for E) timestamp
+  bool IsEnd;
+  const TimelineSpan *Span;
+};
+
+/// Chrome requires each lane's events to form a valid bracket nesting
+/// when read in file order. Sorting by timestamp alone is not enough at
+/// ties, so: (1) ascending integer-nanosecond ts; (2) at equal ts, "E"
+/// before "B" (close the old span before opening an adjacent one);
+/// (3) among "B"s, longer span first (outer opens before inner);
+/// (4) among "E"s, later-started span first (inner closes before outer).
+bool recLess(const Rec &A, const Rec &B) {
+  if (A.Ns != B.Ns)
+    return A.Ns < B.Ns;
+  if (A.IsEnd != B.IsEnd)
+    return A.IsEnd;
+  // Both orderings reduce to descending pair timestamp: among "B"s the
+  // larger end (longer span) opens first, among "E"s the larger begin
+  // (later-started, i.e. inner span) closes first.
+  return A.PairNs > B.PairNs;
+}
+
+void writeTs(std::ostream &OS, uint64_t Ns) {
+  // Microseconds with three decimals keeps full nanosecond precision.
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03u",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned>(Ns % 1000));
+  OS << Buf;
+}
+
+} // namespace
+
+void ChromeTraceSink::writeJson(std::ostream &OS) const {
+  std::vector<TimelineSpan> Snap = spansSnapshot();
+  std::map<uint32_t, std::string> Lanes;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Lanes = LaneNames;
+  }
+  for (const TimelineSpan &S : Snap)
+    if (!Lanes.count(S.Tid))
+      Lanes[S.Tid] = "worker " + std::to_string(S.Tid);
+
+  std::vector<Rec> Recs;
+  Recs.reserve(Snap.size() * 2);
+  for (const TimelineSpan &S : Snap) {
+    Recs.push_back({S.BeginNs, S.EndNs, false, &S});
+    Recs.push_back({S.EndNs, S.BeginNs, true, &S});
+  }
+  std::stable_sort(Recs.begin(), Recs.end(), recLess);
+
+  OS << "{\"traceEvents\": [";
+  bool First = true;
+  auto Sep = [&] {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+  };
+  for (const auto &[Tid, Name] : Lanes) {
+    Sep();
+    OS << " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << Tid << ", \"args\": {\"name\": " << jsonQuote(Name) << "}}";
+  }
+  for (const Rec &R : Recs) {
+    const TimelineSpan &S = *R.Span;
+    Sep();
+    OS << " {\"name\": " << jsonQuote(S.Name)
+       << ", \"cat\": " << jsonQuote(S.Cat) << ", \"ph\": \""
+       << (R.IsEnd ? 'E' : 'B') << "\", \"pid\": 1, \"tid\": " << S.Tid
+       << ", \"ts\": ";
+    writeTs(OS, R.Ns);
+    if (!R.IsEnd && !S.Args.empty())
+      OS << ", \"args\": {" << S.Args << "}";
+    OS << "}";
+  }
+  OS << (First ? "]}" : "\n]}");
+  OS << "\n";
+}

@@ -1,0 +1,111 @@
+//===- support/ChromeTrace.h - Chrome trace-event timelines -----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A timeline exporter in the Chrome trace-event JSON format, loadable
+/// in chrome://tracing and Perfetto (ui.perfetto.dev). Spans are
+/// recorded as complete intervals (begin/end nanoseconds on a process
+/// clock) tagged with a thread id, so the parallel runtime's DOALL
+/// chunks and wavefront fronts render as per-worker lanes.
+///
+/// Same life cycle as TraceSink: process-global, disabled by default,
+/// one inline branch on the fast path when disabled. The evaluator and
+/// pool emit spans only when timelineEnabled(), so a run without
+/// `-timeline` pays nothing beyond that branch.
+///
+/// Thread ids are lane numbers, not OS tids: tid 0 is the calling
+/// thread (pool worker 0), tids 1..N-1 the pool workers, and tid 100 is
+/// a synthetic "pipeline" lane holding spans imported from TraceSink
+/// (parse/compile/execute phase timers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_SUPPORT_CHROMETRACE_H
+#define HAC_SUPPORT_CHROMETRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hac {
+
+/// One complete span on the timeline, in nanoseconds since the sink's
+/// epoch (its construction time).
+struct TimelineSpan {
+  std::string Name;
+  std::string Cat;  ///< trace-event category ("phase", "doall", "wave", ...)
+  std::string Args; ///< pre-rendered JSON object body ("" for none)
+  uint64_t BeginNs = 0;
+  uint64_t EndNs = 0;
+  uint32_t Tid = 0; ///< lane number (see file comment)
+};
+
+/// The process-global timeline sink.
+class ChromeTraceSink {
+public:
+  /// The singleton. First access seeds the enabled flag from the
+  /// HAC_TIMELINE environment variable and pins the epoch.
+  static ChromeTraceSink &get();
+
+  bool enabled() const { return Enabled; }
+  void setEnabled(bool E) { Enabled = E; }
+
+  /// Nanoseconds since the sink's epoch, for bracketing spans.
+  uint64_t nowNs() const;
+
+  /// Records one complete span. \p Args, when nonempty, must be the
+  /// body of a JSON object without braces (e.g. "\"chunk\": 3").
+  void completeSpan(std::string_view Name, std::string_view Cat,
+                    uint64_t BeginNs, uint64_t EndNs, uint32_t Tid,
+                    std::string Args = "");
+
+  /// Names a lane ("worker 1", "pipeline"). Unnamed lanes get a
+  /// default name when the timeline is written.
+  void threadName(uint32_t Tid, std::string_view Name);
+
+  /// Converts TraceSink's closed phase spans into spans on the
+  /// synthetic pipeline lane (tid 100). Spans that began before this
+  /// sink's epoch are clamped to 0. Call once, before writeJson.
+  void importTraceSink();
+
+  /// Drops all spans and lane names (the enabled flag is unchanged).
+  void clear();
+
+  bool empty() const;
+
+  /// Copy-out under the mutex.
+  std::vector<TimelineSpan> spansSnapshot() const;
+
+  /// Writes {"traceEvents": [...]} — each span expanded to a "B"/"E"
+  /// pair, preceded by "M" thread_name metadata, sorted so the file is
+  /// a valid nesting per lane (see ChromeTrace.cpp for the exact
+  /// order). Timestamps are microseconds with three decimals.
+  void writeJson(std::ostream &OS) const;
+
+  /// The synthetic lane holding spans imported from TraceSink.
+  static constexpr uint32_t PipelineTid = 100;
+
+private:
+  ChromeTraceSink();
+
+  mutable std::mutex Mutex;
+  bool Enabled = false;
+  std::chrono::steady_clock::time_point Epoch;
+  std::vector<TimelineSpan> Spans;
+  std::map<uint32_t, std::string> LaneNames;
+};
+
+/// True when the global timeline sink is recording.
+inline bool timelineEnabled() { return ChromeTraceSink::get().enabled(); }
+
+} // namespace hac
+
+#endif // HAC_SUPPORT_CHROMETRACE_H

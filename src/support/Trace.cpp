@@ -53,7 +53,7 @@ bool DumpJsonAtExit = false;
 
 void dumpAtExit() {
   TraceSink &S = TraceSink::get();
-  if (S.events().empty() && S.counters().empty())
+  if (S.eventsSnapshot().empty() && S.countersSnapshot().empty())
     return;
   if (DumpJsonAtExit) {
     S.writeJson(std::cerr);
@@ -151,8 +151,20 @@ uint64_t TraceSink::counter(std::string_view Name) const {
   return It == Counters.end() ? 0 : It->second;
 }
 
+std::vector<TraceEvent> TraceSink::eventsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events;
+}
+
+std::map<std::string, uint64_t> TraceSink::countersSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
 void TraceSink::printTree(std::ostream &OS) const {
-  for (const TraceEvent &E : Events) {
+  std::vector<TraceEvent> Evs = eventsSnapshot();
+  std::map<std::string, uint64_t> Ctrs = countersSnapshot();
+  for (const TraceEvent &E : Evs) {
     for (unsigned I = 0; I != E.Depth; ++I)
       OS << "  ";
     OS << E.Name;
@@ -165,16 +177,17 @@ void TraceSink::printTree(std::ostream &OS) const {
       OS << "  [" << E.Detail << "]";
     OS << "\n";
   }
-  if (!Counters.empty()) {
+  if (!Ctrs.empty()) {
     OS << "counters:\n";
-    for (const auto &[Name, Value] : Counters)
+    for (const auto &[Name, Value] : Ctrs)
       OS << "  " << Name << " = " << Value << "\n";
   }
 }
 
-void TraceSink::writeEventJson(std::ostream &OS, size_t Index,
-                               unsigned Indent) const {
-  const TraceEvent &E = Events[Index];
+void TraceSink::writeEventJson(std::ostream &OS,
+                               const std::vector<TraceEvent> &Evs,
+                               size_t Index, unsigned Indent) {
+  const TraceEvent &E = Evs[Index];
   std::string Pad(Indent, ' ');
   OS << Pad << "{\"name\": " << jsonQuote(E.Name) << ", \"ms\": ";
   char Buf[32];
@@ -184,13 +197,13 @@ void TraceSink::writeEventJson(std::ostream &OS, size_t Index,
     OS << ", \"detail\": " << jsonQuote(E.Detail);
   // Children are the later events whose Parent is this index.
   std::vector<size_t> Children;
-  for (size_t I = Index + 1; I != Events.size(); ++I)
-    if (Events[I].Parent == static_cast<int>(Index))
+  for (size_t I = Index + 1; I != Evs.size(); ++I)
+    if (Evs[I].Parent == static_cast<int>(Index))
       Children.push_back(I);
   if (!Children.empty()) {
     OS << ", \"children\": [\n";
     for (size_t I = 0; I != Children.size(); ++I) {
-      writeEventJson(OS, Children[I], Indent + 2);
+      writeEventJson(OS, Evs, Children[I], Indent + 2);
       OS << (I + 1 == Children.size() ? "\n" : ",\n");
     }
     OS << Pad << "]";
@@ -199,19 +212,21 @@ void TraceSink::writeEventJson(std::ostream &OS, size_t Index,
 }
 
 void TraceSink::writeJson(std::ostream &OS, unsigned Indent) const {
+  std::vector<TraceEvent> Evs = eventsSnapshot();
+  std::map<std::string, uint64_t> Ctrs = countersSnapshot();
   std::string Pad(Indent, ' ');
   OS << Pad << "{\n" << Pad << " \"phases\": [\n";
   std::vector<size_t> Roots;
-  for (size_t I = 0; I != Events.size(); ++I)
-    if (Events[I].Parent < 0)
+  for (size_t I = 0; I != Evs.size(); ++I)
+    if (Evs[I].Parent < 0)
       Roots.push_back(I);
   for (size_t I = 0; I != Roots.size(); ++I) {
-    writeEventJson(OS, Roots[I], Indent + 2);
+    writeEventJson(OS, Evs, Roots[I], Indent + 2);
     OS << (I + 1 == Roots.size() ? "\n" : ",\n");
   }
   OS << Pad << " ],\n" << Pad << " \"counters\": {";
   bool First = true;
-  for (const auto &[Name, Value] : Counters) {
+  for (const auto &[Name, Value] : Ctrs) {
     OS << (First ? "\n" : ",\n") << Pad << "  " << jsonQuote(Name) << ": "
        << Value;
     First = false;

@@ -28,8 +28,8 @@
 /// parallel-runtime workers may bump counters concurrently. The span
 /// *tree* is still logically single-threaded (spans close in LIFO order
 /// on the thread that opened them); workers should stick to count().
-/// The events()/counters() accessors return references into the sink —
-/// read them only while no worker threads are running.
+/// Readers use eventsSnapshot()/countersSnapshot(), which copy out under
+/// the mutex and are therefore safe at any time, even mid-run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -97,10 +97,9 @@ public:
   /// high-water marks like peak temporary bytes).
   void countMax(std::string_view Name, uint64_t Value);
 
-  const std::vector<TraceEvent> &events() const { return Events; }
-  const std::map<std::string, uint64_t> &counters() const {
-    return Counters;
-  }
+  /// Copy-out under the mutex; safe while worker threads are running.
+  std::vector<TraceEvent> eventsSnapshot() const;
+  std::map<std::string, uint64_t> countersSnapshot() const;
   uint64_t counter(std::string_view Name) const;
 
   /// Renders the span tree and counters as indented human-readable text.
@@ -122,8 +121,9 @@ private:
   /// Indices of currently open spans, innermost last.
   std::vector<int> OpenStack;
 
-  void writeEventJson(std::ostream &OS, size_t Index,
-                      unsigned Indent) const;
+  static void writeEventJson(std::ostream &OS,
+                             const std::vector<TraceEvent> &Evs, size_t Index,
+                             unsigned Indent);
 };
 
 /// RAII scoped span. Constructing when tracing is disabled costs one

@@ -48,7 +48,7 @@ TEST_F(TraceTest, SpansNestByScope) {
       TraceSpan Grandchild("grandchild");
     }
   }
-  const auto &Events = TraceSink::get().events();
+  const auto Events = TraceSink::get().eventsSnapshot();
   ASSERT_EQ(Events.size(), 4u);
   // Pre-order: outer, inner-a, inner-b, grandchild.
   EXPECT_EQ(Events[0].Name, "outer");
@@ -71,7 +71,7 @@ TEST_F(TraceTest, ChildDurationWithinParent) {
     TraceSpan Outer("outer");
     TraceSpan Inner("inner");
   }
-  const auto &Events = TraceSink::get().events();
+  const auto Events = TraceSink::get().eventsSnapshot();
   ASSERT_EQ(Events.size(), 2u);
   EXPECT_GE(Events[0].Duration.count(), Events[1].Duration.count());
   EXPECT_GE(Events[1].Start, Events[0].Start);
@@ -87,7 +87,7 @@ TEST_F(TraceTest, AnnotateAttachesToInnermostOpenSpan) {
     }
     TraceSink::get().annotate("outer-note");
   }
-  const auto &Events = TraceSink::get().events();
+  const auto Events = TraceSink::get().eventsSnapshot();
   ASSERT_EQ(Events.size(), 2u);
   EXPECT_EQ(Events[0].Detail, "outer-note");
   EXPECT_EQ(Events[1].Detail, "first; second");
@@ -105,7 +105,7 @@ TEST_F(TraceTest, CountersAccumulate) {
   EXPECT_EQ(S.counter("widgets"), 5u);
   EXPECT_EQ(S.counter("gadgets"), 0u);
   EXPECT_EQ(S.counter("absent"), 0u);
-  ASSERT_EQ(S.counters().size(), 2u);
+  ASSERT_EQ(S.countersSnapshot().size(), 2u);
 }
 
 TEST_F(TraceTest, CountMaxIsHighWaterMark) {
@@ -129,8 +129,8 @@ TEST_F(TraceTest, DisabledSinkRecordsNothing) {
     traceCount("should-not-count", 7);
     S.annotate("ignored");
   }
-  EXPECT_TRUE(S.events().empty());
-  EXPECT_TRUE(S.counters().empty());
+  EXPECT_TRUE(S.eventsSnapshot().empty());
+  EXPECT_TRUE(S.countersSnapshot().empty());
   EXPECT_FALSE(traceEnabled());
 }
 
@@ -142,8 +142,8 @@ TEST_F(TraceTest, DisabledCompileEmitsNoEvents) {
       "[ i := 1.0 * i | i <- [1..n] ] in a");
   ASSERT_TRUE(Compiled.has_value());
   EXPECT_TRUE(Compiled->Thunkless);
-  EXPECT_TRUE(TraceSink::get().events().empty());
-  EXPECT_TRUE(TraceSink::get().counters().empty());
+  EXPECT_TRUE(TraceSink::get().eventsSnapshot().empty());
+  EXPECT_TRUE(TraceSink::get().countersSnapshot().empty());
 }
 
 //===--------------------------------------------------------------------===//
@@ -244,7 +244,7 @@ TEST_F(TraceTest, PrintTreeShowsNestingAndCounters) {
 /// Returns true when an event with \p Name exists under an (indirect)
 /// ancestor named \p Ancestor.
 bool hasSpanUnder(const std::string &Ancestor, const std::string &Name) {
-  const auto &Events = TraceSink::get().events();
+  const auto Events = TraceSink::get().eventsSnapshot();
   for (size_t I = 0; I != Events.size(); ++I) {
     if (Events[I].Name != Name)
       continue;
@@ -295,7 +295,7 @@ TEST_F(TraceTest, ExecuteFoldsExecStatsIntoCounters) {
   EXPECT_EQ(S.counter("exec.stores"), Exec.stats().Stores);
   EXPECT_EQ(S.counter("exec.stores"), 10u);
   bool SawExecute = false;
-  for (const TraceEvent &E : S.events())
+  for (const TraceEvent &E : S.eventsSnapshot())
     SawExecute |= E.Name == "execute";
   EXPECT_TRUE(SawExecute);
 }
@@ -332,7 +332,7 @@ TEST_F(TraceTest, LIRLoweringEmitsSpanAndCounters) {
 
   const TraceSink &S = TraceSink::get();
   bool SawLower = false;
-  for (const TraceEvent &E : S.events())
+  for (const TraceEvent &E : S.eventsSnapshot())
     SawLower |= E.Name == "lower.lir";
   EXPECT_TRUE(SawLower);
   // The program lowered to a non-trivial instruction stream, and the
@@ -361,7 +361,7 @@ TEST_F(TraceTest, LIRLoweringIsCachedAcrossRuns) {
   EXPECT_EQ(TraceSink::get().counter("lir.instrs"), InstrsAfterFirst);
 
   size_t LowerSpans = 0;
-  for (const TraceEvent &E : TraceSink::get().events())
+  for (const TraceEvent &E : TraceSink::get().eventsSnapshot())
     LowerSpans += E.Name == "lower.lir";
   EXPECT_EQ(LowerSpans, 1u);
 }
