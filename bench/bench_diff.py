@@ -25,13 +25,21 @@ Typical CI usage, comparing against the previous run's artifact:
     python3 bench/bench_diff.py baseline/bench_parallel.json new.json \
         --threshold 10
 
+`bench_diff.py --check` runs a built-in self-test over synthetic
+artifacts (regression detection, identity-field keying, gating regex,
+zero baselines) and exits 0/1; ctest registers it as bench_diff_check.
+
 stdlib only; no third-party packages required.
 """
 
 import argparse
+import contextlib
+import io
 import json
+import os
 import re
 import sys
+import tempfile
 
 # Fields that identify a row rather than measure it.
 IDENTITY_FIELDS = ("n", "threads", "exec")
@@ -84,21 +92,10 @@ def check_provenance(old, new):
               f"  old: {a}\n  new: {b}", file=sys.stderr)
 
 
-def main():
-    ap = argparse.ArgumentParser(
-        description="diff two HAC_BENCH_JSON files")
-    ap.add_argument("old")
-    ap.add_argument("new")
-    ap.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
-                    help="regression gate on time-like metrics "
-                         "(default: %(default)s%%)")
-    ap.add_argument("--metric", default=DEFAULT_METRIC, metavar="REGEX",
-                    help="fields the gate applies to "
-                         "(default: ns/ms-style names)")
-    args = ap.parse_args()
-    gate = re.compile(args.metric)
+def run_diff(old_path, new_path, threshold, metric):
+    gate = re.compile(metric)
 
-    old_doc, new_doc = load(args.old), load(args.new)
+    old_doc, new_doc = load(old_path), load(new_path)
     check_provenance(old_doc, new_doc)
 
     old_rows = {row_key(r): r for r in old_doc["rows"]}
@@ -110,7 +107,7 @@ def main():
           f"{'delta':>8}")
     for key in sorted(old_rows):
         if key not in new_rows:
-            print(f"{key:<{width}}  (missing from {args.new})")
+            print(f"{key:<{width}}  (missing from {new_path})")
             continue
         old_m = numeric_metrics(old_rows[key])
         new_m = numeric_metrics(new_rows[key])
@@ -126,23 +123,114 @@ def main():
                 delta = f"{pct:+.1f}%"
             gated = bool(gate.search(field))
             mark = ""
-            if gated and args.threshold >= 0 and (
+            if gated and threshold >= 0 and (
                     pct is None and b > a or
-                    pct is not None and pct > args.threshold):
+                    pct is not None and pct > threshold):
                 regressions.append((key, field, a, b))
                 mark = "  REGRESSION"
             print(f"{key:<{width}}  {field:<16} {a:>14} {b:>14} "
                   f"{delta:>8}{mark}")
     for key in sorted(new_rows.keys() - old_rows.keys()):
-        print(f"{key:<{width}}  (new in {args.new})")
+        print(f"{key:<{width}}  (new in {new_path})")
 
     if regressions:
         print(f"\nbench_diff: {len(regressions)} regression(s) beyond "
-              f"{args.threshold}%:", file=sys.stderr)
+              f"{threshold}%:", file=sys.stderr)
         for key, field, a, b in regressions:
             print(f"  {key} {field}: {a} -> {b}", file=sys.stderr)
         return 1
     return 0
+
+
+def self_check():
+    """Built-in self-test: exercises the comparison logic on synthetic
+    artifacts and returns 0 iff every case behaves as documented."""
+    failures = []
+
+    def case(name, old_rows, new_rows, want_rc, want_out=(), threshold=10.0,
+             metric=DEFAULT_METRIC):
+        old_doc = {"schema_version": 1, "threads": 2, "rows": old_rows}
+        new_doc = {"schema_version": 1, "threads": 2, "rows": new_rows}
+        paths = []
+        try:
+            for doc in (old_doc, new_doc):
+                fd, path = tempfile.mkstemp(suffix=".json")
+                with os.fdopen(fd, "w") as f:
+                    json.dump(doc, f)
+                paths.append(path)
+            out, err = io.StringIO(), io.StringIO()
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(err):
+                rc = run_diff(paths[0], paths[1], threshold, metric)
+            text = out.getvalue() + err.getvalue()
+            if rc != want_rc:
+                failures.append(f"{name}: rc {rc}, want {want_rc}")
+            for needle in want_out:
+                if needle not in text:
+                    failures.append(f"{name}: output lacks {needle!r}")
+        finally:
+            for path in paths:
+                os.unlink(path)
+
+    # A time-like field past the threshold is a regression (exit 1).
+    case("time regression gates",
+         [{"name": "bm", "n": 10, "items_ns": 100.0}],
+         [{"name": "bm", "n": 10, "items_ns": 150.0}],
+         want_rc=1, want_out=("REGRESSION", "+50.0%"))
+    # The same delta inside the threshold passes.
+    case("within threshold passes",
+         [{"name": "bm", "n": 10, "items_ns": 100.0}],
+         [{"name": "bm", "n": 10, "items_ns": 105.0}],
+         want_rc=0, want_out=("+5.0%",))
+    # Non-time fields are reported but never gate.
+    case("counter growth is not a regression",
+         [{"name": "bm", "hoists": 2}],
+         [{"name": "bm", "hoists": 9}],
+         want_rc=0, want_out=("+350.0%",))
+    # Identity fields key the match: same name at different n never
+    # cross-compares, so a missing (name, n) pair is reported, not diffed.
+    case("identity fields key rows",
+         [{"name": "bm", "n": 10, "items_ns": 100.0}],
+         [{"name": "bm", "n": 20, "items_ns": 900.0}],
+         want_rc=0, want_out=("(missing from", "(new in"))
+    # Zero baseline growing to nonzero on a gated field is a regression.
+    case("zero baseline regression",
+         [{"name": "bm", "wall_ms": 0}],
+         [{"name": "bm", "wall_ms": 3}],
+         want_rc=1, want_out=("+inf",))
+    # --metric overrides which fields gate.
+    case("custom metric regex gates counters",
+         [{"name": "bm", "hoists": 2}],
+         [{"name": "bm", "hoists": 9}],
+         want_rc=1, want_out=("REGRESSION",), metric=r"^hoists$")
+
+    if failures:
+        for f in failures:
+            print(f"bench_diff --check: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench_diff --check: 6 cases ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two HAC_BENCH_JSON files")
+    ap.add_argument("old", nargs="?")
+    ap.add_argument("new", nargs="?")
+    ap.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                    help="regression gate on time-like metrics "
+                         "(default: %(default)s%%)")
+    ap.add_argument("--metric", default=DEFAULT_METRIC, metavar="REGEX",
+                    help="fields the gate applies to "
+                         "(default: ns/ms-style names)")
+    ap.add_argument("--check", action="store_true",
+                    help="run the built-in self-test and exit")
+    args = ap.parse_args()
+    if args.check:
+        return self_check()
+    if args.old is None or args.new is None:
+        ap.error("OLD and NEW artifacts are required unless --check")
+    return run_diff(args.old, args.new, args.threshold, args.metric)
 
 
 if __name__ == "__main__":

@@ -8,6 +8,11 @@
 //   hacc FILE            analyze + run, print result corners and stats
 //   hacc -report FILE    print the analysis report only
 //   hacc -analyze FILE   run the static verifier, print HACNNN findings
+//                        (includes the LIR abstract interpreter,
+//                        HAC009-HAC012; -no-verify-lir opts out)
+//   hacc -verify-lir ... run the LIR validator in any mode; outside
+//                        -analyze its findings print to stderr and
+//                        errors fail the run
 //   hacc -sarif OUT ...  write the findings as SARIF 2.1.0 ("-" = stdout;
 //                        implies -analyze)
 //   hacc -Werror ...     treat warnings as errors
@@ -45,6 +50,7 @@
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
 #include "lir/LIR.h"
+#include "lir/LIRAbsint.h"
 #include "lir/LIRLowering.h"
 #include "lir/LIRPasses.h"
 #include "parallel/ThreadPool.h"
@@ -81,6 +87,15 @@ struct DriverOptions {
   bool Profile = false;
   bool Analyze = false;
   bool WarningsAsErrors = false;
+  /// -verify-lir / -no-verify-lir: the LIR abstract interpreter
+  /// (HAC009–HAC012). -1 = unset, which defaults to on under -analyze
+  /// and off otherwise.
+  int VerifyLIR = -1;
+  /// -Xverify-inject=KIND: deliberately corrupt the verified pipeline
+  /// (drop a check class or force a par flag) so the golden corpus can
+  /// prove the validator catches it.
+  lir::PlanVerifyOptions::Inject Inject =
+      lir::PlanVerifyOptions::Inject::None;
   /// Worker threads for the evaluator and the emitted C (-j). 0 = auto:
   /// HAC_THREADS, else the hardware concurrency. main() resolves it to a
   /// concrete count (>= 1) before the mode runners see it.
@@ -96,6 +111,9 @@ struct DriverOptions {
   bool quiet() const {
     return JsonPath == "-" || SarifPath == "-" || TimelinePath == "-";
   }
+
+  /// Whether the LIR abstract interpreter runs this invocation.
+  bool verifyLIROn() const { return VerifyLIR == -1 ? Analyze : VerifyLIR; }
 };
 
 std::string readAll(const std::string &Path) {
@@ -155,6 +173,12 @@ int runAnalyze(const DriverOptions &Opts, Compiler &TheCompiler,
   VerifyResult VR;
   if (Compiled) {
     Verifier V(Diags);
+    if (Opts.verifyLIROn()) {
+      LIRVerifyOptions LO;
+      LO.Threads = Opts.Threads;
+      LO.Inject = Opts.Inject;
+      V.enableLIRVerify(LO);
+    }
     VR = V.verify(*Compiled);
   }
   if (!Opts.quiet()) {
@@ -323,6 +347,9 @@ int dumpLIR(const std::string &What, const ExecPlan &Plan,
   if (Threads <= 1)
     lir::stripParFlags(P);
   lir::optimize(P);
+  // Mirror the Executor's second-chance elimination so the "after" dump
+  // shows exactly what runs.
+  lir::secondChance(P);
   if (!lir::seal(P, SealErr)) {
     std::fprintf(stderr, "hacc: LIR re-seal failed: %s\n", SealErr.c_str());
     return 1;
@@ -330,15 +357,24 @@ int dumpLIR(const std::string &What, const ExecPlan &Plan,
   if (Threads > 1)
     lir::legalizePar(P, /*ForC=*/false);
   std::printf("=== LIR (after passes: %llu hoisted, %llu strength-reduced, "
-              "%llu dce) ===\n%s",
+              "%llu dce, %llu absint-elim) ===\n%s",
               (unsigned long long)P.NumHoisted,
               (unsigned long long)P.NumStrengthReduced,
-              (unsigned long long)P.NumDce, lir::printLIR(P).c_str());
+              (unsigned long long)P.NumDce,
+              (unsigned long long)P.NumAbsintElim,
+              lir::printLIR(P).c_str());
   std::string VerifyErr = lir::verify(P);
   if (!VerifyErr.empty()) {
     std::fprintf(stderr, "hacc: %s\n", VerifyErr.c_str());
     return 1;
   }
+  // Per-register value ranges from the abstract interpreter (int slots
+  // only; float slots carry no interval information).
+  lir::AbsintResult AR = lir::analyze(P, {});
+  std::printf("=== absint register ranges ===\n");
+  for (size_t S = 0; S != AR.SlotRanges.size(); ++S)
+    if (S < P.SlotIsF.size() && !P.SlotIsF[S])
+      std::printf("  r%zu: %s\n", S, AR.SlotRanges[S].str().c_str());
   return 0;
 }
 
@@ -450,11 +486,24 @@ int runSelfCheckKernel(const ExecPlan &Plan, const ParamEnv &Params,
 //===--------------------------------------------------------------------===//
 
 int runArray(const DriverOptions &Opts, const std::string &Source) {
-  Compiler TheCompiler;
+  CompileOptions CO;
+  // Outside -analyze an explicit -verify-lir runs the LIR validator
+  // inside the compile pipeline; under -analyze the Verifier drives it
+  // instead (findings fold into the per-rule counts and SARIF).
+  if (Opts.verifyLIROn() && !Opts.Analyze) {
+    CO.VerifyLIR = true;
+    CO.VerifyLIRThreads = Opts.Threads;
+  }
+  Compiler TheCompiler(CO);
   applyDiagOptions(Opts, TheCompiler.diags());
   auto Compiled = Opts.Accum ? TheCompiler.compileAccum(Source)
                              : TheCompiler.compileArray(Source);
   const char *Mode = Opts.Accum ? "accum" : "array";
+  if (Compiled && CO.VerifyLIR) {
+    printDiags(TheCompiler);
+    if (TheCompiler.diags().hasErrors())
+      return 1;
+  }
   if (!Compiled) {
     if (Opts.Analyze) {
       runAnalyze<CompiledArray>(Opts, TheCompiler, nullptr);
@@ -615,9 +664,19 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
 }
 
 int runUpdate(const DriverOptions &Opts, const std::string &Source) {
-  Compiler TheCompiler;
+  CompileOptions CO;
+  if (Opts.verifyLIROn() && !Opts.Analyze) {
+    CO.VerifyLIR = true;
+    CO.VerifyLIRThreads = Opts.Threads;
+  }
+  Compiler TheCompiler(CO);
   applyDiagOptions(Opts, TheCompiler.diags());
   auto Compiled = TheCompiler.compileUpdate(Source);
+  if (Compiled && CO.VerifyLIR) {
+    printDiags(TheCompiler);
+    if (TheCompiler.diags().hasErrors())
+      return 1;
+  }
   if (!Compiled) {
     if (Opts.Analyze)
       runAnalyze<CompiledUpdate>(Opts, TheCompiler, nullptr);
@@ -745,15 +804,54 @@ int main(int Argc, char **Argv) {
       Opts.TimelinePath = Argv[++I];
     } else if (std::strcmp(Argv[I], "-analyze") == 0)
       Opts.Analyze = true;
-    else if (std::strcmp(Argv[I], "-Werror") == 0)
-      Opts.WarningsAsErrors = true;
-    else if (std::strncmp(Argv[I], "-Wno-", 5) == 0) {
-      RuleID Rule = parseRuleName(Argv[I] + 5);
-      if (Rule == RuleID::None) {
-        std::fprintf(stderr, "hacc: unknown rule in '%s'\n", Argv[I]);
+    else if (std::strcmp(Argv[I], "-verify-lir") == 0)
+      Opts.VerifyLIR = 1;
+    else if (std::strcmp(Argv[I], "-no-verify-lir") == 0)
+      Opts.VerifyLIR = 0;
+    else if (std::strncmp(Argv[I], "-Xverify-inject=", 16) == 0) {
+      const char *Kind = Argv[I] + 16;
+      using Inject = lir::PlanVerifyOptions::Inject;
+      if (std::strcmp(Kind, "read-checks") == 0)
+        Opts.Inject = Inject::ReadClaims;
+      else if (std::strcmp(Kind, "store-checks") == 0)
+        Opts.Inject = Inject::StoreClaims;
+      else if (std::strcmp(Kind, "collisions") == 0)
+        Opts.Inject = Inject::Collisions;
+      else if (std::strcmp(Kind, "doall") == 0)
+        Opts.Inject = Inject::Doall;
+      else if (std::strcmp(Kind, "wave") == 0)
+        Opts.Inject = Inject::Wave;
+      else {
+        std::fprintf(stderr,
+                     "hacc: bad -Xverify-inject kind '%s' (expected "
+                     "read-checks, store-checks, collisions, doall, or "
+                     "wave)\n",
+                     Kind);
         return 1;
       }
-      Opts.DisabledRules.push_back(Rule);
+    } else if (std::strcmp(Argv[I], "-Werror") == 0)
+      Opts.WarningsAsErrors = true;
+    else if (std::strncmp(Argv[I], "-Wno-", 5) == 0) {
+      RuleID Rule = RuleID::None;
+      switch (parseRuleName(Argv[I] + 5, Rule)) {
+      case RuleParseStatus::Ok:
+        Opts.DisabledRules.push_back(Rule);
+        break;
+      case RuleParseStatus::UnknownRule:
+        // A well-formed hacNNN that names no current rule: warn and
+        // continue, so scripts pinning rules from newer (or older)
+        // versions keep running.
+        std::fprintf(stderr,
+                     "hacc: warning: '%s' names no known rule; ignored\n",
+                     Argv[I]);
+        break;
+      case RuleParseStatus::Malformed:
+        std::fprintf(stderr,
+                     "hacc: malformed rule name in '%s' (expected "
+                     "-Wno-hacNNN)\n",
+                     Argv[I]);
+        return 1;
+      }
     } else if (std::strcmp(Argv[I], "-j") == 0) {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "hacc: -j needs a thread count\n");
@@ -785,6 +883,9 @@ int main(int Argc, char **Argv) {
     } else
       Opts.Path = Argv[I];
   }
+  if (Opts.Inject != lir::PlanVerifyOptions::Inject::None && !Opts.Analyze)
+    std::fprintf(stderr, "hacc: warning: -Xverify-inject only corrupts the "
+                         "-analyze pipeline; ignored in this mode\n");
   if (Opts.Path.empty()) {
     std::fprintf(stderr,
                  "usage: hacc [-report | -analyze | -emit-c | -dump-lir] "
@@ -793,7 +894,10 @@ int main(int Argc, char **Argv) {
                  "[-Wno-hacNNN] FILE\n"
                  "  -report      print the analysis report only\n"
                  "  -analyze     run the static verifier, print HACNNN "
-                 "findings\n"
+                 "findings (includes the LIR abstract interpreter)\n"
+                 "  -verify-lir  run the LIR translation validator / race "
+                 "checker (HAC009-HAC012) in any mode\n"
+                 "  -no-verify-lir  skip the LIR validator under -analyze\n"
                  "  -sarif FILE  write findings as SARIF 2.1.0 "
                  "(\"-\" = stdout; implies -analyze)\n"
                  "  -Werror      treat warnings as errors\n"

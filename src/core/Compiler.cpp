@@ -3,7 +3,9 @@
 #include "core/Compiler.h"
 
 #include "ast/ASTUtils.h"
+#include "codegen/ShapeEstimate.h"
 #include "frontend/Parser.h"
+#include "lir/LIRAbsint.h"
 #include "parallel/ParPlanner.h"
 #include "support/Casting.h"
 #include "support/Trace.h"
@@ -49,6 +51,21 @@ bool boundsToDims(const Expr *Bounds, const ParamEnv &Params, ArrayDims &Out,
     Out.emplace_back(Lo, Hi);
   }
   return true;
+}
+
+/// Re-lowers \p Plan to LIR and runs the abstract interpreter over it:
+/// translation validation of the checks the plan dropped (HAC009) and
+/// static race checking of whatever the parallel planner flagged
+/// (HAC010/HAC011), replicated at \p Threads workers. Findings report
+/// through \p Diags under a "verify-lir" span.
+void verifyLoweredLIR(const ExecPlan &Plan, const ArrayDims &Dims,
+                      const ParamEnv &Params, unsigned Threads,
+                      DiagnosticEngine &Diags) {
+  HAC_TRACE_SPAN(Span, "verify-lir");
+  lir::PlanVerifyOptions VO;
+  VO.Threads = Threads;
+  lir::PlanVerifyResult R = lir::verifyPlanLIR(Plan, Dims, Params, VO);
+  lir::reportLIRFindings(R, Diags);
 }
 
 /// Parses \p Source under a "parse" span.
@@ -223,6 +240,9 @@ Compiler::compileArray(const std::string &Source) {
       AllEdges.push_back(&E);
     par::planParallel(Result.Plan, AllEdges);
   }
+  if (Options.VerifyLIR)
+    verifyLoweredLIR(Result.Plan, Result.Dims, Result.Params,
+                     Options.VerifyLIRThreads, Diags);
   traceOutcome(true, "");
   return Result;
 }
@@ -304,6 +324,14 @@ Compiler::compileUpdate(const std::string &Source) {
                                   Result.BaseName, /*Dims=*/{});
   }
   par::planParallel(Result.Plan, Remaining);
+  if (Options.VerifyLIR) {
+    // The updated array's extents are runtime values; verify against the
+    // shape estimate when one exists (same estimate the profiler uses).
+    ArrayDims Dims;
+    if (estimateUpdateDims(Result.Plan, Result.Params, Dims))
+      verifyLoweredLIR(Result.Plan, Dims, Result.Params,
+                       Options.VerifyLIRThreads, Diags);
+  }
   traceOutcome(true, "");
   return Result;
 }
@@ -494,6 +522,9 @@ Compiler::compileAccum(const std::string &Source) {
   // The gates above proved there are no flow edges and no collisions:
   // every loop of an accumulated array is trivially independent.
   par::planParallel(Result.Plan, {});
+  if (Options.VerifyLIR)
+    verifyLoweredLIR(Result.Plan, Result.Dims, Result.Params,
+                     Options.VerifyLIRThreads, Diags);
   traceOutcome(true, "");
   return Result;
 }
@@ -579,6 +610,9 @@ Compiler::compileArrayInPlace(const std::string &Source,
                                          EffCoverage, EffReadBounds);
   }
   par::planParallel(Result->Plan, Remaining);
+  if (Options.VerifyLIR)
+    verifyLoweredLIR(Result->Plan, Result->Dims, Result->Params,
+                     Options.VerifyLIRThreads, Diags);
   Result->Sched = Result->InPlaceSched.Sched;
   traceOutcome(true, "");
   return Result;

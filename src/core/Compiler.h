@@ -63,6 +63,14 @@ struct CompileOptions {
   /// When true, compiled reads of the target verify the element was
   /// already computed (schedule-safety validation for property tests).
   bool ValidateReads = false;
+  /// When true, every compiled plan is re-lowered to LIR and checked by
+  /// the abstract interpreter (translation validation of dropped checks,
+  /// HAC009; static race checking of par-flagged loops, HAC010/HAC011)
+  /// at \p VerifyLIRThreads workers. Findings surface through the
+  /// compiler's DiagnosticEngine. Off by default — `hacc -analyze` and
+  /// `-verify-lir` turn it on.
+  bool VerifyLIR = false;
+  unsigned VerifyLIRThreads = 1;
 };
 
 /// Everything the pipeline derived about one array construction.

@@ -130,6 +130,12 @@ enum : uint8_t {
   FlagParDoall = 1u << 2,     ///< iterations are independent
   FlagParWaveOuter = 1u << 3, ///< outer loop of a wavefront pair
   FlagParWaveInner = 1u << 4, ///< inner loop of a wavefront pair
+  /// CheckIdx only: the lowering demoted this check to ExecOnly because a
+  /// front-end analysis claimed the fact proven (e.g. store bounds with
+  /// Plan.CheckStoreBounds == false). The LIR translation validator must
+  /// re-derive the claim on the optimized stream or report HAC009; plain
+  /// ExecOnly checks carry no such obligation.
+  FlagProvenClaim = 1u << 5,
 };
 
 /// All parallel-class flag bits.
@@ -156,6 +162,7 @@ struct LInst {
   bool parDoall() const { return Flags & FlagParDoall; }
   bool parWaveOuter() const { return Flags & FlagParWaveOuter; }
   bool parWaveInner() const { return Flags & FlagParWaveInner; }
+  bool provenClaim() const { return Flags & FlagProvenClaim; }
 };
 
 /// Source attribution for one lowered loop (profiler side table). The
@@ -211,6 +218,9 @@ struct LIRProgram {
   uint64_t NumHoisted = 0;
   uint64_t NumStrengthReduced = 0;
   uint64_t NumDce = 0;
+  /// Residual checks deleted by the abstract-interpretation second-chance
+  /// pass (lir.absint.second_chance).
+  uint64_t NumAbsintElim = 0;
 
   int32_t intern(const std::string &S) {
     for (size_t I = 0; I != Strs.size(); ++I)

@@ -748,9 +748,12 @@ private:
         emitCheckIdx(Index[D], Dims[D].first, Dims[D].second, RcBounds,
                      BoundsMsg, FlagExecOnly);
     } else if (ValidateReads && !ForC) {
+      // Plan.CheckReadBounds == false means the range analysis proved
+      // every read in bounds; the validation checks that stand in for
+      // the dropped ones carry the proven claim for the LIR validator.
       for (size_t D = 0; D != Index.size(); ++D)
         emitCheckIdx(Index[D], Dims[D].first, Dims[D].second, RcBounds,
-                     BoundsMsg, FlagExecOnly);
+                     BoundsMsg, FlagExecOnly | FlagProvenClaim);
     }
     int32_t Lin = linChain(Index, Dims);
     if (ValidateReads && !ForC && IsTarget && PrimaryContext) {
@@ -1187,8 +1190,12 @@ private:
       } else {
         // The evaluator always verifies store bounds (the seed's
         // linearize was checked unconditionally); the C backend only
-        // emits the compares when the analysis left the check in.
-        uint8_t Flags = Plan.CheckStoreBounds ? 0 : FlagExecOnly;
+        // emits the compares when the analysis left the check in. A
+        // demoted check records the front end's "proven in bounds" claim
+        // for the LIR translation validator to re-derive (HAC009).
+        uint8_t Flags = Plan.CheckStoreBounds
+                            ? 0
+                            : (FlagExecOnly | FlagProvenClaim);
         for (size_t D = 0; D != Index.size(); ++D)
           emitCheckIdx(Index[D], TargetDims[D].first, TargetDims[D].second,
                        RcBounds, "array definition out of bounds", Flags);

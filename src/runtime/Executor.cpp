@@ -2,6 +2,7 @@
 
 #include "runtime/Executor.h"
 
+#include "lir/LIRAbsint.h"
 #include "lir/LIREval.h"
 #include "lir/LIRLowering.h"
 #include "lir/LIRPasses.h"
@@ -23,6 +24,7 @@ struct LIRCacheImpl {
     uint64_t PlanId = 0;
     bool ValidateReads = false;
     bool Optimize = true;
+    bool SecondChance = true;
     bool Parallel = false;
     size_t NumStmts = 0;
     const void *FirstStmt = nullptr;
@@ -33,7 +35,8 @@ struct LIRCacheImpl {
 
     bool operator==(const Key &O) const {
       return PlanId == O.PlanId && ValidateReads == O.ValidateReads &&
-             Optimize == O.Optimize && Parallel == O.Parallel &&
+             Optimize == O.Optimize && SecondChance == O.SecondChance &&
+             Parallel == O.Parallel &&
              NumStmts == O.NumStmts &&
              FirstStmt == O.FirstStmt && LastStmt == O.LastStmt &&
              CheckFlags == O.CheckFlags && TargetDims == O.TargetDims &&
@@ -52,13 +55,14 @@ struct LIRCacheImpl {
 namespace {
 
 LIRCacheImpl::Key makeKey(const ExecPlan &Plan, bool ValidateReads,
-                          bool Optimize, bool Parallel,
+                          bool Optimize, bool SecondChance, bool Parallel,
                           const ArrayDims &TargetDims,
                           std::map<std::string, ArrayDims> InputDims) {
   LIRCacheImpl::Key K;
   K.PlanId = Plan.Id;
   K.ValidateReads = ValidateReads;
   K.Optimize = Optimize;
+  K.SecondChance = SecondChance;
   K.Parallel = Parallel;
   K.NumStmts = Plan.Stmts.size();
   K.FirstStmt = Plan.Stmts.empty() ? nullptr
@@ -159,8 +163,9 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
   const bool Parallel = Threads > 1;
   if (!Cache)
     Cache = std::make_shared<LIRCacheImpl>();
-  LIRCacheImpl::Key Key = makeKey(Plan, ValidateReads, LIROptimize, Parallel,
-                                  TargetDims, std::move(InDims));
+  LIRCacheImpl::Key Key =
+      makeKey(Plan, ValidateReads, LIROptimize, LIRSecondChance, Parallel,
+              TargetDims, std::move(InDims));
 
   const lir::LIRProgram *Prog = nullptr;
   if (Plan.Id != 0)
@@ -183,6 +188,12 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
         lir::stripParFlags(Local);
       if (LIROptimize)
         lir::optimize(Local);
+      // Second-chance elimination: residual checks whose ranges only
+      // become provable after LICM/strength reduction are deleted here.
+      // Counter instructions are never touched, so ExecStats stays
+      // bit-identical whether or not this runs.
+      if (LIROptimize && LIRSecondChance)
+        lir::secondChance(Local);
       std::string SealErr;
       if (!lir::seal(Local, SealErr)) {
         Err = "internal error: LIR seal failed: " + SealErr;
@@ -199,6 +210,7 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
       S.count("lir.hoisted", Local.NumHoisted);
       S.count("lir.strength_reduced", Local.NumStrengthReduced);
       S.count("lir.dce", Local.NumDce);
+      S.count("lir.absint.second_chance", Local.NumAbsintElim);
       if (Parallel) {
         uint64_t Doall = 0, Wave = 0;
         for (const lir::LInst &I : Local.Code)

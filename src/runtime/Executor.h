@@ -56,6 +56,11 @@ public:
   /// passes-off ablation.
   void setLIROptimize(bool V) { LIROptimize = V; }
 
+  /// Disables the abstract-interpretation second-chance check
+  /// elimination that runs after the optimization passes. On by
+  /// default; bench_checks flips this to measure residual checks.
+  void setLIRSecondChance(bool V) { LIRSecondChance = V; }
+
   /// Sets the worker count for parallel loop execution. 1 (the default)
   /// keeps the fully serial pipeline — par flags are stripped before
   /// the optimization passes, so single-threaded LIR is byte-identical
@@ -83,6 +88,7 @@ private:
   ExecStats Stats;
   bool ValidateReads = false;
   bool LIROptimize = true;
+  bool LIRSecondChance = true;
   unsigned Threads = 1;
   std::shared_ptr<par::ThreadPool> Pool;
   std::shared_ptr<LIRCacheImpl> Cache;

@@ -40,6 +40,14 @@ const char *hac::ruleIdString(RuleID Rule) {
     return "HAC007";
   case RuleID::HAC008:
     return "HAC008";
+  case RuleID::HAC009:
+    return "HAC009";
+  case RuleID::HAC010:
+    return "HAC010";
+  case RuleID::HAC011:
+    return "HAC011";
+  case RuleID::HAC012:
+    return "HAC012";
   }
   return "";
 }

@@ -49,12 +49,16 @@ enum class RuleID : uint8_t {
   HAC006 = 6, ///< dead-clause
   HAC007 = 7, ///< fallback-forced
   HAC008 = 8, ///< loop-not-parallel
+  HAC009 = 9, ///< unsound-check-elimination (LIR translation validation)
+  HAC010 = 10, ///< doall-write-overlap (LIR static race check)
+  HAC011 = 11, ///< wavefront-cross-front-write (LIR static race check)
+  HAC012 = 12, ///< late-proven-check-elimination (LIR second chance)
 };
 
 /// Number of assigned rules (RuleID values 1..kNumRules are valid).
-inline constexpr unsigned kNumRules = 8;
+inline constexpr unsigned kNumRules = 12;
 
-/// "HAC001" ... "HAC008", or "" for RuleID::None.
+/// "HAC001" ... "HAC012", or "" for RuleID::None.
 const char *ruleIdString(RuleID Rule);
 
 /// Maps 1..kNumRules to the rule; anything else to RuleID::None.

@@ -45,6 +45,24 @@ const std::array<RuleInfo, kNumRules> Rules = {{
      "dependence (or poisoned analysis) prevents DOALL and wavefront "
      "execution; the witness explains which.",
      DiagSeverity::Note},
+    {RuleID::HAC009, "unsound-check-elimination",
+     "The LIR translation validator could not re-derive a safety fact "
+     "(in-bounds, nonzero divisor, write disjointness) that an earlier "
+     "phase claimed proven when it dropped a runtime check.",
+     DiagSeverity::Error},
+    {RuleID::HAC010, "doall-write-overlap",
+     "Two iterations of a DOALL-classified loop provably write the same "
+     "target element; running it in parallel races.",
+     DiagSeverity::Error},
+    {RuleID::HAC011, "wavefront-cross-front-write",
+     "A store inside a wavefront pair provably writes the same element "
+     "from two points on the same anti-diagonal front; the wavefront "
+     "schedule races.",
+     DiagSeverity::Error},
+    {RuleID::HAC012, "late-proven-check-elimination",
+     "A residual runtime check the front end could not remove was proven "
+     "redundant by the post-optimization LIR range analysis and deleted.",
+     DiagSeverity::Note},
 }};
 
 } // namespace
@@ -56,18 +74,33 @@ const RuleInfo &hac::ruleInfo(RuleID Id) {
 
 const std::array<RuleInfo, kNumRules> &hac::allRules() { return Rules; }
 
-RuleID hac::parseRuleName(const std::string &Spelling) {
+RuleParseStatus hac::parseRuleName(const std::string &Spelling,
+                                   RuleID &Out) {
+  Out = RuleID::None;
+  // Exactly "hacNNN" (case-insensitive prefix, exactly three digits).
+  // "hac1", "hac0005", and "hac005x" are malformed, never silently
+  // accepted or rejected based on where the garbage happens to fall.
   if (Spelling.size() != 6)
-    return RuleID::None;
+    return RuleParseStatus::Malformed;
   if ((Spelling[0] != 'h' && Spelling[0] != 'H') ||
       (Spelling[1] != 'a' && Spelling[1] != 'A') ||
       (Spelling[2] != 'c' && Spelling[2] != 'C'))
-    return RuleID::None;
+    return RuleParseStatus::Malformed;
   unsigned N = 0;
   for (size_t I = 3; I != 6; ++I) {
     if (!std::isdigit(static_cast<unsigned char>(Spelling[I])))
-      return RuleID::None;
+      return RuleParseStatus::Malformed;
     N = N * 10 + static_cast<unsigned>(Spelling[I] - '0');
   }
-  return ruleIdFromNumber(N);
+  Out = ruleIdFromNumber(N);
+  // Well-formed but unassigned (hac000, hac999): callers warn instead of
+  // silently accepting a -Wno- flag that disables nothing.
+  return Out == RuleID::None ? RuleParseStatus::UnknownRule
+                             : RuleParseStatus::Ok;
+}
+
+RuleID hac::parseRuleName(const std::string &Spelling) {
+  RuleID Out = RuleID::None;
+  parseRuleName(Spelling, Out);
+  return Out;
 }

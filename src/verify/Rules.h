@@ -10,6 +10,14 @@
 /// assigned, keeps its meaning forever and is never reused for a
 /// different rule — retired rules leave a hole in the numbering.
 ///
+/// HAC009–HAC011 additionally encode the guilty-until-proven contract of
+/// the LIR translation validator (DESIGN.md "LIR verification"): any
+/// check an earlier phase dropped as "proven" must be independently
+/// re-derivable on the optimized LIR, and any par-flagged loop must have
+/// provably disjoint per-iteration write footprints. A fact the validator
+/// cannot re-establish is reported as an error under these IDs — the
+/// optimization is presumed unsound until the proof goes through.
+///
 /// The enum itself lives in support/Diagnostics.h so the diagnostic
 /// engine can filter findings without depending on this layer; this file
 /// adds the name/summary/severity table used by the human report and the
@@ -43,9 +51,17 @@ const RuleInfo &ruleInfo(RuleID Id);
 /// The full table, in rule-number order (HAC001 first).
 const std::array<RuleInfo, kNumRules> &allRules();
 
+/// Outcome of parsing a rule spelling: Ok (a known rule), UnknownRule
+/// (well-formed "hacNNN" naming no assigned rule — e.g. hac000 or a
+/// number past the table), or Malformed (not a rule spelling at all).
+enum class RuleParseStatus { Ok, UnknownRule, Malformed };
+
 /// Parses "hacNNN" / "HACNNN" / "HAC001"-style spellings (as used by
-/// -Wno-hacNNN). Returns RuleID::None when the spelling is not a known
-/// rule.
+/// -Wno-hacNNN): exactly three digits, case-insensitive prefix. Sets
+/// \p Out to the rule (RuleID::None unless the status is Ok).
+RuleParseStatus parseRuleName(const std::string &Spelling, RuleID &Out);
+
+/// Convenience overload: RuleID::None for anything but a known rule.
 RuleID parseRuleName(const std::string &Spelling);
 
 } // namespace hac

@@ -5,6 +5,9 @@
 #include "support/Trace.h"
 #include "verify/Rules.h"
 
+#include <algorithm>
+#include <tuple>
+
 using namespace hac;
 
 namespace {
@@ -102,12 +105,35 @@ void hac::writeSarif(std::ostream &OS, const DiagnosticEngine &Diags,
      << " } }\n";
   OS << "      ],\n";
 
-  OS << "      \"results\": [";
+  // The engine records findings in pipeline order, which shifts whenever
+  // a pass is reordered; SARIF consumers (and the golden tests) want a
+  // stable document. Sort by location, then rule, severity, and message,
+  // and drop exact duplicates — re-running an analysis layer must not
+  // inflate the result set.
   const auto &All = Diags.diagnostics();
-  for (size_t I = 0; I != All.size(); ++I) {
+  std::vector<const Diagnostic *> Results;
+  Results.reserve(All.size());
+  for (const Diagnostic &D : All)
+    Results.push_back(&D);
+  auto Key = [](const Diagnostic *D) {
+    return std::make_tuple(D->Loc.Line, D->Loc.Col,
+                           static_cast<unsigned>(D->Rule),
+                           static_cast<unsigned>(D->Severity), D->Message);
+  };
+  std::stable_sort(Results.begin(), Results.end(),
+                   [&](const Diagnostic *A, const Diagnostic *B) {
+                     return Key(A) < Key(B);
+                   });
+  Results.erase(std::unique(Results.begin(), Results.end(),
+                            [&](const Diagnostic *A, const Diagnostic *B) {
+                              return Key(A) == Key(B);
+                            }),
+                Results.end());
+  OS << "      \"results\": [";
+  for (size_t I = 0; I != Results.size(); ++I) {
     OS << (I ? ",\n" : "\n");
-    writeResult(OS, All[I], ArtifactUri);
+    writeResult(OS, *Results[I], ArtifactUri);
   }
-  OS << (All.empty() ? "]\n" : "\n      ]\n");
+  OS << (Results.empty() ? "]\n" : "\n      ]\n");
   OS << "    }\n  ]\n}\n";
 }

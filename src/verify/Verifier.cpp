@@ -19,6 +19,7 @@ namespace {
 const char *const TraceCounterNames[kNumRules] = {
     "verify.hac001", "verify.hac002", "verify.hac003", "verify.hac004",
     "verify.hac005", "verify.hac006", "verify.hac007", "verify.hac008",
+    "verify.hac009", "verify.hac010", "verify.hac011", "verify.hac012",
 };
 
 Diagnostic finding(RuleID Rule, DiagSeverity Severity, SourceLoc Loc,
@@ -392,6 +393,8 @@ VerifyResult Verifier::verify(const CompiledArray &CA) {
   checkFallback(CA.Thunkless, CA.FallbackReason);
   if (CA.Thunkless)
     checkParallel(CA.Plan);
+  if (LIROptions)
+    foldLIR(verifyLIR(CA, Diags, *LIROptions));
   return Result;
 }
 
@@ -403,5 +406,17 @@ VerifyResult Verifier::verify(const CompiledUpdate &CU) {
   checkFallback(CU.InPlace, CU.FallbackReason);
   if (CU.InPlace)
     checkParallel(CU.Plan);
+  if (LIROptions)
+    foldLIR(verifyLIR(CU, Diags, *LIROptions));
   return Result;
+}
+
+void Verifier::foldLIR(const LIRVerifyOutcome &Out) {
+  if (!Out.Ran)
+    return;
+  for (unsigned I = 0; I != kNumRules; ++I) {
+    Result.Hits[I] += Out.Hits[I];
+    for (unsigned K = 0; K != Out.Hits[I]; ++K)
+      HAC_TRACE_COUNT(TraceCounterNames[I]);
+  }
 }

@@ -23,9 +23,11 @@
 #define HAC_VERIFY_VERIFIER_H
 
 #include "core/Compiler.h"
+#include "verify/LIRVerifier.h"
 #include "verify/Rules.h"
 
 #include <array>
+#include <optional>
 
 namespace hac {
 
@@ -52,6 +54,14 @@ class Verifier {
 public:
   explicit Verifier(DiagnosticEngine &Diags) : Diags(Diags) {}
 
+  /// Enables the LIR verification layer (HAC009–HAC012): translation
+  /// validation of dropped checks, static race checking of par-flagged
+  /// loops, and second-chance elimination notes, run over the Executor
+  /// pipeline replicated at \p Opts.Threads workers. Off by default so
+  /// plain Verifier runs keep reporting only the plan-level rules;
+  /// `hacc -analyze` turns it on (`-no-verify-lir` opts out).
+  void enableLIRVerify(const LIRVerifyOptions &Opts) { LIROptions = Opts; }
+
   /// Verifies an array construction (also covers accumArray and the
   /// storage-reuse case, which produce CompiledArray).
   VerifyResult verify(const CompiledArray &CA);
@@ -64,6 +74,11 @@ public:
 private:
   DiagnosticEngine &Diags;
   VerifyResult Result;
+  std::optional<LIRVerifyOptions> LIROptions;
+
+  /// Folds one LIR verification outcome into the per-rule hit counts
+  /// and the verify.hacNNN trace counters.
+  void foldLIR(const LIRVerifyOutcome &Out);
 
   /// Reports \p D (tagged with a rule) through the engine; bumps the
   /// per-rule hit count and the `verify.hacNNN` trace counter when the

@@ -88,11 +88,30 @@ TEST(Rules, ParseRuleName) {
   EXPECT_EQ(parseRuleName("HAC005"), RuleID::HAC005);
   EXPECT_EQ(parseRuleName("Hac007"), RuleID::HAC007);
   EXPECT_EQ(parseRuleName("hac008"), RuleID::HAC008);
-  EXPECT_EQ(parseRuleName("hac009"), RuleID::None);
+  EXPECT_EQ(parseRuleName("hac009"), RuleID::HAC009);
+  EXPECT_EQ(parseRuleName("hac012"), RuleID::HAC012);
+  EXPECT_EQ(parseRuleName("hac013"), RuleID::None);
   EXPECT_EQ(parseRuleName("hac000"), RuleID::None);
   EXPECT_EQ(parseRuleName("hac01"), RuleID::None);
   EXPECT_EQ(parseRuleName("bogus1"), RuleID::None);
   EXPECT_EQ(parseRuleName(""), RuleID::None);
+}
+
+TEST(Rules, ParseRuleNameStatus) {
+  // Three-state contract: known rule, well-formed-but-unassigned number,
+  // and not-a-rule-spelling at all. The driver warns on UnknownRule
+  // instead of silently accepting (or hard-rejecting) it.
+  RuleID Id = RuleID::HAC001;
+  EXPECT_EQ(parseRuleName("hac012", Id), RuleParseStatus::Ok);
+  EXPECT_EQ(Id, RuleID::HAC012);
+  EXPECT_EQ(parseRuleName("hac000", Id), RuleParseStatus::UnknownRule);
+  EXPECT_EQ(Id, RuleID::None);
+  EXPECT_EQ(parseRuleName("hac999", Id), RuleParseStatus::UnknownRule);
+  EXPECT_EQ(parseRuleName("hac0009", Id), RuleParseStatus::Malformed);
+  EXPECT_EQ(parseRuleName("hac09", Id), RuleParseStatus::Malformed);
+  EXPECT_EQ(parseRuleName("hacdef", Id), RuleParseStatus::Malformed);
+  EXPECT_EQ(parseRuleName("mac001", Id), RuleParseStatus::Malformed);
+  EXPECT_EQ(parseRuleName("", Id), RuleParseStatus::Malformed);
 }
 
 //===--------------------------------------------------------------------===//
@@ -450,6 +469,41 @@ TEST(Sarif, CleanRunHasEmptyResults) {
   writeSarif(OS, C.diags(), "hac001_neg.hac");
   std::string S = OS.str();
   EXPECT_NE(S.find("\"results\": []"), std::string::npos);
+}
+
+TEST(Sarif, ResultsAreSortedAndDeduped) {
+  // Findings reported out of source order (and once twice) must come out
+  // location-sorted and unique — the document is a stable contract
+  // regardless of which analysis layer ran first.
+  DiagnosticEngine Diags;
+  auto Report = [&](unsigned Line, RuleID Rule, const char *Msg) {
+    Diagnostic D;
+    D.Severity = DiagSeverity::Warning;
+    D.Rule = Rule;
+    D.Loc = SourceLoc(Line, 1);
+    D.Message = Msg;
+    Diags.report(std::move(D));
+  };
+  Report(9, RuleID::HAC005, "later line");
+  Report(2, RuleID::HAC004, "earlier line");
+  Report(2, RuleID::HAC001, "earlier line, lower rule");
+  Report(9, RuleID::HAC005, "later line"); // exact duplicate
+
+  std::ostringstream OS;
+  writeSarif(OS, Diags, "t.hac");
+  std::string S = OS.str();
+
+  // "ruleId" appears only in results (the rules table uses "id").
+  size_t R1 = S.find("\"ruleId\": \"HAC001\"");
+  size_t R4 = S.find("\"ruleId\": \"HAC004\"");
+  size_t R5 = S.find("\"ruleId\": \"HAC005\"");
+  ASSERT_NE(R1, std::string::npos);
+  ASSERT_NE(R4, std::string::npos);
+  ASSERT_NE(R5, std::string::npos);
+  EXPECT_LT(R1, R4); // same line: lower rule first
+  EXPECT_LT(R4, R5); // line 2 before line 9
+  // The duplicate HAC005 finding is emitted once.
+  EXPECT_EQ(S.find("\"ruleId\": \"HAC005\"", R5 + 1), std::string::npos);
 }
 
 } // namespace
