@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "core/Module.h"
 #include "codegen/ShapeEstimate.h"
 #include "lir/LIR.h"
 #include "lir/LIRLowering.h"
@@ -214,6 +215,39 @@ void lirUpdateRow(const char *Name, const std::string &Source) {
   lirRow(Name, Compiled->Plan, Dims, Compiled->Params);
 }
 
+/// One row for a multi-array module: DAG size, topological schedule
+/// length, and the buffer plan's footprint vs the no-reuse foil.
+void moduleRow(const char *Name, const std::string &Source) {
+  hac::ModuleCompiler MC;
+  auto M = MC.compileModule(Source);
+  if (!M) {
+    std::printf("%-22s | compile error\n", Name);
+    return;
+  }
+  if (!M->Thunkless) {
+    std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | %s\n", Name,
+                "thunked", "-", "-", "-", "-", M->FallbackReason.c_str());
+    benchJsonRow(Name, {{"exec", "\"thunked\""},
+                        {"fallback_reason",
+                         jsonQuote(M->FallbackReason)}});
+    return;
+  }
+  std::printf("%-22s | %-9s | %-10s | %-8s | %-8s | %-8s | arrays=%zu "
+              "slots=%u reused=%u peak=%zuB (no-reuse %zuB)\n",
+              Name, "thunkless", "proven", "proven", "proven", "n/a",
+              M->Bindings.size(), M->Buffers.numSlots(), M->Buffers.Reused,
+              M->Buffers.PeakBytes, M->Buffers.NoReusePeakBytes);
+  benchJsonRow(
+      Name,
+      {{"exec", "\"thunkless\""},
+       {"arrays", std::to_string(M->Bindings.size())},
+       {"buffer_slots", std::to_string(M->Buffers.numSlots())},
+       {"buffers_reused", std::to_string(M->Buffers.Reused)},
+       {"peak_bytes", std::to_string(M->Buffers.PeakBytes)},
+       {"no_reuse_peak_bytes",
+        std::to_string(M->Buffers.NoReusePeakBytes)}});
+}
+
 //===--------------------------------------------------------------------===//
 // E15 companion: parallel scheduling classes + thread-scaling matrix
 //===--------------------------------------------------------------------===//
@@ -321,6 +355,13 @@ int main() {
            "let n = 64 in letrec* h = accumArray (\\a v . a + v) 0 (1,8) "
            "[ i % 8 + 1 := 1 | i <- [1..n] ] in h");
   inPlaceArrayRow("sor / livermore-23", sorSource(64), "b");
+  moduleRow("module (4-stage)",
+            "let n = 64 in\n"
+            "letrec* a = array (1,n) [ i := i * 1.0 | i <- [1..n] ];\n"
+            "        b = array (1,n) [ i := 2.0 * a!i | i <- [1..n] ];\n"
+            "        c = array (1,n) [ i := b!i + 1.0 | i <- [1..n] ];\n"
+            "        d = array (1,n) [ i := c!i * c!i | i <- [1..n] ]\n"
+            "in d");
 
   std::printf("\nLoop IR lowering matrix (evaluator variant, n = 64)\n\n");
   std::printf("%-22s | %6s | %6s | %7s | %8s | %4s\n", "kernel", "before",

@@ -1,0 +1,58 @@
+# Module gate: runs the multi-array seeds under `hacc`. For each program
+# it (1) prints the inter-array DAG with -dump-module, (2) executes the
+# module (thunkless modules run binding-by-binding with buffer reuse,
+# cyclic ones fall back to the interpreter), and (3) runs -selfcheck,
+# which compiles the whole-module C driver (`hac_module`) with cc and
+# requires bit-identical agreement with the evaluator. Invoked by ctest as
+#   cmake -DHACC=<hacc> -DPROGRAMS_DIR=<dir>/multi -P ModuleSmoke.cmake
+
+foreach(Var HACC PROGRAMS_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "ModuleSmoke.cmake needs -D${Var}=...")
+  endif()
+endforeach()
+
+file(GLOB Programs "${PROGRAMS_DIR}/*.hac")
+if(NOT Programs)
+  message(FATAL_ERROR "no .hac programs under ${PROGRAMS_DIR}")
+endif()
+
+foreach(Program IN LISTS Programs)
+  execute_process(
+    COMMAND ${HACC} -dump-module ${Program}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "hacc -dump-module failed on ${Program} (rc=${RC}):\n"
+      "${Stdout}\n${Stderr}")
+  endif()
+  if(NOT Stdout MATCHES "module: [0-9]+ arrays")
+    message(FATAL_ERROR
+      "hacc -dump-module printed no DAG for ${Program}:\n${Stdout}")
+  endif()
+
+  execute_process(
+    COMMAND ${HACC} ${Program}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "hacc failed on ${Program} (rc=${RC}):\n${Stdout}\n${Stderr}")
+  endif()
+
+  execute_process(
+    COMMAND ${HACC} -selfcheck ${Program}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "hacc -selfcheck failed on ${Program} (rc=${RC}):\n"
+      "${Stdout}\n${Stderr}")
+  endif()
+
+  message(STATUS "module ok: ${Program}")
+endforeach()

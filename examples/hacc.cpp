@@ -20,6 +20,13 @@
 //   hacc -emit-c FILE    emit the generated C kernel to stdout
 //   hacc -dump-lir FILE  print the unified Loop IR before and after the
 //                        optimization passes; exit 1 on verifier errors
+//   hacc -dump-module F  print a multi-array program's inter-array DAG,
+//                        topological schedule, and buffer plan
+//
+// Programs whose letrec* binds two or more arrays are detected and
+// compiled as modules: each binding runs through the shared pipeline,
+// the inter-array DAG is topologically scheduled, and dead
+// intermediates' buffers are recycled for later arrays.
 //   hacc -selfcheck FILE run the LIR evaluator AND the compiled-C kernel
 //                        and require bit-identical results
 //   hacc -j N ... FILE   evaluate with N worker threads (0 = auto:
@@ -46,9 +53,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
+#include "codegen/ModuleEmitter.h"
 #include "codegen/ShapeEstimate.h"
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
+#include "core/Module.h"
 #include "lir/LIR.h"
 #include "lir/LIRAbsint.h"
 #include "lir/LIRLowering.h"
@@ -83,6 +92,9 @@ struct DriverOptions {
   bool SelfCheck = false;
   bool Update = false;
   bool Accum = false;
+  /// -dump-module: print the inter-array DAG, topological schedule, and
+  /// buffer plan of a multi-array program, then stop.
+  bool DumpModule = false;
   bool TraceTree = false;
   bool Profile = false;
   bool Analyze = false;
@@ -261,6 +273,27 @@ void writeArrayAnalysisJson(std::ostream &OS, const CompiledArray &C) {
      << "  }";
 }
 
+/// The module-level analysis fields: DAG size, schedule, buffer plan.
+void writeModuleAnalysisJson(std::ostream &OS, const CompiledModule &M) {
+  OS << "  {\n"
+     << "   \"arrays\": " << M.Bindings.size() << ",\n"
+     << "   \"result\": " << jsonQuote(M.result().Name) << ",\n"
+     << "   \"topo_order\": [";
+  for (size_t I = 0; I != M.TopoOrder.size(); ++I)
+    OS << (I ? ", " : "")
+       << jsonQuote(M.Bindings[M.TopoOrder[I]].Name);
+  OS << "],\n"
+     << "   \"buffer_slots\": " << (M.Thunkless ? M.Buffers.numSlots() : 0)
+     << ",\n"
+     << "   \"buffers_reused\": " << (M.Thunkless ? M.Buffers.Reused : 0)
+     << ",\n"
+     << "   \"peak_bytes\": " << (M.Thunkless ? M.Buffers.PeakBytes : 0)
+     << ",\n"
+     << "   \"no_reuse_peak_bytes\": "
+     << (M.Thunkless ? M.Buffers.NoReusePeakBytes : 0) << "\n"
+     << "  }";
+}
+
 void writeUpdateAnalysisJson(std::ostream &OS, const CompiledUpdate &C) {
   OS << "  {\n"
      << "   \"clauses\": " << C.Nest.numClauses() << ",\n"
@@ -388,11 +421,13 @@ using KernelFn = int (*)(double *, const double *const *);
 #endif
 
 /// Compiles emitted C with the system compiler, loads the shared object,
-/// and resolves hac_kernel. Handles are process-lifetime. With
-/// \p OpenMP set the detected OpenMP flag is added (and dropped on a
-/// retry if the compiler rejects it — unknown pragmas are harmless).
+/// and resolves \p Symbol (hac_kernel for single plans, hac_module for
+/// module drivers). Handles are process-lifetime. With \p OpenMP set the
+/// detected OpenMP flag is added (and dropped on a retry if the compiler
+/// rejects it — unknown pragmas are harmless).
 KernelFn buildNativeKernel(const std::string &Code, std::string &Error,
-                           bool OpenMP = false) {
+                           bool OpenMP = false,
+                           const char *Symbol = "hac_kernel") {
   static int Counter = 0;
   std::string Base = "/tmp/hac_selfcheck_" + std::to_string(getpid()) + "_" +
                      std::to_string(Counter++);
@@ -431,7 +466,7 @@ KernelFn buildNativeKernel(const std::string &Code, std::string &Error,
     Error = std::string("dlopen failed: ") + dlerror();
     return nullptr;
   }
-  auto Fn = reinterpret_cast<KernelFn>(dlsym(Handle, "hac_kernel"));
+  auto Fn = reinterpret_cast<KernelFn>(dlsym(Handle, Symbol));
   if (!Fn)
     Error = std::string("dlsym failed: ") + dlerror();
   return Fn;
@@ -775,6 +810,191 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
   return Compiled->InPlace ? 0 : 2;
 }
 
+/// Multi-array programs: compile through the ModuleCompiler, print the
+/// DAG / report, and execute binding-by-binding with buffer reuse. The
+/// single-array flags compose: -report, -analyze, -emit-c (whole-module
+/// translation unit), -dump-lir (every binding), -selfcheck (native
+/// hac_module vs the evaluator), -j, -trace, -json.
+int runModule(const DriverOptions &Opts, const std::string &Source) {
+  CompileOptions CO;
+  if (Opts.verifyLIROn() && !Opts.Analyze) {
+    CO.VerifyLIR = true;
+    CO.VerifyLIRThreads = Opts.Threads;
+  }
+  ModuleCompiler MC(CO);
+  applyDiagOptions(Opts, MC.diags());
+  auto M = MC.compileModule(Source);
+  if (M && CO.VerifyLIR) {
+    MC.diags().print(std::cerr);
+    if (MC.diags().hasErrors())
+      return 1;
+  }
+  if (!M) {
+    MC.diags().print(std::cerr);
+    if (!Opts.JsonPath.empty())
+      writeTelemetry(Opts, "module", false, "", nullAnalysis, nullptr,
+                     "compile failed: " + MC.diags().str());
+    return 1;
+  }
+
+  auto ModuleAnalysis = [&](std::ostream &OS) {
+    writeModuleAnalysisJson(OS, *M);
+  };
+
+  if (Opts.DumpModule) {
+    std::printf("%s", M->dumpDag().c_str());
+    if (!Opts.quiet())
+      MC.diags().print(std::cout);
+    if (!Opts.JsonPath.empty())
+      return writeTelemetry(Opts, "module", M->Thunkless, M->FallbackReason,
+                            ModuleAnalysis, nullptr);
+    return 0;
+  }
+
+  if (Opts.Analyze) {
+    // Run the static verifier over every binding; findings carry the
+    // binding's source locations, so they aggregate naturally.
+    DiagnosticEngine &Diags = MC.diags();
+    Verifier V(Diags);
+    if (Opts.verifyLIROn()) {
+      LIRVerifyOptions LO;
+      LO.Threads = Opts.Threads;
+      LO.Inject = Opts.Inject;
+      V.enableLIRVerify(LO);
+    }
+    unsigned Total = 0;
+    for (const ModuleBinding &B : M->Bindings)
+      Total += V.verify(B.Array).total();
+    if (!Opts.quiet()) {
+      std::printf("%s\n", M->report().c_str());
+      Diags.print(std::cout);
+      std::printf("%u finding(s): %u error(s), %u warning(s)\n", Total,
+                  Diags.errorCount(), Diags.warningCount());
+    } else {
+      Diags.print(std::cerr);
+    }
+    if (!Opts.SarifPath.empty()) {
+      int RC = writeSarifTo(Opts, Diags);
+      if (RC != 0)
+        return RC;
+    }
+    if (!Opts.JsonPath.empty()) {
+      int JsonRC = writeTelemetry(Opts, "module", M->Thunkless,
+                                  M->FallbackReason, ModuleAnalysis, nullptr);
+      if (JsonRC != 0)
+        return JsonRC;
+    }
+    return Diags.hasErrors() ? 1 : 0;
+  }
+
+  if (Opts.EmitCOnly) {
+    ModuleEmitResult Emitted = emitModuleC(*M, /*Parallel=*/Opts.Threads > 1);
+    if (!Emitted.OK) {
+      std::fprintf(stderr, "hacc: cannot emit C: %s\n",
+                   Emitted.Error.c_str());
+      MC.diags().print(std::cerr);
+      return 1;
+    }
+    std::fputs(Emitted.Code.c_str(), stdout);
+    return 0;
+  }
+
+  if (Opts.DumpLIR) {
+    if (!M->Thunkless) {
+      std::printf("lir: module needs thunked evaluation (%s); "
+                  "nothing to lower\n",
+                  M->FallbackReason.c_str());
+      return 0;
+    }
+    for (unsigned B : M->TopoOrder) {
+      const ModuleBinding &MB = M->Bindings[B];
+      int RC = dumpLIR(MB.Name, MB.Array.Plan, MB.Array.Dims,
+                       MB.Array.Params, Opts.Threads);
+      if (RC != 0)
+        return RC;
+    }
+    if (!Opts.SelfCheck)
+      return 0;
+  }
+
+  if (!Opts.quiet() && !Opts.SelfCheck)
+    std::printf("%s\n", M->report().c_str());
+  if (Opts.ReportOnly) {
+    if (!Opts.JsonPath.empty())
+      return writeTelemetry(Opts, "module", M->Thunkless, M->FallbackReason,
+                            ModuleAnalysis, nullptr);
+    return 0;
+  }
+
+  if (!M->Thunkless && !Opts.quiet())
+    std::printf("falling back to thunked evaluation...\n");
+
+  Executor Exec(M->Params);
+  Exec.setNumThreads(Opts.Threads);
+  DoubleArray Out;
+  std::string Err;
+  ModuleRunStats Stats;
+  if (!evaluateModule(*M, {}, Exec, Out, Err, &Stats)) {
+    std::fprintf(stderr, "hacc: runtime error: %s\n", Err.c_str());
+    if (!Opts.JsonPath.empty())
+      writeTelemetry(Opts, "module", M->Thunkless, M->FallbackReason,
+                     ModuleAnalysis, nullptr, "runtime error: " + Err);
+    return 1;
+  }
+
+  if (Opts.SelfCheck) {
+    ModuleEmitResult Emitted = emitModuleC(*M, /*Parallel=*/Opts.Threads > 1);
+    if (!Emitted.OK) {
+      std::printf("selfcheck: C backend declined (%s); evaluator-only\n",
+                  Emitted.Error.c_str());
+      return 0;
+    }
+    std::string BuildErr;
+    KernelFn Fn = buildNativeKernel(Emitted.Code, BuildErr,
+                                    /*OpenMP=*/Opts.Threads > 1,
+                                    "hac_module");
+    if (!Fn) {
+      std::fprintf(stderr, "hacc: selfcheck: %s\n", BuildErr.c_str());
+      return 1;
+    }
+    DoubleArray Native(M->result().Array.Dims);
+    int Rc = Fn(Native.data(), nullptr);
+    if (Rc != 0) {
+      std::fprintf(stderr, "hacc: selfcheck: native module failed (rc=%d)\n",
+                   Rc);
+      return 1;
+    }
+    double Diff = DoubleArray::maxAbsDiff(Out, Native);
+    if (Diff > 0.0) {
+      std::fprintf(stderr,
+                   "hacc: selfcheck: evaluator and compiled C diverge "
+                   "(max |diff| = %g)\n",
+                   Diff);
+      return 1;
+    }
+    std::printf("selfcheck: evaluator and compiled C agree on %zu "
+                "elements\n",
+                Out.size());
+    return 0;
+  }
+
+  if (!Opts.quiet()) {
+    std::printf("result: %zu elements; first = %g, last = %g\n", Out.size(),
+                Out.size() ? Out[0] : 0.0,
+                Out.size() ? Out[Out.size() - 1] : 0.0);
+    if (M->Thunkless)
+      std::printf("module: arrays=%u buffers-reused=%u peak=%zu B "
+                  "(no-reuse %zu B)\n",
+                  Stats.Arrays, Stats.BuffersReused, Stats.PeakBytes,
+                  Stats.NoReusePeakBytes);
+  }
+  if (!Opts.JsonPath.empty())
+    return writeTelemetry(Opts, "module", M->Thunkless, M->FallbackReason,
+                          ModuleAnalysis,
+                          M->Thunkless ? &Exec.stats() : nullptr);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -786,6 +1006,8 @@ int main(int Argc, char **Argv) {
       Opts.EmitCOnly = true;
     else if (std::strcmp(Argv[I], "-dump-lir") == 0)
       Opts.DumpLIR = true;
+    else if (std::strcmp(Argv[I], "-dump-module") == 0)
+      Opts.DumpModule = true;
     else if (std::strcmp(Argv[I], "-selfcheck") == 0)
       Opts.SelfCheck = true;
     else if (std::strcmp(Argv[I], "-u") == 0)
@@ -905,6 +1127,8 @@ int main(int Argc, char **Argv) {
                  "  -emit-c      emit the generated C kernel to stdout\n"
                  "  -dump-lir    print the unified Loop IR before and after "
                  "the optimization passes\n"
+                 "  -dump-module print the inter-array DAG, topological "
+                 "schedule, and buffer plan of a multi-array program\n"
                  "  -selfcheck   run the LIR evaluator and the compiled C "
                  "kernel; require bit-identical results\n"
                  "  -j N         evaluate with N worker threads (0 = "
@@ -951,7 +1175,15 @@ int main(int Argc, char **Argv) {
     Opts.Threads = par::ThreadPool::defaultThreads();
 
   std::string Source = readAll(Opts.Path);
-  int RC = Opts.Update ? runUpdate(Opts, Source) : runArray(Opts, Source);
+  int RC;
+  if (Opts.Update)
+    RC = runUpdate(Opts, Source);
+  else if (!Opts.Accum && (Opts.DumpModule || looksLikeModule(Source)))
+    // Programs whose letrec* binds several arrays route to the module
+    // pipeline (inter-array DAG, per-binding compilation, buffer reuse).
+    RC = runModule(Opts, Source);
+  else
+    RC = runArray(Opts, Source);
 
   if (Opts.TraceTree) {
     std::cerr << "=== trace ===\n";

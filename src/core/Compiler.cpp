@@ -1,139 +1,40 @@
 //===- core/Compiler.cpp - The end-to-end compilation driver --------------===//
+//
+// Each entry point here is a thin wrapper: locate the program shape it
+// accepts (array construction, bigupd, accumArray, storage reuse), then
+// drive the shared stages in core/PipelineStages.h. All cross-cutting
+// wiring (trace spans, options, diagnostics, parallel classification,
+// LIR translation validation) lives in the stages, once.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
 
 #include "ast/ASTUtils.h"
-#include "codegen/ShapeEstimate.h"
-#include "frontend/Parser.h"
-#include "lir/LIRAbsint.h"
-#include "parallel/ParPlanner.h"
+#include "core/PipelineStages.h"
 #include "support/Casting.h"
 #include "support/Trace.h"
 
-#include <set>
 #include <sstream>
 
 using namespace hac;
 
 Compiler::Compiler(CompileOptions Options) : Options(std::move(Options)) {}
 
-namespace {
-
-/// Parses the bounds argument of `array` into concrete dimensions given
-/// the parameter environment. Accepts (lo,hi) and ((l1..),(h1..)).
-bool boundsToDims(const Expr *Bounds, const ParamEnv &Params, ArrayDims &Out,
-                  DiagnosticEngine &Diags) {
-  const auto *T = dyn_cast<TupleExpr>(Bounds);
-  if (!T || T->size() != 2) {
-    Diags.error(Bounds->loc(), "array bounds must be a pair");
-    return false;
-  }
-  int64_t Lo, Hi;
-  if (tryEvalConstInt(T->elem(0), Params, Lo) &&
-      tryEvalConstInt(T->elem(1), Params, Hi)) {
-    Out.emplace_back(Lo, Hi);
-    return true;
-  }
-  const auto *LoT = dyn_cast<TupleExpr>(T->elem(0));
-  const auto *HiT = dyn_cast<TupleExpr>(T->elem(1));
-  if (!LoT || !HiT || LoT->size() != HiT->size()) {
-    Diags.error(Bounds->loc(),
-                "array bounds are not compile-time constants");
-    return false;
-  }
-  for (unsigned D = 0; D != LoT->size(); ++D) {
-    if (!tryEvalConstInt(LoT->elem(D), Params, Lo) ||
-        !tryEvalConstInt(HiT->elem(D), Params, Hi)) {
-      Diags.error(Bounds->loc(),
-                  "array bound is not a compile-time constant");
-      return false;
-    }
-    Out.emplace_back(Lo, Hi);
-  }
-  return true;
-}
-
-/// Re-lowers \p Plan to LIR and runs the abstract interpreter over it:
-/// translation validation of the checks the plan dropped (HAC009) and
-/// static race checking of whatever the parallel planner flagged
-/// (HAC010/HAC011), replicated at \p Threads workers. Findings report
-/// through \p Diags under a "verify-lir" span.
-void verifyLoweredLIR(const ExecPlan &Plan, const ArrayDims &Dims,
-                      const ParamEnv &Params, unsigned Threads,
-                      DiagnosticEngine &Diags) {
-  HAC_TRACE_SPAN(Span, "verify-lir");
-  lir::PlanVerifyOptions VO;
-  VO.Threads = Threads;
-  lir::PlanVerifyResult R = lir::verifyPlanLIR(Plan, Dims, Params, VO);
-  lir::reportLIRFindings(R, Diags);
-}
-
-/// Parses \p Source under a "parse" span.
-ExprPtr parsePhase(const std::string &Source, DiagnosticEngine &Diags) {
-  HAC_TRACE_SPAN(Span, "parse");
-  return parseString(Source, Diags);
-}
-
-/// Builds the clause tree under a "clause-tree" span.
-CompNest nestPhase(const Expr *SvList, const ParamEnv &Params,
-                   DiagnosticEngine &Diags) {
-  HAC_TRACE_SPAN(Span, "clause-tree");
-  return buildCompNest(SvList, Params, Diags);
-}
-
-/// Records how one compile ended on the enclosing "compile" span.
-void traceOutcome(bool Thunkless, const std::string &FallbackReason) {
-  if (!traceEnabled())
-    return;
-  TraceSink::get().count(Thunkless ? "compile.thunkless"
-                                   : "compile.fallback");
-  TraceSink::get().annotate(Thunkless ? "thunkless"
-                                      : "fallback: " + FallbackReason);
-}
-
-/// Peels outer `let` wrappers: constant integer bindings extend Params;
-/// other plain-let bindings are recorded as expected runtime inputs.
-/// Returns the first non-let expression (or the target letrec).
-const Expr *peelLets(const Expr *E, ParamEnv &Params,
-                     std::vector<std::string> &InputNames) {
-  for (;;) {
-    const auto *L = dyn_cast<LetExpr>(E);
-    if (!L)
-      return E;
-    // Stop at the defining letrec/letrec* whose binding is the array.
-    if (L->letKind() != LetKindEnum::Plain) {
-      bool IsTarget = false;
-      for (const LetBind &B : L->binds())
-        IsTarget |= isa<MakeArrayExpr>(B.Value.get()) ||
-                    isa<AccumArrayExpr>(B.Value.get());
-      if (IsTarget)
-        return E;
-    }
-    for (const LetBind &B : L->binds()) {
-      int64_t V;
-      if (tryEvalConstInt(B.Value.get(), Params, V))
-        Params[B.Name] = V;
-      else
-        InputNames.push_back(B.Name);
-    }
-    E = L->body();
-  }
-}
-
-} // namespace
-
 std::optional<CompiledArray>
 Compiler::compileArray(const std::string &Source) {
   HAC_TRACE_SPAN(CompileSpan, "compile");
   if (traceEnabled())
     TraceSink::get().annotate("mode=array");
-  ExprPtr Ast = parsePhase(Source, Diags);
+  stages::StageContext Ctx{Options, Diags};
+  ExprPtr Ast = stages::parse(Ctx, Source);
   if (!Ast)
     return std::nullopt;
 
   CompiledArray Result;
   Result.Params = Options.Params;
-  const Expr *E = peelLets(Ast.get(), Result.Params, Result.InputNames);
+  const Expr *E =
+      stages::stripOuterLets(Ast.get(), Result.Params, Result.InputNames);
 
   // Locate the defining binding: letrec/letrec*/let NAME = array ... .
   const MakeArrayExpr *Make = nullptr;
@@ -156,94 +57,12 @@ Compiler::compileArray(const std::string &Source) {
     return std::nullopt;
   }
 
-  if (!boundsToDims(Make->bounds(), Result.Params, Result.Dims, Diags))
+  if (!stages::arrayBoundsToDims(Ctx, Make->bounds(), Result.Params,
+                                 Result.Dims))
     return std::nullopt;
 
   Result.Ast = std::move(Ast);
-  Result.Nest = nestPhase(Make->svList(), Result.Params, Diags);
-  if (!Result.Nest.Analyzable) {
-    Result.Thunkless = false;
-    Result.FallbackReason = Result.Nest.FallbackReason;
-    traceOutcome(false, Result.FallbackReason);
-    return Result;
-  }
-
-  DepGraphOptions GraphOptions;
-  GraphOptions.ExactBudget = Options.ExactBudget;
-  Result.Graph = buildDepGraph(Result.Nest, Result.Name, Result.Params,
-                               DepGraphMode::Monolithic, GraphOptions);
-  Result.Collisions =
-      analyzeCollisions(Result.Nest, Result.Params, Options.ExactBudget);
-  Result.Coverage = analyzeCoverage(Result.Nest, Result.Dims, Result.Params,
-                                    Result.Collisions);
-  Result.ReadBounds = analyzeReadBounds(
-      Result.Nest, {{Result.Name, Result.Dims}}, Result.Params);
-
-  if (Result.Collisions.NoCollisions == CheckOutcome::Disproven) {
-    Diags.error(SourceLoc(),
-                "write collision: " + Result.Collisions.witnessStr());
-    Result.Thunkless = false;
-    Result.FallbackReason = "definite write collision";
-    traceOutcome(false, Result.FallbackReason);
-    return Result;
-  }
-  if (Result.Coverage.InBounds == CheckOutcome::Disproven)
-    Diags.warning(SourceLoc(),
-                  "some array definitions are provably out of bounds: " +
-                      Result.Coverage.detail());
-
-  if (Result.Graph.HasUnknownRef) {
-    Result.Thunkless = false;
-    Result.FallbackReason = Result.Graph.UnknownRefReason;
-    traceOutcome(false, Result.FallbackReason);
-    return Result;
-  }
-
-  // Schedule against the flow edges (output edges are error reports, not
-  // ordering constraints, for plain monolithic arrays).
-  std::vector<const DepEdge *> FlowEdges;
-  for (const DepEdge &Edge : Result.Graph.Edges)
-    if (Edge.Kind == DepKind::Flow)
-      FlowEdges.push_back(&Edge);
-  Result.Sched = scheduleNest(Result.Nest, FlowEdges);
-  if (!Result.Sched.Thunkless) {
-    Result.Thunkless = false;
-    Result.FallbackReason = Result.Sched.FailureReason;
-    traceOutcome(false, Result.FallbackReason);
-    return Result;
-  }
-  Result.Vectorization = analyzeVectorization(Result.Sched, FlowEdges);
-
-  Result.Thunkless = true;
-  CollisionAnalysis EffCollisions = Result.Collisions;
-  CoverageAnalysis EffCoverage = Result.Coverage;
-  ReadBoundsAnalysis EffReadBounds = Result.ReadBounds;
-  if (!Options.EnableCheckElimination) {
-    // Ablation: pretend nothing was proven.
-    EffCollisions.NoCollisions = CheckOutcome::Unknown;
-    EffCoverage.InBounds = CheckOutcome::Unknown;
-    EffCoverage.NoEmpties = CheckOutcome::Unknown;
-    EffReadBounds.AllInBounds = CheckOutcome::Unknown;
-  }
-  {
-    HAC_TRACE_SPAN(PlanSpan, "plan-build");
-    Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
-                                 Result.Dims, EffCollisions, EffCoverage,
-                                 EffReadBounds);
-  }
-  {
-    // Classify every loop of the plan for the parallel backends; the
-    // monolithic graph's flow and output edges are the constraints the
-    // serial schedule honors.
-    std::vector<const DepEdge *> AllEdges;
-    for (const DepEdge &E : Result.Graph.Edges)
-      AllEdges.push_back(&E);
-    par::planParallel(Result.Plan, AllEdges);
-  }
-  if (Options.VerifyLIR)
-    verifyLoweredLIR(Result.Plan, Result.Dims, Result.Params,
-                     Options.VerifyLIRThreads, Diags);
-  traceOutcome(true, "");
+  stages::compileArrayBinding(Ctx, Result, Make);
   return Result;
 }
 
@@ -252,14 +71,15 @@ Compiler::compileUpdate(const std::string &Source) {
   HAC_TRACE_SPAN(CompileSpan, "compile");
   if (traceEnabled())
     TraceSink::get().annotate("mode=update");
-  ExprPtr Ast = parsePhase(Source, Diags);
+  stages::StageContext Ctx{Options, Diags};
+  ExprPtr Ast = stages::parse(Ctx, Source);
   if (!Ast)
     return std::nullopt;
 
   CompiledUpdate Result;
   Result.Params = Options.Params;
   std::vector<std::string> InputNames;
-  const Expr *E = peelLets(Ast.get(), Result.Params, InputNames);
+  const Expr *E = stages::stripOuterLets(Ast.get(), Result.Params, InputNames);
 
   const BigUpdExpr *Upd = dyn_cast<BigUpdExpr>(E);
   if (!Upd) {
@@ -281,58 +101,36 @@ Compiler::compileUpdate(const std::string &Source) {
   Result.BaseName = Base->name();
 
   Result.Ast = std::move(Ast);
-  Result.Nest = nestPhase(Upd->svList(), Result.Params, Diags);
+  Result.Nest = stages::nest(Ctx, Upd->svList(), Result.Params);
   if (!Result.Nest.Analyzable) {
-    Result.InPlace = false;
-    Result.FallbackReason = Result.Nest.FallbackReason;
-    traceOutcome(false, Result.FallbackReason);
+    stages::fallback(Result, Result.Nest.FallbackReason);
     return Result;
   }
   // The updated array's extents are runtime values: reads can be
   // enumerated for the verifier but never proven in bounds here.
   Result.ReadBounds = analyzeReadBounds(Result.Nest, {}, Result.Params);
 
-  DepGraphOptions GraphOptions;
-  GraphOptions.ExactBudget = Options.ExactBudget;
-  Result.Graph = buildDepGraph(Result.Nest, Result.BaseName, Result.Params,
-                               DepGraphMode::Update, GraphOptions);
+  Result.Graph = stages::dependence(Ctx, Result.Nest, Result.BaseName,
+                                    Result.Params, DepGraphMode::Update);
   Result.Update = scheduleUpdate(Result.Nest, Result.Graph);
   if (!Result.Update.InPlace) {
-    Result.InPlace = false;
-    Result.FallbackReason = Result.Update.Reason;
-    traceOutcome(false, Result.FallbackReason);
+    stages::fallback(Result, Result.Update.Reason);
     return Result;
   }
   // Vectorization and the parallel planner are judged against the
   // surviving (post-split) edges.
-  std::vector<const DepEdge *> Remaining;
-  {
-    std::set<const Expr *> SplitReads;
-    for (const SplitAction &A : Result.Update.Splits)
-      SplitReads.insert(A.ReadRef);
-    for (const DepEdge &E : Result.Graph.Edges)
-      if (!(E.Kind == DepKind::Anti && SplitReads.count(E.ReadRef)))
-        Remaining.push_back(&E);
-    Result.Vectorization =
-        analyzeVectorization(Result.Update.Sched, Remaining);
-  }
+  std::vector<const DepEdge *> Remaining =
+      stages::edgesAfterSplits(Result.Graph.Edges, Result.Update.Splits);
+  Result.Vectorization = analyzeVectorization(Result.Update.Sched, Remaining);
 
   Result.InPlace = true;
-  {
-    HAC_TRACE_SPAN(PlanSpan, "plan-build");
-    Result.Plan = buildUpdatePlan(Result.Nest, Result.Update,
-                                  Result.BaseName, /*Dims=*/{});
-  }
-  par::planParallel(Result.Plan, Remaining);
-  if (Options.VerifyLIR) {
-    // The updated array's extents are runtime values; verify against the
-    // shape estimate when one exists (same estimate the profiler uses).
-    ArrayDims Dims;
-    if (estimateUpdateDims(Result.Plan, Result.Params, Dims))
-      verifyLoweredLIR(Result.Plan, Dims, Result.Params,
-                       Options.VerifyLIRThreads, Diags);
-  }
-  traceOutcome(true, "");
+  stages::planAndFinish(
+      Ctx, Result.Plan,
+      [&] {
+        return buildUpdatePlan(Result.Nest, Result.Update, Result.BaseName,
+                               /*Dims=*/{});
+      },
+      Remaining, /*Dims=*/{}, Result.Params);
   return Result;
 }
 
@@ -401,13 +199,15 @@ Compiler::compileAccum(const std::string &Source) {
   HAC_TRACE_SPAN(CompileSpan, "compile");
   if (traceEnabled())
     TraceSink::get().annotate("mode=accum");
-  ExprPtr Ast = parsePhase(Source, Diags);
+  stages::StageContext Ctx{Options, Diags};
+  ExprPtr Ast = stages::parse(Ctx, Source);
   if (!Ast)
     return std::nullopt;
 
   CompiledArray Result;
   Result.Params = Options.Params;
-  const Expr *E = peelLets(Ast.get(), Result.Params, Result.InputNames);
+  const Expr *E =
+      stages::stripOuterLets(Ast.get(), Result.Params, Result.InputNames);
 
   const AccumArrayExpr *Accum = nullptr;
   if (const auto *L = dyn_cast<LetExpr>(E)) {
@@ -426,7 +226,8 @@ Compiler::compileAccum(const std::string &Source) {
     return std::nullopt;
   }
 
-  if (!boundsToDims(Accum->bounds(), Result.Params, Result.Dims, Diags))
+  if (!stages::arrayBoundsToDims(Ctx, Accum->bounds(), Result.Params,
+                                 Result.Dims))
     return std::nullopt;
   Result.Ast = std::move(Ast);
   Result.IsAccum = true;
@@ -435,10 +236,8 @@ Compiler::compileAccum(const std::string &Source) {
   // initial value.
   const auto *Fn = dyn_cast<LambdaExpr>(Accum->fn());
   if (!Fn || Fn->params().size() != 2) {
-    Result.Thunkless = false;
-    Result.FallbackReason =
-        "accumArray combining function is not a two-parameter lambda";
-    traceOutcome(false, Result.FallbackReason);
+    stages::fallback(
+        Result, "accumArray combining function is not a two-parameter lambda");
     return Result;
   }
   double InitValue = 0;
@@ -449,10 +248,8 @@ Compiler::compileAccum(const std::string &Source) {
   else {
     int64_t IV;
     if (!tryEvalConstInt(Accum->init(), Result.Params, IV)) {
-      Result.Thunkless = false;
-      Result.FallbackReason =
-          "accumArray initial value is not a compile-time constant";
-      traceOutcome(false, Result.FallbackReason);
+      stages::fallback(
+          Result, "accumArray initial value is not a compile-time constant");
       return Result;
     }
     InitValue = static_cast<double>(IV);
@@ -462,70 +259,48 @@ Compiler::compileAccum(const std::string &Source) {
   // Inline the combining function into every pair value.
   ExprPtr Transformed =
       transformAccumValues(Accum->svList(), Fn, Accum->init());
-  Result.Nest = nestPhase(Transformed.get(), Result.Params, Diags);
+  Result.Nest = stages::nest(Ctx, Transformed.get(), Result.Params);
   if (!Result.Nest.Analyzable) {
-    Result.Thunkless = false;
-    Result.FallbackReason = Result.Nest.FallbackReason;
-    traceOutcome(false, Result.FallbackReason);
+    stages::fallback(Result, Result.Nest.FallbackReason);
     return Result;
   }
 
-  DepGraphOptions GraphOptions;
-  GraphOptions.ExactBudget = Options.ExactBudget;
-  Result.Graph = buildDepGraph(Result.Nest, Result.Name, Result.Params,
-                               DepGraphMode::Monolithic, GraphOptions);
+  Result.Graph = stages::dependence(Ctx, Result.Nest, Result.Name,
+                                    Result.Params, DepGraphMode::Monolithic);
   if (Result.Graph.HasUnknownRef ||
       !Result.Graph.edgesOfKind(DepKind::Flow).empty()) {
-    Result.Thunkless = false;
-    Result.FallbackReason = "self-referencing accumulated arrays read "
-                            "partially combined values; falling back";
-    traceOutcome(false, Result.FallbackReason);
+    stages::fallback(Result, "self-referencing accumulated arrays read "
+                             "partially combined values; falling back");
     return Result;
   }
 
   // Soundness gate: the combining order is unobservable only when no
   // element receives more than one pair.
-  Result.Collisions =
-      analyzeCollisions(Result.Nest, Result.Params, Options.ExactBudget);
-  Result.Coverage = analyzeCoverage(Result.Nest, Result.Dims, Result.Params,
-                                    Result.Collisions);
-  Result.ReadBounds = analyzeReadBounds(
-      Result.Nest, {{Result.Name, Result.Dims}}, Result.Params);
+  stages::arrayAnalyses(Ctx, Result);
   if (Result.Collisions.NoCollisions != CheckOutcome::Proven) {
-    Result.Thunkless = false;
-    Result.FallbackReason =
-        "possible multiple pairs per element: combining order must be "
-        "preserved (interpreter fallback)";
-    traceOutcome(false, Result.FallbackReason);
+    stages::fallback(Result,
+                     "possible multiple pairs per element: combining order "
+                     "must be preserved (interpreter fallback)");
     return Result;
   }
 
-  Result.Sched = scheduleNest(Result.Nest, {});
-  if (!Result.Sched.Thunkless) {
-    Result.Thunkless = false;
-    Result.FallbackReason = Result.Sched.FailureReason;
-    traceOutcome(false, Result.FallbackReason);
+  if (!stages::scheduleArray(Ctx, Result, {}))
     return Result;
-  }
-  Result.Vectorization = analyzeVectorization(Result.Sched, {});
 
   Result.Thunkless = true;
   CoverageAnalysis EffCoverage = Result.Coverage;
   // Untouched elements are the initial value, never "empties".
   EffCoverage.NoEmpties = CheckOutcome::Proven;
-  {
-    HAC_TRACE_SPAN(PlanSpan, "plan-build");
-    Result.Plan = buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
-                                 Result.Dims, Result.Collisions,
-                                 EffCoverage, Result.ReadBounds);
-  }
   // The gates above proved there are no flow edges and no collisions:
   // every loop of an accumulated array is trivially independent.
-  par::planParallel(Result.Plan, {});
-  if (Options.VerifyLIR)
-    verifyLoweredLIR(Result.Plan, Result.Dims, Result.Params,
-                     Options.VerifyLIRThreads, Diags);
-  traceOutcome(true, "");
+  stages::planAndFinish(
+      Ctx, Result.Plan,
+      [&] {
+        return buildArrayPlan(Result.Nest, Result.Sched, Result.Name,
+                              Result.Dims, Result.Collisions, EffCoverage,
+                              Result.ReadBounds);
+      },
+      {}, Result.Dims, Result.Params);
   return Result;
 }
 
@@ -535,26 +310,22 @@ Compiler::compileArrayInPlace(const std::string &Source,
   HAC_TRACE_SPAN(CompileSpan, "compile");
   if (traceEnabled())
     TraceSink::get().annotate("mode=array-in-place reuse=" + ReuseName);
+  stages::StageContext Ctx{Options, Diags};
   auto Result = compileArray(Source);
   if (!Result)
     return std::nullopt;
   Result->ReuseName = ReuseName;
   if (!Result->Nest.Analyzable || Result->Graph.HasUnknownRef ||
       Result->Collisions.NoCollisions == CheckOutcome::Disproven) {
-    Result->Thunkless = false;
-    traceOutcome(false, Result->FallbackReason);
+    stages::fallback(*Result, Result->FallbackReason);
     return Result;
   }
 
   // Antidependences on the reused input join the flow dependences.
-  DepGraphOptions GraphOptions;
-  GraphOptions.ExactBudget = Options.ExactBudget;
-  DepGraph AntiGraph = buildDepGraph(Result->Nest, ReuseName, Result->Params,
-                                     DepGraphMode::Update, GraphOptions);
+  DepGraph AntiGraph = stages::dependence(Ctx, Result->Nest, ReuseName,
+                                          Result->Params, DepGraphMode::Update);
   if (AntiGraph.HasUnknownRef) {
-    Result->Thunkless = false;
-    Result->FallbackReason = AntiGraph.UnknownRefReason;
-    traceOutcome(false, Result->FallbackReason);
+    stages::fallback(*Result, AntiGraph.UnknownRefReason);
     return Result;
   }
   DepGraph Combined;
@@ -569,24 +340,15 @@ Compiler::compileArrayInPlace(const std::string &Source,
   // FailingEdges point into the local Combined graph; never expose them.
   Result->InPlaceSched.Sched.FailingEdges.clear();
   if (!Result->InPlaceSched.InPlace) {
-    Result->Thunkless = false;
-    Result->FallbackReason = Result->InPlaceSched.Reason;
-    traceOutcome(false, Result->FallbackReason);
+    stages::fallback(*Result, Result->InPlaceSched.Reason);
     return Result;
   }
 
   Result->Thunkless = true;
-  std::vector<const DepEdge *> Remaining;
-  {
-    std::set<const Expr *> SplitReads;
-    for (const SplitAction &A : Result->InPlaceSched.Splits)
-      SplitReads.insert(A.ReadRef);
-    for (const DepEdge &E : Combined.Edges)
-      if (!(E.Kind == DepKind::Anti && SplitReads.count(E.ReadRef)))
-        Remaining.push_back(&E);
-    Result->Vectorization =
-        analyzeVectorization(Result->InPlaceSched.Sched, Remaining);
-  }
+  std::vector<const DepEdge *> Remaining =
+      stages::edgesAfterSplits(Combined.Edges, Result->InPlaceSched.Splits);
+  Result->Vectorization =
+      analyzeVectorization(Result->InPlaceSched.Sched, Remaining);
   // With storage reuse the alias shares the target's extents, so its
   // reads become provable too.
   Result->ReadBounds = analyzeReadBounds(
@@ -596,25 +358,17 @@ Compiler::compileArrayInPlace(const std::string &Source,
   CollisionAnalysis EffCollisions = Result->Collisions;
   CoverageAnalysis EffCoverage = Result->Coverage;
   ReadBoundsAnalysis EffReadBounds = Result->ReadBounds;
-  if (!Options.EnableCheckElimination) {
-    EffCollisions.NoCollisions = CheckOutcome::Unknown;
-    EffCoverage.InBounds = CheckOutcome::Unknown;
-    EffCoverage.NoEmpties = CheckOutcome::Unknown;
-    EffReadBounds.AllInBounds = CheckOutcome::Unknown;
-  }
-  {
-    HAC_TRACE_SPAN(PlanSpan, "plan-build");
-    Result->Plan = buildInPlaceArrayPlan(Result->Nest, Result->InPlaceSched,
-                                         Result->Name, ReuseName,
-                                         Result->Dims, EffCollisions,
-                                         EffCoverage, EffReadBounds);
-  }
-  par::planParallel(Result->Plan, Remaining);
-  if (Options.VerifyLIR)
-    verifyLoweredLIR(Result->Plan, Result->Dims, Result->Params,
-                     Options.VerifyLIRThreads, Diags);
+  stages::maskUnprovenChecks(Ctx, EffCollisions, EffCoverage, EffReadBounds);
+  stages::planAndFinish(
+      Ctx, Result->Plan,
+      [&] {
+        return buildInPlaceArrayPlan(Result->Nest, Result->InPlaceSched,
+                                     Result->Name, ReuseName, Result->Dims,
+                                     EffCollisions, EffCoverage,
+                                     EffReadBounds);
+      },
+      Remaining, Result->Dims, Result->Params);
   Result->Sched = Result->InPlaceSched.Sched;
-  traceOutcome(true, "");
   return Result;
 }
 

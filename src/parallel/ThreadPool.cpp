@@ -3,8 +3,10 @@
 #include "parallel/ThreadPool.h"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
@@ -224,10 +226,27 @@ void ThreadPool::resetStats() {
 unsigned ThreadPool::currentWorker() { return CurWorker; }
 
 unsigned ThreadPool::defaultThreads() {
-  if (const char *Env = std::getenv("HAC_THREADS")) {
-    long N = std::strtol(Env, nullptr, 10);
-    if (N > 0)
+  if (const char *Env = std::getenv("HAC_THREADS"); Env && *Env) {
+    char *End = nullptr;
+    errno = 0;
+    long N = std::strtol(Env, &End, 10);
+    if (errno != 0 || End == Env || *End != '\0') {
+      // Garbage is refused, not silently treated as 0 threads.
+      std::fprintf(stderr,
+                   "hac: warning: HAC_THREADS='%s' is not an integer; "
+                   "using hardware concurrency\n",
+                   Env);
+    } else if (N < 1) {
+      std::fprintf(stderr,
+                   "hac: warning: HAC_THREADS=%ld clamped to 1\n", N);
+      return 1;
+    } else if (N > 4096) {
+      std::fprintf(stderr,
+                   "hac: warning: HAC_THREADS=%ld clamped to 4096\n", N);
+      return 4096;
+    } else {
       return static_cast<unsigned>(N);
+    }
   }
   unsigned HW = std::thread::hardware_concurrency();
   return HW > 0 ? HW : 1;

@@ -1,0 +1,36 @@
+//===- runtime/BufferPool.cpp - Slot-recycling array storage --------------===//
+
+#include "runtime/BufferPool.h"
+
+#include <cassert>
+
+using namespace hac;
+
+DoubleArray &BufferPool::acquire(unsigned Slot,
+                                 const DoubleArray::Dims &Dims) {
+  assert(Slot < Slots.size() && "buffer pool slot out of range");
+  size_t Elems = 1;
+  for (const auto &[Lo, Hi] : Dims)
+    Elems *= Hi >= Lo ? static_cast<size_t>(Hi - Lo + 1) : 0;
+  size_t Bytes = Elems * sizeof(double);
+
+  if (Used[Slot]) {
+    ++Reuses;
+    CurBytes -= Live[Slot];
+  } else {
+    ++Allocations;
+    Used[Slot] = 1;
+  }
+  Slots[Slot].reset(Dims);
+  Live[Slot] = Bytes;
+  CurBytes += Bytes;
+  if (CurBytes > PeakBytes)
+    PeakBytes = CurBytes;
+  return Slots[Slot];
+}
+
+void BufferPool::noteExternal(size_t Bytes) {
+  CurBytes += Bytes;
+  if (CurBytes > PeakBytes)
+    PeakBytes = CurBytes;
+}

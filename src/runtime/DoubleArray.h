@@ -37,6 +37,20 @@ public:
     Data.assign(Size, 0.0);
   }
 
+  /// Re-shapes to \p TheDims, reusing the existing heap allocation when
+  /// its capacity suffices (the module buffer pool recycles dead
+  /// intermediates this way). Elements are zero-filled and the defined
+  /// bitmap is dropped — observationally identical to constructing a
+  /// fresh DoubleArray(TheDims).
+  void reset(Dims TheDims) {
+    Bounds = std::move(TheDims);
+    size_t Size = 1;
+    for (const auto &[Lo, Hi] : Bounds)
+      Size *= Hi >= Lo ? static_cast<size_t>(Hi - Lo + 1) : 0;
+    Data.assign(Size, 0.0);
+    DefinedBits.clear();
+  }
+
   const Dims &dims() const { return Bounds; }
   unsigned rank() const { return Bounds.size(); }
   size_t size() const { return Data.size(); }

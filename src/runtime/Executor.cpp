@@ -11,6 +11,11 @@
 #include "support/Profile.h"
 #include "support/Trace.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <list>
+
 using namespace hac;
 
 namespace hac {
@@ -19,6 +24,10 @@ namespace hac {
 /// assigned Id plus everything else the lowering depends on; the
 /// structural salt (statement count, endpoints, check flags) guards the
 /// rare case of a mutated plan copy carrying a stale Id.
+///
+/// LRU-bounded: entries live in a list ordered most-recent-first (a hit
+/// splices to the front, pointers stay stable), and inserting past the
+/// HAC_PLAN_CACHE capacity evicts the back.
 struct LIRCacheImpl {
   struct Key {
     uint64_t PlanId = 0;
@@ -47,7 +56,37 @@ struct LIRCacheImpl {
     Key K;
     lir::LIRProgram Prog;
   };
-  std::vector<Entry> Entries;
+  std::list<Entry> Entries; ///< most recently used first
+  size_t Capacity;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+
+  LIRCacheImpl() : Capacity(capacityFromEnv()) {}
+
+  /// HAC_PLAN_CACHE: strict integer parse; garbage keeps the default of
+  /// 64 with a warning, and values below 1 clamp to 1 with a warning.
+  static size_t capacityFromEnv() {
+    const char *Env = std::getenv("HAC_PLAN_CACHE");
+    if (!Env || !*Env)
+      return 64;
+    char *End = nullptr;
+    errno = 0;
+    long N = std::strtol(Env, &End, 10);
+    if (errno != 0 || End == Env || *End != '\0') {
+      std::fprintf(stderr,
+                   "hac: warning: HAC_PLAN_CACHE='%s' is not an integer; "
+                   "using the default of 64\n",
+                   Env);
+      return 64;
+    }
+    if (N < 1) {
+      std::fprintf(stderr,
+                   "hac: warning: HAC_PLAN_CACHE=%ld clamped to 1\n", N);
+      return 1;
+    }
+    return static_cast<size_t>(N);
+  }
 };
 
 } // namespace hac
@@ -151,6 +190,18 @@ void Executor::bindInput(const std::string &Name, const DoubleArray *Array) {
   Inputs[Name] = Array;
 }
 
+LIRCacheStats Executor::lirCacheStats() const {
+  LIRCacheStats S;
+  S.Capacity = Cache ? Cache->Capacity : LIRCacheImpl::capacityFromEnv();
+  if (Cache) {
+    S.Hits = Cache->Hits;
+    S.Misses = Cache->Misses;
+    S.Evictions = Cache->Evictions;
+    S.Entries = Cache->Entries.size();
+  }
+  return S;
+}
+
 bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
                        std::string &Err) {
   // The target's own dims are authoritative: update plans carry empty
@@ -168,12 +219,23 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
               TargetDims, std::move(InDims));
 
   const lir::LIRProgram *Prog = nullptr;
-  if (Plan.Id != 0)
-    for (const LIRCacheImpl::Entry &E : Cache->Entries)
-      if (E.K == Key) {
-        Prog = &E.Prog;
+  if (Plan.Id != 0) {
+    for (auto It = Cache->Entries.begin(); It != Cache->Entries.end(); ++It)
+      if (It->K == Key) {
+        // Move-to-front keeps the list LRU-ordered; splicing does not
+        // invalidate the program pointer.
+        Cache->Entries.splice(Cache->Entries.begin(), Cache->Entries, It);
+        Prog = &Cache->Entries.front().Prog;
         break;
       }
+    if (Prog) {
+      ++Cache->Hits;
+      HAC_TRACE_COUNT("lir.cache.hits");
+    } else {
+      ++Cache->Misses;
+      HAC_TRACE_COUNT("lir.cache.misses");
+    }
+  }
 
   lir::LIRProgram Local;
   if (!Prog) {
@@ -223,10 +285,13 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
       }
     }
     if (Plan.Id != 0) {
-      if (Cache->Entries.size() >= 16)
-        Cache->Entries.clear();
-      Cache->Entries.push_back({std::move(Key), std::move(Local)});
-      Prog = &Cache->Entries.back().Prog;
+      while (Cache->Entries.size() >= Cache->Capacity) {
+        Cache->Entries.pop_back();
+        ++Cache->Evictions;
+        HAC_TRACE_COUNT("lir.cache.evictions");
+      }
+      Cache->Entries.push_front({std::move(Key), std::move(Local)});
+      Prog = &Cache->Entries.front().Prog;
     } else {
       Prog = &Local;
     }

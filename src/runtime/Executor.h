@@ -37,6 +37,16 @@ class ThreadPool;
 
 struct LIRCacheImpl;
 
+/// Counters of the per-executor lowered-LIR cache (mirrored onto the
+/// trace counters `lir.cache.{hits,misses,evictions}`).
+struct LIRCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  size_t Entries = 0;
+  size_t Capacity = 0;
+};
+
 /// Executes plans. One executor may run many plans; stats accumulate
 /// until reset. Lowered LIR is cached per (plan, shapes, mode) inside
 /// the executor instance.
@@ -46,6 +56,11 @@ public:
 
   /// Makes an input array visible to clause values under \p Name.
   void bindInput(const std::string &Name, const DoubleArray *Array);
+
+  /// Forgets every bound input. Module evaluation rebinds arrays into
+  /// pool storage each run; stale bindings from an earlier run would
+  /// dangle once that run's pool is destroyed.
+  void clearInputs() { Inputs.clear(); }
 
   /// When set, every read of the target array checks the defined bitmap —
   /// a validation mode used by the schedule-safety property tests.
@@ -79,6 +94,11 @@ public:
   ExecStats &stats() { return Stats; }
   const ExecStats &stats() const { return Stats; }
   void resetStats() { Stats = ExecStats(); }
+
+  /// Hit/miss/eviction counters of the LIR cache. The capacity comes
+  /// from HAC_PLAN_CACHE (default 64, minimum 1); module runs compile
+  /// many plans, so the cache is LRU-bounded instead of unbounded.
+  LIRCacheStats lirCacheStats() const;
 
 private:
   bool runImpl(const ExecPlan &Plan, DoubleArray &Target, std::string &Err);

@@ -1,0 +1,410 @@
+//===- tests/module_test.cpp - ModuleCompiler and buffer planning ---------===//
+//
+// Covers the multi-array pipeline: DAG construction and topological
+// scheduling, the interpreter fallback on inter-array cycles, last-use
+// buffer planning and its runtime effect, differential agreement with
+// the lazy interpreter at 1 and 8 threads, the staged-pipeline report
+// goldens (the four compile* entry points must produce byte-identical
+// reports after the PipelineStages refactor), the Executor's bounded LIR
+// plan cache, and HAC_THREADS parsing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/InterpBridge.h"
+#include "core/Module.h"
+#include "parallel/ThreadPool.h"
+#include "runtime/Executor.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace hac;
+
+namespace {
+
+const char *kPipeline4 =
+    "let n = 16 in\n"
+    "letrec* a = array (1,n) [ i := i * 1.0 | i <- [1..n] ];\n"
+    "        b = array (1,n) [ i := 2.0 * a!i | i <- [1..n] ];\n"
+    "        c = array (1,n) [ i := b!i + 1.0 | i <- [1..n] ];\n"
+    "        d = array (1,n) [ i := c!i * c!i | i <- [1..n] ]\n"
+    "in d\n";
+
+const char *kCycle =
+    "let n = 8 in\n"
+    "letrec* a = array (1,n) ([ i := 1.0 | i <- [1..1] ] ++\n"
+    "                         [ i := b!(i-1) + 1.0 | i <- [2..n] ]);\n"
+    "        b = array (1,n) ([ i := 2.0 | i <- [1..1] ] ++\n"
+    "                         [ i := a!(i-1) * 2.0 | i <- [2..n] ])\n"
+    "in a\n";
+
+/// The interpreter's answer for \p Source, or nullopt.
+std::optional<DoubleArray> interpRef(const std::string &Source) {
+  Interpreter Interp;
+  Interp.setFuel(500'000'000);
+  DiagnosticEngine Diags;
+  ValuePtr V = runThunked(Source, {}, Interp, Diags);
+  if (!V || V->isError())
+    return std::nullopt;
+  std::string Err;
+  return interpArrayToDouble(Interp, V, Err);
+}
+
+TEST(ModuleTest, DagAndTopoOrder) {
+  ModuleCompiler MC;
+  auto M = MC.compileModule(kPipeline4);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->Thunkless) << M->FallbackReason;
+  ASSERT_EQ(M->Bindings.size(), 4u);
+  EXPECT_EQ(M->result().Name, "d");
+  // The chain schedules in definition order.
+  ASSERT_EQ(M->TopoOrder.size(), 4u);
+  EXPECT_EQ(M->Bindings[M->TopoOrder[0]].Name, "a");
+  EXPECT_EQ(M->Bindings[M->TopoOrder[3]].Name, "d");
+  // b reads a; a is read by b only.
+  const ModuleBinding *B = nullptr;
+  for (const auto &MB : M->Bindings)
+    if (MB.Name == "b")
+      B = &MB;
+  ASSERT_NE(B, nullptr);
+  ASSERT_EQ(B->Deps.size(), 1u);
+  EXPECT_EQ(M->Bindings[B->Deps[0]].Name, "a");
+}
+
+TEST(ModuleTest, DifferentialVsInterpreterAt1And8Threads) {
+  ModuleCompiler MC;
+  auto M = MC.compileModule(kPipeline4);
+  ASSERT_TRUE(M.has_value());
+  ASSERT_TRUE(M->Thunkless) << M->FallbackReason;
+
+  auto Ref = interpRef(kPipeline4);
+  ASSERT_TRUE(Ref.has_value());
+
+  for (unsigned Threads : {1u, 8u}) {
+    Executor Exec(M->Params);
+    Exec.setNumThreads(Threads);
+    DoubleArray Out;
+    std::string Err;
+    ASSERT_TRUE(evaluateModule(*M, {}, Exec, Out, Err)) << Err;
+    ASSERT_EQ(Out.size(), Ref->size());
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(DoubleArray::maxAbsDiff(Out, *Ref), 0.0)
+        << "threads=" << Threads;
+  }
+}
+
+TEST(ModuleTest, CycleFallsBackToInterpreter) {
+  ModuleCompiler MC;
+  auto M = MC.compileModule(kCycle);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_FALSE(M->Thunkless);
+  EXPECT_NE(M->FallbackReason.find("cycle"), std::string::npos)
+      << M->FallbackReason;
+
+  // evaluateModule still produces the interpreter's answer.
+  Executor Exec(M->Params);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(evaluateModule(*M, {}, Exec, Out, Err)) << Err;
+  auto Ref = interpRef(kCycle);
+  ASSERT_TRUE(Ref.has_value());
+  EXPECT_EQ(DoubleArray::maxAbsDiff(Out, *Ref), 0.0);
+}
+
+TEST(ModuleTest, BufferPlanRecyclesDeadIntermediates) {
+  ModuleCompiler MC;
+  auto M = MC.compileModule(kPipeline4);
+  ASSERT_TRUE(M.has_value());
+  ASSERT_TRUE(M->Thunkless);
+
+  // a dies once b is built, so c takes over its slot: 4 arrays, 3 slots.
+  const BufferPlan &BP = M->Buffers;
+  EXPECT_GE(BP.Reused, 1u);
+  EXPECT_EQ(BP.numSlots(), 3u);
+  EXPECT_LT(BP.PeakBytes, BP.NoReusePeakBytes);
+
+  // The result is never recycled and owns a fresh slot.
+  unsigned ResultSlot = BP.Slot[M->ResultIndex];
+  for (unsigned B = 0; B != M->Bindings.size(); ++B)
+    if (static_cast<int>(B) != M->ResultIndex)
+      EXPECT_NE(BP.Slot[B], ResultSlot);
+
+  // Liveness: a binding's slot is only recycled after its last consumer.
+  for (unsigned B = 0; B != M->Bindings.size(); ++B)
+    for (unsigned C : M->Bindings[B].Consumers) {
+      unsigned PosC = 0;
+      for (unsigned P = 0; P != M->TopoOrder.size(); ++P)
+        if (M->TopoOrder[P] == C)
+          PosC = P;
+      EXPECT_GE(BP.LastUse[B], PosC);
+    }
+}
+
+TEST(ModuleTest, ReuseAndNoReuseProduceIdenticalResults) {
+  ModuleCompiler MC;
+  auto M = MC.compileModule(kPipeline4);
+  ASSERT_TRUE(M.has_value());
+  ASSERT_TRUE(M->Thunkless);
+
+  Executor Exec(M->Params);
+  DoubleArray WithReuse, Foil;
+  std::string Err;
+  ModuleRunStats RS, FS;
+  ASSERT_TRUE(
+      evaluateModule(*M, {}, Exec, WithReuse, Err, &RS, /*ReuseBuffers=*/true))
+      << Err;
+  ASSERT_TRUE(
+      evaluateModule(*M, {}, Exec, Foil, Err, &FS, /*ReuseBuffers=*/false))
+      << Err;
+  EXPECT_EQ(DoubleArray::maxAbsDiff(WithReuse, Foil), 0.0);
+  EXPECT_GE(RS.BuffersReused, 1u);
+  EXPECT_EQ(FS.BuffersReused, 0u);
+  EXPECT_LT(RS.PeakBytes, FS.PeakBytes);
+  EXPECT_EQ(RS.Arrays, 4u);
+}
+
+TEST(ModuleTest, LooksLikeModuleDetection) {
+  EXPECT_TRUE(looksLikeModule(kPipeline4));
+  EXPECT_TRUE(looksLikeModule(kCycle));
+  EXPECT_FALSE(looksLikeModule(
+      "let n = 4 in letrec* a = array (1,n) "
+      "[ i := 1.0 | i <- [1..n] ] in a"));
+  EXPECT_FALSE(looksLikeModule("not a program at all"));
+}
+
+TEST(ModuleTest, StructuralErrorsAreDiagnosed) {
+  ModuleCompiler MC;
+  // Duplicate binding name.
+  auto M = MC.compileModule(
+      "letrec* a = array (1,4) [ i := 1.0 | i <- [1..4] ];\n"
+      "        a = array (1,4) [ i := 2.0 | i <- [1..4] ]\n"
+      "in a");
+  EXPECT_FALSE(M.has_value());
+  EXPECT_TRUE(MC.diags().hasErrors());
+}
+
+//===--------------------------------------------------------------------===//
+// Staged-pipeline regression: the four single-program entry points must
+// report exactly what the pre-refactor monolithic pipelines reported.
+//===--------------------------------------------------------------------===//
+
+TEST(StageRegressionTest, ArrayReportGolden) {
+  Compiler C;
+  auto R = C.compileArray(
+      "let n = 16 in letrec* a = array ((1,1),(n,n)) "
+      "([ (1,j) := 1.0 | j <- [1..n] ] ++ "
+      " [ (i,1) := 1.0 | i <- [2..n] ] ++ "
+      " [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1) "
+      "   | i <- [2..n], j <- [2..n] ]) in a");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->report(),
+            "=== array 'a' [1..16] [1..16] ===\n"
+            "clauses: 3, loops: 4\n"
+            "dependence graph:\n"
+            "depgraph: 3 clauses, 7 edges\n"
+            "  0 -> 2 () flow\n"
+            "  0 -> 2 () flow\n"
+            "  1 -> 2 () flow\n"
+            "  1 -> 2 () flow\n"
+            "  2 -> 2 (<,=) flow\n"
+            "  2 -> 2 (=,<) flow\n"
+            "  2 -> 2 (<,<) flow\n"
+            "collisions: proven\n"
+            "in-bounds: proven, empties: proven (instances 256 / size "
+            "256)\n"
+            "read-bounds: proven (3/3 reads proven)\n"
+            "schedule (thunkless, 4 passes):\n"
+            "pass j [1..16] either {\n"
+            "  clause #0\n"
+            "}\n"
+            "pass i [2..16] either {\n"
+            "  clause #1\n"
+            "}\n"
+            "pass i [2..16] forward {\n"
+            "  pass j [2..16] forward {\n"
+            "    clause #2\n"
+            "  }\n"
+            "}\n"
+            "runtime checks: bounds=off collisions=off empties=off "
+            "reads=off\n"
+            "vectorizable inner loops: 2/3\n"
+            "  loop j (1 clauses): vectorizable\n"
+            "  loop i (1 clauses): vectorizable\n"
+            "  loop j (1 clauses): blocked by 2 -> 2 (=,<) flow "
+            "(recurrence)\n");
+}
+
+TEST(StageRegressionTest, UpdateReportGolden) {
+  Compiler C;
+  auto R = C.compileUpdate(
+      "let n = 16 in bigupd a [ (i,j) := (a!(i-1,j) + a!(i+1,j) + "
+      "a!(i,j-1) + a!(i,j+1)) / 4.0 | i <- [2..n-1], j <- [2..n-1] ]");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->report(),
+            "=== bigupd 'a' ===\n"
+            "clauses: 1\n"
+            "dependence graph:\n"
+            "depgraph: 1 clauses, 4 edges\n"
+            "  0 -> 0 (>,=) anti\n"
+            "  0 -> 0 (<,=) anti\n"
+            "  0 -> 0 (=,>) anti\n"
+            "  0 -> 0 (=,<) anti\n"
+            "in place (splits: 2, extra copies: 392)\n"
+            "  rolling-temp clause #0 level 0 distance 1\n"
+            "  rolling-temp clause #0 level 1 distance 1\n"
+            "schedule:\n"
+            "pass i [2..15] forward {\n"
+            "  pass j [2..15] forward {\n"
+            "    clause #0\n"
+            "  }\n"
+            "}\n"
+            "vectorizable inner loops: 1/1\n"
+            "  loop j (1 clauses): vectorizable\n");
+}
+
+TEST(StageRegressionTest, AccumReportGolden) {
+  Compiler C;
+  auto R = C.compileAccum(
+      "let n = 12 in letrec* h = accumArray (\\acc v . acc + 2.0 * v) "
+      "0.5 (1,n) [ i := 1.0 * i | i <- [1..n] ] in h");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->report(),
+            "=== array 'h' [1..12] ===\n"
+            "clauses: 1, loops: 1\n"
+            "dependence graph:\n"
+            "depgraph: 1 clauses, 0 edges\n"
+            "collisions: proven\n"
+            "in-bounds: proven, empties: proven (instances 12 / size 12)\n"
+            "read-bounds: proven (0/0 reads proven)\n"
+            "schedule (thunkless, 1 passes):\n"
+            "pass i [1..12] either {\n"
+            "  clause #0\n"
+            "}\n"
+            "runtime checks: bounds=off collisions=off empties=off "
+            "reads=off\n"
+            "vectorizable inner loops: 1/1\n"
+            "  loop i (1 clauses): vectorizable\n");
+}
+
+TEST(StageRegressionTest, InPlaceReportGolden) {
+  Compiler C;
+  auto R = C.compileArrayInPlace(
+      "let n = 6 in letrec* a = array (1,n) "
+      "([ 1 := b!1 ] ++ [ i := a!(i-1) + b!i | i <- [2..n] ]) in a",
+      "b");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->report(),
+            "=== array 'a' [1..6] ===\n"
+            "clauses: 2, loops: 1\n"
+            "dependence graph:\n"
+            "depgraph: 2 clauses, 2 edges\n"
+            "  0 -> 1 () flow\n"
+            "  1 -> 1 (<) flow\n"
+            "collisions: proven\n"
+            "in-bounds: proven, empties: proven (instances 6 / size 6)\n"
+            "read-bounds: proven (3/3 reads proven)\n"
+            "schedule (thunkless, 1 passes):\n"
+            "clause #0\n"
+            "pass i [2..6] forward {\n"
+            "  clause #1\n"
+            "}\n"
+            "runtime checks: bounds=off collisions=off empties=off "
+            "reads=off\n"
+            "vectorizable inner loops: 0/1\n"
+            "  loop i (1 clauses): blocked by 1 -> 1 (<) flow "
+            "(recurrence)\n");
+}
+
+//===--------------------------------------------------------------------===//
+// Satellite: the Executor's LIR plan cache is LRU-bounded.
+//===--------------------------------------------------------------------===//
+
+/// Compiles a fresh single-array program whose plan differs per \p Seed
+/// (distinct plan Ids), runs it on \p Exec, and returns success.
+bool runDistinctPlan(Executor &Exec, int Seed) {
+  Compiler C;
+  std::string Src = "let n = " + std::to_string(4 + Seed) +
+                    " in letrec* a = array (1,n) "
+                    "[ i := i * 2.0 | i <- [1..n] ] in a";
+  auto R = C.compileArray(Src);
+  if (!R || !R->Thunkless)
+    return false;
+  DoubleArray Out;
+  std::string Err;
+  return R->evaluate(Out, Exec, Err);
+}
+
+TEST(LIRCacheTest, EvictsBeyondCapacity) {
+  ASSERT_EQ(setenv("HAC_PLAN_CACHE", "2", 1), 0);
+  {
+    Executor Exec;
+    for (int Seed = 0; Seed != 5; ++Seed)
+      ASSERT_TRUE(runDistinctPlan(Exec, Seed));
+    LIRCacheStats S = Exec.lirCacheStats();
+    EXPECT_EQ(S.Capacity, 2u);
+    EXPECT_LE(S.Entries, 2u);
+    EXPECT_EQ(S.Misses, 5u);
+    EXPECT_GE(S.Evictions, 3u);
+  }
+  unsetenv("HAC_PLAN_CACHE");
+}
+
+TEST(LIRCacheTest, HitsOnRepeatedPlan) {
+  Executor Exec;
+  Compiler C;
+  auto R = C.compileArray("let n = 8 in letrec* a = array (1,n) "
+                          "[ i := i * 1.0 | i <- [1..n] ] in a");
+  ASSERT_TRUE(R.has_value());
+  ASSERT_TRUE(R->Thunkless);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(R->evaluate(Out, Exec, Err));
+  ASSERT_TRUE(R->evaluate(Out, Exec, Err));
+  ASSERT_TRUE(R->evaluate(Out, Exec, Err));
+  LIRCacheStats S = Exec.lirCacheStats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.Entries, 1u);
+}
+
+TEST(LIRCacheTest, GarbageCapacityFallsBackToDefault) {
+  ASSERT_EQ(setenv("HAC_PLAN_CACHE", "not-a-number", 1), 0);
+  {
+    Executor Exec;
+    EXPECT_EQ(Exec.lirCacheStats().Capacity, 64u);
+  }
+  ASSERT_EQ(setenv("HAC_PLAN_CACHE", "0", 1), 0);
+  {
+    Executor Exec;
+    EXPECT_EQ(Exec.lirCacheStats().Capacity, 1u);
+  }
+  unsetenv("HAC_PLAN_CACHE");
+}
+
+//===--------------------------------------------------------------------===//
+// Satellite: HAC_THREADS parsing rejects garbage and clamps.
+//===--------------------------------------------------------------------===//
+
+TEST(ThreadEnvTest, ParsesClampsAndRejects) {
+  ASSERT_EQ(setenv("HAC_THREADS", "3", 1), 0);
+  EXPECT_EQ(par::ThreadPool::defaultThreads(), 3u);
+
+  ASSERT_EQ(setenv("HAC_THREADS", "0", 1), 0);
+  EXPECT_EQ(par::ThreadPool::defaultThreads(), 1u);
+
+  ASSERT_EQ(setenv("HAC_THREADS", "-4", 1), 0);
+  EXPECT_EQ(par::ThreadPool::defaultThreads(), 1u);
+
+  ASSERT_EQ(setenv("HAC_THREADS", "999999", 1), 0);
+  EXPECT_EQ(par::ThreadPool::defaultThreads(), 4096u);
+
+  // Garbage falls back to the hardware default instead of 0 workers.
+  ASSERT_EQ(setenv("HAC_THREADS", "eight", 1), 0);
+  EXPECT_GE(par::ThreadPool::defaultThreads(), 1u);
+
+  unsetenv("HAC_THREADS");
+}
+
+} // namespace
