@@ -15,6 +15,7 @@
 #define HAC_BENCH_BENCHCOMMON_H
 
 #include "codegen/CEmitter.h"
+#include "jit/NativeBuild.h"
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
 #include "parallel/ThreadPool.h"
@@ -22,10 +23,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <dlfcn.h>
 #include <fstream>
 #include <string>
-#include <unistd.h>
 #include <utility>
 #include <vector>
 
@@ -278,9 +277,10 @@ inline CompiledUpdate mustCompileUpdate(const std::string &Source) {
 
 using KernelFn = int (*)(double *, const double *const *);
 
-/// Emits C for a compiled array, builds it with the system compiler, and
-/// returns the loaded kernel (null on any failure). Artifacts live in
-/// /tmp and the handle is process-lifetime.
+/// Emits C for a compiled array and builds it through the shared jit/
+/// native-build path (managed scratch directory, HAC_JIT_CC override).
+/// Returns the loaded kernel (null on any failure); the handle is
+/// process-lifetime.
 inline KernelFn buildNativeKernel(const CompiledArray &Compiled,
                                   const std::string &FnName) {
   CEmitResult Emitted = emitC(Compiled.Plan, FnName, Compiled.Params);
@@ -288,21 +288,9 @@ inline KernelFn buildNativeKernel(const CompiledArray &Compiled,
     std::fprintf(stderr, "C emission failed: %s\n", Emitted.Error.c_str());
     return nullptr;
   }
-  static int Counter = 0;
-  std::string Base = "/tmp/hac_bench_" + std::to_string(getpid()) + "_" +
-                     std::to_string(Counter++);
-  {
-    std::ofstream OS(Base + ".c");
-    OS << Emitted.Code;
-  }
-  std::string Cmd = "cc -O2 -shared -fPIC -o " + Base + ".so " + Base +
-                    ".c -lm > /dev/null 2>&1";
-  if (std::system(Cmd.c_str()) != 0)
-    return nullptr;
-  void *Handle = dlopen((Base + ".so").c_str(), RTLD_NOW);
-  if (!Handle)
-    return nullptr;
-  return reinterpret_cast<KernelFn>(dlsym(Handle, FnName.c_str()));
+  std::string Error;
+  return reinterpret_cast<KernelFn>(
+      jit::buildNativeKernel(Emitted.Code, FnName, Error));
 }
 
 /// Fills an n x n grid with a smooth deterministic pattern.

@@ -1,0 +1,202 @@
+//===- bench/bench_jit.cpp - E18: the native JIT execution backend --------===//
+//
+// Experiment E18: what tiered execution buys. Three questions:
+//
+//  1. Steady state — once a kernel is hot-swapped in, how much faster is
+//     a run than the LIR evaluator on the same post-pass program?
+//     (BM_*Interp vs BM_*JitWarm on Jacobi and the wavefront.)
+//
+//  2. Cold start — what does the first run cost when cc has to compile
+//     the kernel, and how much of that the content-addressed disk cache
+//     recovers for later processes. (BM_JitColdStart vs
+//     BM_JitDiskWarmStart: the latter re-creates the JitCompiler each
+//     iteration, so its in-memory table is empty — exactly a new
+//     process against a warm ~/.cache.)
+//
+//  3. Threads — the kernels carry the same OpenMP pragmas the emitted-C
+//     backend uses; BM_JacobiJitWarm/threads:4 shows the parallel tier.
+//
+// Every benchmark injects a private JitCompiler against a scratch cache
+// directory; nothing touches the user's kernel cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "jit/Jit.h"
+#include "jit/JitCompiler.h"
+#include "runtime/Executor.h"
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+using namespace hacbench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A scratch kernel-cache directory, fresh per construction.
+struct ScratchCache {
+  fs::path Dir;
+  explicit ScratchCache(const char *Tag) {
+    Dir = fs::temp_directory_path() /
+          (std::string("hac-bench-jit-") + Tag + "-" +
+           std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~ScratchCache() {
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+  }
+};
+
+/// Steady-state sweep: one executor, JIT tier as given, warmed up once
+/// (so cc and the tier swap happen outside the timed region), then
+/// timed per run.
+void runTiered(benchmark::State &State, const std::string &Source,
+               jit::JitMode Mode, unsigned Threads,
+               const DoubleArray *Input) {
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(Source);
+  if (!Compiled || !Compiled->Thunkless) {
+    State.SkipWithError("kernel did not compile thunklessly");
+    return;
+  }
+  static int Seq = 0;
+  ScratchCache Cache(("tier-" + std::to_string(Seq++)).c_str());
+  jit::JitCompiler JC({Cache.Dir.string(), 256ull << 20});
+  Executor Exec(Compiled->Params);
+  Exec.setNumThreads(Threads);
+  Exec.setJitMode(Mode);
+  Exec.setJitCompiler(&JC);
+  if (Input)
+    Exec.bindInput("b", Input);
+  DoubleArray Out;
+  std::string Err;
+  if (!Compiled->evaluate(Out, Exec, Err)) {
+    State.SkipWithError(Err.c_str());
+    return;
+  }
+  for (auto _ : State) {
+    if (!Compiled->evaluate(Out, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+    benchmark::ClobberMemory();
+  }
+  State.counters["native_runs"] =
+      static_cast<double>(Exec.jitStats().NativeRuns);
+  State.counters["elems"] = static_cast<double>(Out.size());
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Steady state: interpreter vs hot-swapped kernel
+//===--------------------------------------------------------------------===//
+
+static void BM_JacobiInterp(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  DoubleArray B = makeGrid(N);
+  runTiered(State, jacobiDoallSource(N), jit::JitMode::Off, 1, &B);
+}
+BENCHMARK(BM_JacobiInterp)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_JacobiJitWarm(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  DoubleArray B = makeGrid(N);
+  runTiered(State, jacobiDoallSource(N), jit::JitMode::Sync, 1, &B);
+}
+BENCHMARK(BM_JacobiJitWarm)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_JacobiJitWarmThreads(benchmark::State &State) {
+  const int64_t N = 256;
+  DoubleArray B = makeGrid(N);
+  runTiered(State, jacobiDoallSource(N), jit::JitMode::Sync,
+            static_cast<unsigned>(State.range(0)), &B);
+}
+BENCHMARK(BM_JacobiJitWarmThreads)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_WavefrontInterp(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  runTiered(State, wavefrontSource(N), jit::JitMode::Off, 1, nullptr);
+}
+BENCHMARK(BM_WavefrontInterp)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_WavefrontJitWarm(benchmark::State &State) {
+  const int64_t N = State.range(0);
+  runTiered(State, wavefrontSource(N), jit::JitMode::Sync, 1, nullptr);
+}
+BENCHMARK(BM_WavefrontJitWarm)->Arg(64)->Arg(128)->Arg(256);
+
+//===--------------------------------------------------------------------===//
+// Cold start vs warm disk cache
+//===--------------------------------------------------------------------===//
+
+static void BM_JitColdStart(benchmark::State &State) {
+  const int64_t N = 64;
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(wavefrontSource(N));
+  if (!Compiled || !Compiled->Thunkless) {
+    State.SkipWithError("kernel did not compile thunklessly");
+    return;
+  }
+  for (auto _ : State) {
+    // Fresh cache directory AND fresh compiler: every iteration pays
+    // emission + cc + dlopen.
+    ScratchCache Cache("cold");
+    jit::JitCompiler JC({Cache.Dir.string(), 256ull << 20});
+    Executor Exec(Compiled->Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&JC);
+    DoubleArray Out;
+    std::string Err;
+    if (!Compiled->evaluate(Out, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+BENCHMARK(BM_JitColdStart)->Unit(benchmark::kMillisecond);
+
+static void BM_JitDiskWarmStart(benchmark::State &State) {
+  const int64_t N = 64;
+  Compiler TheCompiler;
+  auto Compiled = TheCompiler.compileArray(wavefrontSource(N));
+  if (!Compiled || !Compiled->Thunkless) {
+    State.SkipWithError("kernel did not compile thunklessly");
+    return;
+  }
+  // Seed the disk cache once.
+  ScratchCache Cache("diskwarm");
+  {
+    jit::JitCompiler Seed({Cache.Dir.string(), 256ull << 20});
+    Executor Exec(Compiled->Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&Seed);
+    DoubleArray Out;
+    std::string Err;
+    if (!Compiled->evaluate(Out, Exec, Err)) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+  }
+  for (auto _ : State) {
+    // Fresh compiler = empty in-memory table = a new process hitting
+    // the warm disk cache: dlopen, no cc.
+    jit::JitCompiler JC({Cache.Dir.string(), 256ull << 20});
+    Executor Exec(Compiled->Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&JC);
+    DoubleArray Out;
+    std::string Err;
+    if (!Compiled->evaluate(Out, Exec, Err))
+      State.SkipWithError(Err.c_str());
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+BENCHMARK(BM_JitDiskWarmStart)->Unit(benchmark::kMillisecond);
+
+HAC_BENCH_MAIN();

@@ -13,6 +13,8 @@
 
 #include "BenchCommon.h"
 #include "core/Module.h"
+#include "jit/Jit.h"
+#include "jit/JitCompiler.h"
 #include "codegen/ShapeEstimate.h"
 #include "lir/LIR.h"
 #include "lir/LIRLowering.h"
@@ -20,6 +22,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <memory>
 
@@ -415,6 +418,52 @@ int main() {
           Sor->evaluateInPlace(Grid, *Exec, Err);
         };
       });
+
+    // E18 companion: the execution-tier matrix. The same post-pass LIR
+    // run by the evaluator and by the JIT-compiled kernel (warm; cc and
+    // the tier swap happen in the warmup sweep, against a scratch
+    // kernel cache).
+    std::printf("\nExecution-tier matrix (n = %lld, ms/sweep, 1 thread)\n\n",
+                (long long)N);
+    std::printf("%-22s | %9s | %9s | %7s\n", "kernel", "interp", "native",
+                "speedup");
+    std::printf("%-22s-+-%9s-+-%9s-+-%7s\n", "----------------------",
+                "---------", "---------", "-------");
+    jit::JitCompiler JitC(
+        {std::string("/tmp/hac-bench-suite-jit-") +
+             std::to_string(static_cast<long long>(::getpid())),
+         256ull << 20});
+    auto tierRow = [&](const char *Name, auto &Compiled,
+                       const DoubleArray *Input) {
+      auto MakeSweep = [&](jit::JitMode Mode) {
+        auto Exec = std::make_shared<Executor>(Compiled->Params);
+        Exec->setJitMode(Mode);
+        Exec->setJitCompiler(&JitC);
+        if (Input)
+          Exec->bindInput("b", Input);
+        return [&, Exec] {
+          DoubleArray Out;
+          std::string Err;
+          Compiled->evaluate(Out, *Exec, Err);
+        };
+      };
+      const double InterpMs = msPerSweep(3, MakeSweep(jit::JitMode::Off));
+      const double NativeMs = msPerSweep(3, MakeSweep(jit::JitMode::Sync));
+      std::printf("%-22s | %9.3f | %9.3f | %6.2fx\n", Name, InterpMs,
+                  NativeMs, NativeMs > 0.0 ? InterpMs / NativeMs : 0.0);
+      benchJsonRow(std::string("jit/") + Name,
+                   {{"interp_ms", std::to_string(InterpMs)},
+                    {"native_ms", std::to_string(NativeMs)},
+                    {"speedup",
+                     std::to_string(NativeMs > 0.0 ? InterpMs / NativeMs
+                                                   : 0.0)}});
+    };
+    if (Jacobi && Jacobi->Thunkless)
+      tierRow("jacobi (doall)", Jacobi, &B);
+    if (Sor && Sor->Thunkless)
+      tierRow("sor (wavefront)", Sor, nullptr);
+    std::error_code EC;
+    std::filesystem::remove_all(JitC.cacheDir(), EC);
   }
   return 0;
 }

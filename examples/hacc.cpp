@@ -31,6 +31,9 @@
 //                        and require bit-identical results
 //   hacc -j N ... FILE   evaluate with N worker threads (0 = auto:
 //                        HAC_THREADS, else the hardware concurrency)
+//   hacc -jit[=MODE] ... execution tier for the evaluator path: off |
+//                        sync | async (bare -jit = sync). Native
+//                        kernels are content-cached under HAC_JIT_CACHE
 //   hacc -u ... FILE     treat the program as a bigupd update
 //   hacc -accum ... FILE treat the program as an accumArray construction
 //   hacc -trace ... FILE print the phase-timing tree + counters to stderr
@@ -58,6 +61,10 @@
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
 #include "core/Module.h"
+#include "jit/Jit.h"
+#include "jit/JitCompiler.h"
+#include "jit/KernelCache.h"
+#include "jit/NativeBuild.h"
 #include "lir/LIR.h"
 #include "lir/LIRAbsint.h"
 #include "lir/LIRLowering.h"
@@ -73,12 +80,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <dlfcn.h>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <unistd.h>
 #include <vector>
 
 using namespace hac;
@@ -112,6 +117,10 @@ struct DriverOptions {
   /// HAC_THREADS, else the hardware concurrency. main() resolves it to a
   /// concrete count (>= 1) before the mode runners see it.
   unsigned Threads = 0;
+  /// -jit[=off|sync|async]: execution-tier policy for the evaluator
+  /// path. -1 = unset (the HAC_JIT environment policy, default off);
+  /// otherwise a jit::JitMode value.
+  int Jit = -1;
   std::vector<RuleID> DisabledRules;
   std::string SarifPath;    ///< empty = no SARIF; "-" = stdout
   std::string JsonPath;     ///< empty = no JSON; "-" = stdout
@@ -126,6 +135,11 @@ struct DriverOptions {
 
   /// Whether the LIR abstract interpreter runs this invocation.
   bool verifyLIROn() const { return VerifyLIR == -1 ? Analyze : VerifyLIR; }
+
+  /// The resolved tier policy (flag wins over the HAC_JIT environment).
+  jit::JitMode jitMode() const {
+    return Jit == -1 ? jit::jitModeFromEnv() : static_cast<jit::JitMode>(Jit);
+  }
 };
 
 std::string readAll(const std::string &Path) {
@@ -346,6 +360,21 @@ int writeTelemetry(const DriverOptions &Opts, const char *Mode,
     *OS << ",\n \"profile\":\n  ";
     ProfileSink::get().writeJson(*OS, 2);
   }
+  {
+    const char *ModeName =
+        Opts.jitMode() == jit::JitMode::Off
+            ? "off"
+            : Opts.jitMode() == jit::JitMode::Sync ? "sync" : "async";
+    const jit::JitStats JS = jit::JitCompiler::global().stats();
+    *OS << ",\n \"jit\": {\"mode\": " << jsonQuote(ModeName)
+        << ", \"compiles\": " << JS.Compiles
+        << ", \"compile_failures\": " << JS.CompileFailures
+        << ", \"cache_hits\": " << JS.CacheHits
+        << ", \"cache_misses\": " << JS.CacheMisses
+        << ", \"evictions\": " << JS.Evictions
+        << ", \"corrupt\": " << JS.Corrupt
+        << ", \"compile_ns\": " << JS.CompileNanos << "}";
+  }
   *OS << ",\n \"trace\":\n";
   TraceSink::get().writeJson(*OS, 2);
   *OS << "\n}\n";
@@ -366,8 +395,8 @@ auto nullAnalysis = [](std::ostream &OS) { OS << "  null"; };
 /// (flags stripped when serial, legalized when parallel — mirroring the
 /// Executor's pipeline). Returns the process exit code.
 int dumpLIR(const std::string &What, const ExecPlan &Plan,
-            const ArrayDims &Dims, const ParamEnv &Params,
-            unsigned Threads) {
+            const ArrayDims &Dims, const ParamEnv &Params, unsigned Threads,
+            jit::JitMode JitM = jit::JitMode::Off) {
   lir::LIRProgram P = lir::lowerPlan(Plan, Dims, Params, {}, /*ForC=*/false,
                                      /*ValidateReads=*/false);
   std::string SealErr;
@@ -408,68 +437,39 @@ int dumpLIR(const std::string &What, const ExecPlan &Plan,
   for (size_t S = 0; S != AR.SlotRanges.size(); ++S)
     if (S < P.SlotIsF.size() && !P.SlotIsF[S])
       std::printf("  r%zu: %s\n", S, AR.SlotRanges[S].str().c_str());
+  if (JitM != jit::JitMode::Off) {
+    // Mirror the JitCompiler's keying: re-legalize a copy under the
+    // stricter kernel parallel rules, then content-hash the text. This
+    // is the exact key the executor's tiered run will hit in the cache.
+    lir::LIRProgram KP = P;
+    const unsigned PinThreads = Threads > 1 ? Threads : 0;
+    if (PinThreads)
+      lir::legalizePar(KP, /*ForC=*/true, /*RenderExecOnly=*/true);
+    const bool OpenMP = PinThreads && *jit::detectedOmpFlag() != '\0';
+    const jit::KernelKey Key =
+        jit::makeKernelKey(lir::printLIR(KP), PinThreads, OpenMP);
+    std::printf("=== jit kernel ===\nkey %s\nmode %s\nthreads %u\n"
+                "openmp %s\ncache %s\n",
+                Key.hex().c_str(), JitM == jit::JitMode::Sync ? "sync"
+                                                              : "async",
+                PinThreads ? PinThreads : 1u, OpenMP ? "yes" : "no",
+                jit::cacheDirFromEnv().c_str());
+  }
   return 0;
 }
 
 using KernelFn = int (*)(double *, const double *const *);
 
-/// The OpenMP flag CMake detected for the host C compiler ("" when the
-/// probe failed; the emitted pragmas are then ignored and the kernel
-/// runs serially).
-#ifndef HAC_OPENMP_CFLAG
-#define HAC_OPENMP_CFLAG ""
-#endif
-
-/// Compiles emitted C with the system compiler, loads the shared object,
-/// and resolves \p Symbol (hac_kernel for single plans, hac_module for
-/// module drivers). Handles are process-lifetime. With \p OpenMP set the
-/// detected OpenMP flag is added (and dropped on a retry if the compiler
-/// rejects it — unknown pragmas are harmless).
+/// Compiles emitted C and resolves \p Symbol (hac_kernel for single
+/// plans, hac_module for module drivers) via the shared jit/ native
+/// build path: intermediates stage in the managed per-process scratch
+/// directory (cleaned at exit, failure paths included), HAC_JIT_CC can
+/// override the compiler, and the OpenMP flag retry lives in one place.
 KernelFn buildNativeKernel(const std::string &Code, std::string &Error,
                            bool OpenMP = false,
                            const char *Symbol = "hac_kernel") {
-  static int Counter = 0;
-  std::string Base = "/tmp/hac_selfcheck_" + std::to_string(getpid()) + "_" +
-                     std::to_string(Counter++);
-  std::string CPath = Base + ".c", SoPath = Base + ".so";
-  {
-    std::ofstream OS(CPath);
-    OS << Code;
-  }
-  std::string OmpFlag = OpenMP ? std::string(HAC_OPENMP_CFLAG) : "";
-  auto tryCompile = [&](const std::string &Extra,
-                        std::string &Output) -> bool {
-    std::string Cmd = "cc -O1 -shared -fPIC" +
-                      (Extra.empty() ? "" : " " + Extra) + " -o " + SoPath +
-                      " " + CPath + " -lm 2>&1";
-    FILE *Pipe = popen(Cmd.c_str(), "r");
-    if (!Pipe)
-      return false;
-    char Buf[256];
-    while (fgets(Buf, sizeof(Buf), Pipe))
-      Output += Buf;
-    return pclose(Pipe) == 0;
-  };
-  std::string Output;
-  bool OK = tryCompile(OmpFlag, Output);
-  if (!OK && !OmpFlag.empty()) {
-    Output.clear();
-    OK = tryCompile("", Output);
-  }
-  if (!OK) {
-    Error = Output.empty() ? "failed to spawn the C compiler"
-                           : "C compilation failed:\n" + Output;
-    return nullptr;
-  }
-  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW);
-  if (!Handle) {
-    Error = std::string("dlopen failed: ") + dlerror();
-    return nullptr;
-  }
-  auto Fn = reinterpret_cast<KernelFn>(dlsym(Handle, Symbol));
-  if (!Fn)
-    Error = std::string("dlsym failed: ") + dlerror();
-  return Fn;
+  return reinterpret_cast<KernelFn>(
+      jit::buildNativeKernel(Code, Symbol, Error, OpenMP));
 }
 
 /// -selfcheck tail: emits C for \p Plan, runs the native kernel on
@@ -586,7 +586,7 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
     }
     if (Opts.DumpLIR) {
       int RC = dumpLIR(Compiled->Name, Compiled->Plan, Compiled->Dims,
-                       Compiled->Params, Opts.Threads);
+                       Compiled->Params, Opts.Threads, Opts.jitMode());
       if (RC != 0)
         return RC;
     }
@@ -672,6 +672,7 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
 
   Executor Exec(Compiled->Params);
   Exec.setNumThreads(Opts.Threads);
+  Exec.setJitMode(Opts.jitMode());
   DoubleArray Out;
   std::string Err;
   if (!Compiled->evaluate(Out, Exec, Err)) {
@@ -761,7 +762,7 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
     }
     if (Opts.DumpLIR) {
       int RC = dumpLIR(Compiled->BaseName, Plan, Plan.Dims,
-                       Compiled->Params, Opts.Threads);
+                       Compiled->Params, Opts.Threads, Opts.jitMode());
       if (RC != 0)
         return RC;
     }
@@ -909,7 +910,7 @@ int runModule(const DriverOptions &Opts, const std::string &Source) {
     for (unsigned B : M->TopoOrder) {
       const ModuleBinding &MB = M->Bindings[B];
       int RC = dumpLIR(MB.Name, MB.Array.Plan, MB.Array.Dims,
-                       MB.Array.Params, Opts.Threads);
+                       MB.Array.Params, Opts.Threads, Opts.jitMode());
       if (RC != 0)
         return RC;
     }
@@ -931,6 +932,7 @@ int runModule(const DriverOptions &Opts, const std::string &Source) {
 
   Executor Exec(M->Params);
   Exec.setNumThreads(Opts.Threads);
+  Exec.setJitMode(Opts.jitMode());
   DoubleArray Out;
   std::string Err;
   ModuleRunStats Stats;
@@ -1074,6 +1076,16 @@ int main(int Argc, char **Argv) {
                      Argv[I]);
         return 1;
       }
+    } else if (std::strcmp(Argv[I], "-jit") == 0 ||
+               std::strncmp(Argv[I], "-jit=", 5) == 0) {
+      const char *Mode = Argv[I][4] == '=' ? Argv[I] + 5 : "sync";
+      jit::JitMode M;
+      if (!jit::parseJitMode(Mode, M)) {
+        std::fprintf(stderr, "hacc: bad -jit mode '%s' (off|sync|async)\n",
+                     Mode);
+        return 1;
+      }
+      Opts.Jit = static_cast<int>(M);
     } else if (std::strcmp(Argv[I], "-j") == 0) {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "hacc: -j needs a thread count\n");
@@ -1134,6 +1146,12 @@ int main(int Argc, char **Argv) {
                  "  -j N         evaluate with N worker threads (0 = "
                  "auto: HAC_THREADS, else hardware concurrency); "
                  "parallelizes -emit-c/-selfcheck kernels with OpenMP\n"
+                 "  -jit[=MODE]  execution tier: off (interpret), sync "
+                 "(compile a native kernel first), async (interpret, "
+                 "hot-swap when cc finishes); bare -jit = sync. Kernels "
+                 "cache under HAC_JIT_CACHE (default ~/.cache/hacc/"
+                 "kernels, HAC_JIT_CACHE_MB cap); HAC_JIT sets the "
+                 "default mode\n"
                  "  -u           treat the program as a bigupd update\n"
                  "  -accum       treat the program as accumArray\n"
                  "  -trace       print phase timings + counters to stderr\n"

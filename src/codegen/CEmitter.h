@@ -42,6 +42,9 @@
 #include <vector>
 
 namespace hac {
+namespace lir {
+struct LIRProgram;
+} // namespace lir
 
 /// Error codes the generated function can return.
 enum CEmitError : int {
@@ -85,6 +88,40 @@ CEmitResult emitC(const ExecPlan &Plan, const std::string &FunctionName,
                   const ParamEnv &Params,
                   const std::map<std::string, ArrayDims> &InputDims = {},
                   bool Parallel = false);
+
+/// Options for rendering a JIT kernel (emitKernelC).
+struct KernelEmitOptions {
+  /// When non-zero the kernel is a parallel one: OpenMP is pinned to
+  /// this many threads (matching the evaluator's pool size, so stats
+  /// and scheduling are comparable) and the count participates in the
+  /// kernel cache key. Zero means a serial kernel.
+  unsigned Threads = 0;
+};
+
+/// Renders an already-lowered, optimized, and sealed LIR program as a
+/// native JIT kernel. Unlike emitC this runs no pipeline of its own:
+/// the caller hands over the exact program the evaluator executes
+/// (re-legalized with legalizePar(P, true, true) when parallel) and
+/// gets C with the four-argument kernel ABI
+///
+/// \code
+///   int NAME(double *target, const double *const *inputs,
+///            unsigned char *defined, unsigned long long *stats);
+/// \endcode
+///
+/// where `defined` is the caller's defined-bits bitmap (may be null;
+/// all accesses are guarded, mirroring the evaluator's hasDefinedBits
+/// guards) and `stats` is an 8-slot counter block the kernel adds into
+/// on every exit path — [loads, stores, ring_saves, snapshot_copies,
+/// bounds_checks, collision_checks, guard_evals, fused_iters] — so
+/// ExecStats survive the tier swap. Exec-only instructions are
+/// *rendered* (faulting checks become real C checks, stat counters
+/// become counter adds): the kernel fails exactly when the evaluator
+/// would. Fails (OK == false) on programs containing Fail or
+/// CheckDefined instructions.
+CEmitResult emitKernelC(const lir::LIRProgram &P,
+                        const std::string &FunctionName,
+                        const KernelEmitOptions &Opts = {});
 
 } // namespace hac
 

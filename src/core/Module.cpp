@@ -379,6 +379,7 @@ bool hac::evaluateModule(
     Exec.bindInput(Name, Array);
 
   const unsigned N = static_cast<unsigned>(M.Bindings.size());
+  const JitExecStats JitBefore = Exec.jitStats();
   BufferPool Pool(ReuseBuffers ? M.Buffers.numSlots() : N);
   for (unsigned P = 0; P != M.TopoOrder.size(); ++P) {
     unsigned B = M.TopoOrder[P];
@@ -415,6 +416,10 @@ bool hac::evaluateModule(
     Stats->BuffersReused = Pool.reuses();
     Stats->PeakBytes = Pool.peakBytes();
     Stats->NoReusePeakBytes = M.Buffers.NoReusePeakBytes;
+    const JitExecStats &JitAfter = Exec.jitStats();
+    Stats->JitNativeRuns = JitAfter.NativeRuns - JitBefore.NativeRuns;
+    Stats->JitInterpRuns = JitAfter.InterpRuns - JitBefore.InterpRuns;
+    Stats->JitTierSwaps = JitAfter.TierSwaps - JitBefore.TierSwaps;
   }
   return true;
 }

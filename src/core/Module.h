@@ -128,6 +128,12 @@ struct ModuleRunStats {
   unsigned BuffersReused = 0;
   size_t PeakBytes = 0;
   size_t NoReusePeakBytes = 0;
+  /// Tiered-execution deltas for this run: how many binding executions
+  /// ran as JIT-compiled kernels vs the LIR evaluator (zeros when the
+  /// executor's JIT mode is off).
+  uint64_t JitNativeRuns = 0;
+  uint64_t JitInterpRuns = 0;
+  uint64_t JitTierSwaps = 0;
 };
 
 /// Runs \p M: thunkless modules execute binding-by-binding in

@@ -1,0 +1,84 @@
+//===- jit/Jit.cpp - JIT mode and env knob parsing ------------------------===//
+
+#include "jit/Jit.h"
+
+#include "jit/NativeBuild.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace hac;
+using namespace hac::jit;
+
+bool jit::parseJitMode(const char *S, JitMode &M) {
+  if (!S)
+    return false;
+  if (std::strcmp(S, "off") == 0 || std::strcmp(S, "0") == 0) {
+    M = JitMode::Off;
+    return true;
+  }
+  if (std::strcmp(S, "sync") == 0 || std::strcmp(S, "1") == 0) {
+    M = JitMode::Sync;
+    return true;
+  }
+  if (std::strcmp(S, "async") == 0) {
+    M = JitMode::Async;
+    return true;
+  }
+  return false;
+}
+
+JitMode jit::jitModeFromEnv() {
+  const char *Env = std::getenv("HAC_JIT");
+  if (!Env || !*Env)
+    return JitMode::Off;
+  JitMode M = JitMode::Off;
+  if (!parseJitMode(Env, M)) {
+    std::fprintf(stderr,
+                 "hac: warning: HAC_JIT='%s' is not off|sync|async; "
+                 "JIT disabled\n",
+                 Env);
+    return JitMode::Off;
+  }
+  return M;
+}
+
+std::string jit::cacheDirFromEnv() {
+  if (const char *Env = std::getenv("HAC_JIT_CACHE"); Env && *Env)
+    return Env;
+  if (const char *Home = std::getenv("HOME"); Home && *Home)
+    return std::string(Home) + "/.cache/hacc/kernels";
+  // No HOME (daemons, bare CI shells): keep kernels next to the other
+  // per-process scratch so they are still cleaned up.
+  return scratchDir() + "/kernels";
+}
+
+uint64_t jit::cacheBytesFromEnv() {
+  constexpr uint64_t DefaultMB = 256, MinMB = 1, MaxMB = 65536;
+  const char *Env = std::getenv("HAC_JIT_CACHE_MB");
+  if (!Env || !*Env)
+    return DefaultMB << 20;
+  char *End = nullptr;
+  errno = 0;
+  long N = std::strtol(Env, &End, 10);
+  if (errno != 0 || End == Env || *End != '\0') {
+    std::fprintf(stderr,
+                 "hac: warning: HAC_JIT_CACHE_MB='%s' is not an integer; "
+                 "using the default of %llu\n",
+                 Env, static_cast<unsigned long long>(DefaultMB));
+    return DefaultMB << 20;
+  }
+  if (N < static_cast<long>(MinMB)) {
+    std::fprintf(stderr, "hac: warning: HAC_JIT_CACHE_MB=%ld clamped to 1\n",
+                 N);
+    return MinMB << 20;
+  }
+  if (N > static_cast<long>(MaxMB)) {
+    std::fprintf(stderr,
+                 "hac: warning: HAC_JIT_CACHE_MB=%ld clamped to 65536\n", N);
+    return MaxMB << 20;
+  }
+  return static_cast<uint64_t>(N) << 20;
+}

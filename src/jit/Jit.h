@@ -1,0 +1,77 @@
+//===- jit/Jit.h - JIT modes, env knobs, and kernel ABI ---------*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared vocabulary of the native JIT backend: the execution-tier
+/// policy (off / sync / async), the generated kernel's function type,
+/// and the strict environment-variable parsers (HAC_JIT,
+/// HAC_JIT_CACHE, HAC_JIT_CACHE_MB) following the repo's
+/// strtol+clamp+warning convention — garbage never silently changes
+/// behavior, it warns and keeps the default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_JIT_JIT_H
+#define HAC_JIT_JIT_H
+
+#include <cstdint>
+#include <string>
+
+namespace hac {
+namespace jit {
+
+/// When native kernels run in place of the LIR evaluator.
+enum class JitMode {
+  Off,  ///< always interpret (the default)
+  Sync, ///< compile before the first run; every run is native
+  Async ///< first runs interpret while cc runs in the background, then
+        ///< hot-swap to native once the kernel is ready
+};
+
+/// Strict parse of a -jit= / HAC_JIT value. Accepts exactly "off",
+/// "sync", "async" (and "0"/"1" as off/sync for scripting ergonomics).
+/// Returns false on anything else, leaving \p M untouched.
+bool parseJitMode(const char *S, JitMode &M);
+
+/// The HAC_JIT environment policy: parseJitMode over the variable,
+/// warning (`hac: warning: HAC_JIT='...' is not off|sync|async; JIT
+/// disabled`) and returning Off on garbage or when unset.
+JitMode jitModeFromEnv();
+
+/// The on-disk kernel cache directory: HAC_JIT_CACHE when set and
+/// non-empty, else `$HOME/.cache/hacc/kernels` (or a scratch-local
+/// fallback when HOME is unset).
+std::string cacheDirFromEnv();
+
+/// The cache size cap in bytes, from HAC_JIT_CACHE_MB. Strict integer
+/// parse: garbage warns and keeps the default of 256 MB; values clamp
+/// to [1, 65536] MB with a warning.
+uint64_t cacheBytesFromEnv();
+
+/// The generated kernel ABI (see emitKernelC): target storage, input
+/// storage in CEmitResult::InputNames order, the caller's defined-bits
+/// bitmap (may be null), and the 8-slot ExecStats counter block the
+/// kernel adds into on every exit path.
+using KernelFn = int (*)(double *target, const double *const *inputs,
+                         unsigned char *defined, unsigned long long *stats);
+
+/// Indices of the kernel's stats out-parameter, matching ExecStats.
+enum KernelStat {
+  KS_Loads = 0,
+  KS_Stores = 1,
+  KS_RingSaves = 2,
+  KS_SnapshotCopies = 3,
+  KS_BoundsChecks = 4,
+  KS_CollisionChecks = 5,
+  KS_GuardEvals = 6,
+  KS_FusedIters = 7,
+  KS_Count = 8
+};
+
+} // namespace jit
+} // namespace hac
+
+#endif // HAC_JIT_JIT_H

@@ -1,0 +1,229 @@
+//===- jit/KernelCache.cpp - Content-addressed kernel store ---------------===//
+
+#include "jit/KernelCache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#include <utime.h>
+#include <vector>
+
+using namespace hac;
+using namespace hac::jit;
+
+std::string KernelKey::hex() const {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+KernelKey jit::makeKernelKey(const std::string &LirText, unsigned Threads,
+                             bool OpenMP) {
+  // FNV-1a 64: deterministic across processes (unlike std::hash), cheap,
+  // and collision-safe enough for a cache whose worst case is one extra
+  // compile — a colliding entry still fails closed via the meta echo of
+  // the key itself.
+  uint64_t H = 1469598103934665603ull;
+  auto mix = [&H](const std::string &S) {
+    for (unsigned char C : S) {
+      H ^= C;
+      H *= 1099511628211ull;
+    }
+  };
+  mix("hac-kernel-abi:" + std::to_string(KernelAbiVersion));
+  mix("\nthreads:" + std::to_string(Threads));
+  mix("\nomp:" + std::to_string(OpenMP ? 1 : 0));
+  mix("\n");
+  mix(LirText);
+  return KernelKey{H};
+}
+
+namespace {
+
+/// mkdir -p: creates every missing component of \p Path.
+void makeDirs(const std::string &Path) {
+  for (size_t I = 1; I <= Path.size(); ++I)
+    if (I == Path.size() || Path[I] == '/')
+      ::mkdir(Path.substr(0, I).c_str(), 0700);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+std::string manifestText() {
+  return "hac-kernel-cache " + std::to_string(KernelAbiVersion) + "\n";
+}
+
+} // namespace
+
+KernelCache::KernelCache(Config C)
+    : Dir(std::move(C.Dir)), MaxBytes(C.MaxBytes) {}
+
+void KernelCache::ensureDir() {
+  if (Ready)
+    return;
+  makeDirs(Dir);
+  std::string Manifest;
+  if (!readFile(Dir + "/MANIFEST", Manifest) || Manifest != manifestText()) {
+    // Different emitter/ABI generation (or a fresh dir): every cached
+    // object is suspect, purge wholesale and restamp.
+    if (DIR *D = opendir(Dir.c_str())) {
+      while (dirent *E = readdir(D)) {
+        std::string Name = E->d_name;
+        auto endsWith = [&Name](const char *Suf) {
+          size_t L = std::string(Suf).size();
+          return Name.size() >= L && Name.compare(Name.size() - L, L, Suf) == 0;
+        };
+        if (endsWith(".so") || endsWith(".meta") || endsWith(".part"))
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+    std::ofstream Out(Dir + "/MANIFEST");
+    Out << manifestText();
+  }
+  Ready = true;
+}
+
+std::string KernelCache::soPathFor(const KernelKey &Key) const {
+  return Dir + "/" + Key.hex() + ".so";
+}
+
+std::string KernelCache::lookup(const KernelKey &Key,
+                                const std::string &Symbol) {
+  ensureDir();
+  const std::string So = soPathFor(Key);
+  const std::string Meta = Dir + "/" + Key.hex() + ".meta";
+  std::string MetaText;
+  struct stat St;
+  bool HaveSo = ::stat(So.c_str(), &St) == 0;
+  bool HaveMeta = readFile(Meta, MetaText);
+  if (!HaveSo && !HaveMeta) {
+    ++Stats.Misses;
+    return "";
+  }
+  const std::string Want = "hac-kernel " + std::to_string(KernelAbiVersion) +
+                           "\nkey " + Key.hex() + "\nsymbol " + Symbol + "\n";
+  // The object must at least carry the ELF magic: dlopen deduplicates
+  // already-loaded objects, so handing it a path whose file was
+  // truncated or overwritten after a prior load in this process could
+  // revive a stale (now SIGBUS-backed) mapping instead of failing.
+  auto soLooksLoadable = [&So]() {
+    std::ifstream In(So, std::ios::binary);
+    char Magic[4] = {0, 0, 0, 0};
+    In.read(Magic, sizeof(Magic));
+    return In.gcount() == 4 && Magic[0] == 0x7f && Magic[1] == 'E' &&
+           Magic[2] == 'L' && Magic[3] == 'F';
+  };
+  if (!HaveSo || !HaveMeta || MetaText != Want || !soLooksLoadable()) {
+    // Half-written, truncated, non-ELF, or foreign pair: recover by
+    // deletion.
+    ::unlink(So.c_str());
+    ::unlink(Meta.c_str());
+    ++Stats.Corrupt;
+    ++Stats.Misses;
+    return "";
+  }
+  // Touch both files so LRU eviction sees the reuse.
+  ::utime(So.c_str(), nullptr);
+  ::utime(Meta.c_str(), nullptr);
+  ++Stats.Hits;
+  return So;
+}
+
+void KernelCache::commit(const KernelKey &Key, const std::string &Symbol,
+                         const std::string &SrcSo) {
+  ensureDir();
+  // Copy — never rename or link — so the inode the caller dlopened
+  // stays private to the scratch dir: external tampering with cache
+  // files (truncation, overwrite) then cannot corrupt a live mapping.
+  // The dot-part + rename keeps concurrent readers from observing a
+  // partial object.
+  const std::string So = soPathFor(Key);
+  const std::string Part = So + ".part";
+  {
+    std::ifstream In(SrcSo, std::ios::binary);
+    std::ofstream Out(Part, std::ios::binary);
+    Out << In.rdbuf();
+    if (!In.good() || !Out.good()) {
+      Out.close();
+      ::unlink(Part.c_str());
+      return; // kernel stays loaded in-process, just not cached
+    }
+  }
+  if (::rename(Part.c_str(), So.c_str()) != 0) {
+    ::unlink(Part.c_str());
+    return;
+  }
+  const std::string Meta = Dir + "/" + Key.hex() + ".meta";
+  {
+    std::ofstream Out(Meta + ".part");
+    Out << "hac-kernel " << KernelAbiVersion << "\nkey " << Key.hex()
+        << "\nsymbol " << Symbol << "\n";
+  }
+  ::rename((Meta + ".part").c_str(), Meta.c_str());
+  enforceCap(Key.hex());
+}
+
+void KernelCache::invalidate(const KernelKey &Key) {
+  ::unlink(soPathFor(Key).c_str());
+  ::unlink((Dir + "/" + Key.hex() + ".meta").c_str());
+  ++Stats.Corrupt;
+}
+
+void KernelCache::enforceCap(const std::string &Keep) {
+  struct EntryInfo {
+    std::string Base; // key hex
+    uint64_t Bytes = 0;
+    time_t Mtime = 0;
+  };
+  std::vector<EntryInfo> Entries;
+  uint64_t Total = 0;
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return;
+  while (dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() <= 3 || Name.compare(Name.size() - 3, 3, ".so") != 0)
+      continue;
+    std::string Base = Name.substr(0, Name.size() - 3);
+    struct stat So, Meta;
+    if (::stat((Dir + "/" + Name).c_str(), &So) != 0)
+      continue;
+    uint64_t Bytes = static_cast<uint64_t>(So.st_size);
+    if (::stat((Dir + "/" + Base + ".meta").c_str(), &Meta) == 0)
+      Bytes += static_cast<uint64_t>(Meta.st_size);
+    Entries.push_back({Base, Bytes, So.st_mtime});
+    Total += Bytes;
+  }
+  closedir(D);
+  if (Total <= MaxBytes)
+    return;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryInfo &A, const EntryInfo &B) {
+              return A.Mtime < B.Mtime; // oldest first
+            });
+  for (const EntryInfo &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.Base == Keep)
+      continue;
+    ::unlink((Dir + "/" + E.Base + ".so").c_str());
+    ::unlink((Dir + "/" + E.Base + ".meta").c_str());
+    Total -= std::min(Total, E.Bytes);
+    ++Stats.Evictions;
+  }
+}

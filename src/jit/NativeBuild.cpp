@@ -1,0 +1,175 @@
+//===- jit/NativeBuild.cpp - cc + dlopen for generated kernels ------------===//
+
+#include "jit/NativeBuild.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <dlfcn.h>
+#include <fstream>
+#include <mutex>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace hac;
+using namespace hac::jit;
+
+/// The OpenMP flag CMake detected for the host C compiler ("" when the
+/// probe failed). Defined on the hac_jit target.
+#ifndef HAC_OPENMP_CFLAG
+#define HAC_OPENMP_CFLAG ""
+#endif
+
+const char *jit::detectedOmpFlag() { return HAC_OPENMP_CFLAG; }
+
+std::string jit::compilerCommand() {
+  if (const char *Env = std::getenv("HAC_JIT_CC"); Env && *Env)
+    return Env;
+  return "cc";
+}
+
+namespace {
+
+/// Deletes every regular file in \p Dir, then the directory itself.
+/// Best-effort: scratch cleanup must never fail the process.
+void removeDirTree(const std::string &Dir) {
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      if (std::strcmp(E->d_name, ".") == 0 || std::strcmp(E->d_name, "..") == 0)
+        continue;
+      ::unlink((Dir + "/" + E->d_name).c_str());
+    }
+    closedir(D);
+  }
+  ::rmdir(Dir.c_str());
+}
+
+struct Scratch {
+  std::string Dir;
+  Scratch() {
+    const char *Tmp = std::getenv("TMPDIR");
+    Dir = std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/hac-jit-" +
+          std::to_string(getpid());
+    ::mkdir(Dir.c_str(), 0700);
+  }
+  ~Scratch() { removeDirTree(Dir); }
+};
+
+std::string uniqueBase() {
+  static std::atomic<unsigned> Counter{0};
+  return scratchDir() + "/k" + std::to_string(Counter++);
+}
+
+} // namespace
+
+const std::string &jit::scratchDir() {
+  static Scratch S; // constructed on first use, cleaned up at exit
+  return S.Dir;
+}
+
+BuildResult jit::compileSharedObject(const std::string &Code,
+                                     const std::string &SoPath, bool OpenMP) {
+  BuildResult R;
+  const std::string Base = uniqueBase();
+  const std::string CPath = Base + ".c", TmpSo = Base + ".so";
+  {
+    std::ofstream OS(CPath);
+    OS << Code;
+    if (!OS) {
+      R.Error = "cannot write " + CPath;
+      ::unlink(CPath.c_str());
+      return R;
+    }
+  }
+  const std::string Cc = compilerCommand();
+  auto tryCompile = [&](const std::string &Extra, std::string &Output) {
+    std::string Cmd = Cc + " -O2 -shared -fPIC" +
+                      (Extra.empty() ? "" : " " + Extra) + " -o " + TmpSo +
+                      " " + CPath + " -lm 2>&1";
+    FILE *Pipe = popen(Cmd.c_str(), "r");
+    if (!Pipe)
+      return false;
+    char Buf[256];
+    while (fgets(Buf, sizeof(Buf), Pipe))
+      Output += Buf;
+    return pclose(Pipe) == 0;
+  };
+  std::string OmpFlag = OpenMP ? std::string(detectedOmpFlag()) : "";
+  std::string Output;
+  bool OK = tryCompile(OmpFlag, Output);
+  R.UsedOmpFlag = OK && !OmpFlag.empty();
+  if (!OK && !OmpFlag.empty()) {
+    Output.clear();
+    OK = tryCompile("", Output);
+  }
+  ::unlink(CPath.c_str());
+  if (!OK) {
+    ::unlink(TmpSo.c_str());
+    R.Error = Output.empty() ? "failed to spawn the C compiler '" + Cc + "'"
+                             : "C compilation failed:\n" + Output;
+    return R;
+  }
+  if (TmpSo != SoPath && ::rename(TmpSo.c_str(), SoPath.c_str()) != 0) {
+    // Cross-filesystem destination (a cache dir on another mount):
+    // copy to a dot-temp beside the target, then rename — readers never
+    // observe a partial object.
+    std::ifstream In(TmpSo, std::ios::binary);
+    const std::string Part = SoPath + ".part";
+    std::ofstream Out(Part, std::ios::binary);
+    Out << In.rdbuf();
+    bool Copied = In.good() && Out.good();
+    Out.close();
+    ::unlink(TmpSo.c_str());
+    if (!Copied || ::rename(Part.c_str(), SoPath.c_str()) != 0) {
+      ::unlink(Part.c_str());
+      R.Error = "cannot move compiled kernel to " + SoPath;
+      return R;
+    }
+  }
+  R.OK = true;
+  R.SoPath = SoPath;
+  return R;
+}
+
+std::string jit::stageForLoad(const std::string &SoPath, std::string &Error) {
+  // A copy, not a hardlink: a link would share the cached inode, so an
+  // external writer truncating the cache file would still tear down the
+  // live mapping. The copy gives dlopen a scratch-private inode.
+  const std::string Staged = uniqueBase() + ".so";
+  std::ifstream In(SoPath, std::ios::binary);
+  std::ofstream Out(Staged, std::ios::binary);
+  Out << In.rdbuf();
+  bool Copied = In.good() && Out.good();
+  Out.close();
+  if (!Copied) {
+    ::unlink(Staged.c_str());
+    Error = "cannot stage " + SoPath + " for loading";
+    return "";
+  }
+  return Staged;
+}
+
+void *jit::loadKernelSymbol(const std::string &SoPath,
+                            const std::string &Symbol, std::string &Error) {
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW);
+  if (!Handle) {
+    Error = std::string("dlopen failed: ") + dlerror();
+    return nullptr;
+  }
+  void *Fn = dlsym(Handle, Symbol.c_str());
+  if (!Fn)
+    Error = std::string("dlsym failed: ") + dlerror();
+  return Fn;
+}
+
+void *jit::buildNativeKernel(const std::string &Code, const std::string &Symbol,
+                             std::string &Error, bool OpenMP) {
+  BuildResult R = compileSharedObject(Code, uniqueBase() + ".kernel.so", OpenMP);
+  if (!R.OK) {
+    Error = R.Error;
+    return nullptr;
+  }
+  return loadKernelSymbol(R.SoPath, Symbol, Error);
+}

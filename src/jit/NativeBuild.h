@@ -1,0 +1,88 @@
+//===- jit/NativeBuild.h - cc + dlopen for generated kernels ----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one cc+dlopen implementation in the tree: compiles generated C
+/// into a shared object with the system compiler and resolves kernel
+/// symbols from it. Everything the repo natively compiles — JIT
+/// kernels, `hacc -selfcheck`, the cemit/lir test harnesses — routes
+/// through here, staging all intermediate artifacts in a single
+/// per-process scratch directory that is removed at exit (including on
+/// failure paths; no more `/tmp/hac_*` litter).
+///
+/// The compiler is `cc` unless HAC_JIT_CC overrides it. When OpenMP is
+/// requested, the flag CMake probed at configure time is added, and
+/// dropped on one retry if the compiler rejects it — emitted pragmas
+/// are harmless without it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_JIT_NATIVEBUILD_H
+#define HAC_JIT_NATIVEBUILD_H
+
+#include <string>
+
+namespace hac {
+namespace jit {
+
+/// The OpenMP flag CMake probed for the system C compiler, or "" when
+/// the probe failed (kernels then run serially; pragmas are ignored).
+const char *detectedOmpFlag();
+
+/// The C compiler command: HAC_JIT_CC when set and non-empty, else
+/// "cc". A bogus override makes every compile fail with a diagnostic —
+/// which is exactly how the cc-unavailable fallback is tested.
+std::string compilerCommand();
+
+/// The per-process scratch directory, `${TMPDIR:-/tmp}/hac-jit-<pid>`.
+/// Created on first use, removed (recursively) at process exit.
+const std::string &scratchDir();
+
+/// Result of one native compile.
+struct BuildResult {
+  bool OK = false;
+  std::string Error;     ///< cc diagnostics / spawn failure (OK == false)
+  std::string SoPath;    ///< the produced shared object (OK == true)
+  bool UsedOmpFlag = false; ///< the OpenMP flag survived (no retry drop)
+};
+
+/// Compiles \p Code into the shared object \p SoPath. Stages the .c and
+/// a temporary .so inside scratchDir(), then renames the object into
+/// place (atomic within a filesystem, copy fallback across them), so a
+/// crashed or failed compile never leaves a half-written .so at the
+/// destination. Intermediates are deleted before returning, success or
+/// not. With \p OpenMP the detected flag is used, retrying without it
+/// when the compiler objects.
+BuildResult compileSharedObject(const std::string &Code,
+                                const std::string &SoPath, bool OpenMP);
+
+/// dlopens \p SoPath (RTLD_NOW) and resolves \p Symbol. Returns null
+/// with \p Error set on either failure. Handles are process-lifetime —
+/// kernels are never dlclosed, matching the seed's -selfcheck harness.
+void *loadKernelSymbol(const std::string &SoPath, const std::string &Symbol,
+                       std::string &Error);
+
+/// Copies \p SoPath to a fresh unique name in scratchDir() for dlopen.
+/// Two aliasing hazards make loading a cache path directly unsafe:
+/// dlopen deduplicates loaded objects by pathname, so re-loading a
+/// cache path whose file was replaced after corruption recovery would
+/// revive the stale dead mapping; and mapping the cache file's own
+/// inode would let any external truncation of the cache entry tear
+/// down a live kernel. The scratch-private copy is immune to both.
+/// Returns the staged path, or "" with \p Error set.
+std::string stageForLoad(const std::string &SoPath, std::string &Error);
+
+/// One-call convenience: compile \p Code into scratchDir() and resolve
+/// \p Symbol from it. Returns the raw symbol (cast to the kernel's
+/// function type by the caller) or null with \p Error set. This is the
+/// promoted tests/NativeKernel.h harness.
+void *buildNativeKernel(const std::string &Code, const std::string &Symbol,
+                        std::string &Error, bool OpenMP = false);
+
+} // namespace jit
+} // namespace hac
+
+#endif // HAC_JIT_NATIVEBUILD_H

@@ -463,10 +463,15 @@ void demoteLoop(LIRProgram &P, size_t Begin) {
 }
 
 /// True when \p I may not execute inside a parallel region's body.
-bool forbiddenInParBody(const LInst &I, bool ForC) {
-  // Exec-only instructions never render in C, so they cannot break the
-  // emitted OpenMP region.
-  if (ForC && I.execOnly())
+/// \p RenderExecOnly is the JIT kernel contract: exec-only checks are
+/// rendered as real C (for failure parity with the evaluator), so they
+/// forbid parallel bodies exactly like their non-exec-only twins; the
+/// exec-only stat counters (CountBounds et al.) render as OpenMP
+/// reductions and stay legal.
+bool forbiddenInParBody(const LInst &I, bool ForC, bool RenderExecOnly) {
+  // Exec-only instructions never render in plain C, so they cannot
+  // break the emitted OpenMP region.
+  if (ForC && I.execOnly() && !RenderExecOnly)
     return false;
   switch (I.Op) {
   case LOp::SaveRing:   // rolling temporaries carry values serially
@@ -487,9 +492,10 @@ bool forbiddenInParBody(const LInst &I, bool ForC) {
   }
 }
 
-bool regionHasForbidden(const LIRProgram &P, size_t B, size_t E, bool ForC) {
+bool regionHasForbidden(const LIRProgram &P, size_t B, size_t E, bool ForC,
+                        bool RenderExecOnly) {
   for (size_t I = B + 1; I < E; ++I)
-    if (forbiddenInParBody(P.Code[I], ForC))
+    if (forbiddenInParBody(P.Code[I], ForC, RenderExecOnly))
       return true;
   return false;
 }
@@ -525,7 +531,7 @@ bool writesEscape(const LIRProgram &P, size_t B, size_t E) {
 /// end; inner body restrictions match DOALL. On success stores the
 /// inner LoopBegin index in \p InnerBegin.
 bool validateWavePair(const LIRProgram &P, size_t OB, bool ForC,
-                      size_t &InnerBegin) {
+                      bool RenderExecOnly, size_t &InnerBegin) {
   const LInst &Outer = P.Code[OB];
   size_t OE = static_cast<size_t>(Outer.Jump);
   if (Outer.backward())
@@ -539,7 +545,7 @@ bool validateWavePair(const LIRProgram &P, size_t OB, bool ForC,
   size_t IE = static_cast<size_t>(P.Code[IB].Jump);
   if (IE + 1 != OE) // something between the inner end and the outer end
     return false;
-  if (regionHasForbidden(P, IB, IE, ForC))
+  if (regionHasForbidden(P, IB, IE, ForC, RenderExecOnly))
     return false;
   // Prelude re-run safety: every cell re-evaluates the prelude from the
   // outer loop's *entry* register state, so a prelude read may only see
@@ -579,7 +585,7 @@ bool validateWavePair(const LIRProgram &P, size_t OB, bool ForC,
 
 } // namespace
 
-void lir::legalizePar(LIRProgram &P, bool ForC) {
+void lir::legalizePar(LIRProgram &P, bool ForC, bool RenderExecOnly) {
   // Pass 1: the outermost parallel level wins. Any par-flagged loop
   // nested inside another parallel region is cleared — except the
   // WaveInner directly paired with its still-flagged WaveOuter.
@@ -622,11 +628,12 @@ void lir::legalizePar(LIRProgram &P, bool ForC) {
       continue;
     size_t E = static_cast<size_t>(In.Jump);
     if (In.parDoall()) {
-      if (regionHasForbidden(P, I, E, ForC) || writesEscape(P, I, E))
+      if (regionHasForbidden(P, I, E, ForC, RenderExecOnly) ||
+          writesEscape(P, I, E))
         demoteLoop(P, I);
     } else if (In.parWaveOuter()) {
       size_t IB = 0;
-      if (validateWavePair(P, I, ForC, IB)) {
+      if (validateWavePair(P, I, ForC, RenderExecOnly, IB)) {
         ClaimedInner.insert(IB);
       } else {
         for (size_t J = I + 1; J < E; ++J)

@@ -62,7 +62,14 @@ void stripParFlags(LIRProgram &P);
 /// evaluator handles those via per-worker error records instead.
 /// Requires a sealed program; flags stay consistent between LoopBegin and
 /// LoopEnd.
-void legalizePar(LIRProgram &P, bool ForC);
+///
+/// \p RenderExecOnly describes the JIT kernel contract: exec-only
+/// faulting checks are *rendered* into the generated C (for failure
+/// parity with the evaluator), so they too forbid parallel bodies; the
+/// exec-only stat counters stay legal (they render as OpenMP
+/// reductions). Idempotent — safe to re-run on an already-legalized
+/// program, since demotion only ever clears flags.
+void legalizePar(LIRProgram &P, bool ForC, bool RenderExecOnly = false);
 
 } // namespace lir
 } // namespace hac

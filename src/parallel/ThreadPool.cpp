@@ -66,6 +66,38 @@ struct ThreadPool::Impl {
   uint64_t JobGen = 0;
   bool Shutdown = false;
 
+  // The detached background lane: one dedicated thread, FIFO queue,
+  // created lazily by the first submit() so pools that never compile
+  // anything pay nothing.
+  mutable std::mutex BgM;
+  std::condition_variable BgCV;     // the background thread waits here
+  std::condition_variable BgIdleCV; // waitBackground() waits here
+  std::deque<std::function<void()>> BgQueue;
+  std::thread BgThread;
+  size_t BgPending = 0; // queued + running
+  bool BgShutdown = false;
+
+  void backgroundLoop() {
+    for (;;) {
+      std::function<void()> Fn;
+      {
+        std::unique_lock<std::mutex> Lock(BgM);
+        BgCV.wait(Lock, [&] { return BgShutdown || !BgQueue.empty(); });
+        if (BgQueue.empty())
+          return; // shutdown with a drained queue
+        Fn = std::move(BgQueue.front());
+        BgQueue.pop_front();
+      }
+      Fn();
+      {
+        std::lock_guard<std::mutex> Lock(BgM);
+        --BgPending;
+        if (BgPending == 0)
+          BgIdleCV.notify_all();
+      }
+    }
+  }
+
   /// Pops one task for worker \p Self: own deque from the back first,
   /// then steal from the other deques' fronts. Returns false when no
   /// task is available anywhere.
@@ -151,6 +183,32 @@ ThreadPool::~ThreadPool() {
   }
   for (std::thread &T : P->Workers)
     T.join();
+  {
+    std::lock_guard<std::mutex> Lock(P->BgM);
+    P->BgShutdown = true;
+    P->BgCV.notify_all();
+  }
+  if (P->BgThread.joinable())
+    P->BgThread.join();
+}
+
+void ThreadPool::submit(std::function<void()> Fn) {
+  std::lock_guard<std::mutex> Lock(P->BgM);
+  if (!P->BgThread.joinable())
+    P->BgThread = std::thread([this] { P->backgroundLoop(); });
+  P->BgQueue.push_back(std::move(Fn));
+  ++P->BgPending;
+  P->BgCV.notify_one();
+}
+
+void ThreadPool::waitBackground() {
+  std::unique_lock<std::mutex> Lock(P->BgM);
+  P->BgIdleCV.wait(Lock, [&] { return P->BgPending == 0; });
+}
+
+size_t ThreadPool::pendingBackground() const {
+  std::lock_guard<std::mutex> Lock(P->BgM);
+  return P->BgPending;
 }
 
 unsigned ThreadPool::threads() const { return P->NumThreads; }

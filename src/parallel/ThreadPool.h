@@ -68,6 +68,21 @@ public:
   /// Fn must not call parallelFor on the same pool.
   void parallelFor(size_t NumTasks, const std::function<void(size_t)> &Fn);
 
+  /// Enqueues \p Fn on the pool's detached background lane and returns
+  /// immediately. Background tasks run FIFO on one dedicated thread
+  /// (created lazily on first submit) so they never contend with
+  /// parallelFor's barrier workers — the JIT uses this for async kernel
+  /// compilation while the evaluator keeps running. Tasks must not
+  /// throw. The destructor drains the lane before joining.
+  void submit(std::function<void()> Fn);
+
+  /// Blocks until every submitted background task has finished. A no-op
+  /// when nothing was ever submitted.
+  void waitBackground();
+
+  /// Background tasks still queued or running.
+  size_t pendingBackground() const;
+
   /// Snapshots the utilization counters (relaxed atomic loads — callable
   /// at any time, including while a job runs).
   PoolStats stats() const;

@@ -121,6 +121,14 @@ public:
     if (!DefinedBits.empty())
       DefinedBits[Linear] = 1;
   }
+  /// Raw defined-bitmap storage (one byte per element), or null when
+  /// the bitmap is disabled. Native JIT kernels update it in place.
+  uint8_t *definedData() {
+    return DefinedBits.empty() ? nullptr : DefinedBits.data();
+  }
+  const uint8_t *definedData() const {
+    return DefinedBits.empty() ? nullptr : DefinedBits.data();
+  }
   /// Index of the first undefined element, or size() if none.
   size_t firstUndefined() const {
     for (size_t I = 0; I != DefinedBits.size(); ++I)

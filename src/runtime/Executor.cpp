@@ -2,6 +2,7 @@
 
 #include "runtime/Executor.h"
 
+#include "jit/JitCompiler.h"
 #include "lir/LIRAbsint.h"
 #include "lir/LIREval.h"
 #include "lir/LIRLowering.h"
@@ -11,9 +12,12 @@
 #include "support/Profile.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <list>
 
 using namespace hac;
@@ -55,6 +59,12 @@ struct LIRCacheImpl {
   struct Entry {
     Key K;
     lir::LIRProgram Prog;
+    /// The plan's native kernel (shared with the JitCompiler table), or
+    /// null while JIT is off / not yet requested for this entry.
+    std::shared_ptr<jit::KernelEntry> Jit;
+    bool Interpreted = false; ///< some run of this entry used the evaluator
+    bool SwapCounted = false; ///< the interp→native swap was tallied
+    bool JitWarned = false;   ///< the build-failure fallback was reported
   };
   std::list<Entry> Entries; ///< most recently used first
   size_t Capacity;
@@ -130,9 +140,11 @@ LIRCacheImpl::Key makeKey(const ExecPlan &Plan, bool ValidateReads,
 /// the sealed program's LoopBegin flags when a pool ran it, "serial"
 /// otherwise (a -j1 run of a doall-planned loop is a serial loop).
 void recordProfile(const ExecPlan &Plan, const lir::LIRProgram &P,
-                   const lir::EvalProfile &EP, bool Parallel) {
+                   const lir::EvalProfile &EP, bool Parallel,
+                   const char *Tier = "interp") {
   ProgramProfile PP;
   PP.Name = Plan.TargetName;
+  PP.Tier = Tier;
   PP.Runs = 1;
   PP.RootInstrs = EP.RootInstrs;
   PP.RootChecks = EP.RootChecks;
@@ -175,7 +187,8 @@ void recordProfile(const ExecPlan &Plan, const lir::LIRProgram &P,
 
 } // namespace
 
-Executor::Executor(ParamEnv Params) : Params(std::move(Params)) {}
+Executor::Executor(ParamEnv Params)
+    : Params(std::move(Params)), JitM(jit::jitModeFromEnv()) {}
 
 void Executor::setNumThreads(unsigned N) {
   if (N == 0)
@@ -219,13 +232,15 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
               TargetDims, std::move(InDims));
 
   const lir::LIRProgram *Prog = nullptr;
+  LIRCacheImpl::Entry *CacheEnt = nullptr;
   if (Plan.Id != 0) {
     for (auto It = Cache->Entries.begin(); It != Cache->Entries.end(); ++It)
       if (It->K == Key) {
         // Move-to-front keeps the list LRU-ordered; splicing does not
         // invalidate the program pointer.
         Cache->Entries.splice(Cache->Entries.begin(), Cache->Entries, It);
-        Prog = &Cache->Entries.front().Prog;
+        CacheEnt = &Cache->Entries.front();
+        Prog = &CacheEnt->Prog;
         break;
       }
     if (Prog) {
@@ -291,7 +306,8 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
         HAC_TRACE_COUNT("lir.cache.evictions");
       }
       Cache->Entries.push_front({std::move(Key), std::move(Local)});
-      Prog = &Cache->Entries.front().Prog;
+      CacheEnt = &Cache->Entries.front();
+      Prog = &CacheEnt->Prog;
     } else {
       Prog = &Local;
     }
@@ -303,32 +319,123 @@ bool Executor::runImpl(const ExecPlan &Plan, DoubleArray &Target,
   for (const std::string &Name : P.InputNames)
     InVec.push_back(Inputs.at(Name)->data());
 
-  // Node-splitting temporaries; peak bytes high-water as in the seed.
-  std::vector<std::vector<double>> Rings(P.RingSizes.size());
-  std::vector<std::vector<double>> Snaps(P.SnapSizes.size());
+  // Node-splitting temporary footprint. The high-water mark counts the
+  // same for either tier — native kernels calloc the same rings and
+  // snapshots internally.
   uint64_t TempBytes = 0;
-  for (size_t I = 0; I != P.RingSizes.size(); ++I) {
-    Rings[I].assign(P.RingSizes[I], 0.0);
+  for (size_t I = 0; I != P.RingSizes.size(); ++I)
     TempBytes += P.RingSizes[I] * sizeof(double);
-  }
-  for (size_t I = 0; I != P.SnapSizes.size(); ++I) {
-    Snaps[I].assign(P.SnapSizes[I], 0.0);
+  for (size_t I = 0; I != P.SnapSizes.size(); ++I)
     TempBytes += P.SnapSizes[I] * sizeof(double);
-  }
   if (TempBytes > Stats.TempBytes)
     Stats.TempBytes = TempBytes;
 
-  if (Threads > 1 && !Pool)
+  // Tiered execution: LIR-cacheable plans may run as native kernels.
+  // Validate-reads programs always interpret (CheckDefined is an
+  // evaluator-only debugging construct), as do uncached (Id == 0) plans.
+  const bool WantJit =
+      JitM != jit::JitMode::Off && CacheEnt != nullptr && !ValidateReads;
+  // Async compiles ride the pool's background lane, so a pool exists
+  // even for single-threaded executors (a 1-thread pool spawns no
+  // workers until something is submitted).
+  if ((Threads > 1 || (WantJit && JitM == jit::JitMode::Async)) && !Pool)
     Pool = std::make_shared<par::ThreadPool>(Threads);
+  if (WantJit && !CacheEnt->Jit) {
+    jit::JitCompiler &JC = JitC ? *JitC : jit::JitCompiler::global();
+    CacheEnt->Jit =
+        JC.acquire(P, Threads, JitM == jit::JitMode::Async, Pool.get());
+  }
+
   const bool Profiled = profileEnabled();
-  lir::EvalProfile EP;
-  bool OK = lir::evalLIR(P, Target, InVec, Rings, Snaps, Stats, Err,
-                         Threads > 1 ? Pool.get() : nullptr,
-                         Profiled ? &EP : nullptr);
-  if (Profiled)
-    recordProfile(Plan, P, EP, Threads > 1);
-  if (!OK)
-    return false;
+  bool RanNative = false;
+  if (WantJit && CacheEnt->Jit) {
+    jit::KernelEntry &KE = *CacheEnt->Jit;
+    const jit::KernelEntry::State St = KE.state();
+    if (St == jit::KernelEntry::Failed && !CacheEnt->JitWarned) {
+      // cc unavailable / emission refused: interpret forever, say why
+      // once.
+      std::fprintf(stderr,
+                   "hac: warning: jit disabled for plan '%s': %s\n",
+                   Plan.TargetName.c_str(), KE.Error.c_str());
+      CacheEnt->JitWarned = true;
+      ++JitE.Fallbacks;
+      HAC_TRACE_COUNT("jit.fallbacks");
+    }
+    if (St == jit::KernelEntry::Ready) {
+      jit::KernelFn Fn = KE.Fn.load(std::memory_order_acquire);
+      // Kernels with faulting checks report failure as an rc code, not
+      // a message; snapshot the pre-image so a failed native run can be
+      // replayed through the evaluator for the exact diagnostic (and
+      // the exact failure-path stats).
+      std::vector<double> PreData;
+      std::vector<uint8_t> PreDef;
+      if (KE.CanFail) {
+        PreData.assign(Target.data(), Target.data() + Target.size());
+        if (const uint8_t *D = Target.definedData())
+          PreDef.assign(D, D + Target.size());
+      }
+      unsigned long long KS[jit::KS_Count] = {0};
+      const auto T0 = std::chrono::steady_clock::now();
+      int Rc = Fn(Target.data(), InVec.data(), Target.definedData(), KS);
+      const uint64_t Nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+      if (Rc == 0) {
+        RanNative = true;
+        Stats.Loads += KS[jit::KS_Loads];
+        Stats.Stores += KS[jit::KS_Stores];
+        Stats.RingSaves += KS[jit::KS_RingSaves];
+        Stats.SnapshotCopies += KS[jit::KS_SnapshotCopies];
+        Stats.BoundsChecks += KS[jit::KS_BoundsChecks];
+        Stats.CollisionChecks += KS[jit::KS_CollisionChecks];
+        Stats.GuardEvals += KS[jit::KS_GuardEvals];
+        Stats.FusedIters += KS[jit::KS_FusedIters];
+        ++JitE.NativeRuns;
+        HAC_TRACE_COUNT("jit.native_runs");
+        if (CacheEnt->Interpreted && !CacheEnt->SwapCounted) {
+          CacheEnt->SwapCounted = true;
+          ++JitE.TierSwaps;
+          HAC_TRACE_COUNT("jit.tier_swaps");
+        }
+        if (Profiled) {
+          lir::EvalProfile EP;
+          EP.RootNanos = Nanos;
+          recordProfile(Plan, P, EP, Threads > 1, "native");
+        }
+      } else {
+        // Roll back and diagnose through the interpreter.
+        if (KE.CanFail) {
+          std::copy(PreData.begin(), PreData.end(), Target.data());
+          if (!PreDef.empty())
+            std::copy(PreDef.begin(), PreDef.end(), Target.definedData());
+        }
+        HAC_TRACE_COUNT("jit.native_faults");
+      }
+    }
+  }
+
+  if (!RanNative) {
+    std::vector<std::vector<double>> Rings(P.RingSizes.size());
+    std::vector<std::vector<double>> Snaps(P.SnapSizes.size());
+    for (size_t I = 0; I != P.RingSizes.size(); ++I)
+      Rings[I].assign(P.RingSizes[I], 0.0);
+    for (size_t I = 0; I != P.SnapSizes.size(); ++I)
+      Snaps[I].assign(P.SnapSizes[I], 0.0);
+    if (Threads > 1 && !Pool)
+      Pool = std::make_shared<par::ThreadPool>(Threads);
+    lir::EvalProfile EP;
+    bool OK = lir::evalLIR(P, Target, InVec, Rings, Snaps, Stats, Err,
+                           Threads > 1 ? Pool.get() : nullptr,
+                           Profiled ? &EP : nullptr);
+    if (CacheEnt)
+      CacheEnt->Interpreted = true;
+    ++JitE.InterpRuns;
+    if (Profiled)
+      recordProfile(Plan, P, EP, Threads > 1);
+    if (!OK)
+      return false;
+  }
 
   // Empties check (Section 4): every element must have a definition.
   if (P.CheckEmpties && Target.hasDefinedBits()) {

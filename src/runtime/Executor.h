@@ -20,6 +20,7 @@
 #define HAC_RUNTIME_EXECUTOR_H
 
 #include "codegen/ExecPlan.h"
+#include "jit/Jit.h"
 #include "runtime/DoubleArray.h"
 #include "runtime/ExecStats.h"
 
@@ -34,8 +35,20 @@ namespace hac {
 namespace par {
 class ThreadPool;
 }
+namespace jit {
+class JitCompiler;
+}
 
 struct LIRCacheImpl;
+
+/// Per-executor tallies of the tiered-execution decisions (mirrored
+/// onto the jit.* trace counters as they happen).
+struct JitExecStats {
+  uint64_t NativeRuns = 0; ///< runs executed by a compiled kernel
+  uint64_t InterpRuns = 0; ///< runs executed by the LIR evaluator
+  uint64_t TierSwaps = 0;  ///< plans that interpreted first, then went native
+  uint64_t Fallbacks = 0;  ///< kernels that failed to build (warned once each)
+};
 
 /// Counters of the per-executor lowered-LIR cache (mirrored onto the
 /// trace counters `lir.cache.{hits,misses,evictions}`).
@@ -85,6 +98,27 @@ public:
   void setNumThreads(unsigned N);
   unsigned numThreads() const { return Threads; }
 
+  /// Execution-tier policy (default: the HAC_JIT environment policy,
+  /// i.e. Off unless HAC_JIT=sync|async). Sync compiles a native kernel
+  /// before a plan's first run; Async keeps interpreting while cc runs
+  /// on the pool's background lane and hot-swaps once the kernel is
+  /// ready. Either way results are bit-identical to the evaluator:
+  /// kernels render the same post-pass LIR, execute the same residual
+  /// checks, and report the same ExecStats counter block. Plans without
+  /// a builder Id (not LIR-cacheable) and validate-reads runs always
+  /// interpret.
+  void setJitMode(jit::JitMode M) { JitM = M; }
+  jit::JitMode jitMode() const { return JitM; }
+
+  /// Overrides the kernel compiler (default: JitCompiler::global()).
+  /// Tests inject instances pointed at scratch cache directories; the
+  /// pointer is borrowed and must outlive the executor's runs.
+  void setJitCompiler(jit::JitCompiler *C) { JitC = C; }
+
+  /// Tier decisions made so far (native vs interpreted runs, hot swaps,
+  /// build-failure fallbacks).
+  const JitExecStats &jitStats() const { return JitE; }
+
   /// Runs \p Plan against \p Target. For construction plans the target
   /// must be freshly constructed with Plan.Dims; for in-place updates it
   /// holds the old contents. Returns false with \p Err set on a runtime
@@ -110,6 +144,9 @@ private:
   bool LIROptimize = true;
   bool LIRSecondChance = true;
   unsigned Threads = 1;
+  jit::JitMode JitM;
+  jit::JitCompiler *JitC = nullptr; ///< null means JitCompiler::global()
+  JitExecStats JitE;
   std::shared_ptr<par::ThreadPool> Pool;
   std::shared_ptr<LIRCacheImpl> Cache;
 };

@@ -49,7 +49,7 @@ bool ProfileSink::empty() const {
 /// Two profiles describe the same lowered program when every loop's
 /// static identity (variable, location, nesting) lines up.
 static bool sameShape(const ProgramProfile &A, const ProgramProfile &B) {
-  if (A.Name != B.Name || A.Loops.size() != B.Loops.size())
+  if (A.Name != B.Name || A.Tier != B.Tier || A.Loops.size() != B.Loops.size())
     return false;
   for (size_t I = 0; I < A.Loops.size(); ++I) {
     const ProfiledLoop &L = A.Loops[I], &R = B.Loops[I];
@@ -185,10 +185,16 @@ void ProfileSink::printTable(std::ostream &OS) const {
   }
 
   OS << "  --\n";
-  for (const ProgramProfile &P : Progs)
+  for (const ProgramProfile &P : Progs) {
     OS << "  " << P.Name << ": " << P.Runs << " run(s), "
        << msStr(P.RootNanos) << " ms, " << P.RootInstrs << " instrs, "
-       << P.RootChecks << " checks\n";
+       << P.RootChecks << " checks";
+    // Mark rows a JIT kernel executed; interpreter rows keep the format
+    // the smoke tests and goldens have always seen.
+    if (P.Tier != "interp")
+      OS << " [" << P.Tier << "]";
+    OS << "\n";
+  }
 
   if (PU.Jobs != 0) {
     OS << "  -- thread pool --\n";
@@ -213,6 +219,7 @@ void ProfileSink::writeJson(std::ostream &OS, unsigned Indent) const {
   for (size_t PI = 0; PI < Progs.size(); ++PI) {
     const ProgramProfile &P = Progs[PI];
     OS << (PI ? ",\n" : "\n") << Pad << "    {\"name\": " << jsonQuote(P.Name)
+       << ", \"tier\": " << jsonQuote(P.Tier)
        << ", \"runs\": " << P.Runs << ", \"root_instrs\": " << P.RootInstrs
        << ", \"root_checks\": " << P.RootChecks
        << ", \"root_nanos\": " << P.RootNanos << ", \"loops\": [";

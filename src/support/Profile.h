@@ -71,6 +71,10 @@ struct ProfiledLoop {
 /// accumulated across runs.
 struct ProgramProfile {
   std::string Name; ///< the target array name
+  /// The execution tier that ran: "interp" (the LIR evaluator) or
+  /// "native" (a JIT-compiled kernel). Part of the merge key, so a plan
+  /// that hot-swaps tiers mid-stream reports one row per tier.
+  std::string Tier = "interp";
   uint64_t Runs = 0;
   uint64_t RootInstrs = 0; ///< whole-program dispatched instructions
   uint64_t RootChecks = 0;

@@ -8,8 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "NativeKernel.h"
 #include "codegen/CEmitter.h"
+#include "jit/NativeBuild.h"
 #include "core/Compiler.h"
 
 #include <gtest/gtest.h>
@@ -24,10 +24,13 @@ using namespace hac;
 
 namespace {
 
-/// gtest shim over the shared cc + dlopen harness.
+using KernelFn = int (*)(double *, const double *const *);
+
+/// gtest shim over the shared jit/ cc + dlopen harness.
 KernelFn buildKernel(const std::string &Code, const std::string &FnName) {
   std::string Error;
-  KernelFn Fn = buildNativeKernel(Code, FnName, Error);
+  KernelFn Fn = reinterpret_cast<KernelFn>(
+      jit::buildNativeKernel(Code, FnName, Error));
   if (!Fn)
     ADD_FAILURE() << Error;
   return Fn;

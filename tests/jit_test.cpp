@@ -1,0 +1,510 @@
+//===- tests/jit_test.cpp - Native JIT backend tests ----------------------===//
+//
+// The tiered-execution subsystem end to end: env-knob parsing, content
+// keying, the on-disk kernel cache (hit / miss / evict / corrupt-entry
+// recovery), sync and async tier swaps on real compiled programs, exact
+// ExecStats parity between native kernels and the LIR evaluator, module
+// bindings running as kernels, and the cc-unavailable fallback.
+//
+// Every test injects a private JitCompiler pointed at a scratch cache
+// directory — nothing touches the user's ~/.cache or the process-global
+// compiler, so the suite is hermetic and re-runnable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/Module.h"
+#include "jit/Jit.h"
+#include "jit/JitCompiler.h"
+#include "jit/KernelCache.h"
+#include "jit/NativeBuild.h"
+#include "parallel/ThreadPool.h"
+#include "runtime/Executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace hac;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh scratch cache directory per test, removed on destruction.
+struct ScratchCacheDir {
+  fs::path Dir;
+  explicit ScratchCacheDir(const std::string &Tag) {
+    Dir = fs::temp_directory_path() /
+          ("hac-jit-test-" + Tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~ScratchCacheDir() {
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+  }
+  std::string str() const { return Dir.string(); }
+};
+
+CompiledArray mustCompile(const std::string &Source) {
+  Compiler C;
+  auto Compiled = C.compileArray(Source);
+  EXPECT_TRUE(Compiled.has_value()) << C.diags().str();
+  EXPECT_TRUE(Compiled->Thunkless) << Compiled->FallbackReason;
+  return std::move(*Compiled);
+}
+
+/// Runs \p Compiled twice — interpreter-only and under \p JC with the
+/// given tier policy — and requires bit-identical results plus an exact
+/// ExecStats counter match.
+void checkTierParity(const CompiledArray &Compiled, jit::JitCompiler &JC,
+                     jit::JitMode Mode, unsigned Threads = 1) {
+  Executor Interp(Compiled.Params);
+  Interp.setNumThreads(Threads);
+  DoubleArray Ref;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Ref, Interp, Err)) << Err;
+
+  Executor Jitted(Compiled.Params);
+  Jitted.setNumThreads(Threads);
+  Jitted.setJitMode(Mode);
+  Jitted.setJitCompiler(&JC);
+  DoubleArray Out;
+  ASSERT_TRUE(Compiled.evaluate(Out, Jitted, Err)) << Err;
+  if (Mode == jit::JitMode::Async) {
+    // Interpreted while cc ran; rerun until the kernel is swapped in.
+    JC.waitIdle();
+    ASSERT_TRUE(Compiled.evaluate(Out, Jitted, Err)) << Err;
+    EXPECT_GE(Jitted.jitStats().TierSwaps, 1u);
+  }
+  EXPECT_GE(Jitted.jitStats().NativeRuns, 1u);
+
+  ASSERT_EQ(Ref.size(), Out.size());
+  for (size_t I = 0; I != Ref.size(); ++I)
+    ASSERT_EQ(Ref[I], Out[I]) << "element " << I;
+
+  // Counter parity is per-run; compare against a fresh interpreter run
+  // so async's extra warm-up runs don't skew the totals.
+  Executor InterpOnce(Compiled.Params);
+  InterpOnce.setNumThreads(Threads);
+  ASSERT_TRUE(Compiled.evaluate(Ref, InterpOnce, Err)) << Err;
+  Executor NativeOnce(Compiled.Params);
+  NativeOnce.setNumThreads(Threads);
+  NativeOnce.setJitMode(jit::JitMode::Sync);
+  NativeOnce.setJitCompiler(&JC);
+  ASSERT_TRUE(Compiled.evaluate(Out, NativeOnce, Err)) << Err;
+  ASSERT_EQ(NativeOnce.jitStats().NativeRuns, 1u);
+  const ExecStats &A = InterpOnce.stats();
+  const ExecStats &B = NativeOnce.stats();
+  EXPECT_EQ(A.Loads, B.Loads);
+  EXPECT_EQ(A.Stores, B.Stores);
+  EXPECT_EQ(A.RingSaves, B.RingSaves);
+  EXPECT_EQ(A.SnapshotCopies, B.SnapshotCopies);
+  EXPECT_EQ(A.BoundsChecks, B.BoundsChecks);
+  EXPECT_EQ(A.CollisionChecks, B.CollisionChecks);
+  EXPECT_EQ(A.GuardEvals, B.GuardEvals);
+  EXPECT_EQ(A.FusedIters, B.FusedIters);
+}
+
+const char *WavefrontSource =
+    "let n = 24 in letrec* a = array ((1,1),(n,n)) "
+    "([ (1,j) := 1.0 | j <- [1..n] ] ++ "
+    " [ (i,1) := 1.0 | i <- [2..n] ] ++ "
+    " [ (i,j) := (a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1)) / 3.0 "
+    "   | i <- [2..n], j <- [2..n] ]) in a";
+
+const char *StrideSource =
+    "letrec* a = array (1,300) "
+    "([* [3*i := 1.0] ++ [3*i-1 := a!(3*(i-1)) + 1.0] ++ "
+    "[3*i-2 := a!(3*i) * 2.0] | i <- [2..100] *] "
+    "++ [ 1 := 2.0 ] ++ [ 2 := 3.0 ] ++ [ 3 := 1.0 ]) in a";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Env knob parsing
+//===----------------------------------------------------------------------===//
+
+TEST(JitEnvTest, ParseModeTable) {
+  struct Row {
+    const char *In;
+    bool OK;
+    jit::JitMode M;
+  };
+  const Row Table[] = {
+      {"off", true, jit::JitMode::Off},   {"0", true, jit::JitMode::Off},
+      {"sync", true, jit::JitMode::Sync}, {"1", true, jit::JitMode::Sync},
+      {"async", true, jit::JitMode::Async},
+      {"", false, jit::JitMode::Off},     {"ASYNC", false, jit::JitMode::Off},
+      {"on", false, jit::JitMode::Off},   {"2", false, jit::JitMode::Off},
+      {"sync ", false, jit::JitMode::Off},
+  };
+  for (const Row &R : Table) {
+    jit::JitMode M = jit::JitMode::Off;
+    EXPECT_EQ(jit::parseJitMode(R.In, M), R.OK) << "'" << R.In << "'";
+    if (R.OK)
+      EXPECT_EQ(M, R.M) << "'" << R.In << "'";
+  }
+  jit::JitMode M;
+  EXPECT_FALSE(jit::parseJitMode(nullptr, M));
+}
+
+TEST(JitEnvTest, ModeFromEnv) {
+  ::setenv("HAC_JIT", "async", 1);
+  EXPECT_EQ(jit::jitModeFromEnv(), jit::JitMode::Async);
+  ::setenv("HAC_JIT", "bogus", 1);
+  EXPECT_EQ(jit::jitModeFromEnv(), jit::JitMode::Off); // warns, disables
+  ::unsetenv("HAC_JIT");
+  EXPECT_EQ(jit::jitModeFromEnv(), jit::JitMode::Off);
+}
+
+TEST(JitEnvTest, CacheBytesFromEnv) {
+  ::unsetenv("HAC_JIT_CACHE_MB");
+  EXPECT_EQ(jit::cacheBytesFromEnv(), 256ull << 20);
+  ::setenv("HAC_JIT_CACHE_MB", "64", 1);
+  EXPECT_EQ(jit::cacheBytesFromEnv(), 64ull << 20);
+  ::setenv("HAC_JIT_CACHE_MB", "garbage", 1);
+  EXPECT_EQ(jit::cacheBytesFromEnv(), 256ull << 20); // warns, default
+  ::setenv("HAC_JIT_CACHE_MB", "12abc", 1);
+  EXPECT_EQ(jit::cacheBytesFromEnv(), 256ull << 20); // strict: no prefix
+  ::setenv("HAC_JIT_CACHE_MB", "0", 1);
+  EXPECT_EQ(jit::cacheBytesFromEnv(), 1ull << 20); // clamps up
+  ::setenv("HAC_JIT_CACHE_MB", "-5", 1);
+  EXPECT_EQ(jit::cacheBytesFromEnv(), 1ull << 20);
+  ::setenv("HAC_JIT_CACHE_MB", "999999", 1);
+  EXPECT_EQ(jit::cacheBytesFromEnv(), 65536ull << 20); // clamps down
+  ::unsetenv("HAC_JIT_CACHE_MB");
+}
+
+TEST(JitEnvTest, CacheDirFromEnv) {
+  ::setenv("HAC_JIT_CACHE", "/some/where", 1);
+  EXPECT_EQ(jit::cacheDirFromEnv(), "/some/where");
+  ::unsetenv("HAC_JIT_CACHE");
+  EXPECT_NE(jit::cacheDirFromEnv(), ""); // HOME or scratch fallback
+}
+
+//===----------------------------------------------------------------------===//
+// Content keys
+//===----------------------------------------------------------------------===//
+
+TEST(KernelKeyTest, StableAndSensitive) {
+  const jit::KernelKey A = jit::makeKernelKey("loop body", 0, false);
+  EXPECT_EQ(A.H, jit::makeKernelKey("loop body", 0, false).H);
+  EXPECT_EQ(A.hex().size(), 16u);
+  // Every key ingredient perturbs the hash.
+  EXPECT_NE(A.H, jit::makeKernelKey("loop body!", 0, false).H);
+  EXPECT_NE(A.H, jit::makeKernelKey("loop body", 8, false).H);
+  EXPECT_NE(A.H, jit::makeKernelKey("loop body", 8, true).H);
+}
+
+//===----------------------------------------------------------------------===//
+// Tiered execution
+//===----------------------------------------------------------------------===//
+
+TEST(JitExecTest, SyncNativeMatchesInterp) {
+  ScratchCacheDir D("sync");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  checkTierParity(mustCompile(WavefrontSource), JC, jit::JitMode::Sync);
+  EXPECT_GE(JC.stats().Compiles, 1u);
+}
+
+TEST(JitExecTest, SyncNativeMatchesInterpStride) {
+  ScratchCacheDir D("stride");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  checkTierParity(mustCompile(StrideSource), JC, jit::JitMode::Sync);
+}
+
+TEST(JitExecTest, AsyncTierSwapDeterministic) {
+  ScratchCacheDir D("async");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  checkTierParity(mustCompile(WavefrontSource), JC, jit::JitMode::Async);
+}
+
+TEST(JitExecTest, ParallelKernelsMatch) {
+  ScratchCacheDir D("par");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  checkTierParity(mustCompile(WavefrontSource), JC, jit::JitMode::Sync,
+                  /*Threads=*/4);
+}
+
+TEST(JitExecTest, StatsParityWithRuntimeChecks) {
+  // Check elimination off: all 16 bounds and collision checks stay in
+  // the program and must count identically from the native kernel.
+  CompileOptions Options;
+  Options.EnableCheckElimination = false;
+  Compiler C(Options);
+  auto Compiled = C.compileArray("let n = 16 in letrec* a = array (1,n) "
+                                 "[ i := i | i <- [1..n] ] in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless);
+  ASSERT_TRUE(Compiled->Plan.CheckStoreBounds);
+  ASSERT_TRUE(Compiled->Plan.CheckCollisions);
+  ScratchCacheDir D("stats");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  checkTierParity(*Compiled, JC, jit::JitMode::Sync);
+}
+
+TEST(JitExecTest, FailingCheckMatchesInterpreterExactly) {
+  // The guard does not prevent the collision; the kernel reports a
+  // nonzero rc, the executor rolls back the pre-image and replays
+  // through the evaluator — message and stats must match interp-only.
+  Compiler C;
+  auto Compiled = C.compileArray("let n = 10 in letrec* a = array (1,n) "
+                                 "[ i / 2 := 1.0 | i <- [2..n], i > 1 ] in a");
+  ASSERT_TRUE(Compiled && Compiled->Thunkless);
+  ASSERT_TRUE(Compiled->Plan.CheckCollisions);
+
+  Executor Interp(Compiled->Params);
+  DoubleArray Ref;
+  std::string InterpErr;
+  EXPECT_FALSE(Compiled->evaluate(Ref, Interp, InterpErr));
+
+  ScratchCacheDir D("fail");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  Executor Jitted(Compiled->Params);
+  Jitted.setJitMode(jit::JitMode::Sync);
+  Jitted.setJitCompiler(&JC);
+  DoubleArray Out;
+  std::string JitErr;
+  EXPECT_FALSE(Compiled->evaluate(Out, Jitted, JitErr));
+  EXPECT_EQ(InterpErr, JitErr);
+  EXPECT_NE(JitErr.find("collision"), std::string::npos) << JitErr;
+  EXPECT_EQ(Interp.stats().CollisionChecks, Jitted.stats().CollisionChecks);
+}
+
+//===----------------------------------------------------------------------===//
+// The kernel cache
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCacheTest, InMemoryHitOnSecondExecutor) {
+  ScratchCacheDir D("memhit");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  CompiledArray Compiled = mustCompile(WavefrontSource);
+  for (int I = 0; I != 2; ++I) {
+    Executor Exec(Compiled.Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&JC);
+    DoubleArray Out;
+    std::string Err;
+    ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+    EXPECT_EQ(Exec.jitStats().NativeRuns, 1u);
+  }
+  // One cc run total; the second executor found the table entry.
+  EXPECT_EQ(JC.stats().Compiles, 1u);
+  EXPECT_EQ(JC.stats().CacheMisses, 1u);
+  EXPECT_GE(JC.stats().CacheHits, 1u);
+}
+
+TEST(KernelCacheTest, DiskCacheWarmAcrossInstances) {
+  ScratchCacheDir D("diskwarm");
+  CompiledArray Compiled = mustCompile(WavefrontSource);
+  auto RunOnce = [&](jit::JitCompiler &JC) {
+    Executor Exec(Compiled.Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&JC);
+    DoubleArray Out;
+    std::string Err;
+    ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+    ASSERT_EQ(Exec.jitStats().NativeRuns, 1u);
+  };
+  {
+    jit::JitCompiler Cold({D.str(), 256ull << 20});
+    RunOnce(Cold);
+    EXPECT_EQ(Cold.stats().Compiles, 1u);
+  }
+  // A new process-equivalent: its in-memory table is empty, so a warm
+  // run must come off disk without spawning cc.
+  jit::JitCompiler Warm({D.str(), 256ull << 20});
+  RunOnce(Warm);
+  EXPECT_EQ(Warm.stats().Compiles, 0u);
+  EXPECT_EQ(Warm.stats().CacheHits, 1u);
+}
+
+TEST(KernelCacheTest, CorruptEntryRecovery) {
+  ScratchCacheDir D("corrupt");
+  CompiledArray Compiled = mustCompile(WavefrontSource);
+  auto RunOnce = [&](jit::JitCompiler &JC) {
+    Executor Exec(Compiled.Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&JC);
+    DoubleArray Out;
+    std::string Err;
+    ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+    ASSERT_EQ(Exec.jitStats().NativeRuns, 1u);
+  };
+  {
+    jit::JitCompiler Seed({D.str(), 256ull << 20});
+    RunOnce(Seed);
+  }
+  // Truncate every cached object to garbage; the meta sidecars still
+  // validate, so the corruption only shows up at dlopen time.
+  unsigned Mangled = 0;
+  for (const auto &E : fs::directory_iterator(D.Dir))
+    if (E.path().extension() == ".so") {
+      std::ofstream OS(E.path(), std::ios::trunc);
+      OS << "not an ELF object";
+      ++Mangled;
+    }
+  ASSERT_GE(Mangled, 1u);
+  jit::JitCompiler Recover({D.str(), 256ull << 20});
+  RunOnce(Recover); // must recompile, not crash
+  EXPECT_EQ(Recover.stats().Compiles, 1u);
+
+  // Mangled meta sidecar: detected at lookup, unlinked, recompiled.
+  for (const auto &E : fs::directory_iterator(D.Dir))
+    if (E.path().extension() == ".meta") {
+      std::ofstream OS(E.path(), std::ios::trunc);
+      OS << "hac-kernel 999\n";
+    }
+  jit::JitCompiler Recover2({D.str(), 256ull << 20});
+  RunOnce(Recover2);
+  EXPECT_EQ(Recover2.stats().Compiles, 1u);
+  EXPECT_GE(Recover2.stats().Corrupt, 1u);
+}
+
+TEST(KernelCacheTest, SizeCapEvicts) {
+  ScratchCacheDir D("evict");
+  // A 1-byte cap: every committed kernel immediately exceeds it, so
+  // committing a second key must evict the first.
+  jit::JitCompiler JC({D.str(), 1});
+  auto RunSource = [&](const char *Source) {
+    CompiledArray Compiled = mustCompile(Source);
+    Executor Exec(Compiled.Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&JC);
+    DoubleArray Out;
+    std::string Err;
+    ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+    ASSERT_EQ(Exec.jitStats().NativeRuns, 1u);
+  };
+  RunSource(WavefrontSource);
+  RunSource(StrideSource);
+  EXPECT_GE(JC.stats().Evictions, 1u);
+}
+
+TEST(KernelCacheTest, ManifestVersionMismatchPurges) {
+  ScratchCacheDir D("manifest");
+  CompiledArray Compiled = mustCompile(WavefrontSource);
+  {
+    jit::JitCompiler Seed({D.str(), 256ull << 20});
+    Executor Exec(Compiled.Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&Seed);
+    DoubleArray Out;
+    std::string Err;
+    ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  }
+  std::ofstream(D.Dir / "MANIFEST", std::ios::trunc)
+      << "hac-kernel-cache 9999\n";
+  jit::JitCompiler Fresh({D.str(), 256ull << 20});
+  {
+    Executor Exec(Compiled.Params);
+    Exec.setJitMode(jit::JitMode::Sync);
+    Exec.setJitCompiler(&Fresh);
+    DoubleArray Out;
+    std::string Err;
+    ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err;
+  }
+  // The first cache touch saw the foreign manifest, purged the stale
+  // entries wholesale, and restamped — so the run above recompiled
+  // rather than trusting the old object, and exactly one (fresh)
+  // kernel remains.
+  EXPECT_EQ(Fresh.stats().Compiles, 1u);
+  EXPECT_EQ(Fresh.stats().CacheHits, 0u);
+  std::ifstream Manifest(D.Dir / "MANIFEST");
+  std::string Line;
+  std::getline(Manifest, Line);
+  EXPECT_EQ(Line, "hac-kernel-cache 1");
+  unsigned Objects = 0;
+  for (const auto &E : fs::directory_iterator(D.Dir))
+    if (E.path().extension() == ".so")
+      ++Objects;
+  EXPECT_EQ(Objects, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fallbacks
+//===----------------------------------------------------------------------===//
+
+TEST(JitExecTest, CcUnavailableFallsBackGracefully) {
+  ScratchCacheDir D("nocc");
+  ::setenv("HAC_JIT_CC", "/nonexistent/not-a-compiler", 1);
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  CompiledArray Compiled = mustCompile(WavefrontSource);
+  Executor Exec(Compiled.Params);
+  Exec.setJitMode(jit::JitMode::Sync);
+  Exec.setJitCompiler(&JC);
+  DoubleArray Out;
+  std::string Err;
+  ASSERT_TRUE(Compiled.evaluate(Out, Exec, Err)) << Err; // interpreted
+  ::unsetenv("HAC_JIT_CC");
+  EXPECT_EQ(Exec.jitStats().NativeRuns, 0u);
+  EXPECT_GE(Exec.jitStats().InterpRuns, 1u);
+  EXPECT_EQ(Exec.jitStats().Fallbacks, 1u);
+  EXPECT_EQ(JC.stats().CompileFailures, 1u);
+
+  // The result is still correct.
+  Executor Interp(Compiled.Params);
+  DoubleArray Ref;
+  ASSERT_TRUE(Compiled.evaluate(Ref, Interp, Err)) << Err;
+  for (size_t I = 0; I != Ref.size(); ++I)
+    ASSERT_EQ(Ref[I], Out[I]);
+}
+
+TEST(JitExecTest, ValidateReadsAlwaysInterprets) {
+  ScratchCacheDir D("vreads");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  CompiledArray Compiled = mustCompile(WavefrontSource);
+  Executor Exec(Compiled.Params);
+  Exec.setValidateReads(true);
+  Exec.setJitMode(jit::JitMode::Sync);
+  Exec.setJitCompiler(&JC);
+  DoubleArray Out(Compiled.Dims);
+  Out.enableDefinedBits();
+  std::string Err;
+  ASSERT_TRUE(Exec.run(Compiled.Plan, Out, Err)) << Err;
+  EXPECT_EQ(Exec.jitStats().NativeRuns, 0u);
+  EXPECT_EQ(JC.stats().CacheMisses, 0u); // never even acquired
+}
+
+//===----------------------------------------------------------------------===//
+// Modules
+//===----------------------------------------------------------------------===//
+
+TEST(JitModuleTest, BindingsRunAsKernels) {
+  const char *Source =
+      "let n = 16 in\n"
+      "letrec* b = array (1,n) [ i := 2.0 * i | i <- [1..n] ];\n"
+      "        c = array (1,n) [ i := b!i + 1.0 | i <- [1..n] ];\n"
+      "        d = array (1,n) [ i := c!i * b!i | i <- [1..n] ]\n"
+      "in d";
+  ModuleCompiler MC;
+  auto M = MC.compileModule(Source);
+  ASSERT_TRUE(M.has_value()) << MC.diags().str();
+  ASSERT_TRUE(M->Thunkless) << M->FallbackReason;
+
+  Executor Interp(M->Params);
+  DoubleArray Ref;
+  std::string Err;
+  ASSERT_TRUE(evaluateModule(*M, {}, Interp, Ref, Err)) << Err;
+
+  ScratchCacheDir D("module");
+  jit::JitCompiler JC({D.str(), 256ull << 20});
+  Executor Jitted(M->Params);
+  Jitted.setJitMode(jit::JitMode::Sync);
+  Jitted.setJitCompiler(&JC);
+  DoubleArray Out;
+  ModuleRunStats Stats;
+  ASSERT_TRUE(evaluateModule(*M, {}, Jitted, Out, Err, &Stats)) << Err;
+
+  EXPECT_EQ(Stats.Arrays, 3u);
+  EXPECT_EQ(Stats.JitNativeRuns, 3u); // every binding went native
+  EXPECT_EQ(Stats.JitInterpRuns, 0u);
+  ASSERT_EQ(Ref.size(), Out.size());
+  for (size_t I = 0; I != Ref.size(); ++I)
+    ASSERT_EQ(Ref[I], Out[I]);
+  EXPECT_EQ(JC.stats().Compiles, 3u); // one kernel per binding
+}

@@ -16,8 +16,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "NativeKernel.h"
 #include "codegen/CEmitter.h"
+#include "jit/NativeBuild.h"
 #include "codegen/ShapeEstimate.h"
 #include "core/Compiler.h"
 #include "core/InterpBridge.h"
@@ -80,6 +80,8 @@ LoweredText lowerToText(const ExecPlan &Plan, const ArrayDims &Dims,
   R.After = lir::printLIR(R.Prog);
   return R;
 }
+
+using KernelFn = int (*)(double *, const double *const *);
 
 } // namespace
 
@@ -243,7 +245,8 @@ void diffConstruction(const std::string &Path, const std::string &Source,
   ASSERT_TRUE(Emitted.OK) << Path << "\n" << Emitted.Error;
   ASSERT_TRUE(Emitted.InputNames.empty()) << Path;
   std::string BuildErr;
-  KernelFn Fn = buildNativeKernel(Emitted.Code, "kernel", BuildErr);
+  KernelFn Fn = reinterpret_cast<KernelFn>(
+      jit::buildNativeKernel(Emitted.Code, "kernel", BuildErr));
   ASSERT_NE(Fn, nullptr) << Path << "\n" << BuildErr;
   DoubleArray Native(Compiled->Dims);
   if (Compiled->IsAccum)
@@ -305,7 +308,8 @@ void diffUpdate(const std::string &Path, const std::string &Source,
   CEmitResult Emitted = emitC(Plan, "kernel", Compiled->Params);
   ASSERT_TRUE(Emitted.OK) << Path << "\n" << Emitted.Error;
   std::string BuildErr;
-  KernelFn Fn = buildNativeKernel(Emitted.Code, "kernel", BuildErr);
+  KernelFn Fn = reinterpret_cast<KernelFn>(
+      jit::buildNativeKernel(Emitted.Code, "kernel", BuildErr));
   ASSERT_NE(Fn, nullptr) << Path << "\n" << BuildErr;
   DoubleArray Native = Start;
   ASSERT_EQ(Fn(Native.data(), nullptr), HAC_OK) << Path;
