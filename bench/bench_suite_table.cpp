@@ -279,6 +279,57 @@ void countParClasses(const std::vector<hac::PlanStmt> &Stmts,
   }
 }
 
+//===--------------------------------------------------------------------===//
+// E19: dependence-tier matrix (Omega on vs the omega-disabled foil)
+//===--------------------------------------------------------------------===//
+
+/// Compiles \p Source twice — with the Omega tier at its default step
+/// budget and with it disabled (the HAC_DEP_BUDGET=0 foil) — and prints
+/// which tier decided the reference pairs plus what the extra precision
+/// bought: the collision verdict, the execution mode, and the DOALL loop
+/// count.
+void depTierRow(const char *Name, const std::string &Source, bool Accum) {
+  auto Compile = [&](uint64_t OmegaBudget) {
+    CompileOptions CO;
+    CO.OmegaBudget = OmegaBudget;
+    Compiler C(CO);
+    return Accum ? C.compileAccum(Source) : C.compileArray(Source);
+  };
+  auto With = Compile(hac::omega::kDefaultBudget);
+  auto Without = Compile(0);
+  if (!With || !Without) {
+    std::printf("%-22s | compile error\n", Name);
+    return;
+  }
+  auto row = [&](const char *Variant, const CompiledArray &C) {
+    hac::DepTierCounts T = C.Graph.Tiers;
+    T += C.Collisions.Tiers;
+    unsigned Doall = 0, Wave = 0, Serial = 0;
+    if (C.Thunkless)
+      countParClasses(C.Plan.Stmts, Doall, Wave, Serial);
+    std::printf("%-22s | %-5s | %4llu | %8llu | %5llu | %5llu | %7llu | "
+                "%-10s | %-9s | %u\n",
+                Name, Variant, (unsigned long long)T.Gcd,
+                (unsigned long long)T.Banerjee, (unsigned long long)T.Omega,
+                (unsigned long long)T.Exact, (unsigned long long)T.Unknown,
+                checkOutcomeName(C.Collisions.NoCollisions),
+                C.Thunkless ? "thunkless" : "thunked", Doall);
+    benchJsonRow(std::string("deptier/") + Name,
+                 {{"variant", jsonQuote(Variant)},
+                  {"tier_gcd", std::to_string(T.Gcd)},
+                  {"tier_banerjee", std::to_string(T.Banerjee)},
+                  {"tier_omega", std::to_string(T.Omega)},
+                  {"tier_exact", std::to_string(T.Exact)},
+                  {"tier_unknown", std::to_string(T.Unknown)},
+                  {"collisions",
+                   jsonQuote(checkOutcomeName(C.Collisions.NoCollisions))},
+                  {"exec", C.Thunkless ? "\"thunkless\"" : "\"thunked\""},
+                  {"doall", std::to_string(Doall)}});
+  };
+  row("omega", *With);
+  row("foil", *Without);
+}
+
 /// Milliseconds per sweep, median-free quick measurement: \p Sweeps runs
 /// of \p Sweep after one warmup (which also populates the LIR cache).
 double msPerSweep(int Sweeps, const std::function<void()> &Sweep) {
@@ -365,6 +416,32 @@ int main() {
             "        c = array (1,n) [ i := b!i + 1.0 | i <- [1..n] ];\n"
             "        d = array (1,n) [ i := c!i * c!i | i <- [1..n] ]\n"
             "in d");
+
+  std::printf("\nE19: dependence-tier matrix (per-pair deciding tier "
+              "counts; foil = Omega tier disabled, HAC_DEP_BUDGET=0)\n\n");
+  std::printf("%-22s | %-5s | %4s | %8s | %5s | %5s | %7s | %-10s | %-9s "
+              "| %s\n",
+              "kernel", "tiers", "gcd", "banerjee", "omega", "exact",
+              "unknown", "collisions", "exec", "doall");
+  std::printf("%-22s-+-%-5s-+-%4s-+-%8s-+-%5s-+-%5s-+-%7s-+-%-10s-+-%-9s"
+              "-+------\n",
+              "----------------------", "-----", "----", "--------",
+              "-----", "-----", "-------", "----------", "---------");
+  depTierRow("squares",
+             "let n = 64 in letrec* a = array (1,n) "
+             "[ i := 1.0 * i * i | i <- [1..n] ] in a",
+             /*Accum=*/false);
+  depTierRow("wavefront", wavefrontSource(64), /*Accum=*/false);
+  depTierRow("sec5-ex1 (stride 3)", sec5Ex1Source(64), /*Accum=*/false);
+  depTierRow("coupled scatter",
+             "let n = 40 in letrec* a = accumArray (\\acc v . acc + v) "
+             "0.0 ((1,1),(2*n,3*n)) [ (i + j, i + 2*j) := 1.0 * i + 2.0 "
+             "* j | i <- [1..n], j <- [1..n] ] in a",
+             /*Accum=*/true);
+  depTierRow("histogram (collides)",
+             "let n = 64 in letrec* h = accumArray (\\a v . a + v) 0 "
+             "(1,8) [ i % 8 + 1 := 1 | i <- [1..n] ] in h",
+             /*Accum=*/true);
 
   std::printf("\nLoop IR lowering matrix (evaluator variant, n = 64)\n\n");
   std::printf("%-22s | %6s | %6s | %7s | %8s | %4s\n", "kernel", "before",

@@ -22,6 +22,12 @@
 //                        optimization passes; exit 1 on verifier errors
 //   hacc -dump-module F  print a multi-array program's inter-array DAG,
 //                        topological schedule, and buffer plan
+//   hacc -dump-deps FILE print the dependence graph per array: edges
+//                        with direction/distance vectors, the deciding
+//                        tier (gcd/banerjee/omega/exact), and exactness
+//   hacc -Xdep-budget=N  Omega dependence-tier step budget (0 disables
+//                        the tier; overrides HAC_DEP_BUDGET)
+//   hacc -Xdep-selfcheck cross-check Omega verdicts against brute force
 //
 // Programs whose letrec* binds two or more arrays are detected and
 // compiled as modules: each binding runs through the shared pipeline,
@@ -103,6 +109,17 @@ struct DriverOptions {
   bool TraceTree = false;
   bool Profile = false;
   bool Analyze = false;
+  /// -dump-deps: print the dependence graph with per-edge deciding-tier /
+  /// exactness / distance provenance and the per-tier decision counts;
+  /// composes with -analyze, -report, and module mode, and stops after
+  /// the dump otherwise.
+  bool DumpDeps = false;
+  /// -Xdep-selfcheck: cross-check every Omega dependence verdict against
+  /// brute-force enumeration; aborts on a mismatch.
+  bool DepSelfCheck = false;
+  /// -Xdep-budget=N: Omega step budget (0 disables the tier). -1 = unset,
+  /// which defers to HAC_DEP_BUDGET in the environment.
+  int64_t DepBudget = -1;
   bool WarningsAsErrors = false;
   /// -verify-lir / -no-verify-lir: the LIR abstract interpreter
   /// (HAC009–HAC012). -1 = unset, which defaults to on under -analyze
@@ -171,6 +188,14 @@ void applyDiagOptions(const DriverOptions &Opts, DiagnosticEngine &Diags) {
     Diags.setRuleEnabled(Rule, false);
 }
 
+/// Applies the dependence-engine knobs (-Xdep-budget, -Xdep-selfcheck)
+/// to the pipeline options. An explicit flag wins over HAC_DEP_BUDGET.
+void applyDepOptions(const DriverOptions &Opts, CompileOptions &CO) {
+  if (Opts.DepBudget >= 0)
+    CO.OmegaBudget = static_cast<uint64_t>(Opts.DepBudget);
+  CO.DepSelfCheck = Opts.DepSelfCheck;
+}
+
 /// Writes the SARIF document to Opts.SarifPath ("-" = stdout). Returns 0
 /// on success.
 int writeSarifTo(const DriverOptions &Opts, const DiagnosticEngine &Diags) {
@@ -230,8 +255,11 @@ void seedStandardCounters() {
   TraceSink &S = TraceSink::get();
   for (const char *Name :
        {"dep.gcd.independent", "dep.banerjee.independent",
+        "dep.omega.independent", "dep.omega.budget_exhausted",
         "dep.exact.independent", "dep.exact.budget_exhausted",
-        "dep.assumed.dependent"})
+        "dep.assumed.dependent", "dep.tier.gcd", "dep.tier.banerjee",
+        "dep.tier.omega", "dep.tier.exact", "dep.tier.unknown",
+        "dep.selfcheck.checked", "dep.selfcheck.mismatch"})
     S.count(Name, 0);
 }
 
@@ -529,6 +557,7 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
     CO.VerifyLIR = true;
     CO.VerifyLIRThreads = Opts.Threads;
   }
+  applyDepOptions(Opts, CO);
   Compiler TheCompiler(CO);
   applyDiagOptions(Opts, TheCompiler.diags());
   auto Compiled = Opts.Accum ? TheCompiler.compileAccum(Source)
@@ -552,6 +581,13 @@ int runArray(const DriverOptions &Opts, const std::string &Source) {
       writeTelemetry(Opts, Mode, false, "", nullAnalysis, nullptr,
                      "compile failed: " + TheCompiler.diags().str());
     return 1;
+  }
+  if (Opts.DumpDeps) {
+    if (!Opts.quiet())
+      std::printf("deps for '%s':\n%s", Compiled->Name.c_str(),
+                  Compiled->Graph.describe().c_str());
+    if (!Opts.Analyze && !Opts.ReportOnly)
+      return 0;
   }
   if (Opts.EmitCOnly) {
     if (!Compiled->Thunkless) {
@@ -705,6 +741,7 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
     CO.VerifyLIR = true;
     CO.VerifyLIRThreads = Opts.Threads;
   }
+  applyDepOptions(Opts, CO);
   Compiler TheCompiler(CO);
   applyDiagOptions(Opts, TheCompiler.diags());
   auto Compiled = TheCompiler.compileUpdate(Source);
@@ -722,6 +759,13 @@ int runUpdate(const DriverOptions &Opts, const std::string &Source) {
       writeTelemetry(Opts, "update", false, "", nullAnalysis, nullptr,
                      "compile failed: " + TheCompiler.diags().str());
     return 1;
+  }
+  if (Opts.DumpDeps) {
+    if (!Opts.quiet())
+      std::printf("deps for '%s':\n%s", Compiled->BaseName.c_str(),
+                  Compiled->Graph.describe().c_str());
+    if (!Opts.Analyze && !Opts.ReportOnly)
+      return 0;
   }
   if (Opts.EmitCOnly) {
     if (!Compiled->InPlace) {
@@ -822,6 +866,7 @@ int runModule(const DriverOptions &Opts, const std::string &Source) {
     CO.VerifyLIR = true;
     CO.VerifyLIRThreads = Opts.Threads;
   }
+  applyDepOptions(Opts, CO);
   ModuleCompiler MC(CO);
   applyDiagOptions(Opts, MC.diags());
   auto M = MC.compileModule(Source);
@@ -841,6 +886,17 @@ int runModule(const DriverOptions &Opts, const std::string &Source) {
   auto ModuleAnalysis = [&](std::ostream &OS) {
     writeModuleAnalysisJson(OS, *M);
   };
+
+  if (Opts.DumpDeps) {
+    if (!Opts.quiet())
+      for (unsigned B : M->TopoOrder) {
+        const ModuleBinding &MB = M->Bindings[B];
+        std::printf("deps for '%s':\n%s", MB.Name.c_str(),
+                    MB.Array.Graph.describe().c_str());
+      }
+    if (!Opts.Analyze && !Opts.ReportOnly && !Opts.DumpModule)
+      return 0;
+  }
 
   if (Opts.DumpModule) {
     std::printf("%s", M->dumpDag().c_str());
@@ -1010,6 +1066,23 @@ int main(int Argc, char **Argv) {
       Opts.DumpLIR = true;
     else if (std::strcmp(Argv[I], "-dump-module") == 0)
       Opts.DumpModule = true;
+    else if (std::strcmp(Argv[I], "-dump-deps") == 0)
+      Opts.DumpDeps = true;
+    else if (std::strcmp(Argv[I], "-Xdep-selfcheck") == 0)
+      Opts.DepSelfCheck = true;
+    else if (std::strncmp(Argv[I], "-Xdep-budget=", 13) == 0) {
+      std::string Warning;
+      uint64_t B = omega::parseDepBudget(Argv[I] + 13,
+                                         omega::kDefaultBudget, &Warning);
+      if (!Warning.empty() || Argv[I][13] == '\0') {
+        std::fprintf(stderr,
+                     "hacc: bad -Xdep-budget value '%s' (expected an "
+                     "integer in [0, 1000000000])\n",
+                     Argv[I] + 13);
+        return 1;
+      }
+      Opts.DepBudget = static_cast<int64_t>(B);
+    }
     else if (std::strcmp(Argv[I], "-selfcheck") == 0)
       Opts.SelfCheck = true;
     else if (std::strcmp(Argv[I], "-u") == 0)
@@ -1141,6 +1214,15 @@ int main(int Argc, char **Argv) {
                  "the optimization passes\n"
                  "  -dump-module print the inter-array DAG, topological "
                  "schedule, and buffer plan of a multi-array program\n"
+                 "  -dump-deps   print the dependence graph per array: "
+                 "edges with direction/distance vectors, the deciding "
+                 "analysis tier, and exactness (composes with -analyze, "
+                 "-report, and module mode)\n"
+                 "  -Xdep-budget=N  Omega (exact Presburger) dependence-"
+                 "tier step budget; 0 disables the tier (overrides "
+                 "HAC_DEP_BUDGET)\n"
+                 "  -Xdep-selfcheck cross-check every Omega verdict "
+                 "against brute-force enumeration; abort on mismatch\n"
                  "  -selfcheck   run the LIR evaluator and the compiled C "
                  "kernel; require bit-identical results\n"
                  "  -j N         evaluate with N worker threads (0 = "

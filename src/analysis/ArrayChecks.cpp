@@ -172,7 +172,7 @@ firstInstanceAssign(const ClauseNode *Clause) {
 
 CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
                                          const ParamEnv &Params,
-                                         uint64_t ExactBudget) {
+                                         const CollisionOptions &Opts) {
   HAC_TRACE_SPAN(Span, "collision-analysis");
   CollisionAnalysis Result;
   if (!Nest.Analyzable) {
@@ -216,28 +216,30 @@ CollisionAnalysis hac::analyzeCollisions(const CompNest &Nest,
       for (size_t D = 0; D != SubA.size(); ++D)
         P.Dims.emplace_back(SubA[D], SubB[D]);
 
-      for (const DirVector &Dirs : refineDirections(P)) {
-        if (I == J && allEq(Dirs))
+      DepTestOptions TestOpts;
+      TestOpts.ExactBudget = Opts.ExactBudget;
+      TestOpts.OmegaBudget = Opts.OmegaBudget;
+      TestOpts.SelfCheck = Opts.SelfCheck;
+      TestOpts.RefineDistances = false;
+      RefineResult RR = refineDirectionsTiered(P, TestOpts);
+      Result.Tiers += RR.Tiers;
+      for (const DepLeaf &L : RR.Leaves) {
+        if (I == J && allEq(L.Dirs))
           continue; // an instance does not collide with itself
         // Guarded clauses may drop instances: an exact witness is then
         // only "possible", never definite.
-        ExactStats ES;
-        TestResult R = exactTest(P, Dirs, ExactBudget, &ES);
-        if (R == TestResult::Independent)
-          continue;
-        if (R == TestResult::Definite && !A->isGuarded() &&
-            !B->isGuarded()) {
+        if (L.Definite && !A->isGuarded() && !B->isGuarded()) {
           Result.NoCollisions = CheckOutcome::Disproven;
           CollisionWitness W;
           W.ClauseA = A->id();
           W.ClauseB = B->id();
           W.LocA = A->loc();
           W.LocB = B->loc();
-          W.Dirs = Dirs;
+          W.Dirs = L.Dirs;
           Result.Witness = std::move(W);
           return Result;
         }
-        Pair.Dirs.push_back(Dirs);
+        Pair.Dirs.push_back(L.Dirs);
       }
       if (!Pair.Dirs.empty()) {
         AllProven = false;

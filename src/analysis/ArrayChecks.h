@@ -96,6 +96,8 @@ struct CollisionAnalysis {
   std::vector<UnresolvedCollision> Unresolved;
   /// Number of clause pairs that could not be fully resolved.
   unsigned UnresolvedPairs = 0;
+  /// Per-tier decision counts over every refined clause pair.
+  DepTierCounts Tiers;
 
   /// The witness prose, or "" when there is no witness.
   std::string witnessStr() const { return Witness ? Witness->str() : ""; }
@@ -188,11 +190,23 @@ struct ReadBoundsAnalysis {
 /// Array bounds per dimension, as (lo, hi) inclusive.
 using ArrayDims = std::vector<std::pair<int64_t, int64_t>>;
 
-/// Analyzes write collisions among the clauses of \p Nest (Section 7).
-/// \p ExactBudget bounds the exact-test work per clause pair.
+/// Options for the write-collision analysis.
+struct CollisionOptions {
+  /// Node budget for the bounded-exact enumeration tier per clause pair.
+  uint64_t ExactBudget = 200'000;
+  /// Step budget for the Omega tier (0 disables it). Defaults to the
+  /// HAC_DEP_BUDGET environment knob.
+  uint64_t OmegaBudget = omega::depBudgetFromEnv();
+  /// Cross-check Omega verdicts against brute force (`-Xdep-selfcheck`).
+  bool SelfCheck = false;
+};
+
+/// Analyzes write collisions among the clauses of \p Nest (Section 7)
+/// through the tiered dependence pipeline (GCD -> Banerjee -> Omega ->
+/// bounded exact).
 CollisionAnalysis analyzeCollisions(const CompNest &Nest,
                                     const ParamEnv &Params,
-                                    uint64_t ExactBudget = 200'000);
+                                    const CollisionOptions &Opts = {});
 
 /// Analyzes empties and bounds for \p Nest defining an array with
 /// \p Dims (Section 4). Uses \p Collisions for condition (1).

@@ -31,6 +31,25 @@ std::string DepEdge::str() const {
   return OS.str();
 }
 
+std::string DepEdge::describe() const {
+  std::ostringstream OS;
+  OS << str() << " tier=" << depTierName(Tier)
+     << (Definite ? " definite" : " maybe");
+  if (HasDistBounds) {
+    OS << " dist=(";
+    for (size_t K = 0; K != DistLo.size(); ++K) {
+      if (K)
+        OS << ',';
+      if (DistLo[K] == DistHi[K])
+        OS << DistLo[K];
+      else
+        OS << '[' << DistLo[K] << ".." << DistHi[K] << ']';
+    }
+    OS << ')';
+  }
+  return OS.str();
+}
+
 std::vector<const DepEdge *> DepGraph::edgesOfKind(DepKind Kind) const {
   std::vector<const DepEdge *> Result;
   for (const DepEdge &E : Edges)
@@ -47,6 +66,33 @@ std::string DepGraph::str() const {
     OS << "  (unknown reference: " << UnknownRefReason << ")\n";
   for (const DepEdge &E : Edges)
     OS << "  " << E.str() << "\n";
+  return OS.str();
+}
+
+std::string DepGraph::describe() const {
+  std::ostringstream OS;
+  OS << "depgraph: " << NumClauses << " clauses, " << Edges.size()
+     << " edges";
+  OS << " (tiers: gcd=" << Tiers.Gcd << " banerjee=" << Tiers.Banerjee
+     << " omega=" << Tiers.Omega << " exact=" << Tiers.Exact
+     << " unknown=" << Tiers.Unknown << ")\n";
+  if (HasUnknownRef)
+    OS << "  (unknown reference: " << UnknownRefReason << ")\n";
+  if (NonAffinePairs)
+    OS << "  (" << NonAffinePairs << " non-affine pair(s))\n";
+  for (const DepEdge &E : Edges)
+    OS << "  " << E.describe() << "\n";
+  for (const DepPrecisionNote &N : PrecisionNotes) {
+    OS << "  note: pair " << N.Src << "/" << N.Dst << " "
+       << depKindName(N.Kind) << ": omega refuted";
+    for (const DirVector &D : N.Refuted)
+      OS << " " << dirVectorToString(D);
+    OS << " past banerjee\n";
+  }
+  for (const DepBudgetNote &N : BudgetNotes)
+    OS << "  note: pair " << N.Src << "/" << N.Dst << " "
+       << depKindName(N.Kind) << ": omega budget exhausted on "
+       << N.System << "\n";
   return OS.str();
 }
 
@@ -359,17 +405,22 @@ public:
     if (!Src.Affine || !Snk.Affine ||
         Src.Subscript.size() != Snk.Subscript.size()) {
       ++G.NonAffinePairs;
+      ++G.Tiers.Unknown;
       emit(SrcId, DstId, Kind, DirVector(NumShared, Dir::Any),
            sharedLoops(Src, Snk), nullptr, {}, {});
       return;
     }
 
     DepProblem P = makeProblem(Src, Snk);
-    for (const DirVector &Dirs : refineDirections(P, Options.ExactBudget)) {
-      if (SkipAllEqSelf && SrcId == DstId && allEq(Dirs))
+    RefineResult RR = refine(P);
+    recordNotes(Src, Snk, Kind, RR);
+    for (const DepLeaf &L : RR.Leaves) {
+      if (SkipAllEqSelf && SrcId == DstId && allEq(L.Dirs))
         continue;
-      emit(SrcId, DstId, Kind, Dirs, P.SharedLoops, ReadRef, Src.Subscript,
-           Snk.Subscript);
+      emit(SrcId, DstId, Kind, L.Dirs, P.SharedLoops, ReadRef, Src.Subscript,
+           Snk.Subscript, L.Tier, L.Definite,
+           L.HasDistBounds ? L.DistLo : std::vector<int64_t>(),
+           L.HasDistBounds ? L.DistHi : std::vector<int64_t>());
     }
   }
 
@@ -385,13 +436,31 @@ public:
     if (!W1.Affine || !W2.Affine ||
         W1.Subscript.size() != W2.Subscript.size()) {
       ++G.NonAffinePairs;
+      ++G.Tiers.Unknown;
       emit(Id1, Id2, DepKind::Output, DirVector(NumShared, Dir::Any),
            sharedLoops(W1, W2), nullptr, {}, {});
       return;
     }
 
     DepProblem P = makeProblem(W1, W2);
-    for (const DirVector &Dirs : refineDirections(P, Options.ExactBudget)) {
+    RefineResult RR = refine(P);
+    recordNotes(W1, W2, DepKind::Output, RR);
+    for (const DepLeaf &L : RR.Leaves) {
+      const DirVector &Dirs = L.Dirs;
+      // Flipping an edge swaps source and sink, so sink-minus-source
+      // distance bounds negate and swap.
+      auto FwdLo = [&] {
+        return L.HasDistBounds ? L.DistLo : std::vector<int64_t>();
+      };
+      auto FwdHi = [&] {
+        return L.HasDistBounds ? L.DistHi : std::vector<int64_t>();
+      };
+      auto FlipLo = [&] {
+        return L.HasDistBounds ? negVec(L.DistHi) : std::vector<int64_t>();
+      };
+      auto FlipHi = [&] {
+        return L.HasDistBounds ? negVec(L.DistLo) : std::vector<int64_t>();
+      };
       if (Id1 == Id2) {
         if (allEq(Dirs))
           continue; // an instance trivially "collides" with itself
@@ -401,11 +470,13 @@ public:
                          [](Dir D) { return D != Dir::Eq; });
         if (FirstNonEq != Dirs.end() && *FirstNonEq == Dir::Gt) {
           emit(Id1, Id1, DepKind::Output, flipDirs(Dirs), P.SharedLoops,
-               nullptr, W2.Subscript, W1.Subscript);
+               nullptr, W2.Subscript, W1.Subscript, L.Tier, L.Definite,
+               FlipLo(), FlipHi());
           continue;
         }
         emit(Id1, Id1, DepKind::Output, Dirs, P.SharedLoops, nullptr,
-             W1.Subscript, W2.Subscript);
+             W1.Subscript, W2.Subscript, L.Tier, L.Definite, FwdLo(),
+             FwdHi());
         continue;
       }
       // Cross-clause: if the colliding W2 instance is iteration-earlier
@@ -414,10 +485,12 @@ public:
                                      [](Dir D) { return D != Dir::Eq; });
       if (FirstNonEq != Dirs.end() && *FirstNonEq == Dir::Gt)
         emit(Id2, Id1, DepKind::Output, flipDirs(Dirs), P.SharedLoops,
-             nullptr, W2.Subscript, W1.Subscript);
+             nullptr, W2.Subscript, W1.Subscript, L.Tier, L.Definite,
+             FlipLo(), FlipHi());
       else
         emit(Id1, Id2, DepKind::Output, Dirs, P.SharedLoops, nullptr,
-             W1.Subscript, W2.Subscript);
+             W1.Subscript, W2.Subscript, L.Tier, L.Definite, FwdLo(),
+             FwdHi());
     }
   }
 
@@ -434,9 +507,54 @@ private:
                                          A.Clause->loops().begin() + K);
   }
 
+  static std::vector<int64_t> negVec(const std::vector<int64_t> &V) {
+    std::vector<int64_t> Out;
+    Out.reserve(V.size());
+    for (int64_t X : V)
+      Out.push_back(-X);
+    return Out;
+  }
+
+  RefineResult refine(const DepProblem &P) {
+    DepTestOptions TO;
+    TO.ExactBudget = Options.ExactBudget;
+    TO.OmegaBudget = Options.OmegaBudget;
+    TO.SelfCheck = Options.SelfCheck;
+    return refineDirectionsTiered(P, TO);
+  }
+
+  /// Accumulates tier stats and the HAC013/HAC014 evidence of one
+  /// refined reference pair into the graph.
+  void recordNotes(const ArrayAccess &Src, const ArrayAccess &Snk,
+                   DepKind Kind, const RefineResult &RR) {
+    G.Tiers += RR.Tiers;
+    if (!RR.OmegaRefuted.empty()) {
+      DepPrecisionNote N;
+      N.Src = Src.Clause->id();
+      N.Dst = Snk.Clause->id();
+      N.Kind = Kind;
+      N.Refuted = RR.OmegaRefuted;
+      N.SrcLoc = Src.Clause->loc();
+      N.DstLoc = Snk.Clause->loc();
+      G.PrecisionNotes.push_back(std::move(N));
+    }
+    if (RR.OmegaBudgetExhausted) {
+      DepBudgetNote N;
+      N.Src = Src.Clause->id();
+      N.Dst = Snk.Clause->id();
+      N.Kind = Kind;
+      N.System = RR.ExhaustedSystem;
+      N.SrcLoc = Src.Clause->loc();
+      G.BudgetNotes.push_back(std::move(N));
+    }
+  }
+
   void emit(unsigned Src, unsigned Dst, DepKind Kind, DirVector Dirs,
             std::vector<const LoopNode *> Shared, const Expr *ReadRef,
-            std::vector<AffineForm> SrcSub, std::vector<AffineForm> DstSub) {
+            std::vector<AffineForm> SrcSub, std::vector<AffineForm> DstSub,
+            DepTier Tier = DepTier::Unknown, bool Definite = false,
+            std::vector<int64_t> DistLo = {},
+            std::vector<int64_t> DistHi = {}) {
     DepEdge E;
     E.Src = Src;
     E.Dst = Dst;
@@ -446,6 +564,13 @@ private:
     E.ReadRef = ReadRef;
     E.SrcSub = std::move(SrcSub);
     E.DstSub = std::move(DstSub);
+    E.Tier = Tier;
+    E.Definite = Definite;
+    if (!DistLo.empty() && DistLo.size() == E.Dirs.size()) {
+      E.HasDistBounds = true;
+      E.DistLo = std::move(DistLo);
+      E.DistHi = std::move(DistHi);
+    }
     // Distinct reads of the same element pattern produce edges with the
     // same printed form; keep them distinct when the read expression
     // differs so node splitting can redirect each read individually.
@@ -534,8 +659,27 @@ bool hac::edgeCarriedAt(const DepEdge &E, const LoopNode *Loop) {
 bool hac::uniformDistance(const DepEdge &E, std::vector<int64_t> &Delta) {
   const size_t N = E.SharedLoops.size();
   Delta.assign(N, 0);
-  if (N == 0 || E.Dirs.size() != N || E.SrcSub.empty() ||
-      E.SrcSub.size() != E.DstSub.size())
+  if (N == 0 || E.Dirs.size() != N)
+    return false;
+
+  // Omega-refined distance bounds pinned to a point give the uniform
+  // distance directly — including for coupled subscripts, where the
+  // coefficient-matching derivation below cannot apply.
+  if (E.HasDistBounds && E.DistLo.size() == N && E.DistLo == E.DistHi) {
+    bool Consistent = true;
+    for (size_t K = 0; K != N && Consistent; ++K) {
+      int64_t V = E.DistLo[K];
+      Consistent = !(E.Dirs[K] == Dir::Eq && V != 0) &&
+                   !(E.Dirs[K] == Dir::Lt && V < 1) &&
+                   !(E.Dirs[K] == Dir::Gt && V > -1);
+    }
+    if (Consistent) {
+      Delta = E.DistLo;
+      return true;
+    }
+  }
+
+  if (E.SrcSub.empty() || E.SrcSub.size() != E.DstSub.size())
     return false;
 
   // '=' directions pin their components to zero; the rest are unknowns.

@@ -63,8 +63,23 @@ struct DepEdge {
   std::vector<AffineForm> SrcSub;
   std::vector<AffineForm> DstSub;
 
+  /// Provenance: the tier that confirmed (or failed to refute) this edge.
+  DepTier Tier = DepTier::Unknown;
+  /// True when a witness instance pair is known to exist (the edge is a
+  /// real dependence, not a conservative assumption).
+  bool Definite = false;
+  /// Omega-refined distance bounds per shared loop (sink minus source),
+  /// valid when HasDistBounds. DistLo[k] == DistHi[k] everywhere means a
+  /// uniform distance the parallel planner can use directly.
+  bool HasDistBounds = false;
+  std::vector<int64_t> DistLo, DistHi;
+
   /// Renders e.g. "2 -> 1 (=,>) flow".
   std::string str() const;
+  /// One-line rendering with tier/exactness/distance provenance for
+  /// `hacc -dump-deps`, e.g. "2 -> 1 (=,>) flow tier=omega definite
+  /// dist=(0,1)".
+  std::string describe() const;
 };
 
 /// One array reference collected from a clause.
@@ -108,6 +123,32 @@ struct DepGraphOptions {
   /// When nonzero, surviving direction-vector leaves are screened with the
   /// exact test using this node budget.
   uint64_t ExactBudget = 100'000;
+  /// Step budget for the Omega tier (0 disables it). Defaults to the
+  /// HAC_DEP_BUDGET environment knob.
+  uint64_t OmegaBudget = omega::depBudgetFromEnv();
+  /// Cross-check Omega verdicts against brute force (`-Xdep-selfcheck`).
+  bool SelfCheck = false;
+};
+
+/// HAC013 evidence: one reference pair where the conservative tiers said
+/// "maybe" but the Omega tier refuted every such direction vector it saw.
+struct DepPrecisionNote {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  DepKind Kind = DepKind::Flow;
+  /// The refuted fully refined direction vectors.
+  std::vector<DirVector> Refuted;
+  SourceLoc SrcLoc, DstLoc;
+};
+
+/// HAC014 evidence: one reference pair where an Omega query exhausted its
+/// step budget; System renders the constraint system it gave up on.
+struct DepBudgetNote {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  DepKind Kind = DepKind::Flow;
+  std::string System;
+  SourceLoc SrcLoc;
 };
 
 /// The resulting graph plus analysis telemetry.
@@ -119,12 +160,20 @@ struct DepGraph {
   /// Number of reference pairs whose subscripts were not affine (each
   /// produced one conservative all-'*' edge).
   unsigned NonAffinePairs = 0;
+  /// Per-tier decision counts over every refined reference pair.
+  DepTierCounts Tiers;
+  /// Precision-audit (HAC013) and budget-exhaustion (HAC014) evidence.
+  std::vector<DepPrecisionNote> PrecisionNotes;
+  std::vector<DepBudgetNote> BudgetNotes;
 
   /// Edges of one kind.
   std::vector<const DepEdge *> edgesOfKind(DepKind Kind) const;
 
   /// Multi-line rendering for tests and the depgraph tool.
   std::string str() const;
+  /// Multi-line rendering with per-edge provenance and per-tier counts
+  /// (`hacc -dump-deps`).
+  std::string describe() const;
 };
 
 /// Builds the dependence graph for \p Nest defining / updating array

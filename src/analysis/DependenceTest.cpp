@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 using namespace hac;
@@ -405,10 +407,273 @@ TestResult hac::exactTest(const DepProblem &P, const DirVector &Dirs,
   return Searcher.run(Local);
 }
 
-std::vector<DirVector> hac::refineDirections(const DepProblem &P,
-                                             uint64_t ExactBudget) {
-  std::vector<DirVector> Result;
+//===----------------------------------------------------------------------===//
+// Tiered refinement
+//===----------------------------------------------------------------------===//
+
+const char *hac::depTierName(DepTier T) {
+  switch (T) {
+  case DepTier::Gcd:
+    return "gcd";
+  case DepTier::Banerjee:
+    return "banerjee";
+  case DepTier::Omega:
+    return "omega";
+  case DepTier::Exact:
+    return "exact";
+  case DepTier::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+omega::System hac::buildOmegaSystem(const DepProblem &P,
+                                    const DirVector &Dirs,
+                                    OmegaVarMap *Vars) {
+  assert(Dirs.size() == P.SharedLoops.size() &&
+         "direction vector arity mismatch");
+  omega::System S;
+  std::vector<unsigned> X(P.SharedLoops.size()), Y(P.SharedLoops.size());
+  for (size_t K = 0; K != P.SharedLoops.size(); ++K) {
+    const LoopNode *L = P.SharedLoops[K];
+    int64_t M = L->bounds().tripCount();
+    X[K] = S.addVar("x_" + L->var());
+    S.addRange(X[K], 1, M);
+    if (Dirs[K] == Dir::Eq) {
+      // Same iteration: share one variable.
+      Y[K] = X[K];
+      continue;
+    }
+    Y[K] = S.addVar("y_" + L->var());
+    S.addRange(Y[K], 1, M);
+    if (Dirs[K] == Dir::Lt)
+      S.addGe({{Y[K], 1}, {X[K], -1}}, -1); // y - x >= 1
+    else if (Dirs[K] == Dir::Gt)
+      S.addGe({{X[K], 1}, {Y[K], -1}}, -1); // x - y >= 1
+  }
+  std::vector<unsigned> U, V;
+  for (const LoopNode *L : P.SrcOnlyLoops) {
+    U.push_back(S.addVar("x_" + L->var()));
+    S.addRange(U.back(), 1, L->bounds().tripCount());
+  }
+  for (const LoopNode *L : P.SinkOnlyLoops) {
+    V.push_back(S.addVar("y_" + L->var()));
+    S.addRange(V.back(), 1, L->bounds().tripCount());
+  }
+  // One equality per dimension: F(x) - G(y) = 0.
+  for (const auto &[F, G] : P.Dims) {
+    std::vector<std::pair<unsigned, int64_t>> Terms;
+    for (size_t K = 0; K != P.SharedLoops.size(); ++K) {
+      if (int64_t A = F.coeff(P.SharedLoops[K]))
+        Terms.emplace_back(X[K], A);
+      if (int64_t B = G.coeff(P.SharedLoops[K]))
+        Terms.emplace_back(Y[K], -B);
+    }
+    for (size_t K = 0; K != P.SrcOnlyLoops.size(); ++K)
+      if (int64_t A = F.coeff(P.SrcOnlyLoops[K]))
+        Terms.emplace_back(U[K], A);
+    for (size_t K = 0; K != P.SinkOnlyLoops.size(); ++K)
+      if (int64_t B = G.coeff(P.SinkOnlyLoops[K]))
+        Terms.emplace_back(V[K], -B);
+    S.addEq(Terms, F.Const - G.Const);
+  }
+  if (Vars) {
+    Vars->Src = std::move(X);
+    Vars->Snk = std::move(Y);
+  }
+  return S;
+}
+
+namespace {
+
+/// Refines per-loop distance bounds of an Omega-proven leaf by binary
+/// search on augmented satisfiability queries. Leaves L untouched when a
+/// query degrades to Unknown.
+void refineDistanceBounds(const DepProblem &P, const DirVector &Dirs,
+                          uint64_t Budget, DepLeaf &L) {
+  size_t N = P.SharedLoops.size();
+  if (N > 4)
+    return; // diminishing returns; keep query volume bounded
+  std::vector<int64_t> Lo(N), Hi(N);
+  // Q(K, T, Ge): is the system satisfiable with y_K - x_K >= T (Ge) or
+  // y_K - x_K <= T (!Ge) added?
+  auto Q = [&](size_t K, int64_t T, bool Ge) -> int {
+    OmegaVarMap Vars;
+    omega::System Sys = buildOmegaSystem(P, Dirs, &Vars);
+    if (Ge)
+      Sys.addGe({{Vars.Snk[K], 1}, {Vars.Src[K], -1}}, -T);
+    else
+      Sys.addGe({{Vars.Src[K], 1}, {Vars.Snk[K], -1}}, T);
+    switch (omega::satisfiable(Sys, Budget)) {
+    case omega::SatResult::Sat:
+      return 1;
+    case omega::SatResult::Unsat:
+      return 0;
+    case omega::SatResult::Unknown:
+      break;
+    }
+    return -1;
+  };
+  for (size_t K = 0; K != N; ++K) {
+    int64_t M = P.SharedLoops[K]->bounds().tripCount();
+    if (M > (int64_t{1} << 30))
+      return;
+    int64_t DLo = 0, DHi = 0;
+    switch (Dirs[K]) {
+    case Dir::Eq:
+      Lo[K] = Hi[K] = 0;
+      continue;
+    case Dir::Lt:
+      DLo = 1;
+      DHi = M - 1;
+      break;
+    case Dir::Gt:
+      DLo = -(M - 1);
+      DHi = -1;
+      break;
+    case Dir::Any:
+      DLo = -(M - 1);
+      DHi = M - 1;
+      break;
+    }
+    // Largest T with Sat(d >= T); the direction constraint makes
+    // Q(DLo, >=) trivially true for a Sat base system.
+    int64_t A = DLo, B = DHi;
+    while (A < B) {
+      int64_t Mid = A + (B - A + 1) / 2;
+      int R = Q(K, Mid, true);
+      if (R < 0)
+        return;
+      R ? A = Mid : B = Mid - 1;
+    }
+    Hi[K] = A;
+    // Smallest T with Sat(d <= T).
+    A = DLo, B = Hi[K];
+    while (A < B) {
+      int64_t Mid = A + (B - A) / 2;
+      int R = Q(K, Mid, false);
+      if (R < 0)
+        return;
+      R ? B = Mid : A = Mid + 1;
+    }
+    Lo[K] = A;
+  }
+  L.HasDistBounds = true;
+  L.DistLo = std::move(Lo);
+  L.DistHi = std::move(Hi);
+}
+
+/// `-Xdep-selfcheck`: cross-checks an Omega verdict against brute-force
+/// enumeration when the iteration space is small enough to enumerate.
+/// A mismatch is an analysis soundness bug; fail fast.
+void selfCheckVerdict(const DepProblem &P, const DirVector &Dirs,
+                      omega::SatResult SR) {
+  __int128 Space = 1;
+  constexpr int64_t kMaxSpace = 2'000'000;
+  for (const LoopNode *L : P.SharedLoops)
+    Space *= static_cast<__int128>(L->bounds().tripCount()) *
+             L->bounds().tripCount();
+  for (const LoopNode *L : P.SrcOnlyLoops)
+    Space *= L->bounds().tripCount();
+  for (const LoopNode *L : P.SinkOnlyLoops)
+    Space *= L->bounds().tripCount();
+  if (Space > kMaxSpace)
+    return;
+  ExactStats ES;
+  TestResult R = exactTest(P, Dirs, 8'000'000, &ES);
+  if (R == TestResult::Possible)
+    return; // enumeration gave up; nothing to compare
+  HAC_TRACE_COUNT("dep.selfcheck.checked");
+  bool OmegaIndep = SR == omega::SatResult::Unsat;
+  bool ExactIndep = R == TestResult::Independent;
+  if (OmegaIndep != ExactIndep) {
+    HAC_TRACE_COUNT("dep.selfcheck.mismatch");
+    std::fprintf(stderr,
+                 "hac: dep-selfcheck mismatch for %s: omega says %s, "
+                 "brute force says %s\n",
+                 dirVectorToString(Dirs).c_str(), omega::satResultName(SR),
+                 testResultName(R));
+    std::abort();
+  }
+}
+
+} // namespace
+
+RefineResult hac::refineDirectionsTiered(const DepProblem &P,
+                                         const DepTestOptions &Opts) {
+  RefineResult Res;
   DirVector Dirs(P.SharedLoops.size(), Dir::Any);
+
+  // Decides one fully refined vector through the remaining tiers
+  // (GCD+Banerjee already passed on the way down).
+  auto DecideLeaf = [&] {
+    if (Opts.OmegaBudget != 0) {
+      omega::System Sys = buildOmegaSystem(P, Dirs);
+      omega::OmegaStats OS;
+      omega::SatResult SR = omega::satisfiable(Sys, Opts.OmegaBudget, &OS);
+      Res.OmegaSteps += OS.Steps;
+      if (Opts.SelfCheck && SR != omega::SatResult::Unknown)
+        selfCheckVerdict(P, Dirs, SR);
+      if (SR == omega::SatResult::Unsat) {
+        // The precision audit: conservative tiers said maybe, the exact
+        // tier refuted (HAC013 evidence).
+        HAC_TRACE_COUNT("dep.omega.independent");
+        HAC_TRACE_COUNT("dep.tier.omega");
+        ++Res.Tiers.Omega;
+        Res.OmegaRefuted.push_back(Dirs);
+        return;
+      }
+      if (SR == omega::SatResult::Sat) {
+        HAC_TRACE_COUNT("dep.tier.omega");
+        ++Res.Tiers.Omega;
+        HAC_TRACE_COUNT("dep.assumed.dependent");
+        DepLeaf L;
+        L.Dirs = Dirs;
+        L.Tier = DepTier::Omega;
+        L.Definite = true;
+        if (Opts.RefineDistances)
+          refineDistanceBounds(P, Dirs, Opts.OmegaBudget, L);
+        Res.Leaves.push_back(std::move(L));
+        return;
+      }
+      // Unknown: remember the first exhausted system as the HAC014
+      // witness and fall through to the enumeration tier.
+      HAC_TRACE_COUNT("dep.omega.budget_exhausted");
+      if (!Res.OmegaBudgetExhausted) {
+        Res.OmegaBudgetExhausted = true;
+        Res.ExhaustedSystem = Sys.str();
+      }
+    }
+
+    DepLeaf L;
+    L.Dirs = Dirs;
+    if (Opts.ExactBudget != 0) {
+      ExactStats Stats;
+      TestResult R = exactTest(P, Dirs, Opts.ExactBudget, &Stats);
+      HAC_TRACE_COUNT("dep.exact.nodes", Stats.NodesVisited);
+      if (R == TestResult::Independent) {
+        HAC_TRACE_COUNT("dep.exact.independent");
+        HAC_TRACE_COUNT("dep.tier.exact");
+        ++Res.Tiers.Exact;
+        return;
+      }
+      if (Stats.BudgetExhausted)
+        HAC_TRACE_COUNT("dep.exact.budget_exhausted");
+      if (R == TestResult::Definite) {
+        HAC_TRACE_COUNT("dep.tier.exact");
+        ++Res.Tiers.Exact;
+        HAC_TRACE_COUNT("dep.assumed.dependent");
+        L.Tier = DepTier::Exact;
+        L.Definite = true;
+        Res.Leaves.push_back(std::move(L));
+        return;
+      }
+    }
+    HAC_TRACE_COUNT("dep.tier.unknown");
+    ++Res.Tiers.Unknown;
+    HAC_TRACE_COUNT("dep.assumed.dependent");
+    Res.Leaves.push_back(std::move(L));
+  };
 
   // Depth-first refinement: prune a whole subtree as soon as the combined
   // necessary test proves independence for its partial vector. Each query
@@ -419,26 +684,18 @@ std::vector<DirVector> hac::refineDirections(const DepProblem &P,
   std::function<void(size_t)> Go = [&](size_t Pos) {
     if (gcdTest(P, Dirs) == TestResult::Independent) {
       HAC_TRACE_COUNT("dep.gcd.independent");
+      HAC_TRACE_COUNT("dep.tier.gcd");
+      ++Res.Tiers.Gcd;
       return;
     }
     if (banerjeeTest(P, Dirs) == TestResult::Independent) {
       HAC_TRACE_COUNT("dep.banerjee.independent");
+      HAC_TRACE_COUNT("dep.tier.banerjee");
+      ++Res.Tiers.Banerjee;
       return;
     }
     if (Pos == Dirs.size()) {
-      if (ExactBudget != 0) {
-        ExactStats Stats;
-        TestResult R = exactTest(P, Dirs, ExactBudget, &Stats);
-        HAC_TRACE_COUNT("dep.exact.nodes", Stats.NodesVisited);
-        if (R == TestResult::Independent) {
-          HAC_TRACE_COUNT("dep.exact.independent");
-          return;
-        }
-        if (Stats.BudgetExhausted)
-          HAC_TRACE_COUNT("dep.exact.budget_exhausted");
-      }
-      HAC_TRACE_COUNT("dep.assumed.dependent");
-      Result.push_back(Dirs);
+      DecideLeaf();
       return;
     }
     for (Dir D : {Dir::Lt, Dir::Eq, Dir::Gt}) {
@@ -448,5 +705,19 @@ std::vector<DirVector> hac::refineDirections(const DepProblem &P,
     Dirs[Pos] = Dir::Any;
   };
   Go(0);
+  return Res;
+}
+
+std::vector<DirVector> hac::refineDirections(const DepProblem &P,
+                                             uint64_t ExactBudget) {
+  DepTestOptions Opts;
+  Opts.ExactBudget = ExactBudget;
+  Opts.OmegaBudget = omega::depBudgetFromEnv();
+  Opts.RefineDistances = false;
+  RefineResult R = refineDirectionsTiered(P, Opts);
+  std::vector<DirVector> Result;
+  Result.reserve(R.Leaves.size());
+  for (DepLeaf &L : R.Leaves)
+    Result.push_back(std::move(L.Dirs));
   return Result;
 }

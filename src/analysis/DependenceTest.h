@@ -31,6 +31,7 @@
 #define HAC_ANALYSIS_DEPENDENCETEST_H
 
 #include "analysis/AffineExpr.h"
+#include "analysis/Omega.h"
 
 #include <cstdint>
 #include <string>
@@ -109,10 +110,110 @@ TestResult exactTest(const DepProblem &P, const DirVector &Dirs,
 /// independence under \p Dirs.
 TestResult hierTest(const DepProblem &P, const DirVector &Dirs);
 
+//===----------------------------------------------------------------------===//
+// Tiered refinement (GCD -> Banerjee -> Omega -> bounded exact)
+//===----------------------------------------------------------------------===//
+
+/// The analysis tier that decided (or failed to decide) a direction
+/// vector. Ordered from cheapest/most conservative to most precise.
+enum class DepTier : uint8_t {
+  Gcd,      ///< refuted by the GCD test
+  Banerjee, ///< refuted by the Banerjee inequality test
+  Omega,    ///< decided by the exact Presburger (Omega) tier
+  Exact,    ///< decided by the bounded-exact enumeration tier
+  Unknown,  ///< no tier decided: conservatively assumed dependent
+};
+
+const char *depTierName(DepTier T);
+
+/// Knobs for the tiered refinement pipeline.
+struct DepTestOptions {
+  /// Node budget for the bounded-exact enumeration tier; 0 disables it.
+  uint64_t ExactBudget = 0;
+  /// Step budget for the Omega tier; 0 disables it (the HAC_DEP_BUDGET=0
+  /// foil).
+  uint64_t OmegaBudget = omega::kDefaultBudget;
+  /// Cross-check every Omega verdict against brute-force enumeration when
+  /// the iteration space is small enough; aborts on a mismatch
+  /// (`-Xdep-selfcheck`).
+  bool SelfCheck = false;
+  /// Refine per-loop distance bounds of Omega-proven leaves by constraint
+  /// augmentation (binary search on satisfiability).
+  bool RefineDistances = true;
+};
+
+/// One surviving fully refined direction vector.
+struct DepLeaf {
+  DirVector Dirs;
+  /// The tier whose verdict this leaf carries: Omega/Exact when proven
+  /// Definite, Unknown when merely assumed.
+  DepTier Tier = DepTier::Unknown;
+  /// True when a witness solution is known to exist (exact provenance).
+  bool Definite = false;
+  /// Distance bounds per shared loop (sink index minus source index),
+  /// valid when HasDistBounds; DistLo[k] == DistHi[k] for every k means a
+  /// uniform (constant) dependence distance.
+  bool HasDistBounds = false;
+  std::vector<int64_t> DistLo, DistHi;
+};
+
+/// Per-tier decision counts (mirrors the dep.tier.* trace counters, but
+/// available without tracing for the bench tables and -dump-deps).
+struct DepTierCounts {
+  uint64_t Gcd = 0;      ///< subtrees pruned by the GCD test
+  uint64_t Banerjee = 0; ///< subtrees pruned by the Banerjee test
+  uint64_t Omega = 0;    ///< leaves the Omega tier decided (either way)
+  uint64_t Exact = 0;    ///< leaves the enumeration tier decided
+  uint64_t Unknown = 0;  ///< leaves assumed dependent without proof
+
+  DepTierCounts &operator+=(const DepTierCounts &O) {
+    Gcd += O.Gcd;
+    Banerjee += O.Banerjee;
+    Omega += O.Omega;
+    Exact += O.Exact;
+    Unknown += O.Unknown;
+    return *this;
+  }
+};
+
+/// Result of tiered direction-vector refinement for one reference pair.
+struct RefineResult {
+  std::vector<DepLeaf> Leaves;
+  DepTierCounts Tiers;
+  /// Fully refined vectors that GCD+Banerjee passed but Omega refuted:
+  /// the precision-audit evidence behind HAC013.
+  std::vector<DirVector> OmegaRefuted;
+  /// True when some Omega query ran out of budget (HAC014);
+  /// ExhaustedSystem renders the first such constraint system.
+  bool OmegaBudgetExhausted = false;
+  std::string ExhaustedSystem;
+  uint64_t OmegaSteps = 0;
+};
+
+/// Maps DepProblem variables to Omega system columns (per shared loop).
+struct OmegaVarMap {
+  std::vector<unsigned> Src, Snk;
+};
+
+/// Builds the Presburger constraint system of the dependence equation
+/// under \p Dirs: one pair of bounded variables per shared loop (one
+/// shared variable for '='), one per unshared loop, one equality per
+/// subscript dimension, plus the direction inequalities.
+omega::System buildOmegaSystem(const DepProblem &P, const DirVector &Dirs,
+                               OmegaVarMap *Vars = nullptr);
+
+/// Search-tree refinement through the full tier pipeline. Each pruned or
+/// surviving vector feeds the dep.tier.* trace counters with the deciding
+/// tier.
+RefineResult refineDirectionsTiered(const DepProblem &P,
+                                    const DepTestOptions &Opts);
+
 /// Search-tree refinement of direction vectors over P.SharedLoops.
 /// Returns every fully refined vector (no '*') that the combined
 /// GCD+Banerjee test cannot rule out; when \p ExactBudget is nonzero each
-/// surviving leaf is additionally screened by the exact test.
+/// surviving leaf is additionally screened by the exact test. The Omega
+/// tier runs at its HAC_DEP_BUDGET-configured budget. (Compatibility
+/// wrapper over refineDirectionsTiered.)
 std::vector<DirVector> refineDirections(const DepProblem &P,
                                         uint64_t ExactBudget = 0);
 

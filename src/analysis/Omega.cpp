@@ -1,0 +1,534 @@
+//===- analysis/Omega.cpp - Exact Presburger dependence solver ------------===//
+
+#include "analysis/Omega.h"
+
+#include "support/IntMath.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+
+using namespace hac;
+using namespace hac::omega;
+
+//===----------------------------------------------------------------------===//
+// System construction and rendering
+//===----------------------------------------------------------------------===//
+
+unsigned System::addVar(std::string Name) {
+  Names.push_back(std::move(Name));
+  for (Constraint &C : Cons)
+    C.C.push_back(0);
+  return static_cast<unsigned>(Names.size() - 1);
+}
+
+void System::add(bool IsEq,
+                 const std::vector<std::pair<unsigned, int64_t>> &Terms,
+                 int64_t K) {
+  Constraint C;
+  C.IsEq = IsEq;
+  C.C.assign(Names.size(), 0);
+  for (auto [V, Coef] : Terms) {
+    assert(V < Names.size() && "constraint over unknown variable");
+    C.C[V] += Coef;
+  }
+  C.K = K;
+  Cons.push_back(std::move(C));
+}
+
+void System::addEq(const std::vector<std::pair<unsigned, int64_t>> &Terms,
+                   int64_t K) {
+  add(true, Terms, K);
+}
+
+void System::addGe(const std::vector<std::pair<unsigned, int64_t>> &Terms,
+                   int64_t K) {
+  add(false, Terms, K);
+}
+
+void System::addRange(unsigned Var, int64_t Lo, int64_t Hi) {
+  addGe({{Var, 1}}, -Lo); // x - Lo >= 0
+  addGe({{Var, -1}}, Hi); // Hi - x >= 0
+}
+
+std::string System::str() const {
+  std::string S = "{ ";
+  bool FirstCon = true;
+  for (const Constraint &C : Cons) {
+    if (!FirstCon)
+      S += "; ";
+    FirstCon = false;
+    bool FirstTerm = true;
+    for (unsigned V = 0; V != C.C.size(); ++V) {
+      int64_t A = C.C[V];
+      if (A == 0)
+        continue;
+      if (FirstTerm) {
+        if (A < 0)
+          S += '-';
+      } else {
+        S += A < 0 ? " - " : " + ";
+      }
+      FirstTerm = false;
+      int64_t Abs = A < 0 ? -A : A;
+      if (Abs != 1)
+        S += std::to_string(Abs) + '*';
+      S += Names[V];
+    }
+    if (FirstTerm)
+      S += '0';
+    if (C.K > 0)
+      S += " + " + std::to_string(C.K);
+    else if (C.K < 0)
+      S += " - " + std::to_string(-C.K);
+    S += C.IsEq ? " = 0" : " >= 0";
+  }
+  S += " }";
+  return S;
+}
+
+const char *hac::omega::satResultName(SatResult R) {
+  switch (R) {
+  case SatResult::Unsat:
+    return "unsat";
+  case SatResult::Sat:
+    return "sat";
+  case SatResult::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Solver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int64_t kMaxCoef = std::numeric_limits<int64_t>::max() / 4;
+
+/// Floor division for possibly negative numerators.
+int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B > 0);
+  int64_t Q = A / B, R = A % B;
+  return R < 0 ? Q - 1 : Q;
+}
+
+/// The symmetric residue of A modulo M, in (-M/2, M/2].
+int64_t symMod(int64_t A, int64_t M) {
+  assert(M > 0);
+  int64_t R = A - M * floorDiv(A, M); // in [0, M)
+  return R > M / 2 ? R - M : R;      // note: for even M keeps M/2 positive
+}
+
+/// A*B + C*D with overflow detection; nullopt on overflow.
+std::optional<int64_t> mulAdd(int64_t A, int64_t B, int64_t C, int64_t D) {
+  __int128 R = static_cast<__int128>(A) * B + static_cast<__int128>(C) * D;
+  if (R > kMaxCoef || R < -kMaxCoef)
+    return std::nullopt;
+  return static_cast<int64_t>(R);
+}
+
+class Solver {
+public:
+  Solver(uint64_t Budget, OmegaStats &Stats) : Budget(Budget), Stats(Stats) {}
+
+  SatResult solve(std::vector<Constraint> Cons) {
+    if (!charge(1))
+      return SatResult::Unknown;
+
+    // Normalize + eliminate equalities to a fixed point.
+    for (;;) {
+      SatResult R = normalize(Cons);
+      if (R != SatResult::Sat)
+        return R == SatResult::Unsat ? SatResult::Unsat : R;
+      int EqIdx = -1;
+      for (size_t I = 0; I != Cons.size(); ++I)
+        if (Cons[I].IsEq) {
+          EqIdx = static_cast<int>(I);
+          break;
+        }
+      if (EqIdx < 0)
+        break;
+      if (!eliminateEquality(Cons, static_cast<size_t>(EqIdx)))
+        return SatResult::Unknown;
+    }
+
+    // Pure inequality system: exact integer Fourier-Motzkin.
+    return fourierMotzkin(std::move(Cons));
+  }
+
+private:
+  uint64_t Budget;
+  OmegaStats &Stats;
+
+  /// Consumes \p N steps; false once the budget is gone.
+  bool charge(uint64_t N) {
+    Stats.Steps += N;
+    if (Stats.Steps > Budget) {
+      Stats.BudgetExhausted = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// GCD-reduces every constraint, tightens inequality constants, drops
+  /// trivially true constraints. Returns Unsat on a contradiction, Sat
+  /// when the system may still have solutions (possibly empty == Sat for
+  /// the zero-constraint system), Unknown on budget exhaustion.
+  SatResult normalize(std::vector<Constraint> &Cons) {
+    std::vector<Constraint> Out;
+    Out.reserve(Cons.size());
+    for (Constraint &C : Cons) {
+      if (!charge(1))
+        return SatResult::Unknown;
+      int64_t G = 0;
+      for (int64_t A : C.C)
+        G = gcd64(G, A);
+      if (G == 0) {
+        // Constant constraint.
+        if (C.IsEq ? C.K != 0 : C.K < 0)
+          return SatResult::Unsat;
+        continue;
+      }
+      if (G != 1) {
+        if (C.IsEq) {
+          if (C.K % G != 0)
+            return SatResult::Unsat; // the gcd test, as a special case
+          C.K /= G;
+        } else {
+          C.K = floorDiv(C.K, G); // integer tightening
+        }
+        for (int64_t &A : C.C)
+          A /= G;
+      }
+      Out.push_back(std::move(C));
+    }
+    Cons = std::move(Out);
+    return SatResult::Sat;
+  }
+
+  /// Eliminates the equality at \p Idx. Unit-coefficient equalities
+  /// substitute directly; otherwise Pugh's modulo trick introduces a
+  /// fresh variable sigma whose defining equality has a unit coefficient.
+  /// Returns false on budget exhaustion or overflow.
+  bool eliminateEquality(std::vector<Constraint> &Cons, size_t Idx) {
+    const Constraint &E = Cons[Idx];
+    // Variable with the smallest nonzero |coefficient|.
+    int Var = -1;
+    int64_t Best = 0;
+    for (unsigned V = 0; V != E.C.size(); ++V) {
+      int64_t A = E.C[V] < 0 ? -E.C[V] : E.C[V];
+      if (A != 0 && (Var < 0 || A < Best)) {
+        Var = static_cast<int>(V);
+        Best = A;
+      }
+    }
+    assert(Var >= 0 && "normalized equality has a nonzero coefficient");
+
+    if (Best == 1)
+      return substitute(Cons, Idx, static_cast<unsigned>(Var));
+
+    // No unit coefficient: let m = |a_k| + 1 and add the defining
+    // equality of sigma = (sum symMod(a_i, m) x_i + symMod(c, m)) / m,
+    // which is integral because symMod(a, m) == a (mod m). Its x_k
+    // coefficient is symMod(+-(m-1), m) = -+1, so x_k substitutes away
+    // and the original equality's coefficients shrink geometrically.
+    if (!charge(E.C.size() + 1))
+      return false;
+    int64_t M = Best + 1;
+    Constraint Def;
+    Def.IsEq = true;
+    Def.C.reserve(E.C.size() + 1);
+    for (int64_t A : E.C)
+      Def.C.push_back(symMod(A, M));
+    Def.C.push_back(-M); // the fresh sigma column
+    Def.K = symMod(E.K, M);
+    for (Constraint &C : Cons)
+      C.C.push_back(0);
+    size_t DefIdx = Cons.size();
+    Cons.push_back(std::move(Def));
+    return substitute(Cons, DefIdx, static_cast<unsigned>(Var));
+  }
+
+  /// Substitutes variable \p Var away using the equality at \p Idx, whose
+  /// coefficient of Var must be +-1, then removes that equality.
+  bool substitute(std::vector<Constraint> &Cons, size_t Idx, unsigned Var) {
+    Constraint Def = std::move(Cons[Idx]);
+    Cons.erase(Cons.begin() + static_cast<ptrdiff_t>(Idx));
+    int64_t U = Def.C[Var];
+    assert((U == 1 || U == -1) && "substitution needs a unit coefficient");
+    // x_Var = -U * (sum_{i != Var} Def.C[i] x_i + Def.K)
+    for (Constraint &C : Cons) {
+      int64_t T = C.C[Var];
+      if (T == 0)
+        continue;
+      if (!charge(C.C.size()))
+        return false;
+      for (unsigned V = 0; V != C.C.size(); ++V) {
+        if (V == Var)
+          continue;
+        auto R = mulAdd(C.C[V], 1, -T * U, Def.C[V]);
+        if (!R)
+          return overflow();
+        C.C[V] = *R;
+      }
+      auto R = mulAdd(C.K, 1, -T * U, Def.K);
+      if (!R)
+        return overflow();
+      C.K = *R;
+      C.C[Var] = 0;
+    }
+    return true;
+  }
+
+  bool overflow() {
+    // Coefficient blowup is treated exactly like budget exhaustion: the
+    // query degrades to Unknown, never to a wrong verdict.
+    Stats.BudgetExhausted = true;
+    Stats.Steps = Budget + 1;
+    return false;
+  }
+
+  /// Picks the next variable to eliminate from a pure inequality system
+  /// and classifies the elimination. Returns false when no variable has a
+  /// nonzero coefficient (the system is variable-free).
+  struct ElimChoice {
+    unsigned Var = 0;
+    bool Free = false;  ///< only lower or only upper bounds: drop them
+    bool Exact = false; ///< every lower/upper pair has a unit coefficient
+  };
+  static bool chooseVariable(const std::vector<Constraint> &Cons,
+                             unsigned NumVars, ElimChoice &Out) {
+    bool Found = false;
+    uint64_t BestCost = 0;
+    int BestRank = -1; // 2 = free, 1 = exact, 0 = inexact
+    for (unsigned V = 0; V != NumVars; ++V) {
+      uint64_t Lo = 0, Hi = 0;
+      bool LoUnit = true, HiUnit = true;
+      for (const Constraint &C : Cons) {
+        if (C.C[V] > 0) {
+          ++Lo;
+          LoUnit &= C.C[V] == 1;
+        } else if (C.C[V] < 0) {
+          ++Hi;
+          HiUnit &= C.C[V] == -1;
+        }
+      }
+      if (Lo + Hi == 0)
+        continue;
+      bool Free = Lo == 0 || Hi == 0;
+      bool Exact = LoUnit || HiUnit;
+      int Rank = Free ? 2 : Exact ? 1 : 0;
+      uint64_t Cost = Free ? Lo + Hi : Lo * Hi;
+      if (!Found || Rank > BestRank ||
+          (Rank == BestRank && Cost < BestCost)) {
+        Found = true;
+        Out.Var = V;
+        Out.Free = Free;
+        Out.Exact = Exact;
+        BestRank = Rank;
+        BestCost = Cost;
+      }
+    }
+    return Found;
+  }
+
+  /// Exact integer Fourier-Motzkin over a pure inequality system.
+  SatResult fourierMotzkin(std::vector<Constraint> Cons) {
+    for (;;) {
+      SatResult R = normalize(Cons);
+      if (R != SatResult::Sat)
+        return R;
+      if (Cons.empty())
+        return SatResult::Sat;
+      unsigned NumVars = static_cast<unsigned>(Cons[0].C.size());
+      ElimChoice Choice;
+      if (!chooseVariable(Cons, NumVars, Choice))
+        return SatResult::Sat; // normalize() kept only satisfied constants
+
+      if (Choice.Free) {
+        // Only one-sided bounds: the variable can always be chosen to
+        // satisfy them, so projection just drops its constraints.
+        std::vector<Constraint> Next;
+        for (Constraint &C : Cons)
+          if (C.C[Choice.Var] == 0)
+            Next.push_back(std::move(C));
+        Cons = std::move(Next);
+        continue;
+      }
+
+      // Cons stays intact: the splinter branch below re-solves it with an
+      // added equality.
+      std::vector<Constraint> Lowers, Uppers, Rest;
+      for (const Constraint &C : Cons) {
+        if (C.C[Choice.Var] > 0)
+          Lowers.push_back(C);
+        else if (C.C[Choice.Var] < 0)
+          Uppers.push_back(C);
+        else
+          Rest.push_back(C);
+      }
+
+      // Combine every lower bound (a x + L >= 0, a > 0) with every upper
+      // bound (-b x + U >= 0, b > 0): the real shadow is b L + a U >= 0,
+      // the dark shadow subtracts (a-1)(b-1). They coincide exactly when
+      // every pair has a unit coefficient on one side.
+      bool AllExact = true;
+      std::vector<Constraint> Dark = Rest;
+      std::vector<Constraint> Real; // only filled when some pair differs
+      for (const Constraint &LC : Lowers) {
+        int64_t A = LC.C[Choice.Var];
+        for (const Constraint &UC : Uppers) {
+          int64_t B = -UC.C[Choice.Var];
+          if (!charge(LC.C.size()))
+            return SatResult::Unknown;
+          Constraint Comb;
+          Comb.IsEq = false;
+          Comb.C.resize(LC.C.size());
+          for (unsigned V = 0; V != LC.C.size(); ++V) {
+            auto R2 = mulAdd(B, LC.C[V], A, UC.C[V]);
+            if (!R2)
+              return unknownOverflow();
+            Comb.C[V] = *R2;
+          }
+          auto K2 = mulAdd(B, LC.K, A, UC.K);
+          if (!K2)
+            return unknownOverflow();
+          Comb.K = *K2;
+          assert(Comb.C[Choice.Var] == 0);
+          int64_t Gap = (A - 1) * (B - 1);
+          if (Gap != 0)
+            AllExact = false;
+          if (!Real.empty() || Gap != 0) {
+            if (Real.empty())
+              Real = Dark; // diverge: copy the pairs combined so far
+            Real.push_back(Comb);
+          }
+          Comb.K -= Gap;
+          Dark.push_back(std::move(Comb));
+        }
+      }
+
+      if (AllExact) {
+        Cons = std::move(Dark);
+        continue; // dark == real: the projection is exact
+      }
+
+      // Inexact elimination: dark shadow is sufficient, real shadow is
+      // necessary, splinters close the gap.
+      SatResult DarkR = solve(Dark);
+      if (DarkR == SatResult::Sat)
+        return SatResult::Sat;
+      SatResult RealR = solve(Real);
+      if (RealR == SatResult::Unsat)
+        return SatResult::Unsat;
+      if (DarkR == SatResult::Unknown || RealR == SatResult::Unknown)
+        return SatResult::Unknown;
+
+      // Dark unsat but real sat: any integer solution hugs a lower
+      // bound: a x + L = i for some lower bound and some
+      // 0 <= i <= (a b_max - a - b_max) / b_max  (Pugh).
+      int64_t BMax = 1;
+      for (const Constraint &UC : Uppers)
+        BMax = std::max(BMax, -UC.C[Choice.Var]);
+      bool SawUnknown = false;
+      for (const Constraint &LC : Lowers) {
+        int64_t A = LC.C[Choice.Var];
+        __int128 Num = static_cast<__int128>(A) * BMax - A - BMax;
+        int64_t IMax = Num < 0 ? -1 : static_cast<int64_t>(Num / BMax);
+        for (int64_t I = 0; I <= IMax; ++I) {
+          if (!charge(8))
+            return SatResult::Unknown;
+          ++Stats.Splinters;
+          std::vector<Constraint> Sub = Cons;
+          Constraint Eq = LC;
+          Eq.IsEq = true;
+          Eq.K -= I; // a x + L - i = 0
+          Sub.push_back(std::move(Eq));
+          SatResult SR = solve(std::move(Sub));
+          if (SR == SatResult::Sat)
+            return SatResult::Sat;
+          if (SR == SatResult::Unknown)
+            SawUnknown = true;
+        }
+      }
+      return SawUnknown ? SatResult::Unknown : SatResult::Unsat;
+    }
+  }
+
+  SatResult unknownOverflow() {
+    overflow();
+    return SatResult::Unknown;
+  }
+};
+
+} // namespace
+
+SatResult hac::omega::satisfiable(const System &S, uint64_t Budget,
+                                  OmegaStats *Stats) {
+  OmegaStats Local;
+  SatResult R;
+  if (Budget == 0) {
+    Local.BudgetExhausted = true;
+    R = SatResult::Unknown;
+  } else {
+    Solver TheSolver(Budget, Local);
+    R = TheSolver.solve(S.constraints());
+  }
+  if (Stats)
+    *Stats = Local;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// HAC_DEP_BUDGET
+//===----------------------------------------------------------------------===//
+
+uint64_t hac::omega::parseDepBudget(const char *Text, uint64_t Default,
+                                    std::string *Warning) {
+  constexpr int64_t kMax = 1'000'000'000;
+  if (Warning)
+    Warning->clear();
+  if (!Text || !*Text)
+    return Default;
+  char *End = nullptr;
+  errno = 0;
+  long long N = std::strtoll(Text, &End, 10);
+  if (errno != 0 || End == Text || *End != '\0') {
+    if (Warning)
+      *Warning = std::string("HAC_DEP_BUDGET='") + Text +
+                 "' is not an integer; using the default";
+    return Default;
+  }
+  if (N < 0) {
+    if (Warning)
+      *Warning = std::string("HAC_DEP_BUDGET='") + Text +
+                 "' is negative; clamping to 0 (Omega tier disabled)";
+    return 0;
+  }
+  if (N > kMax) {
+    if (Warning)
+      *Warning = std::string("HAC_DEP_BUDGET='") + Text +
+                 "' is out of range; clamping to 1000000000";
+    return static_cast<uint64_t>(kMax);
+  }
+  return static_cast<uint64_t>(N);
+}
+
+uint64_t hac::omega::depBudgetFromEnv() {
+  static const uint64_t Cached = [] {
+    const char *Env = std::getenv("HAC_DEP_BUDGET");
+    std::string Warning;
+    uint64_t B = parseDepBudget(Env, kDefaultBudget, &Warning);
+    if (!Warning.empty())
+      std::fprintf(stderr, "hac: warning: %s\n", Warning.c_str());
+    return B;
+  }();
+  return Cached;
+}

@@ -1,0 +1,122 @@
+//===- analysis/Omega.h - Exact Presburger dependence solver ----*- C++ -*-===//
+//
+// Part of the hac project (Anderson & Hudak, PLDI 1990 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact integer linear (Presburger) satisfiability solver in the style
+/// of Pugh's Omega test, used as the top precision tier of the dependence
+/// pipeline (GCD -> Banerjee -> Omega). The solver decides whether a
+/// conjunction of affine equalities and inequalities over integer
+/// variables has an integer solution:
+///
+///  * normalization: every constraint is divided by the gcd of its
+///    coefficients; inequality constants are tightened to the integer
+///    floor, equalities with a non-divisible constant are immediately
+///    unsatisfiable;
+///  * equality elimination: unit-coefficient equalities substitute a
+///    variable away exactly; otherwise Pugh's modulo substitution
+///    introduces a fresh variable whose defining equality has a unit
+///    coefficient, shrinking coefficients geometrically;
+///  * inequality elimination: exact integer Fourier-Motzkin. When an
+///    elimination step is inexact, the dark shadow (sufficient) and real
+///    shadow (necessary) are solved separately, and the residual gap is
+///    closed by splintering on the finitely many near-boundary planes;
+///  * budget: every elementary step counts against a caller-supplied
+///    budget; exhausting it yields SatResult::Unknown, never a wrong
+///    answer.
+///
+/// All arithmetic is overflow-checked (128-bit intermediates); a would-be
+/// overflow also degrades to Unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HAC_ANALYSIS_OMEGA_H
+#define HAC_ANALYSIS_OMEGA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hac {
+namespace omega {
+
+/// One affine constraint sum(C[i] * x_i) + K  (== 0 | >= 0).
+struct Constraint {
+  bool IsEq = false;
+  std::vector<int64_t> C;
+  int64_t K = 0;
+};
+
+/// A conjunction of constraints over named integer variables.
+class System {
+public:
+  /// Adds a variable and returns its index.
+  unsigned addVar(std::string Name);
+  unsigned numVars() const { return static_cast<unsigned>(Names.size()); }
+  const std::string &varName(unsigned V) const { return Names[V]; }
+
+  /// Adds sum(Terms) + K == 0 / >= 0. Terms are (variable, coefficient).
+  void addEq(const std::vector<std::pair<unsigned, int64_t>> &Terms,
+             int64_t K);
+  void addGe(const std::vector<std::pair<unsigned, int64_t>> &Terms,
+             int64_t K);
+  /// Adds Lo <= x_Var <= Hi.
+  void addRange(unsigned Var, int64_t Lo, int64_t Hi);
+
+  const std::vector<Constraint> &constraints() const { return Cons; }
+
+  /// Renders the system for diagnostics, e.g.
+  /// "{ x1 + x2 - y1 - y2 = 0; 1 <= x1 <= 8; y1 - x1 >= 1 }".
+  std::string str() const;
+
+private:
+  std::vector<std::string> Names;
+  std::vector<Constraint> Cons;
+
+  void add(bool IsEq, const std::vector<std::pair<unsigned, int64_t>> &Terms,
+           int64_t K);
+};
+
+/// Tri-state verdict of the solver.
+enum class SatResult : uint8_t {
+  Unsat,   ///< proven: no integer solution exists
+  Sat,     ///< proven: an integer solution exists
+  Unknown, ///< budget exhausted (or overflow); no verdict
+};
+
+const char *satResultName(SatResult R);
+
+/// Counters from one satisfiability query.
+struct OmegaStats {
+  uint64_t Steps = 0;          ///< elementary solver steps consumed
+  unsigned Splinters = 0;      ///< splinter subproblems explored
+  bool BudgetExhausted = false;
+};
+
+/// Default step budget: generous for the small systems dependence testing
+/// produces, strict enough to bound pathological splinter cascades.
+inline constexpr uint64_t kDefaultBudget = 50'000;
+
+/// Decides integer satisfiability of \p S within \p Budget elementary
+/// steps. A budget of zero always returns Unknown (the tier is disabled).
+SatResult satisfiable(const System &S, uint64_t Budget = kDefaultBudget,
+                      OmegaStats *Stats = nullptr);
+
+/// Parses a HAC_DEP_BUDGET-style value. Returns the parsed budget, or
+/// \p Default when \p Text is not an integer (setting \p Warning to a
+/// human-readable reason). Values are clamped to [0, 1e9] with a warning;
+/// 0 disables the Omega tier entirely.
+uint64_t parseDepBudget(const char *Text, uint64_t Default,
+                        std::string *Warning);
+
+/// The Omega step budget from the HAC_DEP_BUDGET environment variable,
+/// parsed strictly (warning on stderr + default on garbage, clamped).
+/// Parsed once per process; subsequent calls return the cached value.
+uint64_t depBudgetFromEnv();
+
+} // namespace omega
+} // namespace hac
+
+#endif // HAC_ANALYSIS_OMEGA_H

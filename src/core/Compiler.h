@@ -57,6 +57,12 @@ struct CompileOptions {
   ParamEnv Params;
   /// Node budget for exact dependence tests (0 disables exact screening).
   uint64_t ExactBudget = 100'000;
+  /// Step budget for the Omega (exact Presburger) dependence tier; 0
+  /// disables it. Defaults to the HAC_DEP_BUDGET environment knob.
+  uint64_t OmegaBudget = omega::depBudgetFromEnv();
+  /// Cross-check every Omega verdict against brute-force enumeration
+  /// (`hacc -Xdep-selfcheck`); aborts on a mismatch.
+  bool DepSelfCheck = false;
   /// When false, all runtime checks stay on even if the analyses prove
   /// them unnecessary (ablation of Sections 4 and 7).
   bool EnableCheckElimination = true;

@@ -102,13 +102,18 @@ DepGraph stages::dependence(StageContext &Ctx, const CompNest &Nest,
                             const ParamEnv &Params, DepGraphMode Mode) {
   DepGraphOptions GraphOptions;
   GraphOptions.ExactBudget = Ctx.Options.ExactBudget;
+  GraphOptions.OmegaBudget = Ctx.Options.OmegaBudget;
+  GraphOptions.SelfCheck = Ctx.Options.DepSelfCheck;
   return buildDepGraph(Nest, Target, Params, Mode, GraphOptions);
 }
 
 void stages::arrayAnalyses(StageContext &Ctx, CompiledArray &Result,
                            std::map<std::string, ArrayDims> Extents) {
-  Result.Collisions = analyzeCollisions(Result.Nest, Result.Params,
-                                        Ctx.Options.ExactBudget);
+  CollisionOptions ColOpts;
+  ColOpts.ExactBudget = Ctx.Options.ExactBudget;
+  ColOpts.OmegaBudget = Ctx.Options.OmegaBudget;
+  ColOpts.SelfCheck = Ctx.Options.DepSelfCheck;
+  Result.Collisions = analyzeCollisions(Result.Nest, Result.Params, ColOpts);
   Result.Coverage = analyzeCoverage(Result.Nest, Result.Dims, Result.Params,
                                     Result.Collisions);
   Extents[Result.Name] = Result.Dims;

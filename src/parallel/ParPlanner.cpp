@@ -154,7 +154,9 @@ struct Planner {
           return; // the inner loop is classified; no recursion needed
         }
         S.Par = ParClass::Serial;
-        S.ParWitness = "carried dependence " + Carrier->str() +
+        S.ParWitness = "carried dependence " + Carrier->str() + " [" +
+                       depTierName(Carrier->Tier) +
+                       (Carrier->Definite ? ", definite" : ", maybe") + "]" +
                        (Witness.empty() ? "" : "; wavefront: " + Witness);
       }
     }

@@ -48,6 +48,10 @@ const char *hac::ruleIdString(RuleID Rule) {
     return "HAC011";
   case RuleID::HAC012:
     return "HAC012";
+  case RuleID::HAC013:
+    return "HAC013";
+  case RuleID::HAC014:
+    return "HAC014";
   }
   return "";
 }

@@ -53,12 +53,14 @@ enum class RuleID : uint8_t {
   HAC010 = 10, ///< doall-write-overlap (LIR static race check)
   HAC011 = 11, ///< wavefront-cross-front-write (LIR static race check)
   HAC012 = 12, ///< late-proven-check-elimination (LIR second chance)
+  HAC013 = 13, ///< conservative-tier-imprecision (Omega precision audit)
+  HAC014 = 14, ///< dependence-budget-exhausted (Omega gave up)
 };
 
 /// Number of assigned rules (RuleID values 1..kNumRules are valid).
-inline constexpr unsigned kNumRules = 12;
+inline constexpr unsigned kNumRules = 14;
 
-/// "HAC001" ... "HAC012", or "" for RuleID::None.
+/// "HAC001" ... "HAC014", or "" for RuleID::None.
 const char *ruleIdString(RuleID Rule);
 
 /// Maps 1..kNumRules to the rule; anything else to RuleID::None.

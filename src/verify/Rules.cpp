@@ -63,6 +63,16 @@ const std::array<RuleInfo, kNumRules> Rules = {{
      "A residual runtime check the front end could not remove was proven "
      "redundant by the post-optimization LIR range analysis and deleted.",
      DiagSeverity::Note},
+    {RuleID::HAC013, "conservative-tier-imprecision",
+     "The GCD/Banerjee tiers left a dependence \"maybe\" that the exact "
+     "Presburger (Omega) tier refuted: the conservative tests alone would "
+     "have kept a check or serialized a loop unnecessarily.",
+     DiagSeverity::Note},
+    {RuleID::HAC014, "dependence-budget-exhausted",
+     "An Omega dependence query ran out of its step budget "
+     "(HAC_DEP_BUDGET) and the pair was conservatively assumed dependent; "
+     "the witness renders the constraint system it gave up on.",
+     DiagSeverity::Warning},
 }};
 
 } // namespace

@@ -20,6 +20,7 @@ const char *const TraceCounterNames[kNumRules] = {
     "verify.hac001", "verify.hac002", "verify.hac003", "verify.hac004",
     "verify.hac005", "verify.hac006", "verify.hac007", "verify.hac008",
     "verify.hac009", "verify.hac010", "verify.hac011", "verify.hac012",
+    "verify.hac013", "verify.hac014",
 };
 
 Diagnostic finding(RuleID Rule, DiagSeverity Severity, SourceLoc Loc,
@@ -381,15 +382,53 @@ void Verifier::checkParallel(const ExecPlan &Plan) {
     Walk(S);
 }
 
+void Verifier::checkDependencePrecision(const DepGraph &Graph) {
+  for (const DepPrecisionNote &N : Graph.PrecisionNotes) {
+    Diagnostic D = finding(
+        RuleID::HAC013, DiagSeverity::Note, N.SrcLoc,
+        "conservative dependence tests were imprecise for clauses #" +
+            std::to_string(N.Src) + " and #" + std::to_string(N.Dst) +
+            " (" + depKindName(N.Kind) +
+            "): the exact Presburger tier refuted " +
+            std::to_string(N.Refuted.size()) +
+            " direction vector(s) GCD/Banerjee could not");
+    if (N.DstLoc.isValid() && !(N.DstLoc == N.SrcLoc))
+      D.Notes.push_back(makeNote(
+          N.DstLoc, "clause #" + std::to_string(N.Dst) + " is here"));
+    for (const DirVector &Dirs : N.Refuted)
+      D.Notes.push_back(makeNote(
+          SourceLoc(), "refuted directions " + dirVectorToString(Dirs)));
+    emit(std::move(D));
+  }
+  for (const DepBudgetNote &N : Graph.BudgetNotes) {
+    Diagnostic D = finding(
+        RuleID::HAC014, DiagSeverity::Warning, N.SrcLoc,
+        "dependence budget exhausted for clauses #" +
+            std::to_string(N.Src) + " and #" + std::to_string(N.Dst) +
+            " (" + depKindName(N.Kind) +
+            "): the pair is conservatively assumed dependent; raise "
+            "HAC_DEP_BUDGET to retry");
+    D.Notes.push_back(
+        makeNote(SourceLoc(), "gave up on the constraint system " +
+                                  (N.System.empty() ? "{}" : N.System)));
+    emit(std::move(D));
+  }
+}
+
 VerifyResult Verifier::verify(const CompiledArray &CA) {
   HAC_TRACE_SPAN(Span, "verify");
   Result = VerifyResult();
   checkNonAffineWrites(CA.Coverage);
   checkCollisions(CA.Collisions);
-  checkCoverage(CA.Name, CA.Coverage);
+  // Accumulated arrays have no undefined elements by construction —
+  // untouched elements hold the initial value (Section 3) — so the
+  // empties rule (HAC003) does not apply.
+  if (!CA.IsAccum)
+    checkCoverage(CA.Name, CA.Coverage);
   checkWriteBounds(CA.Coverage);
   checkReads(CA.ReadBounds);
   checkDeadClauses(CA.Nest, CA.Params);
+  checkDependencePrecision(CA.Graph);
   checkFallback(CA.Thunkless, CA.FallbackReason);
   if (CA.Thunkless)
     checkParallel(CA.Plan);
@@ -403,6 +442,7 @@ VerifyResult Verifier::verify(const CompiledUpdate &CU) {
   Result = VerifyResult();
   checkReads(CU.ReadBounds);
   checkDeadClauses(CU.Nest, CU.Params);
+  checkDependencePrecision(CU.Graph);
   checkFallback(CU.InPlace, CU.FallbackReason);
   if (CU.InPlace)
     checkParallel(CU.Plan);

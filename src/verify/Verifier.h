@@ -97,6 +97,11 @@ private:
   /// its blocking witness. Only meaningful on plans the planner has seen
   /// (Thunkless / InPlace); callers skip it otherwise.
   void checkParallel(const ExecPlan &Plan);
+  /// HAC013/HAC014: surfaces the dependence graph's precision-audit
+  /// evidence — reference pairs where Omega out-proved GCD/Banerjee
+  /// (HAC013) and pairs whose Omega query exhausted its step budget
+  /// (HAC014, witnessing the constraint system).
+  void checkDependencePrecision(const DepGraph &Graph);
 };
 
 } // namespace hac

@@ -90,7 +90,9 @@ TEST(Rules, ParseRuleName) {
   EXPECT_EQ(parseRuleName("hac008"), RuleID::HAC008);
   EXPECT_EQ(parseRuleName("hac009"), RuleID::HAC009);
   EXPECT_EQ(parseRuleName("hac012"), RuleID::HAC012);
-  EXPECT_EQ(parseRuleName("hac013"), RuleID::None);
+  EXPECT_EQ(parseRuleName("hac013"), RuleID::HAC013);
+  EXPECT_EQ(parseRuleName("hac014"), RuleID::HAC014);
+  EXPECT_EQ(parseRuleName("hac015"), RuleID::None);
   EXPECT_EQ(parseRuleName("hac000"), RuleID::None);
   EXPECT_EQ(parseRuleName("hac01"), RuleID::None);
   EXPECT_EQ(parseRuleName("bogus1"), RuleID::None);
